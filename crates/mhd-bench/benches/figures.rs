@@ -1,0 +1,38 @@
+//! End-to-end timing of each figure's series generation (reduced scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhd_core::experiments::{
+    f1_scale_curve, f2_fewshot_sweep, f3_calibration, f4_confusion, f5_finetune_curve,
+    ExperimentConfig,
+};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+}
+
+fn bench_f1(c: &mut Criterion) {
+    c.bench_function("figure_f1_scale_curve", |b| b.iter(|| f1_scale_curve(&cfg())));
+}
+
+fn bench_f2(c: &mut Criterion) {
+    c.bench_function("figure_f2_fewshot_sweep", |b| b.iter(|| f2_fewshot_sweep(&cfg())));
+}
+
+fn bench_f3(c: &mut Criterion) {
+    c.bench_function("figure_f3_calibration", |b| b.iter(|| f3_calibration(&cfg())));
+}
+
+fn bench_f4(c: &mut Criterion) {
+    c.bench_function("figure_f4_confusion", |b| b.iter(|| f4_confusion(&cfg())));
+}
+
+fn bench_f5(c: &mut Criterion) {
+    c.bench_function("figure_f5_finetune_curve", |b| b.iter(|| f5_finetune_curve(&cfg())));
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_f1, bench_f2, bench_f3, bench_f4, bench_f5
+}
+criterion_main!(figures);

@@ -1,0 +1,103 @@
+//! Substrate micro-benchmarks: the hot paths every experiment exercises.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhd_corpus::generator::{Generator, PostSpec};
+use mhd_corpus::taxonomy::Disorder;
+use mhd_llm::client::{ChatRequest, LlmClient};
+use mhd_models::{LogisticRegression, NaiveBayes, TextClassifier};
+use mhd_text::lexicon::Lexicon;
+use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
+use mhd_text::tokenize::{tokenize, words};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SAMPLE_POST: &str =
+    "i don't usually post here but i need to get this out. i feel so hopeless all the time. \
+     i haven't slept properly in 4 days. my friend doesn't understand what i'm going through. \
+     the bus was late again this morning. everything just feels empty lately.";
+
+fn corpus(n: usize) -> Vec<String> {
+    let g = Generator::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let d = if i % 2 == 0 { Disorder::Depression } else { Disorder::Control };
+        out.push(g.generate(&PostSpec::simple(d), &mut rng));
+    }
+    out
+}
+
+fn bench_text(c: &mut Criterion) {
+    c.bench_function("tokenize_post", |b| b.iter(|| tokenize(black_box(SAMPLE_POST))));
+    let lex = Lexicon::standard();
+    let toks = words(SAMPLE_POST);
+    c.bench_function("lexicon_profile", |b| b.iter(|| lex.profile(black_box(&toks))));
+    let docs = corpus(200);
+    c.bench_function("tfidf_fit_200_docs", |b| {
+        b.iter(|| TfidfVectorizer::fit(black_box(&docs), TfidfConfig::default()))
+    });
+    let v = TfidfVectorizer::fit(&docs, TfidfConfig::default());
+    c.bench_function("tfidf_transform", |b| b.iter(|| v.transform(black_box(SAMPLE_POST))));
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let g = Generator::new();
+    c.bench_function("generate_post", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = PostSpec::simple(Disorder::Depression);
+        b.iter(|| g.generate(black_box(&spec), &mut rng))
+    });
+}
+
+fn bench_llm(c: &mut Criterion) {
+    let client = LlmClient::new(1234);
+    c.bench_function("llm_zero_shot_query_uncached", |b| {
+        let mut i: u64 = 0;
+        b.iter(|| {
+            // Vary the prompt so the response cache never hits.
+            i += 1;
+            let req = ChatRequest::new(
+                "sim-gpt-4",
+                format!(
+                    "Classify.\nOptions: control, depression\nPost: {SAMPLE_POST} v{i}\nAnswer:"
+                ),
+            );
+            client.complete(black_box(&req)).expect("ok")
+        })
+    });
+    c.bench_function("llm_query_cached", |b| {
+        let req = ChatRequest::new(
+            "sim-gpt-4",
+            format!("Classify.\nOptions: control, depression\nPost: {SAMPLE_POST}\nAnswer:"),
+        );
+        client.complete(&req).expect("warm");
+        b.iter(|| client.complete(black_box(&req)).expect("ok"))
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let docs = corpus(200);
+    let texts: Vec<&str> = docs.iter().map(String::as_str).collect();
+    let labels: Vec<usize> = (0..docs.len()).map(|i| i % 2).collect();
+    c.bench_function("naive_bayes_fit_200", |b| {
+        b.iter(|| {
+            let mut nb = NaiveBayes::new();
+            nb.fit(black_box(&texts), black_box(&labels), 2);
+            nb
+        })
+    });
+    c.bench_function("logreg_fit_200", |b| {
+        b.iter(|| {
+            let mut lr = LogisticRegression::new();
+            lr.fit(black_box(&texts), black_box(&labels), 2);
+            lr
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_text, bench_generation, bench_llm, bench_training
+}
+criterion_main!(micro);

@@ -1,0 +1,73 @@
+//! End-to-end timing of each table's generation (reduced dataset scale —
+//! the full-size artifacts come from the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mhd_core::experiments::{
+    t1_dataset_stats, t3_prompting, t5_robustness, t6_cost, ExperimentConfig,
+};
+use mhd_core::methods::{make_detector, ClassicalKind, MethodSpec, SharedClient};
+use mhd_core::pipeline::evaluate;
+use mhd_corpus::dataset::Split;
+use mhd_corpus::DatasetId;
+use mhd_prompts::Strategy;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+}
+
+fn bench_t1(c: &mut Criterion) {
+    c.bench_function("table_t1_dataset_stats", |b| b.iter(|| t1_dataset_stats(&cfg())));
+}
+
+/// T2 is the heaviest table; bench a representative slice — one classical,
+/// one LLM and one fine-tune on one dataset each.
+fn bench_t2_slice(c: &mut Criterion) {
+    let config = cfg();
+    c.bench_function("table_t2_slice_logreg", |b| {
+        b.iter(|| {
+            let dataset = config.dataset(DatasetId::DreadditS);
+            let client = SharedClient::new(config.pretrain_seed);
+            let mut det =
+                make_detector(&MethodSpec::Classical(ClassicalKind::LogReg), &client);
+            evaluate(det.as_mut(), &dataset, Split::Test)
+        })
+    });
+    c.bench_function("table_t2_slice_gpt4_zeroshot", |b| {
+        b.iter(|| {
+            let dataset = config.dataset(DatasetId::SdcnlS);
+            let client = SharedClient::new(config.pretrain_seed);
+            let spec =
+                MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot };
+            let mut det = make_detector(&spec, &client);
+            evaluate(det.as_mut(), &dataset, Split::Test)
+        })
+    });
+    c.bench_function("table_t2_slice_finetune", |b| {
+        b.iter(|| {
+            let dataset = config.dataset(DatasetId::SdcnlS);
+            let client = SharedClient::new(config.pretrain_seed);
+            let spec = MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: Some(60) };
+            let mut det = make_detector(&spec, &client);
+            evaluate(det.as_mut(), &dataset, Split::Test)
+        })
+    });
+}
+
+fn bench_t3(c: &mut Criterion) {
+    c.bench_function("table_t3_prompting", |b| b.iter(|| t3_prompting(&cfg())));
+}
+
+fn bench_t5(c: &mut Criterion) {
+    c.bench_function("table_t5_robustness", |b| b.iter(|| t5_robustness(&cfg())));
+}
+
+fn bench_t6(c: &mut Criterion) {
+    c.bench_function("table_t6_cost", |b| b.iter(|| t6_cost(&cfg())));
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_t1, bench_t2_slice, bench_t3, bench_t5, bench_t6
+}
+criterion_main!(tables);

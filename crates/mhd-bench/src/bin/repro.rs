@@ -1,0 +1,40 @@
+//! Regenerate the survey's tables and figures.
+//!
+//! ```text
+//! repro --all                      # every table and figure, full size
+//! repro --table t2 --scale 0.25    # main results on quarter-size datasets
+//! repro --figure f1 --csv          # scale curve as CSV
+//! ```
+
+use mhd_bench::parse_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: repro (--table <t1..t6|a1..a6> | --figure <f1..f5> | --all)... \
+                 [--scale <f64>] [--seed <u64>] [--csv]"
+            );
+            std::process::exit(2);
+        }
+    };
+    if options.list {
+        for a in mhd_core::report::Artifact::ALL {
+            println!("{}", a.name());
+        }
+        return;
+    }
+    for artifact in &options.artifacts {
+        eprintln!("[repro] generating {} (scale {})…", artifact.name(), options.config.scale);
+        let table = artifact.generate(&options.config);
+        if options.csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.to_markdown());
+        }
+        println!();
+    }
+}

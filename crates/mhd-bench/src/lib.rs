@@ -1,0 +1,136 @@
+//! # mhd-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! - the **`repro` binary** (`cargo run --release -p mhd-bench --bin repro`)
+//!   regenerates any table/figure of the survey: `repro --table t2`,
+//!   `repro --figure f1`, `repro --all`, with `--scale` controlling dataset
+//!   size and `--csv` switching the output format;
+//! - the **criterion benches** (`cargo bench -p mhd-bench`) measure the
+//!   substrate (tokenization, vectorizers, generation, LLM query latency,
+//!   training) and time a reduced-size run of every experiment.
+
+use mhd_core::experiments::ExperimentConfig;
+use mhd_core::report::Artifact;
+
+/// Resolved CLI options for the repro binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproOptions {
+    /// Artifacts to generate.
+    pub artifacts: Vec<Artifact>,
+    /// Experiment configuration.
+    pub config: ExperimentConfig,
+    /// Emit CSV instead of markdown.
+    pub csv: bool,
+    /// Just list available artifact ids and exit.
+    pub list: bool,
+}
+
+/// Parse repro CLI arguments (everything after the binary name).
+///
+/// Grammar: `[--table <id>]* [--figure <id>]* [--all] [--scale <f>]
+/// [--seed <n>] [--csv]`. Unknown flags are an error.
+pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
+    let mut artifacts = Vec::new();
+    let mut config = ExperimentConfig::default();
+    let mut csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table" | "--figure" => {
+                let name = args.get(i + 1).ok_or_else(|| format!("{} needs an id", args[i]))?;
+                let artifact = Artifact::from_name(name)
+                    .ok_or_else(|| format!("unknown artifact id: {name}"))?;
+                artifacts.push(artifact);
+                i += 2;
+            }
+            "--all" => {
+                artifacts.extend(Artifact::ALL);
+                i += 1;
+            }
+            "--scale" => {
+                let v = args.get(i + 1).ok_or("--scale needs a value")?;
+                config.scale = v.parse().map_err(|_| format!("bad scale: {v}"))?;
+                i += 2;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                i += 2;
+            }
+            "--csv" => {
+                csv = true;
+                i += 1;
+            }
+            "--list" => {
+                return Ok(ReproOptions {
+                    artifacts: Vec::new(),
+                    config,
+                    csv: false,
+                    list: true,
+                });
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if artifacts.is_empty() {
+        return Err(
+            "nothing to do: pass --table <id>, --figure <id>, --all or --list".to_string(),
+        );
+    }
+    artifacts.dedup();
+    Ok(ReproOptions { artifacts, config, csv, list: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_single_table() {
+        let o = parse_args(&sv(&["--table", "t2"])).expect("ok");
+        assert_eq!(o.artifacts, vec![Artifact::T2]);
+        assert!(!o.csv);
+        assert!(!o.list);
+    }
+
+    #[test]
+    fn list_flag() {
+        let o = parse_args(&sv(&["--list"])).expect("ok");
+        assert!(o.list);
+        assert!(o.artifacts.is_empty());
+    }
+
+    #[test]
+    fn parses_all_with_scale() {
+        let o = parse_args(&sv(&["--all", "--scale", "0.5", "--csv"])).expect("ok");
+        assert_eq!(o.artifacts.len(), Artifact::ALL.len());
+        assert!((o.config.scale - 0.5).abs() < 1e-12);
+        assert!(o.csv);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(&sv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_artifact() {
+        assert!(parse_args(&sv(&["--table", "t9"])).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_args(&[]).is_err());
+    }
+
+    #[test]
+    fn seed_override() {
+        let o = parse_args(&sv(&["--figure", "f1", "--seed", "7"])).expect("ok");
+        assert_eq!(o.config.seed, 7);
+    }
+}

@@ -1,0 +1,53 @@
+//! The `Detector` trait: one interface over every method class.
+
+use mhd_corpus::dataset::Dataset;
+use mhd_corpus::taxonomy::Task;
+
+/// One prediction for one post.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted label index into the task's label list.
+    pub label: usize,
+    /// Confidence in the predicted label (0..=1).
+    pub confidence: f64,
+    /// The method produced unparseable output and fell back to a default
+    /// (LLM methods only).
+    pub parse_failed: bool,
+    /// The model refused to answer (LLM methods only).
+    pub refused: bool,
+}
+
+impl Prediction {
+    /// A clean prediction.
+    pub fn new(label: usize, confidence: f64) -> Self {
+        Prediction { label, confidence, parse_failed: false, refused: false }
+    }
+}
+
+/// A detection method: anything that can be prepared on a dataset's training
+/// split and then asked to label posts.
+pub trait Detector {
+    /// Method name used in result tables.
+    fn name(&self) -> String;
+
+    /// Prepare on the dataset (training/pool building uses the Train split
+    /// only; implementations must not touch Test).
+    fn prepare(&mut self, dataset: &Dataset);
+
+    /// Label a batch of posts. `ids` are stable per-example identifiers
+    /// used to seed any per-example randomness deterministically.
+    fn detect(&self, task: &Task, texts: &[&str], ids: &[u64]) -> Vec<Prediction>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_constructor() {
+        let p = Prediction::new(2, 0.9);
+        assert_eq!(p.label, 2);
+        assert!(!p.parse_failed);
+        assert!(!p.refused);
+    }
+}

@@ -1,0 +1,473 @@
+//! Experiment generators — one function per table/figure of the survey.
+//!
+//! Every function returns a long-format [`Table`] whose rows are the series
+//! the paper plots/tabulates. See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured commentary.
+
+use crate::methods::{make_detector, ClassicalKind, MethodSpec, SharedClient};
+use crate::pipeline::{evaluate, evaluate_prepared, EvalResult};
+use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd_corpus::dataset::{Dataset, Split};
+use mhd_corpus::perturb::Perturbation;
+use mhd_corpus::registry::DatasetCard;
+use mhd_eval::calibration::calibration;
+use mhd_eval::confusion::ConfusionMatrix;
+use mhd_eval::table::{fmt3, fmt_pct, Table};
+use mhd_prompts::template::Strategy;
+
+/// Shared configuration for all experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Dataset generation seed.
+    pub seed: u64,
+    /// Dataset size multiplier (1.0 = full benchmark sizes).
+    pub scale: f64,
+    /// LLM pretraining seed.
+    pub pretrain_seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { seed: 42, scale: 1.0, pretrain_seed: 1234 }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced-size configuration for quick runs and CI.
+    pub fn fast() -> Self {
+        ExperimentConfig { seed: 42, scale: 0.15, pretrain_seed: 1234 }
+    }
+
+    fn build_config(&self) -> BuildConfig {
+        BuildConfig { seed: self.seed, scale: self.scale, label_noise: None }
+    }
+
+    /// Build one dataset under this config.
+    pub fn dataset(&self, id: DatasetId) -> Dataset {
+        build_dataset(id, &self.build_config())
+    }
+}
+
+/// The four datasets used by the prompt-ablation and few-shot experiments
+/// (one binary, one hard pair, one multi-class, one short-text).
+const ABLATION_DATASETS: [DatasetId; 4] =
+    [DatasetId::DreadditS, DatasetId::SdcnlS, DatasetId::SwmhS, DatasetId::TsidS];
+
+/// The three datasets used by fine-tuning experiments.
+const FT_DATASETS: [DatasetId; 3] = [DatasetId::DreadditS, DatasetId::SdcnlS, DatasetId::SwmhS];
+
+/// The zero-shot model ladder (F1's x-axis).
+const SCALE_LADDER: [&str; 5] =
+    ["sim-llama-7b", "sim-llama-13b", "sim-llama-70b", "sim-gpt-3.5", "sim-gpt-4"];
+
+fn eval_method(spec: &MethodSpec, client: &SharedClient, dataset: &Dataset) -> EvalResult {
+    let mut det = make_detector(spec, client);
+    evaluate(det.as_mut(), dataset, Split::Test)
+}
+
+fn push_result(t: &mut Table, r: &EvalResult) {
+    t.push_row(vec![
+        r.method.clone(),
+        r.dataset.clone(),
+        fmt3(r.metrics.accuracy),
+        fmt3(r.metrics.weighted_f1),
+        fmt3(r.metrics.macro_f1),
+        fmt_pct(r.parse_rate()),
+    ]);
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// **T1** — dataset statistics.
+pub fn t1_dataset_stats(cfg: &ExperimentConfig) -> Table {
+    let mut t = Table::new(
+        "T1: Benchmark dataset statistics",
+        &["dataset", "task", "classes", "posts", "train/val/test", "imbalance", "avg_tokens", "label_noise"],
+    );
+    for id in DatasetId::ALL {
+        let card = DatasetCard::of(&cfg.dataset(id));
+        t.push_row(vec![
+            card.name.to_string(),
+            card.task.to_string(),
+            card.n_classes.to_string(),
+            card.n_examples.to_string(),
+            format!("{}/{}/{}", card.split_sizes.0, card.split_sizes.1, card.split_sizes.2),
+            format!("{:.1}", card.imbalance),
+            format!("{:.0}", card.avg_tokens),
+            fmt_pct(card.label_noise),
+        ]);
+    }
+    t
+}
+
+/// The T2 method roster.
+pub fn t2_methods() -> Vec<MethodSpec> {
+    let mut methods: Vec<MethodSpec> = vec![
+        MethodSpec::Classical(ClassicalKind::Majority),
+        MethodSpec::Classical(ClassicalKind::Lexicon),
+        MethodSpec::Classical(ClassicalKind::NaiveBayes),
+        MethodSpec::Classical(ClassicalKind::LogReg),
+        MethodSpec::Classical(ClassicalKind::Svm),
+        MethodSpec::Classical(ClassicalKind::BertMini),
+    ];
+    for model in SCALE_LADDER {
+        methods.push(MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot });
+    }
+    methods.push(MethodSpec::Llm { model: "sim-flan-t5-xxl".into(), strategy: Strategy::ZeroShot });
+    methods.push(MethodSpec::Llm { model: "sim-gpt-3.5".into(), strategy: Strategy::FewShot(4) });
+    methods.push(MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::FewShot(4) });
+    methods.push(MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None });
+    methods
+}
+
+/// **T2** — main results: every method × every dataset.
+pub fn t2_main_results(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "T2: Main results (test split)",
+        &["method", "dataset", "accuracy", "weighted_f1", "macro_f1", "parse_rate"],
+    );
+    for id in DatasetId::ALL {
+        let dataset = cfg.dataset(id);
+        for spec in t2_methods() {
+            let r = eval_method(&spec, &client, &dataset);
+            push_result(&mut t, &r);
+        }
+    }
+    t
+}
+
+/// **T3** — prompt-engineering ablation on two models × four datasets.
+pub fn t3_prompting(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "T3: Prompting-strategy ablation",
+        &["method", "dataset", "accuracy", "weighted_f1", "macro_f1", "parse_rate"],
+    );
+    for id in ABLATION_DATASETS {
+        let dataset = cfg.dataset(id);
+        for model in ["sim-gpt-4", "sim-llama-13b", "sim-llama-7b"] {
+            for strategy in Strategy::ALL {
+                let spec = MethodSpec::Llm { model: model.into(), strategy };
+                let r = eval_method(&spec, &client, &dataset);
+                push_result(&mut t, &r);
+            }
+        }
+    }
+    t
+}
+
+/// Fine-tuning training-set sizes swept by T4/F5.
+pub const FT_SIZES: [usize; 4] = [100, 300, 600, usize::MAX];
+
+/// **T4 / F5** — fine-tuning study: zero-shot vs fine-tuned at several
+/// training-set sizes vs the discriminative baseline.
+pub fn t4_finetune(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "T4: Instruction fine-tuning study",
+        &["method", "dataset", "train_examples", "accuracy", "weighted_f1"],
+    );
+    for id in FT_DATASETS {
+        let dataset = cfg.dataset(id);
+        let train_len = dataset.split_len(Split::Train);
+        // Zero-shot reference.
+        let zs = eval_method(
+            &MethodSpec::Llm { model: "sim-llama-7b".into(), strategy: Strategy::ZeroShot },
+            &client,
+            &dataset,
+        );
+        t.push_row(vec![
+            zs.method.clone(),
+            zs.dataset.clone(),
+            "0".into(),
+            fmt3(zs.metrics.accuracy),
+            fmt3(zs.metrics.weighted_f1),
+        ]);
+        // Fine-tuned at each size.
+        for &size in &FT_SIZES {
+            let capped = size.min(train_len);
+            let spec = MethodSpec::FineTuned {
+                base: "sim-llama-7b".into(),
+                max_train: if size == usize::MAX { None } else { Some(size) },
+            };
+            let r = eval_method(&spec, &client, &dataset);
+            t.push_row(vec![
+                r.method.clone(),
+                r.dataset.clone(),
+                capped.to_string(),
+                fmt3(r.metrics.accuracy),
+                fmt3(r.metrics.weighted_f1),
+            ]);
+        }
+        // Discriminative reference.
+        let bert = eval_method(&MethodSpec::Classical(ClassicalKind::BertMini), &client, &dataset);
+        t.push_row(vec![
+            bert.method.clone(),
+            bert.dataset.clone(),
+            train_len.to_string(),
+            fmt3(bert.metrics.accuracy),
+            fmt3(bert.metrics.weighted_f1),
+        ]);
+    }
+    t
+}
+
+/// Methods stressed by the robustness table.
+fn t5_methods() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec::Classical(ClassicalKind::Lexicon),
+        MethodSpec::Classical(ClassicalKind::NaiveBayes),
+        MethodSpec::Classical(ClassicalKind::LogReg),
+        MethodSpec::Classical(ClassicalKind::BertMini),
+        MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+    ]
+}
+
+/// **T5** — robustness under test-time perturbation (dreaddit-s).
+pub fn t5_robustness(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let dataset = cfg.dataset(DatasetId::DreadditS);
+    let mut t = Table::new(
+        "T5: Robustness to test-time perturbations (dreaddit-s, weighted F1)",
+        &["method", "clean", "typos", "elongation", "emoticons", "negation_drop", "sentence_shuffle"],
+    );
+    for spec in t5_methods() {
+        let mut det = make_detector(&spec, &client);
+        det.prepare(&dataset);
+        let clean = evaluate_prepared(det.as_ref(), &dataset, Split::Test);
+        let mut row = vec![clean.method.clone(), fmt3(clean.metrics.weighted_f1)];
+        for p in Perturbation::ALL {
+            // Intensity 0.5: strong enough for measurable degradation at
+            // benchmark dataset sizes (see EXPERIMENTS.md).
+            let perturbed = perturb_test_split(&dataset, p, 0.5, cfg.seed);
+            let r = evaluate_prepared(det.as_ref(), &perturbed, Split::Test);
+            row.push(fmt3(r.metrics.weighted_f1));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Clone a dataset with its test split perturbed.
+pub fn perturb_test_split(
+    dataset: &Dataset,
+    perturbation: Perturbation,
+    rate: f64,
+    seed: u64,
+) -> Dataset {
+    let mut out = dataset.clone();
+    for e in &mut out.examples {
+        if e.split == Split::Test {
+            e.text = perturbation.apply(&e.text, rate, seed ^ e.id);
+        }
+    }
+    out
+}
+
+/// **T6** — efficiency: tokens, dollars and latency per 1 000 posts.
+pub fn t6_cost(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let dataset = cfg.dataset(DatasetId::SwmhS);
+    let mut t = Table::new(
+        "T6: Efficiency per 1k posts (swmh-s, zero-shot)",
+        &["model", "prompt_tok/post", "completion_tok/post", "usd/1k_posts", "latency_s/post"],
+    );
+    for model in SCALE_LADDER {
+        client.borrow().reset_tracker();
+        let spec = MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot };
+        let r = eval_method(&spec, &client, &dataset);
+        let n = r.pred.len().max(1) as f64;
+        let totals = client.borrow().tracker().totals(model);
+        t.push_row(vec![
+            model.to_string(),
+            format!("{:.0}", totals.prompt_tokens as f64 / n),
+            format!("{:.1}", totals.completion_tokens as f64 / n),
+            format!("{:.4}", totals.usd / n * 1000.0),
+            format!("{:.2}", totals.latency_ms / n / 1000.0),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// **F1** — weighted F1 vs model scale, per dataset.
+pub fn f1_scale_curve(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "F1: Zero-shot weighted F1 vs model scale",
+        &["model", "params_b", "dataset", "weighted_f1"],
+    );
+    for id in DatasetId::ALL {
+        let dataset = cfg.dataset(id);
+        for model in SCALE_LADDER {
+            let spec = MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot };
+            let r = eval_method(&spec, &client, &dataset);
+            let params = client.borrow().spec(model).expect("ladder model exists").params_b;
+            t.push_row(vec![
+                model.to_string(),
+                format!("{params}"),
+                r.dataset.clone(),
+                fmt3(r.metrics.weighted_f1),
+            ]);
+        }
+    }
+    t
+}
+
+/// The k values swept by F2.
+pub const FEWSHOT_KS: [usize; 6] = [0, 1, 2, 4, 8, 16];
+
+/// **F2** — few-shot k sweep.
+pub fn f2_fewshot_sweep(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "F2: Few-shot demonstration sweep (weighted F1)",
+        &["model", "k", "dataset", "weighted_f1"],
+    );
+    for id in ABLATION_DATASETS {
+        let dataset = cfg.dataset(id);
+        for model in ["sim-gpt-3.5", "sim-llama-13b"] {
+            for &k in &FEWSHOT_KS {
+                let strategy = if k == 0 { Strategy::ZeroShot } else { Strategy::FewShot(k) };
+                let spec = MethodSpec::Llm { model: model.into(), strategy };
+                let r = eval_method(&spec, &client, &dataset);
+                t.push_row(vec![
+                    model.to_string(),
+                    k.to_string(),
+                    r.dataset.clone(),
+                    fmt3(r.metrics.weighted_f1),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// **F3** — calibration: reliability bins + ECE per model.
+pub fn f3_calibration(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "F3: Calibration on sdcnl-s (10 reliability bins + ECE)",
+        &["model", "bin", "mean_confidence", "accuracy", "count", "ece"],
+    );
+    let dataset = cfg.dataset(DatasetId::SdcnlS);
+    for model in ["sim-llama-13b", "sim-gpt-3.5", "sim-gpt-4"] {
+        let spec = MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot };
+        let r = eval_method(&spec, &client, &dataset);
+        let correct = r.correct_flags();
+        let cal = calibration(&r.confidence, &correct, 10);
+        for (i, bin) in cal.bins.iter().enumerate() {
+            t.push_row(vec![
+                model.to_string(),
+                format!("{:.1}-{:.1}", bin.lo, bin.hi),
+                fmt3(bin.mean_confidence),
+                fmt3(bin.accuracy),
+                bin.count.to_string(),
+                if i == 0 { fmt3(cal.ece) } else { String::new() },
+            ]);
+        }
+    }
+    t
+}
+
+/// **F4** — confusion matrix of the best LLM on the triage task.
+pub fn f4_confusion(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let dataset = cfg.dataset(DatasetId::SwmhS);
+    let spec = MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot };
+    let r = eval_method(&spec, &client, &dataset);
+    let cm = ConfusionMatrix::from_pairs(&r.gold, &r.pred, dataset.task.n_classes());
+    let norm = cm.normalized();
+    let mut t = Table::new(
+        "F4: sim-gpt-4 zero-shot confusion on swmh-s (row-normalized)",
+        &["gold\\pred", "depression", "anxiety", "bipolar", "suicidewatch", "offmychest"],
+    );
+    for (g, label) in dataset.task.labels.iter().enumerate() {
+        let mut row = vec![label.to_string()];
+        row.extend(norm[g].iter().map(|&v| fmt3(v)));
+        t.push_row(row);
+    }
+    t
+}
+
+/// **F5** — fine-tuning learning curves (same sweep as T4, curve format).
+pub fn f5_finetune_curve(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "F5: Fine-tuning data-size learning curves (weighted F1)",
+        &["dataset", "train_examples", "weighted_f1"],
+    );
+    for id in FT_DATASETS {
+        let dataset = cfg.dataset(id);
+        let train_len = dataset.split_len(Split::Train);
+        for &size in &FT_SIZES {
+            let spec = MethodSpec::FineTuned {
+                base: "sim-llama-7b".into(),
+                max_train: if size == usize::MAX { None } else { Some(size) },
+            };
+            let r = eval_method(&spec, &client, &dataset);
+            t.push_row(vec![
+                r.dataset.clone(),
+                size.min(train_len).to_string(),
+                fmt3(r.metrics.weighted_f1),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+    }
+
+    #[test]
+    fn t1_covers_all_datasets() {
+        let t = t1_dataset_stats(&tiny());
+        assert_eq!(t.n_rows(), 7);
+        assert!(t.row_by_key("dreaddit-s").is_some());
+    }
+
+    #[test]
+    fn t6_cost_ordering() {
+        let t = t6_cost(&tiny());
+        assert_eq!(t.n_rows(), 5);
+        // gpt-4 must cost more per 1k posts than llama-7b.
+        let usd = |name: &str| -> f64 {
+            t.row_by_key(name).expect("row")[3].parse().expect("number")
+        };
+        assert!(usd("sim-gpt-4") > usd("sim-llama-7b"));
+    }
+
+    #[test]
+    fn f4_confusion_rows_normalized() {
+        let t = f4_confusion(&tiny());
+        assert_eq!(t.n_rows(), 5);
+        for row in t.rows() {
+            let sum: f64 = row[1..].iter().map(|c| c.parse::<f64>().expect("number")).sum();
+            assert!((sum - 1.0).abs() < 0.01, "row sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn perturb_only_touches_test() {
+        let d = tiny().dataset(DatasetId::DreadditS);
+        let p = perturb_test_split(&d, Perturbation::Elongation, 1.0, 1);
+        for (a, b) in d.examples.iter().zip(&p.examples) {
+            if a.split == Split::Test {
+                assert!(b.text.len() >= a.text.len());
+            } else {
+                assert_eq!(a.text, b.text, "non-test split must be untouched");
+            }
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Extension experiments (appendix A-series).
+//!
+//! Ablations of the design choices DESIGN.md calls out, beyond the paper's
+//! main tables:
+//!
+//! - **A1** — few-shot demonstration-selector ablation
+//!   (random vs stratified vs similarity retrieval);
+//! - **A2** — McNemar significance tests between the headline method pairs;
+//! - **A3** — label-noise sensitivity: trained baselines degrade twice
+//!   (corrupted training *and* evaluation), zero-shot LLMs only once;
+//! - **A4** — sampling-temperature sensitivity: accuracy and parse rate
+//!   erode as temperature rises;
+//! - **A5** — user-level screening: aggregation-rule comparison on a
+//!   longitudinal cohort with earliness metrics;
+//! - **A6** — dense scaling-law sweep over synthetic 1B–700B models.
+
+use crate::detector::Detector;
+use crate::experiments::ExperimentConfig;
+use crate::methods::{
+    make_detector, ClassicalKind, ClassifierDetector, MethodSpec, PromptDetector, SharedClient,
+};
+use crate::pipeline::{evaluate, evaluate_prepared};
+use crate::user_level::{screen_cohort, Aggregation, UserScreener};
+use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd_corpus::dataset::Split;
+use mhd_corpus::longitudinal::{generate_cohort, TimelineConfig};
+use mhd_corpus::taxonomy::Task;
+use mhd_eval::mcnemar::mcnemar;
+use mhd_eval::table::{fmt3, fmt_pct, Table};
+use mhd_prompts::select::SelectorKind;
+use mhd_prompts::template::Strategy;
+
+/// **A1** — demonstration-selector ablation at k = 8.
+pub fn a1_selector_ablation(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "A1: Few-shot demonstration-selector ablation (k=8, sim-gpt-3.5)",
+        &["selector", "dataset", "accuracy", "weighted_f1"],
+    );
+    for id in [DatasetId::SdcnlS, DatasetId::SwmhS, DatasetId::SadS] {
+        let dataset = cfg.dataset(id);
+        for kind in SelectorKind::ALL {
+            let mut det = Box::new(PromptDetector::new(
+                client.clone(),
+                "sim-gpt-3.5".into(),
+                Strategy::FewShot(8),
+                kind,
+            ));
+            let r = evaluate(det.as_mut(), &dataset, Split::Test);
+            t.push_row(vec![
+                kind.name().to_string(),
+                r.dataset.clone(),
+                fmt3(r.metrics.accuracy),
+                fmt3(r.metrics.weighted_f1),
+            ]);
+        }
+    }
+    t
+}
+
+/// **A2** — McNemar significance tests between headline method pairs.
+pub fn a2_significance(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "A2: McNemar paired significance (dreaddit-s test split)",
+        &["method_a", "method_b", "a_only_correct", "b_only_correct", "chi2", "p_value", "sig@0.05"],
+    );
+    let dataset = cfg.dataset(DatasetId::DreadditS);
+    let specs = [
+        MethodSpec::Classical(ClassicalKind::LogReg),
+        MethodSpec::Classical(ClassicalKind::BertMini),
+        MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+        MethodSpec::Llm { model: "sim-llama-7b".into(), strategy: Strategy::ZeroShot },
+        MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
+    ];
+    let results: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            let mut det = make_detector(s, &client);
+            evaluate(det.as_mut(), &dataset, Split::Test)
+        })
+        .collect();
+    let pairs = [(0, 2), (1, 2), (2, 3), (4, 3), (0, 4)];
+    for (a, b) in pairs {
+        let ra = &results[a];
+        let rb = &results[b];
+        let m = mcnemar(&ra.gold, &ra.pred, &rb.pred);
+        t.push_row(vec![
+            ra.method.clone(),
+            rb.method.clone(),
+            m.b.to_string(),
+            m.c.to_string(),
+            fmt3(m.statistic),
+            fmt3(m.p_value),
+            if m.significant(0.05) { "yes".into() } else { "no".into() },
+        ]);
+    }
+    t
+}
+
+/// Label-noise levels swept by A3.
+pub const NOISE_LEVELS: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
+
+/// **A3** — label-noise sensitivity. Trained methods see the noise twice
+/// (train + eval); zero-shot LLMs only through the evaluation ceiling.
+pub fn a3_label_noise(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "A3: Label-noise sensitivity (dreaddit-s, weighted F1)",
+        &["noise", "logreg_tfidf", "naive_bayes", "sim-gpt-4/zero_shot"],
+    );
+    for &noise in &NOISE_LEVELS {
+        let dataset = build_dataset(
+            DatasetId::DreadditS,
+            &BuildConfig { seed: cfg.seed, scale: cfg.scale, label_noise: Some(noise) },
+        );
+        let mut row = vec![fmt_pct(noise)];
+        for spec in [
+            MethodSpec::Classical(ClassicalKind::LogReg),
+            MethodSpec::Classical(ClassicalKind::NaiveBayes),
+            MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+        ] {
+            let mut det = make_detector(&spec, &client);
+            let r = evaluate(det.as_mut(), &dataset, Split::Test);
+            row.push(fmt3(r.metrics.weighted_f1));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// Temperatures swept by A4.
+pub const TEMPERATURES: [f64; 5] = [0.0, 0.3, 0.7, 1.2, 2.0];
+
+/// **A4** — sampling-temperature sensitivity for sim-gpt-3.5.
+pub fn a4_temperature(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let dataset = cfg.dataset(DatasetId::SdcnlS);
+    let mut t = Table::new(
+        "A4: Temperature sensitivity (sim-gpt-3.5, sdcnl-s)",
+        &["temperature", "accuracy", "weighted_f1", "parse_rate"],
+    );
+    for &temp in &TEMPERATURES {
+        let mut det = PromptDetector::new(
+            client.clone(),
+            "sim-gpt-3.5".into(),
+            Strategy::ZeroShot,
+            SelectorKind::Stratified,
+        )
+        .with_temperature(temp);
+        det.prepare(&dataset);
+        let r = evaluate_prepared(&det, &dataset, Split::Test);
+        t.push_row(vec![
+            format!("{temp:.1}"),
+            fmt3(r.metrics.accuracy),
+            fmt3(r.metrics.weighted_f1),
+            fmt_pct(r.parse_rate()),
+        ]);
+    }
+    t
+}
+
+/// **A5** — user-level screening with different aggregation rules.
+pub fn a5_user_level(cfg: &ExperimentConfig) -> Table {
+    // Post-level detector: logreg on a binary depression-vs-control view of
+    // swmh-s (depression = class 0, offmychest = class 4).
+    let full = build_dataset(
+        DatasetId::SwmhS,
+        &BuildConfig { seed: cfg.seed, scale: cfg.scale.max(0.2), label_noise: Some(0.0) },
+    );
+    let mut binary = full.clone();
+    binary.task = Task {
+        name: "user_binary",
+        description: "whether the poster shows signs of depression",
+        labels: vec!["control", "depression"],
+    };
+    binary.examples = full
+        .examples
+        .iter()
+        .filter(|e| e.label == 0 || e.label == 4)
+        .map(|e| {
+            let mut e = e.clone();
+            e.label = usize::from(e.label == 0);
+            e.true_label = e.label;
+            e
+        })
+        .collect();
+    let mut det = ClassifierDetector::new(ClassicalKind::LogReg);
+    det.prepare(&binary);
+    let cohort = generate_cohort(&TimelineConfig {
+        n_positive: (40.0 * cfg.scale.max(0.2)) as usize,
+        n_control: (60.0 * cfg.scale.max(0.2)) as usize,
+        seed: cfg.seed,
+        ..Default::default()
+    });
+    let mut t = Table::new(
+        "A5: User-level screening (logreg post model, depression cohort)",
+        &["aggregation", "recall", "fpr", "f1", "mean_delay_days", "early_fraction"],
+    );
+    for agg in [
+        Aggregation::VoteFraction(0.3),
+        Aggregation::VoteFraction(0.5),
+        Aggregation::MeanProb(0.5),
+        Aggregation::ConsecutivePositives(2),
+        Aggregation::ConsecutivePositives(4),
+    ] {
+        let screener = UserScreener::new(&det, &binary.task, 1, agg);
+        let report = screen_cohort(&screener, &cohort);
+        t.push_row(vec![
+            agg.name(),
+            fmt3(report.recall()),
+            fmt3(report.false_positive_rate()),
+            fmt3(report.f1()),
+            if report.mean_delay_days.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.1}", report.mean_delay_days)
+            },
+            fmt3(report.early_fraction),
+        ]);
+    }
+    t
+}
+
+/// Parameter counts (billions) swept by A6.
+pub const SWEEP_PARAMS: [f64; 7] = [1.0, 3.0, 7.0, 20.0, 70.0, 200.0, 700.0];
+
+/// **A6** — dense scaling-law sweep: register synthetic models along the
+/// parameter axis and measure zero-shot weighted F1, exposing the smooth
+/// emergent curve the coarse built-in ladder (F1) samples.
+pub fn a6_scaling_sweep(cfg: &ExperimentConfig) -> Table {
+    use mhd_llm::zoo::{ModelFamily, ModelSpec};
+    let client = SharedClient::new(cfg.pretrain_seed);
+    // Register the sweep points.
+    for &p in &SWEEP_PARAMS {
+        let name = format!("sweep-{p}b");
+        client
+            .borrow_mut()
+            .register_model(ModelSpec::synthetic(name, p, ModelFamily::OpenChat))
+            .expect("sweep names are fresh");
+    }
+    let mut t = Table::new(
+        "A6: Dense scaling-law sweep (zero-shot weighted F1)",
+        &["params_b", "capability", "dreaddit-s", "swmh-s"],
+    );
+    let d1 = cfg.dataset(DatasetId::DreadditS);
+    let d2 = cfg.dataset(DatasetId::SwmhS);
+    for &p in &SWEEP_PARAMS {
+        let name = format!("sweep-{p}b");
+        let capability = client.borrow().spec(&name).expect("registered").capability();
+        let mut row = vec![format!("{p}"), fmt3(capability)];
+        for d in [&d1, &d2] {
+            let spec = MethodSpec::Llm { model: name.clone(), strategy: Strategy::ZeroShot };
+            let mut det = make_detector(&spec, &client);
+            let r = evaluate(det.as_mut(), d, Split::Test);
+            row.push(fmt3(r.metrics.weighted_f1));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+/// **A7** — ordinal evaluation of the graded tasks: plain accuracy hides
+/// how *far* wrong a grade prediction is; MAE and quadratic weighted kappa
+/// expose it.
+pub fn a7_ordinal(cfg: &ExperimentConfig) -> Table {
+    use mhd_eval::ordinal::{ordinal_mae, quadratic_weighted_kappa};
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "A7: Ordinal metrics on graded tasks",
+        &["method", "dataset", "accuracy", "mae", "qwk"],
+    );
+    for id in [DatasetId::DepSignS, DatasetId::CssrsS] {
+        let dataset = cfg.dataset(id);
+        for spec in [
+            MethodSpec::Classical(ClassicalKind::Majority),
+            MethodSpec::Classical(ClassicalKind::LogReg),
+            MethodSpec::Classical(ClassicalKind::NaiveBayes),
+            MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+            MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
+        ] {
+            let mut det = make_detector(&spec, &client);
+            let r = evaluate(det.as_mut(), &dataset, Split::Test);
+            t.push_row(vec![
+                r.method.clone(),
+                r.dataset.clone(),
+                fmt3(r.metrics.accuracy),
+                fmt3(ordinal_mae(&r.gold, &r.pred)),
+                fmt3(quadratic_weighted_kappa(&r.gold, &r.pred, dataset.task.n_classes())),
+            ]);
+        }
+    }
+    t
+}
+
+/// **A8** — rationale faithfulness: when a model is asked to reason first
+/// (CoT), do the evidence words it cites actually (a) occur in the post and
+/// (b) belong to lexicon categories consistent with its *answer*? The
+/// interpretability-evaluation axis of the MentaLLaMA line.
+pub fn a8_rationale_quality(cfg: &ExperimentConfig) -> Table {
+    use mhd_llm::client::ChatRequest;
+    use mhd_prompts::template::build_prompt;
+    use mhd_text::lexicon::Lexicon;
+    use mhd_text::tokenize::words;
+
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let lexicon = Lexicon::standard();
+    let dataset = cfg.dataset(DatasetId::SdcnlS);
+    let test = dataset.split(Split::Test);
+    let mut t = Table::new(
+        "A8: CoT rationale quality (sdcnl-s)",
+        &["model", "rationale_rate", "grounded_rate", "mean_cited_words"],
+    );
+    for model in ["sim-llama-7b", "sim-gpt-4"] {
+        let mut with_rationale = 0usize;
+        let mut grounded = 0usize;
+        let mut cited_total = 0usize;
+        let mut cited_in_post = 0usize;
+        for e in &test {
+            let prompt = build_prompt(&dataset.task, Strategy::ZeroShotCot, &e.text, &[]);
+            let req =
+                ChatRequest { model: model.into(), prompt, temperature: 0.0, seed: e.id };
+            let Ok(resp) = client.borrow().complete(&req) else { continue };
+            let cited = extract_cited_words(&resp.text);
+            if cited.is_empty() {
+                continue;
+            }
+            with_rationale += 1;
+            cited_total += cited.len();
+            let post_words = words(&e.text);
+            let all_in_post = cited.iter().all(|w| post_words.contains(w));
+            cited_in_post += cited.iter().filter(|w| post_words.contains(*w)).count();
+            // Grounded: every cited word appears in the post and at least
+            // one carries lexicon signal.
+            let any_signal = cited.iter().any(|w| !lexicon.categories(w).is_empty());
+            if all_in_post && any_signal {
+                grounded += 1;
+            }
+        }
+        let n = test.len().max(1) as f64;
+        let _ = cited_in_post;
+        t.push_row(vec![
+            model.to_string(),
+            fmt3(with_rationale as f64 / n),
+            fmt3(if with_rationale == 0 { 0.0 } else { grounded as f64 / with_rationale as f64 }),
+            format!("{:.1}", if with_rationale == 0 { 0.0 } else { cited_total as f64 / with_rationale as f64 }),
+        ]);
+    }
+    t
+}
+
+/// Seeds used by the A9 variance study.
+pub const VARIANCE_SEEDS: [u64; 3] = [42, 7, 2024];
+
+/// **A9** — seed variance: mean ± spread of weighted F1 over independent
+/// dataset-generation seeds, for one method per family. The "we report the
+/// mean over three runs" hygiene every benchmark paper owes its readers.
+pub fn a9_seed_variance(cfg: &ExperimentConfig) -> Table {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let mut t = Table::new(
+        "A9: Weighted-F1 variance over dataset seeds (dreaddit-s)",
+        &["method", "mean", "min", "max", "spread"],
+    );
+    for spec in [
+        MethodSpec::Classical(ClassicalKind::LogReg),
+        MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+        MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
+    ] {
+        let mut scores = Vec::with_capacity(VARIANCE_SEEDS.len());
+        for &seed in &VARIANCE_SEEDS {
+            let dataset = build_dataset(
+                DatasetId::DreadditS,
+                &BuildConfig { seed, scale: cfg.scale, label_noise: None },
+            );
+            let mut det = make_detector(&spec, &client);
+            let r = evaluate(det.as_mut(), &dataset, Split::Test);
+            scores.push(r.metrics.weighted_f1);
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        t.push_row(vec![
+            spec.name(),
+            fmt3(mean),
+            fmt3(min),
+            fmt3(max),
+            fmt3(max - min),
+        ]);
+    }
+    t
+}
+
+/// Pull the quoted evidence words out of a CoT completion
+/// (`Reasoning: the post mentions "w1", "w2"…`).
+fn extract_cited_words(completion: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = completion;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(end) = after.find('"') else { break };
+        let word = &after[..end];
+        if !word.is_empty() && word.len() < 24 && !word.contains(' ') {
+            out.push(word.to_lowercase());
+        }
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { seed: 42, scale: 0.08, pretrain_seed: 1234 }
+    }
+
+    #[test]
+    fn a1_covers_selectors() {
+        let t = a1_selector_ablation(&tiny());
+        assert_eq!(t.n_rows(), 3 * 3);
+        assert!(t.to_csv().contains("similarity"));
+    }
+
+    #[test]
+    fn a2_has_pairs_and_valid_pvalues() {
+        let t = a2_significance(&tiny());
+        assert_eq!(t.n_rows(), 5);
+        for row in t.rows() {
+            let p: f64 = row[5].parse().expect("p-value number");
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn a3_sweeps_noise() {
+        let t = a3_label_noise(&tiny());
+        assert_eq!(t.n_rows(), NOISE_LEVELS.len());
+        // Performance at 30% noise must be below performance at 0% for the
+        // trained baseline (column 1 = logreg).
+        let first: f64 = t.rows()[0][1].parse().expect("number");
+        let last: f64 = t.rows()[NOISE_LEVELS.len() - 1][1].parse().expect("number");
+        assert!(last < first, "label noise must hurt trained models: {first} -> {last}");
+    }
+
+    #[test]
+    fn a4_temperature_erodes_parse_rate() {
+        let t = a4_temperature(&tiny());
+        assert_eq!(t.n_rows(), TEMPERATURES.len());
+        let parse_at = |i: usize| -> f64 {
+            t.rows()[i][3].trim_end_matches('%').parse().expect("pct")
+        };
+        assert!(parse_at(TEMPERATURES.len() - 1) <= parse_at(0));
+    }
+
+    #[test]
+    fn a6_sweep_monotone_capability() {
+        let t = a6_scaling_sweep(&tiny());
+        assert_eq!(t.n_rows(), SWEEP_PARAMS.len());
+        let caps: Vec<f64> =
+            t.rows().iter().map(|r| r[1].parse().expect("number")).collect();
+        for w in caps.windows(2) {
+            assert!(w[0] < w[1], "capability must rise with scale: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn a7_ordinal_metrics_sane() {
+        let t = a7_ordinal(&tiny());
+        assert_eq!(t.n_rows(), 2 * 5);
+        for row in t.rows() {
+            let mae: f64 = row[3].parse().expect("mae");
+            let qwk: f64 = row[4].parse().expect("qwk");
+            assert!(mae >= 0.0);
+            assert!((-1.0..=1.0).contains(&qwk));
+        }
+    }
+
+    #[test]
+    fn a8_extracts_rationales() {
+        let t = a8_rationale_quality(&tiny());
+        assert_eq!(t.n_rows(), 2);
+        for row in t.rows() {
+            let rate: f64 = row[1].parse().expect("rate");
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    #[test]
+    fn cited_word_extraction() {
+        let cited = extract_cited_words(
+            "Reasoning: the post mentions \"hopeless\", \"empty\", consistent. Answer: x",
+        );
+        assert_eq!(cited, vec!["hopeless", "empty"]);
+        assert!(extract_cited_words("no quotes here").is_empty());
+    }
+
+    #[test]
+    fn a9_variance_bounds_sane() {
+        let t = a9_seed_variance(&tiny());
+        assert_eq!(t.n_rows(), 3);
+        for row in t.rows() {
+            let mean: f64 = row[1].parse().expect("mean");
+            let min: f64 = row[2].parse().expect("min");
+            let max: f64 = row[3].parse().expect("max");
+            assert!(min <= mean && mean <= max, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn a5_reports_all_aggregations() {
+        let t = a5_user_level(&tiny());
+        assert_eq!(t.n_rows(), 5);
+        assert!(t.to_csv().contains("streak_4"));
+    }
+}

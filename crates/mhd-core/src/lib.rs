@@ -1,0 +1,46 @@
+//! # mhd-core — the benchmark's public API
+//!
+//! Ties the substrate crates into the system a downstream user consumes:
+//!
+//! - [`detector`] — the [`detector::Detector`] trait unifying
+//!   classical classifiers, the neural baseline, prompted LLMs and
+//!   fine-tuned LLMs behind one interface;
+//! - [`methods`] — the benchmark's method roster and detector factory;
+//! - [`pipeline`] — run a detector over a dataset split and score it;
+//! - [`experiments`] — one function per table/figure of the survey
+//!   (T1–T6, F1–F5), each returning a renderable [`mhd_eval::Table`];
+//! - [`report`] — assemble full benchmark reports;
+//! - [`user_level`] — longitudinal user-level screening (CLPsych/eRisk
+//!   style) with earliness metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mhd_core::methods::{make_detector, MethodSpec, SharedClient};
+//! use mhd_core::pipeline::evaluate;
+//! use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+//! use mhd_corpus::Split;
+//! use mhd_prompts::Strategy;
+//!
+//! let cfg = BuildConfig { seed: 42, scale: 0.05, label_noise: None };
+//! let dataset = build_dataset(DatasetId::SdcnlS, &cfg);
+//! let client = SharedClient::new(1234);
+//! let mut detector = make_detector(
+//!     &MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+//!     &client,
+//! );
+//! let result = evaluate(detector.as_mut(), &dataset, Split::Test);
+//! assert!(result.metrics.accuracy > 0.5);
+//! ```
+
+pub mod detector;
+pub mod experiments;
+pub mod experiments_ext;
+pub mod methods;
+pub mod pipeline;
+pub mod report;
+pub mod user_level;
+
+pub use detector::{Detector, Prediction};
+pub use methods::{make_detector, MethodSpec, SharedClient};
+pub use pipeline::{evaluate, EvalResult};

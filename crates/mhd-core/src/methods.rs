@@ -1,0 +1,501 @@
+//! The benchmark's method roster and detector factory.
+
+use crate::detector::{Detector, Prediction};
+use mhd_corpus::dataset::{Dataset, Split};
+use mhd_corpus::taxonomy::Task;
+use mhd_llm::client::{ChatRequest, LlmClient};
+use mhd_llm::finetune::FineTuneJob;
+use mhd_models::{
+    EncoderClassifier, LexiconRule, LinearSvm, LogisticRegression, Majority, NaiveBayes,
+    TextClassifier, UniformRandom,
+};
+use mhd_prompts::select::{DemoSelector, SelectorKind};
+use mhd_prompts::template::{build_prompt, Strategy};
+use mhd_prompts::output::parse_label;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared handle to the simulated LLM service. Single-threaded by design:
+/// the benchmark is deterministic and the client caches responses.
+#[derive(Clone)]
+pub struct SharedClient(Rc<RefCell<LlmClient>>);
+
+impl SharedClient {
+    /// Create a service with the given pretraining seed.
+    pub fn new(pretrain_seed: u64) -> Self {
+        SharedClient(Rc::new(RefCell::new(LlmClient::new(pretrain_seed))))
+    }
+
+    /// Borrow the client immutably.
+    pub fn borrow(&self) -> std::cell::Ref<'_, LlmClient> {
+        self.0.borrow()
+    }
+
+    /// Borrow the client mutably (fine-tuning).
+    pub fn borrow_mut(&self) -> std::cell::RefMut<'_, LlmClient> {
+        self.0.borrow_mut()
+    }
+}
+
+/// Which classical baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassicalKind {
+    /// Majority-class floor.
+    Majority,
+    /// Uniform random floor.
+    Random,
+    /// Lexicon nearest-centroid rule.
+    Lexicon,
+    /// Multinomial Naive Bayes.
+    NaiveBayes,
+    /// Logistic regression over TF-IDF.
+    LogReg,
+    /// Linear SVM over TF-IDF.
+    Svm,
+    /// "bert-mini" neural encoder.
+    BertMini,
+}
+
+impl ClassicalKind {
+    /// The full classical roster.
+    pub const ALL: [ClassicalKind; 7] = [
+        ClassicalKind::Majority,
+        ClassicalKind::Random,
+        ClassicalKind::Lexicon,
+        ClassicalKind::NaiveBayes,
+        ClassicalKind::LogReg,
+        ClassicalKind::Svm,
+        ClassicalKind::BertMini,
+    ];
+}
+
+/// Full method specification — a row of Table T2.
+#[derive(Debug, Clone)]
+pub enum MethodSpec {
+    /// A trained non-LLM baseline.
+    Classical(ClassicalKind),
+    /// A prompted LLM.
+    Llm {
+        /// Model id in the zoo.
+        model: String,
+        /// Prompting strategy.
+        strategy: Strategy,
+    },
+    /// An instruction-fine-tuned LLM.
+    FineTuned {
+        /// Base model id.
+        base: String,
+        /// Cap on fine-tuning examples (None = full train split).
+        max_train: Option<usize>,
+    },
+}
+
+impl MethodSpec {
+    /// Table row name.
+    pub fn name(&self) -> String {
+        match self {
+            MethodSpec::Classical(k) => match k {
+                ClassicalKind::Majority => "majority".to_string(),
+                ClassicalKind::Random => "random".to_string(),
+                ClassicalKind::Lexicon => "lexicon".to_string(),
+                ClassicalKind::NaiveBayes => "naive_bayes".to_string(),
+                ClassicalKind::LogReg => "logreg_tfidf".to_string(),
+                ClassicalKind::Svm => "svm_tfidf".to_string(),
+                ClassicalKind::BertMini => "bert_mini".to_string(),
+            },
+            MethodSpec::Llm { model, strategy } => format!("{model}/{}", strategy.name()),
+            MethodSpec::FineTuned { base, max_train } => match max_train {
+                Some(n) => format!("ft:{base}@{n}"),
+                None => format!("ft:{base}"),
+            },
+        }
+    }
+}
+
+/// Build a ready-to-prepare detector from a spec.
+pub fn make_detector(spec: &MethodSpec, client: &SharedClient) -> Box<dyn Detector> {
+    match spec {
+        MethodSpec::Classical(kind) => Box::new(ClassifierDetector::new(*kind)),
+        MethodSpec::Llm { model, strategy } => Box::new(PromptDetector::new(
+            client.clone(),
+            model.clone(),
+            *strategy,
+            SelectorKind::Stratified,
+        )),
+        MethodSpec::FineTuned { base, max_train } => {
+            Box::new(FineTunedDetector::new(client.clone(), base.clone(), *max_train))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classical detector
+// ---------------------------------------------------------------------------
+
+/// Wraps any [`TextClassifier`] as a [`Detector`].
+pub struct ClassifierDetector {
+    kind: ClassicalKind,
+    model: Option<Box<dyn TextClassifier>>,
+}
+
+impl ClassifierDetector {
+    /// New, unprepared.
+    pub fn new(kind: ClassicalKind) -> Self {
+        ClassifierDetector { kind, model: None }
+    }
+
+    fn build(kind: ClassicalKind) -> Box<dyn TextClassifier> {
+        match kind {
+            ClassicalKind::Majority => Box::new(Majority::new()),
+            ClassicalKind::Random => Box::new(UniformRandom::new(7)),
+            ClassicalKind::Lexicon => Box::new(LexiconRule::new()),
+            ClassicalKind::NaiveBayes => Box::new(NaiveBayes::new()),
+            ClassicalKind::LogReg => Box::new(LogisticRegression::new()),
+            ClassicalKind::Svm => Box::new(LinearSvm::new()),
+            ClassicalKind::BertMini => Box::new(EncoderClassifier::new()),
+        }
+    }
+}
+
+impl Detector for ClassifierDetector {
+    fn name(&self) -> String {
+        MethodSpec::Classical(self.kind).name()
+    }
+
+    fn prepare(&mut self, dataset: &Dataset) {
+        let mut model = Self::build(self.kind);
+        let train = dataset.split(Split::Train);
+        let texts: Vec<&str> = train.iter().map(|e| e.text.as_str()).collect();
+        let labels: Vec<usize> = train.iter().map(|e| e.label).collect();
+        model.fit(&texts, &labels, dataset.task.n_classes());
+        self.model = Some(model);
+    }
+
+    fn detect(&self, _task: &Task, texts: &[&str], _ids: &[u64]) -> Vec<Prediction> {
+        let model = self.model.as_ref().expect("prepare before detect");
+        texts
+            .iter()
+            .map(|t| {
+                let proba = model.predict_proba(t);
+                let label = argmax(&proba);
+                Prediction::new(label, proba[label])
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prompted-LLM detector
+// ---------------------------------------------------------------------------
+
+/// Prompts a (simulated) LLM per post and parses the completion.
+pub struct PromptDetector {
+    client: SharedClient,
+    model: String,
+    strategy: Strategy,
+    selector_kind: SelectorKind,
+    selector: Option<DemoSelector>,
+    fallback_label: usize,
+    temperature: f64,
+}
+
+impl PromptDetector {
+    /// New detector for a model/strategy pair.
+    pub fn new(
+        client: SharedClient,
+        model: String,
+        strategy: Strategy,
+        selector_kind: SelectorKind,
+    ) -> Self {
+        PromptDetector {
+            client,
+            model,
+            strategy,
+            selector_kind,
+            selector: None,
+            fallback_label: 0,
+            temperature: 0.0,
+        }
+    }
+
+    /// Override the sampling temperature (default 0).
+    pub fn with_temperature(mut self, t: f64) -> Self {
+        self.temperature = t;
+        self
+    }
+}
+
+impl Detector for PromptDetector {
+    fn name(&self) -> String {
+        format!("{}/{}", self.model, self.strategy.name())
+    }
+
+    fn prepare(&mut self, dataset: &Dataset) {
+        let train = dataset.split(Split::Train);
+        // Majority train class as parse-failure fallback (papers' default).
+        let mut counts = vec![0usize; dataset.task.n_classes()];
+        for e in &train {
+            counts[e.label] += 1;
+        }
+        self.fallback_label = argmax_usize(&counts);
+        if self.strategy.shots() > 0 {
+            let texts: Vec<String> = train.iter().map(|e| e.text.clone()).collect();
+            let labels: Vec<String> =
+                train.iter().map(|e| dataset.task.labels[e.label].to_string()).collect();
+            self.selector = Some(DemoSelector::new(self.selector_kind, texts, labels, 77));
+        }
+    }
+
+    fn detect(&self, task: &Task, texts: &[&str], ids: &[u64]) -> Vec<Prediction> {
+        assert_eq!(texts.len(), ids.len());
+        let client = self.client.borrow();
+        texts
+            .iter()
+            .zip(ids)
+            .map(|(text, &id)| {
+                let demos = match &self.selector {
+                    Some(sel) => sel.select(text, id, self.strategy.shots()),
+                    None => Vec::new(),
+                };
+                let prompt = build_prompt(task, self.strategy, text, &demos);
+                let req = ChatRequest {
+                    model: self.model.clone(),
+                    prompt,
+                    temperature: self.temperature,
+                    seed: id,
+                };
+                match client.complete(&req) {
+                    Ok(resp) => {
+                        let (label, _outcome) = parse_label(&resp.text, &task.labels);
+                        match label {
+                            Some(l) => Prediction {
+                                label: l,
+                                confidence: resp.top_prob.unwrap_or(0.5),
+                                parse_failed: false,
+                                refused: resp.refused,
+                            },
+                            None => Prediction {
+                                label: self.fallback_label,
+                                confidence: 1.0 / task.n_classes() as f64,
+                                parse_failed: true,
+                                refused: resp.refused,
+                            },
+                        }
+                    }
+                    Err(_) => Prediction {
+                        label: self.fallback_label,
+                        confidence: 1.0 / task.n_classes() as f64,
+                        parse_failed: true,
+                        refused: false,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fine-tuned-LLM detector
+// ---------------------------------------------------------------------------
+
+/// Instruction-fine-tunes a base model on the training split, then prompts
+/// the fine-tuned model.
+pub struct FineTunedDetector {
+    client: SharedClient,
+    base: String,
+    max_train: Option<usize>,
+    ft_model: Option<String>,
+    fallback_label: usize,
+}
+
+impl FineTunedDetector {
+    /// New detector; fine-tuning happens in `prepare`.
+    pub fn new(client: SharedClient, base: String, max_train: Option<usize>) -> Self {
+        FineTunedDetector { client, base, max_train, ft_model: None, fallback_label: 0 }
+    }
+
+    /// The fine-tuned model id (after `prepare`).
+    pub fn model_id(&self) -> Option<&str> {
+        self.ft_model.as_deref()
+    }
+}
+
+impl Detector for FineTunedDetector {
+    fn name(&self) -> String {
+        MethodSpec::FineTuned { base: self.base.clone(), max_train: self.max_train }.name()
+    }
+
+    fn prepare(&mut self, dataset: &Dataset) {
+        let train = dataset.split(Split::Train);
+        let mut counts = vec![0usize; dataset.task.n_classes()];
+        for e in &train {
+            counts[e.label] += 1;
+        }
+        self.fallback_label = argmax_usize(&counts);
+        let cap = self.max_train.unwrap_or(usize::MAX);
+        let examples: Vec<(String, String)> = train
+            .iter()
+            .take(cap)
+            .map(|e| {
+                let prompt = build_prompt(&dataset.task, Strategy::ZeroShot, &e.text, &[]);
+                (prompt, dataset.task.labels[e.label].to_string())
+            })
+            .collect();
+        let job = FineTuneJob::new(self.base.clone(), examples);
+        let ft_id = self
+            .client
+            .borrow_mut()
+            .fine_tune(&job)
+            .expect("fine-tune jobs built from a dataset are well-formed");
+        self.ft_model = Some(ft_id);
+    }
+
+    fn detect(&self, task: &Task, texts: &[&str], ids: &[u64]) -> Vec<Prediction> {
+        let model = self.ft_model.clone().expect("prepare before detect");
+        let client = self.client.borrow();
+        texts
+            .iter()
+            .zip(ids)
+            .map(|(text, &id)| {
+                let prompt = build_prompt(task, Strategy::ZeroShot, text, &[]);
+                let req = ChatRequest { model: model.clone(), prompt, temperature: 0.0, seed: id };
+                match client.complete(&req) {
+                    Ok(resp) => match parse_label(&resp.text, &task.labels).0 {
+                        Some(l) => Prediction::new(l, 0.9),
+                        None => Prediction {
+                            label: self.fallback_label,
+                            confidence: 1.0 / task.n_classes() as f64,
+                            parse_failed: true,
+                            refused: resp.refused,
+                        },
+                    },
+                    Err(_) => Prediction {
+                        label: self.fallback_label,
+                        confidence: 1.0 / task.n_classes() as f64,
+                        parse_failed: true,
+                        refused: false,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmax_usize(xs: &[usize]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+
+    fn tiny_dataset() -> Dataset {
+        build_dataset(DatasetId::SdcnlS, &BuildConfig { seed: 5, scale: 0.15, label_noise: Some(0.0) })
+    }
+
+    #[test]
+    fn classical_detector_runs() {
+        let d = tiny_dataset();
+        let mut det = ClassifierDetector::new(ClassicalKind::NaiveBayes);
+        det.prepare(&d);
+        let test = d.split(Split::Test);
+        let texts: Vec<&str> = test.iter().map(|e| e.text.as_str()).collect();
+        let ids: Vec<u64> = test.iter().map(|e| e.id).collect();
+        let preds = det.detect(&d.task, &texts, &ids);
+        assert_eq!(preds.len(), texts.len());
+        assert!(preds.iter().all(|p| p.label < d.task.n_classes()));
+    }
+
+    #[test]
+    fn prompt_detector_zero_shot() {
+        let d = tiny_dataset();
+        let client = SharedClient::new(1234);
+        let mut det = PromptDetector::new(
+            client,
+            "sim-gpt-4".into(),
+            Strategy::ZeroShot,
+            SelectorKind::Stratified,
+        );
+        det.prepare(&d);
+        let test = d.split(Split::Test);
+        let texts: Vec<&str> = test.iter().map(|e| e.text.as_str()).collect();
+        let ids: Vec<u64> = test.iter().map(|e| e.id).collect();
+        let preds = det.detect(&d.task, &texts, &ids);
+        let correct = preds
+            .iter()
+            .zip(&test)
+            .filter(|(p, e)| p.label == e.label)
+            .count();
+        let acc = correct as f64 / preds.len() as f64;
+        assert!(acc > 0.55, "gpt-4 zero-shot accuracy on sdcnl-s: {acc}");
+    }
+
+    #[test]
+    fn few_shot_detector_uses_selector() {
+        let d = tiny_dataset();
+        let client = SharedClient::new(1234);
+        let mut det = PromptDetector::new(
+            client,
+            "sim-gpt-3.5".into(),
+            Strategy::FewShot(4),
+            SelectorKind::Stratified,
+        );
+        det.prepare(&d);
+        let preds = det.detect(&d.task, &["i want to end my life, goodbye"], &[0]);
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn finetuned_detector_roundtrip() {
+        let d = tiny_dataset();
+        let client = SharedClient::new(1234);
+        let mut det = FineTunedDetector::new(client, "sim-llama-7b".into(), Some(40));
+        det.prepare(&d);
+        assert!(det.model_id().expect("ft id").starts_with("ft:sim-llama-7b"));
+        let test = d.split(Split::Test);
+        let texts: Vec<&str> = test.iter().map(|e| e.text.as_str()).collect();
+        let ids: Vec<u64> = test.iter().map(|e| e.id).collect();
+        let preds = det.detect(&d.task, &texts, &ids);
+        let acc = preds.iter().zip(&test).filter(|(p, e)| p.label == e.label).count() as f64
+            / preds.len() as f64;
+        assert!(acc > 0.55, "fine-tuned accuracy {acc}");
+    }
+
+    #[test]
+    fn method_spec_names() {
+        assert_eq!(MethodSpec::Classical(ClassicalKind::LogReg).name(), "logreg_tfidf");
+        assert_eq!(
+            MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot }.name(),
+            "sim-gpt-4/zero_shot"
+        );
+        assert_eq!(
+            MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: Some(100) }.name(),
+            "ft:sim-llama-7b@100"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "prepare before detect")]
+    fn detect_requires_prepare() {
+        let d = tiny_dataset();
+        let det = ClassifierDetector::new(ClassicalKind::Majority);
+        det.detect(&d.task, &["x"], &[0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Run a detector over a dataset split and score it.
+
+use crate::detector::Detector;
+use mhd_corpus::dataset::{Dataset, Split};
+use mhd_eval::metrics::Metrics;
+
+/// Evaluation outcome for one (method, dataset, split) triple.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Gold labels in split order.
+    pub gold: Vec<usize>,
+    /// Predicted labels in split order.
+    pub pred: Vec<usize>,
+    /// Prediction confidences in split order.
+    pub confidence: Vec<f64>,
+    /// Number of unparseable LLM completions (fallback used).
+    pub n_parse_failures: usize,
+    /// Number of refusals.
+    pub n_refusals: usize,
+    /// Computed metrics.
+    pub metrics: Metrics,
+}
+
+impl EvalResult {
+    /// Parse-success rate.
+    pub fn parse_rate(&self) -> f64 {
+        if self.pred.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.n_parse_failures as f64 / self.pred.len() as f64
+    }
+
+    /// Per-example correctness flags (for McNemar and calibration).
+    pub fn correct_flags(&self) -> Vec<bool> {
+        self.gold.iter().zip(&self.pred).map(|(g, p)| g == p).collect()
+    }
+}
+
+/// Prepare the detector on the dataset and evaluate it on `split`.
+pub fn evaluate(detector: &mut dyn Detector, dataset: &Dataset, split: Split) -> EvalResult {
+    detector.prepare(dataset);
+    evaluate_prepared(detector, dataset, split)
+}
+
+/// Evaluate an already-prepared detector (used when one preparation serves
+/// several evaluations, e.g. the robustness table).
+pub fn evaluate_prepared(detector: &dyn Detector, dataset: &Dataset, split: Split) -> EvalResult {
+    let examples = dataset.split(split);
+    let texts: Vec<&str> = examples.iter().map(|e| e.text.as_str()).collect();
+    let ids: Vec<u64> = examples.iter().map(|e| e.id).collect();
+    let gold: Vec<usize> = examples.iter().map(|e| e.label).collect();
+    let predictions = detector.detect(&dataset.task, &texts, &ids);
+    assert_eq!(predictions.len(), texts.len(), "detector must label every post");
+    let pred: Vec<usize> = predictions.iter().map(|p| p.label).collect();
+    let confidence: Vec<f64> = predictions.iter().map(|p| p.confidence).collect();
+    let n_parse_failures = predictions.iter().filter(|p| p.parse_failed).count();
+    let n_refusals = predictions.iter().filter(|p| p.refused).count();
+    let metrics = Metrics::compute(&gold, &pred, dataset.task.n_classes());
+    EvalResult {
+        method: detector.name(),
+        dataset: dataset.name.to_string(),
+        gold,
+        pred,
+        confidence,
+        n_parse_failures,
+        n_refusals,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{ClassifierDetector, ClassicalKind};
+    use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+
+    fn tiny() -> Dataset {
+        build_dataset(DatasetId::DreadditS, &BuildConfig { seed: 9, scale: 0.08, label_noise: Some(0.0) })
+    }
+
+    #[test]
+    fn evaluate_produces_aligned_outputs() {
+        let d = tiny();
+        let mut det = ClassifierDetector::new(ClassicalKind::LogReg);
+        let r = evaluate(&mut det, &d, Split::Test);
+        assert_eq!(r.gold.len(), d.split_len(Split::Test));
+        assert_eq!(r.gold.len(), r.pred.len());
+        assert_eq!(r.gold.len(), r.confidence.len());
+        assert_eq!(r.method, "logreg_tfidf");
+        assert_eq!(r.dataset, "dreaddit-s");
+        assert_eq!(r.n_parse_failures, 0);
+        assert_eq!(r.parse_rate(), 1.0);
+    }
+
+    #[test]
+    fn trained_model_beats_chance_on_clean_data() {
+        let d = tiny();
+        let mut det = ClassifierDetector::new(ClassicalKind::LogReg);
+        let r = evaluate(&mut det, &d, Split::Test);
+        assert!(r.metrics.accuracy > 0.7, "accuracy {}", r.metrics.accuracy);
+    }
+
+    #[test]
+    fn correct_flags_align() {
+        let d = tiny();
+        let mut det = ClassifierDetector::new(ClassicalKind::Majority);
+        let r = evaluate(&mut det, &d, Split::Test);
+        let flags = r.correct_flags();
+        let acc = flags.iter().filter(|&&b| b).count() as f64 / flags.len() as f64;
+        assert!((acc - r.metrics.accuracy).abs() < 1e-12);
+    }
+}

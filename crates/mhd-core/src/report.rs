@@ -1,0 +1,199 @@
+//! Assemble full benchmark reports.
+
+use crate::experiments::{
+    f1_scale_curve, f2_fewshot_sweep, f3_calibration, f4_confusion, f5_finetune_curve,
+    t1_dataset_stats, t2_main_results, t3_prompting, t4_finetune, t5_robustness, t6_cost,
+    ExperimentConfig,
+};
+use crate::experiments_ext::{
+    a1_selector_ablation, a2_significance, a3_label_noise, a4_temperature, a5_user_level,
+    a6_scaling_sweep, a7_ordinal, a8_rationale_quality, a9_seed_variance,
+};
+use mhd_eval::table::Table;
+
+/// Identifier of a reproducible artifact (table or figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Artifact {
+    /// Dataset statistics.
+    T1,
+    /// Main results.
+    T2,
+    /// Prompting ablation.
+    T3,
+    /// Fine-tuning study.
+    T4,
+    /// Robustness.
+    T5,
+    /// Cost/efficiency.
+    T6,
+    /// Scale curve.
+    F1,
+    /// Few-shot sweep.
+    F2,
+    /// Calibration.
+    F3,
+    /// Confusion matrix.
+    F4,
+    /// Fine-tune learning curve.
+    F5,
+    /// Appendix: demonstration-selector ablation.
+    A1,
+    /// Appendix: McNemar significance tests.
+    A2,
+    /// Appendix: label-noise sensitivity.
+    A3,
+    /// Appendix: temperature sensitivity.
+    A4,
+    /// Appendix: user-level screening.
+    A5,
+    /// Appendix: dense scaling-law sweep.
+    A6,
+    /// Appendix: ordinal metrics on graded tasks.
+    A7,
+    /// Appendix: CoT rationale quality.
+    A8,
+    /// Appendix: seed variance.
+    A9,
+}
+
+impl Artifact {
+    /// All artifacts in report order.
+    pub const ALL: [Artifact; 20] = [
+        Artifact::T1,
+        Artifact::T2,
+        Artifact::T3,
+        Artifact::T4,
+        Artifact::T5,
+        Artifact::T6,
+        Artifact::F1,
+        Artifact::F2,
+        Artifact::F3,
+        Artifact::F4,
+        Artifact::F5,
+        Artifact::A1,
+        Artifact::A2,
+        Artifact::A3,
+        Artifact::A4,
+        Artifact::A5,
+        Artifact::A6,
+        Artifact::A7,
+        Artifact::A8,
+        Artifact::A9,
+    ];
+
+    /// Parse "t1"…"f5" (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Artifact> {
+        Some(match name.to_lowercase().as_str() {
+            "t1" => Artifact::T1,
+            "t2" => Artifact::T2,
+            "t3" => Artifact::T3,
+            "t4" => Artifact::T4,
+            "t5" => Artifact::T5,
+            "t6" => Artifact::T6,
+            "f1" => Artifact::F1,
+            "f2" => Artifact::F2,
+            "f3" => Artifact::F3,
+            "f4" => Artifact::F4,
+            "f5" => Artifact::F5,
+            "a1" => Artifact::A1,
+            "a2" => Artifact::A2,
+            "a3" => Artifact::A3,
+            "a4" => Artifact::A4,
+            "a5" => Artifact::A5,
+            "a6" => Artifact::A6,
+            "a7" => Artifact::A7,
+            "a8" => Artifact::A8,
+            "a9" => Artifact::A9,
+            _ => return None,
+        })
+    }
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Artifact::T1 => "t1",
+            Artifact::T2 => "t2",
+            Artifact::T3 => "t3",
+            Artifact::T4 => "t4",
+            Artifact::T5 => "t5",
+            Artifact::T6 => "t6",
+            Artifact::F1 => "f1",
+            Artifact::F2 => "f2",
+            Artifact::F3 => "f3",
+            Artifact::F4 => "f4",
+            Artifact::F5 => "f5",
+            Artifact::A1 => "a1",
+            Artifact::A2 => "a2",
+            Artifact::A3 => "a3",
+            Artifact::A4 => "a4",
+            Artifact::A5 => "a5",
+            Artifact::A6 => "a6",
+            Artifact::A7 => "a7",
+            Artifact::A8 => "a8",
+            Artifact::A9 => "a9",
+        }
+    }
+
+    /// Generate the artifact's table.
+    pub fn generate(self, cfg: &ExperimentConfig) -> Table {
+        match self {
+            Artifact::T1 => t1_dataset_stats(cfg),
+            Artifact::T2 => t2_main_results(cfg),
+            Artifact::T3 => t3_prompting(cfg),
+            Artifact::T4 => t4_finetune(cfg),
+            Artifact::T5 => t5_robustness(cfg),
+            Artifact::T6 => t6_cost(cfg),
+            Artifact::F1 => f1_scale_curve(cfg),
+            Artifact::F2 => f2_fewshot_sweep(cfg),
+            Artifact::F3 => f3_calibration(cfg),
+            Artifact::F4 => f4_confusion(cfg),
+            Artifact::F5 => f5_finetune_curve(cfg),
+            Artifact::A1 => a1_selector_ablation(cfg),
+            Artifact::A2 => a2_significance(cfg),
+            Artifact::A3 => a3_label_noise(cfg),
+            Artifact::A4 => a4_temperature(cfg),
+            Artifact::A5 => a5_user_level(cfg),
+            Artifact::A6 => a6_scaling_sweep(cfg),
+            Artifact::A7 => a7_ordinal(cfg),
+            Artifact::A8 => a8_rationale_quality(cfg),
+            Artifact::A9 => a9_seed_variance(cfg),
+        }
+    }
+}
+
+/// Generate every artifact and render one markdown report.
+pub fn full_report(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    out.push_str("# mhd benchmark report\n\n");
+    out.push_str(&format!(
+        "seed = {}, dataset scale = {}, pretrain seed = {}\n\n",
+        cfg.seed, cfg.scale, cfg.pretrain_seed
+    ));
+    for artifact in Artifact::ALL {
+        out.push_str(&artifact.generate(cfg).to_markdown());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_names_roundtrip() {
+        for a in Artifact::ALL {
+            assert_eq!(Artifact::from_name(a.name()), Some(a));
+        }
+        assert_eq!(Artifact::from_name("T2"), Some(Artifact::T2));
+        assert_eq!(Artifact::from_name("nope"), None);
+    }
+
+    #[test]
+    fn single_artifact_generates() {
+        let cfg = ExperimentConfig { seed: 1, scale: 0.06, pretrain_seed: 1234 };
+        let t = Artifact::T1.generate(&cfg);
+        assert!(t.n_rows() > 0);
+        assert!(t.to_markdown().contains("T1"));
+    }
+}

@@ -1,0 +1,304 @@
+//! User-level detection over longitudinal timelines.
+//!
+//! Post-level detectors answer "is this *post* symptomatic?"; deployments
+//! and the CLPsych/eRisk line of work need "is this *user* at risk, and how
+//! early can we tell?". This module aggregates post-level probabilities
+//! into user-level decisions and scores both accuracy and *earliness*
+//! (an ERDE-style latency-weighted metric).
+
+use crate::detector::Detector;
+use mhd_corpus::longitudinal::UserTimeline;
+use mhd_corpus::taxonomy::Task;
+
+/// How per-post positive probabilities combine into a user decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// User is positive when the fraction of positive posts exceeds the
+    /// threshold.
+    VoteFraction(f64),
+    /// User is positive when the mean positive probability exceeds the
+    /// threshold.
+    MeanProb(f64),
+    /// User is positive as soon as `n` consecutive posts are positive — the
+    /// streak rule used by early-risk systems to suppress one-off spikes.
+    ConsecutivePositives(usize),
+}
+
+impl Aggregation {
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Aggregation::VoteFraction(t) => format!("vote>{t:.2}"),
+            Aggregation::MeanProb(t) => format!("mean_prob>{t:.2}"),
+            Aggregation::ConsecutivePositives(n) => format!("streak_{n}"),
+        }
+    }
+}
+
+/// Outcome of screening one user.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserDecision {
+    /// Flagged as at-risk?
+    pub positive: bool,
+    /// Day of the first post that completed the positive evidence (None when
+    /// never flagged). Used for earliness scoring.
+    pub decision_day: Option<u32>,
+}
+
+/// A user-level screener: a post-level detector + an aggregation rule.
+///
+/// The detector must already be prepared on a *post-level* dataset whose
+/// task has the positive class at index `positive_class`.
+pub struct UserScreener<'a> {
+    detector: &'a dyn Detector,
+    task: &'a Task,
+    positive_class: usize,
+    aggregation: Aggregation,
+}
+
+impl<'a> UserScreener<'a> {
+    /// Create a screener.
+    pub fn new(
+        detector: &'a dyn Detector,
+        task: &'a Task,
+        positive_class: usize,
+        aggregation: Aggregation,
+    ) -> Self {
+        assert!(positive_class < task.n_classes(), "positive class out of range");
+        UserScreener { detector, task, positive_class, aggregation }
+    }
+
+    /// Screen one user over their whole timeline.
+    pub fn screen(&self, user: &UserTimeline) -> UserDecision {
+        let texts: Vec<&str> = user.posts.iter().map(|p| p.text.as_str()).collect();
+        let ids: Vec<u64> = (0..texts.len() as u64)
+            .map(|i| user.user_id.wrapping_mul(100_000) + i)
+            .collect();
+        let predictions = self.detector.detect(self.task, &texts, &ids);
+        let positives: Vec<bool> =
+            predictions.iter().map(|p| p.label == self.positive_class).collect();
+        let probs: Vec<f64> = predictions
+            .iter()
+            .map(|p| if p.label == self.positive_class { p.confidence } else { 1.0 - p.confidence })
+            .collect();
+        match self.aggregation {
+            Aggregation::VoteFraction(threshold) => {
+                // Walk the timeline; flag at the first prefix whose positive
+                // fraction exceeds the threshold with ≥3 posts seen.
+                let mut n_pos = 0usize;
+                for (i, &is_pos) in positives.iter().enumerate() {
+                    if is_pos {
+                        n_pos += 1;
+                    }
+                    let seen = i + 1;
+                    if seen >= 3 && n_pos as f64 / seen as f64 > threshold {
+                        return UserDecision { positive: true, decision_day: Some(user.posts[i].day) };
+                    }
+                }
+                UserDecision { positive: false, decision_day: None }
+            }
+            Aggregation::MeanProb(threshold) => {
+                let mut sum = 0.0;
+                for (i, &p) in probs.iter().enumerate() {
+                    sum += p;
+                    let seen = (i + 1) as f64;
+                    if i + 1 >= 3 && sum / seen > threshold {
+                        return UserDecision { positive: true, decision_day: Some(user.posts[i].day) };
+                    }
+                }
+                UserDecision { positive: false, decision_day: None }
+            }
+            Aggregation::ConsecutivePositives(n) => {
+                let n = n.max(1);
+                let mut streak = 0usize;
+                for (i, &is_pos) in positives.iter().enumerate() {
+                    streak = if is_pos { streak + 1 } else { 0 };
+                    if streak >= n {
+                        return UserDecision { positive: true, decision_day: Some(user.posts[i].day) };
+                    }
+                }
+                UserDecision { positive: false, decision_day: None }
+            }
+        }
+    }
+}
+
+/// Cohort-level screening results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreeningReport {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// Mean detection delay in days after onset, over true positives
+    /// flagged at-or-after onset.
+    pub mean_delay_days: f64,
+    /// Fraction of true positives flagged *before* onset was half-expressed
+    /// (decision_day < onset + 14): the "early" detections.
+    pub early_fraction: f64,
+}
+
+impl ScreeningReport {
+    /// User-level F1 on the positive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.tp as f64 / (self.tp + self.fp).max(1) as f64;
+        let r = self.tp as f64 / (self.tp + self.fn_).max(1) as f64;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// User-level recall (sensitivity) — the screening metric that matters.
+    pub fn recall(&self) -> f64 {
+        self.tp as f64 / (self.tp + self.fn_).max(1) as f64
+    }
+
+    /// False-positive rate over controls.
+    pub fn false_positive_rate(&self) -> f64 {
+        self.fp as f64 / (self.fp + self.tn).max(1) as f64
+    }
+}
+
+/// Screen a whole cohort and report.
+pub fn screen_cohort(screener: &UserScreener<'_>, cohort: &[UserTimeline]) -> ScreeningReport {
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut fn_ = 0;
+    let mut tn = 0;
+    let mut delays = Vec::new();
+    let mut early = 0usize;
+    for user in cohort {
+        let decision = screener.screen(user);
+        match (user.is_positive(), decision.positive) {
+            (true, true) => {
+                tp += 1;
+                let onset = user.onset_day.expect("positive user has onset");
+                if let Some(day) = decision.decision_day {
+                    if day >= onset {
+                        delays.push((day - onset) as f64);
+                    }
+                    if day < onset + 14 {
+                        early += 1;
+                    }
+                }
+            }
+            (true, false) => fn_ += 1,
+            (false, true) => fp += 1,
+            (false, false) => tn += 1,
+        }
+    }
+    let mean_delay_days =
+        if delays.is_empty() { f64::NAN } else { delays.iter().sum::<f64>() / delays.len() as f64 };
+    let early_fraction = if tp == 0 { 0.0 } else { early as f64 / tp as f64 };
+    ScreeningReport { tp, fp, fn_, tn, mean_delay_days, early_fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::{ClassifierDetector, ClassicalKind};
+    use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+    use mhd_corpus::longitudinal::{generate_cohort, TimelineConfig};
+
+    /// Train a post-level detector on tsid-style control-vs-depression data
+    /// reduced to binary.
+    fn prepared_detector() -> (ClassifierDetector, mhd_corpus::dataset::Dataset) {
+        // DepSign binary-ized: use sdcnl-like but we need control class →
+        // use dreaddit? Condition is depression; train on a bespoke binary
+        // dataset: depsign-s with 4 classes won't do. We use the swmh-s
+        // depression/offmychest pair via a filtered dataset.
+        let full = build_dataset(
+            DatasetId::SwmhS,
+            &BuildConfig { seed: 9, scale: 0.4, label_noise: Some(0.0) },
+        );
+        // Build a binary view: offmychest (control-ish, class 4) vs
+        // depression (class 0).
+        let mut binary = full.clone();
+        binary.task = mhd_corpus::taxonomy::Task {
+            name: "user_binary",
+            description: "whether the poster shows signs of depression",
+            labels: vec!["control", "depression"],
+        };
+        binary.examples = full
+            .examples
+            .iter()
+            .filter(|e| e.label == 0 || e.label == 4)
+            .map(|e| {
+                let mut e = e.clone();
+                e.label = if e.label == 0 { 1 } else { 0 };
+                e.true_label = e.label;
+                e
+            })
+            .collect();
+        let mut det = ClassifierDetector::new(ClassicalKind::LogReg);
+        det.prepare(&binary);
+        (det, binary)
+    }
+
+    fn cohort() -> Vec<mhd_corpus::longitudinal::UserTimeline> {
+        generate_cohort(&TimelineConfig {
+            n_positive: 12,
+            n_control: 12,
+            mean_posts: 16.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn screening_separates_users() {
+        let (det, ds) = prepared_detector();
+        let screener = UserScreener::new(&det, &ds.task, 1, Aggregation::VoteFraction(0.4));
+        let report = screen_cohort(&screener, &cohort());
+        assert!(report.recall() > 0.6, "recall {} ({report:?})", report.recall());
+        assert!(report.false_positive_rate() < 0.4, "fpr {} ({report:?})", report.false_positive_rate());
+        assert!(report.f1() > 0.6, "f1 {}", report.f1());
+    }
+
+    #[test]
+    fn streak_rule_suppresses_one_off_spikes() {
+        let (det, ds) = prepared_detector();
+        let loose = UserScreener::new(&det, &ds.task, 1, Aggregation::ConsecutivePositives(1));
+        let strict = UserScreener::new(&det, &ds.task, 1, Aggregation::ConsecutivePositives(4));
+        let c = cohort();
+        let loose_report = screen_cohort(&loose, &c);
+        let strict_report = screen_cohort(&strict, &c);
+        assert!(
+            strict_report.fp <= loose_report.fp,
+            "longer streak must not raise FP: {} vs {}",
+            strict_report.fp,
+            loose_report.fp
+        );
+        assert!(strict_report.tp <= loose_report.tp, "…at some recall cost");
+    }
+
+    #[test]
+    fn detection_happens_after_onset() {
+        let (det, ds) = prepared_detector();
+        let screener = UserScreener::new(&det, &ds.task, 1, Aggregation::VoteFraction(0.4));
+        let report = screen_cohort(&screener, &cohort());
+        if report.tp > 0 && !report.mean_delay_days.is_nan() {
+            assert!(report.mean_delay_days >= 0.0);
+            assert!(report.mean_delay_days < 60.0, "delay {}", report.mean_delay_days);
+        }
+    }
+
+    #[test]
+    fn aggregation_names() {
+        assert_eq!(Aggregation::VoteFraction(0.5).name(), "vote>0.50");
+        assert_eq!(Aggregation::MeanProb(0.6).name(), "mean_prob>0.60");
+        assert_eq!(Aggregation::ConsecutivePositives(3).name(), "streak_3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_positive_class_rejected() {
+        let (det, ds) = prepared_detector();
+        UserScreener::new(&det, &ds.task, 9, Aggregation::MeanProb(0.5));
+    }
+}

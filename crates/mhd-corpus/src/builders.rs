@@ -1,0 +1,501 @@
+//! Benchmark dataset builders.
+//!
+//! Seven datasets mirror the canonical benchmark suite of the surveyed
+//! literature. Each carries a `-s` suffix ("synthetic") and pins the class
+//! structure, approximate size ratio, label-noise rate and text-length
+//! regime of its real counterpart:
+//!
+//! | id | real counterpart | task |
+//! |----|------------------|------|
+//! | `dreaddit-s` | Dreaddit (Turcan & McKeown 2019) | binary stress |
+//! | `depsign-s`  | DepSeverity / LT-EDI DepSign     | 4-way depression severity |
+//! | `sdcnl-s`    | SDCNL (Haque et al. 2021)        | suicide vs depression |
+//! | `cssrs-s`    | CSSRS-Suicide (Gaur et al. 2019) | 5-way suicide risk |
+//! | `swmh-s`     | SWMH (Ji et al. 2021)            | 5-way subreddit triage |
+//! | `tsid-s`     | T-SID (Ji et al. 2021)           | 4-way Twitter triage |
+//! | `sad-s`      | SAD (Mauriello et al. 2021)      | 6-way stressor cause |
+//!
+//! `sad-s` uses six causes rather than SAD's nine because three of the
+//! original causes have no distinct lexical category in our generator; see
+//! DESIGN.md §2.
+
+use crate::dataset::{Dataset, Example, Split};
+use crate::generator::{Generator, PostSpec, Style};
+use crate::signal::SignalProfile;
+use crate::taxonomy::{Disorder, Severity, Task};
+use mhd_text::lexicon::LexiconCategory as C;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Identifier of a benchmark dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// Binary stress detection (Dreaddit-style).
+    DreadditS,
+    /// Four-way depression severity (DepSign-style).
+    DepSignS,
+    /// Suicide vs depression (SDCNL-style).
+    SdcnlS,
+    /// Five-way suicide-risk grading (CSSRS-style).
+    CssrsS,
+    /// Five-way subreddit triage (SWMH-style).
+    SwmhS,
+    /// Four-way Twitter triage (T-SID-style).
+    TsidS,
+    /// Six-way stressor-cause categorization (SAD-style).
+    SadS,
+}
+
+impl DatasetId {
+    /// All dataset ids in benchmark order.
+    pub const ALL: [DatasetId; 7] = [
+        DatasetId::DreadditS,
+        DatasetId::DepSignS,
+        DatasetId::SdcnlS,
+        DatasetId::CssrsS,
+        DatasetId::SwmhS,
+        DatasetId::TsidS,
+        DatasetId::SadS,
+    ];
+
+    /// Machine name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::DreadditS => "dreaddit-s",
+            DatasetId::DepSignS => "depsign-s",
+            DatasetId::SdcnlS => "sdcnl-s",
+            DatasetId::CssrsS => "cssrs-s",
+            DatasetId::SwmhS => "swmh-s",
+            DatasetId::TsidS => "tsid-s",
+            DatasetId::SadS => "sad-s",
+        }
+    }
+
+    /// Parse from the machine name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|d| d.name() == name)
+    }
+}
+
+/// How one class's posts are generated.
+enum GenKind {
+    /// Standard disorder-driven generation, with an optional comorbidity
+    /// pool sampled at 20%.
+    Spec(PostSpec, &'static [Disorder]),
+    /// Custom signal profile (stressor causes, risk grades).
+    Profile(Box<SignalProfile>, Severity, Style),
+}
+
+struct ClassSpec {
+    label: &'static str,
+    count: usize,
+    gen: GenKind,
+}
+
+/// Build configuration: the RNG seed and a global size multiplier.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildConfig {
+    /// Seed for all generation randomness (labels, text, splits, noise).
+    pub seed: u64,
+    /// Multiplies every class count (1.0 = benchmark default sizes).
+    pub scale: f64,
+    /// Annotation-noise override; `None` keeps each dataset's default.
+    pub label_noise: Option<f64>,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig { seed: 42, scale: 1.0, label_noise: None }
+    }
+}
+
+/// Build a benchmark dataset.
+pub fn build_dataset(id: DatasetId, config: &BuildConfig) -> Dataset {
+    let (task, classes, default_noise) = spec_for(id);
+    let noise = config.label_noise.unwrap_or(default_noise);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ fnv_name(id.name()));
+    let generator = Generator::new();
+    let mut examples = Vec::new();
+    let mut next_id: u64 = 0;
+
+    for (class_idx, class) in classes.iter().enumerate() {
+        assert_eq!(
+            class.label, task.labels[class_idx],
+            "class spec order must match task label order"
+        );
+        let n = ((class.count as f64 * config.scale).round() as usize).max(4);
+        // Per-class split assignment: stratified 70/10/20.
+        let mut splits = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = i as f64 / n as f64;
+            splits.push(if r < 0.7 {
+                Split::Train
+            } else if r < 0.8 {
+                Split::Val
+            } else {
+                Split::Test
+            });
+        }
+        splits.shuffle(&mut rng);
+        for split in splits {
+            let text = match &class.gen {
+                GenKind::Spec(spec, comorbid_pool) => {
+                    let mut spec = *spec;
+                    if !comorbid_pool.is_empty() && rng.gen_bool(0.2) {
+                        spec.secondary = comorbid_pool.choose(&mut rng).copied();
+                    }
+                    // Vary severity around the spec's default for diversity.
+                    if spec.disorder != Disorder::Control && spec.severity == Severity::Moderate {
+                        let roll: f64 = rng.gen();
+                        spec.severity = if roll < 0.25 {
+                            Severity::Mild
+                        } else if roll < 0.8 {
+                            Severity::Moderate
+                        } else {
+                            Severity::Severe
+                        };
+                    }
+                    generator.generate(&spec, &mut rng)
+                }
+                GenKind::Profile(prof, sev, style) => {
+                    generator.generate_from_profile(prof, *sev, *style, &mut rng)
+                }
+            };
+            // Annotation noise: flip to a uniformly random *other* class.
+            let label = if task.n_classes() > 1 && rng.gen_bool(noise) {
+                let offset = rng.gen_range(1..task.n_classes());
+                (class_idx + offset) % task.n_classes()
+            } else {
+                class_idx
+            };
+            examples.push(Example { id: next_id, text, label, true_label: class_idx, split });
+            next_id += 1;
+        }
+    }
+    // Shuffle example order (ids stay stable identifiers of content).
+    examples.shuffle(&mut rng);
+    Dataset { name: id.name(), task, examples }
+}
+
+fn fnv_name(name: &str) -> u64 {
+    mhd_text::hashing::fnv1a(name.as_bytes())
+}
+
+fn spec(d: Disorder) -> PostSpec {
+    PostSpec::simple(d)
+}
+
+fn tweet(d: Disorder) -> PostSpec {
+    PostSpec { style: Style::Tweet, ..PostSpec::simple(d) }
+}
+
+fn custom_profile(d: Disorder, weights: Vec<(C, f64)>, filler: f64, fp: f64) -> Box<SignalProfile> {
+    Box::new(SignalProfile {
+        disorder: d,
+        category_weights: weights,
+        filler_floor: filler,
+        first_person_boost: fp,
+    })
+}
+
+fn spec_for(id: DatasetId) -> (Task, Vec<ClassSpec>, f64) {
+    match id {
+        DatasetId::DreadditS => (
+            Task {
+                name: "stress_binary",
+                description: "whether the poster is experiencing psychological stress",
+                labels: vec!["not stressed", "stressed"],
+            },
+            vec![
+                ClassSpec { label: "not stressed", count: 640, gen: GenKind::Spec(spec(Disorder::Control), &[]) },
+                ClassSpec {
+                    label: "stressed",
+                    count: 780,
+                    gen: GenKind::Spec(spec(Disorder::Stress), &[Disorder::Anxiety]),
+                },
+            ],
+            0.08,
+        ),
+        DatasetId::DepSignS => (
+            Task {
+                name: "depression_severity",
+                description: "the severity of depressive symptoms shown by the poster",
+                labels: vec!["minimum", "mild", "moderate", "severe"],
+            },
+            Severity::ALL
+                .iter()
+                .zip([600usize, 300, 260, 140])
+                .map(|(&sev, count)| ClassSpec {
+                    label: sev.label(),
+                    count,
+                    gen: GenKind::Spec(
+                        PostSpec {
+                            disorder: if sev == Severity::None { Disorder::Control } else { Disorder::Depression },
+                            severity: sev,
+                            secondary: None,
+                            style: Style::RedditPost,
+                        },
+                        &[],
+                    ),
+                })
+                .collect(),
+            0.10,
+        ),
+        DatasetId::SdcnlS => (
+            Task {
+                name: "suicide_vs_depression",
+                description: "whether the post expresses suicidal ideation or (non-suicidal) depression",
+                labels: vec!["depression", "suicide"],
+            },
+            vec![
+                ClassSpec { label: "depression", count: 400, gen: GenKind::Spec(spec(Disorder::Depression), &[]) },
+                ClassSpec {
+                    label: "suicide",
+                    count: 390,
+                    gen: GenKind::Spec(spec(Disorder::SuicidalIdeation), &[]),
+                },
+            ],
+            0.07,
+        ),
+        DatasetId::CssrsS => (
+            Task {
+                name: "suicide_risk",
+                description: "the Columbia-scale suicide risk level of the poster",
+                labels: vec!["supportive", "indicator", "ideation", "behavior", "attempt"],
+            },
+            vec![
+                ClassSpec {
+                    label: "supportive",
+                    count: 110,
+                    gen: GenKind::Profile(
+                        custom_profile(
+                            Disorder::Control,
+                            vec![(C::Treatment, 1.0), (C::Social, 0.8), (C::PositiveEmotion, 0.6)],
+                            0.5,
+                            0.2,
+                        ),
+                        Severity::Moderate,
+                        Style::RedditPost,
+                    ),
+                },
+                ClassSpec {
+                    label: "indicator",
+                    count: 120,
+                    gen: GenKind::Spec(
+                        PostSpec { disorder: Disorder::Depression, severity: Severity::Mild, secondary: None, style: Style::RedditPost },
+                        &[],
+                    ),
+                },
+                ClassSpec {
+                    label: "ideation",
+                    count: 140,
+                    gen: GenKind::Spec(
+                        PostSpec { disorder: Disorder::SuicidalIdeation, severity: Severity::Moderate, secondary: None, style: Style::RedditPost },
+                        &[],
+                    ),
+                },
+                ClassSpec {
+                    label: "behavior",
+                    count: 80,
+                    gen: GenKind::Spec(
+                        PostSpec { disorder: Disorder::SuicidalIdeation, severity: Severity::Severe, secondary: None, style: Style::RedditPost },
+                        &[],
+                    ),
+                },
+                ClassSpec {
+                    label: "attempt",
+                    count: 50,
+                    gen: GenKind::Profile(
+                        custom_profile(
+                            Disorder::SuicidalIdeation,
+                            vec![(C::Death, 1.4), (C::Sadness, 0.4), (C::Treatment, 0.35), (C::Body, 0.3)],
+                            0.25,
+                            0.7,
+                        ),
+                        Severity::Severe,
+                        Style::RedditPost,
+                    ),
+                },
+            ],
+            0.10,
+        ),
+        DatasetId::SwmhS => (
+            Task {
+                name: "disorder_triage",
+                description: "which mental-health community the post belongs to",
+                labels: vec!["depression", "anxiety", "bipolar", "suicidewatch", "offmychest"],
+            },
+            vec![
+                ClassSpec {
+                    label: "depression",
+                    count: 450,
+                    gen: GenKind::Spec(spec(Disorder::Depression), &[Disorder::Anxiety]),
+                },
+                ClassSpec {
+                    label: "anxiety",
+                    count: 400,
+                    gen: GenKind::Spec(spec(Disorder::Anxiety), &[Disorder::Depression]),
+                },
+                ClassSpec { label: "bipolar", count: 260, gen: GenKind::Spec(spec(Disorder::Bipolar), &[]) },
+                ClassSpec {
+                    label: "suicidewatch",
+                    count: 340,
+                    gen: GenKind::Spec(spec(Disorder::SuicidalIdeation), &[Disorder::Depression]),
+                },
+                ClassSpec { label: "offmychest", count: 300, gen: GenKind::Spec(spec(Disorder::Control), &[]) },
+            ],
+            0.05,
+        ),
+        DatasetId::TsidS => (
+            Task {
+                name: "twitter_triage",
+                description: "which condition, if any, the tweet author shows signs of",
+                labels: vec!["control", "depression", "suicide", "ptsd"],
+            },
+            vec![
+                ClassSpec { label: "control", count: 520, gen: GenKind::Spec(tweet(Disorder::Control), &[]) },
+                ClassSpec { label: "depression", count: 420, gen: GenKind::Spec(tweet(Disorder::Depression), &[]) },
+                ClassSpec {
+                    label: "suicide",
+                    count: 380,
+                    gen: GenKind::Spec(tweet(Disorder::SuicidalIdeation), &[]),
+                },
+                ClassSpec { label: "ptsd", count: 280, gen: GenKind::Spec(tweet(Disorder::Ptsd), &[]) },
+            ],
+            0.05,
+        ),
+        DatasetId::SadS => (
+            Task {
+                name: "stress_cause",
+                description: "the main cause of the stress the poster describes",
+                labels: vec!["work", "financial", "social", "health", "emotional", "sleep"],
+            },
+            {
+                let causes: [(&str, C, usize); 6] = [
+                    ("work", C::Work, 200),
+                    ("financial", C::Money, 150),
+                    ("social", C::Social, 160),
+                    ("health", C::Body, 140),
+                    ("emotional", C::NegativeEmotion, 150),
+                    ("sleep", C::Sleep, 110),
+                ];
+                causes
+                    .into_iter()
+                    .map(|(label, cat, count)| ClassSpec {
+                        label,
+                        count,
+                        gen: GenKind::Profile(
+                            custom_profile(
+                                Disorder::Stress,
+                                vec![(cat, 1.0), (C::Anxiety, 0.25), (C::Cognition, 0.2)],
+                                0.35,
+                                0.2,
+                            ),
+                            Severity::Moderate,
+                            Style::RedditPost,
+                        ),
+                    })
+                    .collect()
+            },
+            0.06,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BuildConfig {
+        BuildConfig { seed: 7, scale: 0.1, label_noise: None }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for id in DatasetId::ALL {
+            assert_eq!(DatasetId::from_name(id.name()), Some(id));
+        }
+        assert_eq!(DatasetId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_datasets_build() {
+        for id in DatasetId::ALL {
+            let d = build_dataset(id, &small());
+            assert!(!d.examples.is_empty(), "{} empty", d.name);
+            assert_eq!(d.name, id.name());
+            assert!(d.task.n_classes() >= 2);
+            // Every class represented.
+            let counts = d.class_counts();
+            assert!(counts.iter().all(|&c| c > 0), "{}: class missing {counts:?}", d.name);
+            // All splits populated.
+            for s in Split::ALL {
+                assert!(d.split_len(s) > 0, "{}: split {} empty", d.name, s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let a = build_dataset(DatasetId::SdcnlS, &small());
+        let b = build_dataset(DatasetId::SdcnlS, &small());
+        assert_eq!(a.examples.len(), b.examples.len());
+        for (x, y) in a.examples.iter().zip(&b.examples) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn seed_changes_content() {
+        let a = build_dataset(DatasetId::SdcnlS, &BuildConfig { seed: 1, scale: 0.1, label_noise: None });
+        let b = build_dataset(DatasetId::SdcnlS, &BuildConfig { seed: 2, scale: 0.1, label_noise: None });
+        assert_ne!(a.examples[0].text, b.examples[0].text);
+    }
+
+    #[test]
+    fn label_noise_realized_near_target() {
+        let cfg = BuildConfig { seed: 3, scale: 1.0, label_noise: Some(0.2) };
+        let d = build_dataset(DatasetId::DreadditS, &cfg);
+        let rate = d.label_noise_rate();
+        assert!((rate - 0.2).abs() < 0.05, "noise rate {rate}");
+    }
+
+    #[test]
+    fn zero_noise_possible() {
+        let cfg = BuildConfig { seed: 3, scale: 0.2, label_noise: Some(0.0) };
+        let d = build_dataset(DatasetId::SwmhS, &cfg);
+        assert_eq!(d.label_noise_rate(), 0.0);
+    }
+
+    #[test]
+    fn dreaddit_is_binary_imbalanced_towards_stress() {
+        let d = build_dataset(DatasetId::DreadditS, &BuildConfig::default());
+        assert_eq!(d.task.n_classes(), 2);
+        let counts = d.class_counts();
+        assert!(counts[1] > counts[0], "stressed should be majority: {counts:?}");
+    }
+
+    #[test]
+    fn depsign_severity_is_imbalanced_towards_minimum() {
+        let d = build_dataset(DatasetId::DepSignS, &BuildConfig::default());
+        let counts = d.class_counts();
+        assert!(counts[0] > counts[3], "minimum should dominate severe: {counts:?}");
+    }
+
+    #[test]
+    fn tsid_posts_are_short() {
+        let tsid = build_dataset(DatasetId::TsidS, &small());
+        let swmh = build_dataset(DatasetId::SwmhS, &small());
+        assert!(tsid.avg_tokens() < swmh.avg_tokens() / 2.0);
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let s1 = build_dataset(DatasetId::SdcnlS, &BuildConfig { seed: 1, scale: 0.1, label_noise: None });
+        let s2 = build_dataset(DatasetId::SdcnlS, &BuildConfig { seed: 1, scale: 0.2, label_noise: None });
+        assert!(s2.examples.len() > s1.examples.len());
+    }
+}

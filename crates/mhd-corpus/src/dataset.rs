@@ -1,0 +1,181 @@
+//! Dataset containers: examples, labelled datasets, and splits.
+
+use crate::taxonomy::Task;
+
+/// Which split an example belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Training split.
+    Train,
+    /// Validation split.
+    Val,
+    /// Test split.
+    Test,
+}
+
+impl Split {
+    /// All splits, stable order.
+    pub const ALL: [Split; 3] = [Split::Train, Split::Val, Split::Test];
+
+    /// Short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Split::Train => "train",
+            Split::Val => "val",
+            Split::Test => "test",
+        }
+    }
+}
+
+/// One labelled post.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Stable unique id within the dataset.
+    pub id: u64,
+    /// Post text.
+    pub text: String,
+    /// Gold label: an index into the dataset task's label list. Note this is
+    /// the (possibly noisy) *annotation*, which may differ from the true
+    /// generating condition — exactly like the real datasets.
+    pub label: usize,
+    /// The underlying generating label before annotation noise (for
+    /// diagnostics only; never shown to detectors).
+    pub true_label: usize,
+    /// Assigned split.
+    pub split: Split,
+}
+
+/// A labelled dataset for one task.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Machine name ("dreaddit-s").
+    pub name: &'static str,
+    /// The classification task this dataset poses.
+    pub task: Task,
+    /// All examples across splits.
+    pub examples: Vec<Example>,
+}
+
+impl Dataset {
+    /// Examples in a given split.
+    pub fn split(&self, split: Split) -> Vec<&Example> {
+        self.examples.iter().filter(|e| e.split == split).collect()
+    }
+
+    /// Number of examples in a split.
+    pub fn split_len(&self, split: Split) -> usize {
+        self.examples.iter().filter(|e| e.split == split).count()
+    }
+
+    /// Gold labels of a split, in split order.
+    pub fn labels(&self, split: Split) -> Vec<usize> {
+        self.split(split).iter().map(|e| e.label).collect()
+    }
+
+    /// Texts of a split, in split order.
+    pub fn texts(&self, split: Split) -> Vec<&str> {
+        self.split(split).iter().map(|e| e.text.as_str()).collect()
+    }
+
+    /// Per-class counts over the whole dataset.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.task.n_classes()];
+        for e in &self.examples {
+            counts[e.label] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of examples whose annotation differs from the generating
+    /// condition (realized label-noise rate).
+    pub fn label_noise_rate(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        let noisy = self.examples.iter().filter(|e| e.label != e.true_label).count();
+        noisy as f64 / self.examples.len() as f64
+    }
+
+    /// Mean post length in whitespace tokens.
+    pub fn avg_tokens(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.examples.iter().map(|e| e.text.split_whitespace().count()).sum();
+        total as f64 / self.examples.len() as f64
+    }
+
+    /// Imbalance ratio: majority-class count / minority-class count.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let counts = self.class_counts();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let task = Task { name: "toy", description: "toy", labels: vec!["no", "yes"] };
+        let mk = |id: u64, label: usize, true_label: usize, split: Split| Example {
+            id,
+            text: format!("post number {id}"),
+            label,
+            true_label,
+            split,
+        };
+        Dataset {
+            name: "toy",
+            task,
+            examples: vec![
+                mk(0, 0, 0, Split::Train),
+                mk(1, 1, 1, Split::Train),
+                mk(2, 1, 0, Split::Val),
+                mk(3, 0, 0, Split::Test),
+                mk(4, 1, 1, Split::Test),
+                mk(5, 0, 0, Split::Test),
+            ],
+        }
+    }
+
+    #[test]
+    fn split_access() {
+        let d = toy();
+        assert_eq!(d.split_len(Split::Train), 2);
+        assert_eq!(d.split_len(Split::Val), 1);
+        assert_eq!(d.split_len(Split::Test), 3);
+        assert_eq!(d.labels(Split::Test), vec![0, 1, 0]);
+        assert_eq!(d.texts(Split::Val), vec!["post number 2"]);
+    }
+
+    #[test]
+    fn class_counts_and_imbalance() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![3, 3]);
+        assert!((d.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn label_noise_detected() {
+        let d = toy();
+        assert!((d.label_noise_rate() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_tokens_positive() {
+        assert!(toy().avg_tokens() > 0.0);
+    }
+
+    #[test]
+    fn split_names() {
+        assert_eq!(Split::Train.name(), "train");
+        assert_eq!(Split::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,531 @@
+//! Template-based synthetic post generation.
+//!
+//! A post is a sequence of sentences. Each sentence is either *signal*
+//! (drawn from the condition's [`SignalProfile`] category mixture and
+//! realized from a category-specific template pool) or *filler* (neutral
+//! everyday content drawn from a disjoint vocabulary). Severity scales the
+//! signal fraction and injects intensifiers; comorbidity mixes in a
+//! secondary condition's signal. Style switches between Reddit-post and
+//! tweet length regimes.
+//!
+//! The template slots are filled from the **same lexicon word lists** the
+//! feature extractors use (see the crate docs for why this mirrors the real
+//! datasets' construction), with per-category connector phrasing so the text
+//! reads plausibly and carries realistic surface statistics.
+
+use crate::signal::{profile, SignalProfile};
+use crate::taxonomy::{Disorder, Severity};
+use mhd_text::lexicon::{category_words, LexiconCategory as C};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Surface style of the generated post.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// Long-form (Reddit-like): 5–12 sentences.
+    RedditPost,
+    /// Short-form (Twitter-like): 1–3 sentences, occasional hashtags.
+    Tweet,
+}
+
+/// Full specification of one post to generate.
+#[derive(Debug, Clone, Copy)]
+pub struct PostSpec {
+    /// Primary condition expressed in the post.
+    pub disorder: Disorder,
+    /// Severity of the primary condition.
+    pub severity: Severity,
+    /// Optional comorbid condition contributing ~30% of signal sentences.
+    pub secondary: Option<Disorder>,
+    /// Length/format regime.
+    pub style: Style,
+}
+
+impl PostSpec {
+    /// A moderate-severity, no-comorbidity Reddit-style post.
+    pub fn simple(disorder: Disorder) -> Self {
+        PostSpec { disorder, severity: Severity::Moderate, secondary: None, style: Style::RedditPost }
+    }
+}
+
+/// Sentence templates per lexicon category. `{w}` slots are filled with a
+/// sampled word from that category; `{n}` with a small number.
+fn templates(cat: C) -> &'static [&'static str] {
+    match cat {
+        C::Sadness => &[
+            "i feel so {w} all the time",
+            "everything just feels {w} lately",
+            "i have been {w} for weeks now",
+            "there is this {w} feeling that never leaves",
+            "woke up {w} again for no reason",
+            "i can't shake this {w} weight on my chest",
+            "it's like i'm {w} inside and nobody notices",
+            "the {w} gets worse every single day",
+        ],
+        C::Death => &[
+            "i keep thinking about {w}",
+            "sometimes i just want to {w}",
+            "i wrote a note about {w} last night",
+            "everyone would be better off if i was {w}",
+            "i looked up ways to {w} again",
+            "the thoughts about {w} won't stop",
+            "i feel like such a {w} to my family",
+            "part of me just wants to {w} quietly",
+        ],
+        C::Anxiety => &[
+            "i am so {w} about everything",
+            "my mind keeps {w} at night",
+            "i had another {w} attack at the store",
+            "i can't stop {w} about tomorrow",
+            "this constant {w} is wearing me down",
+            "even small things leave me {w}",
+            "been {w} all week and i don't know why",
+            "the {w} hits the second i wake up",
+        ],
+        C::Anger => &[
+            "i got so {w} over nothing today",
+            "i keep {w} at the people i love",
+            "this {w} inside me scares me",
+            "i snapped and started {w} again",
+            "everything makes me {w} lately",
+        ],
+        C::NegativeEmotion => &[
+            "honestly everything feels {w}",
+            "i feel {w} about who i've become",
+            "it's been a {w} month",
+            "i'm so {w} with myself",
+            "things have been pretty {w} if i'm honest",
+        ],
+        C::PositiveEmotion => &[
+            "feeling really {w} today",
+            "had a {w} time with everyone",
+            "honestly so {w} about how things are going",
+            "small things make me {w} lately",
+            "what a {w} weekend that was",
+        ],
+        C::Sleep => &[
+            "i haven't {w} properly in {n} days",
+            "another night of being {w} until 4am",
+            "i'm {w} no matter how long i rest",
+            "the {w} is ruining my mornings",
+            "can't remember the last time i felt {w} instead of drained",
+            "i keep having {w} when i finally drift off",
+        ],
+        C::Cognition => &[
+            "i can't {w} on anything anymore",
+            "my {w} feels foggy all day",
+            "i keep {w} the same conversation over and over",
+            "i don't {w} why i feel this way",
+            "hard to {w} even simple decisions now",
+        ],
+        C::Absolutist => &[
+            "it is {w} going to be like this",
+            "{w} ever gets better for me",
+            "i ruin {w} i touch",
+            "this happens {w} single time",
+            "i am {w} the problem",
+        ],
+        C::Social => &[
+            "my {w} doesn't understand what i'm going through",
+            "i feel so {w} even in a crowded room",
+            "i stopped answering my {w} weeks ago",
+            "had a fight with my {w} again",
+            "everyone has {w} except me",
+            "i miss talking to my {w}",
+        ],
+        C::Body => &[
+            "my {w} has been killing me all week",
+            "constant {w} and no doctor can explain it",
+            "my heart starts {w} out of nowhere",
+            "i feel {w} every time i stand up",
+            "the {w} in my chest won't go away",
+        ],
+        C::Work => &[
+            "my {w} keeps piling on more and more",
+            "another {w} due and i haven't started",
+            "i might lose my {w} if this continues",
+            "the {w} this semester is crushing me",
+            "worked a double {w} again yesterday",
+            "my {w} yelled at me in front of everyone",
+        ],
+        C::Money => &[
+            "i can't pay {w} this month",
+            "the {w} keeps growing no matter what i do",
+            "i'm completely {w} until payday",
+            "got another notice about my {w}",
+            "don't know how i'll {w} groceries this week",
+        ],
+        C::Trauma => &[
+            "had another {w} in the middle of the day",
+            "the {w} came back the moment i heard that sound",
+            "i keep {w} what happened that night",
+            "loud noises leave me {w} for hours",
+            "my therapist says it's the {w} talking",
+            "i still can't drive past where the {w} happened",
+        ],
+        C::Eating => &[
+            "i counted {w} three times today",
+            "i {w} again last night and hate myself for it",
+            "skipped {w} again to feel in control",
+            "i can't look in the {w} anymore",
+            "spent an hour on the {w} this morning",
+            "everyone keeps commenting on how {w} i look",
+        ],
+        C::Mania => &[
+            "i feel absolutely {w} right now, like nothing can stop me",
+            "stayed {w} for two days straight working on my ideas",
+            "went on a {w} and spent my whole paycheck",
+            "my thoughts are {w} faster than i can type",
+            "i have {n} new {w} and i'm starting all of them tonight",
+            "last week i was on top of the world, now i just {w}",
+        ],
+        C::Treatment => &[
+            "my {w} changed my dose again",
+            "started seeing a new {w} last month",
+            "the {w} makes me feel flat but stable",
+            "thinking about calling the {w} tonight",
+            "skipped my {w} appointment again",
+        ],
+        C::FirstPerson => &["i keep asking {w} what is wrong with me"],
+    }
+}
+
+/// Neutral everyday filler sentences — vocabulary disjoint from the signal
+/// lexicons, providing the noise floor every method must see through.
+const FILLER: &[&str] = &[
+    "watched a couple episodes of that new show tonight",
+    "the weather has been pretty average around here",
+    "tried a new pasta recipe for dinner yesterday",
+    "my phone update changed all the icons again",
+    "traffic on the commute was slow as usual",
+    "thinking about repainting the kitchen next month",
+    "the neighbours got a new puppy recently",
+    "finally fixed the squeaky door in the hallway",
+    "picked up some groceries on the way home",
+    "the game last night went into overtime",
+    "been rewatching old movies on the weekend",
+    "planted some herbs on the balcony",
+    "the bus was late again this morning",
+    "found a decent coffee place near the station",
+    "my laptop fan is getting loud, might clean it",
+    "the library extended its opening hours",
+    "went for a short walk around the block",
+    "the printer at home ran out of ink",
+    "caught up on some podcasts while cleaning",
+    "the elevator in our building is finally repaired",
+    "tried assembling that shelf from the store",
+    "the local market had a discount on fruit",
+    "my plants needed watering twice this week",
+    "someone parked in my spot again",
+    "updated my resume a little over the weekend",
+];
+
+/// Intensifiers injected at high severity.
+const INTENSIFIERS: &[&str] = &["really", "so", "completely", "absolutely", "utterly"];
+
+/// Hashtags appended to tweets, keyed loosely by condition.
+fn hashtags(d: Disorder) -> &'static [&'static str] {
+    match d {
+        Disorder::Depression => &["#depression", "#mentalhealth", "#alone"],
+        Disorder::Anxiety => &["#anxiety", "#overthinking", "#mentalhealth"],
+        Disorder::Stress => &["#stressed", "#burnout", "#work"],
+        Disorder::Ptsd => &["#ptsd", "#trauma", "#recovery"],
+        Disorder::Bipolar => &["#bipolar", "#manic", "#mentalhealth"],
+        Disorder::SuicidalIdeation => &["#alone", "#darkthoughts", "#mentalhealth"],
+        Disorder::EatingDisorder => &["#edrecovery", "#bodyimage", "#food"],
+        Disorder::Control => &["#weekend", "#coffee", "#life"],
+    }
+}
+
+/// The post generator. Stateless apart from the lexicon; all randomness
+/// comes from the caller-supplied RNG, keeping generation reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct Generator;
+
+impl Generator {
+    /// Create a generator.
+    pub fn new() -> Self {
+        Generator
+    }
+
+    /// Generate one post for `spec` using `rng`.
+    pub fn generate(&self, spec: &PostSpec, rng: &mut StdRng) -> String {
+        let primary = profile(spec.disorder);
+        // Signal fraction: (1 - filler_floor) scaled by severity intensity.
+        let base = 1.0 - primary.filler_floor;
+        let p_signal = (base * spec.severity.intensity()).clamp(0.0, 0.92);
+        // Control posts use their (positive/neutral) profile at a fixed rate
+        // regardless of the severity knob, which doesn't apply to them.
+        let p_signal = if spec.disorder == Disorder::Control { base } else { p_signal };
+        self.generate_inner(&primary, spec.secondary.map(profile).as_ref(), p_signal, spec.severity, spec.style, rng)
+    }
+
+    /// Generate a post directly from a custom [`SignalProfile`] — used by
+    /// dataset builders whose classes are not plain disorders (stressor
+    /// causes, suicide-risk grades).
+    pub fn generate_from_profile(
+        &self,
+        prof: &SignalProfile,
+        severity: Severity,
+        style: Style,
+        rng: &mut StdRng,
+    ) -> String {
+        let base = 1.0 - prof.filler_floor;
+        let p_signal = (base * severity.intensity().max(0.6)).clamp(0.0, 0.92);
+        self.generate_inner(prof, None, p_signal, severity, style, rng)
+    }
+
+    fn generate_inner(
+        &self,
+        primary: &SignalProfile,
+        secondary: Option<&SignalProfile>,
+        p_signal: f64,
+        severity: Severity,
+        style: Style,
+        rng: &mut StdRng,
+    ) -> String {
+        let n_sentences = match style {
+            Style::RedditPost => rng.gen_range(5..=12),
+            Style::Tweet => rng.gen_range(1..=3),
+        };
+        let mut sentences = Vec::with_capacity(n_sentences);
+        for _ in 0..n_sentences {
+            let is_signal = rng.gen_bool(p_signal);
+            let sentence = if is_signal {
+                let use_secondary = secondary.is_some()
+                    && rng.gen_bool(0.3)
+                    && primary.disorder != Disorder::Control;
+                let prof = if use_secondary {
+                    secondary.expect("checked is_some")
+                } else {
+                    primary
+                };
+                self.signal_sentence(prof, severity, rng)
+            } else {
+                FILLER.choose(rng).expect("filler non-empty").to_string()
+            };
+            sentences.push(sentence);
+        }
+        // First-person pressure: prepend an I-statement opener sometimes.
+        if primary.first_person_boost > 0.0 && rng.gen_bool(primary.first_person_boost.min(0.9)) {
+            sentences.insert(0, "i don't usually post here but i need to get this out".to_string());
+        }
+        let mut text = join_sentences(&sentences, rng);
+        if style == Style::Tweet && rng.gen_bool(0.5) {
+            let tag = hashtags(primary.disorder).choose(rng).expect("tags non-empty");
+            text.push(' ');
+            text.push_str(tag);
+        }
+        text
+    }
+
+    /// Realize one signal sentence from a profile.
+    fn signal_sentence(&self, prof: &SignalProfile, severity: Severity, rng: &mut StdRng) -> String {
+        let cat = sample_category(prof, rng);
+        let pool = templates(cat);
+        let template = pool.choose(rng).expect("template pool non-empty");
+        let mut sentence = String::with_capacity(template.len() + 16);
+        let mut rest = *template;
+        while let Some(pos) = rest.find('{') {
+            sentence.push_str(&rest[..pos]);
+            let close = rest[pos..].find('}').expect("balanced template braces") + pos;
+            match &rest[pos + 1..close] {
+                "w" => {
+                    let word = category_words(cat).choose(rng).expect("category words non-empty");
+                    sentence.push_str(word);
+                }
+                "n" => {
+                    let n: u32 = rng.gen_range(2..=9);
+                    sentence.push_str(&n.to_string());
+                }
+                other => panic!("unknown template slot {{{other}}}"),
+            }
+            rest = &rest[close + 1..];
+        }
+        sentence.push_str(rest);
+        // Severe posts pick up intensifiers ("i feel so utterly empty").
+        if severity == Severity::Severe && rng.gen_bool(0.45) {
+            let intensifier = INTENSIFIERS.choose(rng).expect("non-empty");
+            if let Some(pos) = sentence.find(" feel ") {
+                sentence.insert_str(pos + 6, &format!("{intensifier} "));
+            } else {
+                sentence.push_str(&format!(", {intensifier}"));
+            }
+        }
+        sentence
+    }
+}
+
+fn sample_category(prof: &SignalProfile, rng: &mut StdRng) -> C {
+    let total = prof.total_weight();
+    let mut draw = rng.gen_range(0.0..total);
+    for &(cat, w) in &prof.category_weights {
+        if draw < w {
+            return cat;
+        }
+        draw -= w;
+    }
+    prof.category_weights.last().expect("non-empty").0
+}
+
+/// Join sentences with varied punctuation and occasional lowercase run-ons,
+/// mimicking social-media style.
+fn join_sentences(sentences: &[String], rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for (i, s) in sentences.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(s);
+        let roll: f64 = rng.gen();
+        if roll < 0.72 {
+            out.push('.');
+        } else if roll < 0.82 {
+            out.push_str("...");
+        } else if roll < 0.9 {
+            // run-on: no terminator
+        } else {
+            out.push('!');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_text::lexicon::Lexicon;
+    use mhd_text::tokenize::words;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = Generator::new();
+        let spec = PostSpec::simple(Disorder::Depression);
+        let a = g.generate(&spec, &mut rng(7));
+        let b = g.generate(&spec, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = Generator::new();
+        let spec = PostSpec::simple(Disorder::Depression);
+        assert_ne!(g.generate(&spec, &mut rng(1)), g.generate(&spec, &mut rng(2)));
+    }
+
+    #[test]
+    fn depression_posts_carry_sadness_signal() {
+        let g = Generator::new();
+        let lex = Lexicon::standard();
+        let spec = PostSpec::simple(Disorder::Depression);
+        let mut r = rng(42);
+        let mut sad_total = 0u32;
+        for _ in 0..50 {
+            let text = g.generate(&spec, &mut r);
+            let toks = words(&text);
+            sad_total += lex.profile(&toks).count(mhd_text::lexicon::LexiconCategory::Sadness);
+        }
+        assert!(sad_total > 25, "expected sadness signal, got {sad_total}");
+    }
+
+    #[test]
+    fn control_posts_lack_death_signal() {
+        let g = Generator::new();
+        let lex = Lexicon::standard();
+        let spec = PostSpec::simple(Disorder::Control);
+        let mut r = rng(42);
+        let mut death = 0u32;
+        for _ in 0..50 {
+            let text = g.generate(&spec, &mut r);
+            death += lex.profile(&words(&text)).count(mhd_text::lexicon::LexiconCategory::Death);
+        }
+        assert!(death <= 2, "control posts should not discuss death, got {death}");
+    }
+
+    #[test]
+    fn severity_scales_signal() {
+        let g = Generator::new();
+        let lex = Lexicon::standard();
+        let count_neg = |sev: Severity, seed: u64| {
+            let spec = PostSpec { disorder: Disorder::Depression, severity: sev, secondary: None, style: Style::RedditPost };
+            let mut r = rng(seed);
+            let mut total = 0u32;
+            for _ in 0..60 {
+                let text = g.generate(&spec, &mut r);
+                let p = lex.profile(&words(&text));
+                total += p.count(mhd_text::lexicon::LexiconCategory::Sadness)
+                    + p.count(mhd_text::lexicon::LexiconCategory::NegativeEmotion);
+            }
+            total
+        };
+        assert!(count_neg(Severity::Severe, 3) > count_neg(Severity::Mild, 3));
+    }
+
+    #[test]
+    fn tweets_are_shorter() {
+        let g = Generator::new();
+        let mut r = rng(5);
+        let reddit: usize = (0..30)
+            .map(|_| {
+                g.generate(&PostSpec::simple(Disorder::Anxiety), &mut r).len()
+            })
+            .sum();
+        let tweet_spec = PostSpec { style: Style::Tweet, ..PostSpec::simple(Disorder::Anxiety) };
+        let tweets: usize = (0..30).map(|_| g.generate(&tweet_spec, &mut r).len()).sum();
+        assert!(reddit > tweets * 2, "reddit={reddit} tweets={tweets}");
+    }
+
+    #[test]
+    fn comorbidity_mixes_secondary_signal() {
+        let g = Generator::new();
+        let lex = Lexicon::standard();
+        let spec = PostSpec {
+            disorder: Disorder::Depression,
+            severity: Severity::Severe,
+            secondary: Some(Disorder::Anxiety),
+            style: Style::RedditPost,
+        };
+        let mut r = rng(11);
+        let mut anx = 0u32;
+        for _ in 0..60 {
+            let text = g.generate(&spec, &mut r);
+            anx += lex.profile(&words(&text)).count(mhd_text::lexicon::LexiconCategory::Anxiety);
+        }
+        assert!(anx > 5, "secondary anxiety signal should leak through, got {anx}");
+    }
+
+    #[test]
+    fn all_disorders_generate_without_panic() {
+        let g = Generator::new();
+        let mut r = rng(99);
+        for &d in &Disorder::ALL {
+            for &s in &Severity::ALL {
+                for style in [Style::RedditPost, Style::Tweet] {
+                    let spec = PostSpec { disorder: d, severity: s, secondary: None, style };
+                    let text = g.generate(&spec, &mut r);
+                    assert!(!text.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn templates_have_balanced_braces() {
+        use mhd_text::lexicon::LexiconCategory;
+        for &cat in &LexiconCategory::ALL {
+            for t in templates(cat) {
+                assert_eq!(
+                    t.matches('{').count(),
+                    t.matches('}').count(),
+                    "unbalanced braces in template: {t}"
+                );
+            }
+        }
+    }
+}

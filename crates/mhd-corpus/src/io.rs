@@ -1,0 +1,174 @@
+//! Dataset export/import (TSV).
+//!
+//! Real benchmark suites ship their data as flat files; this module gives
+//! the synthetic datasets the same shape so downstream users can export a
+//! generated corpus, inspect or modify it, and load it back — or load their
+//! *own* labelled TSV into the benchmark's `Dataset` type.
+//!
+//! Format: a header line `id<TAB>split<TAB>label<TAB>text`, one example per
+//! line. Text is sanitized: tabs and newlines become spaces on export.
+
+use crate::dataset::{Dataset, Example, Split};
+use crate::taxonomy::Task;
+
+/// Serialize a dataset to TSV.
+pub fn to_tsv(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(dataset.examples.len() * 96);
+    out.push_str("id\tsplit\tlabel\ttext\n");
+    for e in &dataset.examples {
+        let clean: String = e
+            .text
+            .chars()
+            .map(|c| if c == '\t' || c == '\n' || c == '\r' { ' ' } else { c })
+            .collect();
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            e.id,
+            e.split.name(),
+            dataset.task.labels[e.label],
+            clean
+        ));
+    }
+    out
+}
+
+/// Errors when parsing a TSV dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsvError {
+    /// Missing or malformed header.
+    BadHeader,
+    /// A data line had the wrong number of fields.
+    BadLine(usize),
+    /// Unknown split name.
+    BadSplit(usize, String),
+    /// Label not in the task's label set.
+    UnknownLabel(usize, String),
+    /// Id column was not an integer.
+    BadId(usize),
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::BadHeader => write!(f, "missing/malformed TSV header"),
+            TsvError::BadLine(n) => write!(f, "line {n}: wrong field count"),
+            TsvError::BadSplit(n, s) => write!(f, "line {n}: unknown split {s:?}"),
+            TsvError::UnknownLabel(n, l) => write!(f, "line {n}: unknown label {l:?}"),
+            TsvError::BadId(n) => write!(f, "line {n}: id is not an integer"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+/// Parse a TSV dataset against a task definition. `name` becomes the
+/// dataset's name; the task's label strings define valid labels.
+pub fn from_tsv(tsv: &str, name: &'static str, task: Task) -> Result<Dataset, TsvError> {
+    let mut lines = tsv.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim_end() == "id\tsplit\tlabel\ttext" => {}
+        _ => return Err(TsvError::BadHeader),
+    }
+    let mut examples = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(4, '\t').collect();
+        if fields.len() != 4 {
+            return Err(TsvError::BadLine(lineno + 1));
+        }
+        let id: u64 = fields[0].parse().map_err(|_| TsvError::BadId(lineno + 1))?;
+        let split = match fields[1] {
+            "train" => Split::Train,
+            "val" => Split::Val,
+            "test" => Split::Test,
+            other => return Err(TsvError::BadSplit(lineno + 1, other.to_string())),
+        };
+        let label = task
+            .label_index(fields[2])
+            .ok_or_else(|| TsvError::UnknownLabel(lineno + 1, fields[2].to_string()))?;
+        examples.push(Example {
+            id,
+            text: fields[3].to_string(),
+            label,
+            true_label: label, // external data: annotation is all we have
+            split,
+        });
+    }
+    Ok(Dataset { name, task, examples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{build_dataset, BuildConfig, DatasetId};
+
+    fn task() -> Task {
+        Task { name: "demo", description: "demo", labels: vec!["no", "yes"] }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = build_dataset(
+            DatasetId::SdcnlS,
+            &BuildConfig { seed: 4, scale: 0.05, label_noise: None },
+        );
+        let tsv = to_tsv(&d);
+        let back = from_tsv(&tsv, "sdcnl-s", d.task.clone()).expect("parse ok");
+        assert_eq!(back.examples.len(), d.examples.len());
+        for (a, b) in d.examples.iter().zip(&back.examples) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.split, b.split);
+            assert_eq!(a.text, b.text);
+        }
+    }
+
+    #[test]
+    fn tabs_in_text_sanitized() {
+        let d = Dataset {
+            name: "x",
+            task: task(),
+            examples: vec![Example {
+                id: 0,
+                text: "a\tb\nc".into(),
+                label: 1,
+                true_label: 1,
+                split: Split::Train,
+            }],
+        };
+        let tsv = to_tsv(&d);
+        let back = from_tsv(&tsv, "x", task()).expect("parse ok");
+        assert_eq!(back.examples[0].text, "a b c");
+    }
+
+    #[test]
+    fn header_required() {
+        assert_eq!(from_tsv("nope\n", "x", task()).unwrap_err(), TsvError::BadHeader);
+    }
+
+    #[test]
+    fn bad_rows_rejected_with_line_numbers() {
+        let base = "id\tsplit\tlabel\ttext\n";
+        let err = |tsv: String| from_tsv(&tsv, "x", task()).unwrap_err();
+        assert_eq!(err(format!("{base}1\ttrain\tyes\n")), TsvError::BadLine(2));
+        assert_eq!(
+            err(format!("{base}1\tnope\tyes\thi\n")),
+            TsvError::BadSplit(2, "nope".into())
+        );
+        assert_eq!(
+            err(format!("{base}1\ttrain\tmaybe\thi\n")),
+            TsvError::UnknownLabel(2, "maybe".into())
+        );
+        assert_eq!(err(format!("{base}x\ttrain\tyes\thi\n")), TsvError::BadId(2));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let tsv = "id\tsplit\tlabel\ttext\n\n1\ttest\tyes\thello\n\n";
+        let d = from_tsv(tsv, "x", task()).expect("parse ok");
+        assert_eq!(d.examples.len(), 1);
+        assert_eq!(d.examples[0].text, "hello");
+    }
+}

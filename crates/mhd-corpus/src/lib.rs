@@ -1,0 +1,43 @@
+//! # mhd-corpus — synthetic social-media mental-health corpus
+//!
+//! This crate replaces the IRB/API-gated Reddit and Twitter datasets used in
+//! the surveyed literature (Dreaddit, DepSeverity, SDCNL, CSSRS, SWMH,
+//! T-SID, SAD) with deterministic synthetic equivalents that preserve the
+//! properties detection methods actually consume:
+//!
+//! - class-conditional psycholinguistic structure ([`signal`]): per-disorder
+//!   mixtures over affect-lexicon categories, first-person pronoun density,
+//!   absolutist-word rates, and distinctive topic vocabulary;
+//! - hard class overlap (depression vs suicidal ideation share most of their
+//!   vocabulary, differing in the rate of death-category language);
+//! - label noise, class imbalance, and length distributions pinned to the
+//!   published dataset statistics;
+//! - comorbidity: posts can carry secondary-condition signal.
+//!
+//! Modules:
+//! - [`taxonomy`] — disorders, severities and task label sets
+//! - [`signal`] — per-condition generative signal profiles
+//! - [`generator`] — template-based post generation
+//! - [`dataset`] — `Example` / `Dataset` / split containers
+//! - [`longitudinal`] — user timelines for user-level / early detection
+//! - [`io`] — TSV export/import of datasets
+//! - [`quality`] — dedup / contamination / class-overlap checks
+//! - [`builders`] — the seven benchmark dataset constructors
+//! - [`registry`] — dataset cards and the T1 statistics table
+//! - [`perturb`] — robustness perturbations (typos, negation, emoji, …)
+
+pub mod builders;
+pub mod dataset;
+pub mod generator;
+pub mod io;
+pub mod longitudinal;
+pub mod perturb;
+pub mod quality;
+pub mod registry;
+pub mod signal;
+pub mod taxonomy;
+
+pub use builders::DatasetId;
+pub use dataset::{Dataset, Example, Split};
+pub use registry::{all_dataset_ids, build, DatasetCard};
+pub use taxonomy::{Disorder, Severity, Task};

@@ -1,0 +1,235 @@
+//! Robustness perturbations (Table T5 workload).
+//!
+//! Each perturbation is a deterministic, seeded transformation of post text
+//! modelling a distribution shift the survey literature tests: typos,
+//! character elongation, emoji/emoticon injection, negation-scope noise, and
+//! synonym-ish lexical swaps via stopword deletion.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Available perturbation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Perturbation {
+    /// Keyboard-adjacent character substitutions in ~`rate` of words.
+    Typos,
+    /// Vowel elongation ("so" → "soooo") in ~`rate` of words.
+    Elongation,
+    /// Insert emoticons between sentences.
+    Emoticons,
+    /// Delete function words ("not", "no", …) — attacks negation handling.
+    NegationDrop,
+    /// Shuffle sentence order (tests bag-of-words vs structure reliance).
+    SentenceShuffle,
+}
+
+impl Perturbation {
+    /// All perturbations in report order.
+    pub const ALL: [Perturbation; 5] = [
+        Perturbation::Typos,
+        Perturbation::Elongation,
+        Perturbation::Emoticons,
+        Perturbation::NegationDrop,
+        Perturbation::SentenceShuffle,
+    ];
+
+    /// Short name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Perturbation::Typos => "typos",
+            Perturbation::Elongation => "elongation",
+            Perturbation::Emoticons => "emoticons",
+            Perturbation::NegationDrop => "negation_drop",
+            Perturbation::SentenceShuffle => "sentence_shuffle",
+        }
+    }
+
+    /// Apply the perturbation to `text` at intensity `rate` (0..=1) with the
+    /// given seed.
+    pub fn apply(self, text: &str, rate: f64, seed: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self {
+            Perturbation::Typos => perturb_words(text, rate, &mut rng, typo_word),
+            Perturbation::Elongation => perturb_words(text, rate, &mut rng, elongate_word),
+            Perturbation::Emoticons => inject_emoticons(text, rate, &mut rng),
+            Perturbation::NegationDrop => drop_negations(text, rate, &mut rng),
+            Perturbation::SentenceShuffle => shuffle_sentences(text, &mut rng),
+        }
+    }
+}
+
+fn perturb_words(
+    text: &str,
+    rate: f64,
+    rng: &mut StdRng,
+    f: fn(&str, &mut StdRng) -> String,
+) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    let mut first = true;
+    for w in text.split_whitespace() {
+        if !first {
+            out.push(' ');
+        }
+        first = false;
+        if w.chars().all(|c| c.is_alphabetic()) && w.len() >= 3 && rng.gen_bool(rate) {
+            out.push_str(&f(w, rng));
+        } else {
+            out.push_str(w);
+        }
+    }
+    out
+}
+
+/// Keyboard-adjacency map for a QWERTY layout (lowercase letters only).
+fn adjacent_key(c: char) -> char {
+    match c {
+        'q' => 'w', 'w' => 'e', 'e' => 'r', 'r' => 't', 't' => 'y', 'y' => 'u',
+        'u' => 'i', 'i' => 'o', 'o' => 'p', 'p' => 'o', 'a' => 's', 's' => 'd',
+        'd' => 'f', 'f' => 'g', 'g' => 'h', 'h' => 'j', 'j' => 'k', 'k' => 'l',
+        'l' => 'k', 'z' => 'x', 'x' => 'c', 'c' => 'v', 'v' => 'b', 'b' => 'n',
+        'n' => 'm', 'm' => 'n',
+        other => other,
+    }
+}
+
+fn typo_word(w: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = w.chars().collect();
+    let pos = rng.gen_range(0..chars.len());
+    let mut out: String = String::with_capacity(w.len());
+    for (i, &c) in chars.iter().enumerate() {
+        if i == pos {
+            out.push(adjacent_key(c.to_ascii_lowercase()));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn elongate_word(w: &str, rng: &mut StdRng) -> String {
+    // Stretch the last vowel if any, else the last character.
+    let chars: Vec<char> = w.chars().collect();
+    let pos = chars
+        .iter()
+        .rposition(|c| matches!(c.to_ascii_lowercase(), 'a' | 'e' | 'i' | 'o' | 'u'))
+        .unwrap_or(chars.len() - 1);
+    let reps = rng.gen_range(2..=4);
+    let mut out = String::with_capacity(w.len() + reps);
+    for (i, &c) in chars.iter().enumerate() {
+        out.push(c);
+        if i == pos {
+            for _ in 0..reps {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+const INJECT_EMOTICONS: &[&str] = &[":(", ":)", ":/", ";_;", "xD", "<3"];
+
+fn inject_emoticons(text: &str, rate: f64, rng: &mut StdRng) -> String {
+    let mut out = String::with_capacity(text.len() + 16);
+    for (i, part) in text.split_inclusive(['.', '!', '?']).enumerate() {
+        if i > 0 && rng.gen_bool(rate) {
+            out.push(' ');
+            out.push_str(INJECT_EMOTICONS.choose(rng).expect("non-empty"));
+        }
+        out.push_str(part);
+    }
+    out
+}
+
+const NEGATIONS: &[&str] = &["not", "no", "never", "can't", "won't", "don't", "cannot", "didn't"];
+
+fn drop_negations(text: &str, rate: f64, rng: &mut StdRng) -> String {
+    let kept: Vec<&str> = text
+        .split_whitespace()
+        .filter(|w| {
+            let lw = w.to_lowercase();
+            let is_neg = NEGATIONS.contains(&lw.trim_matches(|c: char| !c.is_alphanumeric() && c != '\''));
+            !(is_neg && rng.gen_bool(rate))
+        })
+        .collect();
+    kept.join(" ")
+}
+
+fn shuffle_sentences(text: &str, rng: &mut StdRng) -> String {
+    let mut sents: Vec<&str> = mhd_text::tokenize::sentences(text);
+    sents.shuffle(rng);
+    sents.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "i can't sleep at night. everything feels hopeless. why do i never get better?";
+
+    #[test]
+    fn deterministic() {
+        for p in Perturbation::ALL {
+            assert_eq!(p.apply(SAMPLE, 0.5, 9), p.apply(SAMPLE, 0.5, 9), "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn zero_rate_typos_identity() {
+        assert_eq!(Perturbation::Typos.apply(SAMPLE, 0.0, 1), SAMPLE);
+    }
+
+    #[test]
+    fn typos_change_words_not_length_much() {
+        let out = Perturbation::Typos.apply(SAMPLE, 1.0, 2);
+        assert_ne!(out, SAMPLE);
+        assert_eq!(out.split_whitespace().count(), SAMPLE.split_whitespace().count());
+    }
+
+    #[test]
+    fn elongation_lengthens() {
+        let out = Perturbation::Elongation.apply(SAMPLE, 1.0, 3);
+        assert!(out.len() > SAMPLE.len());
+    }
+
+    #[test]
+    fn emoticons_injected() {
+        let out = Perturbation::Emoticons.apply(SAMPLE, 1.0, 4);
+        assert!(INJECT_EMOTICONS.iter().any(|e| out.contains(e)), "{out}");
+    }
+
+    #[test]
+    fn negation_dropped() {
+        let out = Perturbation::NegationDrop.apply(SAMPLE, 1.0, 5);
+        let lower = out.to_lowercase();
+        assert!(!lower.split_whitespace().any(|w| w == "never" || w == "can't"), "{out}");
+        // Content words survive.
+        assert!(lower.contains("hopeless"));
+    }
+
+    #[test]
+    fn shuffle_preserves_sentences() {
+        let out = Perturbation::SentenceShuffle.apply(SAMPLE, 1.0, 6);
+        assert!(out.contains("everything feels hopeless."));
+        assert_eq!(
+            mhd_text::tokenize::sentences(&out).len(),
+            mhd_text::tokenize::sentences(SAMPLE).len()
+        );
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = Perturbation::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Perturbation::ALL.len());
+    }
+
+    #[test]
+    fn empty_text_safe() {
+        for p in Perturbation::ALL {
+            let out = p.apply("", 1.0, 7);
+            assert!(out.is_empty() || out.trim().is_empty(), "{:?} -> {out:?}", p);
+        }
+    }
+}

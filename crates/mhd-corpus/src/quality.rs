@@ -1,0 +1,258 @@
+//! Corpus quality checks.
+//!
+//! The data-preprocessing sections of the surveyed benchmarks all run the
+//! same hygiene battery before training anything; this module implements it
+//! for our datasets (and for any TSV-imported external dataset):
+//!
+//! - exact and near-duplicate detection (hashed-shingle Jaccard);
+//! - train/test leakage: near-duplicates straddling the split boundary —
+//!   the "dataset contamination" check;
+//! - class vocabulary overlap: pairwise Jaccard of class vocabularies,
+//!   quantifying how lexically confusable the label set is.
+
+use crate::dataset::{Dataset, Split};
+use mhd_text::hashing::fnv1a;
+use mhd_text::tokenize::words;
+use std::collections::{HashMap, HashSet};
+
+/// Full quality report for one dataset.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Number of exact duplicate texts (beyond the first occurrence).
+    pub exact_duplicates: usize,
+    /// Pairs of near-duplicate examples (Jaccard ≥ threshold).
+    pub near_duplicate_pairs: usize,
+    /// Near-duplicate pairs that straddle train and test — contamination.
+    pub train_test_leaks: usize,
+    /// Pairwise class-vocabulary Jaccard similarities, indexed
+    /// `[class_a][class_b]` (symmetric, 1.0 diagonal).
+    pub class_vocab_overlap: Vec<Vec<f64>>,
+}
+
+impl QualityReport {
+    /// The most lexically confusable class pair `(a, b, jaccard)`.
+    pub fn most_confusable_pair(&self) -> Option<(usize, usize, f64)> {
+        let k = self.class_vocab_overlap.len();
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..k {
+            for b in (a + 1)..k {
+                let j = self.class_vocab_overlap[a][b];
+                if best.is_none_or(|(_, _, bj)| j > bj) {
+                    best = Some((a, b, j));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Shingle size (in tokens) for near-duplicate hashing.
+const SHINGLE: usize = 5;
+
+/// Compute hashed shingle set for a text.
+fn shingles(text: &str) -> HashSet<u64> {
+    let toks = words(text);
+    if toks.len() < SHINGLE {
+        let joined = toks.join(" ");
+        return std::iter::once(fnv1a(joined.as_bytes())).collect();
+    }
+    toks.windows(SHINGLE)
+        .map(|w| fnv1a(w.join(" ").as_bytes()))
+        .collect()
+}
+
+fn jaccard(a: &HashSet<u64>, b: &HashSet<u64>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union.max(1) as f64
+}
+
+/// Run the quality battery. `near_dup_threshold` is the shingle-Jaccard
+/// level above which two posts count as near-duplicates (0.5 is the common
+/// default in the dedup literature).
+pub fn check_quality(dataset: &Dataset, near_dup_threshold: f64) -> QualityReport {
+    // Exact duplicates.
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut exact_duplicates = 0;
+    for e in &dataset.examples {
+        let h = fnv1a(e.text.as_bytes());
+        let count = seen.entry(h).or_insert(0);
+        if *count > 0 {
+            exact_duplicates += 1;
+        }
+        *count += 1;
+    }
+    // Near-duplicates: compare pairs that share at least one shingle bucket
+    // (inverted index keeps this far below O(n²) on realistic data).
+    let shingle_sets: Vec<HashSet<u64>> =
+        dataset.examples.iter().map(|e| shingles(&e.text)).collect();
+    let mut bucket_index: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, set) in shingle_sets.iter().enumerate() {
+        for &s in set {
+            bucket_index.entry(s).or_default().push(i);
+        }
+    }
+    let mut candidate_pairs: HashSet<(usize, usize)> = HashSet::new();
+    for bucket in bucket_index.values() {
+        if bucket.len() < 2 || bucket.len() > 50 {
+            continue; // Hot shingles (common phrases) are not dedup evidence.
+        }
+        for (ai, &a) in bucket.iter().enumerate() {
+            for &b in &bucket[ai + 1..] {
+                candidate_pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let mut near_duplicate_pairs = 0;
+    let mut train_test_leaks = 0;
+    for &(a, b) in &candidate_pairs {
+        if jaccard(&shingle_sets[a], &shingle_sets[b]) >= near_dup_threshold {
+            near_duplicate_pairs += 1;
+            let (sa, sb) = (dataset.examples[a].split, dataset.examples[b].split);
+            if (sa == Split::Train && sb == Split::Test)
+                || (sa == Split::Test && sb == Split::Train)
+            {
+                train_test_leaks += 1;
+            }
+        }
+    }
+    // Class vocabulary overlap.
+    let k = dataset.task.n_classes();
+    let mut vocabs: Vec<HashSet<String>> = vec![HashSet::new(); k];
+    for e in &dataset.examples {
+        for w in words(&e.text) {
+            vocabs[e.label].insert(w);
+        }
+    }
+    let mut class_vocab_overlap = vec![vec![0.0; k]; k];
+    for a in 0..k {
+        for b in 0..k {
+            if a == b {
+                class_vocab_overlap[a][b] = 1.0;
+            } else {
+                let inter = vocabs[a].intersection(&vocabs[b]).count();
+                let union = vocabs[a].len() + vocabs[b].len() - inter;
+                class_vocab_overlap[a][b] = inter as f64 / union.max(1) as f64;
+            }
+        }
+    }
+    QualityReport { exact_duplicates, near_duplicate_pairs, train_test_leaks, class_vocab_overlap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{build_dataset, BuildConfig, DatasetId};
+    use crate::dataset::Example;
+    use crate::taxonomy::Task;
+
+    fn tiny_dataset(texts: &[(&str, usize, Split)]) -> Dataset {
+        Dataset {
+            name: "q",
+            task: Task { name: "q", description: "q", labels: vec!["a", "b"] },
+            examples: texts
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, label, split))| Example {
+                    id: i as u64,
+                    text: t.to_string(),
+                    label,
+                    true_label: label,
+                    split,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_counted() {
+        let d = tiny_dataset(&[
+            ("the same post text here", 0, Split::Train),
+            ("the same post text here", 0, Split::Train),
+            ("something different entirely", 1, Split::Train),
+        ]);
+        let r = check_quality(&d, 0.5);
+        assert_eq!(r.exact_duplicates, 1);
+    }
+
+    #[test]
+    fn near_duplicates_and_leaks_detected() {
+        let base = "i feel hopeless and empty tonight and nothing seems to matter anymore at all";
+        let variant = "i feel hopeless and empty tonight and nothing seems to matter anymore at night";
+        let d = tiny_dataset(&[
+            (base, 0, Split::Train),
+            (variant, 0, Split::Test),
+            ("completely unrelated cheerful content about gardens and cooking this weekend", 1, Split::Test),
+        ]);
+        let r = check_quality(&d, 0.5);
+        assert!(r.near_duplicate_pairs >= 1, "{r:?}");
+        assert!(r.train_test_leaks >= 1, "{r:?}");
+    }
+
+    #[test]
+    fn benchmark_datasets_have_no_exact_duplicate_explosion() {
+        let d = build_dataset(
+            DatasetId::SdcnlS,
+            &BuildConfig { seed: 2, scale: 0.3, label_noise: None },
+        );
+        let r = check_quality(&d, 0.6);
+        // Template generation can repeat, but wholesale duplication would be
+        // a generator bug.
+        assert!(
+            r.exact_duplicates < d.examples.len() / 10,
+            "too many duplicates: {} of {}",
+            r.exact_duplicates,
+            d.examples.len()
+        );
+    }
+
+    #[test]
+    fn confusable_pair_is_symmetric_diag_one() {
+        let d = build_dataset(
+            DatasetId::SwmhS,
+            &BuildConfig { seed: 2, scale: 0.1, label_noise: None },
+        );
+        let r = check_quality(&d, 0.5);
+        let k = r.class_vocab_overlap.len();
+        assert_eq!(k, 5);
+        for a in 0..k {
+            assert!((r.class_vocab_overlap[a][a] - 1.0).abs() < 1e-12);
+            for b in 0..k {
+                assert!(
+                    (r.class_vocab_overlap[a][b] - r.class_vocab_overlap[b][a]).abs() < 1e-12
+                );
+            }
+        }
+        let (a, b, j) = r.most_confusable_pair().expect("pairs exist");
+        assert!(a < b);
+        assert!(j > 0.0 && j < 1.0);
+    }
+
+    #[test]
+    fn depression_suicidewatch_most_confusable_on_swmh() {
+        // The signal-model design goal: the hard pair shares the most
+        // vocabulary among *clinical* classes.
+        let d = build_dataset(
+            DatasetId::SwmhS,
+            &BuildConfig { seed: 42, scale: 0.4, label_noise: Some(0.0) },
+        );
+        let r = check_quality(&d, 0.5);
+        // depression = 0, suicidewatch = 3.
+        let dep_sw = r.class_vocab_overlap[0][3];
+        let dep_bipolar = r.class_vocab_overlap[0][2];
+        assert!(
+            dep_sw > dep_bipolar,
+            "depression should overlap suicidewatch ({dep_sw:.3}) more than bipolar ({dep_bipolar:.3})"
+        );
+    }
+
+    #[test]
+    fn short_texts_handled() {
+        let d = tiny_dataset(&[("hi", 0, Split::Train), ("yo", 1, Split::Test)]);
+        let r = check_quality(&d, 0.5);
+        assert_eq!(r.exact_duplicates, 0);
+    }
+}

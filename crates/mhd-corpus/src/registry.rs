@@ -1,0 +1,96 @@
+//! Dataset registry and cards (Table T1 source).
+
+use crate::builders::{build_dataset, BuildConfig, DatasetId};
+use crate::dataset::{Dataset, Split};
+
+/// Summary card for one dataset — the row shape of Table T1.
+#[derive(Debug, Clone)]
+pub struct DatasetCard {
+    /// Machine name.
+    pub name: &'static str,
+    /// Task name.
+    pub task: &'static str,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Class label strings.
+    pub labels: Vec<&'static str>,
+    /// Total examples.
+    pub n_examples: usize,
+    /// Per-split sizes (train, val, test).
+    pub split_sizes: (usize, usize, usize),
+    /// Per-class counts.
+    pub class_counts: Vec<usize>,
+    /// Majority/minority imbalance ratio.
+    pub imbalance: f64,
+    /// Mean tokens per post.
+    pub avg_tokens: f64,
+    /// Realized annotation-noise rate.
+    pub label_noise: f64,
+}
+
+impl DatasetCard {
+    /// Compute a card from a built dataset.
+    pub fn of(d: &Dataset) -> DatasetCard {
+        DatasetCard {
+            name: d.name,
+            task: d.task.name,
+            n_classes: d.task.n_classes(),
+            labels: d.task.labels.clone(),
+            n_examples: d.examples.len(),
+            split_sizes: (
+                d.split_len(Split::Train),
+                d.split_len(Split::Val),
+                d.split_len(Split::Test),
+            ),
+            class_counts: d.class_counts(),
+            imbalance: d.imbalance_ratio(),
+            avg_tokens: d.avg_tokens(),
+            label_noise: d.label_noise_rate(),
+        }
+    }
+}
+
+/// All benchmark dataset ids.
+pub fn all_dataset_ids() -> [DatasetId; 7] {
+    DatasetId::ALL
+}
+
+/// Build a dataset by id with the given config.
+pub fn build(id: DatasetId, config: &BuildConfig) -> Dataset {
+    build_dataset(id, config)
+}
+
+/// Build every dataset and return its card (Table T1 rows).
+pub fn cards(config: &BuildConfig) -> Vec<DatasetCard> {
+    DatasetId::ALL.iter().map(|&id| DatasetCard::of(&build(id, config))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cards_cover_all_datasets() {
+        let cfg = BuildConfig { seed: 1, scale: 0.1, label_noise: None };
+        let cards = cards(&cfg);
+        assert_eq!(cards.len(), 7);
+        for c in &cards {
+            assert_eq!(c.n_classes, c.labels.len());
+            assert_eq!(c.n_examples, c.class_counts.iter().sum::<usize>());
+            let (tr, va, te) = c.split_sizes;
+            assert_eq!(tr + va + te, c.n_examples);
+            assert!(c.avg_tokens > 0.0);
+            assert!(c.imbalance >= 1.0);
+        }
+    }
+
+    #[test]
+    fn card_matches_dataset() {
+        let cfg = BuildConfig { seed: 1, scale: 0.1, label_noise: None };
+        let d = build(DatasetId::DreadditS, &cfg);
+        let c = DatasetCard::of(&d);
+        assert_eq!(c.name, "dreaddit-s");
+        assert_eq!(c.task, "stress_binary");
+        assert_eq!(c.n_examples, d.examples.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-condition psycholinguistic signal profiles.
+//!
+//! A [`SignalProfile`] describes, for one [`Disorder`], how strongly each
+//! lexicon category is expressed in posts written under that condition.
+//! The weights below encode the replicated findings of the mental-health
+//! NLP literature:
+//!
+//! - depression: sadness + absolutist words + first-person density + sleep;
+//! - suicidal ideation: depression's profile **plus** death-category
+//!   language and burden phrases (which is exactly why SDCNL is hard);
+//! - anxiety: worry/fear + somatic arousal + cognition (rumination);
+//! - stress: work/money stressors + arousal, *without* the depressive core;
+//! - PTSD: trauma vocabulary + sleep (nightmares) + hypervigilance;
+//! - bipolar: alternating manic-energy and depressive language;
+//! - eating disorder: food/body preoccupation + control language.
+
+use crate::taxonomy::Disorder;
+use mhd_text::lexicon::LexiconCategory as C;
+
+/// A weighted mixture over lexicon categories for one condition.
+#[derive(Debug, Clone)]
+pub struct SignalProfile {
+    /// The condition this profile generates.
+    pub disorder: Disorder,
+    /// `(category, weight)` — relative propensity to emit a sentence drawing
+    /// on that category. Weights need not sum to 1.
+    pub category_weights: Vec<(C, f64)>,
+    /// Baseline fraction of *filler* (neutral everyday) sentences at
+    /// moderate severity. Lower = more saturated signal.
+    pub filler_floor: f64,
+    /// Extra first-person-singular pressure (0 = population baseline).
+    pub first_person_boost: f64,
+}
+
+/// The signal profile for a condition.
+pub fn profile(d: Disorder) -> SignalProfile {
+    let (category_weights, filler_floor, first_person_boost) = match d {
+        Disorder::Control => (vec![(C::PositiveEmotion, 1.0), (C::Social, 0.8), (C::Work, 0.6), (C::Cognition, 0.3)], 0.85, 0.0),
+        Disorder::Depression => (
+            vec![
+                (C::Sadness, 1.0),
+                (C::Absolutist, 0.55),
+                (C::Sleep, 0.5),
+                (C::NegativeEmotion, 0.6),
+                (C::Social, 0.4),
+                (C::Cognition, 0.45),
+                (C::Treatment, 0.2),
+            ],
+            0.35,
+            0.6,
+        ),
+        Disorder::Anxiety => (
+            vec![
+                (C::Anxiety, 1.0),
+                (C::Body, 0.6),
+                (C::Cognition, 0.6),
+                (C::Absolutist, 0.3),
+                (C::Sleep, 0.3),
+                (C::NegativeEmotion, 0.35),
+                (C::Treatment, 0.15),
+            ],
+            0.4,
+            0.35,
+        ),
+        Disorder::Stress => (
+            vec![
+                (C::Work, 1.0),
+                (C::Money, 0.55),
+                (C::Anxiety, 0.5),
+                (C::Body, 0.35),
+                (C::Sleep, 0.35),
+                (C::Anger, 0.3),
+                (C::NegativeEmotion, 0.3),
+            ],
+            0.45,
+            0.2,
+        ),
+        Disorder::Ptsd => (
+            vec![
+                (C::Trauma, 1.0),
+                (C::Sleep, 0.55),
+                (C::Anxiety, 0.5),
+                (C::NegativeEmotion, 0.35),
+                (C::Cognition, 0.3),
+                (C::Social, 0.25),
+                (C::Treatment, 0.2),
+            ],
+            0.4,
+            0.3,
+        ),
+        Disorder::Bipolar => (
+            vec![
+                (C::Mania, 1.0),
+                (C::Sadness, 0.5),
+                (C::Money, 0.3),
+                (C::Sleep, 0.45),
+                (C::Cognition, 0.3),
+                (C::Treatment, 0.3),
+            ],
+            0.4,
+            0.3,
+        ),
+        Disorder::SuicidalIdeation => (
+            vec![
+                (C::Death, 1.0),
+                (C::Sadness, 0.85),
+                (C::Absolutist, 0.6),
+                (C::NegativeEmotion, 0.5),
+                (C::Social, 0.4),
+                (C::Sleep, 0.3),
+                (C::Cognition, 0.35),
+            ],
+            0.3,
+            0.7,
+        ),
+        Disorder::EatingDisorder => (
+            vec![
+                (C::Eating, 1.0),
+                (C::Body, 0.6),
+                (C::NegativeEmotion, 0.4),
+                (C::Absolutist, 0.35),
+                (C::Social, 0.25),
+                (C::Cognition, 0.25),
+            ],
+            0.4,
+            0.4,
+        ),
+    };
+    SignalProfile { disorder: d, category_weights, filler_floor, first_person_boost }
+}
+
+impl SignalProfile {
+    /// Total category weight (normalization constant for sampling).
+    pub fn total_weight(&self) -> f64 {
+        self.category_weights.iter().map(|&(_, w)| w).sum()
+    }
+
+    /// The single most characteristic category.
+    pub fn dominant_category(&self) -> C {
+        self.category_weights
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite weights"))
+            .map(|&(c, _)| c)
+            .expect("non-empty profile")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_disorder_has_profile() {
+        for &d in &Disorder::ALL {
+            let p = profile(d);
+            assert!(!p.category_weights.is_empty());
+            assert!(p.total_weight() > 0.0);
+            assert!(p.filler_floor > 0.0 && p.filler_floor < 1.0);
+        }
+    }
+
+    #[test]
+    fn dominant_categories_are_distinctive() {
+        assert_eq!(profile(Disorder::Depression).dominant_category(), C::Sadness);
+        assert_eq!(profile(Disorder::SuicidalIdeation).dominant_category(), C::Death);
+        assert_eq!(profile(Disorder::Anxiety).dominant_category(), C::Anxiety);
+        assert_eq!(profile(Disorder::Ptsd).dominant_category(), C::Trauma);
+        assert_eq!(profile(Disorder::Stress).dominant_category(), C::Work);
+        assert_eq!(profile(Disorder::Bipolar).dominant_category(), C::Mania);
+        assert_eq!(profile(Disorder::EatingDisorder).dominant_category(), C::Eating);
+    }
+
+    #[test]
+    fn suicidal_overlaps_depression() {
+        // The hard-pair property: suicidal ideation carries substantial
+        // sadness weight, so the two classes overlap lexically.
+        let si = profile(Disorder::SuicidalIdeation);
+        let sadness = si
+            .category_weights
+            .iter()
+            .find(|&&(c, _)| c == C::Sadness)
+            .map(|&(_, w)| w)
+            .unwrap_or(0.0);
+        assert!(sadness >= 0.8);
+    }
+
+    #[test]
+    fn control_prefers_positive() {
+        let c = profile(Disorder::Control);
+        assert_eq!(c.dominant_category(), C::PositiveEmotion);
+        assert!(c.filler_floor > 0.7);
+        assert_eq!(c.first_person_boost, 0.0);
+    }
+
+    #[test]
+    fn depressive_conditions_boost_first_person() {
+        assert!(profile(Disorder::Depression).first_person_boost > 0.0);
+        assert!(
+            profile(Disorder::SuicidalIdeation).first_person_boost
+                >= profile(Disorder::Depression).first_person_boost
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Disorder taxonomy, severities and detection tasks.
+
+use std::fmt;
+
+/// Mental-health conditions modelled by the benchmark.
+///
+/// `Control` denotes posts with no clinical signal (everyday content); it is
+/// the negative class of the binary tasks and the majority class of the
+/// triage tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Disorder {
+    /// No clinical signal; everyday content.
+    Control,
+    /// Major-depression-like language.
+    Depression,
+    /// Generalized-anxiety-like language.
+    Anxiety,
+    /// Acute stress (the Dreaddit construct — situational stressors).
+    Stress,
+    /// Post-traumatic stress language.
+    Ptsd,
+    /// Bipolar / mania-episode language.
+    Bipolar,
+    /// Active suicidal ideation.
+    SuicidalIdeation,
+    /// Eating-disorder language.
+    EatingDisorder,
+}
+
+impl Disorder {
+    /// Every condition, stable order.
+    pub const ALL: [Disorder; 8] = [
+        Disorder::Control,
+        Disorder::Depression,
+        Disorder::Anxiety,
+        Disorder::Stress,
+        Disorder::Ptsd,
+        Disorder::Bipolar,
+        Disorder::SuicidalIdeation,
+        Disorder::EatingDisorder,
+    ];
+
+    /// Canonical lowercase label string (what prompts and parsers use).
+    pub fn label(self) -> &'static str {
+        match self {
+            Disorder::Control => "control",
+            Disorder::Depression => "depression",
+            Disorder::Anxiety => "anxiety",
+            Disorder::Stress => "stress",
+            Disorder::Ptsd => "ptsd",
+            Disorder::Bipolar => "bipolar",
+            Disorder::SuicidalIdeation => "suicidal ideation",
+            Disorder::EatingDisorder => "eating disorder",
+        }
+    }
+}
+
+impl fmt::Display for Disorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Severity grades used by the ordinal tasks (DepSeverity / CSSRS style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    /// No symptoms.
+    None,
+    /// Subclinical / mild symptoms.
+    Mild,
+    /// Clear clinical signal.
+    Moderate,
+    /// Severe, pervasive signal.
+    Severe,
+}
+
+impl Severity {
+    /// All grades, ascending.
+    pub const ALL: [Severity; 4] =
+        [Severity::None, Severity::Mild, Severity::Moderate, Severity::Severe];
+
+    /// 0..=3 ordinal value.
+    pub fn ordinal(self) -> usize {
+        match self {
+            Severity::None => 0,
+            Severity::Mild => 1,
+            Severity::Moderate => 2,
+            Severity::Severe => 3,
+        }
+    }
+
+    /// Signal intensity multiplier used by the generator.
+    pub(crate) fn intensity(self) -> f64 {
+        match self {
+            Severity::None => 0.0,
+            Severity::Mild => 0.45,
+            Severity::Moderate => 1.0,
+            Severity::Severe => 1.7,
+        }
+    }
+
+    /// Canonical label string.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::None => "minimum",
+            Severity::Mild => "mild",
+            Severity::Moderate => "moderate",
+            Severity::Severe => "severe",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The detection task a dataset poses. Tasks define the label vocabulary a
+/// detector must choose from; labels are indices into [`Task::labels`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Task {
+    /// Short machine name ("stress_binary").
+    pub name: &'static str,
+    /// Human instruction fragment ("whether the poster suffers from stress").
+    pub description: &'static str,
+    /// Ordered label strings; a prediction is an index into this slice.
+    pub labels: Vec<&'static str>,
+}
+
+impl Task {
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Index of a label string (exact match).
+    pub fn label_index(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|&l| l == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = Disorder::ALL.iter().map(|d| d.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Disorder::ALL.len());
+    }
+
+    #[test]
+    fn severity_ordinal_ascending() {
+        for w in Severity::ALL.windows(2) {
+            assert!(w[0].ordinal() < w[1].ordinal());
+            assert!(w[0].intensity() < w[1].intensity());
+        }
+        assert_eq!(Severity::None.intensity(), 0.0);
+    }
+
+    #[test]
+    fn task_label_lookup() {
+        let t = Task {
+            name: "demo",
+            description: "demo task",
+            labels: vec!["no", "yes"],
+        };
+        assert_eq!(t.n_classes(), 2);
+        assert_eq!(t.label_index("yes"), Some(1));
+        assert_eq!(t.label_index("maybe"), None);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Disorder::SuicidalIdeation.to_string(), "suicidal ideation");
+        assert_eq!(Severity::Severe.to_string(), "severe");
+    }
+}

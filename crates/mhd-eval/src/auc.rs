@@ -1,0 +1,145 @@
+//! ROC analysis: AUC and curve points for binary scoring.
+
+/// One ROC point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Score threshold the point corresponds to.
+    pub threshold: f64,
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate (recall).
+    pub tpr: f64,
+}
+
+/// Area under the ROC curve for positive-class scores.
+///
+/// Computed via the Mann–Whitney U statistic (ties counted half), which is
+/// exact and O(n log n). Returns 0.5 when either class is absent.
+pub fn roc_auc(scores: &[f64], positive: &[bool]) -> f64 {
+    assert_eq!(scores.len(), positive.len());
+    let n_pos = positive.iter().filter(|&&p| p).count();
+    let n_neg = positive.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank the scores (average ranks for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 =
+        ranks.iter().zip(positive).filter(|(_, &p)| p).map(|(&r, _)| r).sum();
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Full ROC curve, sweeping every distinct score as a threshold. Points are
+/// ordered by increasing FPR and include the (0,0) and (1,1) endpoints.
+pub fn roc_curve(scores: &[f64], positive: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), positive.len());
+    let n_pos = positive.iter().filter(|&&p| p).count() as f64;
+    let n_neg = (positive.len() - n_pos as usize) as f64;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    // Descending score: lowering the threshold adds points.
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, fpr: 0.0, tpr: 0.0 }];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume all examples at this score.
+        while i < order.len() && scores[order[i]] == threshold {
+            if positive[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold,
+            fpr: if n_neg == 0.0 { 0.0 } else { fp / n_neg },
+            tpr: if n_pos == 0.0 { 0.0 } else { tp / n_pos },
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let pos = [true, true, false, false];
+        assert!((roc_auc(&scores, &pos) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let pos = [true, true, false, false];
+        assert!(roc_auc(&scores, &pos).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_auc_half() {
+        // Identical scores: every pair is a tie → AUC exactly 0.5.
+        let scores = [0.5; 10];
+        let pos: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        assert!((roc_auc(&scores, &pos) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.3, 0.7], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn known_value() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs: (0.8>0.6)✓ (0.8>0.2)✓ (0.4<0.6)✗ (0.4>0.2)✓ → 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let pos = [true, true, false, false];
+        assert!((roc_auc(&scores, &pos) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_endpoints_and_monotonicity() {
+        let scores = [0.9, 0.7, 0.6, 0.3, 0.2];
+        let pos = [true, false, true, false, true];
+        let curve = roc_curve(&scores, &pos);
+        assert_eq!(curve.first().map(|p| (p.fpr, p.tpr)), Some((0.0, 0.0)));
+        assert_eq!(curve.last().map(|p| (p.fpr, p.tpr)), Some((1.0, 1.0)));
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn trapezoid_matches_mann_whitney() {
+        let scores = [0.95, 0.8, 0.7, 0.65, 0.5, 0.4, 0.3, 0.2];
+        let pos = [true, true, false, true, false, true, false, false];
+        let curve = roc_curve(&scores, &pos);
+        let mut area = 0.0;
+        for w in curve.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        assert!((area - roc_auc(&scores, &pos)).abs() < 1e-9);
+    }
+}

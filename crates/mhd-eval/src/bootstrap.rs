@@ -1,0 +1,119 @@
+//! Percentile bootstrap confidence intervals over per-example outcomes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Point estimate on the full sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+/// Percentile bootstrap for any statistic of `(gold, pred)` pairs.
+///
+/// `statistic` receives resampled parallel slices and returns a scalar
+/// (e.g. accuracy or weighted F1). `level` is the confidence level, e.g.
+/// 0.95.
+pub fn bootstrap_ci<F>(
+    gold: &[usize],
+    pred: &[usize],
+    statistic: F,
+    n_resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Interval
+where
+    F: Fn(&[usize], &[usize]) -> f64,
+{
+    assert_eq!(gold.len(), pred.len());
+    assert!(!gold.is_empty(), "empty sample");
+    assert!((0.5..1.0).contains(&level), "level must be in [0.5, 1)");
+    let n = gold.len();
+    let point = statistic(gold, pred);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(n_resamples);
+    let mut g = vec![0usize; n];
+    let mut p = vec![0usize; n];
+    for _ in 0..n_resamples {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            g[i] = gold[j];
+            p[i] = pred[j];
+        }
+        stats.push(statistic(&g, &p));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((n_resamples as f64) * alpha).floor() as usize;
+    let hi_idx = (((n_resamples as f64) * (1.0 - alpha)).ceil() as usize).min(n_resamples - 1);
+    Interval { point, lo: stats[lo_idx], hi: stats[hi_idx] }
+}
+
+/// Convenience: bootstrap CI of plain accuracy.
+pub fn accuracy_ci(gold: &[usize], pred: &[usize], n_resamples: usize, seed: u64) -> Interval {
+    bootstrap_ci(
+        gold,
+        pred,
+        |g, p| {
+            let correct = g.iter().zip(p).filter(|(a, b)| a == b).count();
+            correct as f64 / g.len() as f64
+        },
+        n_resamples,
+        0.95,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_matches_statistic() {
+        let gold = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let pred = vec![0, 1, 0, 1, 0, 0, 1, 1];
+        let ci = accuracy_ci(&gold, &pred, 200, 1);
+        assert!((ci.point - 0.75).abs() < 1e-12);
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+    }
+
+    #[test]
+    fn perfect_predictions_tight_interval() {
+        let gold = vec![0, 1, 0, 1];
+        let ci = accuracy_ci(&gold, &gold, 100, 2);
+        assert_eq!(ci.point, 1.0);
+        assert_eq!(ci.lo, 1.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gold = vec![0, 1, 1, 0, 1, 0];
+        let pred = vec![0, 1, 0, 0, 1, 1];
+        let a = accuracy_ci(&gold, &pred, 300, 7);
+        let b = accuracy_ci(&gold, &pred, 300, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn larger_samples_narrower_intervals() {
+        let small_gold: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let small_pred: Vec<usize> = (0..20).map(|i| if i % 5 == 0 { 1 - i % 2 } else { i % 2 }).collect();
+        let big_gold: Vec<usize> = (0..2000).map(|i| i % 2).collect();
+        let big_pred: Vec<usize> = (0..2000).map(|i| if i % 5 == 0 { 1 - i % 2 } else { i % 2 }).collect();
+        let small = accuracy_ci(&small_gold, &small_pred, 300, 3);
+        let big = accuracy_ci(&big_gold, &big_pred, 300, 3);
+        assert!((big.hi - big.lo) < (small.hi - small.lo));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        accuracy_ci(&[], &[], 10, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Calibration: reliability bins and expected calibration error (ECE).
+
+/// One reliability-diagram bin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bin {
+    /// Lower confidence edge (inclusive).
+    pub lo: f64,
+    /// Upper confidence edge (exclusive; last bin inclusive).
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean confidence of the bin.
+    pub mean_confidence: f64,
+    /// Empirical accuracy of the bin.
+    pub accuracy: f64,
+}
+
+/// Reliability diagram + ECE for confidence/correctness pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The bins, low to high confidence.
+    pub bins: Vec<Bin>,
+    /// Expected calibration error: Σ (nᵢ/N)·|accᵢ − confᵢ|.
+    pub ece: f64,
+    /// Mean confidence overall.
+    pub mean_confidence: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+/// Compute calibration over `(confidence, correct)` pairs with `n_bins`
+/// equal-width bins.
+pub fn calibration(confidence: &[f64], correct: &[bool], n_bins: usize) -> Calibration {
+    assert_eq!(confidence.len(), correct.len());
+    assert!(n_bins > 0, "need at least one bin");
+    let n = confidence.len();
+    let mut sums = vec![(0usize, 0.0f64, 0usize); n_bins]; // (count, conf sum, correct)
+    for (&c, &ok) in confidence.iter().zip(correct) {
+        assert!((0.0..=1.0).contains(&c), "confidence out of [0,1]: {c}");
+        let mut b = (c * n_bins as f64) as usize;
+        if b == n_bins {
+            b -= 1; // c == 1.0 lands in the top bin
+        }
+        sums[b].0 += 1;
+        sums[b].1 += c;
+        if ok {
+            sums[b].2 += 1;
+        }
+    }
+    let mut bins = Vec::with_capacity(n_bins);
+    let mut ece = 0.0;
+    for (i, &(count, conf_sum, n_correct)) in sums.iter().enumerate() {
+        let lo = i as f64 / n_bins as f64;
+        let hi = (i + 1) as f64 / n_bins as f64;
+        let (mean_confidence, accuracy) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (conf_sum / count as f64, n_correct as f64 / count as f64)
+        };
+        if count > 0 && n > 0 {
+            ece += (count as f64 / n as f64) * (accuracy - mean_confidence).abs();
+        }
+        bins.push(Bin { lo, hi, count, mean_confidence, accuracy });
+    }
+    let mean_confidence = if n == 0 { 0.0 } else { confidence.iter().sum::<f64>() / n as f64 };
+    let accuracy = if n == 0 {
+        0.0
+    } else {
+        correct.iter().filter(|&&b| b).count() as f64 / n as f64
+    };
+    Calibration { bins, ece, mean_confidence, accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_low_ece() {
+        // Confidence 0.75 predictions that are right 75% of the time.
+        let confidence = vec![0.75; 100];
+        let correct: Vec<bool> = (0..100).map(|i| i % 4 != 0).collect();
+        let c = calibration(&confidence, &correct, 10);
+        assert!(c.ece < 1e-9, "ece {}", c.ece);
+        assert_eq!(c.accuracy, 0.75);
+    }
+
+    #[test]
+    fn overconfident_high_ece() {
+        // Confidence 0.99 but only 50% accurate → ECE ≈ 0.49.
+        let confidence = vec![0.99; 100];
+        let correct: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let c = calibration(&confidence, &correct, 10);
+        assert!((c.ece - 0.49).abs() < 0.01, "ece {}", c.ece);
+    }
+
+    #[test]
+    fn bins_partition_unit_interval() {
+        let c = calibration(&[0.0, 0.5, 1.0], &[true, false, true], 5);
+        assert_eq!(c.bins.len(), 5);
+        assert_eq!(c.bins[0].lo, 0.0);
+        assert_eq!(c.bins[4].hi, 1.0);
+        let total: usize = c.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 3);
+        // 1.0 goes to the last bin, not out of range.
+        assert_eq!(c.bins[4].count, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = calibration(&[], &[], 4);
+        assert_eq!(c.ece, 0.0);
+        assert_eq!(c.accuracy, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn bad_confidence_rejected() {
+        calibration(&[1.5], &[true], 4);
+    }
+}

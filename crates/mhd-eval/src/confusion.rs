@@ -1,0 +1,132 @@
+//! Confusion matrices.
+
+/// A `k×k` confusion matrix; rows = gold, columns = predicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>, // row-major k×k
+}
+
+impl ConfusionMatrix {
+    /// Build from parallel gold/pred slices. Panics when a label ≥ `k`.
+    pub fn from_pairs(gold: &[usize], pred: &[usize], k: usize) -> Self {
+        assert_eq!(gold.len(), pred.len(), "gold/pred must be parallel");
+        assert!(k > 0, "k must be positive");
+        let mut counts = vec![0u64; k * k];
+        for (&g, &p) in gold.iter().zip(pred) {
+            assert!(g < k && p < k, "label out of range: gold {g} pred {p} (k={k})");
+            counts[g * k + p] += 1;
+        }
+        ConfusionMatrix { k, counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count at (gold, pred).
+    pub fn at(&self, gold: usize, pred: usize) -> u64 {
+        self.counts[gold * self.k + pred]
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Diagonal sum (correct predictions).
+    pub fn correct(&self) -> u64 {
+        (0..self.k).map(|i| self.at(i, i)).sum()
+    }
+
+    /// True positives for a class.
+    pub fn tp(&self, class: usize) -> u64 {
+        self.at(class, class)
+    }
+
+    /// False positives for a class (predicted class, gold ≠ class).
+    pub fn fp(&self, class: usize) -> u64 {
+        (0..self.k).filter(|&g| g != class).map(|g| self.at(g, class)).sum()
+    }
+
+    /// False negatives for a class (gold class, predicted ≠ class).
+    pub fn fn_(&self, class: usize) -> u64 {
+        (0..self.k).filter(|&p| p != class).map(|p| self.at(class, p)).sum()
+    }
+
+    /// True negatives for a class.
+    pub fn tn(&self, class: usize) -> u64 {
+        self.total() - self.tp(class) - self.fp(class) - self.fn_(class)
+    }
+
+    /// Gold count ("support") of a class.
+    pub fn support(&self, class: usize) -> u64 {
+        (0..self.k).map(|p| self.at(class, p)).sum()
+    }
+
+    /// Row-normalized matrix (each gold row sums to 1; zero rows stay zero).
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        (0..self.k)
+            .map(|g| {
+                let s = self.support(g) as f64;
+                (0..self.k)
+                    .map(|p| if s == 0.0 { 0.0 } else { self.at(g, p) as f64 / s })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> ConfusionMatrix {
+        // gold: 0,0,0,1,1,2 ; pred: 0,1,0,1,1,0
+        ConfusionMatrix::from_pairs(&[0, 0, 0, 1, 1, 2], &[0, 1, 0, 1, 1, 0], 3)
+    }
+
+    #[test]
+    fn counts() {
+        let c = m();
+        assert_eq!(c.at(0, 0), 2);
+        assert_eq!(c.at(0, 1), 1);
+        assert_eq!(c.at(2, 0), 1);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.correct(), 4);
+    }
+
+    #[test]
+    fn per_class_counts() {
+        let c = m();
+        assert_eq!(c.tp(0), 2);
+        assert_eq!(c.fp(0), 1); // the class-2 example predicted as 0
+        assert_eq!(c.fn_(0), 1); // the class-0 example predicted as 1
+        assert_eq!(c.tn(0), 2);
+        assert_eq!(c.support(2), 1);
+        assert_eq!(c.tp(2) + c.fp(2) + c.fn_(2) + c.tn(2), 6);
+    }
+
+    #[test]
+    fn normalized_rows_sum_to_one() {
+        let n = m().normalized();
+        for (g, row) in n.iter().enumerate() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {g} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn zero_row_stays_zero() {
+        let c = ConfusionMatrix::from_pairs(&[0], &[0], 2);
+        let n = c.normalized();
+        assert!(n[1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        ConfusionMatrix::from_pairs(&[5], &[0], 2);
+    }
+}

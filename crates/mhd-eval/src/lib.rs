@@ -1,0 +1,29 @@
+//! # mhd-eval — evaluation metrics and reporting
+//!
+//! All measurement machinery for the benchmark:
+//!
+//! - [`metrics`] — accuracy, precision/recall/F1 (macro/micro/weighted),
+//!   balanced accuracy, Matthews correlation, Cohen's kappa
+//! - [`confusion`] — confusion matrices (Figure F4)
+//! - [`bootstrap`] — percentile bootstrap confidence intervals
+//! - [`mcnemar`] — McNemar's paired significance test
+//! - [`calibration`] — reliability bins and expected calibration error
+//!   (Figure F3)
+//! - [`auc`] — ROC curves and AUC (Mann–Whitney)
+//! - [`per_class`] — sklearn-style per-class P/R/F1 reports
+//! - [`ordinal`] — MAE and quadratic weighted kappa for graded tasks
+//! - [`table`] — plain-text/markdown/CSV table rendering for every report
+
+pub mod auc;
+pub mod bootstrap;
+pub mod calibration;
+pub mod confusion;
+pub mod mcnemar;
+pub mod metrics;
+pub mod ordinal;
+pub mod per_class;
+pub mod table;
+
+pub use confusion::ConfusionMatrix;
+pub use metrics::Metrics;
+pub use table::Table;

@@ -1,0 +1,135 @@
+//! McNemar's test for paired classifier comparison.
+//!
+//! Given two classifiers evaluated on the same test set, only the
+//! *discordant* pairs matter: `b` = examples A got right and B got wrong,
+//! `c` = the reverse. The continuity-corrected statistic
+//! `(|b−c|−1)²/(b+c)` is χ²(1)-distributed under H₀ (equal error rates).
+
+/// Result of a McNemar test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McNemar {
+    /// A-right/B-wrong count.
+    pub b: u64,
+    /// A-wrong/B-right count.
+    pub c: u64,
+    /// Continuity-corrected χ² statistic (0 when b + c = 0).
+    pub statistic: f64,
+    /// Approximate two-sided p-value from the χ²(1) distribution.
+    pub p_value: f64,
+}
+
+impl McNemar {
+    /// Is the difference significant at `alpha`?
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Run the test from gold labels and two prediction vectors.
+pub fn mcnemar(gold: &[usize], pred_a: &[usize], pred_b: &[usize]) -> McNemar {
+    assert_eq!(gold.len(), pred_a.len());
+    assert_eq!(gold.len(), pred_b.len());
+    let mut b = 0u64;
+    let mut c = 0u64;
+    for i in 0..gold.len() {
+        let a_ok = pred_a[i] == gold[i];
+        let b_ok = pred_b[i] == gold[i];
+        match (a_ok, b_ok) {
+            (true, false) => b += 1,
+            (false, true) => c += 1,
+            _ => {}
+        }
+    }
+    let statistic = if b + c == 0 {
+        0.0
+    } else {
+        let diff = (b as f64 - c as f64).abs() - 1.0;
+        let diff = diff.max(0.0);
+        diff * diff / (b + c) as f64
+    };
+    McNemar { b, c, statistic, p_value: chi2_1_sf(statistic) }
+}
+
+/// Survival function of χ²(1): P(X > x) = erfc(√(x/2)).
+fn chi2_1_sf(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    erfc((x / 2.0).sqrt())
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+fn erfc(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let val = poly * (-x * x).exp();
+    if x >= 0.0 {
+        val
+    } else {
+        2.0 - val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_classifiers_not_significant() {
+        let gold = vec![0, 1, 0, 1, 0, 1];
+        let pred = vec![0, 1, 0, 0, 1, 1];
+        let r = mcnemar(&gold, &pred, &pred);
+        assert_eq!(r.b, 0);
+        assert_eq!(r.c, 0);
+        assert_eq!(r.statistic, 0.0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn one_sided_dominance_significant() {
+        // A is right on 30 examples B gets wrong; B never beats A.
+        let n = 60;
+        let gold: Vec<usize> = vec![1; n];
+        let pred_a: Vec<usize> = vec![1; n];
+        let pred_b: Vec<usize> = (0..n).map(|i| if i < 30 { 0 } else { 1 }).collect();
+        let r = mcnemar(&gold, &pred_a, &pred_b);
+        assert_eq!(r.b, 30);
+        assert_eq!(r.c, 0);
+        assert!(r.significant(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn balanced_disagreement_not_significant() {
+        let gold: Vec<usize> = vec![1; 20];
+        let mut pred_a = vec![1; 20];
+        let mut pred_b = vec![1; 20];
+        // 5 discordant each way.
+        for i in 0..5 {
+            pred_a[i] = 0;
+        }
+        for i in 5..10 {
+            pred_b[i] = 0;
+        }
+        let r = mcnemar(&gold, &pred_a, &pred_b);
+        assert_eq!(r.b, 5);
+        assert_eq!(r.c, 5);
+        assert!(!r.significant(0.05));
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-4);
+        assert!((erfc(-1.0) - 1.842701).abs() < 1e-4);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn chi2_known_quantile() {
+        // χ²(1) 95th percentile ≈ 3.841 → sf ≈ 0.05.
+        assert!((chi2_1_sf(3.841) - 0.05).abs() < 0.002);
+    }
+}

@@ -1,0 +1,190 @@
+//! Classification metrics.
+
+use crate::confusion::ConfusionMatrix;
+
+/// The full metric set reported in the benchmark tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Plain accuracy.
+    pub accuracy: f64,
+    /// Balanced accuracy (mean per-class recall).
+    pub balanced_accuracy: f64,
+    /// Macro-averaged precision.
+    pub macro_precision: f64,
+    /// Macro-averaged recall.
+    pub macro_recall: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Support-weighted F1 — the headline metric of the surveyed papers.
+    pub weighted_f1: f64,
+    /// Micro F1 (= accuracy for single-label classification).
+    pub micro_f1: f64,
+    /// Cohen's kappa against the gold distribution.
+    pub kappa: f64,
+    /// Matthews correlation coefficient (multi-class generalization).
+    pub mcc: f64,
+}
+
+impl Metrics {
+    /// Compute everything from gold/pred label slices.
+    pub fn compute(gold: &[usize], pred: &[usize], k: usize) -> Metrics {
+        Self::from_confusion(&ConfusionMatrix::from_pairs(gold, pred, k))
+    }
+
+    /// Compute from an existing confusion matrix.
+    pub fn from_confusion(c: &ConfusionMatrix) -> Metrics {
+        let k = c.n_classes();
+        let n = c.total() as f64;
+        let accuracy = if n == 0.0 { 0.0 } else { c.correct() as f64 / n };
+
+        let mut precisions = Vec::with_capacity(k);
+        let mut recalls = Vec::with_capacity(k);
+        let mut f1s = Vec::with_capacity(k);
+        let mut weighted_f1 = 0.0;
+        for class in 0..k {
+            let tp = c.tp(class) as f64;
+            let fp = c.fp(class) as f64;
+            let fn_ = c.fn_(class) as f64;
+            let p = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+            let r = if tp + fn_ == 0.0 { 0.0 } else { tp / (tp + fn_) };
+            let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+            precisions.push(p);
+            recalls.push(r);
+            f1s.push(f1);
+            weighted_f1 += f1 * c.support(class) as f64;
+        }
+        let macro_precision = mean(&precisions);
+        let macro_recall = mean(&recalls);
+        let macro_f1 = mean(&f1s);
+        let weighted_f1 = if n == 0.0 { 0.0 } else { weighted_f1 / n };
+        // Micro F1 = accuracy in single-label settings.
+        let micro_f1 = accuracy;
+        // Balanced accuracy = macro recall.
+        let balanced_accuracy = macro_recall;
+        // Cohen's kappa.
+        let pe: f64 = (0..k)
+            .map(|class| {
+                let gold_rate = c.support(class) as f64 / n.max(1.0);
+                let pred_count: f64 = (0..k).map(|g| c.at(g, class) as f64).sum();
+                gold_rate * (pred_count / n.max(1.0))
+            })
+            .sum();
+        let kappa = if (1.0 - pe).abs() < 1e-12 { 0.0 } else { (accuracy - pe) / (1.0 - pe) };
+        // Multi-class MCC (Gorodkin).
+        let mcc = multiclass_mcc(c);
+        Metrics {
+            accuracy,
+            balanced_accuracy,
+            macro_precision,
+            macro_recall,
+            macro_f1,
+            weighted_f1,
+            micro_f1,
+            kappa,
+            mcc,
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+fn multiclass_mcc(c: &ConfusionMatrix) -> f64 {
+    let k = c.n_classes();
+    let n = c.total() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let correct = c.correct() as f64;
+    let mut sum_gold_pred = 0.0; // Σ_k gold_k · pred_k
+    let mut sum_gold2 = 0.0;
+    let mut sum_pred2 = 0.0;
+    for class in 0..k {
+        let gold_k = c.support(class) as f64;
+        let pred_k: f64 = (0..k).map(|g| c.at(g, class) as f64).sum();
+        sum_gold_pred += gold_k * pred_k;
+        sum_gold2 += gold_k * gold_k;
+        sum_pred2 += pred_k * pred_k;
+    }
+    let num = correct * n - sum_gold_pred;
+    let den = ((n * n - sum_pred2) * (n * n - sum_gold2)).sqrt();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let m = Metrics::compute(&[0, 1, 2, 0], &[0, 1, 2, 0], 3);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.macro_f1, 1.0);
+        assert_eq!(m.weighted_f1, 1.0);
+        assert!((m.kappa - 1.0).abs() < 1e-12);
+        assert!((m.mcc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_prediction_zero_kappa() {
+        // Predicting the majority class always: kappa ≈ 0 (chance-level).
+        let gold = vec![0, 0, 0, 1, 1, 1];
+        let pred = vec![0, 0, 0, 0, 0, 0];
+        let m = Metrics::compute(&gold, &pred, 2);
+        assert_eq!(m.accuracy, 0.5);
+        assert!(m.kappa.abs() < 1e-12, "kappa {}", m.kappa);
+        assert_eq!(m.mcc, 0.0);
+        // F1 for the never-predicted class is 0.
+        assert!(m.macro_f1 < m.accuracy);
+    }
+
+    #[test]
+    fn binary_f1_matches_manual() {
+        // gold: 1,1,1,0,0 ; pred: 1,1,0,0,1 → class-1: tp=2 fp=1 fn=1
+        let m = Metrics::compute(&[1, 1, 1, 0, 0], &[1, 1, 0, 0, 1], 2);
+        let p1 = 2.0 / 3.0;
+        let r1 = 2.0 / 3.0;
+        let f1_1 = 2.0 * p1 * r1 / (p1 + r1);
+        // class-0: tp=1 fp=1 fn=1 → p=r=f=0.5
+        let expected_macro = (f1_1 + 0.5) / 2.0;
+        assert!((m.macro_f1 - expected_macro).abs() < 1e-12);
+        let expected_weighted = (f1_1 * 3.0 + 0.5 * 2.0) / 5.0;
+        assert!((m.weighted_f1 - expected_weighted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_is_macro_recall() {
+        let m = Metrics::compute(&[0, 0, 0, 0, 1], &[0, 0, 0, 0, 0], 2);
+        assert!((m.balanced_accuracy - 0.5).abs() < 1e-12);
+        assert!(m.accuracy > m.balanced_accuracy, "imbalance gap visible");
+    }
+
+    #[test]
+    fn inverted_predictions_negative_mcc() {
+        let m = Metrics::compute(&[0, 0, 1, 1], &[1, 1, 0, 0], 2);
+        assert!((m.mcc + 1.0).abs() < 1e-12, "mcc {}", m.mcc);
+        assert!(m.kappa < 0.0);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy() {
+        let m = Metrics::compute(&[0, 1, 2, 1], &[0, 2, 2, 1], 3);
+        assert_eq!(m.micro_f1, m.accuracy);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let m = Metrics::compute(&[], &[], 2);
+        assert_eq!(m.accuracy, 0.0);
+        assert_eq!(m.macro_f1, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Ordinal classification metrics for graded tasks (depression severity,
+//! suicide risk): mean absolute error over grades and quadratic weighted
+//! kappa (Cohen's kappa with quadratic disagreement weights) — the metrics
+//! the DepSign/CSSRS literature reports alongside F1, because confusing
+//! "mild" with "moderate" is not as bad as confusing it with "severe".
+
+/// Mean absolute error between gold and predicted grade indices.
+pub fn ordinal_mae(gold: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(gold.len(), pred.len());
+    if gold.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = gold
+        .iter()
+        .zip(pred)
+        .map(|(&g, &p)| (g as f64 - p as f64).abs())
+        .sum();
+    total / gold.len() as f64
+}
+
+/// Quadratic weighted kappa over `k` ordered grades.
+///
+/// `κ_w = 1 − (Σ wᵢⱼ Oᵢⱼ) / (Σ wᵢⱼ Eᵢⱼ)` with `wᵢⱼ = (i−j)²/(k−1)²`,
+/// `O` the observed confusion matrix and `E` the outer product of the
+/// marginals. 1 = perfect, 0 = chance, negative = worse than chance.
+pub fn quadratic_weighted_kappa(gold: &[usize], pred: &[usize], k: usize) -> f64 {
+    assert_eq!(gold.len(), pred.len());
+    assert!(k >= 2, "need at least two grades");
+    let n = gold.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut observed = vec![vec![0.0f64; k]; k];
+    let mut gold_marginal = vec![0.0f64; k];
+    let mut pred_marginal = vec![0.0f64; k];
+    for (&g, &p) in gold.iter().zip(pred) {
+        assert!(g < k && p < k, "grade out of range");
+        observed[g][p] += 1.0;
+        gold_marginal[g] += 1.0;
+        pred_marginal[p] += 1.0;
+    }
+    let denom_w = ((k - 1) * (k - 1)) as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..k {
+        for j in 0..k {
+            let w = ((i as f64 - j as f64) * (i as f64 - j as f64)) / denom_w;
+            let expected = gold_marginal[i] * pred_marginal[j] / n as f64;
+            num += w * observed[i][j];
+            den += w * expected;
+        }
+    }
+    if den == 0.0 {
+        // No expected disagreement (degenerate marginals): perfect if no
+        // observed disagreement either.
+        if num == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_basics() {
+        assert_eq!(ordinal_mae(&[0, 1, 2], &[0, 1, 2]), 0.0);
+        assert_eq!(ordinal_mae(&[0, 1, 2], &[1, 2, 3]), 1.0);
+        assert_eq!(ordinal_mae(&[0, 3], &[3, 0]), 3.0);
+        assert_eq!(ordinal_mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn qwk_perfect_is_one() {
+        let g = [0, 1, 2, 3, 2, 1];
+        assert!((quadratic_weighted_kappa(&g, &g, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qwk_penalizes_distance() {
+        let gold = [0, 0, 3, 3];
+        let near = [1, 0, 2, 3]; // off-by-one errors
+        let far = [3, 0, 0, 3]; // maximal errors
+        let k_near = quadratic_weighted_kappa(&gold, &near, 4);
+        let k_far = quadratic_weighted_kappa(&gold, &far, 4);
+        assert!(k_near > k_far, "near {k_near} vs far {k_far}");
+    }
+
+    #[test]
+    fn qwk_chance_is_about_zero() {
+        // Predictions independent of gold with matching marginals.
+        let gold: Vec<usize> = (0..400).map(|i| i % 4).collect();
+        let pred: Vec<usize> = (0..400).map(|i| (i / 4) % 4).collect();
+        let k = quadratic_weighted_kappa(&gold, &pred, 4);
+        assert!(k.abs() < 0.1, "chance-level kappa should be ≈ 0: {k}");
+    }
+
+    #[test]
+    fn qwk_inverted_is_negative() {
+        let gold = [0, 0, 0, 3, 3, 3];
+        let pred = [3, 3, 3, 0, 0, 0];
+        assert!(quadratic_weighted_kappa(&gold, &pred, 4) < -0.5);
+    }
+
+    #[test]
+    fn qwk_degenerate_single_grade() {
+        let gold = [1, 1, 1];
+        assert_eq!(quadratic_weighted_kappa(&gold, &gold, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qwk_rejects_bad_grade() {
+        quadratic_weighted_kappa(&[5], &[0], 4);
+    }
+}

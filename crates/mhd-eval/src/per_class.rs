@@ -1,0 +1,90 @@
+//! Per-class classification reports (the sklearn-style breakdown).
+
+use crate::confusion::ConfusionMatrix;
+use crate::table::{fmt3, Table};
+
+/// Precision/recall/F1/support for one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// Class label string.
+    pub label: String,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// Gold count.
+    pub support: u64,
+}
+
+/// Compute per-class reports from gold/pred with label names.
+pub fn per_class_report(gold: &[usize], pred: &[usize], labels: &[&str]) -> Vec<ClassReport> {
+    let c = ConfusionMatrix::from_pairs(gold, pred, labels.len());
+    labels
+        .iter()
+        .enumerate()
+        .map(|(k, &label)| {
+            let tp = c.tp(k) as f64;
+            let fp = c.fp(k) as f64;
+            let fn_ = c.fn_(k) as f64;
+            let precision = if tp + fp == 0.0 { 0.0 } else { tp / (tp + fp) };
+            let recall = if tp + fn_ == 0.0 { 0.0 } else { tp / (tp + fn_) };
+            let f1 = if precision + recall == 0.0 {
+                0.0
+            } else {
+                2.0 * precision * recall / (precision + recall)
+            };
+            ClassReport { label: label.to_string(), precision, recall, f1, support: c.support(k) }
+        })
+        .collect()
+}
+
+/// Render per-class reports as a table.
+pub fn per_class_table(title: &str, reports: &[ClassReport]) -> Table {
+    let mut t = Table::new(title, &["class", "precision", "recall", "f1", "support"]);
+    for r in reports {
+        t.push_row(vec![
+            r.label.clone(),
+            fmt3(r.precision),
+            fmt3(r.recall),
+            fmt3(r.f1),
+            r.support.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_manual_binary() {
+        // gold: 1,1,1,0,0 ; pred: 1,1,0,0,1
+        let reports = per_class_report(&[1, 1, 1, 0, 0], &[1, 1, 0, 0, 1], &["neg", "pos"]);
+        assert_eq!(reports.len(), 2);
+        let pos = &reports[1];
+        assert!((pos.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pos.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pos.support, 3);
+        let neg = &reports[0];
+        assert!((neg.precision - 0.5).abs() < 1e-12);
+        assert_eq!(neg.support, 2);
+    }
+
+    #[test]
+    fn absent_class_all_zero() {
+        let reports = per_class_report(&[0, 0], &[0, 0], &["a", "b"]);
+        assert_eq!(reports[1].support, 0);
+        assert_eq!(reports[1].f1, 0.0);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let reports = per_class_report(&[0, 1], &[0, 1], &["a", "b"]);
+        let t = per_class_table("demo", &reports);
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.row_by_key("a").expect("row")[3], "1.000");
+    }
+}

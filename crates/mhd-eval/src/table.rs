@@ -1,0 +1,164 @@
+//! Plain-text table rendering (markdown and CSV).
+//!
+//! Purpose-built instead of pulling in a serialization stack: every report
+//! in the benchmark is a rectangular table of strings/numbers.
+
+/// A simple rectangular table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match header arity).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Access rows (for assertions in tests/benches).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Cell accessor.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Find the first row whose first cell equals `key`.
+    pub fn row_by_key(&self, key: &str) -> Option<&[String]> {
+        self.rows.iter().find(|r| r[0] == key).map(Vec::as_slice)
+    }
+
+    /// Render as aligned markdown.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{:-<1$}|", "", w + 2));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        let _ = ncols;
+        out
+    }
+
+    /// Render as CSV (RFC-4180 quoting for cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 3 decimals (the tables' numeric style).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float as a percentage with 1 decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Demo", &["method", "acc", "f1"]);
+        t.push_row(vec!["logreg".into(), "0.91".into(), "0.90".into()]);
+        t.push_row(vec!["nb, smoothed".into(), "0.87".into(), "0.85".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = table().to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| method"));
+        assert!(md.contains("logreg"));
+        assert!(md.contains("0.85"));
+        assert!(md.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = table().to_csv();
+        assert!(csv.starts_with("method,acc,f1\n"));
+        assert!(csv.contains("\"nb, smoothed\""));
+    }
+
+    #[test]
+    fn row_lookup() {
+        let t = table();
+        assert_eq!(t.row_by_key("logreg").expect("row")[1], "0.91");
+        assert!(t.row_by_key("nope").is_none());
+        assert_eq!(t.cell(0, 2), "0.90");
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt_pct(0.876), "87.6%");
+    }
+}

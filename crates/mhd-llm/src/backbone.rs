@@ -1,0 +1,425 @@
+//! The capability-scaled semantic backbone.
+//!
+//! Given a parsed prompt and a model spec, the backbone:
+//!
+//! 1. featurizes the query post into lexicon-rate space, reading only as
+//!    deep as the model's capability allows;
+//! 2. builds one prototype per candidate label — pretraining knowledge
+//!    ([`crate::knowledge`]) blended with in-context demonstration
+//!    centroids (few-shot learning, weighted by capability);
+//! 3. perturbs the features with capability-scaled noise (small models
+//!    "misread" more) — chain-of-thought shifts the effective capability by
+//!    the model's CoT gain, negative for small models;
+//! 4. scores labels by negative squared distance and softmaxes.
+//!
+//! All stochasticity is drawn from a caller-supplied seed so identical
+//! requests produce identical responses.
+
+use crate::knowledge::Knowledge;
+use crate::parse::ParsedPrompt;
+use crate::zoo::ModelSpec;
+use mhd_corpus::taxonomy::Disorder;
+use mhd_text::lexicon::LexiconCategory as C;
+use mhd_text::tokenize::words;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sharpness of the distance→logit map.
+const LOGIT_SCALE: f64 = 600.0;
+/// Feature-noise scale at zero capability.
+const NOISE_BASE: f64 = 0.15;
+
+/// The backbone's classification decision for one request.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Label strings scored (parsed from the prompt, or inferred).
+    pub labels: Vec<String>,
+    /// Softmax probabilities aligned with `labels`.
+    pub probs: Vec<f64>,
+    /// Index of the chosen label.
+    pub chosen: usize,
+    /// Query tokens supporting the decision (for CoT rendering).
+    pub evidence: Vec<String>,
+}
+
+impl Decision {
+    /// Probability assigned to the chosen label.
+    pub fn confidence(&self) -> f64 {
+        self.probs[self.chosen]
+    }
+
+    /// The chosen label text.
+    pub fn label(&self) -> &str {
+        &self.labels[self.chosen]
+    }
+}
+
+/// The backbone: knowledge plus scoring machinery.
+#[derive(Debug, Clone)]
+pub struct Backbone {
+    knowledge: Knowledge,
+}
+
+impl Backbone {
+    /// Build with pretraining seed.
+    pub fn new(pretrain_seed: u64) -> Self {
+        Backbone { knowledge: Knowledge::build(pretrain_seed) }
+    }
+
+    /// Access the knowledge base.
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    /// Featurize text at a model's reading depth (shared with fine-tuning).
+    pub fn features_for(&self, spec: &ModelSpec, text: &str) -> Vec<f64> {
+        self.knowledge.featurize(text, spec.reading_depth())
+    }
+
+    /// Decide a label for the parsed prompt.
+    pub fn decide(
+        &self,
+        spec: &ModelSpec,
+        parsed: &ParsedPrompt,
+        temperature: f64,
+        seed: u64,
+    ) -> Decision {
+        // Two RNG streams. The *noise direction* is seeded by the post only
+        // (`seed` excludes the model): every model misreads the same post in
+        // the same direction, with capability scaling the magnitude — so a
+        // more capable model's errors are (approximately) a subset of a less
+        // capable one's, and the scale ladder is monotone per post rather
+        // than resampled. Sampling/derailment rolls stay model-specific.
+        let mut noise_rng = StdRng::seed_from_u64(seed);
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ mhd_text::hashing::fnv1a(spec.name.as_bytes()));
+        // Label inventory: parsed, or the model's own disorder vocabulary
+        // when the prompt failed to provide options.
+        let labels: Vec<String> = if parsed.labels.is_empty() {
+            Disorder::ALL.iter().map(|d| d.label().to_string()).collect()
+        } else {
+            parsed.labels.clone()
+        };
+
+        let capability = spec.capability();
+
+        // Featurize the query with capability-scaled reading depth + noise.
+        let depth = (64.0 + 448.0 * capability) as usize;
+        let mut f = self.knowledge.featurize(&parsed.query, depth);
+        // Chain-of-thought scales the misreading noise: positive CoT gain
+        // (large models) shrinks it — explicit reasoning reduces slips —
+        // while negative gain (small models) inflates it. Because the noise
+        // draw is seeded by the query (not the prompt), zero-shot and CoT
+        // runs of the same post are *paired*: the comparison isolates the
+        // mechanism, exactly as a temperature-0 API comparison would.
+        let cot_noise_factor = if parsed.wants_cot {
+            (1.0 - spec.cot_gain()).clamp(0.3, 2.0)
+        } else {
+            1.0
+        };
+        // Demonstration anchoring: in-context examples disambiguate the
+        // task, shrinking misreading noise — more for capable models, with
+        // diminishing returns in k (the replicated few-shot curve shape).
+        let demo_anchor = 1.0 / (1.0 + 0.08 * parsed.demos.len() as f64 * capability);
+        let noise_std = NOISE_BASE * (1.0 - capability) * cot_noise_factor * demo_anchor;
+        // Emotion-enhanced prompting focuses attention: halved noise on the
+        // affect dimensions (the modest, replicated gain of this strategy).
+        let emotion_dims = [
+            C::NegativeEmotion.index(),
+            C::PositiveEmotion.index(),
+            C::Anxiety.index(),
+            C::Anger.index(),
+            C::Sadness.index(),
+        ];
+        for (i, v) in f.iter_mut().enumerate() {
+            let scale = if parsed.wants_emotion && emotion_dims.contains(&i) { 0.5 } else { 1.0 };
+            *v += gaussian(&mut noise_rng) * noise_std * scale;
+        }
+
+        // Prototypes: knowledge + demonstration centroids.
+        let prototypes: Vec<Vec<f64>> = labels
+            .iter()
+            .map(|label| self.prototype_for(spec, parsed, label, capability, depth))
+            .collect();
+
+        // Score: negative squared distance, softmax with request temperature.
+        let logits: Vec<f64> = prototypes
+            .iter()
+            .map(|p| {
+                let d2: f64 = p.iter().zip(&f).map(|(a, b)| (a - b) * (a - b)).sum();
+                -d2 * LOGIT_SCALE
+            })
+            .collect();
+        let probs = softmax_t(&logits, 1.0 + temperature.max(0.0));
+        let mut chosen = if temperature > 0.0 {
+            sample_index(&probs, &mut rng)
+        } else {
+            argmax(&probs)
+        };
+        // Small-model CoT derailment: below the emergence threshold the
+        // reasoning trace sometimes talks the model out of its answer — the
+        // replicated "CoT hurts small models" finding.
+        if parsed.wants_cot && spec.cot_gain() < 0.0 && labels.len() > 1 {
+            let derail_p = (-spec.cot_gain() * 0.8).min(0.5);
+            if rng.gen_bool(derail_p) {
+                chosen = second_best(&probs, chosen);
+            }
+        }
+        let evidence = self.evidence_for(&parsed.query, &prototypes[chosen]);
+        Decision { labels, probs, chosen, evidence }
+    }
+
+    fn prototype_for(
+        &self,
+        _spec: &ModelSpec,
+        parsed: &ParsedPrompt,
+        label: &str,
+        capability: f64,
+        depth: usize,
+    ) -> Vec<f64> {
+        let base: Vec<f64> = match self.knowledge.resolve_label(label) {
+            Some(c) => self.knowledge.prototype(c).to_vec(),
+            None => self.knowledge.label_fallback_prototype(label),
+        };
+        // Demonstration centroid for this label.
+        let demos: Vec<&String> = parsed
+            .demos
+            .iter()
+            .filter(|(_, l)| l.eq_ignore_ascii_case(label))
+            .map(|(post, _)| post)
+            .collect();
+        if demos.is_empty() {
+            return base;
+        }
+        let mut centroid = vec![0.0; base.len()];
+        for post in &demos {
+            let fr = self.knowledge.featurize(post, depth);
+            for (c, v) in centroid.iter_mut().zip(&fr) {
+                *c += v;
+            }
+        }
+        let k = demos.len() as f64;
+        for c in centroid.iter_mut() {
+            *c /= k;
+        }
+        // Blend: bigger models use demonstrations better; more demos → more
+        // weight, saturating around k ≈ 8.
+        let fewshot_weight = (capability - 0.25).clamp(0.05, 0.75);
+        let beta = fewshot_weight * (k / (k + 4.0));
+        base.iter().zip(&centroid).map(|(b, c)| (1.0 - beta) * b + beta * c).collect()
+    }
+
+    /// Query tokens whose lexicon categories dominate the chosen prototype.
+    fn evidence_for(&self, query: &str, prototype: &[f64]) -> Vec<String> {
+        // Top-3 prototype categories.
+        let mut idx: Vec<usize> = (0..prototype.len()).collect();
+        idx.sort_by(|&a, &b| prototype[b].partial_cmp(&prototype[a]).expect("finite"));
+        let top: Vec<C> = idx.iter().take(3).map(|&i| C::ALL[i]).collect();
+        let mut evidence = Vec::new();
+        for tok in words(query) {
+            if self.knowledge.lexicon().categories(&tok).iter().any(|c| top.contains(c))
+                && !evidence.contains(&tok)
+            {
+                evidence.push(tok);
+                if evidence.len() == 3 {
+                    break;
+                }
+            }
+        }
+        evidence
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn softmax_t(xs: &[f64], t: f64) -> Vec<f64> {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| ((x - max) / t).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn second_best(probs: &[f64], best: usize) -> usize {
+    let mut second = if best == 0 { 1 } else { 0 };
+    for (i, &p) in probs.iter().enumerate() {
+        if i != best && p > probs[second] {
+            second = i;
+        }
+    }
+    second
+}
+
+fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
+    let mut draw: f64 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        if draw < p {
+            return i;
+        }
+        draw -= p;
+    }
+    probs.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_prompt;
+    use crate::zoo::builtin_models;
+
+    fn spec(name: &str) -> ModelSpec {
+        builtin_models().into_iter().find(|m| m.name == name).expect("model")
+    }
+
+    fn backbone() -> Backbone {
+        Backbone::new(99)
+    }
+
+    #[test]
+    fn obvious_depression_post_classified() {
+        let bb = backbone();
+        let p = parse_prompt(
+            "Classify.\nOptions: control, depression\n\
+             Post: i feel hopeless and empty, crying every night, everything is dark and pointless\n\
+             Answer:",
+        );
+        let d = bb.decide(&spec("sim-gpt-4"), &p, 0.0, 1);
+        assert_eq!(d.label(), "depression");
+        assert!(d.confidence() > 0.5);
+    }
+
+    #[test]
+    fn control_post_classified() {
+        let bb = backbone();
+        let p = parse_prompt(
+            "Classify.\nOptions: control, depression\n\
+             Post: had a wonderful weekend with friends, tried a new recipe and watched the game\n\
+             Answer:",
+        );
+        let d = bb.decide(&spec("sim-gpt-4"), &p, 0.0, 1);
+        assert_eq!(d.label(), "control");
+    }
+
+    #[test]
+    fn deterministic_at_zero_temperature() {
+        let bb = backbone();
+        let p = parse_prompt("Options: control, depression\nPost: i feel sad\nAnswer:");
+        let a = bb.decide(&spec("sim-gpt-3.5"), &p, 0.0, 7);
+        let b = bb.decide(&spec("sim-gpt-3.5"), &p, 0.0, 7);
+        assert_eq!(a.probs, b.probs);
+        assert_eq!(a.chosen, b.chosen);
+    }
+
+    #[test]
+    fn large_models_more_accurate_on_generated_posts() {
+        // On generator-drawn mild-severity posts (genuinely weak signal),
+        // the lower feature noise of a large model should yield fewer errors
+        // than a small one across a decent sample.
+        use mhd_corpus::generator::{Generator, PostSpec, Style};
+        use mhd_corpus::taxonomy::Severity;
+        use rand::SeedableRng;
+        let bb = backbone();
+        let g = Generator::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        let mut errs7 = 0;
+        let mut errs4 = 0;
+        let n = 60;
+        for i in 0..n {
+            let (disorder, gold) = if i % 2 == 0 {
+                (Disorder::Depression, "depression")
+            } else {
+                (Disorder::Control, "control")
+            };
+            let spec_post = PostSpec {
+                disorder,
+                severity: Severity::Mild,
+                secondary: None,
+                style: Style::RedditPost,
+            };
+            let post = g.generate(&spec_post, &mut rng);
+            let p = parse_prompt(&format!("Options: control, depression\nPost: {post}\nAnswer:"));
+            if bb.decide(&spec("sim-llama-7b"), &p, 0.0, i).label() != gold {
+                errs7 += 1;
+            }
+            if bb.decide(&spec("sim-gpt-4"), &p, 0.0, i).label() != gold {
+                errs4 += 1;
+            }
+        }
+        assert!(errs4 <= errs7, "gpt4 errs {errs4} vs llama7 errs {errs7} of {n}");
+    }
+
+    #[test]
+    fn fewshot_demos_shift_decision() {
+        let bb = backbone();
+        // An idiosyncratic label name the model cannot resolve: zero-shot it
+        // has no prototype, but demonstrations teach it.
+        let zero = parse_prompt(
+            "Options: groupA, groupB\nPost: i am so worried and anxious, full of panic\nAnswer:",
+        );
+        let few = parse_prompt(
+            "Options: groupA, groupB\n\
+             Post: panic attacks and constant worry\nAnswer: groupA\n\
+             Post: anxious and scared all week\nAnswer: groupA\n\
+             Post: happy fun weekend with friends\nAnswer: groupB\n\
+             Post: lovely dinner and a good game\nAnswer: groupB\n\
+             Post: i am so worried and anxious, full of panic\nAnswer:",
+        );
+        let m = spec("sim-gpt-4");
+        let zs = bb.decide(&m, &zero, 0.0, 3);
+        let fs = bb.decide(&m, &few, 0.0, 3);
+        // Few-shot must put clearly more probability on groupA than zero-shot.
+        assert!(fs.probs[0] > zs.probs[0] + 0.1, "zs {:?} fs {:?}", zs.probs, fs.probs);
+        assert_eq!(fs.label(), "groupa");
+    }
+
+    #[test]
+    fn missing_labels_fall_back_to_disorder_vocabulary() {
+        let bb = backbone();
+        let p = parse_prompt("is this person ok? i want to die, i feel like a burden");
+        let d = bb.decide(&spec("sim-gpt-4"), &p, 0.0, 5);
+        assert_eq!(d.labels.len(), Disorder::ALL.len());
+        assert_eq!(d.label(), "suicidal ideation");
+    }
+
+    #[test]
+    fn evidence_words_come_from_query() {
+        let bb = backbone();
+        let p = parse_prompt(
+            "Options: control, depression\nPost: i feel hopeless and empty tonight\nAnswer:",
+        );
+        let d = bb.decide(&spec("sim-gpt-4"), &p, 0.0, 2);
+        assert!(!d.evidence.is_empty());
+        for w in &d.evidence {
+            assert!(p.query.contains(w.as_str()), "evidence {w} not in query");
+        }
+    }
+
+    #[test]
+    fn temperature_spreads_choices() {
+        let bb = backbone();
+        // A fully neutral post: close to both prototypes, so sampling
+        // temperature can flip the decision.
+        let p = parse_prompt(
+            "Options: control, depression\nPost: watched a show and did some groceries\nAnswer:",
+        );
+        let m = spec("sim-llama-7b"); // high feature noise widens the spread further
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..60 {
+            seen.insert(bb.decide(&m, &p, 3.0, s).chosen);
+        }
+        assert!(seen.len() > 1, "high temperature should vary the choice");
+    }
+}

@@ -1,0 +1,192 @@
+//! Message-based chat API and batch endpoint.
+//!
+//! Real LLM APIs take role-tagged message lists rather than one flat string,
+//! and offer discounted asynchronous batch endpoints. This module layers
+//! both shapes over [`crate::client::LlmClient`] so caller code ports 1:1:
+//!
+//! - [`ChatMessage`] / [`chat_complete`] — role-tagged conversation input;
+//! - [`complete_batch`] — many requests at once, with the industry-standard
+//!   50% batch discount applied to the reported cost.
+
+use crate::client::{ChatRequest, ChatResponse, LlmClient, LlmError};
+
+/// Message author role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// System instructions (highest priority framing).
+    System,
+    /// End-user content.
+    User,
+    /// Prior assistant turns (for multi-turn transcripts).
+    Assistant,
+}
+
+impl Role {
+    /// Transcript tag.
+    fn tag(self) -> &'static str {
+        match self {
+            Role::System => "system",
+            Role::User => "user",
+            Role::Assistant => "assistant",
+        }
+    }
+}
+
+/// One conversation message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChatMessage {
+    /// Author role.
+    pub role: Role,
+    /// Message text.
+    pub content: String,
+}
+
+impl ChatMessage {
+    /// System message.
+    pub fn system(content: impl Into<String>) -> Self {
+        ChatMessage { role: Role::System, content: content.into() }
+    }
+
+    /// User message.
+    pub fn user(content: impl Into<String>) -> Self {
+        ChatMessage { role: Role::User, content: content.into() }
+    }
+
+    /// Assistant message.
+    pub fn assistant(content: impl Into<String>) -> Self {
+        ChatMessage { role: Role::Assistant, content: content.into() }
+    }
+}
+
+/// Render a message list to the flat prompt the runtime consumes. System
+/// content leads; prior turns are kept in order; role tags are dropped for
+/// the final user turn so prompt conventions (`Post:`/`Answer:`) survive.
+pub fn render_transcript(messages: &[ChatMessage]) -> String {
+    let mut out = String::new();
+    for (i, m) in messages.iter().enumerate() {
+        let is_last = i + 1 == messages.len();
+        if is_last && m.role == Role::User {
+            out.push_str(&m.content);
+        } else {
+            out.push_str(&format!("[{}] {}\n", m.role.tag(), m.content));
+        }
+    }
+    out
+}
+
+/// Message-based completion: renders the transcript and delegates.
+pub fn chat_complete(
+    client: &LlmClient,
+    model: &str,
+    messages: &[ChatMessage],
+    temperature: f64,
+    seed: u64,
+) -> Result<ChatResponse, LlmError> {
+    let req = ChatRequest {
+        model: model.to_string(),
+        prompt: render_transcript(messages),
+        temperature,
+        seed,
+    };
+    client.complete(&req)
+}
+
+/// Batch discount factor on reported cost.
+pub const BATCH_DISCOUNT: f64 = 0.5;
+
+/// Batch endpoint: run every request, apply the batch discount to each
+/// response's cost. Per-request errors are returned in-position rather than
+/// failing the whole batch (matching real batch-API semantics).
+pub fn complete_batch(
+    client: &LlmClient,
+    requests: &[ChatRequest],
+) -> Vec<Result<ChatResponse, LlmError>> {
+    requests
+        .iter()
+        .map(|req| {
+            client.complete(req).map(|mut resp| {
+                resp.cost_usd *= BATCH_DISCOUNT;
+                resp
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> LlmClient {
+        LlmClient::new(1234)
+    }
+
+    fn classify_messages(post: &str) -> Vec<ChatMessage> {
+        vec![
+            ChatMessage::system("You are a careful clinical triage assistant."),
+            ChatMessage::user(format!(
+                "Options: control, depression\nPost: {post}\nAnswer:"
+            )),
+        ]
+    }
+
+    #[test]
+    fn chat_api_equivalent_to_flat_prompt() {
+        let c = client();
+        let messages = classify_messages("i feel hopeless and empty every night");
+        let resp = chat_complete(&c, "sim-gpt-4", &messages, 0.0, 1).expect("ok");
+        assert!(resp.text.to_lowercase().contains("depress"), "{}", resp.text);
+    }
+
+    #[test]
+    fn transcript_renders_roles() {
+        let messages = vec![
+            ChatMessage::system("sys"),
+            ChatMessage::assistant("prev"),
+            ChatMessage::user("Options: a, b\nPost: x\nAnswer:"),
+        ];
+        let t = render_transcript(&messages);
+        assert!(t.starts_with("[system] sys\n"));
+        assert!(t.contains("[assistant] prev\n"));
+        assert!(t.ends_with("Answer:"), "final user turn kept verbatim: {t}");
+    }
+
+    #[test]
+    fn final_user_turn_parses_cleanly() {
+        // The parser must still see the Options/Post structure after
+        // transcript rendering.
+        let t = render_transcript(&classify_messages("some post"));
+        let parsed = crate::parse::parse_prompt(&t);
+        assert_eq!(parsed.labels, vec!["control", "depression"]);
+        assert_eq!(parsed.query, "some post");
+    }
+
+    #[test]
+    fn batch_discount_applied() {
+        let c = client();
+        let req = ChatRequest::new(
+            "sim-gpt-4",
+            "Options: a, b\nPost: batch pricing check\nAnswer:",
+        );
+        let single = c.complete(&req).expect("ok");
+        let batch = complete_batch(&c, std::slice::from_ref(&req));
+        let batched = batch[0].as_ref().expect("ok");
+        assert!((batched.cost_usd - single.cost_usd * BATCH_DISCOUNT).abs() < 1e-12);
+        assert_eq!(batched.text, single.text);
+    }
+
+    #[test]
+    fn batch_errors_in_position() {
+        let c = client();
+        let good = ChatRequest::new("sim-gpt-4", "Options: a, b\nPost: fine\nAnswer:");
+        let bad = ChatRequest::new("no-such-model", "hi");
+        let results = complete_batch(&c, &[good, bad]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(LlmError::UnknownModel(_))));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let c = client();
+        assert!(complete_batch(&c, &[]).is_empty());
+    }
+}

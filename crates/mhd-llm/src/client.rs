@@ -1,0 +1,413 @@
+//! The chat client: the single API surface callers prompt against.
+
+use crate::backbone::Backbone;
+use crate::cost::{cost_usd, latency_ms, CostTracker};
+use crate::finetune::{train_finetune, FineTuneJob, FineTuned};
+use crate::parse::parse_prompt;
+use crate::render::{render_completion, render_refusal};
+use crate::zoo::{builtin_models, ModelFamily, ModelSpec};
+use mhd_text::bpe::estimate_tokens;
+use mhd_text::hashing::fnv1a;
+use mhd_text::lexicon::LexiconCategory;
+use mhd_text::tokenize::words;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Token accounting for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Usage {
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens in the completion.
+    pub completion_tokens: usize,
+}
+
+/// A completion request.
+#[derive(Debug, Clone)]
+pub struct ChatRequest {
+    /// Model id ("sim-gpt-4", or a fine-tuned "ft:…" id).
+    pub model: String,
+    /// The full prompt text.
+    pub prompt: String,
+    /// Sampling temperature (0 = deterministic argmax).
+    pub temperature: f64,
+    /// Request seed: with the same seed and prompt, responses are identical.
+    pub seed: u64,
+}
+
+impl ChatRequest {
+    /// Deterministic request with temperature 0.
+    pub fn new(model: impl Into<String>, prompt: impl Into<String>) -> Self {
+        ChatRequest { model: model.into(), prompt: prompt.into(), temperature: 0.0, seed: 0 }
+    }
+}
+
+/// A completion response.
+#[derive(Debug, Clone)]
+pub struct ChatResponse {
+    /// The completion text.
+    pub text: String,
+    /// Token accounting.
+    pub usage: Usage,
+    /// Modelled latency, ms.
+    pub latency_ms: f64,
+    /// Dollar cost.
+    pub cost_usd: f64,
+    /// Whether the model refused (safety behaviour).
+    pub refused: bool,
+    /// Probability mass the model put on its chosen answer — the analogue
+    /// of reading the answer token's logprob from a real API. `None` on
+    /// refusals.
+    pub top_prob: Option<f64>,
+}
+
+/// Errors the API can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// Requested model does not exist.
+    UnknownModel(String),
+    /// Prompt exceeds the model's context window.
+    ContextOverflow {
+        /// Prompt length in tokens.
+        tokens: usize,
+        /// Model's window.
+        window: usize,
+    },
+    /// Fine-tune job was rejected.
+    BadFineTune(String),
+    /// A model with this name is already registered.
+    ModelExists(String),
+}
+
+impl std::fmt::Display for LlmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LlmError::UnknownModel(m) => write!(f, "unknown model: {m}"),
+            LlmError::ContextOverflow { tokens, window } => {
+                write!(f, "prompt of {tokens} tokens exceeds context window {window}")
+            }
+            LlmError::BadFineTune(msg) => write!(f, "fine-tune rejected: {msg}"),
+            LlmError::ModelExists(m) => write!(f, "model already registered: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LlmError {}
+
+/// The simulated LLM service: model zoo, backbone, fine-tunes, cache and
+/// cost accounting.
+pub struct LlmClient {
+    models: HashMap<String, ModelSpec>,
+    backbone: Backbone,
+    fine_tuned: HashMap<String, (String, FineTuned)>, // id → (base, ft)
+    cache: RefCell<HashMap<u64, ChatResponse>>,
+    tracker: RefCell<CostTracker>,
+    next_ft_id: RefCell<u64>,
+}
+
+impl LlmClient {
+    /// Create a client with the built-in zoo. `pretrain_seed` fixes the
+    /// backbone's knowledge; the benchmark default is 1234.
+    pub fn new(pretrain_seed: u64) -> Self {
+        let models = builtin_models().into_iter().map(|m| (m.name.clone(), m)).collect();
+        LlmClient {
+            models,
+            backbone: Backbone::new(pretrain_seed),
+            fine_tuned: HashMap::new(),
+            cache: RefCell::new(HashMap::new()),
+            tracker: RefCell::new(CostTracker::new()),
+            next_ft_id: RefCell::new(0),
+        }
+    }
+
+    /// Names of all available models (zoo + fine-tunes), sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.keys().cloned().collect();
+        names.extend(self.fine_tuned.keys().cloned());
+        names.sort();
+        names
+    }
+
+    /// Spec of a model.
+    pub fn spec(&self, model: &str) -> Option<&ModelSpec> {
+        self.models.get(model).or_else(|| {
+            self.fine_tuned.get(model).and_then(|(base, _)| self.models.get(base))
+        })
+    }
+
+    /// Issue a completion request.
+    pub fn complete(&self, req: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        let (spec, ft) = self.resolve(&req.model)?;
+        let prompt_tokens = estimate_tokens(&req.prompt);
+        if prompt_tokens > spec.context_window {
+            return Err(LlmError::ContextOverflow {
+                tokens: prompt_tokens,
+                window: spec.context_window,
+            });
+        }
+        // Cache key covers everything that determines the response.
+        let key = fnv1a(
+            format!("{}|{}|{}|{}", req.model, req.prompt, req.temperature.to_bits(), req.seed)
+                .as_bytes(),
+        );
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            return Ok(hit.clone());
+        }
+
+        let parsed = parse_prompt(&req.prompt);
+        // The decision seed hashes (model, query post, request seed) — NOT
+        // the full prompt — so the model's "misreading" of a given post is
+        // a stable property of the post, and strategy comparisons on the
+        // same post are paired (a temperature-0 API behaves the same way:
+        // per-post error patterns persist across prompt variants).
+        let decision_seed = fnv1a(format!("{}|{}", parsed.query, req.seed).as_bytes());
+        let model_seed = decision_seed ^ fnv1a(req.model.as_bytes());
+
+        // Safety refusal on death-saturated queries (API-family behaviour).
+        let refusal_roll = (model_seed % 10_000) as f64 / 10_000.0;
+        let death_rate = self
+            .backbone
+            .knowledge()
+            .lexicon()
+            .profile(&words(&parsed.query))
+            .rate(LexiconCategory::Death);
+        let refused = death_rate > 0.08 && refusal_roll < spec.refusal_rate();
+
+        let (text, top_prob) = if refused {
+            (render_refusal(), None)
+        } else if let Some(ft_model) = ft {
+            // Fine-tuned path: adapter probabilities over trained labels.
+            let probs = ft_model.predict_proba(&self.backbone, spec, &parsed.query);
+            let best = probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("non-empty")
+                .0;
+            // Fine-tuned models answer in exactly the trained format.
+            (format!("Answer: {}", ft_model.labels[best]), Some(probs[best]))
+        } else {
+            let decision = self.backbone.decide(spec, &parsed, req.temperature, decision_seed);
+            let conf = decision.confidence();
+            (render_completion(spec, &parsed, &decision, req.temperature, model_seed), Some(conf))
+        };
+
+        let usage = Usage { prompt_tokens, completion_tokens: estimate_tokens(&text) };
+        let response = ChatResponse {
+            cost_usd: cost_usd(spec, &usage),
+            latency_ms: latency_ms(spec, &usage),
+            text,
+            usage,
+            refused,
+            top_prob,
+        };
+        self.tracker.borrow_mut().record(&req.model, &usage, response.cost_usd, response.latency_ms);
+        self.cache.borrow_mut().insert(key, response.clone());
+        Ok(response)
+    }
+
+    fn resolve(&self, model: &str) -> Result<(&ModelSpec, Option<&FineTuned>), LlmError> {
+        // Fine-tunes first: their spec is also registered in `models` (for
+        // pricing lookups), but the adapter must drive inference.
+        if let Some((_, ft)) = self.fine_tuned.get(model) {
+            let spec =
+                self.models.get(model).ok_or_else(|| LlmError::UnknownModel(model.to_string()))?;
+            return Ok((spec, Some(ft)));
+        }
+        match self.models.get(model) {
+            Some(spec) => Ok((spec, None)),
+            None => Err(LlmError::UnknownModel(model.to_string())),
+        }
+    }
+
+    /// Register a custom model (e.g. a [`ModelSpec::synthetic`] scale-sweep
+    /// point). Rejects name collisions with existing models.
+    pub fn register_model(&mut self, spec: ModelSpec) -> Result<(), LlmError> {
+        if self.models.contains_key(&spec.name) || self.fine_tuned.contains_key(&spec.name) {
+            return Err(LlmError::ModelExists(spec.name));
+        }
+        self.models.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    /// Submit a fine-tuning job; returns the new model id (`ft:<base>:<n>`).
+    pub fn fine_tune(&mut self, job: &FineTuneJob) -> Result<String, LlmError> {
+        let base = self
+            .models
+            .get(&job.base_model)
+            .ok_or_else(|| LlmError::UnknownModel(job.base_model.clone()))?
+            .clone();
+        let ft = train_finetune(&self.backbone, &base, job).map_err(LlmError::BadFineTune)?;
+        let mut id_counter = self.next_ft_id.borrow_mut();
+        let id = format!("ft:{}:{}", job.base_model, *id_counter);
+        *id_counter += 1;
+        drop(id_counter);
+        // A fine-tuned model behaves like its base but with fine-tune-family
+        // pricing/fidelity; the adapter drives inference via `resolve`.
+        let mut spec = base;
+        spec.name = id.clone();
+        spec.family = ModelFamily::FineTuned;
+        self.models.insert(id.clone(), spec);
+        self.fine_tuned.insert(id.clone(), (job.base_model.clone(), ft));
+        Ok(id)
+    }
+
+    /// Cumulative cost totals.
+    pub fn tracker(&self) -> CostTracker {
+        self.tracker.borrow().clone()
+    }
+
+    /// Reset cumulative cost totals.
+    pub fn reset_tracker(&self) {
+        self.tracker.borrow_mut().reset();
+    }
+
+    /// Number of cached responses.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Access the backbone (used by diagnostics and tests).
+    pub fn backbone(&self) -> &Backbone {
+        &self.backbone
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client() -> LlmClient {
+        LlmClient::new(1234)
+    }
+
+    fn prompt(post: &str) -> String {
+        format!("Classify the post.\nOptions: control, depression\nPost: {post}\nAnswer:")
+    }
+
+    #[test]
+    fn basic_completion() {
+        let c = client();
+        let r = c
+            .complete(&ChatRequest::new("sim-gpt-4", prompt("i feel hopeless and empty, crying all night, everything dark")))
+            .expect("ok");
+        assert!(r.text.to_lowercase().contains("depress"), "{}", r.text);
+        assert!(r.usage.prompt_tokens > 0);
+        assert!(r.usage.completion_tokens > 0);
+        assert!(r.cost_usd > 0.0);
+        assert!(r.latency_ms > 0.0);
+    }
+
+    #[test]
+    fn unknown_model_rejected() {
+        let c = client();
+        let err = c.complete(&ChatRequest::new("gpt-99", "hi")).unwrap_err();
+        assert_eq!(err, LlmError::UnknownModel("gpt-99".into()));
+    }
+
+    #[test]
+    fn context_overflow_rejected() {
+        let c = client();
+        let huge = "word ".repeat(20_000);
+        let err = c.complete(&ChatRequest::new("sim-llama-7b", huge)).unwrap_err();
+        assert!(matches!(err, LlmError::ContextOverflow { .. }));
+    }
+
+    #[test]
+    fn responses_cached_and_deterministic() {
+        let c = client();
+        let req = ChatRequest::new("sim-gpt-3.5", prompt("i feel sad"));
+        let a = c.complete(&req).expect("ok");
+        let n = c.cache_len();
+        let b = c.complete(&req).expect("ok");
+        assert_eq!(a.text, b.text);
+        assert_eq!(c.cache_len(), n, "second call served from cache");
+    }
+
+    #[test]
+    fn different_seeds_can_differ_at_temperature() {
+        let c = client();
+        let mut texts = std::collections::HashSet::new();
+        for seed in 0..10 {
+            let req = ChatRequest {
+                model: "sim-llama-7b".into(),
+                prompt: prompt("feeling a bit tired today but ok"),
+                temperature: 1.2,
+                seed,
+            };
+            texts.insert(c.complete(&req).expect("ok").text);
+        }
+        assert!(texts.len() > 1, "temperature should diversify outputs");
+    }
+
+    #[test]
+    fn cost_tracking_accumulates() {
+        let c = client();
+        c.complete(&ChatRequest::new("sim-gpt-4", prompt("hello"))).expect("ok");
+        c.complete(&ChatRequest::new("sim-gpt-4", prompt("hello again"))).expect("ok");
+        let totals = c.tracker().totals("sim-gpt-4");
+        assert_eq!(totals.requests, 2);
+        assert!(totals.usd > 0.0);
+    }
+
+    #[test]
+    fn refusals_happen_on_death_heavy_content() {
+        let c = client();
+        let post = "i want to die, kill myself, suicide, overdose on pills, die die die";
+        let mut refused = 0;
+        for seed in 0..300 {
+            let req = ChatRequest {
+                model: "sim-gpt-4".into(),
+                prompt: format!("Options: control, depression\nPost: {post} variant {seed}\nAnswer:"),
+                temperature: 0.0,
+                seed,
+            };
+            if c.complete(&req).expect("ok").refused {
+                refused += 1;
+            }
+        }
+        assert!(refused > 0, "expected some refusals");
+        assert!(refused < 60, "refusals should be rare, got {refused}");
+    }
+
+    #[test]
+    fn finetune_roundtrip() {
+        let mut c = client();
+        let mk = |t: &str| prompt(t);
+        let mut examples = Vec::new();
+        for t in [
+            "hopeless and crying tonight",
+            "empty and numb, pointless days",
+            "worthless, cannot sleep, dark thoughts",
+            "sad and alone, everything hurts",
+        ] {
+            examples.push((mk(t), "depression".to_string()));
+        }
+        for t in [
+            "great day at the beach with friends",
+            "fun game night and pizza",
+            "lovely walk and a good book",
+            "excited for the trip tomorrow",
+        ] {
+            examples.push((mk(t), "control".to_string()));
+        }
+        let ft_id = c.fine_tune(&FineTuneJob::new("sim-llama-7b", examples)).expect("ft ok");
+        assert!(ft_id.starts_with("ft:sim-llama-7b:"));
+        assert!(c.model_names().contains(&ft_id));
+        let r = c
+            .complete(&ChatRequest::new(&ft_id, prompt("crying again, so hopeless and empty")))
+            .expect("ok");
+        assert_eq!(r.text, "Answer: depression");
+        let r2 = c
+            .complete(&ChatRequest::new(&ft_id, prompt("wonderful dinner with my friends")))
+            .expect("ok");
+        assert_eq!(r2.text, "Answer: control");
+    }
+
+    #[test]
+    fn finetune_of_unknown_base_rejected() {
+        let mut c = client();
+        let err = c.fine_tune(&FineTuneJob::new("nope", vec![])).unwrap_err();
+        assert!(matches!(err, LlmError::UnknownModel(_)));
+    }
+}

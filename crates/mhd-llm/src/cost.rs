@@ -1,0 +1,120 @@
+//! Token pricing and latency model, plus a cumulative cost tracker.
+//!
+//! The surveyed papers report LLM efficiency as arithmetic over token
+//! counts and per-model prices; this module reproduces that arithmetic over
+//! the real token counts of the real prompts the benchmark sends.
+
+use crate::client::Usage;
+use crate::zoo::ModelSpec;
+use std::collections::HashMap;
+
+/// Dollar cost of one request.
+pub fn cost_usd(spec: &ModelSpec, usage: &Usage) -> f64 {
+    usage.prompt_tokens as f64 / 1000.0 * spec.price_in_per_1k
+        + usage.completion_tokens as f64 / 1000.0 * spec.price_out_per_1k
+}
+
+/// Modelled latency of one request, milliseconds.
+pub fn latency_ms(spec: &ModelSpec, usage: &Usage) -> f64 {
+    spec.latency_base_ms + usage.completion_tokens as f64 * spec.latency_per_token_ms
+}
+
+/// Cumulative per-model accounting, fed by the client after every request.
+#[derive(Debug, Clone, Default)]
+pub struct CostTracker {
+    per_model: HashMap<String, ModelTotals>,
+}
+
+/// Totals for one model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModelTotals {
+    /// Requests issued.
+    pub requests: u64,
+    /// Prompt tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion tokens produced.
+    pub completion_tokens: u64,
+    /// Total dollars.
+    pub usd: f64,
+    /// Total modelled latency, ms.
+    pub latency_ms: f64,
+}
+
+impl CostTracker {
+    /// New, empty.
+    pub fn new() -> Self {
+        CostTracker::default()
+    }
+
+    /// Record one request.
+    pub fn record(&mut self, model: &str, usage: &Usage, usd: f64, latency: f64) {
+        let t = self.per_model.entry(model.to_string()).or_default();
+        t.requests += 1;
+        t.prompt_tokens += usage.prompt_tokens as u64;
+        t.completion_tokens += usage.completion_tokens as u64;
+        t.usd += usd;
+        t.latency_ms += latency;
+    }
+
+    /// Totals for one model (zeros if never used).
+    pub fn totals(&self, model: &str) -> ModelTotals {
+        self.per_model.get(model).cloned().unwrap_or_default()
+    }
+
+    /// All models seen, sorted by name.
+    pub fn models(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.per_model.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Grand total dollars.
+    pub fn total_usd(&self) -> f64 {
+        self.per_model.values().map(|t| t.usd).sum()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        self.per_model.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::builtin_models;
+
+    fn gpt4() -> ModelSpec {
+        builtin_models().into_iter().find(|m| m.name == "sim-gpt-4").expect("model")
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let usage = Usage { prompt_tokens: 1000, completion_tokens: 500 };
+        let c = cost_usd(&gpt4(), &usage);
+        assert!((c - (0.03 + 0.5 * 0.06)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_grows_with_output() {
+        let spec = gpt4();
+        let short = latency_ms(&spec, &Usage { prompt_tokens: 100, completion_tokens: 5 });
+        let long = latency_ms(&spec, &Usage { prompt_tokens: 100, completion_tokens: 50 });
+        assert!(long > short);
+    }
+
+    #[test]
+    fn tracker_accumulates() {
+        let mut t = CostTracker::new();
+        let u = Usage { prompt_tokens: 10, completion_tokens: 2 };
+        t.record("m", &u, 0.01, 5.0);
+        t.record("m", &u, 0.01, 5.0);
+        let totals = t.totals("m");
+        assert_eq!(totals.requests, 2);
+        assert_eq!(totals.prompt_tokens, 20);
+        assert!((t.total_usd() - 0.02).abs() < 1e-12);
+        assert_eq!(t.models(), vec!["m"]);
+        t.reset();
+        assert_eq!(t.totals("m"), ModelTotals::default());
+    }
+}

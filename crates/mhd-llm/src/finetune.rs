@@ -1,0 +1,266 @@
+//! Instruction fine-tuning via LoRA adapters.
+//!
+//! The endpoint mirrors the OpenAI fine-tune API shape the surveyed papers
+//! use: submit `(prompt, completion)` pairs, get back a new model id. Under
+//! the hood it is *real* optimization: a low-rank adapter
+//! ([`mhd_nn::LoraAdapter`]) trained by SGD over the frozen backbone's
+//! feature representation — so training-set-size effects (Figure F5) and
+//! the fine-tuned-vs-zero-shot ordering (Table T4) emerge from actual
+//! learning dynamics, not from a lookup table.
+
+use crate::backbone::Backbone;
+use crate::parse::parse_prompt;
+use crate::zoo::ModelSpec;
+use mhd_nn::lora::LoraAdapter;
+use mhd_text::hashing::HashingVectorizer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Dimensionality of the hashed n-gram block in fine-tune feature space.
+const HASH_DIM: u32 = 160;
+/// Scale applied to lexicon rates so both feature blocks have similar
+/// magnitude (rates are ~0.00–0.2, hashed entries ~0.1–0.3).
+const RATE_SCALE: f64 = 5.0;
+
+/// A fine-tuning job specification.
+#[derive(Debug, Clone)]
+pub struct FineTuneJob {
+    /// Base model name (must exist in the zoo).
+    pub base_model: String,
+    /// Training pairs: full prompt text and the gold completion (label).
+    pub examples: Vec<(String, String)>,
+    /// LoRA rank.
+    pub rank: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed for init/shuffling.
+    pub seed: u64,
+}
+
+impl FineTuneJob {
+    /// Sensible defaults: rank 8, 14 epochs.
+    pub fn new(base_model: impl Into<String>, examples: Vec<(String, String)>) -> Self {
+        FineTuneJob {
+            base_model: base_model.into(),
+            examples,
+            rank: 8,
+            epochs: 14,
+            lr: 0.02,
+            seed: 31,
+        }
+    }
+}
+
+/// A trained fine-tune: the adapter plus its label vocabulary.
+#[derive(Debug, Clone)]
+pub struct FineTuned {
+    /// Label strings in adapter-output order.
+    pub labels: Vec<String>,
+    adapter: LoraAdapter,
+    hasher: HashingVectorizer,
+}
+
+/// Combined fine-tune feature vector for a text under a model spec.
+pub fn ft_features(backbone: &Backbone, spec: &ModelSpec, hasher: &HashingVectorizer, text: &str) -> Vec<f32> {
+    let rates = backbone.features_for(spec, text);
+    let mut f: Vec<f32> = rates.iter().map(|&r| (r * RATE_SCALE) as f32).collect();
+    let mut hashed = vec![0.0f32; HASH_DIM as usize];
+    for (i, v) in hasher.transform(text).iter() {
+        hashed[i as usize] = v as f32;
+    }
+    f.extend(hashed);
+    f
+}
+
+/// Train a fine-tune. Returns `Err` when the job has no usable examples.
+pub fn train_finetune(
+    backbone: &Backbone,
+    spec: &ModelSpec,
+    job: &FineTuneJob,
+) -> Result<FineTuned, String> {
+    // Extract (query, label) pairs by parsing each training prompt exactly
+    // the way inference will.
+    let mut labels: Vec<String> = Vec::new();
+    let mut pairs: Vec<(String, usize)> = Vec::new();
+    for (prompt, completion) in &job.examples {
+        let parsed = parse_prompt(prompt);
+        if parsed.query.is_empty() {
+            continue;
+        }
+        let target = completion.trim().to_lowercase();
+        if target.is_empty() {
+            continue;
+        }
+        let idx = match labels.iter().position(|l| *l == target) {
+            Some(i) => i,
+            None => {
+                labels.push(target);
+                labels.len() - 1
+            }
+        };
+        pairs.push((parsed.query, idx));
+    }
+    if pairs.is_empty() || labels.len() < 2 {
+        return Err("fine-tune job needs examples covering at least two labels".to_string());
+    }
+    let hasher = HashingVectorizer::new(HASH_DIM, 2);
+    let xs: Vec<Vec<f32>> =
+        pairs.iter().map(|(q, _)| ft_features(backbone, spec, &hasher, q)).collect();
+    let ys: Vec<usize> = pairs.iter().map(|&(_, y)| y).collect();
+    let dim = xs[0].len();
+    // Frozen base map is zero: the pretrained backbone's zero-shot scoring
+    // stays available separately; the adapter learns the task head.
+    let mut adapter = LoraAdapter::new(
+        vec![0.0; labels.len() * dim],
+        vec![0.0; labels.len()],
+        labels.len(),
+        dim,
+        job.rank.max(1),
+        job.lr,
+        job.seed,
+    );
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    for _ in 0..job.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(16) {
+            let bx: Vec<Vec<f32>> = chunk.iter().map(|&i| xs[i].clone()).collect();
+            let by: Vec<usize> = chunk.iter().map(|&i| ys[i]).collect();
+            adapter.train_batch(&bx, &by);
+        }
+    }
+    Ok(FineTuned { labels, adapter, hasher })
+}
+
+impl FineTuned {
+    /// Score a query; returns probabilities aligned with `self.labels`.
+    pub fn predict_proba(&self, backbone: &Backbone, spec: &ModelSpec, query: &str) -> Vec<f64> {
+        let f = ft_features(backbone, spec, &self.hasher, query);
+        let logits = self.adapter.forward(&f);
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = logits.iter().map(|&l| ((l - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Trainable parameter count of the adapter.
+    pub fn trainable_params(&self) -> usize {
+        self.adapter.trainable_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::builtin_models;
+
+    fn spec() -> ModelSpec {
+        builtin_models().into_iter().find(|m| m.name == "sim-llama-7b").expect("model")
+    }
+
+    fn prompt_for(text: &str) -> String {
+        format!("Classify the post.\nOptions: happy, sad\nPost: {text}\nAnswer:")
+    }
+
+    fn job() -> FineTuneJob {
+        let mut examples = Vec::new();
+        let sad = [
+            "i feel hopeless and empty tonight",
+            "crying again, everything is pointless",
+            "so worthless and alone, cannot sleep",
+            "numb and dark, nothing matters",
+            "i am exhausted and hopeless",
+            "the sadness never leaves me",
+        ];
+        let happy = [
+            "wonderful day at the park with friends",
+            "great dinner and lots of laughs",
+            "excited about the weekend trip",
+            "the game was fun, we celebrated",
+            "grateful and content with life",
+            "lovely walk in the sunshine today",
+        ];
+        for t in sad {
+            examples.push((prompt_for(t), "sad".to_string()));
+        }
+        for t in happy {
+            examples.push((prompt_for(t), "happy".to_string()));
+        }
+        FineTuneJob::new("sim-llama-7b", examples)
+    }
+
+    #[test]
+    fn finetune_learns_task() {
+        let bb = Backbone::new(1);
+        let ft = train_finetune(&bb, &spec(), &job()).expect("train ok");
+        assert_eq!(ft.labels.len(), 2);
+        let p_sad = ft.predict_proba(&bb, &spec(), "hopeless and crying, so empty");
+        let p_happy = ft.predict_proba(&bb, &spec(), "fun weekend with friends, grateful");
+        let sad_idx = ft.labels.iter().position(|l| l == "sad").expect("label");
+        let happy_idx = 1 - sad_idx;
+        assert!(p_sad[sad_idx] > 0.6, "{p_sad:?}");
+        assert!(p_happy[happy_idx] > 0.6, "{p_happy:?}");
+    }
+
+    #[test]
+    fn rejects_degenerate_jobs() {
+        let bb = Backbone::new(1);
+        let empty = FineTuneJob::new("sim-llama-7b", vec![]);
+        assert!(train_finetune(&bb, &spec(), &empty).is_err());
+        let one_label = FineTuneJob::new(
+            "sim-llama-7b",
+            vec![(prompt_for("a"), "x".to_string()), (prompt_for("b"), "x".to_string())],
+        );
+        assert!(train_finetune(&bb, &spec(), &one_label).is_err());
+    }
+
+    #[test]
+    fn adapter_is_small() {
+        let bb = Backbone::new(1);
+        let ft = train_finetune(&bb, &spec(), &job()).expect("train ok");
+        // Low-rank: far fewer trainable params than a full dense map.
+        let dim = 18 + HASH_DIM as usize;
+        assert!(ft.trainable_params() < 2 * dim * 8 + 32);
+    }
+
+    #[test]
+    fn deterministic() {
+        let bb = Backbone::new(1);
+        let a = train_finetune(&bb, &spec(), &job()).expect("ok");
+        let b = train_finetune(&bb, &spec(), &job()).expect("ok");
+        let q = "crying tonight";
+        assert_eq!(a.predict_proba(&bb, &spec(), q), b.predict_proba(&bb, &spec(), q));
+    }
+
+    #[test]
+    fn more_data_helps() {
+        let bb = Backbone::new(1);
+        let full = job();
+        // Small job: two examples of each label (examples are 6 sad then 6 happy).
+        let small_examples: Vec<_> =
+            [0usize, 1, 6, 7].iter().map(|&i| full.examples[i].clone()).collect();
+        let small = FineTuneJob { examples: small_examples, ..full.clone() };
+        let ft_small = train_finetune(&bb, &spec(), &small).expect("ok");
+        let ft_full = train_finetune(&bb, &spec(), &full).expect("ok");
+        // Evaluate on held-out phrasings.
+        let eval = [
+            ("i feel so hopeless and sad and worthless", "sad"),
+            ("meaningless dark night, crying alone", "sad"),
+            ("joyful trip with my family, wonderful", "happy"),
+            ("laughed a lot at the party tonight", "happy"),
+        ];
+        let acc = |ft: &FineTuned| {
+            eval.iter()
+                .filter(|(t, gold)| {
+                    let p = ft.predict_proba(&bb, &spec(), t);
+                    let best = p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).expect("finite")).expect("non-empty").0;
+                    ft.labels[best] == *gold
+                })
+                .count()
+        };
+        assert!(acc(&ft_full) >= acc(&ft_small));
+    }
+}

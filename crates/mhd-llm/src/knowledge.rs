@@ -1,0 +1,280 @@
+//! The backbone's "pretraining": concept prototypes in lexicon-rate space.
+//!
+//! A real LLM knows what depression-talk looks like because it was
+//! pretrained on the same web that produced the evaluation datasets. The
+//! simulated backbone gets the analogous knowledge by **sampling the same
+//! generative process** the corpus crate uses and memorizing per-concept
+//! mean lexicon-rate vectors. Crucially this knowledge is *approximate*:
+//! prototypes are estimated from a finite seeded sample, and several dataset
+//! label constructs (CSSRS grades, SAD causes) are only approximated by the
+//! nearest concept the model knows — which is exactly the zero-shot gap the
+//! survey literature measures.
+
+use mhd_corpus::generator::{Generator, PostSpec, Style};
+use mhd_corpus::signal::SignalProfile;
+use mhd_corpus::taxonomy::{Disorder, Severity};
+use mhd_text::lexicon::{Lexicon, LexiconCategory as C};
+use mhd_text::tokenize::words;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A semantic concept the backbone has a prototype for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Concept {
+    /// A disorder (includes Control).
+    Disorder(Disorder),
+    /// Depression at a given severity grade.
+    DepressionSeverity(Severity),
+    /// Suicide-risk ladder rung (0 = supportive … 4 = attempt).
+    RiskLevel(u8),
+    /// A stressor cause keyed by its dominant lexicon category.
+    StressCause(C),
+}
+
+/// Number of posts sampled per concept when building prototypes.
+const SAMPLES_PER_CONCEPT: usize = 40;
+
+/// The knowledge base: mean lexicon-rate vectors per concept.
+#[derive(Debug, Clone)]
+pub struct Knowledge {
+    lexicon: Lexicon,
+    prototypes: HashMap<Concept, Vec<f64>>,
+}
+
+impl Knowledge {
+    /// Build the knowledge base deterministically from `seed`.
+    pub fn build(seed: u64) -> Self {
+        let lexicon = Lexicon::standard();
+        let generator = Generator::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prototypes = HashMap::new();
+
+        let mean_rates = |texts: &[String], lexicon: &Lexicon| -> Vec<f64> {
+            let mut acc = vec![0.0; C::ALL.len()];
+            for t in texts {
+                let rates = lexicon.profile(&words(t)).rates();
+                for (a, r) in acc.iter_mut().zip(&rates) {
+                    *a += r;
+                }
+            }
+            let n = texts.len().max(1) as f64;
+            acc.into_iter().map(|v| v / n).collect()
+        };
+
+        // Disorders at moderate severity.
+        for &d in &Disorder::ALL {
+            let spec = PostSpec::simple(d);
+            let texts: Vec<String> =
+                (0..SAMPLES_PER_CONCEPT).map(|_| generator.generate(&spec, &mut rng)).collect();
+            prototypes.insert(Concept::Disorder(d), mean_rates(&texts, &lexicon));
+        }
+        // Depression severity ladder.
+        for &sev in &Severity::ALL {
+            let disorder =
+                if sev == Severity::None { Disorder::Control } else { Disorder::Depression };
+            let spec = PostSpec { disorder, severity: sev, secondary: None, style: Style::RedditPost };
+            let texts: Vec<String> =
+                (0..SAMPLES_PER_CONCEPT).map(|_| generator.generate(&spec, &mut rng)).collect();
+            prototypes.insert(Concept::DepressionSeverity(sev), mean_rates(&texts, &lexicon));
+        }
+        // Suicide-risk ladder: the model's own approximation of the CSSRS
+        // construct (supportive → attempt).
+        let ladder: [(Vec<(C, f64)>, f64); 5] = [
+            (vec![(C::Treatment, 1.0), (C::Social, 0.8), (C::PositiveEmotion, 0.6)], 0.5),
+            (vec![(C::Sadness, 1.0), (C::NegativeEmotion, 0.5), (C::Sleep, 0.4)], 0.5),
+            (vec![(C::Death, 1.0), (C::Sadness, 0.8), (C::Absolutist, 0.5)], 0.35),
+            (vec![(C::Death, 1.3), (C::Sadness, 0.6), (C::Absolutist, 0.5)], 0.3),
+            (vec![(C::Death, 1.5), (C::Treatment, 0.4), (C::Body, 0.4)], 0.25),
+        ];
+        for (level, (weights, filler)) in ladder.into_iter().enumerate() {
+            let prof = SignalProfile {
+                disorder: Disorder::SuicidalIdeation,
+                category_weights: weights,
+                filler_floor: filler,
+                first_person_boost: 0.5,
+            };
+            let texts: Vec<String> = (0..SAMPLES_PER_CONCEPT)
+                .map(|_| {
+                    generator.generate_from_profile(&prof, Severity::Moderate, Style::RedditPost, &mut rng)
+                })
+                .collect();
+            prototypes.insert(Concept::RiskLevel(level as u8), mean_rates(&texts, &lexicon));
+        }
+        // Stressor causes.
+        for cat in [C::Work, C::Money, C::Social, C::Body, C::NegativeEmotion, C::Sleep] {
+            let prof = SignalProfile {
+                disorder: Disorder::Stress,
+                category_weights: vec![(cat, 1.0), (C::Anxiety, 0.25), (C::Cognition, 0.2)],
+                filler_floor: 0.35,
+                first_person_boost: 0.2,
+            };
+            let texts: Vec<String> = (0..SAMPLES_PER_CONCEPT)
+                .map(|_| {
+                    generator.generate_from_profile(&prof, Severity::Moderate, Style::RedditPost, &mut rng)
+                })
+                .collect();
+            prototypes.insert(Concept::StressCause(cat), mean_rates(&texts, &lexicon));
+        }
+        Knowledge { lexicon, prototypes }
+    }
+
+    /// Lexicon used to featurize text (shared with prototype construction).
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Prototype vector for a concept (panics for unknown concepts — all
+    /// enum values are populated by `build`).
+    pub fn prototype(&self, concept: Concept) -> &[f64] {
+        self.prototypes.get(&concept).map(Vec::as_slice).expect("concept populated at build")
+    }
+
+    /// Resolve a label string to a known concept, if any. This is the
+    /// model's "understanding" of the label vocabulary; unresolvable labels
+    /// fall back to [`Knowledge::label_fallback_prototype`].
+    pub fn resolve_label(&self, label: &str) -> Option<Concept> {
+        let norm = label.trim().to_lowercase();
+        let norm = norm.trim_matches(|c: char| !c.is_alphanumeric() && c != ' ');
+        Some(match norm {
+            "control" | "none" | "neutral" | "no" | "healthy" | "not stressed"
+            | "not depressed" | "offmychest" | "off my chest" | "normal" => {
+                Concept::Disorder(Disorder::Control)
+            }
+            "depression" | "depressed" | "depressive" => Concept::Disorder(Disorder::Depression),
+            "anxiety" | "anxious" | "gad" => Concept::Disorder(Disorder::Anxiety),
+            "stress" | "stressed" | "distress" => Concept::Disorder(Disorder::Stress),
+            "ptsd" | "post traumatic stress" | "trauma" => Concept::Disorder(Disorder::Ptsd),
+            "bipolar" | "mania" | "manic" | "bipolar disorder" => {
+                Concept::Disorder(Disorder::Bipolar)
+            }
+            "suicide" | "suicidal" | "suicidal ideation" | "suicidewatch" | "suicide watch" => {
+                Concept::Disorder(Disorder::SuicidalIdeation)
+            }
+            "eating disorder" | "anorexia" | "bulimia" | "ed" => {
+                Concept::Disorder(Disorder::EatingDisorder)
+            }
+            "minimum" | "minimal" => Concept::DepressionSeverity(Severity::None),
+            "mild" => Concept::DepressionSeverity(Severity::Mild),
+            "moderate" => Concept::DepressionSeverity(Severity::Moderate),
+            "severe" => Concept::DepressionSeverity(Severity::Severe),
+            "supportive" => Concept::RiskLevel(0),
+            "indicator" => Concept::RiskLevel(1),
+            "ideation" => Concept::RiskLevel(2),
+            "behavior" | "behaviour" => Concept::RiskLevel(3),
+            "attempt" => Concept::RiskLevel(4),
+            "work" | "school" | "work or school" => Concept::StressCause(C::Work),
+            "financial" | "money" | "financial problem" => Concept::StressCause(C::Money),
+            "social" | "social relationships" | "family" | "relationship" => {
+                Concept::StressCause(C::Social)
+            }
+            "health" | "physical" | "health or physical" => Concept::StressCause(C::Body),
+            "emotional" | "emotional turmoil" => Concept::StressCause(C::NegativeEmotion),
+            "sleep" | "sleep problems" => Concept::StressCause(C::Sleep),
+            _ => return None,
+        })
+    }
+
+    /// Fallback prototype for an unresolvable label: spread mass over the
+    /// lexicon categories the label's own words belong to.
+    pub fn label_fallback_prototype(&self, label: &str) -> Vec<f64> {
+        let mut proto = vec![0.0; C::ALL.len()];
+        let toks = words(label);
+        for t in &toks {
+            for &cat in self.lexicon.categories(t) {
+                proto[cat.index()] += 0.05;
+            }
+        }
+        proto
+    }
+
+    /// Featurize text into the same rate space as the prototypes, reading at
+    /// most `depth` tokens (the capability-limited reading depth).
+    pub fn featurize(&self, text: &str, depth: usize) -> Vec<f64> {
+        let toks: Vec<String> = words(text).into_iter().take(depth).collect();
+        self.lexicon.profile(&toks).rates()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Knowledge::build(1);
+        let b = Knowledge::build(1);
+        assert_eq!(
+            a.prototype(Concept::Disorder(Disorder::Depression)),
+            b.prototype(Concept::Disorder(Disorder::Depression))
+        );
+    }
+
+    #[test]
+    fn prototypes_are_distinctive() {
+        let k = Knowledge::build(2);
+        let dep = k.prototype(Concept::Disorder(Disorder::Depression));
+        let ctl = k.prototype(Concept::Disorder(Disorder::Control));
+        // Depression prototype has much higher sadness rate than control.
+        let sad = C::Sadness.index();
+        assert!(dep[sad] > ctl[sad] * 3.0, "dep {} ctl {}", dep[sad], ctl[sad]);
+        // Suicidal prototype has more death language than depression.
+        let si = k.prototype(Concept::Disorder(Disorder::SuicidalIdeation));
+        assert!(si[C::Death.index()] > dep[C::Death.index()] * 2.0);
+    }
+
+    #[test]
+    fn severity_ladder_monotone_in_sadness() {
+        let k = Knowledge::build(3);
+        let rates: Vec<f64> = Severity::ALL
+            .iter()
+            .map(|&s| k.prototype(Concept::DepressionSeverity(s))[C::Sadness.index()])
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[0] < w[1], "severity sadness not monotone: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn risk_ladder_monotone_in_death() {
+        let k = Knowledge::build(4);
+        let death = C::Death.index();
+        let r0 = k.prototype(Concept::RiskLevel(0))[death];
+        let r2 = k.prototype(Concept::RiskLevel(2))[death];
+        let r4 = k.prototype(Concept::RiskLevel(4))[death];
+        assert!(r0 < r2 && r2 < r4, "{r0} {r2} {r4}");
+    }
+
+    #[test]
+    fn label_resolution() {
+        let k = Knowledge::build(5);
+        assert_eq!(
+            k.resolve_label("Suicidal ideation"),
+            Some(Concept::Disorder(Disorder::SuicidalIdeation))
+        );
+        assert_eq!(k.resolve_label("  stressed "), Some(Concept::Disorder(Disorder::Stress)));
+        assert_eq!(k.resolve_label("moderate"), Some(Concept::DepressionSeverity(Severity::Moderate)));
+        assert_eq!(k.resolve_label("attempt"), Some(Concept::RiskLevel(4)));
+        assert_eq!(k.resolve_label("financial"), Some(Concept::StressCause(C::Money)));
+        assert_eq!(k.resolve_label("xyzzy"), None);
+    }
+
+    #[test]
+    fn fallback_prototype_uses_label_words() {
+        let k = Knowledge::build(6);
+        let p = k.label_fallback_prototype("very sad and hopeless");
+        assert!(p[C::Sadness.index()] > 0.0);
+        let empty = k.label_fallback_prototype("qwerty");
+        assert!(empty.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn featurize_respects_depth() {
+        let k = Knowledge::build(7);
+        let text = "happy happy happy happy sad sad sad sad";
+        let shallow = k.featurize(text, 4);
+        let deep = k.featurize(text, 100);
+        assert!(shallow[C::Sadness.index()] < deep[C::Sadness.index()]);
+        assert!(shallow[C::PositiveEmotion.index()] > deep[C::PositiveEmotion.index()]);
+    }
+}

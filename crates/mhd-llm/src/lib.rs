@@ -1,0 +1,41 @@
+//! # mhd-llm — simulated large-language-model runtime
+//!
+//! Replaces the OpenAI / LLaMA APIs the surveyed papers prompt against with
+//! a deterministic simulated runtime exposing the same contract: **text
+//! prompt in → text completion out**, plus token usage, cost and latency.
+//!
+//! The simulation is *honest at the interface*: the model genuinely parses
+//! the caller's prompt to discover the instruction, the candidate labels,
+//! any few-shot demonstrations and the query post; it classifies with an
+//! internal capability-scaled semantic backbone; and it *renders* a textual
+//! answer the caller must parse back — including the format drift, synonym
+//! answers and occasional refusals that make output parsing a real concern
+//! with production LLMs.
+//!
+//! Capability comes from a scaling-law over (simulated) parameter count, so
+//! the benchmark's model-scale curves (Figure F1) emerge mechanistically
+//! rather than being hard-coded per table.
+//!
+//! Modules:
+//! - [`zoo`] — model catalog and scaling law
+//! - [`knowledge`] — the backbone's "pretraining": concept prototypes
+//! - [`parse`] — prompt parsing (labels, demonstrations, query)
+//! - [`backbone`] — capability-scaled scoring of labels for a post
+//! - [`render`] — completion rendering with fidelity-dependent drift
+//! - [`client`] — the `LlmClient` chat API with caching
+//! - [`chat`] — role-tagged message API + discounted batch endpoint
+//! - [`finetune`] — LoRA instruction-fine-tuning endpoint
+//! - [`cost`] — token pricing and latency model
+
+pub mod backbone;
+pub mod chat;
+pub mod client;
+pub mod cost;
+pub mod finetune;
+pub mod knowledge;
+pub mod parse;
+pub mod render;
+pub mod zoo;
+
+pub use client::{ChatRequest, ChatResponse, LlmClient, LlmError, Usage};
+pub use zoo::{ModelFamily, ModelSpec};

@@ -1,0 +1,211 @@
+//! Prompt parsing — how the simulated model "reads" the caller's request.
+//!
+//! The parser is intentionally lenient and convention-driven, mirroring how
+//! real instruction-tuned LLMs latch onto prompt structure:
+//!
+//! - a label inventory after `Options:` / `Labels:` / `Choose one of:`;
+//! - few-shot demonstrations as `Post:` … `Answer: <label>` pairs;
+//! - the query as the final `Post:` whose `Answer:` is empty/missing;
+//! - chain-of-thought markers ("step by step", "reasoning");
+//! - JSON-output markers.
+//!
+//! A prompt that follows none of these conventions still parses: the whole
+//! prompt becomes the query and the label set is empty — the model will
+//! free-generate, and the caller's output parser will have a bad day.
+//! This is by design: prompt fragility is one of the phenomena the
+//! benchmark measures.
+
+/// Structured view of a prompt.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedPrompt {
+    /// Instruction text (everything before structure markers).
+    pub instruction: String,
+    /// Candidate labels, in prompt order; may be empty.
+    pub labels: Vec<String>,
+    /// Few-shot demonstrations: `(post, label)` pairs.
+    pub demos: Vec<(String, String)>,
+    /// The post to classify.
+    pub query: String,
+    /// Caller asked for step-by-step reasoning.
+    pub wants_cot: bool,
+    /// Caller asked for JSON output.
+    pub wants_json: bool,
+    /// Caller drew attention to emotions ("emotion-enhanced" prompting).
+    pub wants_emotion: bool,
+}
+
+/// Parse a prompt into its structured parts.
+pub fn parse_prompt(prompt: &str) -> ParsedPrompt {
+    let mut parsed = ParsedPrompt::default();
+    let lower = prompt.to_lowercase();
+    parsed.wants_cot = lower.contains("step by step")
+        || lower.contains("step-by-step")
+        || lower.contains("reasoning first")
+        || lower.contains("explain your reasoning");
+    parsed.wants_json = lower.contains("json");
+    parsed.wants_emotion = lower.contains("emotion");
+
+    let mut instruction_lines: Vec<&str> = Vec::new();
+    // (post, Option<answer>) blocks in order.
+    let mut blocks: Vec<(String, Option<String>)> = Vec::new();
+
+    for raw_line in prompt.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_any(line, &["options:", "labels:", "choose one of:", "categories:"]) {
+            parsed.labels = split_labels(rest);
+        } else if let Some(rest) = strip_any(line, &["post:", "text:", "input:", "tweet:"]) {
+            blocks.push((unquote(rest).to_string(), None));
+        } else if let Some(rest) = strip_any(line, &["answer:", "label:", "output:", "category:"]) {
+            let answer = unquote(rest).to_string();
+            match blocks.last_mut() {
+                Some(last) if last.1.is_none() => {
+                    last.1 = if answer.is_empty() { None } else { Some(answer) };
+                }
+                _ => {
+                    // Stray Answer: with no preceding Post — treat as noise.
+                }
+            }
+        } else if blocks.is_empty() && parsed.labels.is_empty() {
+            instruction_lines.push(line);
+        } else if let Some((post, answer @ None)) = blocks.last_mut().map(|b| (&mut b.0, &mut b.1)) {
+            // Continuation line of a multi-line post (before its Answer).
+            let _ = answer;
+            post.push(' ');
+            post.push_str(line);
+        }
+    }
+    parsed.instruction = instruction_lines.join(" ");
+    // The query is the last answer-less block; all answered blocks are demos.
+    let mut query = None;
+    for (post, answer) in blocks {
+        match answer {
+            Some(a) => parsed.demos.push((post, a)),
+            None => query = Some(post),
+        }
+    }
+    parsed.query = match query {
+        Some(q) => q,
+        None if parsed.demos.is_empty() => {
+            // Unstructured prompt: the whole thing is the query.
+            prompt.trim().to_string()
+        }
+        None => String::new(),
+    };
+    parsed
+}
+
+fn strip_any<'a>(line: &'a str, prefixes: &[&str]) -> Option<&'a str> {
+    let lower = line.to_lowercase();
+    for p in prefixes {
+        if lower.starts_with(p) {
+            return Some(line[p.len()..].trim());
+        }
+    }
+    None
+}
+
+fn split_labels(rest: &str) -> Vec<String> {
+    rest.split(',')
+        .flat_map(|part| part.split(" or "))
+        .map(|s| unquote(s.trim()).to_lowercase())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn unquote(s: &str) -> &str {
+    s.trim().trim_matches(|c| c == '"' || c == '\'' || c == '“' || c == '”')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shot_prompt() {
+        let p = parse_prompt(
+            "Classify the post for signs of stress.\n\
+             Options: not stressed, stressed\n\
+             Post: \"work is crushing me lately\"\n\
+             Answer:",
+        );
+        assert_eq!(p.labels, vec!["not stressed", "stressed"]);
+        assert_eq!(p.query, "work is crushing me lately");
+        assert!(p.demos.is_empty());
+        assert!(!p.wants_cot);
+        assert!(p.instruction.contains("Classify"));
+    }
+
+    #[test]
+    fn few_shot_prompt() {
+        let p = parse_prompt(
+            "Decide the label.\n\
+             Options: depression, suicide\n\
+             Post: \"i feel empty\"\n\
+             Answer: depression\n\
+             Post: \"i want to end it\"\n\
+             Answer: suicide\n\
+             Post: \"i cry every night\"\n\
+             Answer:",
+        );
+        assert_eq!(p.demos.len(), 2);
+        assert_eq!(p.demos[0], ("i feel empty".to_string(), "depression".to_string()));
+        assert_eq!(p.demos[1].1, "suicide");
+        assert_eq!(p.query, "i cry every night");
+    }
+
+    #[test]
+    fn cot_and_json_markers() {
+        let p = parse_prompt("Think step by step, then answer in JSON.\nPost: hello\nAnswer:");
+        assert!(p.wants_cot);
+        assert!(p.wants_json);
+    }
+
+    #[test]
+    fn labels_with_or_separator() {
+        let p = parse_prompt("Options: yes or no\nPost: x\nAnswer:");
+        assert_eq!(p.labels, vec!["yes", "no"]);
+    }
+
+    #[test]
+    fn unstructured_prompt_becomes_query() {
+        let p = parse_prompt("is this person sad? i feel awful today");
+        assert!(p.labels.is_empty());
+        assert_eq!(p.query, "is this person sad? i feel awful today");
+    }
+
+    #[test]
+    fn multiline_post_joined() {
+        let p = parse_prompt("Task here.\nOptions: a, b\nPost: first line\nsecond line\nAnswer:");
+        assert_eq!(p.query, "first line second line");
+    }
+
+    #[test]
+    fn alternative_markers() {
+        let p = parse_prompt("Categories: x, y\nText: some tweet\nLabel:");
+        assert_eq!(p.labels, vec!["x", "y"]);
+        assert_eq!(p.query, "some tweet");
+    }
+
+    #[test]
+    fn missing_final_answer_line_still_finds_query() {
+        let p = parse_prompt("Options: a, b\nPost: the query text");
+        assert_eq!(p.query, "the query text");
+    }
+
+    #[test]
+    fn empty_prompt() {
+        let p = parse_prompt("");
+        assert!(p.query.is_empty());
+        assert!(p.labels.is_empty());
+    }
+
+    #[test]
+    fn stray_answer_ignored() {
+        let p = parse_prompt("Answer: orphan\nPost: real query\nAnswer:");
+        assert_eq!(p.query, "real query");
+        assert!(p.demos.is_empty());
+    }
+}

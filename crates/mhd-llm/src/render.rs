@@ -1,0 +1,226 @@
+//! Completion rendering — how the model *says* its answer.
+//!
+//! Real LLM output drifts from the requested format: synonyms for labels,
+//! prose wrappers, reasoning that buries the answer, JSON with the wrong
+//! key. Fidelity (per model) controls how often the clean format is
+//! produced; the drift modes below are the ones the output-parsing
+//! literature catalogs.
+
+use crate::backbone::Decision;
+use crate::parse::ParsedPrompt;
+use crate::zoo::ModelSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Render the completion text for a decision.
+pub fn render_completion(
+    spec: &ModelSpec,
+    parsed: &ParsedPrompt,
+    decision: &Decision,
+    temperature: f64,
+    seed: u64,
+) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    let label = decision.label().to_string();
+    // Higher sampling temperature erodes format adherence too.
+    let effective_fidelity = (spec.fidelity() - 0.10 * temperature.max(0.0)).clamp(0.05, 0.99);
+    let clean = rng.gen_bool(effective_fidelity);
+
+    let answer_text = if clean {
+        label.clone()
+    } else {
+        drift_label(&label, &mut rng)
+    };
+
+    let mut out = String::new();
+    if parsed.wants_cot {
+        out.push_str(&render_reasoning(decision, effective_fidelity, &mut rng));
+        out.push(' ');
+    }
+    if parsed.wants_json {
+        if clean {
+            out.push_str(&format!("{{\"label\": \"{answer_text}\"}}"));
+        } else {
+            // Classic drift: wrong key, or unquoted value.
+            if rng.gen_bool(0.5) {
+                out.push_str(&format!("{{\"answer\": \"{answer_text}\"}}"));
+            } else {
+                out.push_str(&format!("{{\"label\": {answer_text}}}"));
+            }
+        }
+    } else if clean {
+        out.push_str(&format!("Answer: {answer_text}"));
+    } else if rng.gen_bool(0.2) {
+        // Worst-case drift: a hedge with no label at all — unparseable, the
+        // caller must fall back. Concentrated in low-fidelity models.
+        let hedges = [
+            "It is hard to say from this post alone; more context would be needed.",
+            "The post shows some concerning signals but I cannot be certain either way.",
+            "This could go either way depending on the poster's wider history.",
+        ];
+        out.push_str(hedges.choose(&mut rng).expect("non-empty"));
+    } else {
+        let wrappers = [
+            format!("I would say this is {answer_text}."),
+            format!("The post most likely indicates {answer_text}."),
+            format!("Based on the text, the answer is: {answer_text}"),
+            answer_text.clone(),
+        ];
+        out.push_str(wrappers.choose(&mut rng).expect("non-empty"));
+    }
+    out
+}
+
+/// Render a refusal message (safety-tuned models on self-harm content).
+pub fn render_refusal() -> String {
+    "I'm really sorry you're going through this, but I can't provide an assessment. \
+     If you or someone you know is struggling, please reach out to a crisis line or a \
+     mental health professional."
+        .to_string()
+}
+
+/// Plausible-sounding clinical words used when a low-fidelity model
+/// hallucinates evidence that is not actually in the post.
+const HALLUCINATED_EVIDENCE: &[&str] =
+    &["devastated", "isolated", "panicked", "insomnia", "burdened", "spiralling"];
+
+fn render_reasoning(decision: &Decision, fidelity: f64, rng: &mut StdRng) -> String {
+    let mut s = String::from("Reasoning: the post ");
+    if decision.evidence.is_empty() {
+        s.push_str("contains no strong markers either way");
+    } else {
+        // Evidence hallucination: low-fidelity models sometimes cite a
+        // plausible word that is not in the post — the unfaithful-rationale
+        // phenomenon the interpretability literature measures.
+        let mut cited = decision.evidence.clone();
+        if rng.gen_bool(((1.0 - fidelity) * 0.8).clamp(0.0, 1.0)) {
+            let fake = HALLUCINATED_EVIDENCE.choose(rng).expect("non-empty");
+            let slot = rng.gen_range(0..cited.len());
+            cited[slot] = fake.to_string();
+        }
+        s.push_str("mentions ");
+        for (i, w) in cited.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push('"');
+            s.push_str(w);
+            s.push('"');
+        }
+    }
+    let connective = [
+        ", which points toward this conclusion.",
+        ", a pattern consistent with the label.",
+        "; weighing the overall tone supports the judgement.",
+    ];
+    s.push_str(connective.choose(rng).expect("non-empty"));
+    s
+}
+
+/// Label drift: synonym or inflection of the clean label.
+fn drift_label(label: &str, rng: &mut StdRng) -> String {
+    let synonyms: &[&str] = match label {
+        "depression" => &["depressed", "depressive disorder", "major depression"],
+        "suicide" | "suicidal ideation" => &["suicidal", "suicide risk", "self-harm risk"],
+        "anxiety" => &["anxious", "anxiety disorder"],
+        "stress" | "stressed" => &["stressed out", "under stress", "high stress"],
+        "not stressed" => &["no stress", "calm", "not under stress"],
+        "control" => &["healthy", "no disorder", "normal"],
+        "ptsd" => &["post-traumatic stress", "trauma-related"],
+        "bipolar" => &["bipolar disorder", "manic-depressive"],
+        _ => &[],
+    };
+    match synonyms.choose(rng) {
+        Some(s) => s.to_string(),
+        None => label.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backbone::Decision;
+    use crate::parse::parse_prompt;
+    use crate::zoo::builtin_models;
+
+    fn decision() -> Decision {
+        Decision {
+            labels: vec!["control".into(), "depression".into()],
+            probs: vec![0.2, 0.8],
+            chosen: 1,
+            evidence: vec!["hopeless".into(), "empty".into()],
+        }
+    }
+
+    fn spec(name: &str) -> ModelSpec {
+        builtin_models().into_iter().find(|m| m.name == name).expect("model")
+    }
+
+    #[test]
+    fn clean_render_has_answer_prefix() {
+        let p = parse_prompt("Options: control, depression\nPost: x\nAnswer:");
+        // Find a seed that renders cleanly for a high-fidelity model.
+        let out = render_completion(&spec("sim-gpt-4"), &p, &decision(), 0.0, 1);
+        assert!(out.to_lowercase().contains("depress"), "{out}");
+    }
+
+    #[test]
+    fn cot_render_includes_reasoning_and_evidence() {
+        let p = parse_prompt("Think step by step.\nOptions: a, b\nPost: x\nAnswer:");
+        let out = render_completion(&spec("sim-gpt-4"), &p, &decision(), 0.0, 2);
+        assert!(out.starts_with("Reasoning:"), "{out}");
+        assert!(out.contains("hopeless"), "{out}");
+    }
+
+    #[test]
+    fn json_render_is_jsonish() {
+        let p = parse_prompt("Answer in JSON.\nOptions: a, b\nPost: x\nAnswer:");
+        let out = render_completion(&spec("sim-gpt-4"), &p, &decision(), 0.0, 3);
+        assert!(out.contains('{') && out.contains('}'), "{out}");
+    }
+
+    #[test]
+    fn low_fidelity_models_drift_more() {
+        let p = parse_prompt("Options: control, depression\nPost: x\nAnswer:");
+        let count_clean = |name: &str| {
+            (0..200u64)
+                .filter(|&s| {
+                    render_completion(&spec(name), &p, &decision(), 0.0, s)
+                        .starts_with("Answer: depression")
+                })
+                .count()
+        };
+        let clean_7b = count_clean("sim-llama-7b");
+        let clean_gpt4 = count_clean("sim-gpt-4");
+        assert!(clean_gpt4 > clean_7b, "gpt4 {clean_gpt4} vs 7b {clean_7b}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = parse_prompt("Options: a, b\nPost: x\nAnswer:");
+        let a = render_completion(&spec("sim-gpt-3.5"), &p, &decision(), 0.7, 42);
+        let b = render_completion(&spec("sim-gpt-3.5"), &p, &decision(), 0.7, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refusal_mentions_crisis_resources() {
+        let r = render_refusal();
+        assert!(r.contains("crisis"));
+    }
+
+    #[test]
+    fn temperature_erodes_format() {
+        let p = parse_prompt("Options: control, depression\nPost: x\nAnswer:");
+        let clean_at = |t: f64| {
+            (0..200u64)
+                .filter(|&s| {
+                    render_completion(&spec("sim-gpt-3.5"), &p, &decision(), t, s)
+                        .starts_with("Answer:")
+                })
+                .count()
+        };
+        assert!(clean_at(0.0) > clean_at(2.0));
+    }
+}

@@ -1,0 +1,269 @@
+//! Model catalog and the capability scaling law.
+
+/// Model family, controlling pricing, safety behaviour and tuning defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Open-weights LLaMA-style chat models.
+    OpenChat,
+    /// Instruction-tuned encoder-decoder (FLAN-style).
+    FlanT5,
+    /// Commercial GPT-style API models (safety-tuned).
+    GptApi,
+    /// A LoRA fine-tune of one of the above.
+    FineTuned,
+}
+
+/// Static description of one simulated model.
+#[derive(Debug, Clone)]
+pub struct ModelSpec {
+    /// Model id used in requests ("sim-gpt-4").
+    pub name: String,
+    /// Family.
+    pub family: ModelFamily,
+    /// Nominal parameter count in billions.
+    pub params_b: f64,
+    /// Context window in tokens.
+    pub context_window: usize,
+    /// USD per 1k prompt tokens.
+    pub price_in_per_1k: f64,
+    /// USD per 1k completion tokens.
+    pub price_out_per_1k: f64,
+    /// Base request latency in milliseconds.
+    pub latency_base_ms: f64,
+    /// Additional latency per completion token, milliseconds.
+    pub latency_per_token_ms: f64,
+}
+
+impl ModelSpec {
+    /// Capability in (0, 1): the scaling-law core of the simulation.
+    ///
+    /// `cap = q_family + 0.88 − 0.75 · params_b^(−0.35)`, clamped to
+    /// (0.05, 0.97). The −0.35 exponent gives the diminishing-returns shape
+    /// every published scale curve shows; family offsets encode training
+    /// quality differences (RLHF-polished API models punch above their
+    /// parameter count, FLAN-T5 below).
+    pub fn capability(&self) -> f64 {
+        let scale_term = 0.88 - 0.75 * self.params_b.powf(-0.35);
+        (self.family_quality() + scale_term).clamp(0.05, 0.97)
+    }
+
+    fn family_quality(&self) -> f64 {
+        match self.family {
+            ModelFamily::OpenChat => 0.0,
+            ModelFamily::FlanT5 => -0.04,
+            ModelFamily::GptApi => 0.05,
+            ModelFamily::FineTuned => 0.0,
+        }
+    }
+
+    /// Instruction-following fidelity in (0, 1): probability-like control of
+    /// emitting exactly the requested output format.
+    pub fn fidelity(&self) -> f64 {
+        let base = match self.family {
+            ModelFamily::OpenChat => 0.62,
+            ModelFamily::FlanT5 => 0.80, // instruction-tuned: formats well despite low capability
+            ModelFamily::GptApi => 0.88,
+            ModelFamily::FineTuned => 0.95, // fine-tuned on exact output format
+        };
+        (base + 0.25 * self.capability()).min(0.99)
+    }
+
+    /// Chain-of-thought gain: how much explicit reasoning sharpens the
+    /// decision. Negative for small models — CoT *hurts* below a capability
+    /// threshold, the replicated "emergent CoT" finding.
+    pub fn cot_gain(&self) -> f64 {
+        (self.capability() - 0.55) * 1.8
+    }
+
+    /// How strongly in-context demonstrations move the model (0..1).
+    pub fn fewshot_weight(&self) -> f64 {
+        (self.capability() - 0.25).clamp(0.05, 0.75)
+    }
+
+    /// Probability of refusing a self-harm-heavy query (safety tuning).
+    pub fn refusal_rate(&self) -> f64 {
+        match self.family {
+            ModelFamily::GptApi => 0.03,
+            ModelFamily::FineTuned => 0.0,
+            _ => 0.005,
+        }
+    }
+
+    /// Effective reading depth in tokens: small models effectively attend to
+    /// a shorter prefix of long posts.
+    pub fn reading_depth(&self) -> usize {
+        (64.0 + 448.0 * self.capability()) as usize
+    }
+}
+
+impl ModelSpec {
+    /// Construct a synthetic model of a given scale with price/latency
+    /// derived from the parameter count — used for scaling-law sweeps
+    /// (Artifact A6) and custom-zoo experiments.
+    pub fn synthetic(name: impl Into<String>, params_b: f64, family: ModelFamily) -> Self {
+        assert!(params_b > 0.0, "params must be positive");
+        // Self-hosting cost and latency grow roughly linearly in parameters.
+        let price = 1.4e-5 * params_b;
+        ModelSpec {
+            name: name.into(),
+            family,
+            params_b,
+            context_window: 4096,
+            price_in_per_1k: price,
+            price_out_per_1k: price,
+            latency_base_ms: 60.0 + params_b.sqrt() * 15.0,
+            latency_per_token_ms: 2.0 + params_b * 0.45,
+        }
+    }
+}
+
+/// The built-in model catalog.
+pub fn builtin_models() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "sim-llama-7b".into(),
+            family: ModelFamily::OpenChat,
+            params_b: 7.0,
+            context_window: 4096,
+            price_in_per_1k: 0.0001,
+            price_out_per_1k: 0.0001,
+            latency_base_ms: 80.0,
+            latency_per_token_ms: 18.0,
+        },
+        ModelSpec {
+            name: "sim-llama-13b".into(),
+            family: ModelFamily::OpenChat,
+            params_b: 13.0,
+            context_window: 4096,
+            price_in_per_1k: 0.0002,
+            price_out_per_1k: 0.0002,
+            latency_base_ms: 100.0,
+            latency_per_token_ms: 26.0,
+        },
+        ModelSpec {
+            name: "sim-llama-70b".into(),
+            family: ModelFamily::OpenChat,
+            params_b: 70.0,
+            context_window: 4096,
+            price_in_per_1k: 0.0009,
+            price_out_per_1k: 0.0009,
+            latency_base_ms: 180.0,
+            latency_per_token_ms: 55.0,
+        },
+        ModelSpec {
+            name: "sim-flan-t5-xxl".into(),
+            family: ModelFamily::FlanT5,
+            params_b: 11.0,
+            context_window: 2048,
+            price_in_per_1k: 0.0002,
+            price_out_per_1k: 0.0002,
+            latency_base_ms: 90.0,
+            latency_per_token_ms: 22.0,
+        },
+        ModelSpec {
+            name: "sim-gpt-3.5".into(),
+            family: ModelFamily::GptApi,
+            params_b: 175.0,
+            context_window: 16384,
+            price_in_per_1k: 0.0005,
+            price_out_per_1k: 0.0015,
+            latency_base_ms: 350.0,
+            latency_per_token_ms: 14.0,
+        },
+        ModelSpec {
+            name: "sim-gpt-4".into(),
+            family: ModelFamily::GptApi,
+            params_b: 1000.0,
+            context_window: 32768,
+            price_in_per_1k: 0.03,
+            price_out_per_1k: 0.06,
+            latency_base_ms: 600.0,
+            latency_per_token_ms: 35.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_name(name: &str) -> ModelSpec {
+        builtin_models().into_iter().find(|m| m.name == name).expect("model exists")
+    }
+
+    #[test]
+    fn capability_monotone_in_scale() {
+        let order = ["sim-llama-7b", "sim-llama-13b", "sim-llama-70b", "sim-gpt-3.5", "sim-gpt-4"];
+        let caps: Vec<f64> = order.iter().map(|n| by_name(n).capability()).collect();
+        for w in caps.windows(2) {
+            assert!(w[0] < w[1], "capability ordering violated: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn capability_bounded() {
+        for m in builtin_models() {
+            let c = m.capability();
+            assert!((0.05..=0.97).contains(&c), "{}: {c}", m.name);
+        }
+    }
+
+    #[test]
+    fn cot_hurts_small_helps_large() {
+        assert!(by_name("sim-llama-7b").cot_gain() < 0.0);
+        assert!(by_name("sim-gpt-4").cot_gain() > 0.0);
+        assert!(by_name("sim-gpt-4").cot_gain() > by_name("sim-llama-70b").cot_gain());
+    }
+
+    #[test]
+    fn flan_t5_formats_better_than_bigger_llama() {
+        // Instruction tuning buys fidelity, not capability.
+        let flan = by_name("sim-flan-t5-xxl");
+        let llama70 = by_name("sim-llama-70b");
+        assert!(flan.fidelity() > llama70.fidelity());
+        assert!(flan.capability() < llama70.capability());
+    }
+
+    #[test]
+    fn gpt4_most_expensive() {
+        let models = builtin_models();
+        let gpt4 = by_name("sim-gpt-4");
+        for m in &models {
+            assert!(m.price_out_per_1k <= gpt4.price_out_per_1k);
+        }
+    }
+
+    #[test]
+    fn unique_names() {
+        let mut names: Vec<_> = builtin_models().into_iter().map(|m| m.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), builtin_models().len());
+    }
+
+    #[test]
+    fn reading_depth_scales() {
+        assert!(by_name("sim-gpt-4").reading_depth() > by_name("sim-llama-7b").reading_depth());
+        assert!(by_name("sim-llama-7b").reading_depth() >= 64);
+    }
+
+    #[test]
+    fn synthetic_models_follow_scaling_law() {
+        let small = ModelSpec::synthetic("s-3b", 3.0, ModelFamily::OpenChat);
+        let big = ModelSpec::synthetic("s-300b", 300.0, ModelFamily::OpenChat);
+        assert!(small.capability() < big.capability());
+        assert!(small.price_out_per_1k < big.price_out_per_1k);
+        assert!(small.latency_per_token_ms < big.latency_per_token_ms);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn synthetic_rejects_zero_params() {
+        ModelSpec::synthetic("bad", 0.0, ModelFamily::OpenChat);
+    }
+
+    #[test]
+    fn safety_tuned_models_refuse_more() {
+        assert!(by_name("sim-gpt-4").refusal_rate() > by_name("sim-llama-7b").refusal_rate());
+    }
+}

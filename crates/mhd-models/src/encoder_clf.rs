@@ -1,0 +1,185 @@
+//! "bert-mini": the neural discriminative baseline.
+//!
+//! Builds a task vocabulary, maps posts to token-id sequences, and trains an
+//! attention-pooled [`mhd_nn::Encoder`] from scratch with early stopping on
+//! a held-out slice of the training data. Plays the role of the fine-tuned
+//! BERT/RoBERTa/MentalBERT baselines of the surveyed papers: a supervised
+//! dense-representation model with full access to the training split.
+
+use crate::TextClassifier;
+use mhd_nn::encoder::{Encoder, EncoderConfig};
+use mhd_nn::train::{train, TrainOptions};
+use mhd_text::tokenize::words;
+use mhd_text::vocab::Vocabulary;
+
+/// Hyperparameters for [`EncoderClassifier`].
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderClfConfig {
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// Head hidden width.
+    pub hidden_dim: usize,
+    /// Max vocabulary size.
+    pub max_vocab: usize,
+    /// Max sequence length.
+    pub max_len: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Max training epochs.
+    pub max_epochs: usize,
+    /// Early-stopping patience.
+    pub patience: usize,
+    /// Seed for init/shuffling.
+    pub seed: u64,
+}
+
+impl Default for EncoderClfConfig {
+    fn default() -> Self {
+        EncoderClfConfig {
+            embed_dim: 48,
+            hidden_dim: 64,
+            max_vocab: 8192,
+            max_len: 128,
+            lr: 2e-3,
+            max_epochs: 25,
+            patience: 4,
+            seed: 29,
+        }
+    }
+}
+
+/// The trained classifier.
+pub struct EncoderClassifier {
+    config: EncoderClfConfig,
+    vocab: Option<Vocabulary>,
+    encoder: Option<Encoder>,
+}
+
+impl EncoderClassifier {
+    /// New with default hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(EncoderClfConfig::default())
+    }
+
+    /// New with explicit hyperparameters.
+    pub fn with_config(config: EncoderClfConfig) -> Self {
+        EncoderClassifier { config, vocab: None, encoder: None }
+    }
+
+    fn encode(&self, text: &str) -> Vec<u32> {
+        let vocab = self.vocab.as_ref().expect("fit builds vocab");
+        words(text).iter().filter_map(|w| vocab.id(w)).collect()
+    }
+}
+
+impl Default for EncoderClassifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextClassifier for EncoderClassifier {
+    fn name(&self) -> &'static str {
+        "bert_mini"
+    }
+
+    fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
+        assert_eq!(texts.len(), labels.len());
+        assert!(!texts.is_empty(), "empty training set");
+        let tokenized: Vec<Vec<String>> = texts.iter().map(|t| words(t)).collect();
+        let vocab = Vocabulary::fit(
+            tokenized.iter().map(|d| d.iter().map(String::as_str)),
+            2,
+            self.config.max_vocab,
+        );
+        let docs: Vec<Vec<u32>> = tokenized
+            .iter()
+            .map(|d| d.iter().filter_map(|w| vocab.id(w)).collect())
+            .collect();
+        // Hold out every 10th example for early stopping (deterministic).
+        let mut tr_x = Vec::new();
+        let mut tr_y = Vec::new();
+        let mut va_x = Vec::new();
+        let mut va_y = Vec::new();
+        for (i, (d, &y)) in docs.iter().zip(labels).enumerate() {
+            if i % 10 == 9 && docs.len() >= 20 {
+                va_x.push(d.clone());
+                va_y.push(y);
+            } else {
+                tr_x.push(d.clone());
+                tr_y.push(y);
+            }
+        }
+        let enc_cfg = EncoderConfig {
+            vocab_size: vocab.len().max(1),
+            embed_dim: self.config.embed_dim,
+            hidden_dim: self.config.hidden_dim,
+            n_classes,
+            max_len: self.config.max_len,
+            lr: self.config.lr,
+            seed: self.config.seed,
+        };
+        let mut encoder = Encoder::new(enc_cfg);
+        let opts = TrainOptions {
+            max_epochs: self.config.max_epochs,
+            batch_size: 32,
+            patience: self.config.patience,
+            seed: self.config.seed,
+        };
+        let val = if va_x.is_empty() { None } else { Some((va_x.as_slice(), va_y.as_slice())) };
+        train(&mut encoder, &tr_x, &tr_y, val, &opts);
+        self.vocab = Some(vocab);
+        self.encoder = Some(encoder);
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<f64> {
+        let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
+        let ids = self.encode(text);
+        encoder.predict_proba(&ids).into_iter().map(|p| p as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::toy_corpus;
+
+    fn fast() -> EncoderClfConfig {
+        EncoderClfConfig { embed_dim: 16, hidden_dim: 16, max_epochs: 40, patience: 0, ..Default::default() }
+    }
+
+    #[test]
+    fn learns_toy_corpus() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = EncoderClassifier::with_config(fast());
+        clf.fit(&texts, &labels, 2);
+        let correct = texts.iter().zip(&labels).filter(|(t, &y)| clf.predict(t) == y).count();
+        let acc = correct as f64 / texts.len() as f64;
+        assert!(acc >= 0.8, "bert_mini accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = EncoderClassifier::with_config(fast());
+        clf.fit(&texts, &labels, 2);
+        let p = clf.predict_proba("i feel hopeless");
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn oov_text_handled() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = EncoderClassifier::with_config(fast());
+        clf.fit(&texts, &labels, 2);
+        let p = clf.predict_proba("zzzz qqqq completely unseen tokens");
+        assert!(p.iter().all(|&x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn requires_fit() {
+        EncoderClassifier::new().predict("x");
+    }
+}

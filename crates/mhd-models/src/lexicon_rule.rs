@@ -1,0 +1,127 @@
+//! Lexicon rule baseline: nearest-centroid over LIWC-style category rates.
+//!
+//! The classic pre-ML approach in this literature: score each post by its
+//! affect-category profile and assign the class whose profile it most
+//! resembles. Fitting only estimates per-class centroids — no discriminative
+//! optimization — so the method is fast, interpretable, and (as every survey
+//! reports) noticeably weaker than trained models.
+
+use crate::TextClassifier;
+use mhd_text::lexicon::Lexicon;
+use mhd_text::stats::TextStats;
+use mhd_text::tokenize::words;
+
+/// Nearest-centroid classifier over lexicon-rate + surface-stat features.
+#[derive(Debug, Clone)]
+pub struct LexiconRule {
+    lexicon: Lexicon,
+    centroids: Vec<Vec<f64>>, // one per class
+    /// Softmax temperature over negative distances.
+    temperature: f64,
+}
+
+impl LexiconRule {
+    /// New, unfitted.
+    pub fn new() -> Self {
+        LexiconRule { lexicon: Lexicon::standard(), centroids: Vec::new(), temperature: 0.02 }
+    }
+
+    fn features(&self, text: &str) -> Vec<f64> {
+        let toks = words(text);
+        let mut f = self.lexicon.profile(&toks).rates();
+        f.extend(TextStats::of(text).features().iter().map(|&x| x * 0.1)); // downweight surface stats
+        f
+    }
+}
+
+impl Default for LexiconRule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextClassifier for LexiconRule {
+    fn name(&self) -> &'static str {
+        "lexicon"
+    }
+
+    fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
+        let dim = self.features(texts.first().copied().unwrap_or("")).len();
+        let mut sums = vec![vec![0.0f64; dim]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (t, &y) in texts.iter().zip(labels) {
+            let f = self.features(t);
+            for (s, v) in sums[y].iter_mut().zip(&f) {
+                *s += v;
+            }
+            counts[y] += 1;
+        }
+        self.centroids = sums
+            .into_iter()
+            .zip(&counts)
+            .map(|(s, &c)| {
+                if c == 0 {
+                    s // zero centroid for unseen classes
+                } else {
+                    s.into_iter().map(|v| v / c as f64).collect()
+                }
+            })
+            .collect();
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<f64> {
+        assert!(!self.centroids.is_empty(), "LexiconRule::fit not called");
+        let f = self.features(text);
+        // Negative squared distance → softmax.
+        let neg_d2: Vec<f64> = self
+            .centroids
+            .iter()
+            .map(|c| -c.iter().zip(&f).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+            .collect();
+        softmax_t(&neg_d2, self.temperature)
+    }
+}
+
+fn softmax_t(xs: &[f64], t: f64) -> Vec<f64> {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| ((x - max) / t).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{toy_corpus, train_accuracy};
+
+    #[test]
+    fn separates_clear_classes() {
+        let mut clf = LexiconRule::new();
+        let acc = train_accuracy(&mut clf);
+        assert!(acc >= 0.9, "lexicon accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_is_distribution() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = LexiconRule::new();
+        clf.fit(&texts, &labels, 2);
+        let p = clf.predict_proba("i feel sad");
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unseen_class_gets_zero_centroid() {
+        let mut clf = LexiconRule::new();
+        clf.fit(&["happy day"], &[0], 3); // classes 1 and 2 unseen
+        let p = clf.predict_proba("happy day");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn requires_fit() {
+        LexiconRule::new().predict("x");
+    }
+}

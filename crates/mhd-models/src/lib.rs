@@ -1,0 +1,104 @@
+//! # mhd-models — baseline text classifiers
+//!
+//! Every non-LLM method the surveyed benchmarks compare against:
+//!
+//! - [`trivial`] — majority-class and uniform-random floors
+//! - [`lexicon_rule`] — the LIWC-style rule baseline (no training labels
+//!   needed beyond class priors)
+//! - [`naive_bayes`] — multinomial Naive Bayes over stemmed unigrams
+//! - [`logreg`] — multinomial logistic regression over TF-IDF
+//! - [`svm`] — one-vs-rest linear SVM trained with Pegasos
+//! - [`encoder_clf`] — "bert-mini": an attention-pooled neural encoder
+//!   trained from scratch (the BERT-class discriminative baseline)
+//!
+//! All models implement [`TextClassifier`], the single seam the experiment
+//! runner consumes.
+
+pub mod encoder_clf;
+pub mod lexicon_rule;
+pub mod logreg;
+pub mod naive_bayes;
+pub mod svm;
+pub mod trivial;
+
+pub use encoder_clf::EncoderClassifier;
+pub use lexicon_rule::LexiconRule;
+pub use logreg::LogisticRegression;
+pub use naive_bayes::NaiveBayes;
+pub use svm::LinearSvm;
+pub use trivial::{Majority, UniformRandom};
+
+/// A trainable text classifier. `fit` must be called before prediction.
+pub trait TextClassifier {
+    /// Short method name used in result tables.
+    fn name(&self) -> &'static str;
+
+    /// Fit on parallel slices of texts and gold label indices.
+    /// `n_classes` fixes the output dimensionality (labels may not cover
+    /// every class in small training sets).
+    fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize);
+
+    /// Class-probability estimates for one text. Length = `n_classes`.
+    fn predict_proba(&self, text: &str) -> Vec<f64>;
+
+    /// Most probable class.
+    fn predict(&self, text: &str) -> usize {
+        argmax(&self.predict_proba(text))
+    }
+}
+
+/// Index of the maximum value (first wins ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixture: a small two-class corpus with clear lexical signal.
+
+    /// (texts, labels): label 1 = distressed, 0 = neutral.
+    pub fn toy_corpus() -> (Vec<&'static str>, Vec<usize>) {
+        let texts = vec![
+            "i feel hopeless and empty, crying every night",
+            "everything is pointless, i am worthless and alone",
+            "so sad and numb, i cannot sleep anymore",
+            "the darkness never lifts, i feel hopeless again",
+            "crying all day, everything feels meaningless and dark",
+            "i am exhausted and hopeless, nothing matters now",
+            "had a wonderful day at the park with friends",
+            "the new recipe turned out great, feeling happy",
+            "excited about the weekend trip, life is good",
+            "watched a fun movie and laughed a lot tonight",
+            "grateful for my family, what a lovely dinner",
+            "great game last night, we celebrated with pizza",
+        ];
+        let labels = vec![1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0];
+        (texts, labels)
+    }
+
+    /// Accuracy of a fitted classifier on the toy corpus itself.
+    pub fn train_accuracy<C: super::TextClassifier>(clf: &mut C) -> f64 {
+        let (texts, labels) = toy_corpus();
+        clf.fit(&texts, &labels, 2);
+        let correct =
+            texts.iter().zip(&labels).filter(|(t, &y)| clf.predict(t) == y).count();
+        correct as f64 / texts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), 1);
+        assert_eq!(argmax(&[0.5, 0.5]), 0);
+    }
+}

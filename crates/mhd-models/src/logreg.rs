@@ -1,0 +1,198 @@
+//! Multinomial logistic regression over TF-IDF features.
+//!
+//! Trained by mini-batch SGD with momentum on the softmax cross-entropy,
+//! with L2 regularization — the standard strong classical baseline of the
+//! surveyed papers ("LogReg + TF-IDF").
+
+use crate::TextClassifier;
+use mhd_text::sparse::SparseVec;
+use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for [`LogisticRegression`].
+#[derive(Debug, Clone)]
+pub struct LogRegConfig {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// RNG seed (shuffling).
+    pub seed: u64,
+    /// TF-IDF options.
+    pub tfidf: TfidfConfig,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig {
+            lr: 0.5,
+            l2: 1e-5,
+            epochs: 20,
+            batch_size: 32,
+            seed: 11,
+            tfidf: TfidfConfig::default(),
+        }
+    }
+}
+
+/// The classifier. Weights are dense per class over the TF-IDF space.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LogRegConfig,
+    vectorizer: Option<TfidfVectorizer>,
+    weights: Vec<Vec<f64>>, // [class][feature]
+    bias: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// New with default hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(LogRegConfig::default())
+    }
+
+    /// New with explicit hyperparameters.
+    pub fn with_config(config: LogRegConfig) -> Self {
+        LogisticRegression { config, vectorizer: None, weights: Vec::new(), bias: Vec::new() }
+    }
+
+    fn scores(&self, x: &SparseVec) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, &b)| x.dot_dense(w) + b)
+            .collect()
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn softmax(xs: &[f64]) -> Vec<f64> {
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl TextClassifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "logreg_tfidf"
+    }
+
+    fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
+        assert_eq!(texts.len(), labels.len());
+        let vectorizer = TfidfVectorizer::fit(texts, self.config.tfidf.clone());
+        let n_features = vectorizer.n_features();
+        let xs: Vec<SparseVec> = texts.iter().map(|t| vectorizer.transform(t)).collect();
+        self.weights = vec![vec![0.0; n_features]; n_classes];
+        self.bias = vec![0.0; n_classes];
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                // Accumulate gradient over the batch.
+                let scale = self.config.lr / chunk.len() as f64;
+                for &i in chunk {
+                    let p = softmax(&self.scores(&xs[i]));
+                    for (c, &pc) in p.iter().enumerate() {
+                        let err = pc - if labels[i] == c { 1.0 } else { 0.0 };
+                        if err != 0.0 {
+                            xs[i].add_into_dense(&mut self.weights[c], -scale * err);
+                            self.bias[c] -= scale * err;
+                        }
+                    }
+                }
+                // L2 shrinkage once per batch.
+                if self.config.l2 > 0.0 {
+                    let decay = 1.0 - self.config.lr * self.config.l2;
+                    for w in &mut self.weights {
+                        for v in w.iter_mut() {
+                            *v *= decay;
+                        }
+                    }
+                }
+            }
+        }
+        self.vectorizer = Some(vectorizer);
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<f64> {
+        let v = self.vectorizer.as_ref().expect("LogisticRegression::fit not called");
+        softmax(&self.scores(&v.transform(text)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{toy_corpus, train_accuracy};
+
+    fn fast_config() -> LogRegConfig {
+        LogRegConfig {
+            epochs: 30,
+            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            ..LogRegConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_toy_corpus() {
+        let mut clf = LogisticRegression::with_config(fast_config());
+        let acc = train_accuracy(&mut clf);
+        assert!(acc >= 0.9, "logreg accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_normalized_and_confident_on_train() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = LogisticRegression::with_config(fast_config());
+        clf.fit(&texts, &labels, 2);
+        let p = clf.predict_proba(texts[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > 0.6, "{p:?}");
+    }
+
+    #[test]
+    fn multiclass_works() {
+        let texts = vec![
+            "sleep insomnia tired exhausted",
+            "insomnia sleepless tired nights",
+            "money rent debt bills broke",
+            "debt bills loans rent broke",
+            "panic anxious worried scared fear",
+            "anxious panic fear nervous worried",
+        ];
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let mut clf = LogisticRegression::with_config(fast_config());
+        clf.fit(&texts, &labels, 3);
+        assert_eq!(clf.predict("cannot sleep, insomnia again, so tired"), 0);
+        assert_eq!(clf.predict("bills and rent and debt everywhere"), 1);
+        assert_eq!(clf.predict("so worried and anxious, full of fear"), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (texts, labels) = toy_corpus();
+        let mut a = LogisticRegression::with_config(fast_config());
+        let mut b = LogisticRegression::with_config(fast_config());
+        a.fit(&texts, &labels, 2);
+        b.fit(&texts, &labels, 2);
+        assert_eq!(a.predict_proba(texts[0]), b.predict_proba(texts[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn requires_fit() {
+        LogisticRegression::new().predict("x");
+    }
+}

@@ -1,0 +1,180 @@
+//! Multinomial Naive Bayes over stemmed unigrams with Laplace smoothing.
+
+use crate::TextClassifier;
+use mhd_text::stem::stem;
+use mhd_text::stopwords::is_stopword;
+use mhd_text::tokenize::words;
+use std::collections::HashMap;
+
+/// Multinomial NB classifier.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+    vocab: HashMap<String, u32>,
+    /// log P(class).
+    log_priors: Vec<f64>,
+    /// log P(term | class), indexed `[class][term_id]`.
+    log_likelihood: Vec<Vec<f64>>,
+    /// log of the smoothed unseen-term likelihood per class.
+    log_unseen: Vec<f64>,
+}
+
+impl NaiveBayes {
+    /// New with the standard α = 1 smoothing.
+    pub fn new() -> Self {
+        NaiveBayes {
+            alpha: 1.0,
+            vocab: HashMap::new(),
+            log_priors: Vec::new(),
+            log_likelihood: Vec::new(),
+            log_unseen: Vec::new(),
+        }
+    }
+
+    fn terms(text: &str) -> Vec<String> {
+        words(text)
+            .into_iter()
+            .filter(|w| !is_stopword(w))
+            .map(|w| stem(&w))
+            .collect()
+    }
+}
+
+impl Default for NaiveBayes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextClassifier for NaiveBayes {
+    fn name(&self) -> &'static str {
+        "naive_bayes"
+    }
+
+    fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
+        assert_eq!(texts.len(), labels.len());
+        // Build vocabulary.
+        self.vocab.clear();
+        let mut docs_terms: Vec<Vec<String>> = Vec::with_capacity(texts.len());
+        for t in texts {
+            let terms = Self::terms(t);
+            for term in &terms {
+                let next_id = self.vocab.len() as u32;
+                self.vocab.entry(term.clone()).or_insert(next_id);
+            }
+            docs_terms.push(terms);
+        }
+        let v = self.vocab.len();
+        // Count per-class term totals.
+        let mut class_counts = vec![0usize; n_classes];
+        let mut term_counts = vec![vec![0u64; v]; n_classes];
+        let mut class_tokens = vec![0u64; n_classes];
+        for (terms, &y) in docs_terms.iter().zip(labels) {
+            class_counts[y] += 1;
+            for term in terms {
+                let id = self.vocab[term] as usize;
+                term_counts[y][id] += 1;
+                class_tokens[y] += 1;
+            }
+        }
+        let n_docs = texts.len().max(1) as f64;
+        self.log_priors = class_counts
+            .iter()
+            .map(|&c| (((c as f64) + 1.0) / (n_docs + n_classes as f64)).ln())
+            .collect();
+        self.log_likelihood = Vec::with_capacity(n_classes);
+        self.log_unseen = Vec::with_capacity(n_classes);
+        for y in 0..n_classes {
+            let denom = class_tokens[y] as f64 + self.alpha * v as f64;
+            self.log_likelihood.push(
+                term_counts[y]
+                    .iter()
+                    .map(|&c| ((c as f64 + self.alpha) / denom).ln())
+                    .collect(),
+            );
+            self.log_unseen.push((self.alpha / denom).ln());
+        }
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<f64> {
+        assert!(!self.log_priors.is_empty(), "NaiveBayes::fit not called");
+        let mut scores = self.log_priors.clone();
+        for term in Self::terms(text) {
+            match self.vocab.get(&term) {
+                Some(&id) => {
+                    for (y, s) in scores.iter_mut().enumerate() {
+                        *s += self.log_likelihood[y][id as usize];
+                    }
+                }
+                None => {
+                    for (y, s) in scores.iter_mut().enumerate() {
+                        *s += self.log_unseen[y];
+                    }
+                }
+            }
+        }
+        // Normalize log scores to probabilities.
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{toy_corpus, train_accuracy};
+
+    #[test]
+    fn learns_toy_corpus() {
+        let mut nb = NaiveBayes::new();
+        let acc = train_accuracy(&mut nb);
+        assert!(acc >= 0.9, "NB accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_normalized() {
+        let (texts, labels) = toy_corpus();
+        let mut nb = NaiveBayes::new();
+        nb.fit(&texts, &labels, 2);
+        let p = nb.predict_proba("i feel empty and hopeless");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > p[0], "distress text should score class 1: {p:?}");
+    }
+
+    #[test]
+    fn oov_text_falls_back_to_priors() {
+        // Balanced token mass per class so the unseen-term likelihood is
+        // identical; only the doc-count prior can break the tie.
+        let mut nb = NaiveBayes::new();
+        nb.fit(&["aa bb", "aa bb", "cc dd cc dd"], &[0, 0, 1], 2);
+        let p = nb.predict_proba("zz yy xx");
+        assert!(p[0] > p[1], "{p:?}");
+    }
+
+    #[test]
+    fn smoothing_prevents_zero_probability() {
+        let mut nb = NaiveBayes::new();
+        nb.fit(&["good", "bad"], &[0, 1], 2);
+        // "good" never appears in class 1, but probability stays finite.
+        let p = nb.predict_proba("good good good");
+        assert!(p.iter().all(|&x| x > 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn handles_empty_class_gracefully() {
+        let mut nb = NaiveBayes::new();
+        nb.fit(&["x y"], &[0], 2); // class 1 has no docs
+        let p = nb.predict_proba("x");
+        assert_eq!(p.len(), 2);
+        assert!(p.iter().all(|&x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn requires_fit() {
+        NaiveBayes::new().predict("x");
+    }
+}

@@ -1,0 +1,177 @@
+//! One-vs-rest linear SVM trained with Pegasos (Shalev-Shwartz et al., 2011).
+//!
+//! Pegasos performs stochastic sub-gradient descent on the regularized hinge
+//! loss with the characteristic 1/(λt) step size. Probabilities are derived
+//! from margins with a softmax — adequate for ranking-based metrics.
+
+use crate::TextClassifier;
+use mhd_text::sparse::SparseVec;
+use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for [`LinearSvm`].
+#[derive(Debug, Clone)]
+pub struct SvmConfig {
+    /// Regularization constant λ.
+    pub lambda: f64,
+    /// Number of epochs over the data.
+    pub epochs: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// TF-IDF options.
+    pub tfidf: TfidfConfig,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig { lambda: 1e-4, epochs: 15, seed: 23, tfidf: TfidfConfig::default() }
+    }
+}
+
+/// One-vs-rest linear SVM over TF-IDF.
+#[derive(Debug, Clone)]
+pub struct LinearSvm {
+    config: SvmConfig,
+    vectorizer: Option<TfidfVectorizer>,
+    weights: Vec<Vec<f64>>, // [class][feature]
+    bias: Vec<f64>,
+}
+
+impl LinearSvm {
+    /// New with default hyperparameters.
+    pub fn new() -> Self {
+        Self::with_config(SvmConfig::default())
+    }
+
+    /// New with explicit hyperparameters.
+    pub fn with_config(config: SvmConfig) -> Self {
+        LinearSvm { config, vectorizer: None, weights: Vec::new(), bias: Vec::new() }
+    }
+
+    fn margins(&self, x: &SparseVec) -> Vec<f64> {
+        self.weights.iter().zip(&self.bias).map(|(w, &b)| x.dot_dense(w) + b).collect()
+    }
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TextClassifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "svm_tfidf"
+    }
+
+    fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
+        assert_eq!(texts.len(), labels.len());
+        let vectorizer = TfidfVectorizer::fit(texts, self.config.tfidf.clone());
+        let xs: Vec<SparseVec> = texts.iter().map(|t| vectorizer.transform(t)).collect();
+        let n_features = vectorizer.n_features();
+        self.weights = vec![vec![0.0; n_features]; n_classes];
+        self.bias = vec![0.0; n_classes];
+        let lambda = self.config.lambda;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut t: u64 = 0;
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                // Smoothed Pegasos schedule: η = 1/(λt + 1) avoids the huge
+                // early steps of the textbook 1/(λt) when λ is small.
+                let eta = 1.0 / (lambda * t as f64 + 1.0);
+                for c in 0..n_classes {
+                    let y = if labels[i] == c { 1.0 } else { -1.0 };
+                    let margin = y * (xs[i].dot_dense(&self.weights[c]) + self.bias[c]);
+                    // Regularization shrink.
+                    let shrink = 1.0 - eta * lambda;
+                    for w in self.weights[c].iter_mut() {
+                        *w *= shrink;
+                    }
+                    if margin < 1.0 {
+                        xs[i].add_into_dense(&mut self.weights[c], eta * y);
+                        self.bias[c] += eta * y * 0.01; // unregularized, small-rate bias
+                    }
+                }
+            }
+        }
+        self.vectorizer = Some(vectorizer);
+    }
+
+    fn predict_proba(&self, text: &str) -> Vec<f64> {
+        let v = self.vectorizer.as_ref().expect("LinearSvm::fit not called");
+        let m = self.margins(&v.transform(text));
+        // Softmax over margins as a probability surrogate.
+        let max = m.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = m.iter().map(|&s| (s - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{toy_corpus, train_accuracy};
+
+    fn fast_config() -> SvmConfig {
+        SvmConfig {
+            epochs: 25,
+            tfidf: TfidfConfig { min_df: 1, ..TfidfConfig::default() },
+            ..SvmConfig::default()
+        }
+    }
+
+    #[test]
+    fn learns_toy_corpus() {
+        let mut clf = LinearSvm::with_config(fast_config());
+        let acc = train_accuracy(&mut clf);
+        assert!(acc >= 0.9, "svm accuracy {acc}");
+    }
+
+    #[test]
+    fn margins_separate_classes() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = LinearSvm::with_config(fast_config());
+        clf.fit(&texts, &labels, 2);
+        let pos = clf.predict_proba("hopeless crying empty sad");
+        let neg = clf.predict_proba("wonderful happy grateful fun");
+        assert!(pos[1] > pos[0], "{pos:?}");
+        assert!(neg[0] > neg[1], "{neg:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (texts, labels) = toy_corpus();
+        let mut a = LinearSvm::with_config(fast_config());
+        let mut b = LinearSvm::with_config(fast_config());
+        a.fit(&texts, &labels, 2);
+        b.fit(&texts, &labels, 2);
+        assert_eq!(a.predict_proba(texts[3]), b.predict_proba(texts[3]));
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        let texts = vec![
+            "alpha alpha alpha", "alpha alpha beta",
+            "beta beta beta", "beta beta gamma",
+            "gamma gamma gamma", "gamma gamma alpha",
+        ];
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let mut clf = LinearSvm::with_config(fast_config());
+        clf.fit(&texts, &labels, 3);
+        assert_eq!(clf.predict("alpha alpha alpha alpha"), 0);
+        assert_eq!(clf.predict("beta beta beta beta"), 1);
+        assert_eq!(clf.predict("gamma gamma gamma gamma"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn requires_fit() {
+        LinearSvm::new().predict("x");
+    }
+}

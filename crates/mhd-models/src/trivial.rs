@@ -1,0 +1,111 @@
+//! Trivial floors: majority class and uniform random.
+
+use crate::TextClassifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+
+/// Always predicts the training-majority class (with prior probabilities).
+#[derive(Debug, Clone, Default)]
+pub struct Majority {
+    priors: Vec<f64>,
+}
+
+impl Majority {
+    /// New, unfitted.
+    pub fn new() -> Self {
+        Majority::default()
+    }
+}
+
+impl TextClassifier for Majority {
+    fn name(&self) -> &'static str {
+        "majority"
+    }
+
+    fn fit(&mut self, _texts: &[&str], labels: &[usize], n_classes: usize) {
+        let mut counts = vec![0usize; n_classes];
+        for &l in labels {
+            counts[l] += 1;
+        }
+        let total = labels.len().max(1) as f64;
+        self.priors = counts.iter().map(|&c| c as f64 / total).collect();
+    }
+
+    fn predict_proba(&self, _text: &str) -> Vec<f64> {
+        assert!(!self.priors.is_empty(), "Majority::fit not called");
+        self.priors.clone()
+    }
+}
+
+/// Uniform-random predictions (seeded; deterministic sequence).
+#[derive(Debug)]
+pub struct UniformRandom {
+    n_classes: usize,
+    rng: RefCell<StdRng>,
+}
+
+impl UniformRandom {
+    /// New with a seed.
+    pub fn new(seed: u64) -> Self {
+        UniformRandom { n_classes: 0, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+    }
+}
+
+impl TextClassifier for UniformRandom {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn fit(&mut self, _texts: &[&str], _labels: &[usize], n_classes: usize) {
+        self.n_classes = n_classes;
+    }
+
+    fn predict_proba(&self, _text: &str) -> Vec<f64> {
+        assert!(self.n_classes > 0, "UniformRandom::fit not called");
+        // A peaked-at-random-class distribution so `predict` is random.
+        let winner = self.rng.borrow_mut().gen_range(0..self.n_classes);
+        let mut p = vec![0.5 / self.n_classes as f64; self.n_classes];
+        p[winner] += 0.5;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_predicts_mode() {
+        let mut m = Majority::new();
+        m.fit(&["a", "b", "c"], &[1, 1, 0], 2);
+        assert_eq!(m.predict("anything"), 1);
+        let p = m.predict_proba("x");
+        assert!((p[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fit not called")]
+    fn majority_requires_fit() {
+        Majority::new().predict("x");
+    }
+
+    #[test]
+    fn random_covers_classes() {
+        let mut r = UniformRandom::new(1);
+        r.fit(&[], &[], 3);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[r.predict("x")] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all classes should appear");
+    }
+
+    #[test]
+    fn random_proba_sums_to_one() {
+        let mut r = UniformRandom::new(2);
+        r.fit(&[], &[], 4);
+        let p = r.predict_proba("x");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

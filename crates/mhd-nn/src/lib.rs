@@ -1,0 +1,34 @@
+//! # mhd-nn — minimal neural-network substrate
+//!
+//! A small, dependency-light neural-network library with **real
+//! gradient-based training** (manual backpropagation, Adam). It powers:
+//!
+//! - the "bert-mini" discriminative baseline in `mhd-models`
+//!   (embedding → attention pooling → MLP, trained from scratch);
+//! - LoRA-style adapter fine-tuning of the simulated LLM backbone in
+//!   `mhd-llm`.
+//!
+//! Modules:
+//! - [`tensor`] — parameter tensors with gradient buffers
+//! - [`linalg`] — the handful of dense kernels everything uses
+//! - [`optim`] — Adam optimizer
+//! - [`mlp`] — a one-hidden-layer softmax classifier
+//! - [`encoder`] — attention-pooled text encoder classifier
+//! - [`lora`] — low-rank adapters over a frozen linear map
+//! - [`train`] — mini-batch training loop with early stopping
+
+#![allow(clippy::needless_range_loop)] // index loops are the clearest idiom for the dense kernels
+
+pub mod encoder;
+pub mod linalg;
+pub mod lora;
+pub mod mlp;
+pub mod optim;
+pub mod tensor;
+pub mod train;
+
+pub use encoder::Encoder;
+pub use lora::LoraAdapter;
+pub use mlp::Mlp;
+pub use optim::Adam;
+pub use tensor::Tensor;

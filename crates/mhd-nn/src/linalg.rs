@@ -1,0 +1,186 @@
+//! Dense kernels shared by the models.
+
+/// `out = W x + b`, where `W` is `m×n` row-major, `x` is length-`n`,
+/// `b` length-`m`.
+pub fn affine(w: &[f32], b: &[f32], x: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(w.len(), m * n);
+    debug_assert_eq!(x.len(), n);
+    debug_assert_eq!(b.len(), m);
+    debug_assert_eq!(out.len(), m);
+    for i in 0..m {
+        let row = &w[i * n..(i + 1) * n];
+        let mut acc = b[i];
+        for j in 0..n {
+            acc += row[j] * x[j];
+        }
+        out[i] = acc;
+    }
+}
+
+/// `out = Wᵀ d` — backprop of [`affine`] into the input: `W` is `m×n`,
+/// `d` length-`m`, `out` length-`n` (accumulated, caller zeroes).
+pub fn affine_backward_input(w: &[f32], d: &[f32], m: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), n);
+    for i in 0..m {
+        let di = d[i];
+        if di == 0.0 {
+            continue;
+        }
+        let row = &w[i * n..(i + 1) * n];
+        for j in 0..n {
+            out[j] += row[j] * di;
+        }
+    }
+}
+
+/// Accumulate `grad_w += d ⊗ x` and `grad_b += d` — backprop of [`affine`]
+/// into the parameters.
+pub fn affine_backward_params(
+    grad_w: &mut [f32],
+    grad_b: &mut [f32],
+    d: &[f32],
+    x: &[f32],
+    m: usize,
+    n: usize,
+) {
+    for i in 0..m {
+        let di = d[i];
+        grad_b[i] += di;
+        if di == 0.0 {
+            continue;
+        }
+        let row = &mut grad_w[i * n..(i + 1) * n];
+        for j in 0..n {
+            row[j] += di * x[j];
+        }
+    }
+}
+
+/// In-place ReLU; returns a mask of active units for the backward pass.
+pub fn relu_inplace(x: &mut [f32]) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(x.len());
+    for v in x.iter_mut() {
+        let active = *v > 0.0;
+        mask.push(active);
+        if !active {
+            *v = 0.0;
+        }
+    }
+    mask
+}
+
+/// Apply ReLU mask to a gradient in place.
+pub fn relu_backward(d: &mut [f32], mask: &[bool]) {
+    for (g, &m) in d.iter_mut().zip(mask) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically stable softmax into a new vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy loss for a softmax distribution against a gold class, and
+/// the gradient w.r.t. the logits (`p - onehot`).
+pub fn softmax_xent(logits: &[f32], gold: usize) -> (f32, Vec<f32>) {
+    let p = softmax(logits);
+    let loss = -(p[gold].max(1e-12)).ln();
+    let mut d = p;
+    d[gold] -= 1.0;
+    (loss, d)
+}
+
+/// Dot product.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_matches_manual() {
+        // W = [[1,2],[3,4]], b = [0.5, -0.5], x = [1, -1]
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5, -0.5];
+        let x = [1.0, -1.0];
+        let mut out = [0.0; 2];
+        affine(&w, &b, &x, 2, 2, &mut out);
+        assert_eq!(out, [-0.5, -1.5]);
+    }
+
+    #[test]
+    fn affine_backward_consistency() {
+        // Numerical check of input gradient on a random-ish small case.
+        let w = [0.3, -0.2, 0.1, 0.5, 0.4, -0.6];
+        let b = [0.0, 0.0];
+        let x = [0.7, -0.3, 0.2];
+        let d = [1.0, -2.0]; // upstream gradient
+        let mut analytic = vec![0.0; 3];
+        affine_backward_input(&w, &d, 2, 3, &mut analytic);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut xp = x;
+            xp[j] += eps;
+            let mut xm = x;
+            xm[j] -= eps;
+            let mut op = [0.0; 2];
+            let mut om = [0.0; 2];
+            affine(&w, &b, &xp, 2, 3, &mut op);
+            affine(&w, &b, &xm, 2, 3, &mut om);
+            let num: f32 = (0..2).map(|i| d[i] * (op[i] - om[i]) / (2.0 * eps)).sum();
+            assert!((analytic[j] - num).abs() < 1e-2, "j={j}: {} vs {num}", analytic[j]);
+        }
+    }
+
+    #[test]
+    fn affine_param_grads() {
+        let d = [2.0, -1.0];
+        let x = [3.0, 4.0];
+        let mut gw = vec![0.0; 4];
+        let mut gb = vec![0.0; 2];
+        affine_backward_params(&mut gw, &mut gb, &d, &x, 2, 2);
+        assert_eq!(gw, vec![6.0, 8.0, -3.0, -4.0]);
+        assert_eq!(gb, vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = vec![1.0, -1.0, 0.0, 2.0];
+        let mask = relu_inplace(&mut x);
+        assert_eq!(x, vec![1.0, 0.0, 0.0, 2.0]);
+        let mut d = vec![5.0, 5.0, 5.0, 5.0];
+        relu_backward(&mut d, &mask);
+        assert_eq!(d, vec![5.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn xent_gradient_shape() {
+        let (loss, d) = softmax_xent(&[0.0, 0.0, 0.0], 1);
+        assert!((loss - (3.0f32).ln()).abs() < 1e-5);
+        assert!((d[1] - (1.0 / 3.0 - 1.0)).abs() < 1e-5);
+        assert!((d.iter().sum::<f32>()).abs() < 1e-6, "gradient sums to zero");
+    }
+
+    #[test]
+    fn xent_decreases_with_confidence() {
+        let (low, _) = softmax_xent(&[0.0, 0.0], 0);
+        let (high, _) = softmax_xent(&[5.0, 0.0], 0);
+        assert!(high < low);
+    }
+}

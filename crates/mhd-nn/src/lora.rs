@@ -1,0 +1,235 @@
+//! LoRA-style low-rank adapters (Hu et al., 2021).
+//!
+//! Adapts a *frozen* linear map `W : n → m` by learning a low-rank update
+//! `ΔW = B Aᵀ` with `A : n×r`, `B : m×r`, `r ≪ min(m, n)`. Only `A` and `B`
+//! receive gradients — exactly the mechanism used to instruction-fine-tune
+//! the simulated LLM backbone in `mhd-llm`.
+
+use crate::linalg::softmax_xent;
+use crate::optim::Adam;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A low-rank adapter over a frozen `m×n` weight matrix.
+#[derive(Debug, Clone)]
+pub struct LoraAdapter {
+    m: usize,
+    n: usize,
+    rank: usize,
+    /// Frozen base weights, row-major `m×n`.
+    base: Vec<f32>,
+    /// Frozen base bias, length `m`.
+    base_bias: Vec<f32>,
+    a: Tensor, // n×r
+    b: Tensor, // m×r
+    /// LoRA scaling factor α/r.
+    scaling: f32,
+    opt: Adam,
+}
+
+impl LoraAdapter {
+    /// Wrap frozen weights `base` (`m×n`) and `bias` (`m`) with a rank-`r`
+    /// adapter. Following the LoRA paper, `A` is Gaussian-initialized and
+    /// `B` starts at zero so the adapted map initially equals the base map.
+    pub fn new(base: Vec<f32>, bias: Vec<f32>, m: usize, n: usize, rank: usize, lr: f32, seed: u64) -> Self {
+        assert_eq!(base.len(), m * n, "base shape mismatch");
+        assert_eq!(bias.len(), m, "bias shape mismatch");
+        assert!(rank >= 1, "rank must be ≥ 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(n, rank, 0.02, &mut rng);
+        let b = Tensor::zeros(m, rank);
+        let sizes = [a.len(), b.len()];
+        LoraAdapter {
+            m,
+            n,
+            rank,
+            base,
+            base_bias: bias,
+            a,
+            b,
+            scaling: 2.0, // α/r with α = 2r — the common default regime
+            opt: Adam::new(lr, &sizes),
+        }
+    }
+
+    /// Forward pass: `(W + s·B Aᵀ) x + bias`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n, "input dim mismatch");
+        // Base path.
+        let mut out = self.base_bias.clone();
+        for i in 0..self.m {
+            let row = &self.base[i * self.n..(i + 1) * self.n];
+            let mut acc = 0.0;
+            for j in 0..self.n {
+                acc += row[j] * x[j];
+            }
+            out[i] += acc;
+        }
+        // Low-rank path: t = Aᵀ x (r), out += s · B t.
+        let t = self.a_t_x(x);
+        for i in 0..self.m {
+            let brow = self.b.row(i);
+            let mut acc = 0.0;
+            for k in 0..self.rank {
+                acc += brow[k] * t[k];
+            }
+            out[i] += self.scaling * acc;
+        }
+        out
+    }
+
+    fn a_t_x(&self, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; self.rank];
+        for j in 0..self.n {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let arow = self.a.row(j);
+            for k in 0..self.rank {
+                t[k] += arow[k] * xj;
+            }
+        }
+        t
+    }
+
+    /// One training step on a batch with softmax cross-entropy over the
+    /// adapter's outputs; returns mean loss. Only `A` and `B` are updated.
+    pub fn train_batch(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty batch");
+        let mut total = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            let logits = self.forward(x);
+            let (loss, dout) = softmax_xent(&logits, y);
+            total += loss;
+            let t = self.a_t_x(x);
+            // dB[i][k] += s · dout[i] · t[k]
+            for i in 0..self.m {
+                let di = self.scaling * dout[i];
+                for k in 0..self.rank {
+                    *self.b.grad_at_mut(i, k) += di * t[k];
+                }
+            }
+            // dt[k] = s · Σ_i dout[i] B[i][k]; dA[j][k] += dt[k] x[j]
+            let mut dt = vec![0.0; self.rank];
+            for i in 0..self.m {
+                let di = self.scaling * dout[i];
+                let brow = self.b.row(i);
+                for k in 0..self.rank {
+                    dt[k] += di * brow[k];
+                }
+            }
+            for j in 0..self.n {
+                let xj = x[j];
+                if xj == 0.0 {
+                    continue;
+                }
+                for k in 0..self.rank {
+                    *self.a.grad_at_mut(j, k) += dt[k] * xj;
+                }
+            }
+        }
+        let scale = 1.0 / xs.len() as f32;
+        for t in [&mut self.a, &mut self.b] {
+            for g in &mut t.grad {
+                *g *= scale;
+            }
+        }
+        let LoraAdapter { a, b, opt, .. } = self;
+        opt.step(&mut [a, b], Some(5.0));
+        total / xs.len() as f32
+    }
+
+    /// Number of *trainable* parameters (the adapter only).
+    pub fn trainable_params(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+
+    /// Number of frozen parameters.
+    pub fn frozen_params(&self) -> usize {
+        self.base.len() + self.base_bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::argmax;
+    use rand::Rng;
+
+    /// A base map that is useless (zero) for a task the adapter must learn.
+    #[test]
+    fn adapter_learns_on_frozen_zero_base() {
+        let (m, n) = (2, 4);
+        let mut adapter = LoraAdapter::new(vec![0.0; m * n], vec![0.0; m], m, n, 2, 0.05, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            let class = i % 2;
+            let sign = if class == 0 { 1.0 } else { -1.0 };
+            xs.push(vec![
+                sign + rng.gen_range(-0.3..0.3f32),
+                rng.gen_range(-0.3..0.3),
+                -sign + rng.gen_range(-0.3..0.3),
+                rng.gen_range(-0.3..0.3),
+            ]);
+            ys.push(class);
+        }
+        for _ in 0..80 {
+            adapter.train_batch(&xs, &ys);
+        }
+        let acc = xs.iter().zip(&ys).filter(|(x, &y)| argmax(&adapter.forward(x)) == y).count()
+            as f64
+            / xs.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn zero_init_b_preserves_base_map() {
+        let base = vec![1.0, 0.0, 0.0, 1.0];
+        let bias = vec![0.5, -0.5];
+        let adapter = LoraAdapter::new(base, bias, 2, 2, 4, 0.01, 3);
+        let out = adapter.forward(&[2.0, 3.0]);
+        assert_eq!(out, vec![2.5, 2.5]);
+    }
+
+    #[test]
+    fn base_never_changes() {
+        let base = vec![1.0, 2.0, 3.0, 4.0];
+        let mut adapter = LoraAdapter::new(base.clone(), vec![0.0; 2], 2, 2, 1, 0.1, 4);
+        for _ in 0..10 {
+            adapter.train_batch(&[vec![1.0, -1.0]], &[0]);
+        }
+        assert_eq!(adapter.base, base, "frozen weights must not move");
+    }
+
+    #[test]
+    fn param_counts() {
+        let adapter = LoraAdapter::new(vec![0.0; 200], vec![0.0; 10], 10, 20, 2, 0.01, 5);
+        assert_eq!(adapter.trainable_params(), 20 * 2 + 10 * 2);
+        assert_eq!(adapter.frozen_params(), 210);
+        assert!(adapter.trainable_params() < adapter.frozen_params());
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let mut adapter = LoraAdapter::new(vec![0.0; 8], vec![0.0; 2], 2, 4, 2, 0.05, 6);
+        let xs = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 0.0]];
+        let ys = vec![0, 1];
+        let first = adapter.train_batch(&xs, &ys);
+        let mut last = first;
+        for _ in 0..50 {
+            last = adapter.train_batch(&xs, &ys);
+        }
+        assert!(last < first * 0.5, "{first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn zero_rank_rejected() {
+        LoraAdapter::new(vec![0.0; 4], vec![0.0; 2], 2, 2, 0, 0.1, 1);
+    }
+}

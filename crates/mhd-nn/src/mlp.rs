@@ -1,0 +1,264 @@
+//! One-hidden-layer softmax classifier over dense inputs.
+
+use crate::linalg::{
+    affine, affine_backward_input, affine_backward_params, relu_backward, relu_inplace, softmax,
+    softmax_xent,
+};
+use crate::optim::Adam;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A dense classifier: `input → [hidden ReLU] → logits → softmax`.
+/// `hidden = 0` degenerates to multinomial logistic regression.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden_dim: usize,
+    n_classes: usize,
+    w1: Tensor,
+    b1: Tensor,
+    w2: Tensor,
+    b2: Tensor,
+    opt: Adam,
+}
+
+impl Mlp {
+    /// Create a classifier. `hidden = 0` means a linear model.
+    pub fn new(input_dim: usize, hidden: usize, n_classes: usize, lr: f32, seed: u64) -> Self {
+        assert!(input_dim > 0 && n_classes >= 2, "need inputs and ≥2 classes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (w1, b1, w2, b2) = if hidden > 0 {
+            (
+                Tensor::xavier(hidden, input_dim, &mut rng),
+                Tensor::zeros(1, hidden),
+                Tensor::xavier(n_classes, hidden, &mut rng),
+                Tensor::zeros(1, n_classes),
+            )
+        } else {
+            (
+                Tensor::zeros(0, 0),
+                Tensor::zeros(0, 0),
+                Tensor::xavier(n_classes, input_dim, &mut rng),
+                Tensor::zeros(1, n_classes),
+            )
+        };
+        let sizes = [w1.len(), b1.len(), w2.len(), b2.len()];
+        Mlp {
+            input_dim,
+            hidden_dim: hidden,
+            n_classes,
+            w1,
+            b1,
+            w2,
+            b2,
+            opt: Adam::new(lr, &sizes),
+        }
+    }
+
+    /// Class-probability forward pass.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        softmax(&self.logits(x).0)
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let p = self.predict_proba(x);
+        argmax(&p)
+    }
+
+    fn logits(&self, x: &[f32]) -> (Vec<f32>, Option<HiddenCache>) {
+        assert_eq!(x.len(), self.input_dim, "input dim mismatch");
+        if self.hidden_dim > 0 {
+            let mut h = vec![0.0; self.hidden_dim];
+            affine(&self.w1.data, &self.b1.data, x, self.hidden_dim, self.input_dim, &mut h);
+            let mask = relu_inplace(&mut h);
+            let mut out = vec![0.0; self.n_classes];
+            affine(&self.w2.data, &self.b2.data, &h, self.n_classes, self.hidden_dim, &mut out);
+            (out, Some((h, mask)))
+        } else {
+            let mut out = vec![0.0; self.n_classes];
+            affine(&self.w2.data, &self.b2.data, x, self.n_classes, self.input_dim, &mut out);
+            (out, None)
+        }
+    }
+
+    /// Accumulate gradients for one example; returns the loss.
+    fn backward_example(&mut self, x: &[f32], gold: usize) -> f32 {
+        let (logits, cache) = self.logits(x);
+        let (loss, dlogits) = softmax_xent(&logits, gold);
+        match cache {
+            Some((h, mask)) => {
+                affine_backward_params(
+                    &mut self.w2.grad,
+                    &mut self.b2.grad,
+                    &dlogits,
+                    &h,
+                    self.n_classes,
+                    self.hidden_dim,
+                );
+                let mut dh = vec![0.0; self.hidden_dim];
+                affine_backward_input(&self.w2.data, &dlogits, self.n_classes, self.hidden_dim, &mut dh);
+                relu_backward(&mut dh, &mask);
+                affine_backward_params(
+                    &mut self.w1.grad,
+                    &mut self.b1.grad,
+                    &dh,
+                    x,
+                    self.hidden_dim,
+                    self.input_dim,
+                );
+            }
+            None => {
+                affine_backward_params(
+                    &mut self.w2.grad,
+                    &mut self.b2.grad,
+                    &dlogits,
+                    x,
+                    self.n_classes,
+                    self.input_dim,
+                );
+            }
+        }
+        loss
+    }
+
+    /// Train on one mini-batch; returns mean loss.
+    pub fn train_batch(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty batch");
+        let mut total = 0.0;
+        for (x, &y) in xs.iter().zip(ys) {
+            total += self.backward_example(x, y);
+        }
+        // Mean gradient.
+        let scale = 1.0 / xs.len() as f32;
+        for t in [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2] {
+            for g in &mut t.grad {
+                *g *= scale;
+            }
+        }
+        let Mlp { w1, b1, w2, b2, opt, .. } = self;
+        opt.step(&mut [w1, b1, w2, b2], Some(5.0));
+        total / xs.len() as f32
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+}
+
+/// Cached hidden activations and ReLU mask from a forward pass.
+type HiddenCache = (Vec<f32>, Vec<bool>);
+
+/// Index of the maximum value (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// Two Gaussian blobs; a linear model must separate them.
+    fn blobs(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -1.0 } else { 1.0 };
+            xs.push(vec![center + rng.gen_range(-0.5..0.5), center + rng.gen_range(-0.5..0.5)]);
+            ys.push(class);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn linear_model_learns_blobs() {
+        let (xs, ys) = blobs(200, 1);
+        let mut m = Mlp::new(2, 0, 2, 0.05, 2);
+        for _ in 0..50 {
+            m.train_batch(&xs, &ys);
+        }
+        let acc = xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count() as f64
+            / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    /// XOR is not linearly separable: the hidden layer must earn its keep.
+    #[test]
+    fn hidden_layer_solves_xor() {
+        let xs: Vec<Vec<f32>> =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys = vec![0usize, 1, 1, 0];
+        let mut m = Mlp::new(2, 16, 2, 0.05, 3);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            final_loss = m.train_batch(&xs, &ys);
+        }
+        assert!(final_loss < 0.1, "loss {final_loss}");
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(m.predict(x), y, "xor({x:?})");
+        }
+    }
+
+    #[test]
+    fn linear_model_cannot_solve_xor() {
+        let xs: Vec<Vec<f32>> =
+            vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys = vec![0usize, 1, 1, 0];
+        let mut m = Mlp::new(2, 0, 2, 0.05, 3);
+        for _ in 0..400 {
+            m.train_batch(&xs, &ys);
+        }
+        let correct = xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count();
+        assert!(correct < 4, "a linear model must not solve XOR perfectly");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = Mlp::new(3, 4, 5, 0.01, 4);
+        let p = m.predict_proba(&[0.1, -0.2, 0.3]);
+        assert_eq!(p.len(), 5);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (xs, ys) = blobs(100, 9);
+        let mut m = Mlp::new(2, 8, 2, 0.05, 10);
+        let first = m.train_batch(&xs, &ys);
+        let mut last = first;
+        for _ in 0..30 {
+            last = m.train_batch(&xs, &ys);
+        }
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim")]
+    fn dim_mismatch_panics() {
+        let m = Mlp::new(3, 0, 2, 0.01, 1);
+        m.predict(&[1.0]);
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
+        assert_eq!(argmax(&[0.1, 0.9]), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Adam optimizer (Kingma & Ba, 2015).
+
+use crate::tensor::Tensor;
+
+/// Adam state for one group of tensors. Call [`Adam::step`] after gradients
+/// have been accumulated; it updates values and clears gradients.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style); 0 disables.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Create an optimizer for tensors with the given element counts.
+    pub fn new(lr: f32, sizes: &[usize]) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            v: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+        }
+    }
+
+    /// Convenience: build from the tensors themselves.
+    pub fn for_tensors(lr: f32, tensors: &[&Tensor]) -> Self {
+        let sizes: Vec<usize> = tensors.iter().map(|t| t.len()).collect();
+        Adam::new(lr, &sizes)
+    }
+
+    /// Apply one update step to `params` (order must match construction),
+    /// then zero their gradients. Optionally clips the global grad norm to
+    /// `clip` when `Some`.
+    pub fn step(&mut self, params: &mut [&mut Tensor], clip: Option<f32>) {
+        assert_eq!(params.len(), self.m.len(), "parameter group size mismatch");
+        if let Some(max_norm) = clip {
+            let total: f32 = params.iter().map(|p| p.grad_norm().powi(2)).sum::<f32>().sqrt();
+            if total > max_norm && total > 0.0 {
+                let scale = max_norm / total;
+                for p in params.iter_mut() {
+                    for g in &mut p.grad {
+                        *g *= scale;
+                    }
+                }
+            }
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            debug_assert_eq!(m.len(), p.len());
+            for i in 0..p.data.len() {
+                let mut g = p.grad[i];
+                if self.weight_decay > 0.0 {
+                    // Decoupled decay applied directly to the weights.
+                    p.data[i] -= self.lr * self.weight_decay * p.data[i];
+                }
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                g = self.lr * mhat / (vhat.sqrt() + self.eps);
+                p.data[i] -= g;
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(x) = (x - 3)² should converge to x = 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut x = Tensor::zeros(1, 1);
+        let mut opt = Adam::new(0.1, &[1]);
+        for _ in 0..500 {
+            let g = 2.0 * (x.data[0] - 3.0);
+            x.grad[0] = g;
+            opt.step(&mut [&mut x], None);
+        }
+        assert!((x.data[0] - 3.0).abs() < 1e-3, "x = {}", x.data[0]);
+    }
+
+    #[test]
+    fn gradient_cleared_after_step() {
+        let mut x = Tensor::zeros(1, 2);
+        x.grad = vec![1.0, -1.0];
+        let mut opt = Adam::new(0.01, &[2]);
+        opt.step(&mut [&mut x], None);
+        assert_eq!(x.grad, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn clipping_bounds_update() {
+        let mut a = Tensor::zeros(1, 1);
+        let mut b = Tensor::zeros(1, 1);
+        a.grad[0] = 300.0;
+        b.grad[0] = 400.0; // joint norm 500
+        let mut opt = Adam::new(1.0, &[1, 1]);
+        opt.step(&mut [&mut a, &mut b], Some(5.0));
+        // After clipping the grads keep their 3:4 ratio.
+        // (First Adam step size ≈ lr regardless of magnitude, so check via
+        // the internal moments instead: ratio of m buffers.)
+        let ratio = opt.m[0][0] / opt.m[1][0];
+        assert!((ratio - 0.75).abs() < 1e-5);
+        assert!(opt.m[0][0].abs() <= 5.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut x = Tensor::zeros(1, 1);
+        x.data[0] = 1.0;
+        let mut opt = Adam::new(0.1, &[1]);
+        opt.weight_decay = 0.5;
+        // Zero gradient: only decay acts.
+        opt.step(&mut [&mut x], None);
+        assert!(x.data[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn group_size_checked() {
+        let mut x = Tensor::zeros(1, 1);
+        let mut opt = Adam::new(0.1, &[1, 1]);
+        opt.step(&mut [&mut x], None);
+    }
+}

@@ -1,0 +1,151 @@
+//! Parameter tensors: a value buffer plus a gradient buffer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A 2-D parameter tensor (row-major) with an accompanying gradient buffer.
+/// Vectors are represented as `1×n` tensors.
+#[derive(Debug, Clone)]
+pub struct Tensor {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row-major values.
+    pub data: Vec<f32>,
+    /// Row-major gradients, same shape as `data`.
+    pub grad: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero-initialized tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor { rows, cols, data: vec![0.0; rows * cols], grad: vec![0.0; rows * cols] }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols).map(|_| rng.gen_range(-bound..bound)).collect();
+        Tensor { rows, cols, data, grad: vec![0.0; rows * cols] }
+    }
+
+    /// Small-normal initialization (σ = `std`), via Box–Muller.
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Self {
+        let n = rows * cols;
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { rows, cols, data, grad: vec![0.0; n] }
+    }
+
+    /// Value at `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable value at `(r, c)`.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Accumulate into the gradient at `(r, c)`.
+    #[inline]
+    pub fn grad_at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.grad[r * self.cols + c]
+    }
+
+    /// Reset all gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the tensor empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Frobenius norm of the values.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Global gradient L2 norm.
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_shape() {
+        let t = Tensor::zeros(3, 4);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.at(2, 3), 0.0);
+    }
+
+    #[test]
+    fn xavier_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::xavier(8, 8, &mut rng);
+        let bound = (6.0 / 16.0f32).sqrt();
+        assert!(t.data.iter().all(|&v| v.abs() <= bound));
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn randn_moments_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tensor::randn(100, 100, 0.5, &mut rng);
+        let mean: f32 = t.data.iter().sum::<f32>() / t.len() as f32;
+        let var: f32 = t.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn indexing_and_grad() {
+        let mut t = Tensor::zeros(2, 3);
+        *t.at_mut(1, 2) = 5.0;
+        assert_eq!(t.at(1, 2), 5.0);
+        assert_eq!(t.row(1), &[0.0, 0.0, 5.0]);
+        *t.grad_at_mut(0, 0) += 2.0;
+        assert_eq!(t.grad_norm(), 2.0);
+        t.zero_grad();
+        assert_eq!(t.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Tensor::xavier(4, 4, &mut StdRng::seed_from_u64(7));
+        let b = Tensor::xavier(4, 4, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.data, b.data);
+    }
+}

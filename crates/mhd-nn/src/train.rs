@@ -1,0 +1,166 @@
+//! Mini-batch training loop with shuffling and early stopping.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Anything trainable on `(example, label)` pairs with batch updates.
+pub trait BatchTrainable<X> {
+    /// Train on one mini-batch; return mean loss.
+    fn fit_batch(&mut self, xs: &[X], ys: &[usize]) -> f32;
+    /// Predict a class for one example.
+    fn predict_one(&self, x: &X) -> usize;
+}
+
+impl BatchTrainable<Vec<f32>> for crate::mlp::Mlp {
+    fn fit_batch(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
+        self.train_batch(xs, ys)
+    }
+    fn predict_one(&self, x: &Vec<f32>) -> usize {
+        self.predict(x)
+    }
+}
+
+impl BatchTrainable<Vec<u32>> for crate::encoder::Encoder {
+    fn fit_batch(&mut self, xs: &[Vec<u32>], ys: &[usize]) -> f32 {
+        self.train_batch(xs, ys)
+    }
+    fn predict_one(&self, x: &Vec<u32>) -> usize {
+        self.predict(x)
+    }
+}
+
+/// Training-loop options.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOptions {
+    /// Maximum epochs.
+    pub max_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Stop after this many epochs without validation improvement
+    /// (0 disables early stopping).
+    pub patience: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions { max_epochs: 30, batch_size: 32, patience: 5, seed: 13 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Mean training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Validation accuracy per epoch (empty when no validation set given).
+    pub val_accuracy: Vec<f64>,
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f64,
+}
+
+/// Run the training loop. Validation data is optional; with `patience > 0`
+/// and a validation set, training stops early when accuracy plateaus.
+pub fn train<X: Clone, M: BatchTrainable<X>>(
+    model: &mut M,
+    train_x: &[X],
+    train_y: &[usize],
+    val: Option<(&[X], &[usize])>,
+    opts: &TrainOptions,
+) -> TrainReport {
+    assert_eq!(train_x.len(), train_y.len());
+    assert!(!train_x.is_empty(), "empty training set");
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut order: Vec<usize> = (0..train_x.len()).collect();
+    let mut losses = Vec::new();
+    let mut val_accuracy = Vec::new();
+    let mut best = 0.0f64;
+    let mut stale = 0usize;
+    let mut epochs = 0;
+    for _ in 0..opts.max_epochs {
+        epochs += 1;
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0;
+        for chunk in order.chunks(opts.batch_size.max(1)) {
+            let xs: Vec<X> = chunk.iter().map(|&i| train_x[i].clone()).collect();
+            let ys: Vec<usize> = chunk.iter().map(|&i| train_y[i]).collect();
+            epoch_loss += model.fit_batch(&xs, &ys);
+            batches += 1;
+        }
+        losses.push(epoch_loss / batches.max(1) as f32);
+        if let Some((vx, vy)) = val {
+            let correct = vx.iter().zip(vy).filter(|(x, &y)| model.predict_one(x) == y).count();
+            let acc = correct as f64 / vx.len().max(1) as f64;
+            val_accuracy.push(acc);
+            if acc > best {
+                best = acc;
+                stale = 0;
+            } else {
+                stale += 1;
+                if opts.patience > 0 && stale >= opts.patience {
+                    break;
+                }
+            }
+        }
+    }
+    TrainReport { epochs, losses, val_accuracy, best_val_accuracy: best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Mlp;
+
+    fn blob_data(n: usize) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { -1.0 } else { 1.0 };
+            let jitter = (i as f32 * 0.37).sin() * 0.4;
+            xs.push(vec![c + jitter, c - jitter]);
+            ys.push(class);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn trains_to_high_accuracy() {
+        let (xs, ys) = blob_data(120);
+        let mut m = Mlp::new(2, 0, 2, 0.05, 1);
+        let report = train(&mut m, &xs, &ys, Some((&xs, &ys)), &TrainOptions::default());
+        assert!(report.best_val_accuracy > 0.95, "{report:?}");
+        assert!(!report.losses.is_empty());
+    }
+
+    #[test]
+    fn early_stopping_triggers() {
+        let (xs, ys) = blob_data(60);
+        let mut m = Mlp::new(2, 0, 2, 0.1, 2);
+        let opts = TrainOptions { max_epochs: 100, batch_size: 16, patience: 3, seed: 4 };
+        let report = train(&mut m, &xs, &ys, Some((&xs, &ys)), &opts);
+        assert!(report.epochs < 100, "should stop early, ran {}", report.epochs);
+    }
+
+    #[test]
+    fn no_validation_runs_all_epochs() {
+        let (xs, ys) = blob_data(40);
+        let mut m = Mlp::new(2, 0, 2, 0.05, 3);
+        let opts = TrainOptions { max_epochs: 7, batch_size: 8, patience: 2, seed: 5 };
+        let report = train(&mut m, &xs, &ys, None, &opts);
+        assert_eq!(report.epochs, 7);
+        assert!(report.val_accuracy.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_set_rejected() {
+        let mut m = Mlp::new(2, 0, 2, 0.05, 3);
+        train(&mut m, &[], &[], None, &TrainOptions::default());
+    }
+}

@@ -1,0 +1,183 @@
+//! Prompt auditing: the checks a careful experimenter runs before sending
+//! thousands of prompts to a paid API.
+//!
+//! - token-length statistics (will the prompt fit the context window? what
+//!   will the sweep cost?);
+//! - **demonstration leakage**: does any few-shot demonstration duplicate
+//!   the query post (the classic train/test contamination bug in prompting
+//!   pipelines);
+//! - demonstration label balance (a skewed demo set biases the model toward
+//!   the over-represented label — majority-label bias, Zhao et al. 2021).
+
+use mhd_llm::parse::{parse_prompt, ParsedPrompt};
+use mhd_text::bpe::estimate_tokens;
+use std::collections::HashMap;
+
+/// Findings from auditing one prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromptAudit {
+    /// Estimated prompt tokens.
+    pub est_tokens: usize,
+    /// Number of demonstrations found.
+    pub n_demos: usize,
+    /// A demonstration's post text equals the query (contamination).
+    pub demo_leaks_query: bool,
+    /// Demo label counts, by label string.
+    pub demo_label_counts: HashMap<String, usize>,
+    /// Maximum |count − mean| across labels, normalized by demo count;
+    /// 0 = perfectly balanced, → 1 = one label dominates.
+    pub demo_imbalance: f64,
+    /// The prompt declares a label inventory.
+    pub has_label_inventory: bool,
+    /// The prompt has a non-empty query.
+    pub has_query: bool,
+}
+
+impl PromptAudit {
+    /// Does the audit pass the standard hygiene bar?
+    pub fn is_clean(&self) -> bool {
+        !self.demo_leaks_query && self.has_label_inventory && self.has_query
+    }
+}
+
+/// Audit a raw prompt string.
+pub fn audit_prompt(prompt: &str) -> PromptAudit {
+    audit_parsed(prompt, &parse_prompt(prompt))
+}
+
+/// Audit with an already-parsed view (avoids re-parsing in hot loops).
+pub fn audit_parsed(prompt: &str, parsed: &ParsedPrompt) -> PromptAudit {
+    let mut demo_label_counts: HashMap<String, usize> = HashMap::new();
+    let mut demo_leaks_query = false;
+    for (post, label) in &parsed.demos {
+        *demo_label_counts.entry(label.to_lowercase()).or_insert(0) += 1;
+        if !parsed.query.is_empty() && post.trim() == parsed.query.trim() {
+            demo_leaks_query = true;
+        }
+    }
+    let n_demos = parsed.demos.len();
+    let demo_imbalance = if demo_label_counts.len() <= 1 || n_demos == 0 {
+        if n_demos == 0 {
+            0.0
+        } else {
+            1.0 // all demos share one label
+        }
+    } else {
+        let mean = n_demos as f64 / demo_label_counts.len() as f64;
+        let max_dev = demo_label_counts
+            .values()
+            .map(|&c| (c as f64 - mean).abs())
+            .fold(0.0f64, f64::max);
+        (max_dev / n_demos as f64).min(1.0)
+    };
+    PromptAudit {
+        est_tokens: estimate_tokens(prompt),
+        n_demos,
+        demo_leaks_query,
+        demo_label_counts,
+        demo_imbalance,
+        has_label_inventory: !parsed.labels.is_empty(),
+        has_query: !parsed.query.is_empty(),
+    }
+}
+
+/// Cost estimate for sending `n_prompts` prompts of `est_tokens` each at the
+/// given input price, assuming `completion_tokens` per reply at the output
+/// price. The arithmetic experimenters do on a napkin, made explicit.
+pub fn sweep_cost_usd(
+    n_prompts: usize,
+    est_tokens: usize,
+    completion_tokens: usize,
+    price_in_per_1k: f64,
+    price_out_per_1k: f64,
+) -> f64 {
+    let n = n_prompts as f64;
+    n * (est_tokens as f64 / 1000.0 * price_in_per_1k
+        + completion_tokens as f64 / 1000.0 * price_out_per_1k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn few_shot_prompt(query: &str) -> String {
+        format!(
+            "Decide the label.\nOptions: depression, control\n\
+             Post: \"sad and empty\"\nAnswer: depression\n\
+             Post: \"great day out\"\nAnswer: control\n\
+             Post: \"{query}\"\nAnswer:"
+        )
+    }
+
+    #[test]
+    fn clean_prompt_passes() {
+        let a = audit_prompt(&few_shot_prompt("i cry every night"));
+        assert!(a.is_clean());
+        assert_eq!(a.n_demos, 2);
+        assert!(!a.demo_leaks_query);
+        assert_eq!(a.demo_imbalance, 0.0, "one demo per label");
+        assert!(a.est_tokens > 20);
+    }
+
+    #[test]
+    fn leakage_detected() {
+        let a = audit_prompt(&few_shot_prompt("sad and empty"));
+        assert!(a.demo_leaks_query, "query equals a demo post");
+        assert!(!a.is_clean());
+    }
+
+    #[test]
+    fn imbalance_detected() {
+        let prompt = "Options: a, b\n\
+                      Post: one\nAnswer: a\n\
+                      Post: two\nAnswer: a\n\
+                      Post: three\nAnswer: a\n\
+                      Post: q\nAnswer:";
+        let a = audit_prompt(prompt);
+        assert_eq!(a.demo_imbalance, 1.0, "all demos one label");
+        assert_eq!(a.demo_label_counts.get("a"), Some(&3));
+    }
+
+    #[test]
+    fn missing_inventory_flagged() {
+        let a = audit_prompt("is this person sad? i feel awful");
+        assert!(!a.has_label_inventory);
+        assert!(!a.is_clean());
+        assert!(a.has_query);
+    }
+
+    #[test]
+    fn zero_shot_prompt_no_demo_findings() {
+        let a = audit_prompt("Options: x, y\nPost: hello\nAnswer:");
+        assert_eq!(a.n_demos, 0);
+        assert_eq!(a.demo_imbalance, 0.0);
+        assert!(a.is_clean());
+    }
+
+    #[test]
+    fn sweep_cost_arithmetic() {
+        let c = sweep_cost_usd(1000, 200, 10, 0.03, 0.06);
+        assert!((c - (1000.0 * (0.2 * 0.03 + 0.01 * 0.06))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benchmark_templates_audit_clean() {
+        // The library's own templates must pass their own audit.
+        use crate::template::{build_prompt, Strategy};
+        use mhd_corpus::taxonomy::Task;
+        let task = Task {
+            name: "t",
+            description: "whether the poster is stressed",
+            labels: vec!["not stressed", "stressed"],
+        };
+        let demos = vec![
+            ("work is heavy".to_string(), "stressed".to_string()),
+            ("nice walk today".to_string(), "not stressed".to_string()),
+        ];
+        for s in Strategy::ALL {
+            let p = build_prompt(&task, s, "deadlines everywhere", &demos);
+            let a = audit_prompt(&p);
+            assert!(a.is_clean(), "{s:?}: {a:?}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # mhd-prompts — prompt engineering toolkit
+//!
+//! Everything between a dataset and the LLM API: prompt templates for every
+//! strategy the survey ablates ([`template`]), demonstration selection for
+//! few-shot prompting ([`select`]), and output parsers that recover a label
+//! index from free-form completions ([`output`]).
+//!
+//! [`audit`] adds pre-flight prompt hygiene checks (leakage, imbalance,
+//! cost estimation).
+//!
+//! The [`Strategy`] enum is the benchmark's prompting axis (Table T3):
+//! zero-shot, zero-shot CoT, few-shot, few-shot CoT, emotion-enhanced, and
+//! clinician-persona prompting.
+
+pub mod audit;
+pub mod output;
+pub mod select;
+pub mod template;
+
+pub use output::{parse_label, ParseOutcome};
+pub use select::{DemoSelector, SelectorKind};
+pub use template::{build_prompt, Strategy};

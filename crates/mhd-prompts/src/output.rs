@@ -1,0 +1,258 @@
+//! Output parsing: recovering a label index from a free-form completion.
+//!
+//! The parsing ladder (strictest first) mirrors what the surveyed papers'
+//! evaluation scripts do:
+//!
+//! 1. exact label after an `Answer:` / `Label:` marker (or JSON `"label"`);
+//! 2. exact label as the whole (trimmed) completion;
+//! 3. longest label appearing as a substring anywhere in the completion —
+//!    longest first so "not stressed" wins over "stressed";
+//! 4. synonym table lookup ("depressed" → "depression", …);
+//! 5. give up — the caller falls back to a default class and counts a
+//!    parse failure.
+
+/// How the label was recovered, for diagnostics (Table T3's parse-rate
+/// column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseOutcome {
+    /// Found after an explicit answer marker or JSON key.
+    Marker,
+    /// The completion was exactly the label.
+    Exact,
+    /// Found as a substring.
+    Substring,
+    /// Recovered through the synonym table.
+    Synonym,
+    /// Unparseable.
+    Failed,
+}
+
+impl ParseOutcome {
+    /// Did parsing succeed?
+    pub fn is_success(self) -> bool {
+        self != ParseOutcome::Failed
+    }
+}
+
+/// Parse a completion against a label inventory. Returns the label index
+/// and how it was found.
+pub fn parse_label(completion: &str, labels: &[&str]) -> (Option<usize>, ParseOutcome) {
+    let text = completion.trim();
+    let lower = text.to_lowercase();
+
+    // 1. Marker-based: text after the *last* answer marker (CoT puts the
+    // answer at the end), or a JSON "label"/"answer" value.
+    if let Some(candidate) = after_marker(&lower) {
+        if let Some(idx) = match_exact(&candidate, labels) {
+            return (Some(idx), ParseOutcome::Marker);
+        }
+        if let Some(idx) = match_substring(&candidate, labels) {
+            return (Some(idx), ParseOutcome::Marker);
+        }
+        if let Some(idx) = match_synonym(&candidate, labels) {
+            return (Some(idx), ParseOutcome::Marker);
+        }
+    }
+    // 2. Whole completion is the label.
+    if let Some(idx) = match_exact(&lower, labels) {
+        return (Some(idx), ParseOutcome::Exact);
+    }
+    // 3. Substring, longest label first.
+    if let Some(idx) = match_substring(&lower, labels) {
+        return (Some(idx), ParseOutcome::Substring);
+    }
+    // 4. Synonyms.
+    if let Some(idx) = match_synonym(&lower, labels) {
+        return (Some(idx), ParseOutcome::Synonym);
+    }
+    (None, ParseOutcome::Failed)
+}
+
+fn after_marker(lower: &str) -> Option<String> {
+    for marker in ["answer:", "label:", "\"label\":", "\"answer\":", "final answer:"] {
+        if let Some(pos) = lower.rfind(marker) {
+            let tail = lower[pos + marker.len()..]
+                .trim()
+                .trim_matches(|c: char| c == '"' || c == '}' || c == '{' || c == '.')
+                .trim();
+            if !tail.is_empty() {
+                return Some(tail.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn match_exact(text: &str, labels: &[&str]) -> Option<usize> {
+    let clean = text.trim().trim_matches(|c: char| !c.is_alphanumeric() && c != ' ');
+    labels.iter().position(|l| l.eq_ignore_ascii_case(clean))
+}
+
+fn match_substring(text: &str, labels: &[&str]) -> Option<usize> {
+    // Longest label first, so "not stressed" beats "stressed".
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(labels[i].len()));
+    order.into_iter().find(|&i| text.contains(&labels[i].to_lowercase()))
+}
+
+/// Synonyms the render layer may emit, mapped back to canonical label words.
+/// Checked longest-synonym-first.
+const SYNONYMS: &[(&str, &str)] = &[
+    ("not under stress", "not stressed"),
+    ("no stress", "not stressed"),
+    ("calm", "not stressed"),
+    ("stressed out", "stress"),
+    ("under stress", "stress"),
+    ("high stress", "stress"),
+    ("major depression", "depression"),
+    ("depressive disorder", "depression"),
+    ("depressed", "depression"),
+    ("depressive", "depression"),
+    ("suicide risk", "suicide"),
+    ("self-harm risk", "suicide"),
+    ("suicidal", "suicide"),
+    ("anxiety disorder", "anxiety"),
+    ("anxious", "anxiety"),
+    ("post-traumatic stress", "ptsd"),
+    ("trauma-related", "ptsd"),
+    ("bipolar disorder", "bipolar"),
+    ("manic-depressive", "bipolar"),
+    ("no disorder", "control"),
+    ("healthy", "control"),
+    ("normal", "control"),
+];
+
+fn match_synonym(text: &str, labels: &[&str]) -> Option<usize> {
+    let mut pairs: Vec<&(&str, &str)> = SYNONYMS.iter().collect();
+    pairs.sort_by_key(|(s, _)| std::cmp::Reverse(s.len()));
+    for (synonym, canonical) in pairs {
+        if text.contains(synonym) {
+            // The canonical word must map onto exactly one label (substring
+            // match, longest first for safety).
+            if let Some(idx) = match_substring(canonical, labels) {
+                return Some(idx);
+            }
+            // Canonical may itself be *contained in* a label ("suicide" for
+            // label "suicidal ideation"). Prefer the SHORTEST containing
+            // label: "under stress" → "stress" must resolve to "stressed",
+            // not "not stressed" (both contain the canonical, but the extra
+            // words of the longer label are unmotivated).
+            if let Some(idx) = labels
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.to_lowercase().contains(canonical))
+                .min_by_key(|(_, l)| l.len())
+                .map(|(i, _)| i)
+            {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BINARY: &[&str] = &["not stressed", "stressed"];
+    const TRIAGE: &[&str] = &["depression", "anxiety", "bipolar", "suicidewatch", "offmychest"];
+
+    #[test]
+    fn clean_answer_marker() {
+        let (idx, how) = parse_label("Answer: stressed", BINARY);
+        assert_eq!(idx, Some(1));
+        assert_eq!(how, ParseOutcome::Marker);
+    }
+
+    #[test]
+    fn negated_label_wins_longest_match() {
+        let (idx, _) = parse_label("Answer: not stressed", BINARY);
+        assert_eq!(idx, Some(0), "'not stressed' must not match 'stressed'");
+        let (idx2, _) = parse_label("the person is not stressed at all", BINARY);
+        assert_eq!(idx2, Some(0));
+    }
+
+    #[test]
+    fn bare_label() {
+        let (idx, how) = parse_label("depression", TRIAGE);
+        assert_eq!(idx, Some(0));
+        assert_eq!(how, ParseOutcome::Exact);
+    }
+
+    #[test]
+    fn prose_wrapper() {
+        let (idx, how) = parse_label("I would say this is anxiety.", TRIAGE);
+        assert_eq!(idx, Some(1));
+        assert_eq!(how, ParseOutcome::Substring);
+    }
+
+    #[test]
+    fn cot_answer_at_end() {
+        let completion =
+            "Reasoning: the post mentions \"hopeless\", \"empty\", consistent with low mood. Answer: depression";
+        let (idx, how) = parse_label(completion, TRIAGE);
+        assert_eq!(idx, Some(0));
+        assert_eq!(how, ParseOutcome::Marker);
+    }
+
+    #[test]
+    fn json_output() {
+        let (idx, _) = parse_label("{\"label\": \"bipolar\"}", TRIAGE);
+        assert_eq!(idx, Some(2));
+        // Wrong key still recovered.
+        let (idx2, _) = parse_label("{\"answer\": \"bipolar\"}", TRIAGE);
+        assert_eq!(idx2, Some(2));
+    }
+
+    #[test]
+    fn synonym_recovery() {
+        let (idx, how) = parse_label("The poster seems depressed.", TRIAGE);
+        assert_eq!(idx, Some(0));
+        assert_eq!(how, ParseOutcome::Synonym);
+        let (idx2, _) = parse_label("clearly suicidal", TRIAGE);
+        assert_eq!(idx2, Some(3), "suicidal → suicide → suicidewatch");
+    }
+
+    #[test]
+    fn refusal_fails_to_parse() {
+        let refusal = "I'm sorry, I can't provide an assessment. Please reach out to a crisis line.";
+        let (idx, how) = parse_label(refusal, BINARY);
+        assert_eq!(idx, None);
+        assert_eq!(how, ParseOutcome::Failed);
+        assert!(!how.is_success());
+    }
+
+    #[test]
+    fn empty_completion_fails() {
+        let (idx, how) = parse_label("", TRIAGE);
+        assert_eq!(idx, None);
+        assert_eq!(how, ParseOutcome::Failed);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let (idx, _) = parse_label("ANSWER: Depression", TRIAGE);
+        assert_eq!(idx, Some(0));
+    }
+
+    #[test]
+    fn drifted_stress_synonyms_resolve_to_positive_label() {
+        // "under stress" / "stressed out" mean *stressed* — they must never
+        // resolve to "not stressed" just because that label also contains
+        // the canonical word.
+        for drift in ["the poster is under stress", "seems stressed out", "high stress levels"] {
+            let (idx, _) = parse_label(drift, BINARY);
+            assert_eq!(idx, Some(1), "{drift:?}");
+        }
+    }
+
+    #[test]
+    fn severity_labels() {
+        let severities = &["minimum", "mild", "moderate", "severe"];
+        let (idx, _) = parse_label("Answer: moderate", severities);
+        assert_eq!(idx, Some(2));
+        let (idx2, _) = parse_label("this looks severe to me", severities);
+        assert_eq!(idx2, Some(3));
+    }
+}

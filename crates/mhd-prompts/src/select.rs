@@ -1,0 +1,226 @@
+//! Demonstration selection for few-shot prompting.
+//!
+//! Three selectors from the surveyed methodology:
+//!
+//! - **Random** — uniform over the training pool;
+//! - **Stratified** — round-robin over classes so every label is shown;
+//! - **Similarity** — nearest training posts to the query in lexicon-rate
+//!   space (retrieval-augmented demonstration selection).
+
+use mhd_text::lexicon::Lexicon;
+use mhd_text::tokenize::words;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Which selection policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// Uniform random from the pool.
+    Random,
+    /// Round-robin per class (balanced label coverage).
+    Stratified,
+    /// Nearest neighbours to the query in lexicon space.
+    Similarity,
+}
+
+impl SelectorKind {
+    /// All selector kinds.
+    pub const ALL: [SelectorKind; 3] =
+        [SelectorKind::Random, SelectorKind::Stratified, SelectorKind::Similarity];
+
+    /// Short name for tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorKind::Random => "random",
+            SelectorKind::Stratified => "stratified",
+            SelectorKind::Similarity => "similarity",
+        }
+    }
+}
+
+/// A demonstration selector bound to a training pool.
+pub struct DemoSelector {
+    kind: SelectorKind,
+    pool_texts: Vec<String>,
+    pool_labels: Vec<String>,
+    lexicon: Lexicon,
+    seed: u64,
+}
+
+impl DemoSelector {
+    /// Build a selector over a training pool. `labels` are label *strings*
+    /// (already verbalized), parallel to `texts`.
+    pub fn new(kind: SelectorKind, texts: Vec<String>, labels: Vec<String>, seed: u64) -> Self {
+        assert_eq!(texts.len(), labels.len(), "pool slices must be parallel");
+        DemoSelector { kind, pool_texts: texts, pool_labels: labels, lexicon: Lexicon::standard(), seed }
+    }
+
+    /// Select `k` demonstrations for `query`. Deterministic given the
+    /// selector seed and `query_id` (callers pass the example id so each
+    /// query gets its own random draw).
+    pub fn select(&self, query: &str, query_id: u64, k: usize) -> Vec<(String, String)> {
+        let k = k.min(self.pool_texts.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ query_id.wrapping_mul(0x9e3779b97f4a7c15));
+        let indices: Vec<usize> = match self.kind {
+            SelectorKind::Random => {
+                let mut idx: Vec<usize> = (0..self.pool_texts.len()).collect();
+                idx.shuffle(&mut rng);
+                idx.truncate(k);
+                idx
+            }
+            SelectorKind::Stratified => {
+                // Group by label, shuffle within groups, round-robin.
+                let mut by_label: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+                for (i, l) in self.pool_labels.iter().enumerate() {
+                    by_label.entry(l.as_str()).or_default().push(i);
+                }
+                let mut groups: Vec<Vec<usize>> = by_label.into_values().collect();
+                for g in &mut groups {
+                    g.shuffle(&mut rng);
+                }
+                let mut out = Vec::with_capacity(k);
+                let mut round = 0;
+                while out.len() < k {
+                    let mut progressed = false;
+                    for g in &groups {
+                        if let Some(&i) = g.get(round) {
+                            out.push(i);
+                            progressed = true;
+                            if out.len() == k {
+                                break;
+                            }
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                    round += 1;
+                }
+                out
+            }
+            SelectorKind::Similarity => {
+                // Cosine similarity: scale-invariant, so short and long
+                // posts with the same category mix rank equally.
+                let qf = self.lexicon.profile(&words(query)).rates();
+                let mut scored: Vec<(usize, f64)> = self
+                    .pool_texts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let f = self.lexicon.profile(&words(t)).rates();
+                        (i, cosine(&f, &qf))
+                    })
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                scored.into_iter().take(k).map(|(i, _)| i).collect()
+            }
+        };
+        indices
+            .into_iter()
+            .map(|i| (self.pool_texts[i].clone(), self.pool_labels[i].clone()))
+            .collect()
+    }
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> (Vec<String>, Vec<String>) {
+        let texts = vec![
+            "hopeless and crying".to_string(),
+            "empty and numb tonight".to_string(),
+            "great day with friends".to_string(),
+            "fun game and pizza".to_string(),
+            "panic and constant worry".to_string(),
+            "anxious about everything".to_string(),
+        ];
+        let labels = vec![
+            "depression".to_string(),
+            "depression".to_string(),
+            "control".to_string(),
+            "control".to_string(),
+            "anxiety".to_string(),
+            "anxiety".to_string(),
+        ];
+        (texts, labels)
+    }
+
+    #[test]
+    fn random_selects_k_unique() {
+        let (t, l) = pool();
+        let s = DemoSelector::new(SelectorKind::Random, t, l, 1);
+        let demos = s.select("whatever", 0, 4);
+        assert_eq!(demos.len(), 4);
+        let mut texts: Vec<&str> = demos.iter().map(|(t, _)| t.as_str()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), 4, "no duplicates");
+    }
+
+    #[test]
+    fn stratified_covers_all_classes() {
+        let (t, l) = pool();
+        let s = DemoSelector::new(SelectorKind::Stratified, t, l, 2);
+        let demos = s.select("q", 7, 3);
+        let mut labels: Vec<&str> = demos.iter().map(|(_, l)| l.as_str()).collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["anxiety", "control", "depression"]);
+    }
+
+    #[test]
+    fn similarity_retrieves_lexically_close() {
+        let (t, l) = pool();
+        let s = DemoSelector::new(SelectorKind::Similarity, t, l, 3);
+        let demos = s.select("i am so anxious and panicking about work", 0, 2);
+        assert!(
+            demos.iter().all(|(_, l)| l == "anxiety"),
+            "nearest demos should be anxiety: {demos:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_query_id() {
+        let (t, l) = pool();
+        let s = DemoSelector::new(SelectorKind::Random, t, l, 5);
+        assert_eq!(s.select("q", 3, 4), s.select("q", 3, 4));
+        // Different query ids generally draw differently.
+        let many_same = (0..20).filter(|&i| s.select("q", i, 4) == s.select("q", 0, 4)).count();
+        assert!(many_same < 20);
+    }
+
+    #[test]
+    fn k_larger_than_pool_capped() {
+        let (t, l) = pool();
+        let s = DemoSelector::new(SelectorKind::Stratified, t, l, 1);
+        assert_eq!(s.select("q", 0, 100).len(), 6);
+    }
+
+    #[test]
+    fn zero_k_empty() {
+        let (t, l) = pool();
+        let s = DemoSelector::new(SelectorKind::Random, t, l, 1);
+        assert!(s.select("q", 0, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_pool_rejected() {
+        DemoSelector::new(SelectorKind::Random, vec!["a".into()], vec![], 1);
+    }
+}

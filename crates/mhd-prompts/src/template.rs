@@ -1,0 +1,192 @@
+//! Prompt templates for every strategy in the benchmark.
+
+use mhd_corpus::taxonomy::Task;
+
+/// Prompting strategy (Table T3's rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Plain instruction + options + post.
+    ZeroShot,
+    /// Zero-shot with a step-by-step reasoning request.
+    ZeroShotCot,
+    /// `k` labelled demonstrations before the query.
+    FewShot(usize),
+    /// Few-shot plus reasoning request.
+    FewShotCot(usize),
+    /// Zero-shot with explicit attention to expressed emotions
+    /// (the "emotion-enhanced" strategy of the Mental-LLM line).
+    EmotionEnhanced,
+    /// Zero-shot with a clinician persona preamble.
+    Persona,
+}
+
+impl Strategy {
+    /// All strategies at the benchmark's default k = 4.
+    pub const ALL: [Strategy; 6] = [
+        Strategy::ZeroShot,
+        Strategy::ZeroShotCot,
+        Strategy::FewShot(4),
+        Strategy::FewShotCot(4),
+        Strategy::EmotionEnhanced,
+        Strategy::Persona,
+    ];
+
+    /// Number of demonstrations the strategy wants.
+    pub fn shots(&self) -> usize {
+        match self {
+            Strategy::FewShot(k) | Strategy::FewShotCot(k) => *k,
+            _ => 0,
+        }
+    }
+
+    /// Short name used in result tables.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::ZeroShot => "zero_shot".to_string(),
+            Strategy::ZeroShotCot => "zero_shot_cot".to_string(),
+            Strategy::FewShot(k) => format!("few_shot_k{k}"),
+            Strategy::FewShotCot(k) => format!("few_shot_cot_k{k}"),
+            Strategy::EmotionEnhanced => "emotion_enhanced".to_string(),
+            Strategy::Persona => "persona".to_string(),
+        }
+    }
+}
+
+/// Build the full prompt for a query post under a strategy.
+///
+/// `demos` are `(post, label)` pairs; they are only used by the few-shot
+/// strategies and must already be selected/ordered by the caller.
+pub fn build_prompt(task: &Task, strategy: Strategy, post: &str, demos: &[(String, String)]) -> String {
+    let mut p = String::with_capacity(256 + post.len() + demos.iter().map(|(d, _)| d.len() + 24).sum::<usize>());
+    // Preamble.
+    match strategy {
+        Strategy::Persona => {
+            p.push_str(
+                "You are a compassionate clinical psychologist with twenty years of \
+                 experience assessing social media disclosures.\n",
+            );
+        }
+        _ => {
+            p.push_str("You are an assistant that analyzes social media posts.\n");
+        }
+    }
+    // Instruction.
+    p.push_str(&format!("Read the post and decide {}.\n", task.description));
+    if strategy == Strategy::EmotionEnhanced {
+        p.push_str(
+            "Pay close attention to the emotions expressed in the post and how intense they are.\n",
+        );
+    }
+    // Options.
+    p.push_str("Options: ");
+    p.push_str(&task.labels.join(", "));
+    p.push('\n');
+    // Reasoning request.
+    match strategy {
+        Strategy::ZeroShotCot | Strategy::FewShotCot(_) => {
+            p.push_str(
+                "Think step by step about the evidence in the post, then give the final answer.\n",
+            );
+        }
+        _ => {
+            p.push_str("Respond with exactly one option and nothing else.\n");
+        }
+    }
+    // Demonstrations.
+    let k = strategy.shots().min(demos.len());
+    for (demo_post, demo_label) in &demos[..k] {
+        p.push_str(&format!("Post: \"{demo_post}\"\nAnswer: {demo_label}\n"));
+    }
+    // Query.
+    p.push_str(&format!("Post: \"{post}\"\nAnswer:"));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task {
+            name: "stress_binary",
+            description: "whether the poster is experiencing psychological stress",
+            labels: vec!["not stressed", "stressed"],
+        }
+    }
+
+    #[test]
+    fn zero_shot_structure() {
+        let p = build_prompt(&task(), Strategy::ZeroShot, "work is crushing me", &[]);
+        assert!(p.contains("Options: not stressed, stressed"));
+        assert!(p.contains("Post: \"work is crushing me\""));
+        assert!(p.ends_with("Answer:"));
+        assert!(!p.to_lowercase().contains("step by step"));
+    }
+
+    #[test]
+    fn cot_marker_present() {
+        let p = build_prompt(&task(), Strategy::ZeroShotCot, "x", &[]);
+        assert!(p.to_lowercase().contains("step by step"));
+    }
+
+    #[test]
+    fn few_shot_includes_k_demos() {
+        let demos = vec![
+            ("demo one".to_string(), "stressed".to_string()),
+            ("demo two".to_string(), "not stressed".to_string()),
+            ("demo three".to_string(), "stressed".to_string()),
+        ];
+        let p = build_prompt(&task(), Strategy::FewShot(2), "query post", &demos);
+        assert!(p.contains("demo one"));
+        assert!(p.contains("demo two"));
+        assert!(!p.contains("demo three"), "k=2 must truncate");
+        // Query comes last.
+        assert!(p.rfind("query post").expect("query") > p.rfind("demo two").expect("demo"));
+    }
+
+    #[test]
+    fn emotion_marker_present() {
+        let p = build_prompt(&task(), Strategy::EmotionEnhanced, "x", &[]);
+        assert!(p.to_lowercase().contains("emotion"));
+    }
+
+    #[test]
+    fn persona_preamble() {
+        let p = build_prompt(&task(), Strategy::Persona, "x", &[]);
+        assert!(p.contains("clinical psychologist"));
+    }
+
+    #[test]
+    fn roundtrips_through_llm_parser() {
+        // The templates must parse back cleanly with mhd-llm's parser.
+        let demos = vec![("i am so stressed".to_string(), "stressed".to_string())];
+        for s in Strategy::ALL {
+            let p = build_prompt(&task(), s, "deadline panic again", &demos);
+            let parsed = mhd_llm::parse::parse_prompt(&p);
+            assert_eq!(parsed.labels, vec!["not stressed", "stressed"], "{s:?}");
+            assert_eq!(parsed.query, "deadline panic again", "{s:?}");
+            assert_eq!(parsed.demos.len(), s.shots().min(1), "{s:?}");
+            match s {
+                Strategy::ZeroShotCot | Strategy::FewShotCot(_) => assert!(parsed.wants_cot),
+                _ => assert!(!parsed.wants_cot, "{s:?}"),
+            }
+            if s == Strategy::EmotionEnhanced {
+                assert!(parsed.wants_emotion);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_names_unique() {
+        let mut names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Strategy::ALL.len());
+    }
+
+    #[test]
+    fn shots_accessor() {
+        assert_eq!(Strategy::FewShot(8).shots(), 8);
+        assert_eq!(Strategy::ZeroShot.shots(), 0);
+    }
+}

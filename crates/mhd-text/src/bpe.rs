@@ -1,0 +1,198 @@
+//! A small byte-pair-encoding (BPE) tokenizer.
+//!
+//! Used by the LLM simulator for *token accounting* (context-window limits,
+//! cost models) exactly the way `tiktoken` is used against real APIs. The
+//! trainer follows the classic algorithm: start from characters with an
+//! end-of-word marker and iteratively merge the most frequent adjacent pair.
+
+use std::collections::HashMap;
+
+const EOW: &str = "</w>";
+
+/// A trained BPE model: ranked merge rules.
+#[derive(Debug, Clone)]
+pub struct Bpe {
+    /// Merge rules in training order; earlier = higher priority.
+    merges: Vec<(String, String)>,
+    merge_rank: HashMap<(String, String), usize>,
+}
+
+impl Bpe {
+    /// Train on a corpus of whitespace-tokenizable text, learning up to
+    /// `n_merges` merge rules.
+    pub fn train(corpus: &[impl AsRef<str>], n_merges: usize) -> Self {
+        // Word frequency table, each word as a symbol sequence.
+        let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
+        for doc in corpus {
+            for w in doc.as_ref().split_whitespace() {
+                let w = w.to_lowercase();
+                let mut symbols: Vec<String> = w.chars().map(|c| c.to_string()).collect();
+                if symbols.is_empty() {
+                    continue;
+                }
+                symbols.push(EOW.to_string());
+                *word_freq.entry(symbols).or_insert(0) += 1;
+            }
+        }
+        let mut merges = Vec::with_capacity(n_merges);
+        for _ in 0..n_merges {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(String, String), u64> = HashMap::new();
+            for (symbols, &freq) in &word_freq {
+                for pair in symbols.windows(2) {
+                    *pair_counts.entry((pair[0].clone(), pair[1].clone())).or_insert(0) += freq;
+                }
+            }
+            // Most frequent pair; deterministic tie-break on the pair itself.
+            let best = pair_counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+            let Some(((a, b), count)) = best else { break };
+            if count < 2 {
+                break; // No productive merges left.
+            }
+            // Apply the merge to every word.
+            let merged_sym = format!("{a}{b}");
+            let mut next: HashMap<Vec<String>, u64> = HashMap::with_capacity(word_freq.len());
+            for (symbols, freq) in word_freq {
+                let mut out = Vec::with_capacity(symbols.len());
+                let mut i = 0;
+                while i < symbols.len() {
+                    if i + 1 < symbols.len() && symbols[i] == a && symbols[i + 1] == b {
+                        out.push(merged_sym.clone());
+                        i += 2;
+                    } else {
+                        out.push(symbols[i].clone());
+                        i += 1;
+                    }
+                }
+                *next.entry(out).or_insert(0) += freq;
+            }
+            word_freq = next;
+            merges.push((a, b));
+        }
+        let merge_rank = merges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(r, p)| (p, r))
+            .collect();
+        Bpe { merges, merge_rank }
+    }
+
+    /// Encode one word into BPE symbols.
+    pub fn encode_word(&self, word: &str) -> Vec<String> {
+        let mut symbols: Vec<String> = word.to_lowercase().chars().map(|c| c.to_string()).collect();
+        if symbols.is_empty() {
+            return symbols;
+        }
+        symbols.push(EOW.to_string());
+        loop {
+            // Find the highest-priority applicable merge.
+            let mut best: Option<(usize, usize)> = None; // (rank, position)
+            for i in 0..symbols.len().saturating_sub(1) {
+                let key = (symbols[i].clone(), symbols[i + 1].clone());
+                if let Some(&rank) = self.merge_rank.get(&key) {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", symbols[i], symbols[i + 1]);
+            symbols.splice(i..i + 2, [merged]);
+        }
+        symbols
+    }
+
+    /// Token count for a full text: sum of per-word symbol counts plus one
+    /// token per punctuation run, mirroring how real tokenizers bill text.
+    pub fn count_tokens(&self, text: &str) -> usize {
+        text.split_whitespace()
+            .map(|w| {
+                let core: String = w.chars().filter(|c| c.is_alphanumeric() || *c == '\'').collect();
+                let punct = w.chars().filter(|c| c.is_ascii_punctuation() && *c != '\'').count();
+                let word_tokens = if core.is_empty() { 0 } else { self.encode_word(&core).len() };
+                word_tokens + punct.min(2)
+            })
+            .sum()
+    }
+
+    /// Number of learned merges.
+    pub fn n_merges(&self) -> usize {
+        self.merges.len()
+    }
+}
+
+/// A fixed cheap token estimator for callers that do not want to train a BPE
+/// model: ~1 token per 4 characters, the common rule of thumb used for cost
+/// estimation against real APIs.
+pub fn estimate_tokens(text: &str) -> usize {
+    text.chars().count().div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> Bpe {
+        let corpus = vec![
+            "the cat sat on the mat",
+            "the cat ate the rat",
+            "that cat that sat",
+            "the the the cat cat",
+        ];
+        Bpe::train(&corpus, 32)
+    }
+
+    #[test]
+    fn training_learns_merges() {
+        let bpe = trained();
+        assert!(bpe.n_merges() > 0);
+    }
+
+    #[test]
+    fn frequent_words_compress() {
+        let bpe = trained();
+        // "the" is very frequent → should encode to few symbols.
+        let the = bpe.encode_word("the");
+        assert!(the.len() <= 2, "'the' encoded as {the:?}");
+        // An unseen word stays near character-level.
+        let zebra = bpe.encode_word("zyxwv");
+        assert!(zebra.len() >= 4, "'zyxwv' encoded as {zebra:?}");
+    }
+
+    #[test]
+    fn encode_deterministic() {
+        let bpe = trained();
+        assert_eq!(bpe.encode_word("cat"), bpe.encode_word("cat"));
+    }
+
+    #[test]
+    fn count_tokens_monotone_in_length() {
+        let bpe = trained();
+        let short = bpe.count_tokens("the cat");
+        let long = bpe.count_tokens("the cat sat on the mat with the rat");
+        assert!(long > short);
+    }
+
+    #[test]
+    fn count_handles_punctuation() {
+        let bpe = trained();
+        assert!(bpe.count_tokens("cat!!!") > bpe.count_tokens("cat"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let bpe = trained();
+        assert_eq!(bpe.count_tokens(""), 0);
+        assert!(bpe.encode_word("").is_empty());
+    }
+
+    #[test]
+    fn estimate_rule_of_thumb() {
+        assert_eq!(estimate_tokens(""), 0);
+        assert_eq!(estimate_tokens("abcd"), 1);
+        assert_eq!(estimate_tokens("abcde"), 2);
+    }
+}

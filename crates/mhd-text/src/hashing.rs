@@ -1,0 +1,111 @@
+//! Feature-hashing ("hashing trick") vectorizer.
+//!
+//! Maps arbitrary token streams into a fixed-dimensional sparse space via
+//! FNV-1a, with a sign hash to debias collisions. Used by the simulated LLM
+//! backbone, where the feature dimensionality doubles as the model-capacity
+//! knob.
+
+use crate::ngram::ngrams_up_to;
+use crate::sparse::SparseVec;
+use crate::tokenize::words;
+
+/// 64-bit FNV-1a hash.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Stateless hashing vectorizer.
+#[derive(Debug, Clone)]
+pub struct HashingVectorizer {
+    /// Output dimensionality.
+    pub n_features: u32,
+    /// Max n-gram order.
+    pub ngram_max: usize,
+    /// Use a sign bit from the hash to spread collision bias.
+    pub signed: bool,
+}
+
+impl HashingVectorizer {
+    /// Construct with the given dimensionality (must be > 0).
+    pub fn new(n_features: u32, ngram_max: usize) -> Self {
+        assert!(n_features > 0, "n_features must be positive");
+        HashingVectorizer { n_features, ngram_max: ngram_max.max(1), signed: true }
+    }
+
+    /// Vectorize raw text into an L2-normalized sparse vector.
+    pub fn transform(&self, doc: &str) -> SparseVec {
+        let toks = words(doc);
+        self.transform_tokens(&toks)
+    }
+
+    /// Vectorize pre-tokenized text.
+    pub fn transform_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> SparseVec {
+        let grams = ngrams_up_to(tokens, self.ngram_max);
+        let mut pairs = Vec::with_capacity(grams.len());
+        for g in &grams {
+            let h = fnv1a(g.as_bytes());
+            let idx = (h % self.n_features as u64) as u32;
+            let sign = if self.signed && (h >> 63) == 1 { -1.0 } else { 1.0 };
+            pairs.push((idx, sign));
+        }
+        let mut v = SparseVec::from_pairs(pairs);
+        v.l2_normalize();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let h = HashingVectorizer::new(256, 1);
+        assert_eq!(h.transform("i feel sad"), h.transform("i feel sad"));
+    }
+
+    #[test]
+    fn dimensionality_respected() {
+        let h = HashingVectorizer::new(16, 1);
+        let v = h.transform("many different words to hash into a small space today again");
+        assert!(v.max_index().unwrap() < 16);
+    }
+
+    #[test]
+    fn different_docs_differ() {
+        let h = HashingVectorizer::new(4096, 1);
+        assert_ne!(h.transform("hopeless empty"), h.transform("sunny beach"));
+    }
+
+    #[test]
+    fn unit_norm() {
+        let h = HashingVectorizer::new(512, 2);
+        let v = h.transform("i cannot sleep at night");
+        assert!((v.l2_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_doc_empty_vec() {
+        let h = HashingVectorizer::new(512, 1);
+        assert!(h.transform("").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_features_rejected() {
+        HashingVectorizer::new(0, 1);
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a reference: hash of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

@@ -1,0 +1,367 @@
+//! LIWC-style psycholinguistic category lexicons.
+//!
+//! Decades of work on mental-health language (Pennebaker's LIWC line, the
+//! CLPsych shared tasks, the Dreaddit/SDCNL/CSSRS papers) agree on a small
+//! set of category signals: negative/positive emotion words, anxiety words,
+//! anger, sadness, death/suicide references, sleep/fatigue, cognition
+//! ("cognitive distortion" markers), absolutist words, social references,
+//! body/health words, and first-person pronoun density.
+//!
+//! This module ships a purpose-built lexicon for those categories. The same
+//! word lists seed both the synthetic corpus *generator* (in `mhd-corpus`)
+//! and the lexicon *features* used by baselines — mirroring reality, where
+//! the datasets' signal and LIWC's dictionaries were both distilled from the
+//! same underlying clinical language. Detection is still non-trivial because
+//! the generator mixes categories across classes, adds noise vocabulary, and
+//! models comorbidity.
+
+use crate::stem::stem;
+use std::collections::HashMap;
+
+/// Psycholinguistic word categories tracked by the benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LexiconCategory {
+    /// General negative emotion ("awful", "miserable").
+    NegativeEmotion,
+    /// Positive emotion ("happy", "grateful").
+    PositiveEmotion,
+    /// Anxiety / fear ("worried", "panic").
+    Anxiety,
+    /// Anger / irritability ("furious", "hate").
+    Anger,
+    /// Sadness / depressed mood ("empty", "hopeless").
+    Sadness,
+    /// Death and suicide references ("die", "suicide", "end it").
+    Death,
+    /// Sleep and fatigue ("insomnia", "exhausted").
+    Sleep,
+    /// Cognitive process / rumination markers ("why", "think", "realize").
+    Cognition,
+    /// Absolutist words ("always", "never", "completely") — a replicated
+    /// marker of depression and suicidal ideation (Al-Mosaiwi & Johnstone).
+    Absolutist,
+    /// Social references ("friend", "family", "alone").
+    Social,
+    /// Body / somatic complaints ("headache", "pain", "weight").
+    Body,
+    /// Work / school stressors ("deadline", "exam", "boss").
+    Work,
+    /// Financial stressors ("rent", "debt", "bills").
+    Money,
+    /// Trauma / flashback vocabulary ("nightmare", "flashback", "triggered").
+    Trauma,
+    /// Eating / food / weight preoccupation ("calories", "binge", "purge").
+    Eating,
+    /// Mania / elevated-energy vocabulary ("racing", "invincible", "spree").
+    Mania,
+    /// Help-seeking & treatment ("therapist", "meds", "diagnosis").
+    Treatment,
+    /// First-person singular pronouns (computed, not listed).
+    FirstPerson,
+}
+
+impl LexiconCategory {
+    /// All categories in a stable order.
+    pub const ALL: [LexiconCategory; 18] = [
+        LexiconCategory::NegativeEmotion,
+        LexiconCategory::PositiveEmotion,
+        LexiconCategory::Anxiety,
+        LexiconCategory::Anger,
+        LexiconCategory::Sadness,
+        LexiconCategory::Death,
+        LexiconCategory::Sleep,
+        LexiconCategory::Cognition,
+        LexiconCategory::Absolutist,
+        LexiconCategory::Social,
+        LexiconCategory::Body,
+        LexiconCategory::Work,
+        LexiconCategory::Money,
+        LexiconCategory::Trauma,
+        LexiconCategory::Eating,
+        LexiconCategory::Mania,
+        LexiconCategory::Treatment,
+        LexiconCategory::FirstPerson,
+    ];
+
+    /// Stable index of the category in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("category in ALL")
+    }
+
+    /// Short snake_case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LexiconCategory::NegativeEmotion => "neg_emo",
+            LexiconCategory::PositiveEmotion => "pos_emo",
+            LexiconCategory::Anxiety => "anxiety",
+            LexiconCategory::Anger => "anger",
+            LexiconCategory::Sadness => "sadness",
+            LexiconCategory::Death => "death",
+            LexiconCategory::Sleep => "sleep",
+            LexiconCategory::Cognition => "cognition",
+            LexiconCategory::Absolutist => "absolutist",
+            LexiconCategory::Social => "social",
+            LexiconCategory::Body => "body",
+            LexiconCategory::Work => "work",
+            LexiconCategory::Money => "money",
+            LexiconCategory::Trauma => "trauma",
+            LexiconCategory::Eating => "eating",
+            LexiconCategory::Mania => "mania",
+            LexiconCategory::Treatment => "treatment",
+            LexiconCategory::FirstPerson => "first_person",
+        }
+    }
+}
+
+/// Word lists per category. Kept as plain functions so the corpus generator
+/// can sample from the same inventory the features are computed over.
+pub fn category_words(cat: LexiconCategory) -> &'static [&'static str] {
+    match cat {
+        LexiconCategory::NegativeEmotion => &[
+            "awful", "terrible", "horrible", "miserable", "worthless", "useless", "pathetic",
+            "disgusting", "unbearable", "painful", "hurt", "hurting", "suffering", "broken",
+            "ruined", "failure", "failing", "hate", "dread", "ashamed", "guilty", "guilt",
+            "regret", "despair", "agony", "torment", "wretched", "bleak", "grim",
+        ],
+        LexiconCategory::PositiveEmotion => &[
+            "happy", "grateful", "thankful", "hopeful", "excited", "proud", "calm", "peaceful",
+            "relieved", "joy", "love", "loved", "wonderful", "amazing", "great", "good",
+            "better", "improving", "progress", "blessed", "content", "optimistic", "smile",
+            "laughed", "fun", "enjoy", "enjoyed",
+        ],
+        LexiconCategory::Anxiety => &[
+            "anxious", "anxiety", "worried", "worry", "worrying", "panic", "panicking",
+            "nervous", "scared", "afraid", "fear", "terrified", "dread", "overwhelmed",
+            "restless", "uneasy", "tense", "shaking", "trembling", "racing", "spiraling",
+            "overthinking", "paranoid", "edge", "jittery", "hyperventilating",
+        ],
+        LexiconCategory::Anger => &[
+            "angry", "furious", "rage", "irritated", "irritable", "annoyed", "frustrated",
+            "frustrating", "resent", "resentment", "snapped", "screaming", "yelling",
+            "explode", "bitter", "hostile", "pissed", "outraged", "seething",
+        ],
+        LexiconCategory::Sadness => &[
+            "sad", "sadness", "depressed", "depression", "empty", "emptiness", "numb",
+            "hopeless", "hopelessness", "lonely", "loneliness", "crying", "cried", "tears",
+            "grief", "mourning", "down", "low", "dark", "darkness", "heavy", "drowning",
+            "sinking", "void", "meaningless", "pointless", "joyless", "anhedonia",
+        ],
+        LexiconCategory::Death => &[
+            "die", "dying", "death", "dead", "suicide", "suicidal", "kill", "killing",
+            "overdose", "pills", "jump", "bridge", "rope", "gun", "cutting", "selfharm",
+            "harm", "hurt", "end", "ending", "goodbye", "funeral", "grave", "afterlife",
+            "disappear", "vanish", "gone", "burden", "painless",
+        ],
+        LexiconCategory::Sleep => &[
+            "sleep", "sleeping", "slept", "insomnia", "awake", "tired", "exhausted",
+            "exhaustion", "fatigue", "fatigued", "drained", "nightmares", "nightmare", "bed",
+            "rest", "restless", "nap", "oversleeping", "sleepless", "drowsy", "lethargic",
+        ],
+        LexiconCategory::Cognition => &[
+            "think", "thinking", "thought", "thoughts", "realize", "realized", "understand",
+            "know", "knowing", "believe", "remember", "memory", "focus", "concentrate",
+            "concentration", "decide", "decision", "confused", "foggy", "blank", "ruminating",
+            "obsessing", "replaying", "wondering", "question", "why",
+        ],
+        LexiconCategory::Absolutist => &[
+            "always", "never", "nothing", "everything", "completely", "totally", "entirely",
+            "absolutely", "definitely", "constant", "constantly", "forever", "every",
+            "nobody", "everyone", "all", "none", "must", "impossible", "whole",
+        ],
+        LexiconCategory::Social => &[
+            "friend", "friends", "family", "mother", "father", "mom", "dad", "sister",
+            "brother", "partner", "boyfriend", "girlfriend", "wife", "husband", "alone",
+            "isolated", "isolation", "abandoned", "rejected", "ignored", "talk", "talking",
+            "relationship", "people", "social", "party", "colleagues", "roommate",
+        ],
+        LexiconCategory::Body => &[
+            "headache", "headaches", "pain", "aching", "stomach", "nausea", "nauseous",
+            "dizzy", "chest", "heart", "pounding", "breathing", "breath", "weight", "appetite",
+            "eating", "body", "skin", "tension", "muscles", "sick", "ill", "shaky",
+        ],
+        LexiconCategory::Work => &[
+            "work", "job", "boss", "deadline", "deadlines", "shift", "shifts", "overtime",
+            "fired", "layoff", "school", "exam", "exams", "finals", "homework", "assignment",
+            "grades", "class", "college", "university", "thesis", "interview", "career",
+            "workload", "meetings", "project",
+        ],
+        LexiconCategory::Money => &[
+            "money", "rent", "debt", "bills", "broke", "afford", "loan", "loans", "savings",
+            "paycheck", "salary", "eviction", "mortgage", "expenses", "financial", "budget",
+            "overdrawn", "credit",
+        ],
+        LexiconCategory::Trauma => &[
+            "trauma", "traumatic", "flashback", "flashbacks", "triggered", "triggers",
+            "abuse", "abused", "assault", "attacked", "accident", "war", "combat", "veteran",
+            "hypervigilant", "startle", "avoidance", "dissociate", "dissociation", "ptsd",
+            "reliving", "intrusive",
+        ],
+        LexiconCategory::Eating => &[
+            "calories", "binge", "binged", "purge", "purging", "restrict", "restricting",
+            "fasting", "starve", "starving", "fat", "thin", "skinny", "mirror", "scale",
+            "diet", "food", "meal", "meals", "hungry", "fullness", "bodyimage",
+        ],
+        LexiconCategory::Mania => &[
+            "racing", "energy", "energetic", "invincible", "unstoppable", "euphoric",
+            "spree", "impulsive", "impulse", "reckless", "grandiose", "ideas", "projects",
+            "awake", "wired", "talkative", "fast", "elevated", "manic", "episode", "crash",
+            "spending", "hypomanic",
+        ],
+        LexiconCategory::Treatment => &[
+            "therapist", "therapy", "counselor", "counseling", "psychiatrist", "meds",
+            "medication", "antidepressants", "ssri", "dose", "diagnosis", "diagnosed",
+            "hospital", "inpatient", "clinic", "appointment", "hotline", "helpline",
+            "recovery", "coping", "mindfulness", "journaling",
+        ],
+        LexiconCategory::FirstPerson => &["i", "me", "my", "mine", "myself"],
+    }
+}
+
+/// A fitted lexicon: maps stemmed word forms to categories.
+///
+/// Build once with [`Lexicon::standard`] and reuse; matching is O(1) per
+/// token.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    stem_to_cats: HashMap<String, Vec<LexiconCategory>>,
+}
+
+impl Lexicon {
+    /// The standard benchmark lexicon covering all categories.
+    pub fn standard() -> Self {
+        let mut stem_to_cats: HashMap<String, Vec<LexiconCategory>> = HashMap::new();
+        for &cat in &LexiconCategory::ALL {
+            for word in category_words(cat) {
+                let key = stem(word);
+                let cats = stem_to_cats.entry(key).or_default();
+                if !cats.contains(&cat) {
+                    cats.push(cat);
+                }
+            }
+        }
+        Lexicon { stem_to_cats }
+    }
+
+    /// Categories a (lowercased) token belongs to, after stemming.
+    pub fn categories(&self, token: &str) -> &[LexiconCategory] {
+        self.stem_to_cats
+            .get(&stem(token))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Profile a token sequence: per-category counts normalized by length.
+    pub fn profile<S: AsRef<str>>(&self, tokens: &[S]) -> LexiconProfile {
+        let mut counts = [0u32; LexiconCategory::ALL.len()];
+        for tok in tokens {
+            for &cat in self.categories(tok.as_ref()) {
+                counts[cat.index()] += 1;
+            }
+        }
+        LexiconProfile { counts, total_tokens: tokens.len() as u32 }
+    }
+}
+
+/// Per-category counts for one document, plus the document length.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LexiconProfile {
+    counts: [u32; LexiconCategory::ALL.len()],
+    total_tokens: u32,
+}
+
+impl LexiconProfile {
+    /// Raw count for a category.
+    pub fn count(&self, cat: LexiconCategory) -> u32 {
+        self.counts[cat.index()]
+    }
+
+    /// Count normalized by document length (rate per token); 0 for empty docs.
+    pub fn rate(&self, cat: LexiconCategory) -> f64 {
+        if self.total_tokens == 0 {
+            0.0
+        } else {
+            self.counts[cat.index()] as f64 / self.total_tokens as f64
+        }
+    }
+
+    /// Document length in tokens.
+    pub fn total_tokens(&self) -> u32 {
+        self.total_tokens
+    }
+
+    /// Dense rate vector in [`LexiconCategory::ALL`] order — the feature
+    /// representation used by the rule baseline and the LLM backbone.
+    pub fn rates(&self) -> Vec<f64> {
+        LexiconCategory::ALL.iter().map(|&c| self.rate(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_lexicon_covers_all_categories() {
+        let lex = Lexicon::standard();
+        for &cat in &LexiconCategory::ALL {
+            let w = category_words(cat)[0];
+            assert!(
+                lex.categories(w).contains(&cat),
+                "first word of {:?} must match its own category",
+                cat
+            );
+        }
+    }
+
+    #[test]
+    fn stemming_unifies_inflections() {
+        let lex = Lexicon::standard();
+        assert!(lex.categories("worrying").contains(&LexiconCategory::Anxiety));
+        assert!(lex.categories("worried").contains(&LexiconCategory::Anxiety));
+        assert!(lex.categories("crying").contains(&LexiconCategory::Sadness));
+    }
+
+    #[test]
+    fn ambiguous_words_multi_category() {
+        let lex = Lexicon::standard();
+        // "hurt" is listed under both NegativeEmotion and Death.
+        let cats = lex.categories("hurt");
+        assert!(cats.contains(&LexiconCategory::NegativeEmotion));
+        assert!(cats.contains(&LexiconCategory::Death));
+    }
+
+    #[test]
+    fn profile_counts_and_rates() {
+        let lex = Lexicon::standard();
+        let toks = ["i", "feel", "hopeless", "and", "alone"];
+        let p = lex.profile(&toks);
+        assert_eq!(p.count(LexiconCategory::FirstPerson), 1);
+        assert_eq!(p.count(LexiconCategory::Sadness), 1);
+        assert_eq!(p.count(LexiconCategory::Social), 1);
+        assert!((p.rate(LexiconCategory::Sadness) - 0.2).abs() < 1e-12);
+        assert_eq!(p.total_tokens(), 5);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let lex = Lexicon::standard();
+        let p = lex.profile::<&str>(&[]);
+        assert_eq!(p.rate(LexiconCategory::Sadness), 0.0);
+        assert_eq!(p.rates().len(), LexiconCategory::ALL.len());
+    }
+
+    #[test]
+    fn category_index_roundtrip() {
+        for (i, &c) in LexiconCategory::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<_> = LexiconCategory::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), LexiconCategory::ALL.len());
+    }
+}

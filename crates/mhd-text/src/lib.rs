@@ -1,0 +1,42 @@
+//! # mhd-text — text processing substrate
+//!
+//! Foundation crate for the `mhd` mental-health disorder detection benchmark.
+//! Provides every text-processing primitive the higher layers need:
+//!
+//! - [`tokenize`](mod@tokenize) — social-media-aware word/sentence tokenization
+//! - [`normalize`] — text normalization (case folding, elongation squashing)
+//! - [`stem`] — a full Porter stemmer
+//! - [`stopwords`] — English stopword membership
+//! - [`vocab`] — vocabulary construction with frequency cutoffs
+//! - [`ngram`] — word n-gram extraction
+//! - [`sparse`] — sparse vector arithmetic used by the vectorizers
+//! - [`tfidf`] — TF-IDF vectorization (fit/transform)
+//! - [`hashing`] — feature-hashing vectorizer (FNV-1a based)
+//! - [`lexicon`] — LIWC-style affect/psycholinguistic category lexicons
+//! - [`stats`] — surface text statistics (lengths, pronoun rates, …)
+//! - [`bpe`] — a small byte-pair-encoding tokenizer used for LLM token
+//!   accounting
+//!
+//! All components are deterministic and allocation-conscious; the crate has
+//! no dependencies.
+
+pub mod bpe;
+pub mod hashing;
+pub mod lexicon;
+pub mod ngram;
+pub mod normalize;
+pub mod sparse;
+pub mod stats;
+pub mod stem;
+pub mod stopwords;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+pub use hashing::HashingVectorizer;
+pub use lexicon::{Lexicon, LexiconCategory, LexiconProfile};
+pub use sparse::SparseVec;
+pub use stats::TextStats;
+pub use tfidf::TfidfVectorizer;
+pub use tokenize::{sentences, tokenize, Token, TokenKind};
+pub use vocab::Vocabulary;

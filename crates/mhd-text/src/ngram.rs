@@ -1,0 +1,83 @@
+//! Word n-gram extraction.
+
+/// Produce word n-grams of order `n` over `tokens`, joined with `_`.
+///
+/// Returns an empty vector when `tokens.len() < n` or `n == 0`.
+///
+/// ```
+/// use mhd_text::ngram::ngrams;
+/// let toks = ["i", "feel", "empty"];
+/// assert_eq!(ngrams(&toks, 2), vec!["i_feel", "feel_empty"]);
+/// ```
+pub fn ngrams<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(tokens.len() - n + 1);
+    for window in tokens.windows(n) {
+        let mut gram = String::with_capacity(window.iter().map(|t| t.as_ref().len() + 1).sum());
+        for (k, t) in window.iter().enumerate() {
+            if k > 0 {
+                gram.push('_');
+            }
+            gram.push_str(t.as_ref());
+        }
+        out.push(gram);
+    }
+    out
+}
+
+/// All n-grams for orders `1..=max_n`, unigrams first.
+pub fn ngrams_up_to<S: AsRef<str>>(tokens: &[S], max_n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        out.extend(ngrams(tokens, n));
+    }
+    out
+}
+
+/// Character n-grams over a single word (used for robustness to typos).
+pub fn char_ngrams(word: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    if n == 0 || chars.len() < n {
+        return Vec::new();
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigrams() {
+        let toks = ["a", "b", "c"];
+        assert_eq!(ngrams(&toks, 2), vec!["a_b", "b_c"]);
+    }
+
+    #[test]
+    fn unigram_identity() {
+        let toks = ["x", "y"];
+        assert_eq!(ngrams(&toks, 1), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let toks = ["a"];
+        assert!(ngrams(&toks, 2).is_empty());
+        assert!(ngrams(&toks, 0).is_empty());
+        assert!(ngrams::<&str>(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn up_to_orders() {
+        let toks = ["a", "b"];
+        assert_eq!(ngrams_up_to(&toks, 2), vec!["a", "b", "a_b"]);
+    }
+
+    #[test]
+    fn char_grams() {
+        assert_eq!(char_ngrams("sad", 2), vec!["sa", "ad"]);
+        assert!(char_ngrams("a", 2).is_empty());
+    }
+}

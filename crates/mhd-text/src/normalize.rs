@@ -1,0 +1,124 @@
+//! Text normalization helpers.
+//!
+//! Social-media text carries expressive noise — character elongations
+//! ("soooo tired"), inconsistent case, smart quotes — that inflates feature
+//! spaces. These functions fold that noise down deterministically.
+
+/// Squash character elongations: any run of the same letter longer than
+/// `max_run` is truncated to `max_run` characters.
+///
+/// ```
+/// use mhd_text::normalize::squash_elongation;
+/// assert_eq!(squash_elongation("soooo", 2), "soo");
+/// assert_eq!(squash_elongation("hello", 2), "hello");
+/// ```
+pub fn squash_elongation(s: &str, max_run: usize) -> String {
+    assert!(max_run >= 1, "max_run must be at least 1");
+    let mut out = String::with_capacity(s.len());
+    let mut prev: Option<char> = None;
+    let mut run = 0usize;
+    for c in s.chars() {
+        if Some(c) == prev {
+            run += 1;
+        } else {
+            run = 1;
+            prev = Some(c);
+        }
+        if run <= max_run {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Replace typographic quotes/dashes with ASCII equivalents.
+pub fn ascii_fold(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '\u{2018}' | '\u{2019}' => '\'',
+            '\u{201C}' | '\u{201D}' => '"',
+            '\u{2013}' | '\u{2014}' => '-',
+            '\u{00A0}' => ' ',
+            other => other,
+        })
+        .collect()
+}
+
+/// Full normalization pipeline used before tokenization in the benchmark:
+/// ASCII folding, elongation squashing (runs capped at 2), and whitespace
+/// collapsing. Case is *not* folded here — the tokenizer lowercases words —
+/// so that capitalization statistics remain observable upstream.
+pub fn normalize(s: &str) -> String {
+    let folded = ascii_fold(s);
+    let squashed = squash_elongation(&folded, 2);
+    collapse_whitespace(&squashed)
+}
+
+/// Collapse runs of whitespace to single spaces and trim the ends.
+pub fn collapse_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.push(c);
+            last_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squash_keeps_short_runs() {
+        assert_eq!(squash_elongation("good", 2), "good");
+    }
+
+    #[test]
+    fn squash_truncates_long_runs() {
+        assert_eq!(squash_elongation("whyyyyyy", 2), "whyy");
+        assert_eq!(squash_elongation("aaaa", 1), "a");
+    }
+
+    #[test]
+    fn squash_handles_multibyte() {
+        assert_eq!(squash_elongation("nooooö", 2), "nooö");
+    }
+
+    #[test]
+    #[should_panic(expected = "max_run")]
+    fn squash_rejects_zero_run() {
+        squash_elongation("x", 0);
+    }
+
+    #[test]
+    fn ascii_fold_quotes() {
+        assert_eq!(ascii_fold("\u{2018}x\u{2019} \u{201C}y\u{201D}"), "'x' \"y\"");
+    }
+
+    #[test]
+    fn collapse_ws() {
+        assert_eq!(collapse_whitespace("  a \t b\n\nc  "), "a b c");
+    }
+
+    #[test]
+    fn normalize_pipeline() {
+        assert_eq!(normalize("I\u{2019}m   soooo  tired"), "I'm soo tired");
+    }
+
+    #[test]
+    fn normalize_empty() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+    }
+}

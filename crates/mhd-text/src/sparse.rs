@@ -1,0 +1,256 @@
+//! Sparse vector type used by the vectorizers and linear models.
+//!
+//! A [`SparseVec`] is a sorted list of `(index, value)` pairs. All binary
+//! operations exploit the sorted invariant for O(n + m) merges.
+
+/// A sparse `f64` vector with sorted, unique indices.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// Empty vector.
+    pub fn new() -> Self {
+        SparseVec { entries: Vec::new() }
+    }
+
+    /// Build from possibly-unsorted, possibly-duplicated pairs; duplicates
+    /// are summed, zero values dropped.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match entries.last_mut() {
+                Some(last) if last.0 == i => last.1 += v,
+                _ => entries.push((i, v)),
+            }
+        }
+        entries.retain(|&(_, v)| v != 0.0);
+        SparseVec { entries }
+    }
+
+    /// Number of stored (nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the vector empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Value at `index` (0.0 if absent). O(log n).
+    pub fn get(&self, index: u32) -> f64 {
+        match self.entries.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product with another sparse vector. O(n + m).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let (mut a, mut b) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while a < self.entries.len() && b < other.entries.len() {
+            let (ia, va) = self.entries[a];
+            let (ib, vb) = other.entries[b];
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += va * vb;
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Dot product with a dense weight slice. Indices beyond `dense.len()`
+    /// are ignored (they contribute zero weight).
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.entries
+            .iter()
+            .filter(|&&(i, _)| (i as usize) < dense.len())
+            .map(|&(i, v)| v * dense[i as usize])
+            .sum()
+    }
+
+    /// Add `scale * self` into a dense accumulator (for gradient updates).
+    pub fn add_into_dense(&self, dense: &mut [f64], scale: f64) {
+        for &(i, v) in &self.entries {
+            if (i as usize) < dense.len() {
+                dense[i as usize] += scale * v;
+            }
+        }
+    }
+
+    /// Euclidean norm.
+    pub fn l2_norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Sum of values.
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Normalize to unit L2 norm in place (no-op for zero vectors).
+    pub fn l2_normalize(&mut self) {
+        let n = self.l2_norm();
+        if n > 0.0 {
+            for e in &mut self.entries {
+                e.1 /= n;
+            }
+        }
+    }
+
+    /// Scale all values in place.
+    pub fn scale(&mut self, factor: f64) {
+        for e in &mut self.entries {
+            e.1 *= factor;
+        }
+    }
+
+    /// Elementwise sum producing a new vector.
+    pub fn add(&self, other: &SparseVec) -> SparseVec {
+        let mut entries = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.entries.len() || b < other.entries.len() {
+            match (self.entries.get(a), other.entries.get(b)) {
+                (Some(&(ia, va)), Some(&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        entries.push((ia, va));
+                        a += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        entries.push((ib, vb));
+                        b += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let v = va + vb;
+                        if v != 0.0 {
+                            entries.push((ia, v));
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                },
+                (Some(&(ia, va)), None) => {
+                    entries.push((ia, va));
+                    a += 1;
+                }
+                (None, Some(&(ib, vb))) => {
+                    entries.push((ib, vb));
+                    b += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        SparseVec { entries }
+    }
+
+    /// Cosine similarity; 0.0 when either vector is zero.
+    pub fn cosine(&self, other: &SparseVec) -> f64 {
+        let denom = self.l2_norm() * other.l2_norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / denom
+        }
+    }
+
+    /// Maximum index present, or `None` when empty.
+    pub fn max_index(&self) -> Option<u32> {
+        self.entries.last().map(|&(i, _)| i)
+    }
+}
+
+impl FromIterator<(u32, f64)> for SparseVec {
+    fn from_iter<T: IntoIterator<Item = (u32, f64)>>(iter: T) -> Self {
+        SparseVec::from_pairs(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let s = v(&[(3, 1.0), (1, 2.0), (3, 4.0), (2, 0.0)]);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.get(1), 2.0);
+        assert_eq!(s.get(3), 5.0);
+        assert_eq!(s.get(2), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = v(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = v(&[(2, 4.0), (5, 1.0), (7, 9.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 4.0 + 3.0 * 1.0);
+        assert_eq!(a.dot(&SparseVec::new()), 0.0);
+    }
+
+    #[test]
+    fn dot_dense_respects_bounds() {
+        let a = v(&[(0, 1.0), (9, 5.0)]);
+        let w = [2.0, 0.0, 0.0];
+        assert_eq!(a.dot_dense(&w), 2.0);
+    }
+
+    #[test]
+    fn add_into_dense_accumulates() {
+        let a = v(&[(0, 1.0), (2, 3.0)]);
+        let mut w = vec![0.0; 3];
+        a.add_into_dense(&mut w, 2.0);
+        assert_eq!(w, vec![2.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn norms_and_normalize() {
+        let mut a = v(&[(0, 3.0), (1, 4.0)]);
+        assert_eq!(a.l2_norm(), 5.0);
+        a.l2_normalize();
+        assert!((a.l2_norm() - 1.0).abs() < 1e-12);
+        let mut z = SparseVec::new();
+        z.l2_normalize(); // must not panic
+        assert!(z.is_empty());
+    }
+
+    #[test]
+    fn add_merges_and_cancels() {
+        let a = v(&[(0, 1.0), (1, 2.0)]);
+        let b = v(&[(1, -2.0), (2, 3.0)]);
+        let c = a.add(&b);
+        assert_eq!(c.get(0), 1.0);
+        assert_eq!(c.get(1), 0.0);
+        assert_eq!(c.nnz(), 2);
+    }
+
+    #[test]
+    fn cosine_similarity() {
+        let a = v(&[(0, 1.0)]);
+        let b = v(&[(0, 2.0)]);
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-12);
+        assert_eq!(a.cosine(&SparseVec::new()), 0.0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: SparseVec = [(2u32, 1.0), (0u32, 1.0)].into_iter().collect();
+        assert_eq!(s.max_index(), Some(2));
+    }
+}

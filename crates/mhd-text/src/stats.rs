@@ -1,0 +1,155 @@
+//! Surface text statistics.
+//!
+//! Cheap per-document statistics that the surveyed literature reports as
+//! weak-but-real signals: post length, sentence length, pronoun rates,
+//! punctuation/caps intensity, and question density.
+
+use crate::stopwords::{is_first_person_singular, is_pronoun};
+use crate::tokenize::{sentences, tokenize, TokenKind};
+
+/// Surface statistics for one document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TextStats {
+    /// Token count (all kinds).
+    pub n_tokens: usize,
+    /// Word-kind token count.
+    pub n_words: usize,
+    /// Sentence count.
+    pub n_sentences: usize,
+    /// Mean word length in characters.
+    pub avg_word_len: f64,
+    /// First-person-singular pronoun rate among words.
+    pub first_person_rate: f64,
+    /// Any-pronoun rate among words.
+    pub pronoun_rate: f64,
+    /// Exclamation-run rate among tokens.
+    pub exclaim_rate: f64,
+    /// Question-mark-run rate among tokens.
+    pub question_rate: f64,
+    /// Fraction of alphabetic characters that are uppercase (raw text).
+    pub caps_ratio: f64,
+    /// Emoticon token rate.
+    pub emoticon_rate: f64,
+}
+
+impl TextStats {
+    /// Compute statistics for `text`.
+    pub fn of(text: &str) -> TextStats {
+        let toks = tokenize(text);
+        let n_tokens = toks.len();
+        let mut n_words = 0usize;
+        let mut word_chars = 0usize;
+        let mut first_person = 0usize;
+        let mut pronouns = 0usize;
+        let mut exclaims = 0usize;
+        let mut questions = 0usize;
+        let mut emoticons = 0usize;
+        for t in &toks {
+            match t.kind {
+                TokenKind::Word => {
+                    n_words += 1;
+                    word_chars += t.text.chars().count();
+                    if is_first_person_singular(&t.text) {
+                        first_person += 1;
+                    }
+                    if is_pronoun(&t.text) {
+                        pronouns += 1;
+                    }
+                }
+                TokenKind::Punct => {
+                    if t.text.starts_with('!') {
+                        exclaims += 1;
+                    } else if t.text.starts_with('?') {
+                        questions += 1;
+                    }
+                }
+                TokenKind::Emoticon => emoticons += 1,
+                _ => {}
+            }
+        }
+        let (mut upper, mut alpha) = (0usize, 0usize);
+        for c in text.chars() {
+            if c.is_alphabetic() {
+                alpha += 1;
+                if c.is_uppercase() {
+                    upper += 1;
+                }
+            }
+        }
+        let rate = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        TextStats {
+            n_tokens,
+            n_words,
+            n_sentences: sentences(text).len(),
+            avg_word_len: rate(word_chars, n_words),
+            first_person_rate: rate(first_person, n_words),
+            pronoun_rate: rate(pronouns, n_words),
+            exclaim_rate: rate(exclaims, n_tokens),
+            question_rate: rate(questions, n_tokens),
+            caps_ratio: rate(upper, alpha),
+            emoticon_rate: rate(emoticons, n_tokens),
+        }
+    }
+
+    /// Dense feature vector (fixed order, for model consumption).
+    pub fn features(&self) -> [f64; 10] {
+        [
+            // Log-scaled lengths so magnitudes stay comparable.
+            (1.0 + self.n_tokens as f64).ln(),
+            (1.0 + self.n_words as f64).ln(),
+            (1.0 + self.n_sentences as f64).ln(),
+            self.avg_word_len,
+            self.first_person_rate,
+            self.pronoun_rate,
+            self.exclaim_rate,
+            self.question_rate,
+            self.caps_ratio,
+            self.emoticon_rate,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let s = TextStats::of("I hate my life. Why me?");
+        assert_eq!(s.n_sentences, 2);
+        assert!(s.n_words >= 5);
+        assert!(s.first_person_rate > 0.0);
+        assert!(s.question_rate > 0.0);
+    }
+
+    #[test]
+    fn empty_text_all_zero() {
+        let s = TextStats::of("");
+        assert_eq!(s, TextStats::default());
+    }
+
+    #[test]
+    fn caps_ratio() {
+        let s = TextStats::of("HELP me");
+        assert!((s.caps_ratio - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_person_vs_pronoun() {
+        let s = TextStats::of("you and i");
+        assert!(s.pronoun_rate > s.first_person_rate);
+    }
+
+    #[test]
+    fn features_len_and_finite() {
+        let f = TextStats::of("a normal sentence here.").features();
+        assert_eq!(f.len(), 10);
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn emoticon_rate_positive() {
+        let s = TextStats::of("so tired :(");
+        assert!(s.emoticon_rate > 0.0);
+    }
+}

@@ -1,0 +1,363 @@
+//! A complete Porter stemmer (Porter, 1980).
+//!
+//! Implements all five steps of the original algorithm over ASCII lowercase
+//! words. Non-ASCII or very short inputs are returned unchanged. The stemmer
+//! is used by the TF-IDF vectorizer and the lexicon matcher so that surface
+//! variants ("sleeping", "sleeps", "slept"*) collapse onto shared stems.
+//!
+//! *Irregular forms are of course not handled by suffix stripping; the
+//! lexicons list them explicitly.
+
+/// Stem a single lowercase word with the Porter algorithm.
+///
+/// ```
+/// use mhd_text::stem::stem;
+/// assert_eq!(stem("caresses"), "caress");
+/// assert_eq!(stem("ponies"), "poni");
+/// assert_eq!(stem("relational"), "relat");
+/// assert_eq!(stem("hopelessness"), "hopeless");
+/// ```
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.bytes().collect();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5(&mut w);
+    String::from_utf8(w).expect("stemmer operates on ASCII")
+}
+
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// The "measure" m of the stem `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants — completes one VC.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// cvc pattern at the end, where the final c is not w, x, or y.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (a, b, c) = (len - 3, len - 2, len - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// If the word ends with `suffix` and the preceding stem has measure > `min_m`,
+/// replace the suffix with `repl` and return true.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, repl: &str, min_m: usize) -> bool {
+    if ends_with(w, suffix) {
+        let stem_len = w.len() - suffix.len();
+        if measure(w, stem_len) > min_m {
+            w.truncate(stem_len);
+            w.extend_from_slice(repl.as_bytes());
+        }
+        true // Suffix matched (even if measure condition failed) — stop trying others.
+    } else {
+        false
+    }
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ss") {
+        // unchanged
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1); // eed → ee
+        }
+        return;
+    }
+    let stripped = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if stripped {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut [u8]) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+const STEP2_RULES: &[(&str, &str)] = &[
+    ("ational", "ate"),
+    ("tional", "tion"),
+    ("enci", "ence"),
+    ("anci", "ance"),
+    ("izer", "ize"),
+    ("abli", "able"),
+    ("alli", "al"),
+    ("entli", "ent"),
+    ("eli", "e"),
+    ("ousli", "ous"),
+    ("ization", "ize"),
+    ("ation", "ate"),
+    ("ator", "ate"),
+    ("alism", "al"),
+    ("iveness", "ive"),
+    ("fulness", "ful"),
+    ("ousness", "ous"),
+    ("aliti", "al"),
+    ("iviti", "ive"),
+    ("biliti", "ble"),
+];
+
+fn step2(w: &mut Vec<u8>) {
+    for (suffix, repl) in STEP2_RULES {
+        if replace_if_m(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+const STEP3_RULES: &[(&str, &str)] = &[
+    ("icate", "ic"),
+    ("ative", ""),
+    ("alize", "al"),
+    ("iciti", "ic"),
+    ("ical", "ic"),
+    ("ful", ""),
+    ("ness", ""),
+];
+
+fn step3(w: &mut Vec<u8>) {
+    for (suffix, repl) in STEP3_RULES {
+        if replace_if_m(w, suffix, repl, 0) {
+            return;
+        }
+    }
+}
+
+const STEP4_SUFFIXES: &[&str] = &[
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou", "ism",
+    "ate", "iti", "ous", "ive", "ize",
+];
+
+fn step4(w: &mut Vec<u8>) {
+    // Special case: (s|t)ion.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len >= 1 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in STEP4_SUFFIXES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5(w: &mut Vec<u8>) {
+    // Step 5a.
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+    // Step 5b.
+    if ends_with(w, "ll") && measure(w, w.len()) > 1 {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        // Reference pairs from Porter's paper and the standard test vocabulary.
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn mental_health_vocabulary() {
+        assert_eq!(stem("sleeping"), "sleep");
+        assert_eq!(stem("sleeps"), "sleep");
+        assert_eq!(stem("crying"), "cry");
+        assert_eq!(stem("worthless"), stem("worthless"));
+        assert_eq!(stem("anxieties"), stem("anxieti"));
+        // Same stem for inflection families that matter downstream.
+        assert_eq!(stem("panicking").starts_with("panick"), true);
+        assert_eq!(stem("depressed"), "depress");
+        assert_eq!(stem("depression"), "depress");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("is"), "is");
+        assert_eq!(stem("be"), "be");
+    }
+
+    #[test]
+    fn non_ascii_unchanged() {
+        assert_eq!(stem("café"), "café");
+        assert_eq!(stem("Sad"), "Sad"); // uppercase → returned as-is
+    }
+
+    #[test]
+    fn idempotent_on_common_words() {
+        for w in ["sleep", "depress", "hope", "tired", "alone"] {
+            let once = stem(w);
+            let twice = stem(&once);
+            assert_eq!(once, twice, "stem not idempotent for {w}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! English stopword list.
+//!
+//! A compact, sorted list of function words. Note that **pronouns are kept
+//! out of the stopword list on purpose**: first-person singular pronoun rate
+//! is one of the strongest published markers of depressive language, so the
+//! feature extractors must be able to see them. Callers that want classical
+//! IR behaviour can union with [`PRONOUNS`].
+
+/// Sorted stopword array (binary-searchable).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "here", "how", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "more", "most", "of", "off", "on", "once", "only", "or", "other",
+    "our", "ours", "out", "over", "own", "same", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "then", "there", "these", "they", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "would",
+];
+
+/// Personal pronouns, kept separate because they are *features*, not noise,
+/// in mental-health text classification.
+pub const PRONOUNS: &[&str] = &[
+    "he", "her", "hers", "herself", "him", "himself", "his", "i", "me", "mine", "my", "myself",
+    "she", "us", "we", "you", "your", "yours", "yourself",
+];
+
+/// Is `word` (already lowercased) a stopword? O(log n).
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Is `word` a personal pronoun?
+pub fn is_pronoun(word: &str) -> bool {
+    PRONOUNS.binary_search(&word).is_ok()
+}
+
+/// First-person singular pronouns specifically ("i", "me", "my", "mine",
+/// "myself") — the depression-linked subset.
+pub fn is_first_person_singular(word: &str) -> bool {
+    matches!(word, "i" | "me" | "my" | "mine" | "myself")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwords_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+        let mut p = PRONOUNS.to_vec();
+        p.sort_unstable();
+        assert_eq!(p, PRONOUNS, "PRONOUNS must stay sorted");
+    }
+
+    #[test]
+    fn membership() {
+        assert!(is_stopword("the"));
+        assert!(is_stopword("because"));
+        assert!(!is_stopword("sleep"));
+        assert!(!is_stopword("i"), "pronouns are not stopwords here");
+    }
+
+    #[test]
+    fn pronouns() {
+        assert!(is_pronoun("i"));
+        assert!(is_pronoun("myself"));
+        assert!(!is_pronoun("the"));
+        assert!(is_first_person_singular("me"));
+        assert!(!is_first_person_singular("we"));
+    }
+
+    #[test]
+    fn no_overlap_between_lists() {
+        for p in PRONOUNS {
+            assert!(!is_stopword(p), "{p} appears in both lists");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! TF-IDF vectorization.
+//!
+//! Fits a vocabulary over tokenized documents and transforms documents into
+//! L2-normalized sparse TF-IDF vectors. Uses smoothed IDF
+//! (`ln((1+N)/(1+df)) + 1`), sublinear TF (`1 + ln(tf)`), and optional
+//! stemming/stopword removal/bigrams — the same knobs scikit-learn exposes,
+//! because the surveyed baselines are all described in those terms.
+
+use crate::ngram::ngrams_up_to;
+use crate::sparse::SparseVec;
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::words;
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`TfidfVectorizer`].
+#[derive(Debug, Clone)]
+pub struct TfidfConfig {
+    /// Minimum document frequency for a term to enter the vocabulary.
+    pub min_df: u32,
+    /// Maximum vocabulary size (0 = unlimited); most-frequent kept.
+    pub max_features: usize,
+    /// Maximum n-gram order (1 = unigrams only, 2 = uni+bi-grams).
+    pub ngram_max: usize,
+    /// Apply the Porter stemmer before counting.
+    pub stem: bool,
+    /// Drop stopwords before n-gram construction.
+    pub remove_stopwords: bool,
+    /// Use sublinear term frequency `1 + ln(tf)`.
+    pub sublinear_tf: bool,
+}
+
+impl Default for TfidfConfig {
+    fn default() -> Self {
+        TfidfConfig {
+            min_df: 2,
+            max_features: 50_000,
+            ngram_max: 2,
+            stem: true,
+            remove_stopwords: true,
+            sublinear_tf: true,
+        }
+    }
+}
+
+/// A fitted TF-IDF vectorizer.
+#[derive(Debug, Clone)]
+pub struct TfidfVectorizer {
+    config: TfidfConfig,
+    term_to_id: HashMap<String, u32>,
+    idf: Vec<f64>,
+}
+
+impl TfidfVectorizer {
+    /// Fit on a corpus of raw documents.
+    pub fn fit(docs: &[impl AsRef<str>], config: TfidfConfig) -> Self {
+        let n_docs = docs.len() as f64;
+        let mut df: HashMap<String, u32> = HashMap::new();
+        for doc in docs {
+            let terms = Self::terms_for(doc.as_ref(), &config);
+            let unique: HashSet<&String> = terms.iter().collect();
+            for t in unique {
+                *df.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(String, u32)> =
+            df.into_iter().filter(|&(_, d)| d >= config.min_df).collect();
+        // Highest-df first for deterministic truncation; ties lexicographic.
+        items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        if config.max_features > 0 {
+            items.truncate(config.max_features);
+        }
+        let mut term_to_id = HashMap::with_capacity(items.len());
+        let mut idf = Vec::with_capacity(items.len());
+        for (id, (term, d)) in items.into_iter().enumerate() {
+            term_to_id.insert(term, id as u32);
+            idf.push(((1.0 + n_docs) / (1.0 + d as f64)).ln() + 1.0);
+        }
+        TfidfVectorizer { config, term_to_id, idf }
+    }
+
+    fn terms_for(doc: &str, config: &TfidfConfig) -> Vec<String> {
+        let mut toks = words(doc);
+        if config.remove_stopwords {
+            toks.retain(|t| !is_stopword(t));
+        }
+        if config.stem {
+            for t in &mut toks {
+                *t = stem(t);
+            }
+        }
+        ngrams_up_to(&toks, config.ngram_max.max(1))
+    }
+
+    /// Transform one document into an L2-normalized TF-IDF vector.
+    pub fn transform(&self, doc: &str) -> SparseVec {
+        let terms = Self::terms_for(doc, &self.config);
+        let mut counts: HashMap<u32, f64> = HashMap::new();
+        for t in &terms {
+            if let Some(&id) = self.term_to_id.get(t) {
+                *counts.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut pairs: Vec<(u32, f64)> = counts
+            .into_iter()
+            .map(|(id, tf)| {
+                let tf_w = if self.config.sublinear_tf { 1.0 + tf.ln() } else { tf };
+                (id, tf_w * self.idf[id as usize])
+            })
+            .collect();
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut v = SparseVec::from_pairs(pairs);
+        v.l2_normalize();
+        v
+    }
+
+    /// Transform many documents.
+    pub fn transform_batch(&self, docs: &[impl AsRef<str>]) -> Vec<SparseVec> {
+        docs.iter().map(|d| self.transform(d.as_ref())).collect()
+    }
+
+    /// Feature-space dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Id of a (post-processing) term, if in vocabulary. Intended for tests.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.term_to_id.get(term).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "i feel so hopeless and empty today",
+            "i feel hopeless about everything",
+            "great day at the beach with friends",
+            "wonderful sunny day today",
+            "i cannot sleep and feel empty",
+        ]
+    }
+
+    fn cfg() -> TfidfConfig {
+        TfidfConfig { min_df: 1, max_features: 0, ngram_max: 1, stem: false, remove_stopwords: true, sublinear_tf: false }
+    }
+
+    #[test]
+    fn fit_builds_vocabulary() {
+        let v = TfidfVectorizer::fit(&corpus(), cfg());
+        assert!(v.n_features() > 5);
+        assert!(v.term_id("hopeless").is_some());
+        assert!(v.term_id("the").is_none(), "stopwords removed");
+    }
+
+    #[test]
+    fn transform_is_unit_norm() {
+        let v = TfidfVectorizer::fit(&corpus(), cfg());
+        let x = v.transform("i feel hopeless");
+        assert!((x.l2_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rare_terms_have_higher_idf_weight() {
+        let v = TfidfVectorizer::fit(&corpus(), cfg());
+        // "beach" appears once, "feel" four times: in a doc containing both,
+        // the rare term carries more weight.
+        let x = v.transform("feel beach");
+        let w_feel = x.get(v.term_id("feel").unwrap());
+        let w_beach = x.get(v.term_id("beach").unwrap());
+        assert!(w_beach > w_feel, "beach={w_beach} feel={w_feel}");
+    }
+
+    #[test]
+    fn min_df_prunes() {
+        let mut c = cfg();
+        c.min_df = 2;
+        let v = TfidfVectorizer::fit(&corpus(), c);
+        assert!(v.term_id("beach").is_none());
+        assert!(v.term_id("hopeless").is_some());
+    }
+
+    #[test]
+    fn max_features_truncates_by_df() {
+        let mut c = cfg();
+        c.max_features = 2;
+        let v = TfidfVectorizer::fit(&corpus(), c);
+        assert_eq!(v.n_features(), 2);
+        assert!(v.term_id("feel").is_some(), "most frequent term kept");
+    }
+
+    #[test]
+    fn bigrams_included_when_configured() {
+        let mut c = cfg();
+        c.ngram_max = 2;
+        let v = TfidfVectorizer::fit(&corpus(), c);
+        assert!(v.term_id("feel_hopeless").is_some());
+    }
+
+    #[test]
+    fn stemming_folds_variants() {
+        let docs = vec!["sleeping badly", "sleeps badly", "sleep badly"];
+        let mut c = cfg();
+        c.stem = true;
+        let v = TfidfVectorizer::fit(&docs, c);
+        assert!(v.term_id("sleep").is_some());
+        assert!(v.term_id("sleeping").is_none());
+    }
+
+    #[test]
+    fn oov_transform_is_empty() {
+        let v = TfidfVectorizer::fit(&corpus(), cfg());
+        let x = v.transform("zzz qqq www");
+        assert!(x.is_empty());
+    }
+}

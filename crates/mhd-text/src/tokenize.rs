@@ -1,0 +1,298 @@
+//! Social-media-aware tokenization.
+//!
+//! The tokenizer recognizes the surface forms that dominate Reddit/Twitter
+//! style text: URLs, @-mentions, #hashtags, emoticons, contractions, numbers
+//! and plain words. Each token carries a [`TokenKind`] so downstream feature
+//! extractors can treat them differently (e.g. the TF-IDF vectorizer keeps
+//! words and hashtags but drops URLs).
+
+/// The class of surface form a token was recognized as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An alphabetic word, possibly containing internal apostrophes
+    /// (`don't`, `i'm`).
+    Word,
+    /// A number (`42`, `3.5`).
+    Number,
+    /// A URL (`https://…`, `www.…`).
+    Url,
+    /// An @-mention (`@someone`).
+    Mention,
+    /// A #hashtag (`#anxiety`).
+    Hashtag,
+    /// An ASCII emoticon (`:)`, `:-(`, `;_;`).
+    Emoticon,
+    /// Punctuation run (`!!!`, `...`).
+    Punct,
+}
+
+/// A token: its normalized text plus the [`TokenKind`] it was lexed as.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Normalized token text (lowercased for words/hashtags/mentions).
+    pub text: String,
+    /// Surface-form class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(text: impl Into<String>, kind: TokenKind) -> Self {
+        Token { text: text.into(), kind }
+    }
+
+    /// Whether this token should participate in lexical feature extraction.
+    pub fn is_lexical(&self) -> bool {
+        matches!(self.kind, TokenKind::Word | TokenKind::Hashtag | TokenKind::Emoticon)
+    }
+}
+
+const EMOTICONS: &[&str] = &[
+    ":)", ":-)", ":(", ":-(", ":'(", ":D", ":-D", ";)", ";-)", ":/", ":-/", ":|", ":p", ":P",
+    "<3", "</3", ":o", ":O", ";_;", "T_T", "^_^", "-_-", "xD", "XD", ":c", ":C",
+];
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphabetic() || c == '\''
+}
+
+fn starts_url(s: &str) -> bool {
+    s.starts_with("http://") || s.starts_with("https://") || s.starts_with("www.")
+}
+
+/// Tokenize `text` into a sequence of [`Token`]s.
+///
+/// Words, hashtags and mentions are lowercased; URLs are replaced by the
+/// sentinel `<url>` so that feature spaces do not explode on unique links.
+///
+/// ```
+/// use mhd_text::tokenize::{tokenize, TokenKind};
+/// let toks = tokenize("I can't sleep :( #insomnia https://example.com");
+/// assert_eq!(toks[0].text, "i");
+/// assert_eq!(toks[1].text, "can't");
+/// assert!(toks.iter().any(|t| t.kind == TokenKind::Emoticon));
+/// assert!(toks.iter().any(|t| t.text == "#insomnia"));
+/// assert!(toks.iter().any(|t| t.text == "<url>"));
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(text.len() / 5 + 4);
+    // Work on whitespace-separated chunks first: URLs, mentions, hashtags and
+    // emoticons are whole-chunk phenomena.
+    for chunk in text.split_whitespace() {
+        if starts_url(chunk) {
+            tokens.push(Token::new("<url>", TokenKind::Url));
+            continue;
+        }
+        // Exact emoticon chunks, or chunks with trailing punctuation stripped.
+        let trimmed = chunk.trim_end_matches(['.', ',']);
+        if EMOTICONS.contains(&trimmed) {
+            tokens.push(Token::new(trimmed, TokenKind::Emoticon));
+            continue;
+        }
+        if let Some(rest) = chunk.strip_prefix('@') {
+            let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !name.is_empty() {
+                tokens.push(Token::new(format!("@{}", name.to_lowercase()), TokenKind::Mention));
+                lex_inline(&chunk[1 + name.len()..], &mut tokens);
+                continue;
+            }
+        }
+        if let Some(rest) = chunk.strip_prefix('#') {
+            let name: String = rest.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+            if !name.is_empty() {
+                tokens.push(Token::new(format!("#{}", name.to_lowercase()), TokenKind::Hashtag));
+                lex_inline(&chunk[1 + name.len()..], &mut tokens);
+                continue;
+            }
+        }
+        lex_inline(chunk, &mut tokens);
+    }
+    tokens
+}
+
+/// Lex a chunk character-by-character into words / numbers / punctuation.
+fn lex_inline(chunk: &str, out: &mut Vec<Token>) {
+    let chars: Vec<char> = chunk.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if is_word_char(c) {
+            let start = i;
+            while i < chars.len() && is_word_char(chars[i]) {
+                i += 1;
+            }
+            let word: String = chars[start..i]
+                .iter()
+                .collect::<String>()
+                .trim_matches('\'')
+                .to_lowercase();
+            if !word.is_empty() {
+                out.push(Token::new(word, TokenKind::Word));
+            }
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.' || chars[i] == ',') {
+                i += 1;
+            }
+            let num: String = chars[start..i].iter().collect();
+            out.push(Token::new(num.trim_end_matches(['.', ',']), TokenKind::Number));
+        } else if c.is_ascii_punctuation() {
+            let start = i;
+            while i < chars.len() && chars[i] == c {
+                i += 1;
+            }
+            let run_len = i - start;
+            // Collapse long runs ("!!!!!!" → "!!!") to bound the feature space.
+            let reps = run_len.min(3);
+            let punct: String = std::iter::repeat_n(c, reps).collect();
+            out.push(Token::new(punct, TokenKind::Punct));
+        } else {
+            i += 1; // Skip anything else (unicode symbols, emoji bytes, …).
+        }
+    }
+}
+
+/// Split text into sentences on `.`, `!`, `?` and newlines, keeping the
+/// terminator attached. Abbreviation handling is intentionally simple; the
+/// synthetic corpus does not generate abbreviation-final sentences.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'.' || b == b'!' || b == b'?' || b == b'\n' {
+            // Consume a run of terminators.
+            let mut j = i + 1;
+            while j < bytes.len() && matches!(bytes[j], b'.' | b'!' | b'?' | b'\n') {
+                j += 1;
+            }
+            let s = text[start..j].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            start = j;
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+/// Convenience: lexical word strings only (words, hashtags, emoticons).
+pub fn words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(Token::is_lexical)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_words_lowercased() {
+        let t = tokenize("Hello World");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].text, "hello");
+        assert_eq!(t[1].text, "world");
+        assert!(t.iter().all(|t| t.kind == TokenKind::Word));
+    }
+
+    #[test]
+    fn contractions_kept_whole() {
+        let t = tokenize("I can't won't don't");
+        let texts: Vec<_> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["i", "can't", "won't", "don't"]);
+    }
+
+    #[test]
+    fn urls_become_sentinel() {
+        let t = tokenize("see https://reddit.com/r/depression now");
+        assert_eq!(t[1].text, "<url>");
+        assert_eq!(t[1].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn www_urls_recognized() {
+        let t = tokenize("www.example.com");
+        assert_eq!(t[0].kind, TokenKind::Url);
+    }
+
+    #[test]
+    fn mentions_and_hashtags() {
+        let t = tokenize("@Friend check #MentalHealth");
+        assert_eq!(t[0].text, "@friend");
+        assert_eq!(t[0].kind, TokenKind::Mention);
+        assert_eq!(t[2].text, "#mentalhealth");
+        assert_eq!(t[2].kind, TokenKind::Hashtag);
+    }
+
+    #[test]
+    fn emoticons_detected() {
+        let t = tokenize("feeling sad :( today");
+        assert!(t.iter().any(|t| t.kind == TokenKind::Emoticon && t.text == ":("));
+    }
+
+    #[test]
+    fn emoticon_with_trailing_period() {
+        let t = tokenize("it hurts :(.");
+        assert!(t.iter().any(|t| t.kind == TokenKind::Emoticon));
+    }
+
+    #[test]
+    fn numbers_lexed() {
+        let t = tokenize("slept 3 hours");
+        assert_eq!(t[1].text, "3");
+        assert_eq!(t[1].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn punct_runs_collapsed() {
+        let t = tokenize("why!!!!!!");
+        let p = t.iter().find(|t| t.kind == TokenKind::Punct).unwrap();
+        assert_eq!(p.text, "!!!");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn sentences_split() {
+        let s = sentences("I am tired. I cannot sleep! Why?");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], "I am tired.");
+        assert_eq!(s[2], "Why?");
+    }
+
+    #[test]
+    fn sentences_handle_ellipsis_and_tail() {
+        let s = sentences("I tried... it failed. and then");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[2], "and then");
+    }
+
+    #[test]
+    fn words_filters_nonlexical() {
+        let w = words("check https://x.com @me 42 !!");
+        assert_eq!(w, vec!["check"]);
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let t = tokenize("café naïve");
+        assert_eq!(t[0].text, "café");
+        assert_eq!(t[1].text, "naïve");
+    }
+}

@@ -1,0 +1,134 @@
+//! Vocabulary construction: token ↔ id mapping with frequency cutoffs.
+
+use std::collections::HashMap;
+
+/// A fitted vocabulary mapping token strings to dense ids.
+///
+/// Ids are assigned in descending frequency order (ties broken
+/// lexicographically) so that id 0 is always the most frequent token —
+/// useful for capability-truncated feature views in the LLM simulator.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocabulary {
+    /// Build a vocabulary from an iterator of documents (each a token slice),
+    /// keeping tokens that appear at least `min_count` times, capped at
+    /// `max_size` tokens (0 = unlimited).
+    pub fn fit<'a, I, D>(docs: I, min_count: u64, max_size: usize) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: IntoIterator<Item = &'a str>,
+    {
+        let mut freq: HashMap<String, u64> = HashMap::new();
+        for doc in docs {
+            for tok in doc {
+                *freq.entry(tok.to_string()).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(String, u64)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        // Descending count, then lexicographic for determinism.
+        items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        if max_size > 0 {
+            items.truncate(max_size);
+        }
+        let mut token_to_id = HashMap::with_capacity(items.len());
+        let mut id_to_token = Vec::with_capacity(items.len());
+        let mut counts = Vec::with_capacity(items.len());
+        for (id, (tok, c)) in items.into_iter().enumerate() {
+            token_to_id.insert(tok.clone(), id as u32);
+            id_to_token.push(tok);
+            counts.push(c);
+        }
+        Vocabulary { token_to_id, id_to_token, counts }
+    }
+
+    /// Id for `token`, if in vocabulary.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// Token string for `id`, if valid.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.id_to_token.get(id as usize).map(String::as_str)
+    }
+
+    /// Training-corpus frequency of `id`.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Iterate tokens in id order.
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.id_to_token.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["sad", "sad", "tired"],
+            vec!["sad", "alone"],
+            vec!["tired", "alone", "alone"],
+        ]
+    }
+
+    #[test]
+    fn ids_by_descending_frequency() {
+        let v = Vocabulary::fit(docs().iter().map(|d| d.iter().copied()), 1, 0);
+        assert_eq!(v.len(), 3);
+        // "sad" and "alone" both appear 3 times; tie broken lexicographically.
+        assert_eq!(v.token(0), Some("alone"));
+        assert_eq!(v.token(1), Some("sad"));
+        assert_eq!(v.token(2), Some("tired"));
+        assert_eq!(v.count(2), 2);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let v = Vocabulary::fit(docs().iter().map(|d| d.iter().copied()), 3, 0);
+        assert_eq!(v.len(), 2);
+        assert!(v.id("tired").is_none());
+    }
+
+    #[test]
+    fn max_size_truncates() {
+        let v = Vocabulary::fit(docs().iter().map(|d| d.iter().copied()), 1, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.token(0), Some("alone"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let v = Vocabulary::fit(docs().iter().map(|d| d.iter().copied()), 1, 0);
+        for id in 0..v.len() as u32 {
+            let tok = v.token(id).unwrap();
+            assert_eq!(v.id(tok), Some(id));
+        }
+        assert!(v.id("unknown").is_none());
+        assert!(v.token(99).is_none());
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let v = Vocabulary::fit(Vec::<Vec<&str>>::new(), 1, 0);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Prompt lab: watch how prompting strategy and model choice change the raw
+//! completion for the same post — including CoT reasoning traces, format
+//! drift on small models, and the occasional refusal.
+//!
+//! Run with: `cargo run --release --example prompt_lab`
+
+use mhd::core::methods::SharedClient;
+use mhd::corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd::corpus::Split;
+use mhd::llm::client::ChatRequest;
+use mhd::prompts::output::parse_label;
+use mhd::prompts::select::{DemoSelector, SelectorKind};
+use mhd::prompts::template::build_prompt;
+use mhd::prompts::Strategy;
+
+fn main() {
+    let config = BuildConfig { seed: 3, scale: 0.2, label_noise: None };
+    let dataset = build_dataset(DatasetId::SdcnlS, &config);
+    let client = SharedClient::new(1234);
+
+    // A few-shot demonstration pool from the training split.
+    let train = dataset.split(Split::Train);
+    let selector = DemoSelector::new(
+        SelectorKind::Stratified,
+        train.iter().map(|e| e.text.clone()).collect(),
+        train.iter().map(|e| dataset.task.labels[e.label].to_string()).collect(),
+        99,
+    );
+
+    let example = &dataset.split(Split::Test)[1];
+    let gold = dataset.task.labels[example.label];
+    println!("post  : {}", example.text);
+    println!("gold  : {gold}\n");
+
+    let strategies = [
+        Strategy::ZeroShot,
+        Strategy::ZeroShotCot,
+        Strategy::FewShot(2),
+        Strategy::EmotionEnhanced,
+        Strategy::Persona,
+    ];
+    for model in ["sim-llama-7b", "sim-gpt-4"] {
+        println!("================ {model} ================");
+        for strategy in strategies {
+            let demos = selector.select(&example.text, example.id, strategy.shots());
+            let prompt = build_prompt(&dataset.task, strategy, &example.text, &demos);
+            let req = ChatRequest {
+                model: model.into(),
+                prompt,
+                temperature: 0.0,
+                seed: example.id,
+            };
+            let resp = client.borrow().complete(&req).expect("completion");
+            let (parsed, how) = parse_label(&resp.text, &dataset.task.labels);
+            let verdict = match parsed {
+                Some(i) if dataset.task.labels[i] == gold => "✓",
+                Some(_) => "✗",
+                None => "?",
+            };
+            println!("[{:<18}] {} ({how:?})", strategy.name(), verdict);
+            println!("    {}", resp.text);
+        }
+        println!();
+    }
+}

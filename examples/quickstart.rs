@@ -1,0 +1,59 @@
+//! Quickstart: build a benchmark dataset, prompt a simulated LLM, and score
+//! it against a trained classical baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mhd::core::methods::{make_detector, ClassicalKind, MethodSpec, SharedClient};
+use mhd::core::pipeline::evaluate;
+use mhd::corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd::corpus::Split;
+use mhd::prompts::Strategy;
+
+fn main() {
+    // 1. Build the SDCNL-style suicide-vs-depression dataset (quarter size).
+    let config = BuildConfig { seed: 42, scale: 0.25, label_noise: None };
+    let dataset = build_dataset(DatasetId::SdcnlS, &config);
+    println!(
+        "dataset {}: {} posts, labels {:?}",
+        dataset.name,
+        dataset.examples.len(),
+        dataset.task.labels
+    );
+
+    // 2. Shared simulated-LLM service (deterministic, cached).
+    let client = SharedClient::new(1234);
+
+    // 3. Evaluate three methods on the test split.
+    let methods = [
+        MethodSpec::Classical(ClassicalKind::LogReg),
+        MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+        MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::FewShot(4) },
+    ];
+    println!("\n{:<28} {:>9} {:>12}", "method", "accuracy", "weighted_f1");
+    for spec in &methods {
+        let mut det = make_detector(spec, &client);
+        let r = evaluate(det.as_mut(), &dataset, Split::Test);
+        println!(
+            "{:<28} {:>9.3} {:>12.3}",
+            r.method, r.metrics.accuracy, r.metrics.weighted_f1
+        );
+    }
+
+    // 4. Show one raw prompt/completion exchange — the honest interface.
+    let post = &dataset.split(Split::Test)[0].text;
+    let prompt = mhd::prompts::template::build_prompt(
+        &dataset.task,
+        Strategy::ZeroShot,
+        post,
+        &[],
+    );
+    let resp = client
+        .borrow()
+        .complete(&mhd::llm::client::ChatRequest::new("sim-gpt-4", prompt.clone()))
+        .expect("completion");
+    println!("\n--- prompt ---------------------------------------------------");
+    println!("{prompt}");
+    println!("--- completion ({} tokens, ${:.5}) ----------------------------",
+        resp.usage.completion_tokens, resp.cost_usd);
+    println!("{}", resp.text);
+}

@@ -1,0 +1,27 @@
+//! # mhd — LLMs for mental health disorder detection on social media
+//!
+//! A complete, self-contained Rust reproduction of the benchmark
+//! methodology surveyed in *"A Survey of Large Language Models in Mental
+//! Health Disorder Detection on Social Media"* (ICDE 2025): synthetic
+//! social-media datasets, classical and neural baselines, a simulated
+//! prompt-driven LLM runtime with fine-tuning, and the full experiment
+//! suite (tables T1–T6, figures F1–F5).
+//!
+//! This facade crate re-exports the subsystem crates; see the README for a
+//! guided tour and `examples/quickstart.rs` for a first run.
+
+pub use mhd_core as core;
+pub use mhd_corpus as corpus;
+pub use mhd_eval as eval;
+pub use mhd_llm as llm;
+pub use mhd_models as models;
+pub use mhd_nn as nn;
+pub use mhd_prompts as prompts;
+pub use mhd_text as text;
+
+pub use mhd_core::experiments::ExperimentConfig;
+pub use mhd_core::methods::{make_detector, MethodSpec, SharedClient};
+pub use mhd_core::pipeline::{evaluate, EvalResult};
+pub use mhd_core::report::{full_report, Artifact};
+pub use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+pub use mhd_prompts::Strategy;

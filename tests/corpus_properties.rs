@@ -1,0 +1,130 @@
+//! Property-based and structural tests for the synthetic corpus.
+
+use mhd::corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd::corpus::generator::{Generator, PostSpec, Style};
+use mhd::corpus::perturb::Perturbation;
+use mhd::corpus::taxonomy::{Disorder, Severity};
+use mhd::corpus::Split;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any dataset builds a structurally valid corpus for any seed.
+    #[test]
+    fn any_seed_builds_valid_dataset(seed in 0u64..10_000, idx in 0usize..7) {
+        let id = DatasetId::ALL[idx];
+        let cfg = BuildConfig { seed, scale: 0.05, label_noise: None };
+        let d = build_dataset(id, &cfg);
+        // Labels in range, ids unique, every split non-empty.
+        let mut ids: Vec<u64> = d.examples.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), d.examples.len(), "duplicate example ids");
+        for e in &d.examples {
+            prop_assert!(e.label < d.task.n_classes());
+            prop_assert!(e.true_label < d.task.n_classes());
+            prop_assert!(!e.text.is_empty());
+        }
+        for s in Split::ALL {
+            prop_assert!(d.split_len(s) > 0, "split {} empty", s.name());
+        }
+    }
+
+    /// The generator is total over its spec space.
+    #[test]
+    fn generator_total(
+        seed in 0u64..50_000,
+        d_idx in 0usize..8,
+        s_idx in 0usize..4,
+        tweet in proptest::bool::ANY,
+    ) {
+        let spec = PostSpec {
+            disorder: Disorder::ALL[d_idx],
+            severity: Severity::ALL[s_idx],
+            secondary: None,
+            style: if tweet { Style::Tweet } else { Style::RedditPost },
+        };
+        let g = Generator::new();
+        let text = g.generate(&spec, &mut StdRng::seed_from_u64(seed));
+        prop_assert!(!text.trim().is_empty());
+        prop_assert!(text.split_whitespace().count() >= 1);
+    }
+
+    /// Perturbations are total over generated posts and all rates.
+    #[test]
+    fn perturbations_total(seed in 0u64..10_000, rate in 0.0f64..1.0, p_idx in 0usize..5) {
+        let g = Generator::new();
+        let text = g.generate(
+            &PostSpec::simple(Disorder::Stress),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let p = Perturbation::ALL[p_idx];
+        let out = p.apply(&text, rate, seed);
+        prop_assert!(!out.trim().is_empty());
+    }
+
+    /// Label noise override is respected at 0 and bounded at high rates.
+    #[test]
+    fn noise_override(seed in 0u64..1_000) {
+        let clean = build_dataset(
+            DatasetId::SdcnlS,
+            &BuildConfig { seed, scale: 0.05, label_noise: Some(0.0) },
+        );
+        prop_assert_eq!(clean.label_noise_rate(), 0.0);
+        for e in &clean.examples {
+            prop_assert_eq!(e.label, e.true_label);
+        }
+    }
+}
+
+#[test]
+fn splits_are_stratified() {
+    // Every class appears in every split at default sizes.
+    let d = build_dataset(DatasetId::SwmhS, &BuildConfig { seed: 42, scale: 0.3, label_noise: None });
+    for s in Split::ALL {
+        let mut seen = vec![false; d.task.n_classes()];
+        for e in d.split(s) {
+            seen[e.true_label] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "split {} missing a class", s.name());
+    }
+}
+
+#[test]
+fn class_signal_is_learnable_but_overlapping() {
+    // The suicide-vs-depression pair must overlap lexically (the hard-pair
+    // property): a depression post should still contain mostly shared
+    // vocabulary, with death-category words as the separator.
+    use mhd::text::lexicon::{Lexicon, LexiconCategory};
+    use mhd::text::tokenize::words;
+    let g = Generator::new();
+    let lex = Lexicon::standard();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut dep_death = 0u32;
+    let mut si_death = 0u32;
+    let mut dep_sad = 0u32;
+    let mut si_sad = 0u32;
+    for _ in 0..60 {
+        let dep = g.generate(&PostSpec::simple(Disorder::Depression), &mut rng);
+        let si = g.generate(&PostSpec::simple(Disorder::SuicidalIdeation), &mut rng);
+        let pd = lex.profile(&words(&dep));
+        let ps = lex.profile(&words(&si));
+        dep_death += pd.count(LexiconCategory::Death);
+        si_death += ps.count(LexiconCategory::Death);
+        dep_sad += pd.count(LexiconCategory::Sadness);
+        si_sad += ps.count(LexiconCategory::Sadness);
+    }
+    assert!(si_death > dep_death * 3, "death language separates: dep {dep_death} si {si_death}");
+    assert!(si_sad * 3 > dep_sad, "sadness language shared: dep {dep_sad} si {si_sad}");
+}
+
+#[test]
+fn dataset_sizes_scale_proportionally() {
+    let small = build_dataset(DatasetId::TsidS, &BuildConfig { seed: 1, scale: 0.25, label_noise: None });
+    let full = build_dataset(DatasetId::TsidS, &BuildConfig { seed: 1, scale: 1.0, label_noise: None });
+    let ratio = full.examples.len() as f64 / small.examples.len() as f64;
+    assert!((ratio - 4.0).abs() < 0.3, "scale ratio {ratio}");
+}

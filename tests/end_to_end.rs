@@ -1,0 +1,100 @@
+//! Full-pipeline integration tests: artifact generation, determinism and
+//! report assembly across every crate.
+
+use mhd::core::experiments::ExperimentConfig;
+use mhd::core::report::{full_report, Artifact};
+use mhd::eval::table::Table;
+
+fn tiny() -> ExperimentConfig {
+    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+}
+
+fn generate(a: Artifact) -> Table {
+    a.generate(&tiny())
+}
+
+#[test]
+fn every_artifact_generates_rows() {
+    for a in Artifact::ALL {
+        let t = generate(a);
+        assert!(t.n_rows() > 0, "{} produced no rows", a.name());
+        assert!(!t.headers.is_empty());
+        // All rows have header arity (Table enforces on push; re-check).
+        for row in t.rows() {
+            assert_eq!(row.len(), t.headers.len());
+        }
+    }
+}
+
+#[test]
+fn artifacts_are_deterministic() {
+    // The whole benchmark is seeded: re-generating any artifact must give
+    // byte-identical output.
+    for a in [Artifact::T1, Artifact::T3, Artifact::F2] {
+        let x = generate(a).to_csv();
+        let y = generate(a).to_csv();
+        assert_eq!(x, y, "{} not deterministic", a.name());
+    }
+}
+
+#[test]
+fn different_seed_changes_results_not_structure() {
+    let a = Artifact::T3.generate(&tiny());
+    let b = Artifact::T3.generate(&ExperimentConfig { seed: 7, scale: 0.06, pretrain_seed: 1234 });
+    assert_eq!(a.n_rows(), b.n_rows());
+    assert_eq!(a.headers, b.headers);
+    assert_ne!(a.to_csv(), b.to_csv(), "different seeds must change numbers");
+}
+
+#[test]
+fn t2_covers_full_roster() {
+    use mhd::core::experiments::t2_methods;
+    let t = Artifact::T2.generate(&tiny());
+    let n_methods = t2_methods().len();
+    assert_eq!(t.n_rows(), n_methods * 7, "methods × datasets");
+}
+
+#[test]
+fn t3_covers_all_strategies() {
+    let t = generate(Artifact::T3);
+    // 3 models × 6 strategies × 4 datasets.
+    assert_eq!(t.n_rows(), 3 * 6 * 4);
+    let csv = t.to_csv();
+    for s in ["zero_shot", "zero_shot_cot", "few_shot_k4", "few_shot_cot_k4", "emotion_enhanced", "persona"] {
+        assert!(csv.contains(s), "missing strategy {s}");
+    }
+}
+
+#[test]
+fn f1_has_five_points_per_dataset() {
+    let t = generate(Artifact::F1);
+    assert_eq!(t.n_rows(), 5 * 7);
+}
+
+#[test]
+fn f2_sweeps_k() {
+    let t = generate(Artifact::F2);
+    assert_eq!(t.n_rows(), 2 * 6 * 4, "models × k values × datasets");
+}
+
+#[test]
+fn full_report_renders_all_sections() {
+    let report = full_report(&tiny());
+    for a in Artifact::ALL {
+        let title_tag = format!("{}:", a.name().to_uppercase());
+        assert!(report.contains(&title_tag), "report missing section {title_tag}");
+    }
+    assert!(report.len() > 4_000, "report suspiciously short: {} bytes", report.len());
+}
+
+#[test]
+fn csv_and_markdown_agree_on_content() {
+    let t = generate(Artifact::T6);
+    let csv = t.to_csv();
+    let md = t.to_markdown();
+    // Every model name present in both renderings.
+    for model in ["sim-llama-7b", "sim-gpt-4"] {
+        assert!(csv.contains(model));
+        assert!(md.contains(model));
+    }
+}

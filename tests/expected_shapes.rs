@@ -1,0 +1,162 @@
+//! The benchmark's headline *shape* assertions (DESIGN.md §4): the
+//! qualitative findings the survey reports must emerge from the system.
+//! Absolute numbers are not asserted — only orderings and trends.
+
+use mhd::core::methods::{make_detector, ClassicalKind, MethodSpec, SharedClient};
+use mhd::core::pipeline::evaluate;
+use mhd::corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd::corpus::{Dataset, Split};
+use mhd::prompts::Strategy;
+
+const SCALE: f64 = 0.25;
+
+fn dataset(id: DatasetId) -> Dataset {
+    build_dataset(id, &BuildConfig { seed: 42, scale: SCALE, label_noise: None })
+}
+
+fn wf1(spec: &MethodSpec, client: &SharedClient, d: &Dataset) -> f64 {
+    let mut det = make_detector(spec, client);
+    evaluate(det.as_mut(), d, Split::Test).metrics.weighted_f1
+}
+
+fn zs(model: &str) -> MethodSpec {
+    MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot }
+}
+
+/// Mean zero-shot weighted F1 over several datasets for one model.
+fn mean_zs_wf1(model: &str, client: &SharedClient, datasets: &[Dataset]) -> f64 {
+    let total: f64 = datasets.iter().map(|d| wf1(&zs(model), client, d)).sum();
+    total / datasets.len() as f64
+}
+
+#[test]
+fn scale_ordering_holds_on_average() {
+    // Bigger models win zero-shot, averaged across the benchmark.
+    let client = SharedClient::new(1234);
+    let datasets: Vec<Dataset> = [
+        DatasetId::DreadditS,
+        DatasetId::SdcnlS,
+        DatasetId::SwmhS,
+        DatasetId::TsidS,
+    ]
+    .into_iter()
+    .map(dataset)
+    .collect();
+    let f7 = mean_zs_wf1("sim-llama-7b", &client, &datasets);
+    let f70 = mean_zs_wf1("sim-llama-70b", &client, &datasets);
+    let f4 = mean_zs_wf1("sim-gpt-4", &client, &datasets);
+    assert!(f7 < f70, "7b {f7:.3} !< 70b {f70:.3}");
+    assert!(f70 <= f4 + 0.02, "70b {f70:.3} should not beat gpt-4 {f4:.3} by much");
+    assert!(f4 > f7 + 0.05, "gpt-4 {f4:.3} must clearly beat 7b {f7:.3}");
+}
+
+#[test]
+fn trained_baselines_beat_zero_shot_llms_on_most_tasks() {
+    // The survey's headline finding: supervised discriminative models still
+    // beat zero-shot LLMs on a majority of the tasks.
+    let client = SharedClient::new(1234);
+    let mut wins = 0;
+    let mut total = 0;
+    for id in [DatasetId::DreadditS, DatasetId::SdcnlS, DatasetId::SwmhS, DatasetId::TsidS] {
+        let d = dataset(id);
+        let logreg = wf1(&MethodSpec::Classical(ClassicalKind::LogReg), &client, &d);
+        let gpt4 = wf1(&zs("sim-gpt-4"), &client, &d);
+        total += 1;
+        if logreg > gpt4 {
+            wins += 1;
+        }
+    }
+    assert!(wins * 2 >= total, "logreg should win on at least half the tasks ({wins}/{total})");
+}
+
+#[test]
+fn few_shot_helps_over_zero_shot() {
+    let client = SharedClient::new(1234);
+    let datasets: Vec<Dataset> =
+        [DatasetId::SdcnlS, DatasetId::SwmhS, DatasetId::DreadditS].into_iter().map(dataset).collect();
+    let model = "sim-gpt-3.5";
+    let zero: f64 = datasets.iter().map(|d| wf1(&zs(model), &client, d)).sum();
+    let few: f64 = datasets
+        .iter()
+        .map(|d| {
+            wf1(
+                &MethodSpec::Llm { model: model.into(), strategy: Strategy::FewShot(8) },
+                &client,
+                d,
+            )
+        })
+        .sum();
+    assert!(few >= zero - 0.02, "few-shot {few:.3} must not lose to zero-shot {zero:.3}");
+}
+
+#[test]
+fn cot_helps_large_models_more_than_small() {
+    let client = SharedClient::new(1234);
+    let datasets: Vec<Dataset> =
+        [DatasetId::SdcnlS, DatasetId::SwmhS, DatasetId::DreadditS, DatasetId::TsidS]
+            .into_iter()
+            .map(dataset)
+            .collect();
+    let gain = |model: &str| -> f64 {
+        datasets
+            .iter()
+            .map(|d| {
+                let cot = wf1(
+                    &MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShotCot },
+                    &client,
+                    d,
+                );
+                cot - wf1(&zs(model), &client, d)
+            })
+            .sum::<f64>()
+            / datasets.len() as f64
+    };
+    let small = gain("sim-llama-7b");
+    let large = gain("sim-gpt-4");
+    assert!(large > small, "CoT gain: gpt-4 {large:+.3} must exceed llama-7b {small:+.3}");
+}
+
+#[test]
+fn finetuning_beats_zero_shot_of_same_model() {
+    let client = SharedClient::new(1234);
+    for id in [DatasetId::SdcnlS, DatasetId::DreadditS] {
+        let d = dataset(id);
+        let zero = wf1(&zs("sim-llama-7b"), &client, &d);
+        let ft = wf1(
+            &MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
+            &client,
+            &d,
+        );
+        assert!(ft > zero, "{}: fine-tuned {ft:.3} must beat zero-shot {zero:.3}", d.name);
+    }
+}
+
+#[test]
+fn majority_floor_is_lowest_reasonable_method() {
+    let client = SharedClient::new(1234);
+    let d = dataset(DatasetId::SwmhS);
+    let majority = wf1(&MethodSpec::Classical(ClassicalKind::Majority), &client, &d);
+    for spec in [
+        MethodSpec::Classical(ClassicalKind::NaiveBayes),
+        MethodSpec::Classical(ClassicalKind::LogReg),
+        zs("sim-gpt-4"),
+    ] {
+        let f = wf1(&spec, &client, &d);
+        assert!(f > majority, "{} ({f:.3}) must beat majority ({majority:.3})", spec.name());
+    }
+}
+
+#[test]
+fn small_models_fail_format_more_often() {
+    // Parse-rate ordering: the 7b chat model drifts from the requested
+    // format more than the API-polished models.
+    let client = SharedClient::new(1234);
+    let d = dataset(DatasetId::SwmhS);
+    let parse_rate = |model: &str| {
+        let mut det = make_detector(&zs(model), &client);
+        evaluate(det.as_mut(), &d, Split::Test).parse_rate()
+    };
+    let small = parse_rate("sim-llama-7b");
+    let large = parse_rate("sim-gpt-4");
+    assert!(large >= small, "gpt-4 parse rate {large:.3} must be ≥ llama-7b {small:.3}");
+}

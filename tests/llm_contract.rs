@@ -1,0 +1,135 @@
+//! Contract tests for the simulated LLM API: the invariants a caller may
+//! rely on, plus fuzzing of the prompt parser and output parser.
+
+use mhd::llm::client::{ChatRequest, LlmClient, LlmError};
+use mhd::llm::parse::parse_prompt;
+use mhd::prompts::output::parse_label;
+use proptest::prelude::*;
+
+fn client() -> LlmClient {
+    LlmClient::new(1234)
+}
+
+#[test]
+fn identical_requests_identical_responses() {
+    let c = client();
+    let req = ChatRequest {
+        model: "sim-gpt-3.5".into(),
+        prompt: "Options: a, b\nPost: i feel sad today\nAnswer:".into(),
+        temperature: 0.7,
+        seed: 99,
+    };
+    let r1 = c.complete(&req).expect("ok");
+    let r2 = c.complete(&req).expect("ok");
+    assert_eq!(r1.text, r2.text);
+    assert_eq!(r1.usage, r2.usage);
+}
+
+#[test]
+fn two_fresh_clients_agree() {
+    // Same pretrain seed → identical service behaviour across processes.
+    let req = ChatRequest::new(
+        "sim-gpt-4",
+        "Options: control, depression\nPost: i feel hopeless and empty\nAnswer:",
+    );
+    let a = client().complete(&req).expect("ok");
+    let b = client().complete(&req).expect("ok");
+    assert_eq!(a.text, b.text);
+}
+
+#[test]
+fn usage_accounts_prompt_and_completion() {
+    let c = client();
+    let short = c
+        .complete(&ChatRequest::new("sim-gpt-4", "Options: a, b\nPost: hi\nAnswer:"))
+        .expect("ok");
+    let long_post = "word ".repeat(300);
+    let long = c
+        .complete(&ChatRequest::new(
+            "sim-gpt-4",
+            format!("Options: a, b\nPost: {long_post}\nAnswer:"),
+        ))
+        .expect("ok");
+    assert!(long.usage.prompt_tokens > short.usage.prompt_tokens);
+    assert!(long.cost_usd > short.cost_usd);
+}
+
+#[test]
+fn all_zoo_models_complete() {
+    let c = client();
+    for model in c.model_names() {
+        let req = ChatRequest::new(
+            model.clone(),
+            "Options: control, depression\nPost: i feel sad\nAnswer:",
+        );
+        let r = c.complete(&req).unwrap_or_else(|e| panic!("{model}: {e}"));
+        assert!(!r.text.is_empty(), "{model} returned empty completion");
+    }
+}
+
+#[test]
+fn unknown_model_and_overflow_are_errors() {
+    let c = client();
+    assert!(matches!(
+        c.complete(&ChatRequest::new("no-such-model", "hi")),
+        Err(LlmError::UnknownModel(_))
+    ));
+    let huge = "w ".repeat(40_000);
+    assert!(matches!(
+        c.complete(&ChatRequest::new("sim-llama-7b", huge)),
+        Err(LlmError::ContextOverflow { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The prompt parser is total.
+    #[test]
+    fn prompt_parser_total(input in "\\PC{0,400}") {
+        let parsed = parse_prompt(&input);
+        // Labels, demos and query never alias garbage.
+        for l in &parsed.labels {
+            prop_assert!(!l.is_empty());
+        }
+    }
+
+    /// The completion parser is total and in-range.
+    #[test]
+    fn output_parser_total(input in "\\PC{0,200}") {
+        let labels = ["depression", "anxiety", "control"];
+        let (idx, _) = parse_label(&input, &labels);
+        if let Some(i) = idx {
+            prop_assert!(i < labels.len());
+        }
+    }
+
+    /// The client is total over arbitrary prompts (within context budget).
+    #[test]
+    fn client_total_over_prompts(input in "\\PC{0,300}", seed in 0u64..1000) {
+        let c = client();
+        let req = ChatRequest { model: "sim-llama-13b".into(), prompt: input, temperature: 0.0, seed };
+        let r = c.complete(&req).expect("short prompts always succeed");
+        prop_assert!(!r.text.is_empty());
+        prop_assert!(r.cost_usd >= 0.0);
+        prop_assert!(r.latency_ms > 0.0);
+    }
+
+    /// Completions for label-listing prompts parse back into the label set
+    /// with high probability — and always for clean "Answer: x" formats.
+    #[test]
+    fn round_trip_parseability(seed in 0u64..500) {
+        let c = client();
+        let req = ChatRequest {
+            model: "sim-gpt-4".into(),
+            prompt: "Decide.\nOptions: depression, control\nPost: i feel hopeless and empty\nAnswer:".into(),
+            temperature: 0.0,
+            seed,
+        };
+        let r = c.complete(&req).expect("ok");
+        if r.text.starts_with("Answer: ") {
+            let (idx, _) = parse_label(&r.text, &["depression", "control"]);
+            prop_assert!(idx.is_some(), "clean answer must parse: {}", r.text);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the text substrate (proptest).
+
+use mhd::text::bpe::{estimate_tokens, Bpe};
+use mhd::text::normalize::{collapse_whitespace, normalize, squash_elongation};
+use mhd::text::sparse::SparseVec;
+use mhd::text::stem::stem;
+use mhd::text::tokenize::{sentences, tokenize, words};
+use proptest::prelude::*;
+
+proptest! {
+    /// The tokenizer must never panic and must only lowercase word tokens.
+    #[test]
+    fn tokenizer_total(input in "\\PC*") {
+        let toks = tokenize(&input);
+        for t in &toks {
+            prop_assert!(!t.text.is_empty() || t.text == "<url>");
+        }
+    }
+
+    /// Sentence splitting never loses non-whitespace content entirely.
+    #[test]
+    fn sentences_cover_content(input in "[a-z .!?]{0,200}") {
+        let sents = sentences(&input);
+        let joined: String = sents.join(" ");
+        let orig_chars: usize = input.chars().filter(|c| !c.is_whitespace()).count();
+        let kept_chars: usize = joined.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert_eq!(orig_chars, kept_chars);
+    }
+
+    /// Porter stemming never grows a word and converges (note: Porter is
+    /// *not* idempotent in general — "ease"→"eas"→"ea" — so we assert
+    /// monotone shrinkage, the property callers actually rely on).
+    #[test]
+    fn stemmer_shrinks_monotonically(word in "[a-z]{1,20}") {
+        let once = stem(&word);
+        let twice = stem(&once);
+        prop_assert!(once.len() <= word.len() + 1, "{} -> {}", word, once);
+        prop_assert!(twice.len() <= once.len(), "{} -> {} -> {}", word, once, twice);
+        // And it terminates at a fixed point within a few applications.
+        let mut w = twice;
+        for _ in 0..5 {
+            let next = stem(&w);
+            if next == w { break; }
+            w = next;
+        }
+        prop_assert_eq!(stem(&w), w.clone(), "no fixed point reached for {}", word);
+    }
+
+    /// Normalization is idempotent.
+    #[test]
+    fn normalize_idempotent(input in "\\PC{0,200}") {
+        let once = normalize(&input);
+        prop_assert_eq!(normalize(&once), once.clone());
+    }
+
+    /// Elongation squashing caps all runs.
+    #[test]
+    fn squash_caps_runs(input in "[a-c]{0,50}", max_run in 1usize..4) {
+        let out = squash_elongation(&input, max_run);
+        let mut run = 0usize;
+        let mut prev = None;
+        for c in out.chars() {
+            if Some(c) == prev { run += 1; } else { run = 1; prev = Some(c); }
+            prop_assert!(run <= max_run);
+        }
+    }
+
+    /// Whitespace collapsing leaves no double spaces and no edge spaces.
+    #[test]
+    fn collapse_no_double_spaces(input in "\\PC{0,100}") {
+        let out = collapse_whitespace(&input);
+        prop_assert!(!out.contains("  "));
+        prop_assert!(!out.starts_with(' ') && !out.ends_with(' '));
+    }
+
+    /// Sparse vector dot product is symmetric and Cauchy–Schwarz holds.
+    #[test]
+    fn sparse_dot_symmetric(
+        a in proptest::collection::vec((0u32..64, -5.0f64..5.0), 0..20),
+        b in proptest::collection::vec((0u32..64, -5.0f64..5.0), 0..20),
+    ) {
+        let va = SparseVec::from_pairs(a);
+        let vb = SparseVec::from_pairs(b);
+        prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-9);
+        prop_assert!(va.dot(&vb).abs() <= va.l2_norm() * vb.l2_norm() + 1e-9);
+    }
+
+    /// Sparse addition agrees with dense addition.
+    #[test]
+    fn sparse_add_matches_dense(
+        a in proptest::collection::vec((0u32..32, -5.0f64..5.0), 0..16),
+        b in proptest::collection::vec((0u32..32, -5.0f64..5.0), 0..16),
+    ) {
+        let va = SparseVec::from_pairs(a);
+        let vb = SparseVec::from_pairs(b);
+        let sum = va.add(&vb);
+        for i in 0..32u32 {
+            prop_assert!((sum.get(i) - (va.get(i) + vb.get(i))).abs() < 1e-9);
+        }
+    }
+
+    /// BPE token counts are bounded by character counts and are stable.
+    #[test]
+    fn bpe_counts_bounded(text in "[a-z ]{0,120}") {
+        let corpus = ["the cat sat on the mat", "a dog ate the food"];
+        let bpe = Bpe::train(&corpus, 16);
+        let n = bpe.count_tokens(&text);
+        let chars = text.chars().filter(|c| !c.is_whitespace()).count();
+        prop_assert!(n <= chars + text.split_whitespace().count());
+        prop_assert_eq!(n, bpe.count_tokens(&text));
+    }
+
+    /// The cheap estimator is monotone in length for repeated text.
+    #[test]
+    fn estimate_monotone(reps in 1usize..20) {
+        let short = "hello world ".repeat(reps);
+        let long = "hello world ".repeat(reps + 1);
+        prop_assert!(estimate_tokens(&long) > estimate_tokens(&short));
+    }
+
+    /// `words` output is always lowercase (lexical tokens only).
+    #[test]
+    fn words_lowercase(input in "[A-Za-z !?.]{0,100}") {
+        for w in words(&input) {
+            prop_assert_eq!(w.to_lowercase(), w.clone());
+        }
+    }
+}
