@@ -38,6 +38,22 @@ fn bench_text(c: &mut Criterion) {
     });
     let v = TfidfVectorizer::fit(&docs, TfidfConfig::default());
     c.bench_function("tfidf_transform", |b| b.iter(|| v.transform(black_box(SAMPLE_POST))));
+    // Per-doc loop vs the batched CSR path over the same corpus — the
+    // inference fast path behind predict_proba_batch.
+    c.bench_function("tfidf_transform_200_per_doc", |b| {
+        b.iter(|| {
+            docs.iter().map(|d| v.transform(black_box(d))).collect::<Vec<_>>()
+        })
+    });
+    c.bench_function("tfidf_transform_200_batched_csr", |b| {
+        b.iter(|| v.transform_csr(black_box(&docs)))
+    });
+    let xs = v.transform_csr(&docs);
+    let weights = vec![vec![0.01; v.n_features()]; 2];
+    let bias = vec![0.0; 2];
+    c.bench_function("csr_par_linear_scores_200x2", |b| {
+        b.iter(|| xs.par_linear_scores(black_box(&weights), black_box(&bias)))
+    });
 }
 
 fn bench_generation(c: &mut Criterion) {

@@ -4,9 +4,14 @@
 //! repro --all                      # every table and figure, full size
 //! repro --table t2 --scale 0.25    # main results on quarter-size datasets
 //! repro --figure f1 --csv          # scale curve as CSV
+//! repro --table t2 --jobs 4        # cap the worker pool at 4 threads
 //! ```
+//!
+//! Worker count: `--jobs N` wins, then the `MHD_JOBS` environment
+//! variable, then all cores. Output is byte-identical at any job count.
 
-use mhd_bench::parse_args;
+use mhd_bench::{parse_args, resolve_jobs};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,7 +21,7 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: repro (--table <t1..t6|a1..a6> | --figure <f1..f5> | --all)... \
-                 [--scale <f64>] [--seed <u64>] [--csv]"
+                 [--scale <f64>] [--seed <u64>] [--jobs <n>] [--csv]"
             );
             std::process::exit(2);
         }
@@ -27,9 +32,18 @@ fn main() {
         }
         return;
     }
+    if let Some(n) = resolve_jobs(options.jobs) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("worker pool configuration");
+    }
+    let started = Instant::now();
+    let mut total_rows = 0usize;
     for artifact in &options.artifacts {
         eprintln!("[repro] generating {} (scale {})…", artifact.name(), options.config.scale);
         let table = artifact.generate(&options.config);
+        total_rows += table.n_rows();
         if options.csv {
             print!("{}", table.to_csv());
         } else {
@@ -37,4 +51,13 @@ fn main() {
         }
         println!();
     }
+    let elapsed = started.elapsed().as_secs_f64();
+    eprintln!(
+        "[repro] {} artifact(s), {} rows in {:.2}s ({:.1} rows/s, {} worker threads)",
+        options.artifacts.len(),
+        total_rows,
+        elapsed,
+        total_rows as f64 / elapsed.max(1e-9),
+        rayon::current_num_threads(),
+    );
 }

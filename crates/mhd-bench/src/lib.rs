@@ -24,16 +24,26 @@ pub struct ReproOptions {
     pub csv: bool,
     /// Just list available artifact ids and exit.
     pub list: bool,
+    /// Worker-thread count (`--jobs`). `None` = unset on the command line;
+    /// the binary then falls back to `MHD_JOBS`, then to all cores.
+    pub jobs: Option<usize>,
+}
+
+/// Resolve the worker-thread count: an explicit `--jobs` wins, then the
+/// `MHD_JOBS` environment variable, then `None` (let rayon use all cores).
+pub fn resolve_jobs(cli_jobs: Option<usize>) -> Option<usize> {
+    cli_jobs.or_else(|| std::env::var("MHD_JOBS").ok().and_then(|v| v.parse().ok()))
 }
 
 /// Parse repro CLI arguments (everything after the binary name).
 ///
 /// Grammar: `[--table <id>]* [--figure <id>]* [--all] [--scale <f>]
-/// [--seed <n>] [--csv]`. Unknown flags are an error.
+/// [--seed <n>] [--jobs <n>] [--csv]`. Unknown flags are an error.
 pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
     let mut artifacts = Vec::new();
     let mut config = ExperimentConfig::default();
     let mut csv = false;
+    let mut jobs = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,6 +68,15 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
                 config.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
                 i += 2;
             }
+            "--jobs" => {
+                let v = args.get(i + 1).ok_or("--jobs needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad jobs: {v}"))?;
+                if n == 0 {
+                    return Err("jobs must be >= 1".to_string());
+                }
+                jobs = Some(n);
+                i += 2;
+            }
             "--csv" => {
                 csv = true;
                 i += 1;
@@ -68,6 +87,7 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
                     config,
                     csv: false,
                     list: true,
+                    jobs,
                 });
             }
             other => return Err(format!("unknown flag: {other}")),
@@ -79,7 +99,7 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
         );
     }
     artifacts.dedup();
-    Ok(ReproOptions { artifacts, config, csv, list: false })
+    Ok(ReproOptions { artifacts, config, csv, list: false, jobs })
 }
 
 #[cfg(test)]
@@ -132,5 +152,20 @@ mod tests {
     fn seed_override() {
         let o = parse_args(&sv(&["--figure", "f1", "--seed", "7"])).expect("ok");
         assert_eq!(o.config.seed, 7);
+    }
+
+    #[test]
+    fn jobs_flag() {
+        let o = parse_args(&sv(&["--table", "t2", "--jobs", "4"])).expect("ok");
+        assert_eq!(o.jobs, Some(4));
+        let o = parse_args(&sv(&["--table", "t2"])).expect("ok");
+        assert_eq!(o.jobs, None);
+        assert!(parse_args(&sv(&["--table", "t2", "--jobs", "0"])).is_err());
+        assert!(parse_args(&sv(&["--table", "t2", "--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn explicit_jobs_beats_env() {
+        assert_eq!(resolve_jobs(Some(3)), Some(3));
     }
 }

@@ -26,7 +26,10 @@ impl Prediction {
 
 /// A detection method: anything that can be prepared on a dataset's training
 /// split and then asked to label posts.
-pub trait Detector {
+///
+/// `Send` is a supertrait so prepared detectors can be moved into the
+/// worker threads of a parallel sweep.
+pub trait Detector: Send {
     /// Method name used in result tables.
     fn name(&self) -> String;
 

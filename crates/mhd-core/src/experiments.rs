@@ -3,10 +3,23 @@
 //! Every function returns a long-format [`Table`] whose rows are the series
 //! the paper plots/tabulates. See DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured commentary.
+//!
+//! ## Parallelism
+//!
+//! The method × dataset sweeps enumerate their cells up front, evaluate
+//! them on the rayon pool, and collect results **in cell order**, so every
+//! table is byte-identical to the serial nested loops regardless of worker
+//! count. Each cell builds its own detector (so per-cell RNG state is
+//! isolated); datasets and TF-IDF fits are shared through
+//! [`FeatureCache`]. Fine-tune ids (`ft:<base>:<n>`) are assigned in
+//! scheduling order, but they never appear in any table and the simulated
+//! fine-tuned family neither refuses nor varies output by id, so the
+//! counter is output-neutral.
 
+use crate::features::FeatureCache;
 use crate::methods::{make_detector, ClassicalKind, MethodSpec, SharedClient};
 use crate::pipeline::{evaluate, evaluate_prepared, EvalResult};
-use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd_corpus::builders::{BuildConfig, DatasetId};
 use mhd_corpus::dataset::{Dataset, Split};
 use mhd_corpus::perturb::Perturbation;
 use mhd_corpus::registry::DatasetCard;
@@ -14,6 +27,8 @@ use mhd_eval::calibration::calibration;
 use mhd_eval::confusion::ConfusionMatrix;
 use mhd_eval::table::{fmt3, fmt_pct, Table};
 use mhd_prompts::template::Strategy;
+use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Shared configuration for all experiments.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,9 +57,11 @@ impl ExperimentConfig {
         BuildConfig { seed: self.seed, scale: self.scale, label_noise: None }
     }
 
-    /// Build one dataset under this config.
-    pub fn dataset(&self, id: DatasetId) -> Dataset {
-        build_dataset(id, &self.build_config())
+    /// Build one dataset under this config, via the process-wide feature
+    /// cache: each `(id, seed, scale)` corpus is generated exactly once no
+    /// matter how many artifacts request it.
+    pub fn dataset(&self, id: DatasetId) -> Arc<Dataset> {
+        FeatureCache::global().dataset(id, &self.build_config())
     }
 }
 
@@ -63,6 +80,12 @@ const SCALE_LADDER: [&str; 5] =
 fn eval_method(spec: &MethodSpec, client: &SharedClient, dataset: &Dataset) -> EvalResult {
     let mut det = make_detector(spec, client);
     evaluate(det.as_mut(), dataset, Split::Test)
+}
+
+/// Evaluate a list of `(dataset, method)` cells on the rayon pool,
+/// returning results in cell order (deterministic output).
+fn eval_cells(client: &SharedClient, cells: &[(Arc<Dataset>, MethodSpec)]) -> Vec<EvalResult> {
+    cells.par_iter().map(|(dataset, spec)| eval_method(spec, client, dataset)).collect()
 }
 
 fn push_result(t: &mut Table, r: &EvalResult) {
@@ -129,12 +152,15 @@ pub fn t2_main_results(cfg: &ExperimentConfig) -> Table {
         "T2: Main results (test split)",
         &["method", "dataset", "accuracy", "weighted_f1", "macro_f1", "parse_rate"],
     );
+    let mut cells = Vec::new();
     for id in DatasetId::ALL {
         let dataset = cfg.dataset(id);
         for spec in t2_methods() {
-            let r = eval_method(&spec, &client, &dataset);
-            push_result(&mut t, &r);
+            cells.push((dataset.clone(), spec));
         }
+    }
+    for r in eval_cells(&client, &cells) {
+        push_result(&mut t, &r);
     }
     t
 }
@@ -146,15 +172,17 @@ pub fn t3_prompting(cfg: &ExperimentConfig) -> Table {
         "T3: Prompting-strategy ablation",
         &["method", "dataset", "accuracy", "weighted_f1", "macro_f1", "parse_rate"],
     );
+    let mut cells = Vec::new();
     for id in ABLATION_DATASETS {
         let dataset = cfg.dataset(id);
         for model in ["sim-gpt-4", "sim-llama-13b", "sim-llama-7b"] {
             for strategy in Strategy::ALL {
-                let spec = MethodSpec::Llm { model: model.into(), strategy };
-                let r = eval_method(&spec, &client, &dataset);
-                push_result(&mut t, &r);
+                cells.push((dataset.clone(), MethodSpec::Llm { model: model.into(), strategy }));
             }
         }
+    }
+    for r in eval_cells(&client, &cells) {
+        push_result(&mut t, &r);
     }
     t
 }
@@ -170,46 +198,39 @@ pub fn t4_finetune(cfg: &ExperimentConfig) -> Table {
         "T4: Instruction fine-tuning study",
         &["method", "dataset", "train_examples", "accuracy", "weighted_f1"],
     );
+    // Cells carry the "train_examples" column alongside the method spec:
+    // zero-shot reference, fine-tunes at each size, then the
+    // discriminative reference, per dataset.
+    let mut cells = Vec::new();
+    let mut train_cols = Vec::new();
     for id in FT_DATASETS {
         let dataset = cfg.dataset(id);
         let train_len = dataset.split_len(Split::Train);
-        // Zero-shot reference.
-        let zs = eval_method(
-            &MethodSpec::Llm { model: "sim-llama-7b".into(), strategy: Strategy::ZeroShot },
-            &client,
-            &dataset,
-        );
-        t.push_row(vec![
-            zs.method.clone(),
-            zs.dataset.clone(),
-            "0".into(),
-            fmt3(zs.metrics.accuracy),
-            fmt3(zs.metrics.weighted_f1),
-        ]);
-        // Fine-tuned at each size.
+        cells.push((
+            dataset.clone(),
+            MethodSpec::Llm { model: "sim-llama-7b".into(), strategy: Strategy::ZeroShot },
+        ));
+        train_cols.push("0".to_string());
         for &size in &FT_SIZES {
-            let capped = size.min(train_len);
-            let spec = MethodSpec::FineTuned {
-                base: "sim-llama-7b".into(),
-                max_train: if size == usize::MAX { None } else { Some(size) },
-            };
-            let r = eval_method(&spec, &client, &dataset);
-            t.push_row(vec![
-                r.method.clone(),
-                r.dataset.clone(),
-                capped.to_string(),
-                fmt3(r.metrics.accuracy),
-                fmt3(r.metrics.weighted_f1),
-            ]);
+            cells.push((
+                dataset.clone(),
+                MethodSpec::FineTuned {
+                    base: "sim-llama-7b".into(),
+                    max_train: if size == usize::MAX { None } else { Some(size) },
+                },
+            ));
+            train_cols.push(size.min(train_len).to_string());
         }
-        // Discriminative reference.
-        let bert = eval_method(&MethodSpec::Classical(ClassicalKind::BertMini), &client, &dataset);
+        cells.push((dataset.clone(), MethodSpec::Classical(ClassicalKind::BertMini)));
+        train_cols.push(train_len.to_string());
+    }
+    for (r, train_col) in eval_cells(&client, &cells).iter().zip(train_cols) {
         t.push_row(vec![
-            bert.method.clone(),
-            bert.dataset.clone(),
-            train_len.to_string(),
-            fmt3(bert.metrics.accuracy),
-            fmt3(bert.metrics.weighted_f1),
+            r.method.clone(),
+            r.dataset.clone(),
+            train_col,
+            fmt3(r.metrics.accuracy),
+            fmt3(r.metrics.weighted_f1),
         ]);
     }
     t
@@ -234,18 +255,27 @@ pub fn t5_robustness(cfg: &ExperimentConfig) -> Table {
         "T5: Robustness to test-time perturbations (dreaddit-s, weighted F1)",
         &["method", "clean", "typos", "elongation", "emoticons", "negation_drop", "sentence_shuffle"],
     );
-    for spec in t5_methods() {
-        let mut det = make_detector(&spec, &client);
-        det.prepare(&dataset);
-        let clean = evaluate_prepared(det.as_ref(), &dataset, Split::Test);
-        let mut row = vec![clean.method.clone(), fmt3(clean.metrics.weighted_f1)];
-        for p in Perturbation::ALL {
-            // Intensity 0.5: strong enough for measurable degradation at
-            // benchmark dataset sizes (see EXPERIMENTS.md).
-            let perturbed = perturb_test_split(&dataset, p, 0.5, cfg.seed);
-            let r = evaluate_prepared(det.as_ref(), &perturbed, Split::Test);
-            row.push(fmt3(r.metrics.weighted_f1));
-        }
+    // Perturbed copies are built once, shared read-only by all workers.
+    // Intensity 0.5: strong enough for measurable degradation at benchmark
+    // dataset sizes (see EXPERIMENTS.md).
+    let perturbed: Vec<Dataset> =
+        Perturbation::ALL.iter().map(|&p| perturb_test_split(&dataset, p, 0.5, cfg.seed)).collect();
+    let methods = t5_methods();
+    let rows: Vec<Vec<String>> = methods
+        .par_iter()
+        .map(|spec| {
+            let mut det = make_detector(spec, &client);
+            det.prepare(&dataset);
+            let clean = evaluate_prepared(det.as_ref(), &dataset, Split::Test);
+            let mut row = vec![clean.method.clone(), fmt3(clean.metrics.weighted_f1)];
+            for p in &perturbed {
+                let r = evaluate_prepared(det.as_ref(), p, Split::Test);
+                row.push(fmt3(r.metrics.weighted_f1));
+            }
+            row
+        })
+        .collect();
+    for row in rows {
         t.push_row(row);
     }
     t
@@ -269,25 +299,34 @@ pub fn perturb_test_split(
 
 /// **T6** — efficiency: tokens, dollars and latency per 1 000 posts.
 pub fn t6_cost(cfg: &ExperimentConfig) -> Table {
-    let client = SharedClient::new(cfg.pretrain_seed);
     let dataset = cfg.dataset(DatasetId::SwmhS);
     let mut t = Table::new(
         "T6: Efficiency per 1k posts (swmh-s, zero-shot)",
         &["model", "prompt_tok/post", "completion_tok/post", "usd/1k_posts", "latency_s/post"],
     );
-    for model in SCALE_LADDER {
-        client.borrow().reset_tracker();
-        let spec = MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot };
-        let r = eval_method(&spec, &client, &dataset);
-        let n = r.pred.len().max(1) as f64;
-        let totals = client.borrow().tracker().totals(model);
-        t.push_row(vec![
-            model.to_string(),
-            format!("{:.0}", totals.prompt_tokens as f64 / n),
-            format!("{:.1}", totals.completion_tokens as f64 / n),
-            format!("{:.4}", totals.usd / n * 1000.0),
-            format!("{:.2}", totals.latency_ms / n / 1000.0),
-        ]);
+    // Each model gets its own client so cost totals stay isolated under
+    // parallel evaluation — equivalent to the serial reset-then-read
+    // pattern, because responses (and therefore recorded costs) are a pure
+    // function of (pretrain_seed, request).
+    let rows: Vec<Vec<String>> = SCALE_LADDER
+        .par_iter()
+        .map(|model| {
+            let client = SharedClient::new(cfg.pretrain_seed);
+            let spec = MethodSpec::Llm { model: (*model).into(), strategy: Strategy::ZeroShot };
+            let r = eval_method(&spec, &client, &dataset);
+            let n = r.pred.len().max(1) as f64;
+            let totals = client.tracker().totals(model);
+            vec![
+                model.to_string(),
+                format!("{:.0}", totals.prompt_tokens as f64 / n),
+                format!("{:.1}", totals.completion_tokens as f64 / n),
+                format!("{:.4}", totals.usd / n * 1000.0),
+                format!("{:.2}", totals.latency_ms / n / 1000.0),
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -303,19 +342,26 @@ pub fn f1_scale_curve(cfg: &ExperimentConfig) -> Table {
         "F1: Zero-shot weighted F1 vs model scale",
         &["model", "params_b", "dataset", "weighted_f1"],
     );
+    let mut cells = Vec::new();
+    let mut models = Vec::new();
     for id in DatasetId::ALL {
         let dataset = cfg.dataset(id);
         for model in SCALE_LADDER {
-            let spec = MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot };
-            let r = eval_method(&spec, &client, &dataset);
-            let params = client.borrow().spec(model).expect("ladder model exists").params_b;
-            t.push_row(vec![
-                model.to_string(),
-                format!("{params}"),
-                r.dataset.clone(),
-                fmt3(r.metrics.weighted_f1),
-            ]);
+            cells.push((
+                dataset.clone(),
+                MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot },
+            ));
+            models.push(model);
         }
+    }
+    for (r, model) in eval_cells(&client, &cells).iter().zip(models) {
+        let params = client.spec(model).expect("ladder model exists").params_b;
+        t.push_row(vec![
+            model.to_string(),
+            format!("{params}"),
+            r.dataset.clone(),
+            fmt3(r.metrics.weighted_f1),
+        ]);
     }
     t
 }
@@ -330,21 +376,25 @@ pub fn f2_fewshot_sweep(cfg: &ExperimentConfig) -> Table {
         "F2: Few-shot demonstration sweep (weighted F1)",
         &["model", "k", "dataset", "weighted_f1"],
     );
+    let mut cells = Vec::new();
+    let mut keys = Vec::new();
     for id in ABLATION_DATASETS {
         let dataset = cfg.dataset(id);
         for model in ["sim-gpt-3.5", "sim-llama-13b"] {
             for &k in &FEWSHOT_KS {
                 let strategy = if k == 0 { Strategy::ZeroShot } else { Strategy::FewShot(k) };
-                let spec = MethodSpec::Llm { model: model.into(), strategy };
-                let r = eval_method(&spec, &client, &dataset);
-                t.push_row(vec![
-                    model.to_string(),
-                    k.to_string(),
-                    r.dataset.clone(),
-                    fmt3(r.metrics.weighted_f1),
-                ]);
+                cells.push((dataset.clone(), MethodSpec::Llm { model: model.into(), strategy }));
+                keys.push((model, k));
             }
         }
+    }
+    for (r, (model, k)) in eval_cells(&client, &cells).iter().zip(keys) {
+        t.push_row(vec![
+            model.to_string(),
+            k.to_string(),
+            r.dataset.clone(),
+            fmt3(r.metrics.weighted_f1),
+        ]);
     }
     t
 }
@@ -357,21 +407,32 @@ pub fn f3_calibration(cfg: &ExperimentConfig) -> Table {
         &["model", "bin", "mean_confidence", "accuracy", "count", "ece"],
     );
     let dataset = cfg.dataset(DatasetId::SdcnlS);
-    for model in ["sim-llama-13b", "sim-gpt-3.5", "sim-gpt-4"] {
-        let spec = MethodSpec::Llm { model: model.into(), strategy: Strategy::ZeroShot };
-        let r = eval_method(&spec, &client, &dataset);
-        let correct = r.correct_flags();
-        let cal = calibration(&r.confidence, &correct, 10);
-        for (i, bin) in cal.bins.iter().enumerate() {
-            t.push_row(vec![
-                model.to_string(),
-                format!("{:.1}-{:.1}", bin.lo, bin.hi),
-                fmt3(bin.mean_confidence),
-                fmt3(bin.accuracy),
-                bin.count.to_string(),
-                if i == 0 { fmt3(cal.ece) } else { String::new() },
-            ]);
-        }
+    let models = ["sim-llama-13b", "sim-gpt-3.5", "sim-gpt-4"];
+    let rows: Vec<Vec<Vec<String>>> = models
+        .par_iter()
+        .map(|model| {
+            let spec = MethodSpec::Llm { model: (*model).into(), strategy: Strategy::ZeroShot };
+            let r = eval_method(&spec, &client, &dataset);
+            let correct = r.correct_flags();
+            let cal = calibration(&r.confidence, &correct, 10);
+            cal.bins
+                .iter()
+                .enumerate()
+                .map(|(i, bin)| {
+                    vec![
+                        model.to_string(),
+                        format!("{:.1}-{:.1}", bin.lo, bin.hi),
+                        fmt3(bin.mean_confidence),
+                        fmt3(bin.accuracy),
+                        bin.count.to_string(),
+                        if i == 0 { fmt3(cal.ece) } else { String::new() },
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    for row in rows.into_iter().flatten() {
+        t.push_row(row);
     }
     t
 }
@@ -403,21 +464,24 @@ pub fn f5_finetune_curve(cfg: &ExperimentConfig) -> Table {
         "F5: Fine-tuning data-size learning curves (weighted F1)",
         &["dataset", "train_examples", "weighted_f1"],
     );
+    let mut cells = Vec::new();
+    let mut train_cols = Vec::new();
     for id in FT_DATASETS {
         let dataset = cfg.dataset(id);
         let train_len = dataset.split_len(Split::Train);
         for &size in &FT_SIZES {
-            let spec = MethodSpec::FineTuned {
-                base: "sim-llama-7b".into(),
-                max_train: if size == usize::MAX { None } else { Some(size) },
-            };
-            let r = eval_method(&spec, &client, &dataset);
-            t.push_row(vec![
-                r.dataset.clone(),
-                size.min(train_len).to_string(),
-                fmt3(r.metrics.weighted_f1),
-            ]);
+            cells.push((
+                dataset.clone(),
+                MethodSpec::FineTuned {
+                    base: "sim-llama-7b".into(),
+                    max_train: if size == usize::MAX { None } else { Some(size) },
+                },
+            ));
+            train_cols.push(size.min(train_len).to_string());
         }
+    }
+    for (r, train_col) in eval_cells(&client, &cells).iter().zip(train_cols) {
+        t.push_row(vec![r.dataset.clone(), train_col, fmt3(r.metrics.weighted_f1)]);
     }
     t
 }

@@ -29,6 +29,7 @@ use mhd_eval::mcnemar::mcnemar;
 use mhd_eval::table::{fmt3, fmt_pct, Table};
 use mhd_prompts::select::SelectorKind;
 use mhd_prompts::template::Strategy;
+use rayon::prelude::*;
 
 /// **A1** — demonstration-selector ablation at k = 8.
 pub fn a1_selector_ablation(cfg: &ExperimentConfig) -> Table {
@@ -37,23 +38,33 @@ pub fn a1_selector_ablation(cfg: &ExperimentConfig) -> Table {
         "A1: Few-shot demonstration-selector ablation (k=8, sim-gpt-3.5)",
         &["selector", "dataset", "accuracy", "weighted_f1"],
     );
+    let mut cells = Vec::new();
     for id in [DatasetId::SdcnlS, DatasetId::SwmhS, DatasetId::SadS] {
         let dataset = cfg.dataset(id);
         for kind in SelectorKind::ALL {
+            cells.push((dataset.clone(), kind));
+        }
+    }
+    let rows: Vec<Vec<String>> = cells
+        .par_iter()
+        .map(|(dataset, kind)| {
             let mut det = Box::new(PromptDetector::new(
                 client.clone(),
                 "sim-gpt-3.5".into(),
                 Strategy::FewShot(8),
-                kind,
+                *kind,
             ));
-            let r = evaluate(det.as_mut(), &dataset, Split::Test);
-            t.push_row(vec![
+            let r = evaluate(det.as_mut(), dataset, Split::Test);
+            vec![
                 kind.name().to_string(),
                 r.dataset.clone(),
                 fmt3(r.metrics.accuracy),
                 fmt3(r.metrics.weighted_f1),
-            ]);
-        }
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -74,7 +85,7 @@ pub fn a2_significance(cfg: &ExperimentConfig) -> Table {
         MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
     ];
     let results: Vec<_> = specs
-        .iter()
+        .par_iter()
         .map(|s| {
             let mut det = make_detector(s, &client);
             evaluate(det.as_mut(), &dataset, Split::Test)
@@ -109,21 +120,27 @@ pub fn a3_label_noise(cfg: &ExperimentConfig) -> Table {
         "A3: Label-noise sensitivity (dreaddit-s, weighted F1)",
         &["noise", "logreg_tfidf", "naive_bayes", "sim-gpt-4/zero_shot"],
     );
-    for &noise in &NOISE_LEVELS {
-        let dataset = build_dataset(
-            DatasetId::DreadditS,
-            &BuildConfig { seed: cfg.seed, scale: cfg.scale, label_noise: Some(noise) },
-        );
-        let mut row = vec![fmt_pct(noise)];
-        for spec in [
-            MethodSpec::Classical(ClassicalKind::LogReg),
-            MethodSpec::Classical(ClassicalKind::NaiveBayes),
-            MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
-        ] {
-            let mut det = make_detector(&spec, &client);
-            let r = evaluate(det.as_mut(), &dataset, Split::Test);
-            row.push(fmt3(r.metrics.weighted_f1));
-        }
+    let rows: Vec<Vec<String>> = NOISE_LEVELS
+        .par_iter()
+        .map(|&noise| {
+            let dataset = build_dataset(
+                DatasetId::DreadditS,
+                &BuildConfig { seed: cfg.seed, scale: cfg.scale, label_noise: Some(noise) },
+            );
+            let mut row = vec![fmt_pct(noise)];
+            for spec in [
+                MethodSpec::Classical(ClassicalKind::LogReg),
+                MethodSpec::Classical(ClassicalKind::NaiveBayes),
+                MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
+            ] {
+                let mut det = make_detector(&spec, &client);
+                let r = evaluate(det.as_mut(), &dataset, Split::Test);
+                row.push(fmt3(r.metrics.weighted_f1));
+            }
+            row
+        })
+        .collect();
+    for row in rows {
         t.push_row(row);
     }
     t
@@ -140,22 +157,28 @@ pub fn a4_temperature(cfg: &ExperimentConfig) -> Table {
         "A4: Temperature sensitivity (sim-gpt-3.5, sdcnl-s)",
         &["temperature", "accuracy", "weighted_f1", "parse_rate"],
     );
-    for &temp in &TEMPERATURES {
-        let mut det = PromptDetector::new(
-            client.clone(),
-            "sim-gpt-3.5".into(),
-            Strategy::ZeroShot,
-            SelectorKind::Stratified,
-        )
-        .with_temperature(temp);
-        det.prepare(&dataset);
-        let r = evaluate_prepared(&det, &dataset, Split::Test);
-        t.push_row(vec![
-            format!("{temp:.1}"),
-            fmt3(r.metrics.accuracy),
-            fmt3(r.metrics.weighted_f1),
-            fmt_pct(r.parse_rate()),
-        ]);
+    let rows: Vec<Vec<String>> = TEMPERATURES
+        .par_iter()
+        .map(|&temp| {
+            let mut det = PromptDetector::new(
+                client.clone(),
+                "sim-gpt-3.5".into(),
+                Strategy::ZeroShot,
+                SelectorKind::Stratified,
+            )
+            .with_temperature(temp);
+            det.prepare(&dataset);
+            let r = evaluate_prepared(&det, &dataset, Split::Test);
+            vec![
+                format!("{temp:.1}"),
+                fmt3(r.metrics.accuracy),
+                fmt3(r.metrics.weighted_f1),
+                fmt_pct(r.parse_rate()),
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -235,7 +258,6 @@ pub fn a6_scaling_sweep(cfg: &ExperimentConfig) -> Table {
     for &p in &SWEEP_PARAMS {
         let name = format!("sweep-{p}b");
         client
-            .borrow_mut()
             .register_model(ModelSpec::synthetic(name, p, ModelFamily::OpenChat))
             .expect("sweep names are fresh");
     }
@@ -243,18 +265,26 @@ pub fn a6_scaling_sweep(cfg: &ExperimentConfig) -> Table {
         "A6: Dense scaling-law sweep (zero-shot weighted F1)",
         &["params_b", "capability", "dreaddit-s", "swmh-s"],
     );
+    // All sweep models are registered above, before any parallel eval, so
+    // workers only read the zoo.
     let d1 = cfg.dataset(DatasetId::DreadditS);
     let d2 = cfg.dataset(DatasetId::SwmhS);
-    for &p in &SWEEP_PARAMS {
-        let name = format!("sweep-{p}b");
-        let capability = client.borrow().spec(&name).expect("registered").capability();
-        let mut row = vec![format!("{p}"), fmt3(capability)];
-        for d in [&d1, &d2] {
-            let spec = MethodSpec::Llm { model: name.clone(), strategy: Strategy::ZeroShot };
-            let mut det = make_detector(&spec, &client);
-            let r = evaluate(det.as_mut(), d, Split::Test);
-            row.push(fmt3(r.metrics.weighted_f1));
-        }
+    let rows: Vec<Vec<String>> = SWEEP_PARAMS
+        .par_iter()
+        .map(|&p| {
+            let name = format!("sweep-{p}b");
+            let capability = client.spec(&name).expect("registered").capability();
+            let mut row = vec![format!("{p}"), fmt3(capability)];
+            for d in [&d1, &d2] {
+                let spec = MethodSpec::Llm { model: name.clone(), strategy: Strategy::ZeroShot };
+                let mut det = make_detector(&spec, &client);
+                let r = evaluate(det.as_mut(), d, Split::Test);
+                row.push(fmt3(r.metrics.weighted_f1));
+            }
+            row
+        })
+        .collect();
+    for row in rows {
         t.push_row(row);
     }
     t
@@ -270,6 +300,7 @@ pub fn a7_ordinal(cfg: &ExperimentConfig) -> Table {
         "A7: Ordinal metrics on graded tasks",
         &["method", "dataset", "accuracy", "mae", "qwk"],
     );
+    let mut cells = Vec::new();
     for id in [DatasetId::DepSignS, DatasetId::CssrsS] {
         let dataset = cfg.dataset(id);
         for spec in [
@@ -279,16 +310,25 @@ pub fn a7_ordinal(cfg: &ExperimentConfig) -> Table {
             MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
             MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
         ] {
-            let mut det = make_detector(&spec, &client);
-            let r = evaluate(det.as_mut(), &dataset, Split::Test);
-            t.push_row(vec![
+            cells.push((dataset.clone(), spec));
+        }
+    }
+    let rows: Vec<Vec<String>> = cells
+        .par_iter()
+        .map(|(dataset, spec)| {
+            let mut det = make_detector(spec, &client);
+            let r = evaluate(det.as_mut(), dataset, Split::Test);
+            vec![
                 r.method.clone(),
                 r.dataset.clone(),
                 fmt3(r.metrics.accuracy),
                 fmt3(ordinal_mae(&r.gold, &r.pred)),
                 fmt3(quadratic_weighted_kappa(&r.gold, &r.pred, dataset.task.n_classes())),
-            ]);
-        }
+            ]
+        })
+        .collect();
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -311,7 +351,10 @@ pub fn a8_rationale_quality(cfg: &ExperimentConfig) -> Table {
         "A8: CoT rationale quality (sdcnl-s)",
         &["model", "rationale_rate", "grounded_rate", "mean_cited_words"],
     );
-    for model in ["sim-llama-7b", "sim-gpt-4"] {
+    let models = ["sim-llama-7b", "sim-gpt-4"];
+    let rows: Vec<Vec<String>> = models
+        .par_iter()
+        .map(|model| {
         let mut with_rationale = 0usize;
         let mut grounded = 0usize;
         let mut cited_total = 0usize;
@@ -319,8 +362,8 @@ pub fn a8_rationale_quality(cfg: &ExperimentConfig) -> Table {
         for e in &test {
             let prompt = build_prompt(&dataset.task, Strategy::ZeroShotCot, &e.text, &[]);
             let req =
-                ChatRequest { model: model.into(), prompt, temperature: 0.0, seed: e.id };
-            let Ok(resp) = client.borrow().complete(&req) else { continue };
+                ChatRequest { model: (*model).into(), prompt, temperature: 0.0, seed: e.id };
+            let Ok(resp) = client.complete(&req) else { continue };
             let cited = extract_cited_words(&resp.text);
             if cited.is_empty() {
                 continue;
@@ -339,12 +382,16 @@ pub fn a8_rationale_quality(cfg: &ExperimentConfig) -> Table {
         }
         let n = test.len().max(1) as f64;
         let _ = cited_in_post;
-        t.push_row(vec![
+        vec![
             model.to_string(),
             fmt3(with_rationale as f64 / n),
             fmt3(if with_rationale == 0 { 0.0 } else { grounded as f64 / with_rationale as f64 }),
             format!("{:.1}", if with_rationale == 0 { 0.0 } else { cited_total as f64 / with_rationale as f64 }),
-        ]);
+        ]
+        })
+        .collect();
+    for row in rows {
+        t.push_row(row);
     }
     t
 }
@@ -361,24 +408,33 @@ pub fn a9_seed_variance(cfg: &ExperimentConfig) -> Table {
         "A9: Weighted-F1 variance over dataset seeds (dreaddit-s)",
         &["method", "mean", "min", "max", "spread"],
     );
-    for spec in [
+    let specs = [
         MethodSpec::Classical(ClassicalKind::LogReg),
         MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
         MethodSpec::FineTuned { base: "sim-llama-7b".into(), max_train: None },
-    ] {
-        let mut scores = Vec::with_capacity(VARIANCE_SEEDS.len());
-        for &seed in &VARIANCE_SEEDS {
+    ];
+    // Cells = spec × seed so the 9 evaluations spread over the pool; the
+    // per-seed datasets are rebuilt per cell exactly as the serial loop did.
+    let cells: Vec<(usize, u64)> = (0..specs.len())
+        .flat_map(|si| VARIANCE_SEEDS.iter().map(move |&seed| (si, seed)))
+        .collect();
+    let scores: Vec<f64> = cells
+        .par_iter()
+        .map(|&(si, seed)| {
             let dataset = build_dataset(
                 DatasetId::DreadditS,
                 &BuildConfig { seed, scale: cfg.scale, label_noise: None },
             );
-            let mut det = make_detector(&spec, &client);
+            let mut det = make_detector(&specs[si], &client);
             let r = evaluate(det.as_mut(), &dataset, Split::Test);
-            scores.push(r.metrics.weighted_f1);
-        }
-        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-        let min = scores.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            r.metrics.weighted_f1
+        })
+        .collect();
+    for (si, spec) in specs.iter().enumerate() {
+        let s = &scores[si * VARIANCE_SEEDS.len()..(si + 1) * VARIANCE_SEEDS.len()];
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         t.push_row(vec![
             spec.name(),
             fmt3(mean),

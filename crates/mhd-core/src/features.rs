@@ -1,0 +1,239 @@
+//! Process-wide feature cache: each corpus and each TF-IDF fit happens
+//! exactly once per process, no matter how many experiment cells need it.
+//!
+//! Two layers:
+//!
+//! 1. **Dataset cache** — keyed by `(DatasetId, seed, scale, label_noise)`.
+//!    A full repro run asks for the same seven corpora in nearly every
+//!    artifact; building them is pure, so the first requester builds and
+//!    everyone else shares the [`Arc`].
+//! 2. **TF-IDF cache** — keyed by a fingerprint of the training texts plus
+//!    the [`TfidfConfig`]. LogReg and SVM both vectorize the train split
+//!    with the default config; the first fit is reused, CSR train matrix
+//!    included.
+//!
+//! Both layers use the map-of-cells pattern: a short-lived [`Mutex`] guards
+//! only the key → [`OnceLock`] map, and the expensive build runs inside
+//! `OnceLock::get_or_init` — concurrent requests for the *same* key block
+//! until the single build finishes, while different keys build in parallel.
+//! Hit/miss counters make the "vectorized at most once" guarantee testable.
+
+use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
+use mhd_corpus::dataset::Dataset;
+use mhd_text::hashing::fnv1a;
+use mhd_text::sparse::CsrMatrix;
+use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A TF-IDF vectorizer fitted on one training corpus, with the corpus
+/// already transformed to CSR.
+#[derive(Debug)]
+pub struct FittedTfidf {
+    /// The fitted vectorizer (shared by every model that uses this corpus).
+    pub vectorizer: Arc<TfidfVectorizer>,
+    /// The training split as a CSR matrix.
+    pub train_matrix: CsrMatrix,
+}
+
+/// Dataset-cache key: id, seed, scale bits, label-noise bits (or the
+/// sentinel `u64::MAX` for `None` — an f64's bit pattern never equals it
+/// for valid noise rates).
+type DatasetKey = (DatasetId, u64, u64, u64);
+
+/// Counter snapshot from [`FeatureCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Dataset requests served from cache.
+    pub dataset_hits: usize,
+    /// Dataset requests that triggered a build.
+    pub dataset_misses: usize,
+    /// TF-IDF requests served from cache.
+    pub tfidf_hits: usize,
+    /// TF-IDF requests that triggered a fit + transform.
+    pub tfidf_misses: usize,
+}
+
+/// The cache. Obtain the process-wide instance with
+/// [`FeatureCache::global`], or construct a private one for tests.
+#[derive(Default)]
+pub struct FeatureCache {
+    datasets: Mutex<HashMap<DatasetKey, Arc<OnceLock<Arc<Dataset>>>>>,
+    tfidf: Mutex<HashMap<u64, Arc<OnceLock<Arc<FittedTfidf>>>>>,
+    dataset_hits: AtomicUsize,
+    dataset_misses: AtomicUsize,
+    tfidf_hits: AtomicUsize,
+    tfidf_misses: AtomicUsize,
+}
+
+impl FeatureCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide cache shared by all experiment cells.
+    pub fn global() -> &'static FeatureCache {
+        static CACHE: OnceLock<FeatureCache> = OnceLock::new();
+        CACHE.get_or_init(FeatureCache::new)
+    }
+
+    /// Build-or-fetch a dataset. The build runs at most once per key.
+    pub fn dataset(&self, id: DatasetId, cfg: &BuildConfig) -> Arc<Dataset> {
+        let key: DatasetKey = (
+            id,
+            cfg.seed,
+            cfg.scale.to_bits(),
+            cfg.label_noise.map_or(u64::MAX, f64::to_bits),
+        );
+        let cell = {
+            let mut map = self.datasets.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built = false;
+        let dataset = cell.get_or_init(|| {
+            built = true;
+            Arc::new(build_dataset(id, cfg))
+        });
+        if built {
+            self.dataset_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dataset_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(dataset)
+    }
+
+    /// Fit-or-fetch a TF-IDF vectorizer (plus CSR train matrix) for a
+    /// training corpus. The fit runs at most once per (corpus, config).
+    pub fn tfidf_for(&self, texts: &[&str], config: &TfidfConfig) -> Arc<FittedTfidf> {
+        let key = tfidf_fingerprint(texts, config);
+        let cell = {
+            let mut map = self.tfidf.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built = false;
+        let fitted = cell.get_or_init(|| {
+            built = true;
+            let vectorizer = TfidfVectorizer::fit(texts, config.clone());
+            let train_matrix = vectorizer.transform_csr(texts);
+            Arc::new(FittedTfidf { vectorizer: Arc::new(vectorizer), train_matrix })
+        });
+        if built {
+            self.tfidf_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tfidf_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(fitted)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            dataset_hits: self.dataset_hits.load(Ordering::Relaxed),
+            dataset_misses: self.dataset_misses.load(Ordering::Relaxed),
+            tfidf_hits: self.tfidf_hits.load(Ordering::Relaxed),
+            tfidf_misses: self.tfidf_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// FNV-1a fingerprint of a training corpus + vectorizer configuration.
+/// Text boundaries are length-prefixed so concatenation ambiguities cannot
+/// collide.
+fn tfidf_fingerprint(texts: &[&str], config: &TfidfConfig) -> u64 {
+    let mut acc = fnv1a(
+        format!(
+            "tfidf|{}|{}|{}|{}|{}|{}",
+            config.min_df,
+            config.max_features,
+            config.ngram_max,
+            config.stem,
+            config.remove_stopwords,
+            config.sublinear_tf
+        )
+        .as_bytes(),
+    );
+    for t in texts {
+        acc ^= fnv1a(&(t.len() as u64).to_le_bytes());
+        acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+        acc ^= fnv1a(t.as_bytes());
+        acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXTS: [&str; 4] = [
+        "i feel hopeless and empty",
+        "great day at the beach",
+        "cannot sleep, racing thoughts",
+        "lovely dinner with family",
+    ];
+
+    #[test]
+    fn tfidf_fit_happens_exactly_once() {
+        let cache = FeatureCache::new();
+        let a = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        let b = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        assert!(Arc::ptr_eq(&a, &b), "second request must share the first fit");
+        let s = cache.stats();
+        assert_eq!(s.tfidf_misses, 1, "corpus vectorized more than once");
+        assert_eq!(s.tfidf_hits, 1);
+    }
+
+    #[test]
+    fn tfidf_distinguishes_corpus_and_config() {
+        let cache = FeatureCache::new();
+        let base = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        let other_corpus = cache.tfidf_for(&TEXTS[..3], &TfidfConfig::default());
+        let other_config =
+            cache.tfidf_for(&TEXTS, &TfidfConfig { ngram_max: 1, ..TfidfConfig::default() });
+        assert!(!Arc::ptr_eq(&base, &other_corpus));
+        assert!(!Arc::ptr_eq(&base, &other_config));
+        assert_eq!(cache.stats().tfidf_misses, 3);
+    }
+
+    #[test]
+    fn cached_fit_equals_fresh_fit() {
+        let cache = FeatureCache::new();
+        let fitted = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        let fresh = TfidfVectorizer::fit(&TEXTS, TfidfConfig::default());
+        for (i, t) in TEXTS.iter().enumerate() {
+            assert_eq!(fitted.train_matrix.row_to_sparse(i), fresh.transform(t));
+            assert_eq!(fitted.vectorizer.transform(t), fresh.transform(t));
+        }
+    }
+
+    #[test]
+    fn dataset_built_exactly_once_per_key() {
+        let cache = FeatureCache::new();
+        let cfg = BuildConfig { seed: 3, scale: 0.05, label_noise: None };
+        let a = cache.dataset(DatasetId::DreadditS, &cfg);
+        let b = cache.dataset(DatasetId::DreadditS, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        let other = cache.dataset(DatasetId::DreadditS, &BuildConfig { seed: 4, ..cfg });
+        assert!(!Arc::ptr_eq(&a, &other));
+        let s = cache.stats();
+        assert_eq!(s.dataset_misses, 2);
+        assert_eq!(s.dataset_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_build() {
+        let cache = FeatureCache::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.tfidf_for(&TEXTS, &TfidfConfig::default())))
+                .collect();
+            let fitted: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for f in &fitted[1..] {
+                assert!(Arc::ptr_eq(&fitted[0], f));
+            }
+        });
+        assert_eq!(cache.stats().tfidf_misses, 1, "exactly one fit under contention");
+    }
+}

@@ -6,6 +6,8 @@
 //!   classical classifiers, the neural baseline, prompted LLMs and
 //!   fine-tuned LLMs behind one interface;
 //! - [`methods`] — the benchmark's method roster and detector factory;
+//! - [`features`] — the process-wide dataset + TF-IDF feature cache
+//!   (every corpus built and vectorized at most once per run);
 //! - [`pipeline`] — run a detector over a dataset split and score it;
 //! - [`experiments`] — one function per table/figure of the survey
 //!   (T1–T6, F1–F5), each returning a renderable [`mhd_eval::Table`];
@@ -36,6 +38,7 @@
 pub mod detector;
 pub mod experiments;
 pub mod experiments_ext;
+pub mod features;
 pub mod methods;
 pub mod pipeline;
 pub mod report;
@@ -43,4 +46,4 @@ pub mod user_level;
 
 pub use detector::{Detector, Prediction};
 pub use methods::{make_detector, MethodSpec, SharedClient};
-pub use pipeline::{evaluate, EvalResult};
+pub use pipeline::{evaluate, try_evaluate, EvalResult, PipelineError};

@@ -40,27 +40,84 @@ impl EvalResult {
     }
 }
 
+/// A malformed evaluation, reported instead of panicking mid-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The detector returned a different number of predictions than posts.
+    PredictionCountMismatch {
+        /// Offending method.
+        method: String,
+        /// Posts in the split.
+        expected: usize,
+        /// Predictions returned.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::PredictionCountMismatch { method, expected, got } => write!(
+                f,
+                "detector {method} must label every post: {expected} posts, {got} predictions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
 /// Prepare the detector on the dataset and evaluate it on `split`.
+///
+/// Panics if the detector mislabels the split; use [`try_evaluate`] to
+/// handle that as an error instead.
 pub fn evaluate(detector: &mut dyn Detector, dataset: &Dataset, split: Split) -> EvalResult {
+    try_evaluate(detector, dataset, split).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`evaluate`].
+pub fn try_evaluate(
+    detector: &mut dyn Detector,
+    dataset: &Dataset,
+    split: Split,
+) -> Result<EvalResult, PipelineError> {
     detector.prepare(dataset);
-    evaluate_prepared(detector, dataset, split)
+    try_evaluate_prepared(detector, dataset, split)
 }
 
 /// Evaluate an already-prepared detector (used when one preparation serves
 /// several evaluations, e.g. the robustness table).
+///
+/// Panics if the detector mislabels the split; use
+/// [`try_evaluate_prepared`] to handle that as an error instead.
 pub fn evaluate_prepared(detector: &dyn Detector, dataset: &Dataset, split: Split) -> EvalResult {
+    try_evaluate_prepared(detector, dataset, split).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`evaluate_prepared`].
+pub fn try_evaluate_prepared(
+    detector: &dyn Detector,
+    dataset: &Dataset,
+    split: Split,
+) -> Result<EvalResult, PipelineError> {
     let examples = dataset.split(split);
     let texts: Vec<&str> = examples.iter().map(|e| e.text.as_str()).collect();
     let ids: Vec<u64> = examples.iter().map(|e| e.id).collect();
     let gold: Vec<usize> = examples.iter().map(|e| e.label).collect();
     let predictions = detector.detect(&dataset.task, &texts, &ids);
-    assert_eq!(predictions.len(), texts.len(), "detector must label every post");
+    if predictions.len() != texts.len() {
+        return Err(PipelineError::PredictionCountMismatch {
+            method: detector.name(),
+            expected: texts.len(),
+            got: predictions.len(),
+        });
+    }
     let pred: Vec<usize> = predictions.iter().map(|p| p.label).collect();
     let confidence: Vec<f64> = predictions.iter().map(|p| p.confidence).collect();
     let n_parse_failures = predictions.iter().filter(|p| p.parse_failed).count();
     let n_refusals = predictions.iter().filter(|p| p.refused).count();
     let metrics = Metrics::compute(&gold, &pred, dataset.task.n_classes());
-    EvalResult {
+    Ok(EvalResult {
         method: detector.name(),
         dataset: dataset.name.to_string(),
         gold,
@@ -69,7 +126,7 @@ pub fn evaluate_prepared(detector: &dyn Detector, dataset: &Dataset, split: Spli
         n_parse_failures,
         n_refusals,
         metrics,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -102,6 +159,36 @@ mod tests {
         let mut det = ClassifierDetector::new(ClassicalKind::LogReg);
         let r = evaluate(&mut det, &d, Split::Test);
         assert!(r.metrics.accuracy > 0.7, "accuracy {}", r.metrics.accuracy);
+    }
+
+    #[test]
+    fn short_prediction_vector_is_an_error_not_a_panic() {
+        use crate::detector::Prediction;
+        use mhd_corpus::taxonomy::Task;
+
+        struct DropsLast;
+        impl Detector for DropsLast {
+            fn name(&self) -> String {
+                "drops_last".into()
+            }
+            fn prepare(&mut self, _dataset: &Dataset) {}
+            fn detect(&self, _task: &Task, texts: &[&str], _ids: &[u64]) -> Vec<Prediction> {
+                texts.iter().skip(1).map(|_| Prediction::new(0, 1.0)).collect()
+            }
+        }
+
+        let d = tiny();
+        let err = try_evaluate(&mut DropsLast, &d, Split::Test).unwrap_err();
+        let expected = d.split_len(Split::Test);
+        assert_eq!(
+            err,
+            PipelineError::PredictionCountMismatch {
+                method: "drops_last".into(),
+                expected,
+                got: expected - 1,
+            }
+        );
+        assert!(err.to_string().contains("drops_last"));
     }
 
     #[test]

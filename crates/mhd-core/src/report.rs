@@ -10,6 +10,7 @@ use crate::experiments_ext::{
     a6_scaling_sweep, a7_ordinal, a8_rationale_quality, a9_seed_variance,
 };
 use mhd_eval::table::Table;
+use rayon::prelude::*;
 
 /// Identifier of a reproducible artifact (table or figure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -162,6 +163,11 @@ impl Artifact {
 }
 
 /// Generate every artifact and render one markdown report.
+///
+/// Artifacts are generated on the rayon pool and stitched together in
+/// report order, so the output is byte-identical to a serial run. Each
+/// artifact's own sweep also parallelizes internally; the shim pool runs
+/// nested parallel sections inline on the already-parallel workers.
 pub fn full_report(cfg: &ExperimentConfig) -> String {
     let mut out = String::new();
     out.push_str("# mhd benchmark report\n\n");
@@ -169,8 +175,10 @@ pub fn full_report(cfg: &ExperimentConfig) -> String {
         "seed = {}, dataset scale = {}, pretrain seed = {}\n\n",
         cfg.seed, cfg.scale, cfg.pretrain_seed
     ));
-    for artifact in Artifact::ALL {
-        out.push_str(&artifact.generate(cfg).to_markdown());
+    let sections: Vec<String> =
+        Artifact::ALL.par_iter().map(|artifact| artifact.generate(cfg).to_markdown()).collect();
+    for section in sections {
+        out.push_str(&section);
         out.push('\n');
     }
     out

@@ -106,12 +106,8 @@ mod tests {
         let mut pred_a = vec![1; 20];
         let mut pred_b = vec![1; 20];
         // 5 discordant each way.
-        for i in 0..5 {
-            pred_a[i] = 0;
-        }
-        for i in 5..10 {
-            pred_b[i] = 0;
-        }
+        pred_a[..5].fill(0);
+        pred_b[5..10].fill(0);
         let r = mcnemar(&gold, &pred_a, &pred_b);
         assert_eq!(r.b, 5);
         assert_eq!(r.c, 5);

@@ -10,8 +10,9 @@ use mhd_text::bpe::estimate_tokens;
 use mhd_text::hashing::fnv1a;
 use mhd_text::lexicon::LexiconCategory;
 use mhd_text::tokenize::words;
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Token accounting for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,13 +97,19 @@ impl std::error::Error for LlmError {}
 
 /// The simulated LLM service: model zoo, backbone, fine-tunes, cache and
 /// cost accounting.
+///
+/// The client is `Send + Sync`: all mutable state sits behind locks (or an
+/// atomic counter), so one client can serve requests from many worker
+/// threads concurrently. Responses stay deterministic per request — the
+/// decision seed depends only on (model, query, seed), never on which
+/// thread issues the call or in what order calls interleave.
 pub struct LlmClient {
-    models: HashMap<String, ModelSpec>,
+    models: RwLock<HashMap<String, ModelSpec>>,
     backbone: Backbone,
-    fine_tuned: HashMap<String, (String, FineTuned)>, // id → (base, ft)
-    cache: RefCell<HashMap<u64, ChatResponse>>,
-    tracker: RefCell<CostTracker>,
-    next_ft_id: RefCell<u64>,
+    fine_tuned: RwLock<HashMap<String, (String, Arc<FineTuned>)>>, // id → (base, ft)
+    cache: Mutex<HashMap<u64, ChatResponse>>,
+    tracker: Mutex<CostTracker>,
+    next_ft_id: AtomicU64,
 }
 
 impl LlmClient {
@@ -111,27 +118,32 @@ impl LlmClient {
     pub fn new(pretrain_seed: u64) -> Self {
         let models = builtin_models().into_iter().map(|m| (m.name.clone(), m)).collect();
         LlmClient {
-            models,
+            models: RwLock::new(models),
             backbone: Backbone::new(pretrain_seed),
-            fine_tuned: HashMap::new(),
-            cache: RefCell::new(HashMap::new()),
-            tracker: RefCell::new(CostTracker::new()),
-            next_ft_id: RefCell::new(0),
+            fine_tuned: RwLock::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            tracker: Mutex::new(CostTracker::new()),
+            next_ft_id: AtomicU64::new(0),
         }
     }
 
     /// Names of all available models (zoo + fine-tunes), sorted.
     pub fn model_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.keys().cloned().collect();
-        names.extend(self.fine_tuned.keys().cloned());
+        let mut names: Vec<String> = self.models.read().expect("models lock").keys().cloned().collect();
+        names.extend(self.fine_tuned.read().expect("ft lock").keys().cloned());
         names.sort();
         names
     }
 
-    /// Spec of a model.
-    pub fn spec(&self, model: &str) -> Option<&ModelSpec> {
-        self.models.get(model).or_else(|| {
-            self.fine_tuned.get(model).and_then(|(base, _)| self.models.get(base))
+    /// Spec of a model (owned: the zoo lives behind a lock).
+    pub fn spec(&self, model: &str) -> Option<ModelSpec> {
+        let models = self.models.read().expect("models lock");
+        models.get(model).cloned().or_else(|| {
+            self.fine_tuned
+                .read()
+                .expect("ft lock")
+                .get(model)
+                .and_then(|(base, _)| models.get(base).cloned())
         })
     }
 
@@ -150,7 +162,7 @@ impl LlmClient {
             format!("{}|{}|{}|{}", req.model, req.prompt, req.temperature.to_bits(), req.seed)
                 .as_bytes(),
         );
-        if let Some(hit) = self.cache.borrow().get(&key) {
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
             return Ok(hit.clone());
         }
 
@@ -177,7 +189,7 @@ impl LlmClient {
             (render_refusal(), None)
         } else if let Some(ft_model) = ft {
             // Fine-tuned path: adapter probabilities over trained labels.
-            let probs = ft_model.predict_proba(&self.backbone, spec, &parsed.query);
+            let probs = ft_model.predict_proba(&self.backbone, &spec, &parsed.query);
             let best = probs
                 .iter()
                 .enumerate()
@@ -187,34 +199,45 @@ impl LlmClient {
             // Fine-tuned models answer in exactly the trained format.
             (format!("Answer: {}", ft_model.labels[best]), Some(probs[best]))
         } else {
-            let decision = self.backbone.decide(spec, &parsed, req.temperature, decision_seed);
+            let decision = self.backbone.decide(&spec, &parsed, req.temperature, decision_seed);
             let conf = decision.confidence();
-            (render_completion(spec, &parsed, &decision, req.temperature, model_seed), Some(conf))
+            (render_completion(&spec, &parsed, &decision, req.temperature, model_seed), Some(conf))
         };
 
         let usage = Usage { prompt_tokens, completion_tokens: estimate_tokens(&text) };
         let response = ChatResponse {
-            cost_usd: cost_usd(spec, &usage),
-            latency_ms: latency_ms(spec, &usage),
+            cost_usd: cost_usd(&spec, &usage),
+            latency_ms: latency_ms(&spec, &usage),
             text,
             usage,
             refused,
             top_prob,
         };
-        self.tracker.borrow_mut().record(&req.model, &usage, response.cost_usd, response.latency_ms);
-        self.cache.borrow_mut().insert(key, response.clone());
+        self.tracker
+            .lock()
+            .expect("tracker lock")
+            .record(&req.model, &usage, response.cost_usd, response.latency_ms);
+        // Two threads may race to compute the same key; both compute the
+        // identical response (pure function of the request), so last-write
+        // wins is harmless.
+        self.cache.lock().expect("cache lock").insert(key, response.clone());
         Ok(response)
     }
 
-    fn resolve(&self, model: &str) -> Result<(&ModelSpec, Option<&FineTuned>), LlmError> {
+    fn resolve(&self, model: &str) -> Result<(ModelSpec, Option<Arc<FineTuned>>), LlmError> {
         // Fine-tunes first: their spec is also registered in `models` (for
         // pricing lookups), but the adapter must drive inference.
-        if let Some((_, ft)) = self.fine_tuned.get(model) {
-            let spec =
-                self.models.get(model).ok_or_else(|| LlmError::UnknownModel(model.to_string()))?;
-            return Ok((spec, Some(ft)));
+        if let Some((_, ft)) = self.fine_tuned.read().expect("ft lock").get(model) {
+            let spec = self
+                .models
+                .read()
+                .expect("models lock")
+                .get(model)
+                .cloned()
+                .ok_or_else(|| LlmError::UnknownModel(model.to_string()))?;
+            return Ok((spec, Some(Arc::clone(ft))));
         }
-        match self.models.get(model) {
+        match self.models.read().expect("models lock").get(model).cloned() {
             Some(spec) => Ok((spec, None)),
             None => Err(LlmError::UnknownModel(model.to_string())),
         }
@@ -222,49 +245,56 @@ impl LlmClient {
 
     /// Register a custom model (e.g. a [`ModelSpec::synthetic`] scale-sweep
     /// point). Rejects name collisions with existing models.
-    pub fn register_model(&mut self, spec: ModelSpec) -> Result<(), LlmError> {
-        if self.models.contains_key(&spec.name) || self.fine_tuned.contains_key(&spec.name) {
+    pub fn register_model(&self, spec: ModelSpec) -> Result<(), LlmError> {
+        let mut models = self.models.write().expect("models lock");
+        if models.contains_key(&spec.name)
+            || self.fine_tuned.read().expect("ft lock").contains_key(&spec.name)
+        {
             return Err(LlmError::ModelExists(spec.name));
         }
-        self.models.insert(spec.name.clone(), spec);
+        models.insert(spec.name.clone(), spec);
         Ok(())
     }
 
     /// Submit a fine-tuning job; returns the new model id (`ft:<base>:<n>`).
-    pub fn fine_tune(&mut self, job: &FineTuneJob) -> Result<String, LlmError> {
+    pub fn fine_tune(&self, job: &FineTuneJob) -> Result<String, LlmError> {
         let base = self
             .models
+            .read()
+            .expect("models lock")
             .get(&job.base_model)
             .ok_or_else(|| LlmError::UnknownModel(job.base_model.clone()))?
             .clone();
+        // Train outside any lock — this is the expensive part.
         let ft = train_finetune(&self.backbone, &base, job).map_err(LlmError::BadFineTune)?;
-        let mut id_counter = self.next_ft_id.borrow_mut();
-        let id = format!("ft:{}:{}", job.base_model, *id_counter);
-        *id_counter += 1;
-        drop(id_counter);
+        let n = self.next_ft_id.fetch_add(1, Ordering::Relaxed);
+        let id = format!("ft:{}:{}", job.base_model, n);
         // A fine-tuned model behaves like its base but with fine-tune-family
         // pricing/fidelity; the adapter drives inference via `resolve`.
         let mut spec = base;
         spec.name = id.clone();
         spec.family = ModelFamily::FineTuned;
-        self.models.insert(id.clone(), spec);
-        self.fine_tuned.insert(id.clone(), (job.base_model.clone(), ft));
+        self.models.write().expect("models lock").insert(id.clone(), spec);
+        self.fine_tuned
+            .write()
+            .expect("ft lock")
+            .insert(id.clone(), (job.base_model.clone(), Arc::new(ft)));
         Ok(id)
     }
 
     /// Cumulative cost totals.
     pub fn tracker(&self) -> CostTracker {
-        self.tracker.borrow().clone()
+        self.tracker.lock().expect("tracker lock").clone()
     }
 
     /// Reset cumulative cost totals.
     pub fn reset_tracker(&self) {
-        self.tracker.borrow_mut().reset();
+        self.tracker.lock().expect("tracker lock").reset();
     }
 
     /// Number of cached responses.
     pub fn cache_len(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().expect("cache lock").len()
     }
 
     /// Access the backbone (used by diagnostics and tests).
@@ -372,7 +402,7 @@ mod tests {
 
     #[test]
     fn finetune_roundtrip() {
-        let mut c = client();
+        let c = client();
         let mk = |t: &str| prompt(t);
         let mut examples = Vec::new();
         for t in [
@@ -406,8 +436,42 @@ mod tests {
 
     #[test]
     fn finetune_of_unknown_base_rejected() {
-        let mut c = client();
+        let c = client();
         let err = c.fine_tune(&FineTuneJob::new("nope", vec![])).unwrap_err();
         assert!(matches!(err, LlmError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn client_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LlmClient>();
+    }
+
+    #[test]
+    fn concurrent_completions_match_serial() {
+        use std::sync::Arc;
+        let serial = client();
+        let expected: Vec<String> = (0..16)
+            .map(|i| {
+                let req = ChatRequest::new("sim-gpt-4", prompt(&format!("post number {i} sad")));
+                serial.complete(&req).expect("ok").text
+            })
+            .collect();
+
+        let shared = Arc::new(client());
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let c = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                let req = ChatRequest::new("sim-gpt-4", prompt(&format!("post number {i} sad")));
+                (i as usize, c.complete(&req).expect("ok").text)
+            }));
+        }
+        for h in handles {
+            let (i, text) = h.join().expect("thread ok");
+            assert_eq!(text, expected[i], "response {i} must not depend on threading");
+        }
+        // Every request recorded exactly once despite contention.
+        assert_eq!(shared.tracker().totals("sim-gpt-4").requests, 16);
     }
 }

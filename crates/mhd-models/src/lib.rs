@@ -41,9 +41,23 @@ pub trait TextClassifier {
     /// Class-probability estimates for one text. Length = `n_classes`.
     fn predict_proba(&self, text: &str) -> Vec<f64>;
 
+    /// Class-probability estimates for a whole batch, one row per text.
+    /// Must produce exactly what mapping [`Self::predict_proba`] over the
+    /// slice would — implementations may only batch or parallelize the
+    /// computation, not change it. The default does just that mapping;
+    /// vectorized models override with a batched sparse fast path.
+    fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        texts.iter().map(|t| self.predict_proba(t)).collect()
+    }
+
     /// Most probable class.
     fn predict(&self, text: &str) -> usize {
         argmax(&self.predict_proba(text))
+    }
+
+    /// Most probable class per text, via [`Self::predict_proba_batch`].
+    fn predict_batch(&self, texts: &[&str]) -> Vec<usize> {
+        self.predict_proba_batch(texts).iter().map(|p| argmax(p)).collect()
     }
 }
 

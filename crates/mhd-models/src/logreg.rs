@@ -5,11 +5,12 @@
 //! surveyed papers ("LogReg + TF-IDF").
 
 use crate::TextClassifier;
-use mhd_text::sparse::SparseVec;
+use mhd_text::sparse::{CsrMatrix, SparseVec};
 use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Hyperparameters for [`LogisticRegression`].
 #[derive(Debug, Clone)]
@@ -45,7 +46,7 @@ impl Default for LogRegConfig {
 #[derive(Debug, Clone)]
 pub struct LogisticRegression {
     config: LogRegConfig,
-    vectorizer: Option<TfidfVectorizer>,
+    vectorizer: Option<Arc<TfidfVectorizer>>,
     weights: Vec<Vec<f64>>, // [class][feature]
     bias: Vec<f64>,
 }
@@ -67,6 +68,59 @@ impl LogisticRegression {
             .zip(&self.bias)
             .map(|(w, &b)| x.dot_dense(w) + b)
             .collect()
+    }
+
+    fn scores_row(&self, xs: &CsrMatrix, i: usize) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, &b)| xs.row_dot_dense(i, w) + b)
+            .collect()
+    }
+
+    /// Fit from an already-fitted vectorizer and pre-transformed training
+    /// matrix (the feature-cache path). Training is identical to
+    /// [`TextClassifier::fit`], which delegates here after vectorizing.
+    pub fn fit_vectorized(
+        &mut self,
+        vectorizer: Arc<TfidfVectorizer>,
+        xs: &CsrMatrix,
+        labels: &[usize],
+        n_classes: usize,
+    ) {
+        assert_eq!(xs.n_rows(), labels.len());
+        let n_features = vectorizer.n_features();
+        self.weights = vec![vec![0.0; n_features]; n_classes];
+        self.bias = vec![0.0; n_classes];
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..xs.n_rows()).collect();
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.config.batch_size.max(1)) {
+                // Accumulate gradient over the batch.
+                let scale = self.config.lr / chunk.len() as f64;
+                for &i in chunk {
+                    let p = softmax(&self.scores_row(xs, i));
+                    for (c, &pc) in p.iter().enumerate() {
+                        let err = pc - if labels[i] == c { 1.0 } else { 0.0 };
+                        if err != 0.0 {
+                            xs.row_add_into_dense(i, &mut self.weights[c], -scale * err);
+                            self.bias[c] -= scale * err;
+                        }
+                    }
+                }
+                // L2 shrinkage once per batch.
+                if self.config.l2 > 0.0 {
+                    let decay = 1.0 - self.config.lr * self.config.l2;
+                    for w in &mut self.weights {
+                        for v in w.iter_mut() {
+                            *v *= decay;
+                        }
+                    }
+                }
+            }
+        }
+        self.vectorizer = Some(vectorizer);
     }
 }
 
@@ -91,44 +145,22 @@ impl TextClassifier for LogisticRegression {
     fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
         assert_eq!(texts.len(), labels.len());
         let vectorizer = TfidfVectorizer::fit(texts, self.config.tfidf.clone());
-        let n_features = vectorizer.n_features();
-        let xs: Vec<SparseVec> = texts.iter().map(|t| vectorizer.transform(t)).collect();
-        self.weights = vec![vec![0.0; n_features]; n_classes];
-        self.bias = vec![0.0; n_classes];
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut order: Vec<usize> = (0..xs.len()).collect();
-        for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
-            for chunk in order.chunks(self.config.batch_size.max(1)) {
-                // Accumulate gradient over the batch.
-                let scale = self.config.lr / chunk.len() as f64;
-                for &i in chunk {
-                    let p = softmax(&self.scores(&xs[i]));
-                    for (c, &pc) in p.iter().enumerate() {
-                        let err = pc - if labels[i] == c { 1.0 } else { 0.0 };
-                        if err != 0.0 {
-                            xs[i].add_into_dense(&mut self.weights[c], -scale * err);
-                            self.bias[c] -= scale * err;
-                        }
-                    }
-                }
-                // L2 shrinkage once per batch.
-                if self.config.l2 > 0.0 {
-                    let decay = 1.0 - self.config.lr * self.config.l2;
-                    for w in &mut self.weights {
-                        for v in w.iter_mut() {
-                            *v *= decay;
-                        }
-                    }
-                }
-            }
-        }
-        self.vectorizer = Some(vectorizer);
+        let xs = vectorizer.transform_csr(texts);
+        self.fit_vectorized(Arc::new(vectorizer), &xs, labels, n_classes);
     }
 
     fn predict_proba(&self, text: &str) -> Vec<f64> {
         let v = self.vectorizer.as_ref().expect("LogisticRegression::fit not called");
         softmax(&self.scores(&v.transform(text)))
+    }
+
+    fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        let v = self.vectorizer.as_ref().expect("LogisticRegression::fit not called");
+        let xs = v.transform_csr(texts);
+        xs.par_linear_scores(&self.weights, &self.bias)
+            .iter()
+            .map(|s| softmax(s))
+            .collect()
     }
 }
 
@@ -194,5 +226,16 @@ mod tests {
     #[should_panic(expected = "fit not called")]
     fn requires_fit() {
         LogisticRegression::new().predict("x");
+    }
+
+    #[test]
+    fn batch_predict_is_bit_identical_to_per_text() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = LogisticRegression::with_config(fast_config());
+        clf.fit(&texts, &labels, 2);
+        let batch = clf.predict_proba_batch(&texts);
+        for (t, row) in texts.iter().zip(&batch) {
+            assert_eq!(row, &clf.predict_proba(t));
+        }
     }
 }

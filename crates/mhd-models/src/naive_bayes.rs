@@ -4,6 +4,7 @@ use crate::TextClassifier;
 use mhd_text::stem::stem;
 use mhd_text::stopwords::is_stopword;
 use mhd_text::tokenize::words;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Multinomial NB classifier.
@@ -119,6 +120,12 @@ impl TextClassifier for NaiveBayes {
         let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
         let sum: f64 = exps.iter().sum();
         exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        // Rows are independent; score them in parallel, output in input
+        // order (identical to mapping predict_proba serially).
+        texts.par_iter().map(|t| self.predict_proba(t)).collect()
     }
 }
 

@@ -5,11 +5,12 @@
 //! from margins with a softmax — adequate for ranking-based metrics.
 
 use crate::TextClassifier;
-use mhd_text::sparse::SparseVec;
+use mhd_text::sparse::{CsrMatrix, SparseVec};
 use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Hyperparameters for [`LinearSvm`].
 #[derive(Debug, Clone)]
@@ -34,7 +35,7 @@ impl Default for SvmConfig {
 #[derive(Debug, Clone)]
 pub struct LinearSvm {
     config: SvmConfig,
-    vectorizer: Option<TfidfVectorizer>,
+    vectorizer: Option<Arc<TfidfVectorizer>>,
     weights: Vec<Vec<f64>>, // [class][feature]
     bias: Vec<f64>,
 }
@@ -53,6 +54,49 @@ impl LinearSvm {
     fn margins(&self, x: &SparseVec) -> Vec<f64> {
         self.weights.iter().zip(&self.bias).map(|(w, &b)| x.dot_dense(w) + b).collect()
     }
+
+    /// Fit from an already-fitted vectorizer and pre-transformed training
+    /// matrix (the feature-cache path). Training is identical to
+    /// [`TextClassifier::fit`], which delegates here after vectorizing.
+    pub fn fit_vectorized(
+        &mut self,
+        vectorizer: Arc<TfidfVectorizer>,
+        xs: &CsrMatrix,
+        labels: &[usize],
+        n_classes: usize,
+    ) {
+        assert_eq!(xs.n_rows(), labels.len());
+        let n_features = vectorizer.n_features();
+        self.weights = vec![vec![0.0; n_features]; n_classes];
+        self.bias = vec![0.0; n_classes];
+        let lambda = self.config.lambda;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..xs.n_rows()).collect();
+        let mut t: u64 = 0;
+        for _ in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                // Smoothed Pegasos schedule: η = 1/(λt + 1) avoids the huge
+                // early steps of the textbook 1/(λt) when λ is small.
+                let eta = 1.0 / (lambda * t as f64 + 1.0);
+                for c in 0..n_classes {
+                    let y = if labels[i] == c { 1.0 } else { -1.0 };
+                    let margin = y * (xs.row_dot_dense(i, &self.weights[c]) + self.bias[c]);
+                    // Regularization shrink.
+                    let shrink = 1.0 - eta * lambda;
+                    for w in self.weights[c].iter_mut() {
+                        *w *= shrink;
+                    }
+                    if margin < 1.0 {
+                        xs.row_add_into_dense(i, &mut self.weights[c], eta * y);
+                        self.bias[c] += eta * y * 0.01; // unregularized, small-rate bias
+                    }
+                }
+            }
+        }
+        self.vectorizer = Some(vectorizer);
+    }
 }
 
 impl Default for LinearSvm {
@@ -69,48 +113,31 @@ impl TextClassifier for LinearSvm {
     fn fit(&mut self, texts: &[&str], labels: &[usize], n_classes: usize) {
         assert_eq!(texts.len(), labels.len());
         let vectorizer = TfidfVectorizer::fit(texts, self.config.tfidf.clone());
-        let xs: Vec<SparseVec> = texts.iter().map(|t| vectorizer.transform(t)).collect();
-        let n_features = vectorizer.n_features();
-        self.weights = vec![vec![0.0; n_features]; n_classes];
-        self.bias = vec![0.0; n_classes];
-        let lambda = self.config.lambda;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut order: Vec<usize> = (0..xs.len()).collect();
-        let mut t: u64 = 0;
-        for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
-            for &i in &order {
-                t += 1;
-                // Smoothed Pegasos schedule: η = 1/(λt + 1) avoids the huge
-                // early steps of the textbook 1/(λt) when λ is small.
-                let eta = 1.0 / (lambda * t as f64 + 1.0);
-                for c in 0..n_classes {
-                    let y = if labels[i] == c { 1.0 } else { -1.0 };
-                    let margin = y * (xs[i].dot_dense(&self.weights[c]) + self.bias[c]);
-                    // Regularization shrink.
-                    let shrink = 1.0 - eta * lambda;
-                    for w in self.weights[c].iter_mut() {
-                        *w *= shrink;
-                    }
-                    if margin < 1.0 {
-                        xs[i].add_into_dense(&mut self.weights[c], eta * y);
-                        self.bias[c] += eta * y * 0.01; // unregularized, small-rate bias
-                    }
-                }
-            }
-        }
-        self.vectorizer = Some(vectorizer);
+        let xs = vectorizer.transform_csr(texts);
+        self.fit_vectorized(Arc::new(vectorizer), &xs, labels, n_classes);
     }
 
     fn predict_proba(&self, text: &str) -> Vec<f64> {
         let v = self.vectorizer.as_ref().expect("LinearSvm::fit not called");
-        let m = self.margins(&v.transform(text));
-        // Softmax over margins as a probability surrogate.
-        let max = m.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let exps: Vec<f64> = m.iter().map(|&s| (s - max).exp()).collect();
-        let sum: f64 = exps.iter().sum();
-        exps.into_iter().map(|e| e / sum).collect()
+        softmax_margins(&self.margins(&v.transform(text)))
     }
+
+    fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        let v = self.vectorizer.as_ref().expect("LinearSvm::fit not called");
+        let xs = v.transform_csr(texts);
+        xs.par_linear_scores(&self.weights, &self.bias)
+            .iter()
+            .map(|m| softmax_margins(m))
+            .collect()
+    }
+}
+
+/// Softmax over margins as a probability surrogate.
+fn softmax_margins(m: &[f64]) -> Vec<f64> {
+    let max = m.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = m.iter().map(|&s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
 }
 
 #[cfg(test)]
@@ -173,5 +200,16 @@ mod tests {
     #[should_panic(expected = "fit not called")]
     fn requires_fit() {
         LinearSvm::new().predict("x");
+    }
+
+    #[test]
+    fn batch_predict_is_bit_identical_to_per_text() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = LinearSvm::with_config(fast_config());
+        clf.fit(&texts, &labels, 2);
+        let batch = clf.predict_proba_batch(&texts);
+        for (t, row) in texts.iter().zip(&batch) {
+            assert_eq!(row, &clf.predict_proba(t));
+        }
     }
 }

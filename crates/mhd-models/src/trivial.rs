@@ -3,7 +3,7 @@
 use crate::TextClassifier;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Always predicts the training-majority class (with prior probabilities).
 #[derive(Debug, Clone, Default)]
@@ -38,17 +38,20 @@ impl TextClassifier for Majority {
     }
 }
 
-/// Uniform-random predictions (seeded; deterministic sequence).
+/// Uniform-random predictions (seeded; deterministic sequence). The RNG sits
+/// behind a `Mutex` so the classifier is `Sync` like every other method —
+/// but note the drawn sequence then depends on call order, so callers that
+/// need reproducibility must invoke it from one thread (the pipeline does).
 #[derive(Debug)]
 pub struct UniformRandom {
     n_classes: usize,
-    rng: RefCell<StdRng>,
+    rng: Mutex<StdRng>,
 }
 
 impl UniformRandom {
     /// New with a seed.
     pub fn new(seed: u64) -> Self {
-        UniformRandom { n_classes: 0, rng: RefCell::new(StdRng::seed_from_u64(seed)) }
+        UniformRandom { n_classes: 0, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
     }
 }
 
@@ -64,7 +67,7 @@ impl TextClassifier for UniformRandom {
     fn predict_proba(&self, _text: &str) -> Vec<f64> {
         assert!(self.n_classes > 0, "UniformRandom::fit not called");
         // A peaked-at-random-class distribution so `predict` is random.
-        let winner = self.rng.borrow_mut().gen_range(0..self.n_classes);
+        let winner = self.rng.lock().expect("rng lock").gen_range(0..self.n_classes);
         let mut p = vec![0.5 / self.n_classes as f64; self.n_classes];
         p[winner] += 0.5;
         p

@@ -363,9 +363,10 @@ mod tests {
             crate::linalg::softmax_xent(&logits, gold).0
         };
         let eps = 2e-3f32;
-        // Check a spread of parameters across every tensor.
+        // Check a spread of parameters across every tensor
+        // (emb index 8 = row 1, col 2 of the 6-wide embedding).
         let checks: [(&str, usize); 6] =
-            [("emb", 1 * 6 + 2), ("att_w", 7), ("att_v", 3), ("w1", 9), ("w2", 4), ("b2", 1)];
+            [("emb", 8), ("att_w", 7), ("att_v", 3), ("w1", 9), ("w2", 4), ("b2", 1)];
         for (tensor_name, idx) in checks {
             let (analytic, numeric) = {
                 let grad = match tensor_name {

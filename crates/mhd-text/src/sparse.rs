@@ -1,7 +1,16 @@
-//! Sparse vector type used by the vectorizers and linear models.
+//! Sparse vector and matrix types used by the vectorizers and linear models.
 //!
 //! A [`SparseVec`] is a sorted list of `(index, value)` pairs. All binary
 //! operations exploit the sorted invariant for O(n + m) merges.
+//!
+//! A [`CsrMatrix`] packs many rows into one compressed-sparse-row buffer:
+//! a whole dataset split vectorized as a unit, with precomputed row norms
+//! and a rayon-parallel scoring kernel. Row operations reproduce the
+//! corresponding [`SparseVec`] operations *bit for bit* (same entry order,
+//! same fold order), so the batched fast path gives byte-identical model
+//! output to the one-vector-at-a-time path.
+
+use rayon::prelude::*;
 
 /// A sparse `f64` vector with sorted, unique indices.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -179,6 +188,114 @@ impl FromIterator<(u32, f64)> for SparseVec {
     }
 }
 
+/// A compressed-sparse-row matrix: many [`SparseVec`]s in one contiguous
+/// buffer. Row `i` occupies `indices[indptr[i]..indptr[i+1]]` /
+/// `values[indptr[i]..indptr[i+1]]`, entries sorted by column index.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsrMatrix {
+    n_cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+    /// Precomputed L2 norm of each row.
+    row_norms: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Pack sparse rows into CSR form. `n_cols` is the feature-space width;
+    /// entries at or beyond it are kept (row ops bound-check exactly like
+    /// [`SparseVec::dot_dense`] does).
+    pub fn from_rows(rows: &[SparseVec], n_cols: usize) -> Self {
+        let nnz: usize = rows.iter().map(|r| r.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut row_norms = Vec::with_capacity(rows.len());
+        indptr.push(0);
+        for row in rows {
+            for (i, v) in row.iter() {
+                indices.push(i);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+            row_norms.push(row.l2_norm());
+        }
+        CsrMatrix { n_cols, indptr, indices, values, row_norms }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Feature-space width declared at construction.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total stored entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The `(indices, values)` slices of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Precomputed L2 norm of row `i`.
+    pub fn row_norm(&self, i: usize) -> f64 {
+        self.row_norms[i]
+    }
+
+    /// Row `i` materialized as a [`SparseVec`].
+    pub fn row_to_sparse(&self, i: usize) -> SparseVec {
+        let (idx, vals) = self.row(i);
+        idx.iter().copied().zip(vals.iter().copied()).collect()
+    }
+
+    /// Dot product of row `i` with a dense weight slice. Identical entry
+    /// order and fold order to [`SparseVec::dot_dense`], so results are
+    /// bit-identical.
+    pub fn row_dot_dense(&self, i: usize, dense: &[f64]) -> f64 {
+        let (idx, vals) = self.row(i);
+        idx.iter()
+            .zip(vals)
+            .filter(|&(&i, _)| (i as usize) < dense.len())
+            .map(|(&i, &v)| v * dense[i as usize])
+            .sum()
+    }
+
+    /// Add `scale * row_i` into a dense accumulator (gradient updates).
+    /// Mirrors [`SparseVec::add_into_dense`].
+    pub fn row_add_into_dense(&self, i: usize, dense: &mut [f64], scale: f64) {
+        let (idx, vals) = self.row(i);
+        for (&i, &v) in idx.iter().zip(vals) {
+            if (i as usize) < dense.len() {
+                dense[i as usize] += scale * v;
+            }
+        }
+    }
+
+    /// Batched linear scoring kernel: for every row, the per-class scores
+    /// `row · weights[c] + bias[c]`. Rows are scored in parallel (rayon);
+    /// output order matches row order, so the result is byte-identical to
+    /// the serial loop.
+    pub fn par_linear_scores(&self, weights: &[Vec<f64>], bias: &[f64]) -> Vec<Vec<f64>> {
+        let rows: Vec<usize> = (0..self.n_rows()).collect();
+        rows.par_iter()
+            .map(|&r| {
+                weights
+                    .iter()
+                    .zip(bias)
+                    .map(|(w, &b)| self.row_dot_dense(r, w) + b)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,5 +369,79 @@ mod tests {
     fn collect_from_iterator() {
         let s: SparseVec = [(2u32, 1.0), (0u32, 1.0)].into_iter().collect();
         assert_eq!(s.max_index(), Some(2));
+    }
+
+    fn csr_fixture() -> (Vec<SparseVec>, CsrMatrix) {
+        let rows = vec![
+            v(&[(0, 1.0), (2, 2.0), (5, 3.0)]),
+            SparseVec::new(),
+            v(&[(1, -1.5), (4, 0.5)]),
+            v(&[(3, 4.0)]),
+        ];
+        let m = CsrMatrix::from_rows(&rows, 6);
+        (rows, m)
+    }
+
+    #[test]
+    fn csr_shape_and_roundtrip() {
+        let (rows, m) = csr_fixture();
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 6);
+        assert_eq!(m.nnz(), 6);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&m.row_to_sparse(i), r);
+        }
+    }
+
+    #[test]
+    fn csr_row_norms_precomputed() {
+        let (rows, m) = csr_fixture();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(m.row_norm(i), r.l2_norm(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn csr_row_dot_dense_bit_identical_to_sparsevec() {
+        let (rows, m) = csr_fixture();
+        // Weight slice shorter than the feature space: the bound-check
+        // filter must behave exactly like SparseVec::dot_dense.
+        for dense in [vec![0.5, -1.0, 2.0, 1.0, 3.0, -2.0], vec![0.5, -1.0, 2.0]] {
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(m.row_dot_dense(i, &dense), r.dot_dense(&dense), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_row_add_into_dense_matches_sparsevec() {
+        let (rows, m) = csr_fixture();
+        for (i, r) in rows.iter().enumerate() {
+            let mut a = vec![1.0; 6];
+            let mut b = vec![1.0; 6];
+            m.row_add_into_dense(i, &mut a, -0.25);
+            r.add_into_dense(&mut b, -0.25);
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+
+    #[test]
+    fn csr_par_linear_scores_matches_serial() {
+        let (rows, m) = csr_fixture();
+        let weights = vec![vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], vec![-1.0, 1.0, -1.0, 1.0, -1.0, 1.0]];
+        let bias = vec![0.05, -0.05];
+        let par = m.par_linear_scores(&weights, &bias);
+        for (i, r) in rows.iter().enumerate() {
+            let serial: Vec<f64> =
+                weights.iter().zip(&bias).map(|(w, &b)| r.dot_dense(w) + b).collect();
+            assert_eq!(par[i], serial, "row {i}");
+        }
+    }
+
+    #[test]
+    fn csr_empty_matrix() {
+        let m = CsrMatrix::from_rows(&[], 10);
+        assert_eq!(m.n_rows(), 0);
+        assert!(m.par_linear_scores(&[vec![0.0; 10]], &[0.0]).is_empty());
     }
 }

@@ -7,7 +7,8 @@
 //! because the surveyed baselines are all described in those terms.
 
 use crate::ngram::ngrams_up_to;
-use crate::sparse::SparseVec;
+use crate::sparse::{CsrMatrix, SparseVec};
+use rayon::prelude::*;
 use crate::stem::stem;
 use crate::stopwords::is_stopword;
 use crate::tokenize::words;
@@ -119,6 +120,15 @@ impl TfidfVectorizer {
         docs.iter().map(|d| self.transform(d.as_ref())).collect()
     }
 
+    /// Transform a whole split into one CSR matrix in a single pass.
+    /// Documents are tokenized and weighted in parallel; row order matches
+    /// input order, and each row equals [`Self::transform`] of that
+    /// document exactly.
+    pub fn transform_csr(&self, docs: &[impl AsRef<str> + Sync]) -> CsrMatrix {
+        let rows: Vec<SparseVec> = docs.par_iter().map(|d| self.transform(d.as_ref())).collect();
+        CsrMatrix::from_rows(&rows, self.n_features())
+    }
+
     /// Feature-space dimensionality.
     pub fn n_features(&self) -> usize {
         self.idf.len()
@@ -215,5 +225,17 @@ mod tests {
         let v = TfidfVectorizer::fit(&corpus(), cfg());
         let x = v.transform("zzz qqq www");
         assert!(x.is_empty());
+    }
+
+    #[test]
+    fn transform_csr_matches_per_doc_transform() {
+        let v = TfidfVectorizer::fit(&corpus(), cfg());
+        let docs = corpus();
+        let m = v.transform_csr(&docs);
+        assert_eq!(m.n_rows(), docs.len());
+        assert_eq!(m.n_cols(), v.n_features());
+        for (i, d) in docs.iter().enumerate() {
+            assert_eq!(m.row_to_sparse(i), v.transform(d), "row {i}");
+        }
     }
 }

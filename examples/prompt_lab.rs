@@ -50,7 +50,7 @@ fn main() {
                 temperature: 0.0,
                 seed: example.id,
             };
-            let resp = client.borrow().complete(&req).expect("completion");
+            let resp = client.complete(&req).expect("completion");
             let (parsed, how) = parse_label(&resp.text, &dataset.task.labels);
             let verdict = match parsed {
                 Some(i) if dataset.task.labels[i] == gold => "✓",

@@ -48,7 +48,6 @@ fn main() {
         &[],
     );
     let resp = client
-        .borrow()
         .complete(&mhd::llm::client::ChatRequest::new("sim-gpt-4", prompt.clone()))
         .expect("completion");
     println!("\n--- prompt ---------------------------------------------------");

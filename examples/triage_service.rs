@@ -72,7 +72,7 @@ fn main() {
             temperature: 0.0,
             seed: example.id,
         };
-        let resp = client.borrow().complete(&req).expect("completion");
+        let resp = client.complete(&req).expect("completion");
         everything_cost += resp.cost_usd;
 
         let llm_label = parse_label(&resp.text, &dataset.task.labels).0.unwrap_or(stage1_label);

@@ -1,0 +1,148 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Implements the harness surface the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Measurement is a
+//! simple calibrated wall-clock loop (median of `sample_size` samples) —
+//! good enough to compare code paths, with none of upstream criterion's
+//! statistical machinery.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+    warmup_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, warmup_iters: 1 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration: run once to estimate per-iteration cost, then choose
+        // an iteration count that gives samples of at least ~5 ms.
+        let mut b = Bencher { iters: self.warmup_iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.div_f64(self.warmup_iters.max(1) as f64);
+        let target = Duration::from_millis(5);
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.div_f64(iters as f64));
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples × {iters} iters)",
+            fmt_duration(lo),
+            fmt_duration(median),
+            fmt_duration(hi),
+            samples.len(),
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Mirror of criterion's group macro: binds a config + target list to a
+/// function that runs them all.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirror of criterion's main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default().sample_size(3);
+        targets = bench_example
+    }
+
+    #[test]
+    fn harness_runs() {
+        demo();
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Supports the features the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//!   inner attribute) generating `cases` deterministic inputs per test;
+//! - strategies: string regex literals (a pragmatic subset: `\PC`, `[...]`
+//!   character classes with ranges, literal characters, and the `*`,
+//!   `{n}`, `{m,n}` quantifiers), numeric ranges, tuples,
+//!   [`collection::vec`], and [`bool::ANY`];
+//! - `prop_assert!` / `prop_assert_eq!` (panicking variants — this shim
+//!   does not shrink failures, it reports the failing case directly).
+//!
+//! Case generation is seeded from the test function's name, so runs are
+//! reproducible without a persistence file.
+
+pub use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values for one test case.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, f32, f64);
+
+/// String regex strategies: `"[a-z]{1,20}"` draws matching strings.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        regex_strings::sample_regex(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of `element` with a length from `sizes`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// `vec(element, 0..20)` — mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, min: sizes.start, max_exclusive: sizes.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.max_exclusive > self.min {
+                rng.gen_range(self.min..self.max_exclusive)
+            } else {
+                self.min
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform true/false.
+    pub struct Any;
+
+    /// Mirror of `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+mod regex_strings {
+    //! Pragmatic regex-subset string generation.
+
+    use rand::rngs::StdRng;
+    use rand::{seq::SliceRandom, Rng};
+
+    enum Atom {
+        /// `\PC`: any printable character (drawn from a fixed pool).
+        AnyPrintable,
+        /// `[...]`: explicit character pool.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Pool for `\PC` — ASCII printables plus a few multibyte characters so
+    /// unicode handling gets exercised.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (' '..='~').collect();
+        pool.extend(['é', 'ß', 'λ', 'З', '中', '😀', '\u{2014}', '\u{00A0}']);
+        pool
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    // Only `\PC` (printable) and escaped literals appear in
+                    // the workspace's patterns.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        Atom::AnyPrintable
+                    } else {
+                        let c = *chars.get(i + 1).unwrap_or(&'\\');
+                        i += 2;
+                        Atom::Literal(c)
+                    }
+                }
+                '[' => {
+                    let mut pool = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            pool.extend(lo..=hi);
+                            i += 3;
+                        } else {
+                            pool.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    Atom::Class(pool)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 64)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 64)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                    match close {
+                        Some(end) => {
+                            let body: String = chars[i + 1..end].iter().collect();
+                            i = end + 1;
+                            match body.split_once(',') {
+                                Some((lo, hi)) => (
+                                    lo.trim().parse().unwrap_or(0),
+                                    hi.trim().parse().unwrap_or(0),
+                                ),
+                                None => {
+                                    let n = body.trim().parse().unwrap_or(1);
+                                    (n, n)
+                                }
+                            }
+                        }
+                        None => (1, 1),
+                    }
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+        let printable = printable_pool();
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = if piece.max > piece.min {
+                rng.gen_range(piece.min..=piece.max)
+            } else {
+                piece.min
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::AnyPrintable => {
+                        out.push(*printable.choose(rng).expect("non-empty pool"));
+                    }
+                    Atom::Class(pool) => {
+                        if let Some(c) = pool.choose(rng) {
+                            out.push(*c);
+                        }
+                    }
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Seed a test's RNG from its name (FNV-1a) so each test gets a distinct
+/// but reproducible stream.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Mirror of proptest's `prop_assert!`: fails the current case. This shim
+/// panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Mirror of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// The `proptest!` block: each contained `#[test] fn name(arg in strategy,
+/// ...) { body }` becomes a regular test running `config.cases` sampled
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[doc = $doc:expr])*
+      #[test]
+      fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::StdRng as ::rand::SeedableRng>::seed_from_u64(
+                $crate::seed_for(stringify!($name)),
+            );
+            for _case in 0..config.cases {
+                $(let $arg = ($strategy).sample(&mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_char_class_with_quantifier() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z]{1,20}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_any_printable_star() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut empties = 0;
+        for _ in 0..300 {
+            let s = "\\PC*".sample(&mut rng);
+            if s.is_empty() {
+                empties += 1;
+            }
+            assert!(s.chars().count() <= 64);
+        }
+        assert!(empties > 0, "star should sometimes produce empty strings");
+    }
+
+    #[test]
+    fn regex_class_with_specials() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let s = "[a-z .!?]{0,200}".sample(&mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || " .!?".contains(c)));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let strat = collection::vec((0u32..64, -5.0f64..5.0), 0..20);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v.len() < 20);
+            for (i, x) in v {
+                assert!(i < 64);
+                assert!((-5.0..5.0).contains(&x));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself drives cases.
+        #[test]
+        fn macro_runs_cases(x in 0u64..100, flag in crate::bool::ANY) {
+            prop_assert!(x < 100);
+            let _ = flag;
+        }
+    }
+}

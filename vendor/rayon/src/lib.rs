@@ -1,0 +1,288 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of rayon it uses: `par_iter()` / `into_par_iter()` with `map`
+//! + `collect` (and `for_each`), backed by `std::thread::scope`.
+//!
+//! Two guarantees the experiment engine relies on:
+//!
+//! 1. **Ordered collection.** `collect()` returns results in the input
+//!    order, regardless of which thread computed which item — parallel
+//!    runs are byte-identical to serial runs.
+//! 2. **Bounded global parallelism.** A process-wide permit pool caps the
+//!    number of extra worker threads at `jobs - 1`. Nested parallel calls
+//!    find the pool drained and simply run inline on the calling thread —
+//!    no oversubscription, no deadlock, same results.
+//!
+//! `ThreadPoolBuilder::new().num_threads(n).build_global()` resizes the
+//! permit pool. Unlike upstream rayon it may be called repeatedly (later
+//! calls win); the determinism tests use this to compare `--jobs 1` and
+//! `--jobs 4` within one process.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker-thread permits available beyond the calling thread.
+/// usize::MAX means "not yet configured" (use available_parallelism).
+static EXTRA_PERMITS: Mutex<Option<usize>> = Mutex::new(None);
+static CONFIGURED_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The number of jobs the global pool is configured for.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_JOBS.load(Ordering::Relaxed) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// Try to take up to `want` worker permits; returns how many were granted.
+fn acquire_permits(want: usize) -> usize {
+    let mut guard = EXTRA_PERMITS.lock().unwrap_or_else(|e| e.into_inner());
+    let available = guard.get_or_insert_with(|| current_num_threads().saturating_sub(1));
+    let granted = want.min(*available);
+    *available -= granted;
+    granted
+}
+
+fn release_permits(n: usize) {
+    let mut guard = EXTRA_PERMITS.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(available) = guard.as_mut() {
+        *available += n;
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`] (the shim
+/// never actually fails; the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Configures the global permit pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: None }
+    }
+
+    /// Total jobs (calling thread included). 0 = auto.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Apply to the global pool. Repeated calls reconfigure (shim
+    /// extension; upstream rayon errors on the second call).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let jobs = match self.num_threads {
+            Some(0) | None => default_jobs(),
+            Some(n) => n,
+        };
+        CONFIGURED_JOBS.store(jobs, Ordering::Relaxed);
+        let mut guard = EXTRA_PERMITS.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(jobs.saturating_sub(1));
+        Ok(())
+    }
+}
+
+/// Ordered parallel map over `items`, writing results into a Vec.
+fn par_map_indexed<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = acquire_permits(n.saturating_sub(1));
+    if workers == 0 {
+        return items.iter().map(f).collect();
+    }
+    let chunks = workers + 1;
+    let chunk_len = n.div_ceil(chunks);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let mut spare: &mut [Option<R>] = &mut out;
+        let mut offset = 0usize;
+        std::thread::scope(|scope| {
+            let mut first: Option<(&[T], &mut [Option<R>])> = None;
+            while offset < n {
+                let len = chunk_len.min(n - offset);
+                let (slot, rest) = spare.split_at_mut(len);
+                spare = rest;
+                let chunk = &items[offset..offset + len];
+                if first.is_none() {
+                    // The calling thread takes the first chunk itself.
+                    first = Some((chunk, slot));
+                } else {
+                    let f = &f;
+                    scope.spawn(move || {
+                        for (s, item) in slot.iter_mut().zip(chunk) {
+                            *s = Some(f(item));
+                        }
+                    });
+                }
+                offset += len;
+            }
+            if let Some((chunk, slot)) = first {
+                for (s, item) in slot.iter_mut().zip(chunk) {
+                    *s = Some(f(item));
+                }
+            }
+        });
+    }
+    release_permits(workers);
+    out.into_iter().map(|r| r.expect("worker filled every slot")).collect()
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every item in parallel for its side effects.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map_indexed(self.items, f);
+    }
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Collect results in input order.
+    pub fn collect<C: FromParallelResults<R>>(self) -> C {
+        C::from_vec(par_map_indexed(self.items, self.f))
+    }
+}
+
+/// Targets `collect()` can produce (Vec only, in this shim).
+pub trait FromParallelResults<R> {
+    /// Build from the ordered result vector.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelResults<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: Sync + 'a;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelRefIterator, ThreadPoolBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_serial() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let parallel: Vec<u64> = items.par_iter().map(|&x| x * x).collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                let inner: Vec<usize> = (0..100).collect();
+                inner.par_iter().map(|&j| i + j).collect::<Vec<_>>().into_iter().sum()
+            })
+            .collect();
+        assert_eq!(sums.len(), 8);
+        assert_eq!(sums[0], (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn reconfigure_global_pool() {
+        ThreadPoolBuilder::new().num_threads(1).build_global().unwrap();
+        let a: Vec<i32> = vec![1, 2, 3].par_iter().map(|&x| x + 1).collect();
+        ThreadPoolBuilder::new().num_threads(4).build_global().unwrap();
+        let b: Vec<i32> = vec![1, 2, 3].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
