@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Regenerate the survey's tables and figures.
 //!
 //! ```text
@@ -33,10 +34,10 @@ fn main() {
         return;
     }
     if let Some(n) = resolve_jobs(options.jobs) {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .expect("worker pool configuration");
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
+            eprintln!("error: cannot configure the worker pool for --jobs {n}: {e}");
+            std::process::exit(2);
+        }
     }
     let started = Instant::now();
     let mut total_rows = 0usize;

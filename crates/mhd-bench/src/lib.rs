@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-bench — benchmark harness
 //!
 //! Two entry points:

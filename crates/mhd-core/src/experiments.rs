@@ -25,7 +25,7 @@ use mhd_corpus::perturb::Perturbation;
 use mhd_corpus::registry::DatasetCard;
 use mhd_eval::calibration::calibration;
 use mhd_eval::confusion::ConfusionMatrix;
-use mhd_eval::table::{fmt3, fmt_pct, Table};
+use mhd_eval::table::{fmt0, fmt1, fmt2, fmt3, fmt4, fmt_pct, fmt_range1, Table};
 use mhd_prompts::template::Strategy;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -117,8 +117,8 @@ pub fn t1_dataset_stats(cfg: &ExperimentConfig) -> Table {
             card.n_classes.to_string(),
             card.n_examples.to_string(),
             format!("{}/{}/{}", card.split_sizes.0, card.split_sizes.1, card.split_sizes.2),
-            format!("{:.1}", card.imbalance),
-            format!("{:.0}", card.avg_tokens),
+            fmt1(card.imbalance),
+            fmt0(card.avg_tokens),
             fmt_pct(card.label_noise),
         ]);
     }
@@ -318,10 +318,10 @@ pub fn t6_cost(cfg: &ExperimentConfig) -> Table {
             let totals = client.tracker().totals(model);
             vec![
                 model.to_string(),
-                format!("{:.0}", totals.prompt_tokens as f64 / n),
-                format!("{:.1}", totals.completion_tokens as f64 / n),
-                format!("{:.4}", totals.usd / n * 1000.0),
-                format!("{:.2}", totals.latency_ms / n / 1000.0),
+                fmt0(totals.prompt_tokens as f64 / n),
+                fmt1(totals.completion_tokens as f64 / n),
+                fmt4(totals.usd / n * 1000.0),
+                fmt2(totals.latency_ms / n / 1000.0),
             ]
         })
         .collect();
@@ -355,6 +355,7 @@ pub fn f1_scale_curve(cfg: &ExperimentConfig) -> Table {
         }
     }
     for (r, model) in eval_cells(&client, &cells).iter().zip(models) {
+        // mhd-lint: allow(R2) — SCALE_LADDER names come from the built-in zoo the client registers at construction
         let params = client.spec(model).expect("ladder model exists").params_b;
         t.push_row(vec![
             model.to_string(),
@@ -421,7 +422,7 @@ pub fn f3_calibration(cfg: &ExperimentConfig) -> Table {
                 .map(|(i, bin)| {
                     vec![
                         model.to_string(),
-                        format!("{:.1}-{:.1}", bin.lo, bin.hi),
+                        fmt_range1(bin.lo, bin.hi),
                         fmt3(bin.mean_confidence),
                         fmt3(bin.accuracy),
                         bin.count.to_string(),

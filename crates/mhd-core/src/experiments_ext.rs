@@ -26,7 +26,7 @@ use mhd_corpus::dataset::Split;
 use mhd_corpus::longitudinal::{generate_cohort, TimelineConfig};
 use mhd_corpus::taxonomy::Task;
 use mhd_eval::mcnemar::mcnemar;
-use mhd_eval::table::{fmt3, fmt_pct, Table};
+use mhd_eval::table::{fmt1, fmt3, fmt_pct, Table};
 use mhd_prompts::select::SelectorKind;
 use mhd_prompts::template::Strategy;
 use rayon::prelude::*;
@@ -170,7 +170,7 @@ pub fn a4_temperature(cfg: &ExperimentConfig) -> Table {
             det.prepare(&dataset);
             let r = evaluate_prepared(&det, &dataset, Split::Test);
             vec![
-                format!("{temp:.1}"),
+                fmt1(temp),
                 fmt3(r.metrics.accuracy),
                 fmt3(r.metrics.weighted_f1),
                 fmt_pct(r.parse_rate()),
@@ -237,7 +237,7 @@ pub fn a5_user_level(cfg: &ExperimentConfig) -> Table {
             if report.mean_delay_days.is_nan() {
                 "-".into()
             } else {
-                format!("{:.1}", report.mean_delay_days)
+                fmt1(report.mean_delay_days)
             },
             fmt3(report.early_fraction),
         ]);
@@ -254,13 +254,20 @@ pub const SWEEP_PARAMS: [f64; 7] = [1.0, 3.0, 7.0, 20.0, 70.0, 200.0, 700.0];
 pub fn a6_scaling_sweep(cfg: &ExperimentConfig) -> Table {
     use mhd_llm::zoo::{ModelFamily, ModelSpec};
     let client = SharedClient::new(cfg.pretrain_seed);
-    // Register the sweep points.
-    for &p in &SWEEP_PARAMS {
-        let name = format!("sweep-{p}b");
-        client
-            .register_model(ModelSpec::synthetic(name, p, ModelFamily::OpenChat))
-            .expect("sweep names are fresh");
-    }
+    // Register the sweep points, keeping each point's capability so workers
+    // never need a fallible zoo lookup. The client is freshly constructed
+    // and sweep names don't collide with the built-in zoo, so a duplicate-
+    // name error cannot occur; if one ever did, the pre-registered spec is
+    // identical and evaluation is unaffected.
+    let points: Vec<(f64, f64)> = SWEEP_PARAMS
+        .iter()
+        .map(|&p| {
+            let spec = ModelSpec::synthetic(format!("sweep-{p}b"), p, ModelFamily::OpenChat);
+            let capability = spec.capability();
+            let _ = client.register_model(spec);
+            (p, capability)
+        })
+        .collect();
     let mut t = Table::new(
         "A6: Dense scaling-law sweep (zero-shot weighted F1)",
         &["params_b", "capability", "dreaddit-s", "swmh-s"],
@@ -269,11 +276,10 @@ pub fn a6_scaling_sweep(cfg: &ExperimentConfig) -> Table {
     // workers only read the zoo.
     let d1 = cfg.dataset(DatasetId::DreadditS);
     let d2 = cfg.dataset(DatasetId::SwmhS);
-    let rows: Vec<Vec<String>> = SWEEP_PARAMS
+    let rows: Vec<Vec<String>> = points
         .par_iter()
-        .map(|&p| {
+        .map(|&(p, capability)| {
             let name = format!("sweep-{p}b");
-            let capability = client.spec(&name).expect("registered").capability();
             let mut row = vec![format!("{p}"), fmt3(capability)];
             for d in [&d1, &d2] {
                 let spec = MethodSpec::Llm { model: name.clone(), strategy: Strategy::ZeroShot };
@@ -386,7 +392,7 @@ pub fn a8_rationale_quality(cfg: &ExperimentConfig) -> Table {
             model.to_string(),
             fmt3(with_rationale as f64 / n),
             fmt3(if with_rationale == 0 { 0.0 } else { grounded as f64 / with_rationale as f64 }),
-            format!("{:.1}", if with_rationale == 0 { 0.0 } else { cited_total as f64 / with_rationale as f64 }),
+            fmt1(if with_rationale == 0 { 0.0 } else { cited_total as f64 / with_rationale as f64 }),
         ]
         })
         .collect();

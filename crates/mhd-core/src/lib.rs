@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-core — the benchmark's public API
 //!
 //! Ties the substrate crates into the system a downstream user consumes:

@@ -9,6 +9,7 @@
 use crate::detector::Detector;
 use mhd_corpus::longitudinal::UserTimeline;
 use mhd_corpus::taxonomy::Task;
+use mhd_eval::table::fmt2;
 
 /// How per-post positive probabilities combine into a user decision.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,8 +29,8 @@ impl Aggregation {
     /// Short name for reports.
     pub fn name(&self) -> String {
         match self {
-            Aggregation::VoteFraction(t) => format!("vote>{t:.2}"),
-            Aggregation::MeanProb(t) => format!("mean_prob>{t:.2}"),
+            Aggregation::VoteFraction(t) => format!("vote>{}", fmt2(*t)),
+            Aggregation::MeanProb(t) => format!("mean_prob>{}", fmt2(*t)),
             Aggregation::ConsecutivePositives(n) => format!("streak_{n}"),
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-corpus — synthetic social-media mental-health corpus
 //!
 //! This crate replaces the IRB/API-gated Reddit and Twitter datasets used in

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-eval — evaluation metrics and reporting
 //!
 //! All measurement machinery for the benchmark:

@@ -102,9 +102,38 @@ impl Table {
     }
 }
 
+// The fmtN helpers below are the single home for float precision in report
+// output (enforced by mhd-lint rule R4): every table/CSV cell routes through
+// one of them, so changing a precision decision changes exactly one line.
+
+/// Format a float rounded to an integer (counts, token averages).
+pub fn fmt0(x: f64) -> String {
+    format!("{x:.0}")
+}
+
+/// Format a float with 1 decimal (ratios, day counts).
+pub fn fmt1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 2 decimals (thresholds).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
 /// Format a float with 3 decimals (the tables' numeric style).
 pub fn fmt3(x: f64) -> String {
     format!("{x:.3}")
+}
+
+/// Format a float with 4 decimals (cost figures).
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Format a half-open numeric range with 1 decimal per endpoint (bin labels).
+pub fn fmt_range1(lo: f64, hi: f64) -> String {
+    format!("{lo:.1}-{hi:.1}")
 }
 
 /// Format a float as a percentage with 1 decimal.
@@ -158,7 +187,12 @@ mod tests {
 
     #[test]
     fn formatters() {
+        assert_eq!(fmt0(123.4), "123");
+        assert_eq!(fmt1(2.26), "2.3");
+        assert_eq!(fmt2(0.304), "0.30");
         assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt4(0.00012), "0.0001");
+        assert_eq!(fmt_range1(0.0, 0.5), "0.0-0.5");
         assert_eq!(fmt_pct(0.876), "87.6%");
     }
 }

@@ -1,0 +1,237 @@
+#![forbid(unsafe_code)]
+//! # mhd-lint — project-specific static analysis for the mhd workspace
+//!
+//! PR 1 made the experiment engine concurrent (rayon sweeps, a process-wide
+//! feature cache, a shared LLM client behind locks). The benchmark's headline
+//! guarantee — **tables byte-identical at any `--jobs` count** — now rests on
+//! invariants that nothing in `rustc` or clippy machine-checks. This crate
+//! checks them. It parses every workspace `.rs` file with a small
+//! self-contained lexer (no external dependencies, consistent with the
+//! vendored-shim approach) and enforces four rule families:
+//!
+//! - **R1 — determinism**: no `SystemTime::now` / `Instant::now` outside the
+//!   `mhd-bench` timing code, no `thread_rng`/`from_entropy`, and no
+//!   `HashMap`/`HashSet` in the report/table-emission modules (use `BTreeMap`
+//!   or sort explicitly before emitting rows).
+//! - **R2 — panic-freedom**: no `unwrap()` / `expect()` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` / indexing-by-integer-literal
+//!   in non-test code on the evaluation hot path (`mhd-core::pipeline`,
+//!   `mhd-core::experiments*`, `mhd-llm::client`, `mhd-text::sparse`). Steer
+//!   to `PipelineError` / `LlmError` or lock-poison recovery instead.
+//! - **R3 — lock discipline**: a `lock()` / `read()` / `write()` guard must
+//!   not be live in the same scope as a `par_iter` / `spawn` / `install`
+//!   call — holding a lock across a fan-out serializes the pool at best and
+//!   deadlocks it at worst.
+//! - **R4 — float-format hygiene**: report/CSV code must route float cells
+//!   through the shared [`mhd_eval::table`] helpers (`fmt0`…`fmt4`,
+//!   `fmt_pct`, `fmt_range1`) instead of inline `{:.N}` format strings, so
+//!   tables stay byte-stable when a precision decision changes.
+//!
+//! Deliberate exceptions are annotated in the source as
+//!
+//! ```text
+//! // mhd-lint: allow(R2) — reason the exception is sound
+//! ```
+//!
+//! either trailing the offending line or on the line directly above it. The
+//! reason is mandatory; an annotation without one is itself reported (rule
+//! id `R0`).
+//!
+//! Run as `cargo run -p mhd-lint -- check` (human text) or
+//! `cargo run -p mhd-lint -- check --format json` (CI). Exit status is 0
+//! when clean, 1 when findings exist, 2 on usage errors.
+//!
+//! Scope notes: `vendor/` (API-compatible offline shims of external crates),
+//! `target/`, and `tests/fixtures/` directories are excluded from the walk;
+//! test code (`#[cfg(test)]` modules, `#[test]` functions, files under
+//! `tests/` or `benches/`) is exempt from every rule.
+
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::path::Path;
+
+/// Identifier of a lint rule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Meta rule: malformed `mhd-lint: allow(...)` annotation.
+    R0,
+    /// Determinism: wall-clock, ambient RNG, unordered map iteration.
+    R1,
+    /// Panic-freedom on the evaluation hot path.
+    R2,
+    /// Lock discipline around parallel regions.
+    R3,
+    /// Float-format hygiene in report code.
+    R4,
+}
+
+impl RuleId {
+    /// All enforceable rule families (excludes the meta rule R0).
+    pub const ALL: [RuleId; 4] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4];
+
+    /// Canonical rule id string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::R0 => "R0",
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+        }
+    }
+
+    /// Parse a rule id (case-insensitive).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "R0" => Some(RuleId::R0),
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule family that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was found.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+/// Linter configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Apply every rule to every file regardless of the built-in path
+    /// scoping (used by the fixture tests).
+    pub all_files: bool,
+}
+
+/// Lint one file's source text. `path` should be workspace-relative with
+/// forward slashes; it drives the per-rule scoping.
+pub fn lint_source(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
+    let sf = source::SourceFile::parse(path, src);
+    rules::lint_file(&sf, cfg)
+}
+
+/// Walk the workspace rooted at `root` and lint every in-scope `.rs` file.
+/// Findings are sorted by `(path, line, rule)`.
+pub fn run_check(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> {
+    let files = walk::collect_rs_files(root)?;
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)
+            .map_err(|e| format!("reading {}: {e}", file.display()))?;
+        findings.extend(lint_source(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    Ok(findings)
+}
+
+/// Render findings as human-readable text (one block per finding).
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("{}:{} [{}] {}\n    fix: {}\n", f.path, f.line, f.rule, f.message, f.hint));
+    }
+    out.push_str(&format!(
+        "mhd-lint: {} finding(s)\n",
+        findings.len()
+    ));
+    out
+}
+
+/// Render findings as machine-readable JSON for CI.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"hint\":\"{}\"}}",
+            f.rule,
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.message),
+            json_escape(&f.hint),
+        ));
+    }
+    out.push_str(&format!("],\"total\":{}}}", findings.len()));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_id_roundtrip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.as_str()), Some(r));
+            assert_eq!(RuleId::parse(&r.as_str().to_lowercase()), Some(r));
+        }
+        assert_eq!(RuleId::parse("R9"), None);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_shape() {
+        let f = Finding {
+            rule: RuleId::R2,
+            path: "x.rs".into(),
+            line: 3,
+            message: "m".into(),
+            hint: "h".into(),
+        };
+        let j = render_json(&[f]);
+        assert!(j.contains("\"rule\":\"R2\""));
+        assert!(j.contains("\"line\":3"));
+        assert!(j.ends_with("\"total\":1}"));
+        assert_eq!(render_json(&[]), "{\"findings\":[],\"total\":0}");
+    }
+}

@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+//! `mhd-lint` CLI — see the library docs for the rule set.
+//!
+//! ```text
+//! cargo run -p mhd-lint -- check [--root <dir>] [--format text|json]
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings reported, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mhd_lint::{render_json, render_text, run_check, LintConfig};
+
+const USAGE: &str = "usage: mhd-lint check [--root <dir>] [--format text|json]";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mhd-lint: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some(other) => return Err(format!("unknown command `{other}`")),
+        None => return Err("missing command".to_string()),
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory argument")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+                None => return Err("--format requires `text` or `json`".to_string()),
+            },
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    // Default to the workspace root the binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    if !root.is_dir() {
+        return Err(format!("root `{}` is not a directory", root.display()));
+    }
+    let findings = run_check(&root, &LintConfig::default())?;
+    match format {
+        Format::Text => print!("{}", render_text(&findings)),
+        Format::Json => println!("{}", render_json(&findings)),
+    }
+    Ok(if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}

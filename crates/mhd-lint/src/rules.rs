@@ -1,0 +1,381 @@
+//! The rule scanners (R1–R4) plus the meta rule for malformed annotations.
+//!
+//! All scanners run on the masked source view (comments and literal contents
+//! blanked), so a pattern inside a doc comment or a string never fires. Test
+//! code is exempt from every rule. Each rule carries a built-in path scope
+//! mirroring the invariant it protects; `LintConfig::all_files` overrides the
+//! scoping for fixture tests.
+
+use crate::source::SourceFile;
+use crate::{Finding, LintConfig, RuleId};
+
+/// Files whose functions feed report/table emission. HashMap/HashSet
+/// iteration order would leak into row order here (R1), and inline float
+/// formats would make table bytes depend on scattered precision choices (R4).
+const REPORT_PATH_FILES: [&str; 4] = [
+    "crates/mhd-core/src/experiments.rs",
+    "crates/mhd-core/src/experiments_ext.rs",
+    "crates/mhd-core/src/report.rs",
+    "crates/mhd-core/src/user_level.rs",
+];
+
+/// The evaluation hot path: a panic in any of these kills a whole sweep.
+const R2_FILES: [&str; 5] = [
+    "crates/mhd-core/src/pipeline.rs",
+    "crates/mhd-core/src/experiments.rs",
+    "crates/mhd-core/src/experiments_ext.rs",
+    "crates/mhd-llm/src/client.rs",
+    "crates/mhd-text/src/sparse.rs",
+];
+
+/// Where the shared float-format helpers live (exempt from R4 by definition).
+const FMT_HELPER_FILE: &str = "crates/mhd-eval/src/table.rs";
+
+fn is_report_path(path: &str) -> bool {
+    REPORT_PATH_FILES.iter().any(|f| path.ends_with(f)) || path.contains("crates/mhd-eval/src/")
+}
+
+fn in_r1_clock_scope(path: &str) -> bool {
+    // mhd-bench is the one place allowed to read the wall clock: its whole
+    // job is timing, and timing output goes to stderr, never into a table.
+    !path.contains("crates/mhd-bench/")
+}
+
+fn in_r2_scope(path: &str) -> bool {
+    R2_FILES.iter().any(|f| path.ends_with(f))
+}
+
+fn in_r4_scope(path: &str) -> bool {
+    is_report_path(path) && !path.ends_with(FMT_HELPER_FILE)
+}
+
+/// Run every rule over one parsed file.
+pub fn lint_file(sf: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
+    let mut out = Vec::new();
+    meta_rule(sf, &mut out);
+    r1_determinism(sf, cfg, &mut out);
+    r2_panic_freedom(sf, cfg, &mut out);
+    r3_lock_discipline(sf, cfg, &mut out);
+    r4_float_format(sf, cfg, &mut out);
+    out
+}
+
+fn push(sf: &SourceFile, out: &mut Vec<Finding>, rule: RuleId, line: usize, message: String, hint: &str) {
+    if sf.is_allowed(rule, line) {
+        return;
+    }
+    out.push(Finding { rule, path: sf.path.clone(), line, message, hint: hint.to_string() });
+}
+
+/// R0 — malformed `mhd-lint: allow(...)` annotations.
+fn meta_rule(sf: &SourceFile, out: &mut Vec<Finding>) {
+    for (line, problem) in &sf.bad_annotations {
+        out.push(Finding {
+            rule: RuleId::R0,
+            path: sf.path.clone(),
+            line: *line,
+            message: format!("malformed allow annotation: {problem}"),
+            hint: "write `// mhd-lint: allow(<rule>) — <reason>`; the reason is mandatory".to_string(),
+        });
+    }
+}
+
+/// R1 — determinism: wall clock, ambient RNG, unordered map iteration.
+fn r1_determinism(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let clock_scope = cfg.all_files || in_r1_clock_scope(&sf.path);
+    let hash_scope = cfg.all_files || is_report_path(&sf.path);
+    if !clock_scope && !hash_scope {
+        return;
+    }
+    for (idx, line) in sf.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if sf.is_test(lineno) {
+            continue;
+        }
+        if clock_scope {
+            for pat in ["SystemTime::now", "Instant::now"] {
+                if find_token(line, pat) {
+                    push(sf, out, RuleId::R1, lineno,
+                        format!("`{pat}` in result-path code: wall-clock reads make runs non-reproducible"),
+                        "derive timing-free logic from config/seeds; only mhd-bench timing code may read the clock");
+                }
+            }
+            for pat in ["thread_rng", "from_entropy"] {
+                if find_token(line, pat) {
+                    push(sf, out, RuleId::R1, lineno,
+                        format!("`{pat}` draws OS entropy: output would differ run to run"),
+                        "seed an explicit StdRng (e.g. SeedableRng::seed_from_u64) from the experiment config");
+                }
+            }
+        }
+        if hash_scope {
+            for pat in ["HashMap", "HashSet"] {
+                if find_token(line, pat) {
+                    push(sf, out, RuleId::R1, lineno,
+                        format!("`{pat}` in report-path code: iteration order is unspecified and would leak into emitted rows"),
+                        "use BTreeMap/BTreeSet, or collect and sort explicitly before emitting");
+                }
+            }
+        }
+    }
+}
+
+/// R2 — panic-freedom on the evaluation hot path.
+fn r2_panic_freedom(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !(cfg.all_files || in_r2_scope(&sf.path)) {
+        return;
+    }
+    const HINT: &str = "return PipelineError/LlmError (or recover, e.g. PoisonError::into_inner) instead of panicking";
+    for (idx, line) in sf.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if sf.is_test(lineno) {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            push(sf, out, RuleId::R2, lineno,
+                "`.unwrap()` in hot-path code: a stray None/Err kills the whole sweep".to_string(), HINT);
+        }
+        if line.contains(".expect(") {
+            push(sf, out, RuleId::R2, lineno,
+                "`.expect(…)` in hot-path code: a stray None/Err kills the whole sweep".to_string(), HINT);
+        }
+        for pat in ["panic!", "unreachable!", "todo!", "unimplemented!"] {
+            if find_token(line, pat) {
+                push(sf, out, RuleId::R2, lineno,
+                    format!("`{pat}` in hot-path code"), HINT);
+            }
+        }
+        if has_literal_index(line) {
+            push(sf, out, RuleId::R2, lineno,
+                "indexing by integer literal in hot-path code: panics on short input".to_string(),
+                "use .get(i) / .first() and handle the None arm");
+        }
+    }
+}
+
+/// Calls that fan work out onto other threads.
+const PARALLEL_MARKERS: [&str; 7] =
+    ["par_iter", "into_par_iter", "par_chunks", "par_bridge", "par_sort_unstable", "spawn", "install"];
+
+/// R3 — no lock guard may stay live across a parallel region.
+fn r3_lock_discipline(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    let _ = cfg; // R3 applies workspace-wide.
+    let mut depth = 0i64;
+    // Live guards: (binding line, scope depth at the binding).
+    let mut guards: Vec<(usize, i64)> = Vec::new();
+    for (idx, line) in sf.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let test = sf.is_test(lineno);
+        if !test {
+            if line.contains("let ")
+                && (line.contains(".lock()") || line.contains(".read()") || line.contains(".write()"))
+            {
+                guards.push((lineno, depth));
+            }
+            if let Some(&(guard_line, _)) = guards.first() {
+                if PARALLEL_MARKERS.iter().any(|m| find_call(line, m)) {
+                    push(sf, out, RuleId::R3, lineno,
+                        format!("parallel call while the lock guard bound on line {guard_line} is still live"),
+                        "drop the guard before fanning out: bind it in a nested block, or clone the needed data out");
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    guards.retain(|&(_, d)| d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// R4 — float formatting in report code must use the shared helpers.
+fn r4_float_format(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !(cfg.all_files || in_r4_scope(&sf.path)) {
+        return;
+    }
+    for lit in &sf.strings {
+        if sf.is_test(lit.line) {
+            continue;
+        }
+        if has_precision_format(&lit.content) {
+            push(sf, out, RuleId::R4, lit.line,
+                "inline `{:.N}` float format in report code: table bytes depend on a scattered precision choice".to_string(),
+                "route the cell through mhd_eval::table helpers (fmt0…fmt4, fmt_pct, fmt_range1)");
+        }
+    }
+}
+
+/// Does `line` contain `pat` with a non-identifier char on each side?
+fn find_token(line: &str, pat: &str) -> bool {
+    let ch: Vec<char> = line.chars().collect();
+    let pc: Vec<char> = pat.chars().collect();
+    if pc.is_empty() || ch.len() < pc.len() {
+        return false;
+    }
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    for start in 0..=(ch.len() - pc.len()) {
+        if ch[start..start + pc.len()] != pc[..] {
+            continue;
+        }
+        let before_ok = start == 0 || !ident(ch[start - 1]);
+        let after = ch.get(start + pc.len());
+        let after_ok = after.is_none_or(|&c| !ident(c));
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does `line` contain a call `pat(` with a non-identifier char before it?
+fn find_call(line: &str, pat: &str) -> bool {
+    let mut with_paren = String::from(pat);
+    with_paren.push('(');
+    find_token(line, &with_paren) || find_token(line, pat) && line.contains(&with_paren)
+}
+
+/// Detect `expr[<integer literal>]` indexing.
+fn has_literal_index(line: &str) -> bool {
+    let ch: Vec<char> = line.chars().collect();
+    for k in 0..ch.len() {
+        if ch[k] != '[' {
+            continue;
+        }
+        // The char before the bracket must end an indexable expression.
+        let mut p = k;
+        let mut prev = None;
+        while p > 0 {
+            p -= 1;
+            if !ch[p].is_whitespace() {
+                prev = Some(ch[p]);
+                break;
+            }
+        }
+        let indexable = matches!(prev, Some(c) if c.is_alphanumeric() || c == '_' || c == ')' || c == ']');
+        if !indexable {
+            continue;
+        }
+        let mut j = k + 1;
+        let mut content = String::new();
+        while j < ch.len() && ch[j] != ']' {
+            content.push(ch[j]);
+            j += 1;
+        }
+        if j < ch.len() && !content.is_empty() && content.chars().all(|c| c.is_ascii_digit()) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does a format string contain a `{…:.N}`-style precision spec?
+fn has_precision_format(s: &str) -> bool {
+    let ch: Vec<char> = s.chars().collect();
+    let mut in_spec = false;
+    for k in 0..ch.len() {
+        match ch[k] {
+            '{' => in_spec = true,
+            '}' => in_spec = false,
+            ':' if in_spec
+                && ch.get(k + 1) == Some(&'.')
+                && ch.get(k + 2).is_some_and(|c| c.is_ascii_digit() || *c == '*') =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_all(src: &str) -> Vec<Finding> {
+        crate::lint_source("fixture.rs", src, &LintConfig { all_files: true })
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(find_token("let r = thread_rng();", "thread_rng"));
+        assert!(!find_token("let r = my_thread_rng();", "thread_rng"));
+        assert!(!find_token("thread_rngs()", "thread_rng"));
+        assert!(find_token("std::time::Instant::now()", "Instant::now"));
+        assert!(!find_token("MyInstant::now()", "Instant::now"));
+    }
+
+    #[test]
+    fn literal_index_detection() {
+        assert!(has_literal_index("let x = row[3];"));
+        assert!(has_literal_index("let x = t.rows()[0];"));
+        assert!(!has_literal_index("let x = row[i];"));
+        assert!(!has_literal_index("let x = row[1..];"));
+        assert!(!has_literal_index("let a = [0, 1];"));
+        assert!(!has_literal_index("let a = vec![0.0; 3];"));
+        assert!(!has_literal_index("#[cfg(feature = \"x\")]"));
+    }
+
+    #[test]
+    fn precision_format_detection() {
+        assert!(has_precision_format("{:.3}"));
+        assert!(has_precision_format("value {x:.1}%"));
+        assert!(!has_precision_format("{x}"));
+        assert!(!has_precision_format("{:>3}"));
+        assert!(!has_precision_format("no braces :.3 here"));
+    }
+
+    #[test]
+    fn parallel_call_detection() {
+        assert!(find_call("rows.par_iter().map(f)", "par_iter"));
+        assert!(find_call("thread::spawn(move || {})", "spawn"));
+        assert!(find_call("scope.spawn(|| {})", "spawn"));
+        assert!(!find_call("respawn(x)", "spawn"));
+        assert!(find_call("pool.install(|| f())", "install"));
+    }
+
+    #[test]
+    fn r2_fires_and_test_code_exempt() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        let f = lint_all(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::R2);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r3_guard_across_parallel() {
+        let src = "fn f() {\n    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    xs.par_iter().for_each(run);\n}\n";
+        let f = lint_all(src);
+        let r3: Vec<_> = f.iter().filter(|f| f.rule == RuleId::R3).collect();
+        assert_eq!(r3.len(), 1);
+        assert_eq!(r3[0].line, 3);
+        assert!(r3[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn r3_scoped_guard_is_clean() {
+        let src = "fn f() {\n    let v = {\n        let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n        g.len()\n    };\n    xs.par_iter().for_each(run);\n}\n";
+        let f = lint_all(src);
+        assert!(f.iter().all(|f| f.rule != RuleId::R3), "{f:?}");
+    }
+
+    #[test]
+    fn allow_suppresses() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // mhd-lint: allow(R2) — input statically non-empty\n}\n";
+        let f = lint_all(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn string_and_comment_content_never_fires() {
+        let src = "// calls .unwrap() and panic! in prose\npub fn f() -> &'static str {\n    \"SystemTime::now() .unwrap() panic! HashMap\"\n}\n";
+        let f = lint_all(src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

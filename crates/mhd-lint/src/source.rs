@@ -1,0 +1,501 @@
+//! Source model: a small self-contained Rust lexer and line classifier.
+//!
+//! The lexer produces a **masked** view of the file — comments and
+//! string/char literal *contents* replaced by spaces, with the line structure
+//! preserved — so the rule scanners can match code tokens without tripping
+//! over prose. String literal contents are kept separately (R4 inspects
+//! format strings), as are comments (allow annotations live there).
+
+use crate::RuleId;
+
+/// A string literal's content, anchored to the line it starts on.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Literal content (escapes kept verbatim).
+    pub content: String,
+}
+
+/// A parsed source file ready for rule scanning.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Masked code, split into lines (same line numbering as the original).
+    pub lines: Vec<String>,
+    /// String literals (content + start line).
+    pub strings: Vec<StrLit>,
+    test_lines: Vec<bool>,
+    allows: Vec<Vec<RuleId>>,
+    /// Malformed allow annotations: `(line, problem)`.
+    pub bad_annotations: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Lex and classify `src`.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let lines: Vec<String> = lexed.masked.split('\n').map(str::to_string).collect();
+        let n = lines.len();
+        let whole_file_test = is_test_path(path);
+        let test_lines = compute_test_lines(&lexed.masked, whole_file_test, n);
+        let mut allows = vec![Vec::new(); n + 1];
+        let mut bad_annotations = Vec::new();
+        for (line, text) in &lexed.comments {
+            match parse_allow(text) {
+                None => {}
+                Some(Err(problem)) => bad_annotations.push((*line, problem)),
+                Some(Ok(rules)) => {
+                    let target = annotation_target(&lines, *line);
+                    if target <= n {
+                        allows[target].extend(rules);
+                    }
+                }
+            }
+        }
+        SourceFile { path: path.to_string(), lines, strings: lexed.strings, test_lines, allows, bad_annotations }
+    }
+
+    /// Is `line` (1-based) inside test code?
+    pub fn is_test(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// Is `rule` allow-annotated on `line`?
+    pub fn is_allowed(&self, rule: RuleId, line: usize) -> bool {
+        self.allows.get(line).is_some_and(|rs| rs.contains(&rule))
+    }
+}
+
+/// Whole files under `tests/` or `benches/` directories are test code.
+fn is_test_path(path: &str) -> bool {
+    let p = format!("/{}", path.replace('\\', "/"));
+    p.contains("/tests/") || p.contains("/benches/")
+}
+
+struct Lexed {
+    masked: String,
+    comments: Vec<(usize, String)>,
+    strings: Vec<StrLit>,
+}
+
+/// Mask comments and literal contents, preserving newlines and code tokens.
+fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut strings: Vec<StrLit> = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let mut text = String::new();
+            while i < b.len() && b[i] != '\n' {
+                text.push(b[i]);
+                out.push(' ');
+                i += 1;
+            }
+            comments.push((line, text));
+            continue;
+        }
+        // Block comment (nesting per the Rust grammar).
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            let mut text = String::new();
+            let start_line = line;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    text.push(b[i]);
+                    i += 1;
+                }
+            }
+            comments.push((start_line, text));
+            continue;
+        }
+        // Raw (and raw byte) strings: r"..", r#".."#, br#".."#.
+        if (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')))
+            && !(i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_'))
+        {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                for &ch in &b[i..=j] {
+                    out.push(ch);
+                }
+                let start_line = line;
+                let mut content = String::new();
+                let mut k = j + 1;
+                while k < b.len() {
+                    if b[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && b.get(k + 1 + h) == Some(&'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            out.push('"');
+                            out.extend(std::iter::repeat_n('#', hashes));
+                            k += 1 + hashes;
+                            break;
+                        }
+                    }
+                    if b[k] == '\n' {
+                        line += 1;
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    content.push(b[k]);
+                    k += 1;
+                }
+                strings.push(StrLit { line: start_line, content });
+                i = k;
+                continue;
+            }
+            // Not a raw string ("r" as identifier start): fall through.
+        }
+        // Plain (and byte) strings.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            let start_line = line;
+            let mut content = String::new();
+            while i < b.len() {
+                if b[i] == '\\' && i + 1 < b.len() {
+                    content.push(b[i]);
+                    content.push(b[i + 1]);
+                    out.push(' ');
+                    if b[i + 1] == '\n' {
+                        line += 1;
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                content.push(b[i]);
+                i += 1;
+            }
+            strings.push(StrLit { line: start_line, content });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                // Escaped char literal, e.g. '\n', '\'', '\u{1f600}'.
+                out.push('\'');
+                out.push(' ');
+                out.push(' ');
+                i += 3;
+                while i < b.len() && b[i] != '\'' {
+                    if b[i] == '\n' {
+                        line += 1;
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') && b.get(i + 1).is_some_and(|&x| x != '\'') {
+                // Plain char literal 'x'.
+                out.push('\'');
+                out.push(' ');
+                out.push('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime: keep the quote, scan on.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+    Lexed { masked: out.into_iter().collect(), comments, strings }
+}
+
+/// Mark every line that belongs to `#[cfg(test)]` / `#[test]` items.
+fn compute_test_lines(masked: &str, whole_file_test: bool, n_lines: usize) -> Vec<bool> {
+    let mut flags = vec![whole_file_test; n_lines + 1];
+    if whole_file_test {
+        return flags;
+    }
+    let b: Vec<char> = masked.chars().collect();
+    let mut line = 1usize;
+    let mut depth = 0i64;
+    let mut armed = false;
+    let mut armed_line = 0usize;
+    let mut region_close: Option<i64> = None;
+    let mut region_start_line = 0usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '#' if b.get(i + 1) == Some(&'[') => {
+                // Scan the attribute to its matching bracket.
+                let mut j = i + 2;
+                let mut bd = 1usize;
+                let mut attr = String::new();
+                while j < b.len() && bd > 0 {
+                    match b[j] {
+                        '[' => bd += 1,
+                        ']' => bd -= 1,
+                        '\n' => line += 1,
+                        _ => {}
+                    }
+                    if bd > 0 {
+                        attr.push(b[j]);
+                    }
+                    j += 1;
+                }
+                let a = attr.trim();
+                if a == "test" || a.contains("cfg(test)") || a.contains("cfg(any(test") || a.contains("cfg(all(test") {
+                    armed = true;
+                    armed_line = line;
+                }
+                i = j;
+            }
+            '{' => {
+                if armed && region_close.is_none() {
+                    region_close = Some(depth);
+                    region_start_line = armed_line;
+                    armed = false;
+                }
+                depth += 1;
+                i += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if region_close == Some(depth) {
+                    for flag in flags.iter_mut().take(line.min(n_lines) + 1).skip(region_start_line) {
+                        *flag = true;
+                    }
+                    region_close = None;
+                }
+                i += 1;
+            }
+            ';' => {
+                // `#[cfg(test)] use …;` — the item ended without a body.
+                if region_close.is_none() {
+                    armed = false;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if region_close.is_some() {
+        for flag in flags.iter_mut().take(n_lines + 1).skip(region_start_line) {
+            *flag = true;
+        }
+    }
+    flags
+}
+
+/// Parse one comment for an allow annotation.
+///
+/// Returns `None` when the comment is not an annotation, `Some(Err(..))`
+/// when it is malformed, and `Some(Ok(rules))` when valid.
+fn parse_allow(comment: &str) -> Option<Result<Vec<RuleId>, String>> {
+    // Annotations are plain `//` comments. Doc comments (`///`, `//!`) are
+    // prose and may legitimately *describe* the annotation syntax.
+    let trimmed = comment.trim_start();
+    if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+        return None;
+    }
+    let idx = comment.find("mhd-lint:")?;
+    let rest = comment[idx + "mhd-lint:".len()..].trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return Some(Err("expected `allow(<rule>, …)` after `mhd-lint:`".to_string()));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(Err("unclosed `allow(` annotation".to_string()));
+    };
+    let mut rules = Vec::new();
+    for part in rest[..close].split(',') {
+        match RuleId::parse(part) {
+            Some(r) => rules.push(r),
+            None => return Some(Err(format!("unknown rule id `{}` in allow annotation", part.trim()))),
+        }
+    }
+    if rules.is_empty() {
+        return Some(Err("allow annotation lists no rules".to_string()));
+    }
+    let reason = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':', ' '])
+        .trim();
+    if reason.is_empty() {
+        return Some(Err("allow annotation needs a reason: `// mhd-lint: allow(R2) — why`".to_string()));
+    }
+    Some(Ok(rules))
+}
+
+/// The line an annotation applies to: its own line when it trails code,
+/// otherwise the next line carrying code.
+fn annotation_target(lines: &[String], comment_line: usize) -> usize {
+    let own = lines.get(comment_line - 1).map(|l| !l.trim().is_empty()).unwrap_or(false);
+    if own {
+        return comment_line;
+    }
+    let mut l = comment_line + 1;
+    while l <= lines.len() {
+        if !lines[l - 1].trim().is_empty() {
+            return l;
+        }
+        l += 1;
+    }
+    comment_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"unwrap() inside\"; // thread_rng here\nlet y = 1;\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(!sf.lines[0].contains("unwrap"));
+        assert!(!sf.lines[0].contains("thread_rng"));
+        assert!(sf.lines[0].contains("let x ="));
+        assert_eq!(sf.strings.len(), 1);
+        assert_eq!(sf.strings[0].content, "unwrap() inside");
+        assert_eq!(sf.strings[0].line, 1);
+    }
+
+    #[test]
+    fn masks_raw_and_char_literals() {
+        let src = "let s = r#\"panic!(\"x\")\"#;\nlet c = '\\n';\nlet l: &'static str = \"ok\";\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(!sf.lines[0].contains("panic"));
+        assert!(sf.lines[2].contains("'static"));
+        assert_eq!(sf.strings[0].content, "panic!(\"x\")");
+    }
+
+    #[test]
+    fn block_comments_preserve_lines() {
+        let src = "a\n/* unwrap()\n unwrap() */\nb\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert_eq!(sf.lines.len(), 5); // 4 lines + trailing empty
+        assert_eq!(sf.lines[3].trim(), "b");
+        assert!(!sf.lines[1].contains("unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "pub fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\npub fn c() {}\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(!sf.is_test(1));
+        assert!(sf.is_test(2));
+        assert!(sf.is_test(3));
+        assert!(sf.is_test(4));
+        assert!(sf.is_test(5));
+        assert!(!sf.is_test(6));
+    }
+
+    #[test]
+    fn test_fn_region_detected() {
+        let src = "fn a() {}\n#[test]\nfn t() {\n    body();\n}\nfn z() {}\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(!sf.is_test(1));
+        assert!(sf.is_test(4));
+        assert!(!sf.is_test(6));
+    }
+
+    #[test]
+    fn tests_dir_is_whole_file_test() {
+        let sf = SourceFile::parse("tests/end_to_end.rs", "fn x() {}\n");
+        assert!(sf.is_test(1));
+        let sf = SourceFile::parse("crates/mhd-bench/benches/micro.rs", "fn x() {}\n");
+        assert!(sf.is_test(1));
+    }
+
+    #[test]
+    fn allow_trailing_and_preceding() {
+        let src = "bad(); // mhd-lint: allow(R2) — trailing reason\n// mhd-lint: allow(R1, R3) — preceding reason\nnext();\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(sf.is_allowed(RuleId::R2, 1));
+        assert!(!sf.is_allowed(RuleId::R1, 1));
+        assert!(sf.is_allowed(RuleId::R1, 3));
+        assert!(sf.is_allowed(RuleId::R3, 3));
+        assert!(sf.bad_annotations.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let src = "bad(); // mhd-lint: allow(R2)\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(!sf.is_allowed(RuleId::R2, 1));
+        assert_eq!(sf.bad_annotations.len(), 1);
+        assert_eq!(sf.bad_annotations[0].0, 1);
+    }
+
+    #[test]
+    fn allow_unknown_rule_is_malformed() {
+        let src = "// mhd-lint: allow(R7) — nope\nx();\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert_eq!(sf.bad_annotations.len(), 1);
+    }
+
+    #[test]
+    fn plain_dash_reason_accepted() {
+        let src = "bad(); // mhd-lint: allow(r2) - lowercase id, ascii dash\n";
+        let sf = SourceFile::parse("a.rs", src);
+        assert!(sf.is_allowed(RuleId::R2, 1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic workspace walk: collect every in-scope `.rs` file.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into. `vendor/` holds API-compatible
+/// offline shims of external crates (not project code), `fixtures/` holds
+/// deliberately-violating lint test inputs.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", ".claude"];
+
+/// Recursively collect `.rs` files under `root`, sorted by path so findings
+/// come out in a stable order on every run.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    descend(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            descend(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_finds_own_sources_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = collect_rs_files(&root).expect("walk");
+        let rels: Vec<String> = files
+            .iter()
+            .map(|f| f.strip_prefix(&root).unwrap().to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(rels.iter().any(|r| r == "crates/mhd-lint/src/walk.rs"), "{rels:?}");
+        assert!(rels.iter().all(|r| !r.starts_with("vendor/")));
+        assert!(rels.iter().all(|r| !r.contains("/fixtures/")));
+        assert!(rels.iter().all(|r| !r.contains("/target/")));
+        let mut sorted = rels.clone();
+        sorted.sort();
+        assert_eq!(rels, sorted, "walk output must be sorted");
+    }
+}

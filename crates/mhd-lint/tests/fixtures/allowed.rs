@@ -1,0 +1,22 @@
+pub fn when() -> std::time::SystemTime {
+    // mhd-lint: allow(R1) — fixture demonstrates the standalone annotation form
+    std::time::SystemTime::now()
+}
+
+pub fn parse(x: Option<u32>) -> u32 {
+    x.unwrap() // mhd-lint: allow(R2) — fixture demonstrates the trailing annotation form
+}
+
+pub fn cell(x: f64) -> String {
+    format!("{x:.3}") // mhd-lint: allow(R4) — the helper crate is not available in this fixture
+}
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn fan_out(m: &Mutex<Vec<u64>>, xs: &[u64]) -> u64 {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    let base = guard.iter().sum::<u64>();
+    // mhd-lint: allow(R3) — fixture: the guard is read-only and released right after the fan-out
+    let extra: u64 = xs.par_iter().map(|&x| x + base).sum();
+    extra
+}

@@ -1,0 +1,5 @@
+use std::collections::BTreeMap;
+
+pub fn emit(rows: &BTreeMap<String, f64>) -> Vec<String> {
+    rows.keys().cloned().collect()
+}

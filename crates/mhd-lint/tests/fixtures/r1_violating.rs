@@ -1,0 +1,18 @@
+use std::collections::HashMap;
+
+pub fn when() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn bench() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn noise() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn emit(rows: &HashMap<String, f64>) -> Vec<String> {
+    rows.keys().cloned().collect()
+}

@@ -1,0 +1,7 @@
+pub fn first(xs: &[f64]) -> Option<f64> {
+    xs.first().copied()
+}
+
+pub fn parse(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

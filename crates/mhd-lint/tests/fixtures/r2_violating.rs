@@ -1,0 +1,19 @@
+pub fn first(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+pub fn parse(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn must(x: Result<u32, String>) -> u32 {
+    x.expect("must hold")
+}
+
+pub fn explode() {
+    panic!("boom");
+}
+
+pub fn off_the_map() {
+    unreachable!();
+}

@@ -1,0 +1,10 @@
+use std::sync::{Mutex, PoisonError};
+
+pub fn fan_out(m: &Mutex<Vec<u64>>, xs: &[u64]) -> u64 {
+    let base = {
+        let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.iter().sum::<u64>()
+    };
+    let extra: u64 = xs.par_iter().map(|&x| x + base).sum();
+    extra
+}

@@ -1,0 +1,9 @@
+use mhd_eval::table::{fmt3, fmt_pct};
+
+pub fn cell(x: f64) -> String {
+    fmt3(x)
+}
+
+pub fn pct(x: f64) -> String {
+    fmt_pct(x)
+}

@@ -1,0 +1,7 @@
+pub fn cell(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}

@@ -12,7 +12,7 @@ use mhd_text::lexicon::LexiconCategory;
 use mhd_text::tokenize::words;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// Token accounting for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,19 +129,19 @@ impl LlmClient {
 
     /// Names of all available models (zoo + fine-tunes), sorted.
     pub fn model_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.read().expect("models lock").keys().cloned().collect();
-        names.extend(self.fine_tuned.read().expect("ft lock").keys().cloned());
+        let mut names: Vec<String> = self.models.read().unwrap_or_else(PoisonError::into_inner).keys().cloned().collect();
+        names.extend(self.fine_tuned.read().unwrap_or_else(PoisonError::into_inner).keys().cloned());
         names.sort();
         names
     }
 
     /// Spec of a model (owned: the zoo lives behind a lock).
     pub fn spec(&self, model: &str) -> Option<ModelSpec> {
-        let models = self.models.read().expect("models lock");
+        let models = self.models.read().unwrap_or_else(PoisonError::into_inner);
         models.get(model).cloned().or_else(|| {
             self.fine_tuned
                 .read()
-                .expect("ft lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .get(model)
                 .and_then(|(base, _)| models.get(base).cloned())
         })
@@ -162,7 +162,7 @@ impl LlmClient {
             format!("{}|{}|{}|{}", req.model, req.prompt, req.temperature.to_bits(), req.seed)
                 .as_bytes(),
         );
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return Ok(hit.clone());
         }
 
@@ -189,15 +189,17 @@ impl LlmClient {
             (render_refusal(), None)
         } else if let Some(ft_model) = ft {
             // Fine-tuned path: adapter probabilities over trained labels.
+            // Total argmax: no NaN/empty assumptions, ties break to the
+            // first (lowest-index) label on every platform.
             let probs = ft_model.predict_proba(&self.backbone, &spec, &parsed.query);
             let best = probs
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .expect("non-empty")
+                .fold((0usize, f64::NEG_INFINITY), |acc, (i, &p)| if p > acc.1 { (i, p) } else { acc })
                 .0;
             // Fine-tuned models answer in exactly the trained format.
-            (format!("Answer: {}", ft_model.labels[best]), Some(probs[best]))
+            let label = ft_model.labels.get(best).map(String::as_str).unwrap_or("unknown");
+            (format!("Answer: {label}"), probs.get(best).copied())
         } else {
             let decision = self.backbone.decide(&spec, &parsed, req.temperature, decision_seed);
             let conf = decision.confidence();
@@ -215,29 +217,29 @@ impl LlmClient {
         };
         self.tracker
             .lock()
-            .expect("tracker lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .record(&req.model, &usage, response.cost_usd, response.latency_ms);
         // Two threads may race to compute the same key; both compute the
         // identical response (pure function of the request), so last-write
         // wins is harmless.
-        self.cache.lock().expect("cache lock").insert(key, response.clone());
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, response.clone());
         Ok(response)
     }
 
     fn resolve(&self, model: &str) -> Result<(ModelSpec, Option<Arc<FineTuned>>), LlmError> {
         // Fine-tunes first: their spec is also registered in `models` (for
         // pricing lookups), but the adapter must drive inference.
-        if let Some((_, ft)) = self.fine_tuned.read().expect("ft lock").get(model) {
+        if let Some((_, ft)) = self.fine_tuned.read().unwrap_or_else(PoisonError::into_inner).get(model) {
             let spec = self
                 .models
                 .read()
-                .expect("models lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .get(model)
                 .cloned()
                 .ok_or_else(|| LlmError::UnknownModel(model.to_string()))?;
             return Ok((spec, Some(Arc::clone(ft))));
         }
-        match self.models.read().expect("models lock").get(model).cloned() {
+        match self.models.read().unwrap_or_else(PoisonError::into_inner).get(model).cloned() {
             Some(spec) => Ok((spec, None)),
             None => Err(LlmError::UnknownModel(model.to_string())),
         }
@@ -246,9 +248,9 @@ impl LlmClient {
     /// Register a custom model (e.g. a [`ModelSpec::synthetic`] scale-sweep
     /// point). Rejects name collisions with existing models.
     pub fn register_model(&self, spec: ModelSpec) -> Result<(), LlmError> {
-        let mut models = self.models.write().expect("models lock");
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
         if models.contains_key(&spec.name)
-            || self.fine_tuned.read().expect("ft lock").contains_key(&spec.name)
+            || self.fine_tuned.read().unwrap_or_else(PoisonError::into_inner).contains_key(&spec.name)
         {
             return Err(LlmError::ModelExists(spec.name));
         }
@@ -261,7 +263,7 @@ impl LlmClient {
         let base = self
             .models
             .read()
-            .expect("models lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&job.base_model)
             .ok_or_else(|| LlmError::UnknownModel(job.base_model.clone()))?
             .clone();
@@ -274,27 +276,27 @@ impl LlmClient {
         let mut spec = base;
         spec.name = id.clone();
         spec.family = ModelFamily::FineTuned;
-        self.models.write().expect("models lock").insert(id.clone(), spec);
+        self.models.write().unwrap_or_else(PoisonError::into_inner).insert(id.clone(), spec);
         self.fine_tuned
             .write()
-            .expect("ft lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(id.clone(), (job.base_model.clone(), Arc::new(ft)));
         Ok(id)
     }
 
     /// Cumulative cost totals.
     pub fn tracker(&self) -> CostTracker {
-        self.tracker.lock().expect("tracker lock").clone()
+        self.tracker.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Reset cumulative cost totals.
     pub fn reset_tracker(&self) {
-        self.tracker.lock().expect("tracker lock").reset();
+        self.tracker.lock().unwrap_or_else(PoisonError::into_inner).reset();
     }
 
     /// Number of cached responses.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().expect("cache lock").len()
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Access the backbone (used by diagnostics and tests).

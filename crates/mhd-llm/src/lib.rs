@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-llm — simulated large-language-model runtime
 //!
 //! Replaces the OpenAI / LLaMA APIs the surveyed papers prompt against with

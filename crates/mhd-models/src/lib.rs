@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-models — baseline text classifiers
 //!
 //! Every non-LLM method the surveyed benchmarks compare against:

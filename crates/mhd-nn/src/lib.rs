@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-nn — minimal neural-network substrate
 //!
 //! A small, dependency-light neural-network library with **real

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-prompts — prompt engineering toolkit
 //!
 //! Everything between a dataset and the LLM API: prompt templates for every

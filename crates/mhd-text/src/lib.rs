@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd-text — text processing substrate
 //!
 //! Foundation crate for the `mhd` mental-health disorder detection benchmark.

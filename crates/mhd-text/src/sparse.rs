@@ -160,7 +160,9 @@ impl SparseVec {
                     entries.push((ib, vb));
                     b += 1;
                 }
-                (None, None) => unreachable!(),
+                // Loop condition guarantees at least one side has entries
+                // left; break keeps the arm total without a panic path.
+                (None, None) => break,
             }
         }
         SparseVec { entries }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mhd — LLMs for mental health disorder detection on social media
 //!
 //! A complete, self-contained Rust reproduction of the benchmark

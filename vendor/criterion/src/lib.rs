@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline, API-compatible subset of the `criterion` crate.
 //!
 //! Implements the harness surface the workspace's benches use:

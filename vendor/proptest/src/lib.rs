@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline, API-compatible subset of the `proptest` crate.
 //!
 //! Supports the features the workspace's property tests use:

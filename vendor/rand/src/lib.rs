@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline, API-compatible subset of the `rand` crate.
 //!
 //! The build environment has no network access to crates.io, so the

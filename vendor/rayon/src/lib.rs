@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline, API-compatible subset of the `rayon` crate.
 //!
 //! The build environment has no crates.io access, so the workspace vendors
