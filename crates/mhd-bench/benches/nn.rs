@@ -1,0 +1,124 @@
+//! Micro-benchmarks for the batched GEMM kernel layer and the batched
+//! training paths built on it.
+//!
+//! Shapes are drawn from the encoder configuration the experiments
+//! actually run (`EncoderClfConfig::default`): embed 48, hidden 64,
+//! batch 32, max_len 128. Each batched `train_*` bench is paired with
+//! its per-example reference so the speedup is visible side by side;
+//! `nn_bench` (the binary) turns the same comparison into `BENCH_nn.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mhd_nn::encoder::{Encoder, EncoderConfig};
+use mhd_nn::gemm::{gemm_nt, gemm_nt_relu, gemm_tn};
+use mhd_nn::{LoraAdapter, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mini-batch size used by every training loop in the workspace.
+const BATCH: usize = 32;
+/// `EncoderClfConfig::default().embed_dim`.
+const EMBED: usize = 48;
+/// `EncoderClfConfig::default().hidden_dim`.
+const HIDDEN: usize = 64;
+/// Token rows in a full batch at `max_len` — the att_w gradient shape.
+const TOKENS: usize = BATCH * 128;
+
+fn randv(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0f32)).collect()
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    // Head forward: pooled batch (32×48) through the hidden layer (48→64).
+    let a = randv(&mut rng, BATCH * EMBED);
+    let w = randv(&mut rng, HIDDEN * EMBED);
+    let bias = randv(&mut rng, HIDDEN);
+    let mut out = vec![0.0f32; BATCH * HIDDEN];
+    c.bench_function("gemm_nt 32x48x64 head fwd", |b| {
+        b.iter(|| gemm_nt(black_box(&a), black_box(&w), Some(&bias), BATCH, EMBED, HIDDEN, &mut out));
+    });
+    let mut mask = vec![false; BATCH * HIDDEN];
+    c.bench_function("gemm_nt_relu 32x48x64 fused", |b| {
+        b.iter(|| {
+            gemm_nt_relu(black_box(&a), black_box(&w), &bias, BATCH, EMBED, HIDDEN, &mut out, &mut mask);
+        });
+    });
+    // Attention weight gradient: 4096 token rows reduced into 48×48 —
+    // the one shape big enough to cross the kernel's parallel threshold.
+    let dz = randv(&mut rng, TOKENS * EMBED);
+    let e = randv(&mut rng, TOKENS * EMBED);
+    let mut grad = vec![0.0f32; EMBED * EMBED];
+    c.bench_function("gemm_tn 4096x48x48 att_w grad", |b| {
+        b.iter(|| gemm_tn(black_box(&dz), black_box(&e), TOKENS, EMBED, EMBED, &mut grad, true));
+    });
+}
+
+fn bench_mlp_train(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(22);
+    let xs: Vec<Vec<f32>> = (0..BATCH).map(|_| randv(&mut rng, 178)).collect();
+    let ys: Vec<usize> = (0..BATCH).map(|i| i % 9).collect();
+    let mut batched = Mlp::new(178, HIDDEN, 9, 1e-3, 1);
+    c.bench_function("mlp train_batch (batched)", |b| {
+        b.iter(|| batched.train_batch(black_box(&xs), &ys));
+    });
+    let mut reference = Mlp::new(178, HIDDEN, 9, 1e-3, 1);
+    c.bench_function("mlp train_batch (reference)", |b| {
+        b.iter(|| reference.train_batch_reference(black_box(&xs), &ys));
+    });
+}
+
+fn encoder_docs(rng: &mut StdRng) -> (Vec<Vec<u32>>, Vec<usize>) {
+    let docs = (0..BATCH)
+        .map(|_| (0..60).map(|_| rng.gen_range(0..8192u32)).collect())
+        .collect();
+    let ys = (0..BATCH).map(|i| i % 9).collect();
+    (docs, ys)
+}
+
+fn encoder_cfg() -> EncoderConfig {
+    EncoderConfig {
+        vocab_size: 8192,
+        embed_dim: EMBED,
+        hidden_dim: HIDDEN,
+        n_classes: 9,
+        max_len: 128,
+        lr: 1e-3,
+        seed: 2,
+    }
+}
+
+fn bench_encoder_train(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(33);
+    let (docs, ys) = encoder_docs(&mut rng);
+    let mut batched = Encoder::new(encoder_cfg());
+    c.bench_function("encoder train_batch (batched)", |b| {
+        b.iter(|| batched.train_batch(black_box(&docs), &ys));
+    });
+    let mut reference = Encoder::new(encoder_cfg());
+    c.bench_function("encoder train_batch (reference)", |b| {
+        b.iter(|| reference.train_batch_reference(black_box(&docs), &ys));
+    });
+    let predictor = Encoder::new(encoder_cfg());
+    c.bench_function("encoder predict_proba_batch", |b| {
+        b.iter(|| predictor.predict_proba_batch(black_box(&docs)));
+    });
+}
+
+fn bench_lora_train(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(44);
+    let xs: Vec<Vec<f32>> = (0..BATCH).map(|_| randv(&mut rng, 178)).collect();
+    let ys: Vec<usize> = (0..BATCH).map(|i| i % 9).collect();
+    let base = randv(&mut rng, 9 * 178);
+    let bias = randv(&mut rng, 9);
+    let mut batched = LoraAdapter::new(base.clone(), bias.clone(), 9, 178, 8, 1e-3, 3);
+    c.bench_function("lora train_batch (batched)", |b| {
+        b.iter(|| batched.train_batch(black_box(&xs), &ys));
+    });
+    let mut reference = LoraAdapter::new(base, bias, 9, 178, 8, 1e-3, 3);
+    c.bench_function("lora train_batch (reference)", |b| {
+        b.iter(|| reference.train_batch_reference(black_box(&xs), &ys));
+    });
+}
+
+criterion_group!(nn, bench_gemm_kernels, bench_mlp_train, bench_encoder_train, bench_lora_train);
+criterion_main!(nn);

@@ -1,0 +1,255 @@
+#![forbid(unsafe_code)]
+//! Measure the batched GEMM training paths and emit `BENCH_nn.json`.
+//!
+//! ```text
+//! nn_bench                         # full run, writes BENCH_nn.json in cwd
+//! nn_bench --out path.json         # write elsewhere
+//! nn_bench --smoke                 # tiny sizes, 1 rep (CI liveness check)
+//! nn_bench --jobs 4                # cap the worker pool
+//! ```
+//!
+//! Reports three things per the kernel layer's acceptance criteria:
+//! GEMM throughput in GFLOP/s for the hot shapes, one-epoch wall-clock
+//! for the batched vs per-example reference path of each model family,
+//! and the implied posts/sec + speedup. Timing never feeds tables —
+//! `BENCH_nn.json` is a side artifact, so wall-clock reads are fine here.
+
+use mhd_bench::resolve_jobs;
+use mhd_nn::encoder::{Encoder, EncoderConfig};
+use mhd_nn::gemm::{gemm_nt, gemm_tn};
+use mhd_nn::{LoraAdapter, Mlp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Mini-batch size used by every training loop in the workspace.
+const BATCH: usize = 32;
+const EMBED: usize = 48;
+const HIDDEN: usize = 64;
+
+struct Options {
+    out: String,
+    smoke: bool,
+    jobs: Option<usize>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options { out: "BENCH_nn.json".to_string(), smoke: false, jobs: None };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out" => {
+                opts.out = it.next().ok_or("--out needs a path")?.clone();
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a count")?;
+                opts.jobs = Some(v.parse().map_err(|_| format!("bad --jobs value: {v}"))?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn randv(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0f32)).collect()
+}
+
+/// Best-of-`reps` wall-clock for `f`, in seconds.
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct GemmRow {
+    kernel: &'static str,
+    shape: String,
+    gflops: f64,
+}
+
+struct ModelRow {
+    model: &'static str,
+    examples: usize,
+    batched_secs: f64,
+    reference_secs: f64,
+}
+
+impl ModelRow {
+    fn speedup(&self) -> f64 {
+        self.reference_secs / self.batched_secs.max(1e-12)
+    }
+    fn posts_per_sec(&self) -> f64 {
+        self.examples as f64 / self.batched_secs.max(1e-12)
+    }
+}
+
+fn bench_gemm(reps: usize, inner: usize) -> Vec<GemmRow> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut rows = Vec::new();
+    // Head forward: pooled batch through the hidden layer.
+    let (m, k, n) = (BATCH, EMBED, HIDDEN);
+    let a = randv(&mut rng, m * k);
+    let w = randv(&mut rng, n * k);
+    let bias = randv(&mut rng, n);
+    let mut out = vec![0.0f32; m * n];
+    let secs = time_best(reps, || {
+        for _ in 0..inner {
+            gemm_nt(&a, &w, Some(&bias), m, k, n, &mut out);
+        }
+    });
+    let flops = (2 * m * k * n * inner) as f64;
+    rows.push(GemmRow { kernel: "gemm_nt", shape: format!("{m}x{k}x{n}"), gflops: flops / secs / 1e9 });
+
+    // Attention weight gradient: a full batch of max_len token rows.
+    let tokens = if inner > 1 { BATCH * 128 } else { BATCH * 8 };
+    let dz = randv(&mut rng, tokens * EMBED);
+    let e = randv(&mut rng, tokens * EMBED);
+    let mut grad = vec![0.0f32; EMBED * EMBED];
+    let secs = time_best(reps, || {
+        for _ in 0..inner {
+            gemm_tn(&dz, &e, tokens, EMBED, EMBED, &mut grad, false);
+        }
+    });
+    let flops = (2 * tokens * EMBED * EMBED * inner) as f64;
+    rows.push(GemmRow {
+        kernel: "gemm_tn",
+        shape: format!("{tokens}x{EMBED}x{EMBED}"),
+        gflops: flops / secs / 1e9,
+    });
+    rows
+}
+
+/// One epoch = the example set in `BATCH`-sized minibatches, once.
+fn epoch<X, F: FnMut(&[X], &[usize]) -> f32>(xs: &[X], ys: &[usize], mut step: F) {
+    for (cx, cy) in xs.chunks(BATCH).zip(ys.chunks(BATCH)) {
+        step(cx, cy);
+    }
+}
+
+fn bench_models(reps: usize, examples: usize) -> Vec<ModelRow> {
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut rows = Vec::new();
+
+    // Encoder: the fine-tune hot path. Synthetic docs near the corpus'
+    // post length so the epoch cost is representative of scale 1.0.
+    let docs: Vec<Vec<u32>> = (0..examples)
+        .map(|_| {
+            let len = rng.gen_range(20..100);
+            (0..len).map(|_| rng.gen_range(0..8192u32)).collect()
+        })
+        .collect();
+    let ys: Vec<usize> = (0..examples).map(|i| i % 9).collect();
+    let cfg = EncoderConfig {
+        vocab_size: 8192,
+        embed_dim: EMBED,
+        hidden_dim: HIDDEN,
+        n_classes: 9,
+        max_len: 128,
+        lr: 1e-3,
+        seed: 2,
+    };
+    let mut enc = Encoder::new(cfg);
+    let batched = time_best(reps, || epoch(&docs, &ys, |cx, cy| enc.train_batch(cx, cy)));
+    let mut enc_ref = Encoder::new(cfg);
+    let reference = time_best(reps, || epoch(&docs, &ys, |cx, cy| enc_ref.train_batch_reference(cx, cy)));
+    rows.push(ModelRow { model: "encoder", examples, batched_secs: batched, reference_secs: reference });
+
+    // Mlp over hashed sparse features densified to 178 dims (T2's mlp input width).
+    let xs: Vec<Vec<f32>> = (0..examples).map(|_| randv(&mut rng, 178)).collect();
+    let mut mlp = Mlp::new(178, HIDDEN, 9, 1e-3, 1);
+    let batched = time_best(reps, || epoch(&xs, &ys, |cx, cy| mlp.train_batch(cx, cy)));
+    let mut mlp_ref = Mlp::new(178, HIDDEN, 9, 1e-3, 1);
+    let reference = time_best(reps, || epoch(&xs, &ys, |cx, cy| mlp_ref.train_batch_reference(cx, cy)));
+    rows.push(ModelRow { model: "mlp", examples, batched_secs: batched, reference_secs: reference });
+
+    // LoRA adapter over the same feature width.
+    let base = randv(&mut rng, 9 * 178);
+    let bias = randv(&mut rng, 9);
+    let mut lora = LoraAdapter::new(base.clone(), bias.clone(), 9, 178, 8, 1e-3, 3);
+    let batched = time_best(reps, || epoch(&xs, &ys, |cx, cy| lora.train_batch(cx, cy)));
+    let mut lora_ref = LoraAdapter::new(base, bias, 9, 178, 8, 1e-3, 3);
+    let reference = time_best(reps, || epoch(&xs, &ys, |cx, cy| lora_ref.train_batch_reference(cx, cy)));
+    rows.push(ModelRow { model: "lora", examples, batched_secs: batched, reference_secs: reference });
+
+    rows
+}
+
+fn render_json(smoke: bool, gemm: &[GemmRow], models: &[ModelRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"mhd-bench/nn/v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!("  \"worker_threads\": {},\n", rayon::current_num_threads()));
+    s.push_str("  \"gemm\": [\n");
+    for (i, g) in gemm.iter().enumerate() {
+        let comma = if i + 1 < gemm.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"gflops\": {:.3}}}{comma}\n",
+            g.kernel, g.shape, g.gflops
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"models\": [\n");
+    for (i, m) in models.iter().enumerate() {
+        let comma = if i + 1 < models.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"examples\": {}, \"epoch_batched_secs\": {:.6}, \
+             \"epoch_reference_secs\": {:.6}, \"posts_per_sec\": {:.1}, \"speedup\": {:.2}}}{comma}\n",
+            m.model,
+            m.examples,
+            m.batched_secs,
+            m.reference_secs,
+            m.posts_per_sec(),
+            m.speedup()
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: nn_bench [--smoke] [--out <path>] [--jobs <n>]");
+            std::process::exit(2);
+        }
+    };
+    if let Some(n) = resolve_jobs(opts.jobs) {
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
+            eprintln!("error: cannot configure the worker pool for --jobs {n}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let (reps, inner, examples) = if opts.smoke { (1, 1, 64) } else { (3, 200, 2000) };
+    eprintln!("[nn_bench] GEMM kernels…");
+    let gemm = bench_gemm(reps, inner);
+    for g in &gemm {
+        eprintln!("[nn_bench]   {} {}: {:.2} GFLOP/s", g.kernel, g.shape, g.gflops);
+    }
+    eprintln!("[nn_bench] one-epoch wall-clock, batched vs reference ({examples} examples)…");
+    let models = bench_models(reps, examples);
+    for m in &models {
+        eprintln!(
+            "[nn_bench]   {}: {:.3}s batched vs {:.3}s reference ({:.2}x, {:.0} posts/s)",
+            m.model,
+            m.batched_secs,
+            m.reference_secs,
+            m.speedup(),
+            m.posts_per_sec()
+        );
+    }
+    let json = render_json(opts.smoke, &gemm, &models);
+    if let Err(e) = std::fs::write(&opts.out, &json) {
+        eprintln!("error: cannot write {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    eprintln!("[nn_bench] wrote {}", opts.out);
+}

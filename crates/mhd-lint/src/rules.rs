@@ -20,12 +20,15 @@ const REPORT_PATH_FILES: [&str; 4] = [
 ];
 
 /// The evaluation hot path: a panic in any of these kills a whole sweep.
-const R2_FILES: [&str; 5] = [
+/// `gemm.rs` is the batched training kernel layer — every fine-tune and
+/// encoder step runs through it, so it gets the same guarantee.
+const R2_FILES: [&str; 6] = [
     "crates/mhd-core/src/pipeline.rs",
     "crates/mhd-core/src/experiments.rs",
     "crates/mhd-core/src/experiments_ext.rs",
     "crates/mhd-llm/src/client.rs",
     "crates/mhd-text/src/sparse.rs",
+    "crates/mhd-nn/src/gemm.rs",
 ];
 
 /// Where the shared float-format helpers live (exempt from R4 by definition).
@@ -153,9 +156,18 @@ fn r2_panic_freedom(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
     }
 }
 
-/// Calls that fan work out onto other threads.
-const PARALLEL_MARKERS: [&str; 7] =
-    ["par_iter", "into_par_iter", "par_chunks", "par_bridge", "par_sort_unstable", "spawn", "install"];
+/// Calls that fan work out onto other threads. `par_chunks_mut` needs its
+/// own entry: the token-boundary check stops `par_chunks` from matching it.
+const PARALLEL_MARKERS: [&str; 8] = [
+    "par_iter",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+    "par_sort_unstable",
+    "spawn",
+    "install",
+];
 
 /// R3 — no lock guard may stay live across a parallel region.
 fn r3_lock_discipline(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
@@ -333,6 +345,8 @@ mod tests {
     #[test]
     fn parallel_call_detection() {
         assert!(find_call("rows.par_iter().map(f)", "par_iter"));
+        assert!(find_call("out.par_chunks_mut(n).enumerate()", "par_chunks_mut"));
+        assert!(!find_call("out.par_chunks_mut(n).enumerate()", "par_chunks"));
         assert!(find_call("thread::spawn(move || {})", "spawn"));
         assert!(find_call("scope.spawn(|| {})", "spawn"));
         assert!(!find_call("respawn(x)", "spawn"));

@@ -1,0 +1,26 @@
+//! A gemm-style kernel with hot-path panics: each must fire R2 now that
+//! the kernel layer is in the R2 path scope.
+pub struct Workspace {
+    bufs: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    pub fn zeros(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.bufs.pop().unwrap();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    pub fn first_width(&self) -> usize {
+        self.bufs[0].len()
+    }
+}
+
+pub fn gemm_tn(a: &[f32], rows: usize, m: usize, out: &mut [f32]) {
+    if rows * m > a.len() {
+        panic!("a too short for rows x m");
+    }
+    let head = a.first().expect("non-empty input");
+    out[0] = *head;
+}

@@ -1,0 +1,14 @@
+//! A lock guard held live across the kernel's `par_chunks_mut` fan-out:
+//! the classic way to deadlock a reduction. Must fire R3.
+use std::sync::Mutex;
+
+pub fn reduce_grads(grads: &Mutex<Vec<f32>>, parts: &[f32], n: usize) {
+    let sink = grads.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = vec![0.0f32; parts.len()];
+    out.par_chunks_mut(n).enumerate().for_each(|(ci, chunk)| {
+        for (o, &v) in chunk.iter_mut().zip(&parts[ci * n..]) {
+            *o += v;
+        }
+    });
+    drop(sink);
+}

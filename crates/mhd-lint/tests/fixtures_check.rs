@@ -56,9 +56,44 @@ fn r2_clean_is_clean() {
     assert_eq!(lint_fixture("r2_clean.rs"), vec![]);
 }
 
+/// Kernel-shaped code (Workspace pool + gemm entry): the panics that the
+/// batched training layer must never contain.
+#[test]
+fn r2_kernel_violations_pinned() {
+    assert_eq!(
+        lint_fixture("r2_kernel_violating.rs"),
+        vec![
+            (RuleId::R2, 9),  // Workspace::zeros pop().unwrap()
+            (RuleId::R2, 16), // bufs[0]
+            (RuleId::R2, 22), // panic! on a shape mismatch
+            (RuleId::R2, 24), // .expect on first()
+            (RuleId::R2, 25), // out[0]
+        ]
+    );
+}
+
+/// The kernel file is R2-scoped by *path*, not just under `all_files`;
+/// its crate siblings stay out of scope.
+#[test]
+fn gemm_kernel_path_is_in_r2_scope() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    let hot = lint_source("crates/mhd-nn/src/gemm.rs", src, &LintConfig::default());
+    let pins: Vec<(RuleId, usize)> = hot.into_iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(pins, vec![(RuleId::R2, 2)]);
+    let cold = lint_source("crates/mhd-nn/src/mlp.rs", src, &LintConfig::default());
+    assert!(cold.iter().all(|f| f.rule != RuleId::R2), "{cold:?}");
+}
+
 #[test]
 fn r3_violations_pinned() {
     assert_eq!(lint_fixture("r3_violating.rs"), vec![(RuleId::R3, 6)]);
+}
+
+/// A guard held across `par_chunks_mut` — the fan-out primitive the gemm
+/// kernel actually uses — is caught by its dedicated marker.
+#[test]
+fn r3_kernel_violations_pinned() {
+    assert_eq!(lint_fixture("r3_kernel_violating.rs"), vec![(RuleId::R3, 8)]);
 }
 
 #[test]

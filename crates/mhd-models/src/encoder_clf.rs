@@ -137,6 +137,16 @@ impl TextClassifier for EncoderClassifier {
         let ids = self.encode(text);
         encoder.predict_proba(&ids).into_iter().map(|p| p as f64).collect()
     }
+
+    fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
+        let docs: Vec<Vec<u32>> = texts.iter().map(|t| self.encode(t)).collect();
+        encoder
+            .predict_proba_batch(&docs)
+            .into_iter()
+            .map(|p| p.into_iter().map(|v| v as f64).collect())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +191,21 @@ mod tests {
     #[should_panic(expected = "fit not called")]
     fn requires_fit() {
         EncoderClassifier::new().predict("x");
+    }
+
+    /// The batched override must agree with the per-text path bit for bit
+    /// (the report generator depends on them being interchangeable).
+    #[test]
+    fn batched_proba_matches_per_text() {
+        let (texts, labels) = toy_corpus();
+        let mut clf = EncoderClassifier::with_config(fast());
+        clf.fit(&texts, &labels, 2);
+        let batched = clf.predict_proba_batch(&texts);
+        for (t, row) in texts.iter().zip(&batched) {
+            let single = clf.predict_proba(t);
+            let sb: Vec<u64> = single.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, rb);
+        }
     }
 }

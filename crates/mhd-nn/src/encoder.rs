@@ -12,15 +12,26 @@
 //! This is the benchmark's "BERT-class" discriminative baseline: a dense
 //! representation with learned salience over tokens, trained end-to-end on
 //! the target task. Truncation at `max_len` mirrors encoder context limits.
+//!
+//! Training runs batched on the [`crate::gemm`] kernels: attention
+//! forward/backward is computed per example in parallel (each example is
+//! pure, so rayon's ordered map keeps results deterministic), the head is
+//! three GEMMs over the packed pooled matrix, and the three global
+//! accumulations (`att_v.grad`, `att_w.grad`, the embedding scatter) are
+//! reduced in **fixed example order**, making every step byte-identical
+//! to the per-example reference ([`Encoder::train_batch_reference`]) at
+//! any thread count.
 
+use crate::gemm::{self, Workspace};
 use crate::linalg::{
     affine, affine_backward_input, affine_backward_params, dot, relu_backward, relu_inplace,
-    softmax, softmax_xent,
+    softmax, softmax_xent, softmax_xent_rows,
 };
 use crate::optim::Adam;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Configuration for [`Encoder`].
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +78,7 @@ pub struct Encoder {
     w2: Tensor,    // k×h
     b2: Tensor,    // 1×k
     opt: Adam,
+    ws: Workspace,
 }
 
 struct Cache {
@@ -76,6 +88,24 @@ struct Cache {
     pooled: Vec<f32>,
     h: Vec<f32>,
     mask: Vec<bool>,
+}
+
+/// Per-example attention forward state for the batched path: embedding
+/// rows and tanh activations packed as row-major n×d matrices.
+struct AttnCache {
+    tokens: Vec<u32>,
+    e_flat: Vec<f32>, // n×d gathered embedding rows
+    u_flat: Vec<f32>, // n×d tanh(W e_t)
+    alpha: Vec<f32>,
+    pooled: Vec<f32>, // d
+}
+
+/// Per-example attention backward output, reduced serially afterwards.
+#[derive(Default)]
+struct AttnGrads {
+    ds: Vec<f32>,      // n — score gradients
+    dz_flat: Vec<f32>, // n×d — pre-tanh gradients
+    de_flat: Vec<f32>, // n×d — embedding-row gradients
 }
 
 impl Encoder {
@@ -94,7 +124,7 @@ impl Encoder {
         let sizes =
             [emb.len(), att_w.len(), att_v.len(), w1.len(), b1.len(), w2.len(), b2.len()];
         let opt = Adam::new(cfg.lr, &sizes);
-        Encoder { cfg, emb, att_w, att_v, w1, b1, w2, b2, opt }
+        Encoder { cfg, emb, att_w, att_v, w1, b1, w2, b2, opt, ws: Workspace::new() }
     }
 
     /// Configuration used at construction.
@@ -115,13 +145,14 @@ impl Encoder {
             (Vec::new(), Vec::new(), vec![0.0; d])
         } else {
             // Attention scores.
+            let zero_bias = vec![0.0; d]; // hoisted: one alloc per call, not per token
             let mut u = Vec::with_capacity(n);
             let mut scores = Vec::with_capacity(n);
             for &t in &toks {
                 let e = self.emb.row(t as usize);
                 let mut z = vec![0.0; d];
                 // z = W e (no bias)
-                affine(&self.att_w.data, &vec![0.0; d], e, d, d, &mut z);
+                affine(&self.att_w.data, &zero_bias, e, d, d, &mut z);
                 for zi in &mut z {
                     *zi = zi.tanh();
                 }
@@ -141,15 +172,126 @@ impl Encoder {
         // Head.
         let mut h = vec![0.0; self.cfg.hidden_dim];
         affine(&self.w1.data, &self.b1.data, &pooled, self.cfg.hidden_dim, d, &mut h);
-        let mask = relu_inplace(&mut h);
+        let mut mask = Vec::new();
+        relu_inplace(&mut h, &mut mask);
         let mut logits = vec![0.0; self.cfg.n_classes];
         affine(&self.w2.data, &self.b2.data, &h, self.cfg.n_classes, self.cfg.hidden_dim, &mut logits);
         (logits, Cache { tokens: toks, u, alpha, pooled, h, mask })
     }
 
+    /// Attention forward for the batched path. Bit-identical to the
+    /// attention half of [`Encoder::forward`], with the per-token rows
+    /// packed as n×d matrices so one [`gemm::gemm_nt`] covers `W e_t`
+    /// for every token.
+    fn attention_forward(&self, tokens: &[u32]) -> AttnCache {
+        let d = self.cfg.embed_dim;
+        let toks: Vec<u32> = tokens
+            .iter()
+            .copied()
+            .filter(|&t| (t as usize) < self.cfg.vocab_size)
+            .take(self.cfg.max_len)
+            .collect();
+        let n = toks.len();
+        if n == 0 {
+            return AttnCache {
+                tokens: toks,
+                e_flat: Vec::new(),
+                u_flat: Vec::new(),
+                alpha: Vec::new(),
+                pooled: vec![0.0; d],
+            };
+        }
+        let mut e_flat = vec![0.0; n * d];
+        for (t, &tok) in toks.iter().enumerate() {
+            e_flat[t * d..(t + 1) * d].copy_from_slice(self.emb.row(tok as usize));
+        }
+        // u = tanh(E_rows · Wᵀ): gemm_nt against the d×d row-major W is
+        // exactly `affine(W, 0, e_t)` per row.
+        let mut u_flat = vec![0.0; n * d];
+        gemm::gemm_nt(&e_flat, &self.att_w.data, None, n, d, d, &mut u_flat);
+        for v in &mut u_flat {
+            *v = v.tanh();
+        }
+        let scores: Vec<f32> =
+            (0..n).map(|t| dot(&self.att_v.data, &u_flat[t * d..(t + 1) * d])).collect();
+        let alpha = softmax(&scores);
+        let mut pooled = vec![0.0; d];
+        for (t, &a) in alpha.iter().enumerate() {
+            let e = &e_flat[t * d..(t + 1) * d];
+            for (p, &ej) in pooled.iter_mut().zip(e) {
+                *p += a * ej;
+            }
+        }
+        AttnCache { tokens: toks, e_flat, u_flat, alpha, pooled }
+    }
+
+    /// Pure per-example attention backward: consumes the head's pooled
+    /// gradient and produces this example's score/pre-tanh/embedding-row
+    /// gradients. No shared state is touched, so examples run in
+    /// parallel; the caller reduces the outputs in fixed example order.
+    fn attention_backward_example(&self, cache: &AttnCache, dpooled: &[f32]) -> AttnGrads {
+        let d = self.cfg.embed_dim;
+        let n = cache.tokens.len();
+        if n == 0 {
+            return AttnGrads::default();
+        }
+        // Pooling backward: dα_t = dpooled·e_t.
+        let mut dalpha = vec![0.0; n];
+        for t in 0..n {
+            dalpha[t] = dot(dpooled, &cache.e_flat[t * d..(t + 1) * d]);
+        }
+        // Softmax backward: ds_t = α_t (dα_t − Σ_j α_j dα_j).
+        let inner: f32 = cache.alpha.iter().zip(&dalpha).map(|(a, g)| a * g).sum();
+        let ds: Vec<f32> = cache.alpha.iter().zip(&dalpha).map(|(a, g)| a * (g - inner)).collect();
+        // Pooling contribution to de, then de += Wᵀ dz.
+        let mut de_flat = vec![0.0; n * d];
+        for t in 0..n {
+            let a = cache.alpha[t];
+            let row = &mut de_flat[t * d..(t + 1) * d];
+            for (j, g) in dpooled.iter().enumerate() {
+                row[j] = g * a;
+            }
+        }
+        // dz = ds_t * v ⊙ (1 − u²).
+        let mut dz_flat = vec![0.0; n * d];
+        for t in 0..n {
+            let st = ds[t];
+            let urow = &cache.u_flat[t * d..(t + 1) * d];
+            let row = &mut dz_flat[t * d..(t + 1) * d];
+            for ((z, &vj), &uj) in row.iter_mut().zip(&self.att_v.data).zip(urow) {
+                *z = st * vj * (1.0 - uj * uj);
+            }
+        }
+        gemm::gemm_nn(&dz_flat, &self.att_w.data, n, d, d, &mut de_flat, true);
+        AttnGrads { ds, dz_flat, de_flat }
+    }
+
     /// Predicted class probabilities.
     pub fn predict_proba(&self, tokens: &[u32]) -> Vec<f32> {
         softmax(&self.forward(tokens).0)
+    }
+
+    /// Batched class probabilities: attention forward in parallel per
+    /// example, head as GEMMs over the packed pooled matrix.
+    /// Bit-identical to mapping [`Encoder::predict_proba`].
+    pub fn predict_proba_batch(&self, docs: &[Vec<u32>]) -> Vec<Vec<f32>> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let bsz = docs.len();
+        let (d, hdim, k) = (self.cfg.embed_dim, self.cfg.hidden_dim, self.cfg.n_classes);
+        let caches: Vec<AttnCache> = docs.par_iter().map(|doc| self.attention_forward(doc)).collect();
+        let mut ws = Workspace::new();
+        let mut p = ws.zeros(bsz * d);
+        for (e, c) in caches.iter().enumerate() {
+            p[e * d..(e + 1) * d].copy_from_slice(&c.pooled);
+        }
+        let mut h = ws.zeros(bsz * hdim);
+        let mut mask = ws.mask(bsz * hdim);
+        gemm::gemm_nt_relu(&p, &self.w1.data, &self.b1.data, bsz, d, hdim, &mut h, &mut mask);
+        let mut logits = ws.zeros(bsz * k);
+        gemm::gemm_nt(&h, &self.w2.data, Some(&self.b2.data), bsz, hdim, k, &mut logits);
+        (0..bsz).map(|e| softmax(&logits[e * k..(e + 1) * k])).collect()
     }
 
     /// Predicted class.
@@ -210,16 +352,114 @@ impl Encoder {
         loss
     }
 
-    /// Train one mini-batch (token sequences + gold labels); returns mean
-    /// loss.
+    /// Train one mini-batch (token sequences + gold labels) on the
+    /// batched GEMM path; returns mean loss. Byte-identical to
+    /// [`Encoder::train_batch_reference`] at any thread count.
     pub fn train_batch(&mut self, docs: &[Vec<u32>], ys: &[usize]) -> f32 {
+        assert_eq!(docs.len(), ys.len());
+        assert!(!docs.is_empty(), "empty batch");
+        let bsz = docs.len();
+        let (d, hdim, k) = (self.cfg.embed_dim, self.cfg.hidden_dim, self.cfg.n_classes);
+
+        // 1. Attention forward, parallel per example (pure w.r.t. self).
+        let this: &Encoder = self;
+        let caches: Vec<AttnCache> = docs.par_iter().map(|doc| this.attention_forward(doc)).collect();
+
+        // 2. Head forward + backward as GEMMs over the pooled matrix.
+        let mut p = self.ws.zeros(bsz * d);
+        for (e, c) in caches.iter().enumerate() {
+            p[e * d..(e + 1) * d].copy_from_slice(&c.pooled);
+        }
+        let mut h = self.ws.zeros(bsz * hdim);
+        let mut mask = self.ws.mask(bsz * hdim);
+        gemm::gemm_nt_relu(&p, &self.w1.data, &self.b1.data, bsz, d, hdim, &mut h, &mut mask);
+        let mut logits = self.ws.zeros(bsz * k);
+        gemm::gemm_nt(&h, &self.w2.data, Some(&self.b2.data), bsz, hdim, k, &mut logits);
+        let total = softmax_xent_rows(&mut logits, k, ys);
+        let dl = logits; // rows now hold dlogits
+        gemm::gemm_tn(&dl, &h, bsz, k, hdim, &mut self.w2.grad, true);
+        gemm::colsum_acc(&dl, bsz, k, &mut self.b2.grad);
+        let mut dh = self.ws.zeros(bsz * hdim);
+        gemm::gemm_nn(&dl, &self.w2.data, bsz, k, hdim, &mut dh, true);
+        relu_backward(&mut dh, &mask);
+        gemm::gemm_tn(&dh, &p, bsz, hdim, d, &mut self.w1.grad, true);
+        gemm::colsum_acc(&dh, bsz, hdim, &mut self.b1.grad);
+        let mut dp = self.ws.zeros(bsz * d);
+        gemm::gemm_nn(&dh, &self.w1.data, bsz, hdim, d, &mut dp, true);
+
+        // 3. Attention backward, parallel per example (pure).
+        let this: &Encoder = self;
+        let dp_ref: &[f32] = &dp;
+        let idxs: Vec<usize> = (0..bsz).collect();
+        let grads: Vec<AttnGrads> = idxs
+            .par_iter()
+            .map(|&e| this.attention_backward_example(&caches[e], &dp_ref[e * d..(e + 1) * d]))
+            .collect();
+
+        // 4. Global reductions in fixed (example, token) order — the same
+        // per-tensor accumulation order as the reference loop, so the
+        // result is byte-identical regardless of thread count.
+        for (cache, g) in caches.iter().zip(&grads) {
+            for (t, &st) in g.ds.iter().enumerate() {
+                let urow = &cache.u_flat[t * d..(t + 1) * d];
+                for (gv, &uj) in self.att_v.grad.iter_mut().zip(urow) {
+                    *gv += st * uj;
+                }
+            }
+        }
+        let t_total: usize = caches.iter().map(|c| c.tokens.len()).sum();
+        let mut dz_all = self.ws.zeros(t_total * d);
+        let mut e_all = self.ws.zeros(t_total * d);
+        let mut off = 0;
+        for (cache, g) in caches.iter().zip(&grads) {
+            let nd = cache.tokens.len() * d;
+            dz_all[off..off + nd].copy_from_slice(&g.dz_flat);
+            e_all[off..off + nd].copy_from_slice(&cache.e_flat);
+            off += nd;
+        }
+        // One big (T_total×d)ᵀ·(T_total×d) GEMM — the heaviest kernel of
+        // the step; row-chunk parallel inside gemm_tn, still e-ascending
+        // per output element.
+        gemm::gemm_tn(&dz_all, &e_all, t_total, d, d, &mut self.att_w.grad, true);
+        for (cache, g) in caches.iter().zip(&grads) {
+            for (t, &tok) in cache.tokens.iter().enumerate() {
+                let row = tok as usize * d;
+                let de = &g.de_flat[t * d..(t + 1) * d];
+                let dst = &mut self.emb.grad[row..row + d];
+                for (gv, &dj) in dst.iter_mut().zip(de) {
+                    *gv += dj;
+                }
+            }
+        }
+
+        self.ws.recycle(p);
+        self.ws.recycle(h);
+        self.ws.recycle(dl);
+        self.ws.recycle(dh);
+        self.ws.recycle(dp);
+        self.ws.recycle(dz_all);
+        self.ws.recycle(e_all);
+        self.ws.recycle_mask(mask);
+        self.apply_grads(bsz);
+        total / bsz as f32
+    }
+
+    /// Per-example reference implementation of [`Encoder::train_batch`],
+    /// kept as the bit-identity oracle for tests and benches.
+    pub fn train_batch_reference(&mut self, docs: &[Vec<u32>], ys: &[usize]) -> f32 {
         assert_eq!(docs.len(), ys.len());
         assert!(!docs.is_empty(), "empty batch");
         let mut total = 0.0;
         for (doc, &y) in docs.iter().zip(ys) {
             total += self.backward_example(doc, y);
         }
-        let scale = 1.0 / docs.len() as f32;
+        self.apply_grads(docs.len());
+        total / docs.len() as f32
+    }
+
+    /// Mean-scale accumulated gradients and take one Adam step.
+    fn apply_grads(&mut self, bsz: usize) {
+        let scale = 1.0 / bsz as f32;
         let Encoder { emb, att_w, att_v, w1, b1, w2, b2, opt, .. } = self;
         for t in [&mut *emb, &mut *att_w, &mut *att_v, &mut *w1, &mut *b1, &mut *w2, &mut *b2] {
             for g in &mut t.grad {
@@ -227,7 +467,6 @@ impl Encoder {
             }
         }
         opt.step(&mut [emb, att_w, att_v, w1, b1, w2, b2], Some(5.0));
-        total / docs.len() as f32
     }
 
     /// Attention weights over (truncated) input tokens — interpretability
@@ -412,5 +651,54 @@ mod tests {
             b.train_batch(&docs, &ys);
         }
         assert_eq!(a.predict_proba(&docs[0]), b.predict_proba(&docs[0]));
+    }
+
+    /// The tentpole contract for the encoder: batched training (parallel
+    /// attention + GEMM head + fixed-order reductions) is byte-identical
+    /// to the per-example reference loop, including across empty and
+    /// truncated documents and multiple optimizer steps.
+    #[test]
+    fn batched_training_bit_identical_to_reference() {
+        let (mut docs, mut ys) = toy_data();
+        docs.push(Vec::new()); // empty doc exercises the n == 0 path
+        ys.push(0);
+        docs.push((0..100u32).map(|i| i % 50).collect()); // truncated doc
+        ys.push(1);
+        let mut batched = Encoder::new(cfg(2));
+        let mut reference = batched.clone();
+        for step in 0..4 {
+            let lb = batched.train_batch(&docs, &ys);
+            let lr = reference.train_batch_reference(&docs, &ys);
+            assert_eq!(lb.to_bits(), lr.to_bits(), "loss diverged at step {step}");
+        }
+        for (name, t, r) in [
+            ("emb", &batched.emb, &reference.emb),
+            ("att_w", &batched.att_w, &reference.att_w),
+            ("att_v", &batched.att_v, &reference.att_v),
+            ("w1", &batched.w1, &reference.w1),
+            ("b1", &batched.b1, &reference.b1),
+            ("w2", &batched.w2, &reference.w2),
+            ("b2", &batched.b2, &reference.b2),
+        ] {
+            let tb: Vec<u32> = t.data.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = r.data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(tb, rb, "{name} diverged");
+        }
+    }
+
+    #[test]
+    fn predict_proba_batch_matches_per_example() {
+        let (docs, ys) = toy_data();
+        let mut enc = Encoder::new(cfg(2));
+        for _ in 0..10 {
+            enc.train_batch(&docs, &ys);
+        }
+        let batched = enc.predict_proba_batch(&docs);
+        for (doc, row) in docs.iter().zip(&batched) {
+            let single = enc.predict_proba(doc);
+            let sb: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, rb);
+        }
     }
 }

@@ -1,0 +1,417 @@
+//! Cache-blocked, batched matrix–matrix kernels and the scratch-buffer
+//! [`Workspace`] behind the batched training paths in [`crate::mlp`],
+//! [`crate::encoder`] and [`crate::lora`].
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel here is a drop-in replacement for a loop over the scalar
+//! reference kernels in [`crate::linalg`] (`affine`,
+//! `affine_backward_input`, `affine_backward_params`) and must produce
+//! **bit-identical** `f32` results. IEEE-754 addition is not associative,
+//! so the kernels never reassociate sums: each output element's
+//! k-dimension accumulation runs sequentially in the same index order as
+//! the reference, and cache blocking only reorders *which* independent
+//! output elements are computed when — never the additions inside one
+//! element. Multiplication operand order is irrelevant (IEEE-754 `a*b`
+//! is bitwise equal to `b*a`), which the kernels exploit freely.
+//!
+//! Zero-skip flags mirror the reference exactly: `affine_backward_input`
+//! and the weight half of `affine_backward_params` skip `d == 0.0`
+//! contributions (a meaningful sparsity win after ReLU), while bias
+//! gradients and the LoRA backward do not. Callers pick the matching
+//! behaviour via `skip_zero_a`.
+//!
+//! # Determinism under threads
+//!
+//! The only parallel kernel is [`gemm_tn`], which splits the *output*
+//! rows into disjoint chunks via `par_chunks_mut`; every output element
+//! is still produced by exactly one task running the full e-loop in
+//! ascending order, so results are byte-identical at any thread count.
+
+use rayon::prelude::*;
+
+/// Minimum multiply-accumulate count before [`gemm_tn`] fans out across
+/// the rayon pool. Below this, thread wake-up costs more than the math.
+const PAR_MIN_MACS: usize = 1 << 21;
+
+/// Core NT kernel: `acc(i,j) = init(j) + Σ_p a[i·k+p] · b[j·k+p]`, with
+/// the per-element p-loop sequential (reference accumulation order) and
+/// `emit(i·n+j, j, acc)` called exactly once per output element.
+///
+/// Cache strategy: B (n×k, the weight layout) is packed once into a
+/// k-major scratch so the p-loop becomes a vectorizable width-n row axpy
+/// against a row-resident accumulator. Every output element still starts
+/// at `init(j)` and accumulates its products in ascending p order — the
+/// packing reorders *memory*, never any element's additions — so results
+/// stay bit-identical to the scalar dot-form reference.
+fn gemm_nt_with<I, E>(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, init: I, mut emit: E)
+where
+    I: Fn(usize) -> f32,
+    E: FnMut(usize, usize, f32),
+{
+    debug_assert!(a.len() >= m * k, "a too short for m×k");
+    debug_assert!(b.len() >= n * k, "b too short for n×k");
+    let mut bt = vec![0.0f32; k * n];
+    for (j, brow) in b.chunks_exact(k).take(n).enumerate() {
+        for (p, &bv) in brow.iter().enumerate() {
+            bt[p * n + j] = bv;
+        }
+    }
+    let mut acc = vec![0.0f32; n];
+    for i in 0..m {
+        for (j, aj) in acc.iter_mut().enumerate() {
+            *aj = init(j);
+        }
+        let arow = &a[i * k..(i + 1) * k];
+        for (p, &av) in arow.iter().enumerate() {
+            let btrow = &bt[p * n..(p + 1) * n];
+            for (o, &bv) in acc.iter_mut().zip(btrow) {
+                *o += av * bv;
+            }
+        }
+        for (j, &val) in acc.iter().enumerate() {
+            emit(i * n + j, j, val);
+        }
+    }
+}
+
+/// `out = A·Bᵀ (+ bias broadcast over rows)`: A is m×k row-major, B is
+/// n×k row-major (n rows of weights, as [`crate::tensor::Tensor`]
+/// stores them), out is m×n. With `bias`, each accumulator *starts* at
+/// `bias[j]` — the `linalg::affine` convention.
+pub fn gemm_nt(a: &[f32], b: &[f32], bias: Option<&[f32]>, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    match bias {
+        Some(bias) => {
+            debug_assert_eq!(bias.len(), n, "bias must have n entries");
+            gemm_nt_with(a, b, m, k, n, |j| bias[j], |idx, _, acc| out[idx] = acc);
+        }
+        None => gemm_nt_with(a, b, m, k, n, |_| 0.0, |idx, _, acc| out[idx] = acc),
+    }
+}
+
+/// [`gemm_nt`] with the fused bias + ReLU epilogue: writes
+/// `max(acc, 0)` into `out` and the activation mask (acc > 0) into
+/// `mask`, replacing a separate `relu_inplace` pass over the batch.
+pub fn gemm_nt_relu(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    mask: &mut [bool],
+) {
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    debug_assert_eq!(mask.len(), m * n, "mask must be m×n");
+    debug_assert_eq!(bias.len(), n, "bias must have n entries");
+    gemm_nt_with(a, b, m, k, n, |j| bias[j], |idx, _, acc| {
+        let active = acc > 0.0;
+        mask[idx] = active;
+        out[idx] = if active { acc } else { 0.0 };
+    });
+}
+
+/// `out[i·n+j] = bias[j] + Σ_p a·b`: the accumulator starts at 0 and the
+/// bias is added *once at the end* — the `LoraAdapter::forward` base-path
+/// convention, which is not bit-identical to bias-first `affine` when
+/// the sum overflows into different rounding.
+pub fn gemm_nt_bias_after(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    debug_assert_eq!(bias.len(), n, "bias must have n entries");
+    gemm_nt_with(a, b, m, k, n, |_| 0.0, |idx, j, acc| out[idx] = bias[j] + acc);
+}
+
+/// `out[i·n+j] += scale · (Σ_p a·b)`: the LoRA low-rank update epilogue
+/// (`out[i] += scaling * acc` in the scalar reference).
+pub fn gemm_nt_scaled_acc(
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scale: f32,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    gemm_nt_with(a, b, m, k, n, |_| 0.0, |idx, _, acc| out[idx] += scale * acc);
+}
+
+/// `out += A·B` in axpy form: A is m×k, B is k×n, both row-major;
+/// `out[i·n+j] += Σ_p a[i·k+p] · b[p·n+j]` with the p-loop outermost per
+/// row so each output element accumulates in ascending p order — the
+/// order `affine_backward_input` uses (p ≡ the reference's `i`).
+///
+/// `skip_zero_a` skips whole p-iterations when `a[i·k+p] == 0.0`,
+/// mirroring the reference's `if di == 0.0 { continue; }` (exact-zero
+/// skips never change the bits of the remaining sum).
+pub fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32], skip_zero_a: bool) {
+    debug_assert!(a.len() >= m * k, "a too short for m×k");
+    debug_assert!(b.len() >= k * n, "b too short for k×n");
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for p in 0..k {
+            let av = arow[p];
+            if skip_zero_a && av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out += AᵀB` over `rows` stacked examples: A is rows×m, B is rows×n,
+/// out is m×n; `out[i·n+j] += Σ_e a[e·m+i] · b[e·n+j]` with the e-loop
+/// ascending — the per-entry example order `affine_backward_params`
+/// produces when called once per example of a minibatch.
+///
+/// `skip_zero_a` mirrors the reference's `if di == 0.0 { continue; }`
+/// on the weight-gradient half.
+///
+/// Parallelism: above [`PAR_MIN_MACS`] multiply-adds the *output* rows
+/// are split into disjoint chunks across the rayon pool. Each output
+/// element is still produced by exactly one task running the full
+/// ascending e-loop, so the result is byte-identical at any `--jobs`.
+pub fn gemm_tn(a: &[f32], b: &[f32], rows: usize, m: usize, n: usize, out: &mut [f32], skip_zero_a: bool) {
+    debug_assert!(a.len() >= rows * m, "a too short for rows×m");
+    debug_assert!(b.len() >= rows * n, "b too short for rows×n");
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    let macs = rows.saturating_mul(m).saturating_mul(n);
+    let threads = rayon::current_num_threads();
+    if macs >= PAR_MIN_MACS && threads > 1 && m > 1 {
+        let rows_per_chunk = m.div_ceil(threads.min(m));
+        out.par_chunks_mut(rows_per_chunk * n).enumerate().for_each(|(ci, chunk)| {
+            gemm_tn_block(a, b, rows, m, n, ci * rows_per_chunk, chunk, skip_zero_a);
+        });
+    } else {
+        gemm_tn_block(a, b, rows, m, n, 0, out, skip_zero_a);
+    }
+}
+
+/// Serial body of [`gemm_tn`] for the output-row window starting at
+/// `i0` (as many rows as `out_block` holds).
+fn gemm_tn_block(
+    a: &[f32],
+    b: &[f32],
+    rows: usize,
+    m: usize,
+    n: usize,
+    i0: usize,
+    out_block: &mut [f32],
+    skip_zero_a: bool,
+) {
+    if n == 0 {
+        return;
+    }
+    let block_rows = (out_block.len() / n).min(m.saturating_sub(i0));
+    for e in 0..rows {
+        let arow = &a[e * m..(e + 1) * m];
+        let brow = &b[e * n..(e + 1) * n];
+        for bi in 0..block_rows {
+            let av = arow[i0 + bi];
+            if skip_zero_a && av == 0.0 {
+                continue;
+            }
+            let orow = &mut out_block[bi * n..(bi + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out[j] += Σ_e a[e·cols+j]` in ascending e order: the batched bias
+/// gradient (`grad_b[i] += d[i]` once per example, no zero-skip).
+pub fn colsum_acc(a: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    debug_assert!(a.len() >= rows * cols, "a too short for rows×cols");
+    debug_assert_eq!(out.len(), cols, "out must have cols entries");
+    for e in 0..rows {
+        let arow = &a[e * cols..(e + 1) * cols];
+        for (o, &v) in out.iter_mut().zip(arow) {
+            *o += v;
+        }
+    }
+}
+
+/// Pool of reusable scratch buffers for the batched training paths.
+///
+/// Buffers are checked out with [`Workspace::zeros`] / [`Workspace::mask`]
+/// (always fully reinitialised, so reuse can never leak stale values into
+/// the math) and returned with [`Workspace::recycle`] /
+/// [`Workspace::recycle_mask`]. Capacity is retained across batches, so
+/// steady-state training performs no heap allocation in the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    f32s: Vec<Vec<f32>>,
+    masks: Vec<Vec<bool>>,
+}
+
+impl Workspace {
+    /// An empty pool; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out an f32 buffer of exactly `len` zeros.
+    pub fn zeros(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.f32s.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Check out a bool buffer of exactly `len` `false`s.
+    pub fn mask(&mut self, len: usize) -> Vec<bool> {
+        let mut buf = self.masks.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, false);
+        buf
+    }
+
+    /// Return an f32 buffer to the pool, keeping its capacity.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        self.f32s.push(buf);
+    }
+
+    /// Return a bool buffer to the pool, keeping its capacity.
+    pub fn recycle_mask(&mut self, buf: Vec<bool>) {
+        self.masks.push(buf);
+    }
+}
+
+/// Pack a slice of equal-length example rows into one row-major
+/// `rows.len() × width` activation matrix (the front half of every
+/// batched `train_batch`).
+pub fn pack_rows(rows: &[Vec<f32>], width: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), rows.len() * width, "out must be rows×width");
+    for (e, row) in rows.iter().enumerate() {
+        debug_assert_eq!(row.len(), width, "row width mismatch");
+        out[e * width..(e + 1) * width].copy_from_slice(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{affine, affine_backward_input, affine_backward_params, relu_inplace};
+
+    fn seq(n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.7 - (n as f32) * 0.3).sin() * scale).collect()
+    }
+
+    #[test]
+    fn gemm_nt_matches_affine_rowwise() {
+        let (m, k, n) = (5, 7, 9); // deliberately not tile multiples
+        let a = seq(m * k, 1.3);
+        let w = seq(n * k, 0.9);
+        let bias = seq(n, 0.2);
+        let mut out = vec![0.0f32; m * n];
+        gemm_nt(&a, &w, Some(&bias), m, k, n, &mut out);
+        let mut reference = vec![0.0f32; m * n];
+        for e in 0..m {
+            affine(&w, &bias, &a[e * k..(e + 1) * k], n, k, &mut reference[e * n..(e + 1) * n]);
+        }
+        assert_eq!(out, reference, "gemm_nt must be bit-identical to affine");
+    }
+
+    #[test]
+    fn gemm_nt_relu_fuses_mask() {
+        let (m, k, n) = (3, 6, 5);
+        let a = seq(m * k, 2.0);
+        let w = seq(n * k, 1.1);
+        let bias = seq(n, 0.1);
+        let mut out = vec![0.0f32; m * n];
+        let mut mask = vec![false; m * n];
+        gemm_nt_relu(&a, &w, &bias, m, k, n, &mut out, &mut mask);
+        let mut plain = vec![0.0f32; m * n];
+        gemm_nt(&a, &w, Some(&bias), m, k, n, &mut plain);
+        let mut mask2 = Vec::new();
+        relu_inplace(&mut plain, &mut mask2);
+        assert_eq!(out, plain);
+        assert_eq!(mask, mask2);
+    }
+
+    #[test]
+    fn gemm_nn_matches_backward_input() {
+        let (m, k, n) = (4, 5, 7);
+        let mut d = seq(m * k, 1.0);
+        d[3] = 0.0; // exercise the zero-skip
+        d[8] = 0.0;
+        let w = seq(k * n, 0.8);
+        let mut out = vec![0.0f32; m * n];
+        gemm_nn(&d, &w, m, k, n, &mut out, true);
+        let mut reference = vec![0.0f32; m * n];
+        for e in 0..m {
+            affine_backward_input(&w, &d[e * k..(e + 1) * k], k, n, &mut reference[e * n..(e + 1) * n]);
+        }
+        assert_eq!(out, reference, "gemm_nn must be bit-identical to affine_backward_input");
+    }
+
+    #[test]
+    fn gemm_tn_and_colsum_match_backward_params() {
+        let (bsz, m, n) = (6, 5, 8); // d is bsz×m, x is bsz×n
+        let mut d = seq(bsz * m, 1.0);
+        d[2] = 0.0;
+        d[17] = 0.0;
+        let x = seq(bsz * n, 0.6);
+        let mut wgrad = vec![0.0f32; m * n];
+        let mut bgrad = vec![0.0f32; m];
+        gemm_tn(&d, &x, bsz, m, n, &mut wgrad, true);
+        colsum_acc(&d, bsz, m, &mut bgrad);
+        let mut refw = vec![0.0f32; m * n];
+        let mut refb = vec![0.0f32; m];
+        for e in 0..bsz {
+            affine_backward_params(
+                &mut refw,
+                &mut refb,
+                &d[e * m..(e + 1) * m],
+                &x[e * n..(e + 1) * n],
+                m,
+                n,
+            );
+        }
+        assert_eq!(wgrad, refw, "gemm_tn must be bit-identical to affine_backward_params");
+        assert_eq!(bgrad, refb, "colsum_acc must match the bias-gradient half");
+    }
+
+    #[test]
+    fn gemm_tn_parallel_chunking_is_bit_identical() {
+        // Big enough to cross PAR_MIN_MACS: 128×130×130 ≈ 2.2M MACs.
+        let (rows, m, n) = (128, 130, 130);
+        let a = seq(rows * m, 0.5);
+        let b = seq(rows * n, 0.4);
+        let mut serial = vec![0.0f32; m * n];
+        gemm_tn_block(&a, &b, rows, m, n, 0, &mut serial, false);
+        let mut par = vec![0.0f32; m * n];
+        gemm_tn(&a, &b, rows, m, n, &mut par, false);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn workspace_reuses_capacity_and_reinitialises() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.zeros(8);
+        buf.iter_mut().for_each(|v| *v = 3.5);
+        let cap = buf.capacity();
+        ws.recycle(buf);
+        let buf2 = ws.zeros(4);
+        assert!(buf2.capacity() >= cap.min(4));
+        assert!(buf2.iter().all(|&v| v == 0.0), "recycled buffers must come back zeroed");
+        let mask = ws.mask(5);
+        assert!(mask.iter().all(|&b| !b));
+    }
+}

@@ -11,16 +11,23 @@
 //!
 //! Modules:
 //! - [`tensor`] — parameter tensors with gradient buffers
-//! - [`linalg`] — the handful of dense kernels everything uses
+//! - [`linalg`] — scalar reference kernels (the bit-identity oracle)
+//! - [`gemm`] — cache-blocked batched GEMM kernels + scratch [`Workspace`]
 //! - [`optim`] — Adam optimizer
 //! - [`mlp`] — a one-hidden-layer softmax classifier
 //! - [`encoder`] — attention-pooled text encoder classifier
 //! - [`lora`] — low-rank adapters over a frozen linear map
 //! - [`train`] — mini-batch training loop with early stopping
+//!
+//! Training and batched inference run on the [`gemm`] kernels; the
+//! [`linalg`] scalar kernels remain the semantic reference, and the
+//! batched paths are tested to reproduce them byte-for-byte at any
+//! thread count (see `tests/gemm_props.rs`).
 
 #![allow(clippy::needless_range_loop)] // index loops are the clearest idiom for the dense kernels
 
 pub mod encoder;
+pub mod gemm;
 pub mod linalg;
 pub mod lora;
 pub mod mlp;
@@ -29,6 +36,7 @@ pub mod tensor;
 pub mod train;
 
 pub use encoder::Encoder;
+pub use gemm::Workspace;
 pub use lora::LoraAdapter;
 pub use mlp::Mlp;
 pub use optim::Adam;

@@ -56,9 +56,13 @@ pub fn affine_backward_params(
     }
 }
 
-/// In-place ReLU; returns a mask of active units for the backward pass.
-pub fn relu_inplace(x: &mut [f32]) -> Vec<bool> {
-    let mut mask = Vec::with_capacity(x.len());
+/// In-place ReLU; fills `mask` (cleared first) with the active-unit mask
+/// for the backward pass. Takes the mask as caller-provided scratch so a
+/// pooled buffer (see [`crate::gemm::Workspace`]) can be reused across
+/// calls instead of allocating a fresh `Vec<bool>` per example.
+pub fn relu_inplace(x: &mut [f32], mask: &mut Vec<bool>) {
+    mask.clear();
+    mask.reserve(x.len());
     for v in x.iter_mut() {
         let active = *v > 0.0;
         mask.push(active);
@@ -66,7 +70,6 @@ pub fn relu_inplace(x: &mut [f32]) -> Vec<bool> {
             *v = 0.0;
         }
     }
-    mask
 }
 
 /// Apply ReLU mask to a gradient in place.
@@ -94,6 +97,32 @@ pub fn softmax_xent(logits: &[f32], gold: usize) -> (f32, Vec<f32>) {
     let mut d = p;
     d[gold] -= 1.0;
     (loss, d)
+}
+
+/// Row-wise fused softmax + cross-entropy over a packed `rows×n_classes`
+/// logit matrix: each row is replaced in place by its gradient
+/// (`p - onehot(gold)`) and the summed loss is returned.
+///
+/// Bit-identical to calling [`softmax_xent`] on each row and summing the
+/// losses in row order — the batched heads rely on this to reproduce the
+/// per-example reference path exactly.
+pub fn softmax_xent_rows(logits: &mut [f32], n_classes: usize, golds: &[usize]) -> f32 {
+    debug_assert_eq!(logits.len(), golds.len() * n_classes);
+    let mut total = 0.0f32;
+    for (e, &gold) in golds.iter().enumerate() {
+        let row = &mut logits[e * n_classes..(e + 1) * n_classes];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+        }
+        let sum: f32 = row.iter().sum();
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+        total += -(row[gold].max(1e-12)).ln();
+        row[gold] -= 1.0;
+    }
+    total
 }
 
 /// Dot product.
@@ -155,7 +184,8 @@ mod tests {
     #[test]
     fn relu_roundtrip() {
         let mut x = vec![1.0, -1.0, 0.0, 2.0];
-        let mask = relu_inplace(&mut x);
+        let mut mask = vec![true; 1]; // stale scratch must be cleared
+        relu_inplace(&mut x, &mut mask);
         assert_eq!(x, vec![1.0, 0.0, 0.0, 2.0]);
         let mut d = vec![5.0, 5.0, 5.0, 5.0];
         relu_backward(&mut d, &mask);
@@ -175,6 +205,23 @@ mod tests {
         assert!((loss - (3.0f32).ln()).abs() < 1e-5);
         assert!((d[1] - (1.0 / 3.0 - 1.0)).abs() < 1e-5);
         assert!((d.iter().sum::<f32>()).abs() < 1e-6, "gradient sums to zero");
+    }
+
+    #[test]
+    fn xent_rows_bit_identical_to_per_example() {
+        let logits = vec![0.3f32, -1.2, 0.8, 2.0, 0.1, -0.4];
+        let golds = [2usize, 0];
+        let mut batched = logits.clone();
+        let total = softmax_xent_rows(&mut batched, 3, &golds);
+        let mut ref_total = 0.0f32;
+        let mut ref_grads = Vec::new();
+        for (e, &gold) in golds.iter().enumerate() {
+            let (loss, d) = softmax_xent(&logits[e * 3..(e + 1) * 3], gold);
+            ref_total += loss;
+            ref_grads.extend(d);
+        }
+        assert_eq!(total.to_bits(), ref_total.to_bits());
+        assert_eq!(batched, ref_grads);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! receive gradients — exactly the mechanism used to instruction-fine-tune
 //! the simulated LLM backbone in `mhd-llm`.
 
-use crate::linalg::softmax_xent;
+use crate::gemm::{self, pack_rows, Workspace};
+use crate::linalg::{softmax_xent, softmax_xent_rows};
 use crate::optim::Adam;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -26,6 +27,7 @@ pub struct LoraAdapter {
     /// LoRA scaling factor α/r.
     scaling: f32,
     opt: Adam,
+    ws: Workspace,
 }
 
 impl LoraAdapter {
@@ -50,6 +52,7 @@ impl LoraAdapter {
             b,
             scaling: 2.0, // α/r with α = 2r — the common default regime
             opt: Adam::new(lr, &sizes),
+            ws: Workspace::new(),
         }
     }
 
@@ -94,9 +97,79 @@ impl LoraAdapter {
         t
     }
 
+    /// Batched forward over a slice of inputs: adapted logits per row,
+    /// computed as three GEMMs over the packed input matrix.
+    /// Bit-identical to mapping [`LoraAdapter::forward`].
+    pub fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let bsz = xs.len();
+        for x in xs {
+            assert_eq!(x.len(), self.n, "input dim mismatch");
+        }
+        let mut ws = Workspace::new();
+        let mut x = ws.zeros(bsz * self.n);
+        pack_rows(xs, self.n, &mut x);
+        let mut logits = ws.zeros(bsz * self.m);
+        let mut t = ws.zeros(bsz * self.rank);
+        self.logits_batch(&x, bsz, &mut logits, &mut t);
+        (0..bsz).map(|e| logits[e * self.m..(e + 1) * self.m].to_vec()).collect()
+    }
+
+    /// Adapted logits for a packed `bsz×n` input matrix, plus the
+    /// low-rank activations `t = Aᵀx` the backward pass reuses.
+    fn logits_batch(&self, x: &[f32], bsz: usize, logits: &mut [f32], t: &mut [f32]) {
+        // Base path: logits = bias + W x (bias added after the sum, the
+        // scalar forward's convention).
+        gemm::gemm_nt_bias_after(x, &self.base, &self.base_bias, bsz, self.n, self.m, logits);
+        // Low-rank path: t = Aᵀ x (skip x == 0, as a_t_x does), then
+        // logits += s · B t.
+        gemm::gemm_nn(x, &self.a.data, bsz, self.n, self.rank, t, true);
+        gemm::gemm_nt_scaled_acc(t, &self.b.data, bsz, self.rank, self.m, self.scaling, logits);
+    }
+
     /// One training step on a batch with softmax cross-entropy over the
-    /// adapter's outputs; returns mean loss. Only `A` and `B` are updated.
+    /// adapter's outputs; returns mean loss. Only `A` and `B` are
+    /// updated. Runs on the batched GEMM kernels; byte-identical to
+    /// [`LoraAdapter::train_batch_reference`].
     pub fn train_batch(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty batch");
+        let bsz = xs.len();
+        for x in xs {
+            assert_eq!(x.len(), self.n, "input dim mismatch");
+        }
+        let mut x = self.ws.zeros(bsz * self.n);
+        pack_rows(xs, self.n, &mut x);
+        let mut logits = self.ws.zeros(bsz * self.m);
+        let mut t = self.ws.zeros(bsz * self.rank);
+        self.logits_batch(&x, bsz, &mut logits, &mut t);
+        let total = softmax_xent_rows(&mut logits, self.m, ys);
+        // ds = s · dlogits, the common factor of both parameter grads.
+        let mut ds = logits;
+        for v in &mut ds {
+            *v *= self.scaling;
+        }
+        // dB[i][k] += Σ_e ds[e][i] · t[e][k]  (no zero-skip, as reference)
+        gemm::gemm_tn(&ds, &t, bsz, self.m, self.rank, &mut self.b.grad, false);
+        // dt[e][k] = Σ_i ds[e][i] · B[i][k]
+        let mut dt = self.ws.zeros(bsz * self.rank);
+        gemm::gemm_nn(&ds, &self.b.data, bsz, self.m, self.rank, &mut dt, false);
+        // dA[j][k] += Σ_e x[e][j] · dt[e][k]  (skip x == 0, as reference)
+        gemm::gemm_tn(&x, &dt, bsz, self.n, self.rank, &mut self.a.grad, true);
+        self.ws.recycle(x);
+        self.ws.recycle(ds);
+        self.ws.recycle(t);
+        self.ws.recycle(dt);
+        self.apply_grads(bsz);
+        total / bsz as f32
+    }
+
+    /// Per-example reference implementation of
+    /// [`LoraAdapter::train_batch`], kept as the bit-identity oracle for
+    /// tests and benches.
+    pub fn train_batch_reference(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
         assert_eq!(xs.len(), ys.len());
         assert!(!xs.is_empty(), "empty batch");
         let mut total = 0.0;
@@ -131,7 +204,13 @@ impl LoraAdapter {
                 }
             }
         }
-        let scale = 1.0 / xs.len() as f32;
+        self.apply_grads(xs.len());
+        total / xs.len() as f32
+    }
+
+    /// Mean-scale accumulated gradients and take one Adam step.
+    fn apply_grads(&mut self, bsz: usize) {
+        let scale = 1.0 / bsz as f32;
         for t in [&mut self.a, &mut self.b] {
             for g in &mut t.grad {
                 *g *= scale;
@@ -139,7 +218,6 @@ impl LoraAdapter {
         }
         let LoraAdapter { a, b, opt, .. } = self;
         opt.step(&mut [a, b], Some(5.0));
-        total / xs.len() as f32
     }
 
     /// Number of *trainable* parameters (the adapter only).
@@ -231,5 +309,44 @@ mod tests {
     #[should_panic(expected = "rank")]
     fn zero_rank_rejected() {
         LoraAdapter::new(vec![0.0; 4], vec![0.0; 2], 2, 2, 0, 0.1, 1);
+    }
+
+    /// The tentpole contract for LoRA: batched training is byte-identical
+    /// to the per-example reference, on inputs with exact zeros (the
+    /// zero-skip path) and a non-trivial frozen base.
+    #[test]
+    fn batched_training_bit_identical_to_reference() {
+        let (m, n, rank) = (3, 7, 2);
+        let mut rng = StdRng::seed_from_u64(9);
+        let base: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-0.5..0.5f32)).collect();
+        let bias: Vec<f32> = (0..m).map(|_| rng.gen_range(-0.2..0.2f32)).collect();
+        let mut batched = LoraAdapter::new(base, bias, m, n, rank, 0.03, 11);
+        let mut reference = batched.clone();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..23 {
+            let mut x: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+            x[i % n] = 0.0; // exact zeros exercise the skip paths
+            xs.push(x);
+            ys.push(i % m);
+        }
+        for step in 0..5 {
+            let lb = batched.train_batch(&xs, &ys);
+            let lr = reference.train_batch_reference(&xs, &ys);
+            assert_eq!(lb.to_bits(), lr.to_bits(), "loss diverged at step {step}");
+        }
+        for (name, t, r) in [("a", &batched.a, &reference.a), ("b", &batched.b, &reference.b)] {
+            let tb: Vec<u32> = t.data.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = r.data.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(tb, rb, "{name} diverged");
+        }
+        // The batched forward must agree with the scalar forward too.
+        let fb = batched.forward_batch(&xs);
+        for (x, row) in xs.iter().zip(&fb) {
+            let single = batched.forward(x);
+            let sb: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, rb);
+        }
     }
 }

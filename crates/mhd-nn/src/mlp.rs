@@ -1,8 +1,15 @@
 //! One-hidden-layer softmax classifier over dense inputs.
+//!
+//! Training runs on the batched [`crate::gemm`] kernels: the minibatch is
+//! packed into one row-major activation matrix and each layer is a single
+//! GEMM, with gradients reduced in fixed example order so the result is
+//! byte-identical to the per-example reference path
+//! ([`Mlp::train_batch_reference`]) at any thread count.
 
+use crate::gemm::{self, pack_rows, Workspace};
 use crate::linalg::{
     affine, affine_backward_input, affine_backward_params, relu_backward, relu_inplace, softmax,
-    softmax_xent,
+    softmax_xent, softmax_xent_rows,
 };
 use crate::optim::Adam;
 use crate::tensor::Tensor;
@@ -21,6 +28,7 @@ pub struct Mlp {
     w2: Tensor,
     b2: Tensor,
     opt: Adam,
+    ws: Workspace,
 }
 
 impl Mlp {
@@ -53,12 +61,40 @@ impl Mlp {
             w2,
             b2,
             opt: Adam::new(lr, &sizes),
+            ws: Workspace::new(),
         }
     }
 
     /// Class-probability forward pass.
     pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
         softmax(&self.logits(x).0)
+    }
+
+    /// Batched class-probability forward: one GEMM per layer over the
+    /// whole slice of inputs. Bit-identical to mapping
+    /// [`Mlp::predict_proba`] over the inputs.
+    pub fn predict_proba_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let bsz = xs.len();
+        let (n_in, h_dim, k) = (self.input_dim, self.hidden_dim, self.n_classes);
+        for x in xs {
+            assert_eq!(x.len(), n_in, "input dim mismatch");
+        }
+        let mut ws = Workspace::new();
+        let mut x = ws.zeros(bsz * n_in);
+        pack_rows(xs, n_in, &mut x);
+        let mut logits = ws.zeros(bsz * k);
+        if h_dim > 0 {
+            let mut h = ws.zeros(bsz * h_dim);
+            let mut mask = ws.mask(bsz * h_dim);
+            gemm::gemm_nt_relu(&x, &self.w1.data, &self.b1.data, bsz, n_in, h_dim, &mut h, &mut mask);
+            gemm::gemm_nt(&h, &self.w2.data, Some(&self.b2.data), bsz, h_dim, k, &mut logits);
+        } else {
+            gemm::gemm_nt(&x, &self.w2.data, Some(&self.b2.data), bsz, n_in, k, &mut logits);
+        }
+        (0..bsz).map(|e| softmax(&logits[e * k..(e + 1) * k])).collect()
     }
 
     /// Most probable class.
@@ -72,7 +108,8 @@ impl Mlp {
         if self.hidden_dim > 0 {
             let mut h = vec![0.0; self.hidden_dim];
             affine(&self.w1.data, &self.b1.data, x, self.hidden_dim, self.input_dim, &mut h);
-            let mask = relu_inplace(&mut h);
+            let mut mask = Vec::new();
+            relu_inplace(&mut h, &mut mask);
             let mut out = vec![0.0; self.n_classes];
             affine(&self.w2.data, &self.b2.data, &h, self.n_classes, self.hidden_dim, &mut out);
             (out, Some((h, mask)))
@@ -123,16 +160,69 @@ impl Mlp {
         loss
     }
 
-    /// Train on one mini-batch; returns mean loss.
+    /// Train on one mini-batch via the batched GEMM path; returns mean
+    /// loss. Byte-identical to [`Mlp::train_batch_reference`].
     pub fn train_batch(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
+        assert_eq!(xs.len(), ys.len());
+        assert!(!xs.is_empty(), "empty batch");
+        let bsz = xs.len();
+        let (n_in, h_dim, k) = (self.input_dim, self.hidden_dim, self.n_classes);
+        for x in xs {
+            assert_eq!(x.len(), n_in, "input dim mismatch");
+        }
+        let mut x = self.ws.zeros(bsz * n_in);
+        pack_rows(xs, n_in, &mut x);
+        let total = if h_dim > 0 {
+            let mut h = self.ws.zeros(bsz * h_dim);
+            let mut mask = self.ws.mask(bsz * h_dim);
+            gemm::gemm_nt_relu(&x, &self.w1.data, &self.b1.data, bsz, n_in, h_dim, &mut h, &mut mask);
+            let mut logits = self.ws.zeros(bsz * k);
+            gemm::gemm_nt(&h, &self.w2.data, Some(&self.b2.data), bsz, h_dim, k, &mut logits);
+            let total = softmax_xent_rows(&mut logits, k, ys);
+            let dl = logits; // rows now hold dlogits
+            gemm::gemm_tn(&dl, &h, bsz, k, h_dim, &mut self.w2.grad, true);
+            gemm::colsum_acc(&dl, bsz, k, &mut self.b2.grad);
+            let mut dh = self.ws.zeros(bsz * h_dim);
+            gemm::gemm_nn(&dl, &self.w2.data, bsz, k, h_dim, &mut dh, true);
+            relu_backward(&mut dh, &mask);
+            gemm::gemm_tn(&dh, &x, bsz, h_dim, n_in, &mut self.w1.grad, true);
+            gemm::colsum_acc(&dh, bsz, h_dim, &mut self.b1.grad);
+            self.ws.recycle(h);
+            self.ws.recycle(dl);
+            self.ws.recycle(dh);
+            self.ws.recycle_mask(mask);
+            total
+        } else {
+            let mut logits = self.ws.zeros(bsz * k);
+            gemm::gemm_nt(&x, &self.w2.data, Some(&self.b2.data), bsz, n_in, k, &mut logits);
+            let total = softmax_xent_rows(&mut logits, k, ys);
+            let dl = logits;
+            gemm::gemm_tn(&dl, &x, bsz, k, n_in, &mut self.w2.grad, true);
+            gemm::colsum_acc(&dl, bsz, k, &mut self.b2.grad);
+            self.ws.recycle(dl);
+            total
+        };
+        self.ws.recycle(x);
+        self.apply_grads(bsz);
+        total / bsz as f32
+    }
+
+    /// Per-example reference implementation of [`Mlp::train_batch`],
+    /// kept as the bit-identity oracle for tests and benches.
+    pub fn train_batch_reference(&mut self, xs: &[Vec<f32>], ys: &[usize]) -> f32 {
         assert_eq!(xs.len(), ys.len());
         assert!(!xs.is_empty(), "empty batch");
         let mut total = 0.0;
         for (x, &y) in xs.iter().zip(ys) {
             total += self.backward_example(x, y);
         }
-        // Mean gradient.
-        let scale = 1.0 / xs.len() as f32;
+        self.apply_grads(xs.len());
+        total / xs.len() as f32
+    }
+
+    /// Mean-scale accumulated gradients and take one Adam step.
+    fn apply_grads(&mut self, bsz: usize) {
+        let scale = 1.0 / bsz as f32;
         for t in [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2] {
             for g in &mut t.grad {
                 *g *= scale;
@@ -140,7 +230,6 @@ impl Mlp {
         }
         let Mlp { w1, b1, w2, b2, opt, .. } = self;
         opt.step(&mut [w1, b1, w2, b2], Some(5.0));
-        total / xs.len() as f32
     }
 
     /// Number of classes.
@@ -260,5 +349,48 @@ mod tests {
     fn argmax_first_on_tie() {
         assert_eq!(argmax(&[1.0, 1.0, 0.5]), 0);
         assert_eq!(argmax(&[0.1, 0.9]), 1);
+    }
+
+    /// The tentpole contract: batched training is byte-identical to the
+    /// per-example reference, for both hidden and linear variants, over
+    /// several steps (so divergence cannot hide in optimizer state).
+    #[test]
+    fn batched_training_bit_identical_to_reference() {
+        for hidden in [0usize, 13] {
+            let (xs, ys) = blobs(57, 21); // odd batch size, off tile boundaries
+            let mut batched = Mlp::new(2, hidden, 2, 0.03, 7);
+            let mut reference = batched.clone();
+            for step in 0..5 {
+                let lb = batched.train_batch(&xs, &ys);
+                let lr = reference.train_batch_reference(&xs, &ys);
+                assert_eq!(lb.to_bits(), lr.to_bits(), "loss diverged at step {step}");
+            }
+            for (t, r) in [
+                (&batched.w1, &reference.w1),
+                (&batched.b1, &reference.b1),
+                (&batched.w2, &reference.w2),
+                (&batched.b2, &reference.b2),
+            ] {
+                let tb: Vec<u32> = t.data.iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = r.data.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(tb, rb, "weights diverged (hidden={hidden})");
+            }
+        }
+    }
+
+    #[test]
+    fn predict_proba_batch_matches_per_example() {
+        let (xs, ys) = blobs(40, 5);
+        let mut m = Mlp::new(2, 6, 2, 0.05, 6);
+        for _ in 0..10 {
+            m.train_batch(&xs, &ys);
+        }
+        let batched = m.predict_proba_batch(&xs);
+        for (x, row) in xs.iter().zip(&batched) {
+            let single = m.predict_proba(x);
+            let sb: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, rb);
+        }
     }
 }

@@ -61,22 +61,32 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (omb1, omb2) = (1.0 - b1, 1.0 - b2);
         for (idx, p) in params.iter_mut().enumerate() {
             let m = &mut self.m[idx];
             let v = &mut self.v[idx];
             debug_assert_eq!(m.len(), p.len());
-            for i in 0..p.data.len() {
-                let mut g = p.grad[i];
-                if self.weight_decay > 0.0 {
-                    // Decoupled decay applied directly to the weights.
-                    p.data[i] -= self.lr * self.weight_decay * p.data[i];
+            if self.weight_decay > 0.0 {
+                // Decoupled decay applied directly to the weights (its own
+                // pass: the update below never reads other elements, so the
+                // per-element op sequence is unchanged).
+                let decay = lr * self.weight_decay;
+                for d in &mut p.data {
+                    *d -= decay * *d;
                 }
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                g = self.lr * mhat / (vhat.sqrt() + self.eps);
-                p.data[i] -= g;
+            }
+            // Zip-driven so the elementwise div/sqrt math vectorizes; the
+            // per-element operation sequence is exactly the scalar Adam
+            // recurrence, so results are bit-identical lane by lane.
+            for (((d, &g), mi), vi) in
+                p.data.iter_mut().zip(p.grad.iter()).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                *mi = b1 * *mi + omb1 * g;
+                *vi = b2 * *vi + omb2 * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *d -= lr * mhat / (vhat.sqrt() + eps);
             }
             p.zero_grad();
         }

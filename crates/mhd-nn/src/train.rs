@@ -10,6 +10,12 @@ pub trait BatchTrainable<X> {
     fn fit_batch(&mut self, xs: &[X], ys: &[usize]) -> f32;
     /// Predict a class for one example.
     fn predict_one(&self, x: &X) -> usize;
+    /// Predict classes for a slice of examples. Models with a batched
+    /// forward override this with one GEMM pass over the whole slice;
+    /// results must match mapping [`BatchTrainable::predict_one`].
+    fn predict_batch(&self, xs: &[X]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
 }
 
 impl BatchTrainable<Vec<f32>> for crate::mlp::Mlp {
@@ -19,6 +25,9 @@ impl BatchTrainable<Vec<f32>> for crate::mlp::Mlp {
     fn predict_one(&self, x: &Vec<f32>) -> usize {
         self.predict(x)
     }
+    fn predict_batch(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+        self.predict_proba_batch(xs).iter().map(|p| crate::mlp::argmax(p)).collect()
+    }
 }
 
 impl BatchTrainable<Vec<u32>> for crate::encoder::Encoder {
@@ -27,6 +36,9 @@ impl BatchTrainable<Vec<u32>> for crate::encoder::Encoder {
     }
     fn predict_one(&self, x: &Vec<u32>) -> usize {
         self.predict(x)
+    }
+    fn predict_batch(&self, xs: &[Vec<u32>]) -> Vec<usize> {
+        self.predict_proba_batch(xs).iter().map(|p| crate::mlp::argmax(p)).collect()
     }
 }
 
@@ -94,7 +106,8 @@ pub fn train<X: Clone, M: BatchTrainable<X>>(
         }
         losses.push(epoch_loss / batches.max(1) as f32);
         if let Some((vx, vy)) = val {
-            let correct = vx.iter().zip(vy).filter(|(x, &y)| model.predict_one(x) == y).count();
+            let preds = model.predict_batch(vx);
+            let correct = preds.iter().zip(vy).filter(|(&p, &y)| p == y).count();
             let acc = correct as f64 / vx.len().max(1) as f64;
             val_accuracy.push(acc);
             if acc > best {

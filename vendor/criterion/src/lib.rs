@@ -37,11 +37,16 @@ impl Bencher {
 pub struct Criterion {
     sample_size: usize,
     warmup_iters: u64,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10, warmup_iters: 1 }
+        // MHD_BENCH_SMOKE=1 turns every benchmark into a single sample of a
+        // single iteration: CI uses it to prove each target still runs
+        // without paying for real measurement.
+        let smoke = std::env::var_os("MHD_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0");
+        Criterion { sample_size: 10, warmup_iters: 1, smoke }
     }
 }
 
@@ -54,6 +59,12 @@ impl Criterion {
 
     /// Register and immediately run one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.smoke {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{name:<40} time: [{}]  (smoke: 1 sample × 1 iter)", fmt_duration(b.elapsed));
+            return self;
+        }
         // Calibration: run once to estimate per-iteration cost, then choose
         // an iteration count that gives samples of at least ~5 ms.
         let mut b = Bencher { iters: self.warmup_iters, elapsed: Duration::ZERO };
@@ -145,5 +156,13 @@ mod tests {
     #[test]
     fn harness_runs() {
         demo();
+    }
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut c = Criterion { sample_size: 10, warmup_iters: 1, smoke: true };
+        let calls = std::cell::Cell::new(0u32);
+        c.bench_function("counted", |b| b.iter(|| calls.set(calls.get() + 1)));
+        assert_eq!(calls.get(), 1, "smoke mode must run one sample of one iteration");
     }
 }

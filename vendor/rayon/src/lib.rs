@@ -240,9 +240,107 @@ impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
     }
 }
 
+/// `par_chunks_mut()` on mutable slices, mirroring rayon's
+/// `ParallelSliceMut`. Chunks are disjoint `&mut [T]` windows handed to
+/// worker threads via `std::thread::scope`; because every chunk is written
+/// by exactly one closure invocation, results never depend on the worker
+/// count — only on the (caller-fixed) chunk size.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of `chunk_size`
+    /// elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { data: self, chunk_size: chunk_size.max(1) }
+    }
+}
+
+/// A parallel iterator over mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+/// An enumerated [`ParChunksMut`]: each closure call receives
+/// `(chunk_index, chunk)`.
+pub struct ParChunksMutEnumerate<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index, as in `rayon`'s
+    /// `par_chunks_mut(n).enumerate()`.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate { inner: self }
+    }
+
+    /// Run `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Run `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let chunk_size = self.inner.chunk_size;
+        let chunks: Vec<(usize, &mut [T])> =
+            self.inner.data.chunks_mut(chunk_size).enumerate().collect();
+        let n = chunks.len();
+        if n == 0 {
+            return;
+        }
+        let workers = acquire_permits(n.saturating_sub(1));
+        if workers == 0 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let groups = workers + 1;
+        let group_len = n.div_ceil(groups);
+        {
+            let mut remaining = chunks;
+            std::thread::scope(|scope| {
+                let mut first: Option<Vec<(usize, &mut [T])>> = None;
+                while !remaining.is_empty() {
+                    let take = group_len.min(remaining.len());
+                    let rest = remaining.split_off(take);
+                    let group = std::mem::replace(&mut remaining, rest);
+                    if first.is_none() {
+                        // The calling thread takes the first group itself.
+                        first = Some(group);
+                    } else {
+                        let f = &f;
+                        scope.spawn(move || {
+                            for item in group {
+                                f(item);
+                            }
+                        });
+                    }
+                }
+                if let Some(group) = first {
+                    for item in group {
+                        f(item);
+                    }
+                }
+            });
+        }
+        release_permits(workers);
+    }
+}
+
 pub mod prelude {
     //! Glob-import surface, mirroring `rayon::prelude`.
-    pub use crate::{IntoParallelRefIterator, ThreadPoolBuilder};
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut, ThreadPoolBuilder};
 }
 
 #[cfg(test)]
@@ -285,5 +383,40 @@ mod tests {
         let v: Vec<u8> = Vec::new();
         let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        let mut data = vec![0u64; 1003];
+        data.as_mut_slice().par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v += 1 + i as u64;
+            }
+        });
+        // Every element written exactly once, with its chunk's index.
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, 1 + (k / 17) as u64, "element {k}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_at_any_pool_size() {
+        let serial: Vec<u64> = (0..500).map(|x: u64| x * 3 + 1).collect();
+        for jobs in [1, 4] {
+            ThreadPoolBuilder::new().num_threads(jobs).build_global().unwrap();
+            let mut data: Vec<u64> = (0..500).collect();
+            data.as_mut_slice().par_chunks_mut(7).for_each(|chunk| {
+                for v in chunk.iter_mut() {
+                    *v = *v * 3 + 1;
+                }
+            });
+            assert_eq!(data, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_slice() {
+        let mut data: Vec<u8> = Vec::new();
+        data.as_mut_slice().par_chunks_mut(4).for_each(|_| unreachable!("no chunks"));
     }
 }
