@@ -11,16 +11,18 @@
 //! Reports three things per the kernel layer's acceptance criteria:
 //! GEMM throughput in GFLOP/s for the hot shapes, one-epoch wall-clock
 //! for the batched vs per-example reference path of each model family,
-//! and the implied posts/sec + speedup. Timing never feeds tables —
-//! `BENCH_nn.json` is a side artifact, so wall-clock reads are fine here.
+//! and the implied posts/sec + speedup — plus, from the always-on mhd-obs
+//! sink, cumulative per-kernel call counts and wall-clock. Timing never
+//! feeds tables: `BENCH_nn.json` is a side artifact, and all clock reads go
+//! through `mhd_obs::time::Stopwatch` (lint rule R5).
 
 use mhd_bench::resolve_jobs;
 use mhd_nn::encoder::{Encoder, EncoderConfig};
 use mhd_nn::gemm::{gemm_nt, gemm_tn};
 use mhd_nn::{LoraAdapter, Mlp};
+use mhd_obs::time::Stopwatch;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Mini-batch size used by every training loop in the workspace.
 const BATCH: usize = 32;
@@ -60,9 +62,9 @@ fn randv(rng: &mut StdRng, len: usize) -> Vec<f32> {
 fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         f();
-        best = best.min(t.elapsed().as_secs_f64());
+        best = best.min(t.elapsed_secs());
     }
     best
 }
@@ -182,7 +184,7 @@ fn bench_models(reps: usize, examples: usize) -> Vec<ModelRow> {
 
 fn render_json(smoke: bool, gemm: &[GemmRow], models: &[ModelRow]) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"schema\": \"mhd-bench/nn/v1\",\n");
+    s.push_str("  \"schema\": \"mhd-bench/nn/v2\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"worker_threads\": {},\n", rayon::current_num_threads()));
     s.push_str("  \"gemm\": [\n");
@@ -191,6 +193,19 @@ fn render_json(smoke: bool, gemm: &[GemmRow], models: &[ModelRow]) -> String {
         s.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"gflops\": {:.3}}}{comma}\n",
             g.kernel, g.shape, g.gflops
+        ));
+    }
+    s.push_str("  ],\n");
+    // Per-kernel breakdown from the mhd-obs sink: cumulative calls and
+    // wall-clock recorded inside the instrumented kernels while the model
+    // epochs above ran (the sink is enabled in main).
+    s.push_str("  \"kernels\": [\n");
+    let kernels = mhd_obs::kernels_snapshot();
+    for (i, k) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"calls\": {}, \"total_ns\": {}}}{comma}\n",
+            k.name, k.calls, k.total_ns
         ));
     }
     s.push_str("  ],\n");
@@ -228,22 +243,31 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // nn_bench always traces: BENCH_nn.json is a side artifact, so the
+    // per-kernel breakdown costs nothing deterministic.
+    mhd_obs::enable();
     let (reps, inner, examples) = if opts.smoke { (1, 1, 64) } else { (3, 200, 2000) };
-    eprintln!("[nn_bench] GEMM kernels…");
+    mhd_obs::progress("nn_bench", "GEMM kernels…");
     let gemm = bench_gemm(reps, inner);
     for g in &gemm {
-        eprintln!("[nn_bench]   {} {}: {:.2} GFLOP/s", g.kernel, g.shape, g.gflops);
+        mhd_obs::progress("nn_bench", &format!("  {} {}: {:.2} GFLOP/s", g.kernel, g.shape, g.gflops));
     }
-    eprintln!("[nn_bench] one-epoch wall-clock, batched vs reference ({examples} examples)…");
+    mhd_obs::progress(
+        "nn_bench",
+        &format!("one-epoch wall-clock, batched vs reference ({examples} examples)…"),
+    );
     let models = bench_models(reps, examples);
     for m in &models {
-        eprintln!(
-            "[nn_bench]   {}: {:.3}s batched vs {:.3}s reference ({:.2}x, {:.0} posts/s)",
-            m.model,
-            m.batched_secs,
-            m.reference_secs,
-            m.speedup(),
-            m.posts_per_sec()
+        mhd_obs::progress(
+            "nn_bench",
+            &format!(
+                "  {}: {:.3}s batched vs {:.3}s reference ({:.2}x, {:.0} posts/s)",
+                m.model,
+                m.batched_secs,
+                m.reference_secs,
+                m.speedup(),
+                m.posts_per_sec()
+            ),
         );
     }
     let json = render_json(opts.smoke, &gemm, &models);
@@ -251,5 +275,5 @@ fn main() {
         eprintln!("error: cannot write {}: {e}", opts.out);
         std::process::exit(1);
     }
-    eprintln!("[nn_bench] wrote {}", opts.out);
+    mhd_obs::progress("nn_bench", &format!("wrote {}", opts.out));
 }

@@ -6,13 +6,22 @@
 //! repro --table t2 --scale 0.25    # main results on quarter-size datasets
 //! repro --figure f1 --csv          # scale curve as CSV
 //! repro --table t2 --jobs 4        # cap the worker pool at 4 threads
+//! repro --all --trace m.json       # also emit a RUN_MANIFEST trace
+//! repro --all --trace-summary      # print a span/metric summary on stderr
+//! repro --check-report reports/benchmark_report.md   # CI freshness check
 //! ```
 //!
 //! Worker count: `--jobs N` wins, then the `MHD_JOBS` environment
-//! variable, then all cores. Output is byte-identical at any job count.
+//! variable, then all cores. Output is byte-identical at any job count,
+//! with or without tracing: wall-clock flows only into the manifest and
+//! summary side channels, never into a table. `MHD_TRACE=1` is the
+//! environment-variable form of `--trace RUN_MANIFEST.json`. All progress
+//! lines go through the `mhd-obs` console sink (stderr); `--quiet`
+//! silences them.
 
 use mhd_bench::{parse_args, resolve_jobs};
-use std::time::Instant;
+use mhd_obs::time::Stopwatch;
+use std::collections::BTreeMap;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,8 +30,9 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: repro (--table <t1..t6|a1..a6> | --figure <f1..f5> | --all)... \
-                 [--scale <f64>] [--seed <u64>] [--jobs <n>] [--csv]"
+                "usage: repro (--table <t1..t6|a1..a9> | --figure <f1..f5> | --all)... \
+                 [--scale <f64>] [--seed <u64>] [--jobs <n>] [--csv] [--trace <path>] \
+                 [--trace-summary] [--quiet] [--check-report <path>]"
             );
             std::process::exit(2);
         }
@@ -33,32 +43,98 @@ fn main() {
         }
         return;
     }
+    mhd_obs::set_quiet(options.quiet);
     if let Some(n) = resolve_jobs(options.jobs) {
         if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
             eprintln!("error: cannot configure the worker pool for --jobs {n}: {e}");
             std::process::exit(2);
         }
     }
-    let started = Instant::now();
-    let mut total_rows = 0usize;
-    for artifact in &options.artifacts {
-        eprintln!("[repro] generating {} (scale {})…", artifact.name(), options.config.scale);
-        let table = artifact.generate(&options.config);
-        total_rows += table.n_rows();
-        if options.csv {
-            print!("{}", table.to_csv());
-        } else {
-            print!("{}", table.to_markdown());
-        }
-        println!();
+    let trace_path = options.trace.clone().or_else(|| {
+        std::env::var("MHD_TRACE")
+            .ok()
+            .filter(|v| v == "1")
+            .map(|_| "RUN_MANIFEST.json".to_string())
+    });
+    let tracing = trace_path.is_some() || options.trace_summary;
+    if tracing {
+        mhd_obs::enable();
     }
-    let elapsed = started.elapsed().as_secs_f64();
-    eprintln!(
-        "[repro] {} artifact(s), {} rows in {:.2}s ({:.1} rows/s, {} worker threads)",
-        options.artifacts.len(),
-        total_rows,
-        elapsed,
-        total_rows as f64 / elapsed.max(1e-9),
-        rayon::current_num_threads(),
+
+    let started = Stopwatch::start();
+    let mut artifact_rows: BTreeMap<String, u64> = BTreeMap::new();
+    let mut rendered = String::new();
+    {
+        let _root = mhd_obs::span("repro");
+        for artifact in &options.artifacts {
+            mhd_obs::progress(
+                "repro",
+                &format!("generating {} (scale {})…", artifact.name(), options.config.scale),
+            );
+            let table = artifact.generate(&options.config);
+            artifact_rows.insert(artifact.name().to_string(), table.n_rows() as u64);
+            rendered.push_str(&if options.csv { table.to_csv() } else { table.to_markdown() });
+            rendered.push('\n');
+        }
+    }
+
+    let mut exit_code = 0;
+    match &options.check_report {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(committed) if committed == rendered => {
+                mhd_obs::progress("repro", &format!("{path} is up to date with HEAD"));
+            }
+            Ok(_) => {
+                eprintln!(
+                    "error: {path} is stale: committed bytes differ from freshly generated \
+                     output (regenerate with `repro --all > {path}`)"
+                );
+                exit_code = 1;
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                exit_code = 2;
+            }
+        },
+        None => print!("{rendered}"),
+    }
+
+    if tracing {
+        let header = mhd_obs::RunHeader {
+            tool: "repro".to_string(),
+            git: mhd_obs::manifest::git_describe(),
+            seed: options.config.seed,
+            scale: options.config.scale,
+            jobs: rayon::current_num_threads(),
+        };
+        if let Some(path) = &trace_path {
+            let manifest = mhd_obs::render_manifest(&header, &artifact_rows);
+            if let Err(e) = std::fs::write(path, &manifest) {
+                eprintln!("error: cannot write trace manifest {path}: {e}");
+                std::process::exit(1);
+            }
+            mhd_obs::progress("repro", &format!("wrote trace manifest {path}"));
+        }
+        if options.trace_summary {
+            // Explicitly requested output: bypasses --quiet by design.
+            eprint!("{}", mhd_obs::render_summary(&header));
+        }
+    }
+
+    let total_rows: u64 = artifact_rows.values().sum();
+    let elapsed = started.elapsed_secs();
+    mhd_obs::progress(
+        "repro",
+        &format!(
+            "{} artifact(s), {} rows in {:.2}s ({:.1} rows/s, {} worker threads)",
+            options.artifacts.len(),
+            total_rows,
+            elapsed,
+            total_rows as f64 / elapsed.max(1e-9),
+            rayon::current_num_threads(),
+        ),
     );
+    if exit_code != 0 {
+        std::process::exit(exit_code);
+    }
 }

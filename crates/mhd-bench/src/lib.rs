@@ -28,6 +28,18 @@ pub struct ReproOptions {
     /// Worker-thread count (`--jobs`). `None` = unset on the command line;
     /// the binary then falls back to `MHD_JOBS`, then to all cores.
     pub jobs: Option<usize>,
+    /// Write a `RUN_MANIFEST.json` trace to this path (`--trace`). `None`
+    /// = unset on the command line; the binary then falls back to the
+    /// `MHD_TRACE=1` environment variable (default path).
+    pub trace: Option<String>,
+    /// Print the flamegraph-style trace summary on stderr (`--trace-summary`).
+    pub trace_summary: bool,
+    /// Silence all progress output (`--quiet`).
+    pub quiet: bool,
+    /// Compare freshly generated output against the committed report at
+    /// this path instead of printing (`--check-report`). Implies `--all`
+    /// when no artifacts are given explicitly.
+    pub check_report: Option<String>,
 }
 
 /// Resolve the worker-thread count: an explicit `--jobs` wins, then the
@@ -39,12 +51,17 @@ pub fn resolve_jobs(cli_jobs: Option<usize>) -> Option<usize> {
 /// Parse repro CLI arguments (everything after the binary name).
 ///
 /// Grammar: `[--table <id>]* [--figure <id>]* [--all] [--scale <f>]
-/// [--seed <n>] [--jobs <n>] [--csv]`. Unknown flags are an error.
+/// [--seed <n>] [--jobs <n>] [--csv] [--trace <path>] [--trace-summary]
+/// [--quiet] [--check-report <path>]`. Unknown flags are an error.
 pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
     let mut artifacts = Vec::new();
     let mut config = ExperimentConfig::default();
     let mut csv = false;
     let mut jobs = None;
+    let mut trace = None;
+    let mut trace_summary = false;
+    let mut quiet = false;
+    let mut check_report = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,6 +99,24 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
                 csv = true;
                 i += 1;
             }
+            "--trace" => {
+                let v = args.get(i + 1).ok_or("--trace needs a path")?;
+                trace = Some(v.clone());
+                i += 2;
+            }
+            "--trace-summary" => {
+                trace_summary = true;
+                i += 1;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+            }
+            "--check-report" => {
+                let v = args.get(i + 1).ok_or("--check-report needs a path")?;
+                check_report = Some(v.clone());
+                i += 2;
+            }
             "--list" => {
                 return Ok(ReproOptions {
                     artifacts: Vec::new(),
@@ -89,18 +124,37 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
                     csv: false,
                     list: true,
                     jobs,
+                    trace: None,
+                    trace_summary: false,
+                    quiet,
+                    check_report: None,
                 });
             }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     if artifacts.is_empty() {
-        return Err(
-            "nothing to do: pass --table <id>, --figure <id>, --all or --list".to_string(),
-        );
+        if check_report.is_some() {
+            // Checking defaults to the full report, like the committed file.
+            artifacts.extend(Artifact::ALL);
+        } else {
+            return Err(
+                "nothing to do: pass --table <id>, --figure <id>, --all or --list".to_string(),
+            );
+        }
     }
     artifacts.dedup();
-    Ok(ReproOptions { artifacts, config, csv, list: false, jobs })
+    Ok(ReproOptions {
+        artifacts,
+        config,
+        csv,
+        list: false,
+        jobs,
+        trace,
+        trace_summary,
+        quiet,
+        check_report,
+    })
 }
 
 #[cfg(test)]
@@ -168,5 +222,32 @@ mod tests {
     #[test]
     fn explicit_jobs_beats_env() {
         assert_eq!(resolve_jobs(Some(3)), Some(3));
+    }
+
+    #[test]
+    fn trace_flags() {
+        let o = parse_args(&sv(&["--table", "t2", "--trace", "m.json", "--trace-summary"]))
+            .expect("ok");
+        assert_eq!(o.trace.as_deref(), Some("m.json"));
+        assert!(o.trace_summary);
+        assert!(!o.quiet);
+        assert!(parse_args(&sv(&["--table", "t2", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn quiet_flag() {
+        let o = parse_args(&sv(&["--all", "--quiet"])).expect("ok");
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn check_report_implies_all() {
+        let o = parse_args(&sv(&["--check-report", "reports/benchmark_report.md"])).expect("ok");
+        assert_eq!(o.check_report.as_deref(), Some("reports/benchmark_report.md"));
+        assert_eq!(o.artifacts.len(), Artifact::ALL.len());
+        // Explicit artifacts win over the implied --all.
+        let o = parse_args(&sv(&["--table", "t1", "--check-report", "x.md"])).expect("ok");
+        assert_eq!(o.artifacts, vec![Artifact::T1]);
+        assert!(parse_args(&sv(&["--check-report"])).is_err());
     }
 }

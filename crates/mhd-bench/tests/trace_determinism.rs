@@ -1,0 +1,115 @@
+//! The observability contract: enabling the mhd-obs sink must never change
+//! a single artifact byte, at any worker count. Wall-clock flows only into
+//! the manifest side channel.
+//!
+//! The enable/disable flag and the rayon pool are process globals, so every
+//! test that touches them serializes on [`guard`] (the vendored rayon
+//! shim's reconfigurable global pool lets one process flip worker counts).
+
+use mhd_core::experiments::ExperimentConfig;
+use mhd_core::report::Artifact;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn set_jobs(n: usize) {
+    rayon::ThreadPoolBuilder::new().num_threads(n).build_global().expect("pool config");
+}
+
+fn render(artifact: Artifact, cfg: &ExperimentConfig) -> String {
+    let mut out = artifact.generate(cfg).to_csv();
+    out.push('\n');
+    out
+}
+
+/// T2 exercises every method family (classical, prompted, fine-tuned), so
+/// tracing it covers dataset builds, TF-IDF fits, gemm kernels, and the
+/// simulated LLM client. Four configurations of (tracing, jobs) must agree.
+#[test]
+fn tracing_never_changes_artifact_bytes() {
+    let _g = guard();
+    let cfg = ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 };
+
+    mhd_obs::disable();
+    set_jobs(1);
+    let baseline = render(Artifact::T2, &cfg);
+
+    mhd_obs::reset();
+    mhd_obs::enable();
+    let traced_serial = render(Artifact::T2, &cfg);
+    assert!(
+        !mhd_obs::spans_snapshot().children.is_empty(),
+        "tracing was on: the span tree must not be empty"
+    );
+
+    set_jobs(8);
+    let traced_parallel = render(Artifact::T2, &cfg);
+
+    mhd_obs::disable();
+    let untraced_parallel = render(Artifact::T2, &cfg);
+
+    assert_eq!(baseline, traced_serial, "tracing changed bytes at --jobs 1");
+    assert_eq!(baseline, traced_parallel, "tracing changed bytes at --jobs 8");
+    assert_eq!(baseline, untraced_parallel, "jobs changed bytes with tracing off");
+}
+
+/// A traced run's manifest is schema-valid and carries the signals the
+/// acceptance criteria name: artifact row counts, cache counters, and a
+/// span tree rooted at the artifact.
+#[test]
+fn manifest_carries_run_evidence() {
+    let _g = guard();
+    let cfg = ExperimentConfig { seed: 7, scale: 0.06, pretrain_seed: 1234 };
+
+    mhd_obs::reset();
+    mhd_obs::enable();
+    let table = Artifact::T2.generate(&cfg);
+    mhd_obs::disable();
+
+    let mut rows = BTreeMap::new();
+    rows.insert("t2".to_string(), table.n_rows() as u64);
+    let header = mhd_obs::RunHeader {
+        tool: "trace_determinism".to_string(),
+        git: "test".to_string(),
+        seed: cfg.seed,
+        scale: cfg.scale,
+        jobs: rayon::current_num_threads(),
+    };
+    let manifest = mhd_obs::render_manifest(&header, &rows);
+
+    assert!(manifest.contains("\"schema\": \"mhd-obs/manifest/v1\""));
+    assert!(manifest.contains("\"seed\": 7"));
+    assert!(manifest.contains(&format!("\"t2\": {}", table.n_rows())));
+    // The feature cache was exercised (hit or miss, depending on what the
+    // process-global cache already holds).
+    assert!(manifest.contains("feature_cache.dataset."), "{manifest}");
+    // The span tree reaches from the dispatcher into the evaluation cells.
+    assert!(manifest.contains("\"name\": \"t2\""), "{manifest}");
+    assert!(manifest.contains("\"name\": \"eval:"), "{manifest}");
+    assert!(manifest.contains("\"name\": \"detect\""), "{manifest}");
+    // Rendering is a pure function of the recorded state.
+    assert_eq!(manifest, mhd_obs::render_manifest(&header, &rows));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Property: for any seed, tracing the cheap dataset-overview table
+    /// leaves its bytes untouched.
+    #[test]
+    fn traced_t1_matches_untraced_for_any_seed(seed in 0u64..1000) {
+        let _g = guard();
+        let cfg = ExperimentConfig { seed, scale: 0.05, pretrain_seed: 1234 };
+        mhd_obs::disable();
+        let plain = render(Artifact::T1, &cfg);
+        mhd_obs::enable();
+        let traced = render(Artifact::T1, &cfg);
+        mhd_obs::disable();
+        prop_assert_eq!(plain, traced);
+    }
+}

@@ -85,7 +85,14 @@ fn eval_method(spec: &MethodSpec, client: &SharedClient, dataset: &Dataset) -> E
 /// Evaluate a list of `(dataset, method)` cells on the rayon pool,
 /// returning results in cell order (deterministic output).
 fn eval_cells(client: &SharedClient, cells: &[(Arc<Dataset>, MethodSpec)]) -> Vec<EvalResult> {
-    cells.par_iter().map(|(dataset, spec)| eval_method(spec, client, dataset)).collect()
+    let parent = mhd_obs::current();
+    cells
+        .par_iter()
+        .map(|(dataset, spec)| {
+            let _s = mhd_obs::span_under(parent, &format!("eval:{}", spec.name()));
+            eval_method(spec, client, dataset)
+        })
+        .collect()
 }
 
 fn push_result(t: &mut Table, r: &EvalResult) {
@@ -261,9 +268,11 @@ pub fn t5_robustness(cfg: &ExperimentConfig) -> Table {
     let perturbed: Vec<Dataset> =
         Perturbation::ALL.iter().map(|&p| perturb_test_split(&dataset, p, 0.5, cfg.seed)).collect();
     let methods = t5_methods();
+    let parent = mhd_obs::current();
     let rows: Vec<Vec<String>> = methods
         .par_iter()
         .map(|spec| {
+            let _s = mhd_obs::span_under(parent, &format!("eval:{}", spec.name()));
             let mut det = make_detector(spec, &client);
             det.prepare(&dataset);
             let clean = evaluate_prepared(det.as_ref(), &dataset, Split::Test);
@@ -308,9 +317,11 @@ pub fn t6_cost(cfg: &ExperimentConfig) -> Table {
     // parallel evaluation — equivalent to the serial reset-then-read
     // pattern, because responses (and therefore recorded costs) are a pure
     // function of (pretrain_seed, request).
+    let parent = mhd_obs::current();
     let rows: Vec<Vec<String>> = SCALE_LADDER
         .par_iter()
         .map(|model| {
+            let _s = mhd_obs::span_under(parent, &format!("eval:{model}/zero_shot"));
             let client = SharedClient::new(cfg.pretrain_seed);
             let spec = MethodSpec::Llm { model: (*model).into(), strategy: Strategy::ZeroShot };
             let r = eval_method(&spec, &client, &dataset);
@@ -409,9 +420,11 @@ pub fn f3_calibration(cfg: &ExperimentConfig) -> Table {
     );
     let dataset = cfg.dataset(DatasetId::SdcnlS);
     let models = ["sim-llama-13b", "sim-gpt-3.5", "sim-gpt-4"];
+    let parent = mhd_obs::current();
     let rows: Vec<Vec<Vec<String>>> = models
         .par_iter()
         .map(|model| {
+            let _s = mhd_obs::span_under(parent, &format!("eval:{model}/zero_shot"));
             let spec = MethodSpec::Llm { model: (*model).into(), strategy: Strategy::ZeroShot };
             let r = eval_method(&spec, &client, &dataset);
             let correct = r.correct_flags();

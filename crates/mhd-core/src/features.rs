@@ -94,12 +94,15 @@ impl FeatureCache {
         let mut built = false;
         let dataset = cell.get_or_init(|| {
             built = true;
+            let _s = mhd_obs::span("dataset.build");
             Arc::new(build_dataset(id, cfg))
         });
         if built {
             self.dataset_misses.fetch_add(1, Ordering::Relaxed);
+            mhd_obs::counter_add("feature_cache.dataset.miss", 1);
         } else {
             self.dataset_hits.fetch_add(1, Ordering::Relaxed);
+            mhd_obs::counter_add("feature_cache.dataset.hit", 1);
         }
         Arc::clone(dataset)
     }
@@ -115,16 +118,37 @@ impl FeatureCache {
         let mut built = false;
         let fitted = cell.get_or_init(|| {
             built = true;
+            let _s = mhd_obs::span("tfidf.fit");
             let vectorizer = TfidfVectorizer::fit(texts, config.clone());
             let train_matrix = vectorizer.transform_csr(texts);
             Arc::new(FittedTfidf { vectorizer: Arc::new(vectorizer), train_matrix })
         });
         if built {
             self.tfidf_misses.fetch_add(1, Ordering::Relaxed);
+            mhd_obs::counter_add("feature_cache.tfidf.miss", 1);
         } else {
             self.tfidf_hits.fetch_add(1, Ordering::Relaxed);
+            mhd_obs::counter_add("feature_cache.tfidf.hit", 1);
         }
         Arc::clone(fitted)
+    }
+
+    /// Evict every cached dataset and TF-IDF fit, keeping the hit/miss
+    /// counters. Entries still shared via `Arc` elsewhere stay alive until
+    /// their last holder drops; the cache just stops handing them out.
+    pub fn clear(&self) {
+        let evicted = {
+            let mut datasets = self.datasets.lock().unwrap_or_else(|e| e.into_inner());
+            let n = datasets.len();
+            datasets.clear();
+            n
+        } + {
+            let mut tfidf = self.tfidf.lock().unwrap_or_else(|e| e.into_inner());
+            let n = tfidf.len();
+            tfidf.clear();
+            n
+        };
+        mhd_obs::counter_add("feature_cache.evictions", evicted as u64);
     }
 
     /// Current hit/miss counters.
@@ -220,6 +244,18 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.dataset_misses, 2);
         assert_eq!(s.dataset_hits, 1);
+    }
+
+    #[test]
+    fn clear_evicts_but_keeps_counters() {
+        let cache = FeatureCache::new();
+        let a = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        cache.clear();
+        let b = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        assert!(!Arc::ptr_eq(&a, &b), "cleared cache must refit");
+        let s = cache.stats();
+        assert_eq!(s.tfidf_misses, 2);
+        assert_eq!(s.tfidf_hits, 0);
     }
 
     #[test]

@@ -314,20 +314,26 @@ impl Detector for PromptDetector {
                                 parse_failed: false,
                                 refused: resp.refused,
                             },
-                            None => Prediction {
-                                label: self.fallback_label,
-                                confidence: 1.0 / task.n_classes() as f64,
-                                parse_failed: true,
-                                refused: resp.refused,
-                            },
+                            None => {
+                                mhd_obs::counter_add("llm.parse_failures", 1);
+                                Prediction {
+                                    label: self.fallback_label,
+                                    confidence: 1.0 / task.n_classes() as f64,
+                                    parse_failed: true,
+                                    refused: resp.refused,
+                                }
+                            }
                         }
                     }
-                    Err(_) => Prediction {
-                        label: self.fallback_label,
-                        confidence: 1.0 / task.n_classes() as f64,
-                        parse_failed: true,
-                        refused: false,
-                    },
+                    Err(_) => {
+                        mhd_obs::counter_add("llm.parse_failures", 1);
+                        Prediction {
+                            label: self.fallback_label,
+                            confidence: 1.0 / task.n_classes() as f64,
+                            parse_failed: true,
+                            refused: false,
+                        }
+                    }
                 }
             })
             .collect()
@@ -401,19 +407,25 @@ impl Detector for FineTunedDetector {
                 match client.complete(&req) {
                     Ok(resp) => match parse_label(&resp.text, &task.labels).0 {
                         Some(l) => Prediction::new(l, 0.9),
-                        None => Prediction {
+                        None => {
+                            mhd_obs::counter_add("llm.parse_failures", 1);
+                            Prediction {
+                                label: self.fallback_label,
+                                confidence: 1.0 / task.n_classes() as f64,
+                                parse_failed: true,
+                                refused: resp.refused,
+                            }
+                        }
+                    },
+                    Err(_) => {
+                        mhd_obs::counter_add("llm.parse_failures", 1);
+                        Prediction {
                             label: self.fallback_label,
                             confidence: 1.0 / task.n_classes() as f64,
                             parse_failed: true,
-                            refused: resp.refused,
-                        },
-                    },
-                    Err(_) => Prediction {
-                        label: self.fallback_label,
-                        confidence: 1.0 / task.n_classes() as f64,
-                        parse_failed: true,
-                        refused: false,
-                    },
+                            refused: false,
+                        }
+                    }
                 }
             })
             .collect()

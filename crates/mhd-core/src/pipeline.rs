@@ -82,7 +82,10 @@ pub fn try_evaluate(
     dataset: &Dataset,
     split: Split,
 ) -> Result<EvalResult, PipelineError> {
-    detector.prepare(dataset);
+    {
+        let _s = mhd_obs::span("prepare");
+        detector.prepare(dataset);
+    }
     try_evaluate_prepared(detector, dataset, split)
 }
 
@@ -102,6 +105,7 @@ pub fn try_evaluate_prepared(
     dataset: &Dataset,
     split: Split,
 ) -> Result<EvalResult, PipelineError> {
+    let _s = mhd_obs::span("detect");
     let examples = dataset.split(split);
     let texts: Vec<&str> = examples.iter().map(|e| e.text.as_str()).collect();
     let ids: Vec<u64> = examples.iter().map(|e| e.id).collect();

@@ -135,8 +135,15 @@ impl Artifact {
         }
     }
 
-    /// Generate the artifact's table.
+    /// Generate the artifact's table, under a span named after it.
     pub fn generate(self, cfg: &ExperimentConfig) -> Table {
+        let _s = mhd_obs::span(self.name());
+        self.dispatch(cfg)
+    }
+
+    /// Span-free body of [`Artifact::generate`]; [`full_report`] wraps it
+    /// in `span_under` instead so rayon workers credit the report span.
+    fn dispatch(self, cfg: &ExperimentConfig) -> Table {
         match self {
             Artifact::T1 => t1_dataset_stats(cfg),
             Artifact::T2 => t2_main_results(cfg),
@@ -175,8 +182,17 @@ pub fn full_report(cfg: &ExperimentConfig) -> String {
         "seed = {}, dataset scale = {}, pretrain seed = {}\n\n",
         cfg.seed, cfg.scale, cfg.pretrain_seed
     ));
-    let sections: Vec<String> =
-        Artifact::ALL.par_iter().map(|artifact| artifact.generate(cfg).to_markdown()).collect();
+    // Capture the dispatching span before fanning out: rayon workers have
+    // their own (empty) span stacks, so each artifact span is re-parented
+    // explicitly onto this thread's current span.
+    let parent = mhd_obs::current();
+    let sections: Vec<String> = Artifact::ALL
+        .par_iter()
+        .map(|artifact| {
+            let _s = mhd_obs::span_under(parent, artifact.name());
+            artifact.dispatch(cfg).to_markdown()
+        })
+        .collect();
     for section in sections {
         out.push_str(&section);
         out.push('\n');

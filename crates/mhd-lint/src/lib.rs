@@ -7,7 +7,7 @@
 //! invariants that nothing in `rustc` or clippy machine-checks. This crate
 //! checks them. It parses every workspace `.rs` file with a small
 //! self-contained lexer (no external dependencies, consistent with the
-//! vendored-shim approach) and enforces four rule families:
+//! vendored-shim approach) and enforces five rule families:
 //!
 //! - **R1 — determinism**: no `SystemTime::now` / `Instant::now` outside the
 //!   `mhd-bench` timing code, no `thread_rng`/`from_entropy`, and no
@@ -26,6 +26,12 @@
 //!   through the shared [`mhd_eval::table`] helpers (`fmt0`…`fmt4`,
 //!   `fmt_pct`, `fmt_range1`) instead of inline `{:.N}` format strings, so
 //!   tables stay byte-stable when a precision decision changes.
+//! - **R5 — clock-type containment**: the `std::time` clock types
+//!   (`Instant`, `SystemTime`) may appear only inside `crates/mhd-obs`, the
+//!   sanctioned timing facade. Everything else — including `mhd-bench`,
+//!   which R1 exempts from the `::now()` check — measures time through
+//!   `mhd_obs::time::Stopwatch` / `StatTimer`, so wall-clock stays confined
+//!   to the observability side channel.
 //!
 //! Deliberate exceptions are annotated in the source as
 //!
@@ -65,11 +71,13 @@ pub enum RuleId {
     R3,
     /// Float-format hygiene in report code.
     R4,
+    /// Clock-type containment: `std::time` types only inside mhd-obs.
+    R5,
 }
 
 impl RuleId {
     /// All enforceable rule families (excludes the meta rule R0).
-    pub const ALL: [RuleId; 4] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4];
+    pub const ALL: [RuleId; 5] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
 
     /// Canonical rule id string.
     pub fn as_str(self) -> &'static str {
@@ -79,6 +87,7 @@ impl RuleId {
             RuleId::R2 => "R2",
             RuleId::R3 => "R3",
             RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
         }
     }
 
@@ -90,6 +99,7 @@ impl RuleId {
             "R2" => Some(RuleId::R2),
             "R3" => Some(RuleId::R3),
             "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
             _ => None,
         }
     }

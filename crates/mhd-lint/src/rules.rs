@@ -1,4 +1,4 @@
-//! The rule scanners (R1–R4) plus the meta rule for malformed annotations.
+//! The rule scanners (R1–R5) plus the meta rule for malformed annotations.
 //!
 //! All scanners run on the masked source view (comments and literal contents
 //! blanked), so a pattern inside a doc comment or a string never fires. Test
@@ -39,9 +39,16 @@ fn is_report_path(path: &str) -> bool {
 }
 
 fn in_r1_clock_scope(path: &str) -> bool {
-    // mhd-bench is the one place allowed to read the wall clock: its whole
-    // job is timing, and timing output goes to stderr, never into a table.
-    !path.contains("crates/mhd-bench/")
+    // mhd-bench and mhd-obs are the places allowed to read the wall clock:
+    // timing output goes to stderr / the trace manifest, never into a table.
+    !path.contains("crates/mhd-bench/") && !path.contains("crates/mhd-obs/")
+}
+
+fn in_r5_scope(path: &str) -> bool {
+    // mhd-obs wraps std::time behind Stopwatch/StatTimer; it is the only
+    // crate allowed to name the clock types. Note the scope is wider than
+    // R1's: mhd-bench may read the clock but must do so through mhd-obs.
+    !path.contains("crates/mhd-obs/")
 }
 
 fn in_r2_scope(path: &str) -> bool {
@@ -60,6 +67,7 @@ pub fn lint_file(sf: &SourceFile, cfg: &LintConfig) -> Vec<Finding> {
     r2_panic_freedom(sf, cfg, &mut out);
     r3_lock_discipline(sf, cfg, &mut out);
     r4_float_format(sf, cfg, &mut out);
+    r5_clock_containment(sf, cfg, &mut out);
     out
 }
 
@@ -218,6 +226,26 @@ fn r4_float_format(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
             push(sf, out, RuleId::R4, lit.line,
                 "inline `{:.N}` float format in report code: table bytes depend on a scattered precision choice".to_string(),
                 "route the cell through mhd_eval::table helpers (fmt0…fmt4, fmt_pct, fmt_range1)");
+        }
+    }
+}
+
+/// R5 — `std::time` clock types may be named only inside `mhd-obs`.
+fn r5_clock_containment(sf: &SourceFile, cfg: &LintConfig, out: &mut Vec<Finding>) {
+    if !(cfg.all_files || in_r5_scope(&sf.path)) {
+        return;
+    }
+    for (idx, line) in sf.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if sf.is_test(lineno) {
+            continue;
+        }
+        for pat in ["Instant", "SystemTime"] {
+            if find_token(line, pat) {
+                push(sf, out, RuleId::R5, lineno,
+                    format!("`{pat}` named outside mhd-obs: clock types belong to the timing facade"),
+                    "measure through mhd_obs::time::Stopwatch (or StatTimer/span) so wall-clock stays in the observability side channel");
+            }
         }
     }
 }
@@ -384,6 +412,16 @@ mod tests {
         let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // mhd-lint: allow(R2) — input statically non-empty\n}\n";
         let f = lint_all(src);
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn r5_scopes_by_path() {
+        let src = "pub struct T {\n    start: std::time::Instant,\n}\n";
+        let obs = crate::lint_source("crates/mhd-obs/src/time.rs", src, &LintConfig::default());
+        assert!(obs.is_empty(), "{obs:?}");
+        let bench = crate::lint_source("crates/mhd-bench/src/bin/x.rs", src, &LintConfig::default());
+        let pins: Vec<_> = bench.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(pins, vec![(RuleId::R5, 2)]);
     }
 
     #[test]

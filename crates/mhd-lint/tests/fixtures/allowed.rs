@@ -1,5 +1,6 @@
+// mhd-lint: allow(R5) — fixture demonstrates the clock-type containment allow
 pub fn when() -> std::time::SystemTime {
-    // mhd-lint: allow(R1) — fixture demonstrates the standalone annotation form
+    // mhd-lint: allow(R1, R5) — fixture demonstrates the standalone annotation form
     std::time::SystemTime::now()
 }
 

@@ -1,0 +1,7 @@
+use mhd_obs::time::Stopwatch;
+
+pub fn measure<F: FnOnce()>(f: F) -> u64 {
+    let t = Stopwatch::start();
+    f();
+    t.elapsed_ns()
+}

@@ -28,6 +28,10 @@ fn r1_violations_pinned() {
             (RuleId::R1, 8),  // Instant::now
             (RuleId::R1, 12), // thread_rng
             (RuleId::R1, 16), // HashMap in a signature
+            (RuleId::R5, 3),  // SystemTime in a return type
+            (RuleId::R5, 4),  // SystemTime (the type, independent of ::now)
+            (RuleId::R5, 7),  // Instant in a return type
+            (RuleId::R5, 8),  // Instant (the type, independent of ::now)
         ]
     );
 }
@@ -109,6 +113,42 @@ fn r4_violations_pinned() {
 #[test]
 fn r4_clean_is_clean() {
     assert_eq!(lint_fixture("r4_clean.rs"), vec![]);
+}
+
+#[test]
+fn r5_violations_pinned() {
+    assert_eq!(
+        lint_fixture("r5_violating.rs"),
+        vec![
+            (RuleId::R5, 1), // Instant in the use item
+            (RuleId::R5, 1), // SystemTime in the same use item
+            (RuleId::R5, 4), // Instant as a struct field type
+            (RuleId::R5, 7), // SystemTime in a return type
+            (RuleId::R5, 8), // SystemTime::UNIX_EPOCH
+        ]
+    );
+}
+
+#[test]
+fn r5_clean_is_clean() {
+    assert_eq!(lint_fixture("r5_clean.rs"), vec![]);
+}
+
+/// mhd-obs is the sanctioned timing facade: exempt from R5 (and the R1
+/// clock check). mhd-bench keeps its R1 clock exemption but is still
+/// forbidden from naming the clock types directly — it must go through
+/// `mhd_obs::time::Stopwatch`.
+#[test]
+fn clock_types_allowed_only_inside_mhd_obs() {
+    let src = "pub fn now() -> std::time::Instant {\n    std::time::Instant::now()\n}\n";
+    let obs = lint_source("crates/mhd-obs/src/time.rs", src, &LintConfig::default());
+    assert!(obs.is_empty(), "{obs:?}");
+    let bench = lint_source("crates/mhd-bench/src/bin/nn_bench.rs", src, &LintConfig::default());
+    let pins: Vec<(RuleId, usize)> = bench.into_iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(pins, vec![(RuleId::R5, 1), (RuleId::R5, 2)]);
+    let core = lint_source("crates/mhd-core/src/report.rs", src, &LintConfig::default());
+    assert!(core.iter().any(|f| f.rule == RuleId::R1), "core keeps the R1 clock check");
+    assert!(core.iter().any(|f| f.rule == RuleId::R5), "core also gets R5");
 }
 
 #[test]

@@ -163,6 +163,7 @@ impl LlmClient {
                 .as_bytes(),
         );
         if let Some(hit) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+            mhd_obs::counter_add("llm.cache_hits", 1);
             return Ok(hit.clone());
         }
 
@@ -219,6 +220,18 @@ impl LlmClient {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .record(&req.model, &usage, response.cost_usd, response.latency_ms);
+        if mhd_obs::is_enabled() {
+            // Side-channel accounting only: nothing here feeds the response.
+            mhd_obs::counter_add("llm.requests", 1);
+            if refused {
+                mhd_obs::counter_add("llm.refusals", 1);
+            }
+            mhd_obs::counter_add("llm.prompt_tokens", usage.prompt_tokens as u64);
+            mhd_obs::counter_add("llm.completion_tokens", usage.completion_tokens as u64);
+            // Integer nano-USD keeps the manifest free of float formatting.
+            mhd_obs::counter_add("llm.cost_nano_usd", (response.cost_usd * 1e9).round() as u64);
+            mhd_obs::hist_record("llm.latency_ms", response.latency_ms.round() as u64);
+        }
         // Two threads may race to compute the same key; both compute the
         // identical response (pure function of the request), so last-write
         // wins is harmless.

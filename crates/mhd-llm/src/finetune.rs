@@ -12,10 +12,14 @@ use crate::backbone::Backbone;
 use crate::parse::parse_prompt;
 use crate::zoo::ModelSpec;
 use mhd_nn::lora::LoraAdapter;
+use mhd_obs::{StatCell, StatTimer};
 use mhd_text::hashing::HashingVectorizer;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// One record per adapter epoch across all fine-tune jobs in the process.
+static T_FT_EPOCH: StatCell = StatCell::new("llm.finetune.epoch");
 
 /// Dimensionality of the hashed n-gram block in fine-tune feature space.
 const HASH_DIM: u32 = 160;
@@ -125,6 +129,7 @@ pub fn train_finetune(
     let mut rng = StdRng::seed_from_u64(job.seed);
     let mut order: Vec<usize> = (0..xs.len()).collect();
     for _ in 0..job.epochs {
+        let _epoch_t = StatTimer::start(&T_FT_EPOCH);
         order.shuffle(&mut rng);
         for chunk in order.chunks(16) {
             let bx: Vec<Vec<f32>> = chunk.iter().map(|&i| xs[i].clone()).collect();

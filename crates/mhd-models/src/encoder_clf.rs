@@ -127,7 +127,12 @@ impl TextClassifier for EncoderClassifier {
             seed: self.config.seed,
         };
         let val = if va_x.is_empty() { None } else { Some((va_x.as_slice(), va_y.as_slice())) };
-        train(&mut encoder, &tr_x, &tr_y, val, &opts);
+        {
+            let _s = mhd_obs::span("encoder.train");
+            let report = train(&mut encoder, &tr_x, &tr_y, val, &opts);
+            mhd_obs::counter_add("models.encoder.fits", 1);
+            mhd_obs::counter_add("models.encoder.epochs", report.epochs as u64);
+        }
         self.vocab = Some(vocab);
         self.encoder = Some(encoder);
     }

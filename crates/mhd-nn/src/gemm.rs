@@ -28,7 +28,21 @@
 //! is still produced by exactly one task running the full e-loop in
 //! ascending order, so results are byte-identical at any thread count.
 
+use mhd_obs::{StatCell, StatTimer};
 use rayon::prelude::*;
+
+// Per-kernel wall-clock cells, reported in the RUN_MANIFEST "kernels"
+// section. Cells are static atomics: with tracing disabled each timer is
+// one relaxed load, cheap enough to leave in the innermost batched paths.
+static T_GEMM_NT: StatCell = StatCell::new("nn.gemm_nt");
+static T_GEMM_NT_RELU: StatCell = StatCell::new("nn.gemm_nt_relu");
+static T_GEMM_NT_BIAS_AFTER: StatCell = StatCell::new("nn.gemm_nt_bias_after");
+static T_GEMM_NT_SCALED_ACC: StatCell = StatCell::new("nn.gemm_nt_scaled_acc");
+static T_GEMM_NN: StatCell = StatCell::new("nn.gemm_nn");
+static T_GEMM_TN: StatCell = StatCell::new("nn.gemm_tn");
+static T_COLSUM: StatCell = StatCell::new("nn.colsum_acc");
+static WS_FRESH: StatCell = StatCell::new("nn.workspace.alloc");
+static WS_REUSE: StatCell = StatCell::new("nn.workspace.reuse");
 
 /// Minimum multiply-accumulate count before [`gemm_tn`] fans out across
 /// the rayon pool. Below this, thread wake-up costs more than the math.
@@ -80,6 +94,7 @@ where
 /// stores them), out is m×n. With `bias`, each accumulator *starts* at
 /// `bias[j]` — the `linalg::affine` convention.
 pub fn gemm_nt(a: &[f32], b: &[f32], bias: Option<&[f32]>, m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let _t = StatTimer::start(&T_GEMM_NT);
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
     match bias {
         Some(bias) => {
@@ -103,6 +118,7 @@ pub fn gemm_nt_relu(
     out: &mut [f32],
     mask: &mut [bool],
 ) {
+    let _t = StatTimer::start(&T_GEMM_NT_RELU);
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
     debug_assert_eq!(mask.len(), m * n, "mask must be m×n");
     debug_assert_eq!(bias.len(), n, "bias must have n entries");
@@ -126,6 +142,7 @@ pub fn gemm_nt_bias_after(
     n: usize,
     out: &mut [f32],
 ) {
+    let _t = StatTimer::start(&T_GEMM_NT_BIAS_AFTER);
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
     debug_assert_eq!(bias.len(), n, "bias must have n entries");
     gemm_nt_with(a, b, m, k, n, |_| 0.0, |idx, j, acc| out[idx] = bias[j] + acc);
@@ -142,6 +159,7 @@ pub fn gemm_nt_scaled_acc(
     scale: f32,
     out: &mut [f32],
 ) {
+    let _t = StatTimer::start(&T_GEMM_NT_SCALED_ACC);
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
     gemm_nt_with(a, b, m, k, n, |_| 0.0, |idx, _, acc| out[idx] += scale * acc);
 }
@@ -155,6 +173,7 @@ pub fn gemm_nt_scaled_acc(
 /// mirroring the reference's `if di == 0.0 { continue; }` (exact-zero
 /// skips never change the bits of the remaining sum).
 pub fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32], skip_zero_a: bool) {
+    let _t = StatTimer::start(&T_GEMM_NN);
     debug_assert!(a.len() >= m * k, "a too short for m×k");
     debug_assert!(b.len() >= k * n, "b too short for k×n");
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
@@ -187,6 +206,7 @@ pub fn gemm_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f3
 /// element is still produced by exactly one task running the full
 /// ascending e-loop, so the result is byte-identical at any `--jobs`.
 pub fn gemm_tn(a: &[f32], b: &[f32], rows: usize, m: usize, n: usize, out: &mut [f32], skip_zero_a: bool) {
+    let _t = StatTimer::start(&T_GEMM_TN);
     debug_assert!(a.len() >= rows * m, "a too short for rows×m");
     debug_assert!(b.len() >= rows * n, "b too short for rows×n");
     debug_assert_eq!(out.len(), m * n, "out must be m×n");
@@ -237,6 +257,7 @@ fn gemm_tn_block(
 /// `out[j] += Σ_e a[e·cols+j]` in ascending e order: the batched bias
 /// gradient (`grad_b[i] += d[i]` once per example, no zero-skip).
 pub fn colsum_acc(a: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    let _t = StatTimer::start(&T_COLSUM);
     debug_assert!(a.len() >= rows * cols, "a too short for rows×cols");
     debug_assert_eq!(out.len(), cols, "out must have cols entries");
     for e in 0..rows {
@@ -268,7 +289,16 @@ impl Workspace {
 
     /// Check out an f32 buffer of exactly `len` zeros.
     pub fn zeros(&mut self, len: usize) -> Vec<f32> {
-        let mut buf = self.f32s.pop().unwrap_or_default();
+        let mut buf = match self.f32s.pop() {
+            Some(b) => {
+                WS_REUSE.bump();
+                b
+            }
+            None => {
+                WS_FRESH.bump();
+                Vec::new()
+            }
+        };
         buf.clear();
         buf.resize(len, 0.0);
         buf
@@ -276,7 +306,16 @@ impl Workspace {
 
     /// Check out a bool buffer of exactly `len` `false`s.
     pub fn mask(&mut self, len: usize) -> Vec<bool> {
-        let mut buf = self.masks.pop().unwrap_or_default();
+        let mut buf = match self.masks.pop() {
+            Some(b) => {
+                WS_REUSE.bump();
+                b
+            }
+            None => {
+                WS_FRESH.bump();
+                Vec::new()
+            }
+        };
         buf.clear();
         buf.resize(len, false);
         buf

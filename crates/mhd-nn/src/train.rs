@@ -1,8 +1,13 @@
 //! Mini-batch training loop with shuffling and early stopping.
 
+use mhd_obs::{StatCell, StatTimer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// One record per epoch across every `train()` call in the process:
+/// the coarse "how much time goes into gradient steps" kernel stat.
+static T_EPOCH: StatCell = StatCell::new("nn.train.epoch");
 
 /// Anything trainable on `(example, label)` pairs with batch updates.
 pub trait BatchTrainable<X> {
@@ -94,6 +99,7 @@ pub fn train<X: Clone, M: BatchTrainable<X>>(
     let mut stale = 0usize;
     let mut epochs = 0;
     for _ in 0..opts.max_epochs {
+        let _epoch_t = StatTimer::start(&T_EPOCH);
         epochs += 1;
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f32;

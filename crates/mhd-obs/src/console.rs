@@ -1,0 +1,43 @@
+//! The one console sink for progress/telemetry lines.
+//!
+//! Every human-facing progress line in the workspace goes through
+//! [`progress`], always on **stderr**, so stdout stays clean for CSV and
+//! markdown consumers even when a script merges the streams by accident.
+//! `--quiet` (or any other caller of [`set_quiet`]) silences the sink
+//! entirely.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Silence (or un-silence) all [`progress`] output.
+pub fn set_quiet(quiet: bool) {
+    QUIET.store(quiet, Ordering::SeqCst);
+}
+
+/// Whether progress output is currently silenced.
+pub fn is_quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Emit one `[tag] message` progress line on stderr, unless quiet.
+pub fn progress(tag: &str, msg: &str) {
+    if is_quiet() {
+        return;
+    }
+    eprintln!("[{tag}] {msg}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_round_trips() {
+        set_quiet(true);
+        assert!(is_quiet());
+        progress("test", "suppressed");
+        set_quiet(false);
+        assert!(!is_quiet());
+    }
+}

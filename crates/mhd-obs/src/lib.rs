@@ -1,0 +1,92 @@
+//! `mhd-obs`: zero-dependency structured tracing, metrics, and run manifests.
+//!
+//! The crate is a single process-global sink that is **off by default**.
+//! Instrumented call sites in the rest of the workspace go through the
+//! free functions here ([`span`], [`counter_add`], [`StatTimer::start`], …)
+//! which early-return on a single relaxed atomic load when tracing is
+//! disabled, so the instrumented hot paths stay near-no-ops.
+//!
+//! Determinism contract: nothing recorded here may flow back into report
+//! tables or figures. Wall-clock readings exist only in the side-channel
+//! `RUN_MANIFEST.json` / `--trace-summary` output (see DESIGN.md §9).
+//! This crate is also the only place in the workspace allowed to touch
+//! `std::time` directly — mhd-lint rule R5 enforces that boundary.
+//!
+//! Sink anatomy:
+//! - [`span`] / [`span_under`]: a parent/child span tree with call counts
+//!   and cumulative wall-clock, tracked per-thread via a span stack.
+//!   `span_under` re-parents work executed on rayon workers onto the span
+//!   that dispatched it.
+//! - [`StatCell`] / [`StatTimer`]: static atomic cells for hot kernels
+//!   (GEMM, per-epoch timers) that must not take a lock per call.
+//! - [`counter_add`] / [`gauge_set`] / [`hist_record`]: named metrics for
+//!   low-frequency events (cache hits, LLM token counts, latencies).
+//! - [`manifest::render_manifest`]: serialises everything into a
+//!   schema-stable JSON document.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+mod console;
+pub mod manifest;
+mod metrics;
+mod span;
+pub mod time;
+
+pub use console::{is_quiet, progress, set_quiet};
+pub use manifest::{render_manifest, render_summary, RunHeader};
+pub use metrics::{
+    counter_add, counter_get, counters_snapshot, gauge_set, gauges_snapshot, hist_record,
+    hist_snapshot, kernels_snapshot, HistSummary, KernelStat, StatCell, StatTimer,
+};
+pub use span::{current, span, span_under, spans_snapshot, SpanGuard, SpanId, SpanSnapshot};
+
+/// Process-global on/off switch. Off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn the sink on. Instrumented paths start recording from here on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn the sink off. Already-recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Whether the sink is currently recording.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clear all recorded spans, counters, gauges, histograms, and kernel
+/// stats. The enabled flag is left as-is. Intended for tests and for
+/// tools that emit several independent manifests in one process.
+pub fn reset() {
+    span::reset();
+    metrics::reset();
+}
+
+/// Tests across this crate toggle the process-global enabled flag, so
+/// they serialise on one lock to stay independent of harness threading.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_toggles() {
+        let _g = test_guard();
+        // Note: tests in other modules enable/disable the global sink, so
+        // only check the toggle round-trips rather than the initial state.
+        enable();
+        assert!(is_enabled());
+        disable();
+        assert!(!is_enabled());
+    }
+}

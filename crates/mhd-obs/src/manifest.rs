@@ -1,0 +1,328 @@
+//! `RUN_MANIFEST.json` rendering and the human-readable trace summary.
+//!
+//! The manifest is the *only* place wall-clock readings are allowed to
+//! surface. Its schema is deterministic — fixed top-level key order,
+//! BTreeMap-sorted metric names, name-sorted span children and kernel
+//! rows — so two runs of the same command differ only in timing values,
+//! never in structure. `schema` is versioned; bump it on any key change.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{counters_snapshot, gauges_snapshot, hist_snapshot, kernels_snapshot};
+use crate::span::{spans_snapshot, SpanSnapshot};
+use crate::time::format_ns;
+
+/// Manifest schema identifier; bump on any structural change.
+pub const SCHEMA: &str = "mhd-obs/manifest/v1";
+
+/// Run identity recorded at the top of the manifest.
+#[derive(Debug, Clone)]
+pub struct RunHeader {
+    /// Emitting binary, e.g. `repro` or `nn_bench`.
+    pub tool: String,
+    /// `git describe` output (or `unknown` outside a checkout).
+    pub git: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Effective rayon thread count.
+    pub jobs: usize,
+}
+
+/// Best-effort `git describe --always --dirty`, `"unknown"` on any failure.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_map(out: &mut String, indent: &str, map: &BTreeMap<String, u64>) {
+    if map.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    let inner = format!("{indent}  ");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(out, "{inner}\"{}\": {v}", json_escape(k));
+    }
+    let _ = write!(out, "\n{indent}}}");
+}
+
+fn push_span(out: &mut String, indent: &str, s: &SpanSnapshot) {
+    let inner = format!("{indent}  ");
+    let _ = write!(
+        out,
+        "{{\n{inner}\"name\": \"{}\",\n{inner}\"calls\": {},\n{inner}\"total_ns\": {},\n{inner}\"children\": [",
+        json_escape(&s.name),
+        s.calls,
+        s.total_ns
+    );
+    if s.children.is_empty() {
+        out.push(']');
+    } else {
+        let child_indent = format!("{inner}  ");
+        let mut first = true;
+        for c in &s.children {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n{child_indent}");
+            push_span(out, &child_indent, c);
+        }
+        let _ = write!(out, "\n{inner}]");
+    }
+    let _ = write!(out, "\n{indent}}}");
+}
+
+/// Render the full `RUN_MANIFEST.json` document from the current sink
+/// state. `artifacts` maps artifact name → emitted row count.
+pub fn render_manifest(header: &RunHeader, artifacts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+    let _ = writeln!(out, "  \"tool\": \"{}\",", json_escape(&header.tool));
+    let _ = writeln!(out, "  \"git\": \"{}\",", json_escape(&header.git));
+    let _ = writeln!(out, "  \"seed\": {},", header.seed);
+    let _ = writeln!(out, "  \"scale\": {},", header.scale);
+    let _ = writeln!(out, "  \"jobs\": {},", header.jobs);
+
+    out.push_str("  \"artifacts\": ");
+    push_map(&mut out, "  ", artifacts);
+    out.push_str(",\n  \"counters\": ");
+    push_map(&mut out, "  ", &counters_snapshot());
+    out.push_str(",\n  \"gauges\": ");
+    push_map(&mut out, "  ", &gauges_snapshot());
+
+    out.push_str(",\n  \"histograms\": ");
+    let hists = hist_snapshot();
+    if hists.is_empty() {
+        out.push_str("{}");
+    } else {
+        out.push_str("{\n");
+        let mut first = true;
+        for (name, h) in &hists {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+        }
+        out.push_str("\n  }");
+    }
+
+    out.push_str(",\n  \"kernels\": [");
+    let kernels = kernels_snapshot();
+    let mut first = true;
+    for k in &kernels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    {{\"name\": \"{}\", \"calls\": {}, \"total_ns\": {}}}",
+            json_escape(&k.name),
+            k.calls,
+            k.total_ns
+        );
+    }
+    if !kernels.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push(']');
+
+    out.push_str(",\n  \"spans\": ");
+    push_span(&mut out, "  ", &spans_snapshot());
+    out.push_str("\n}\n");
+    out
+}
+
+fn push_summary_span(out: &mut String, depth: usize, s: &SpanSnapshot) {
+    let label = format!("{}{}", "  ".repeat(depth), s.name);
+    let _ = writeln!(
+        out,
+        "{label:<44} {:>7} {:>10}",
+        format!("x{}", s.calls),
+        format_ns(s.total_ns)
+    );
+    for c in &s.children {
+        push_summary_span(out, depth + 1, c);
+    }
+}
+
+/// Render the flamegraph-style text summary of the current sink state.
+pub fn render_summary(header: &RunHeader) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== trace summary: {} (git {}, seed {}, scale {}, jobs {}) ==",
+        header.tool, header.git, header.seed, header.scale, header.jobs
+    );
+    out.push_str("-- spans (cumulative wall-clock; children may overlap under rayon) --\n");
+    push_summary_span(&mut out, 0, &spans_snapshot());
+    let kernels = kernels_snapshot();
+    if !kernels.is_empty() {
+        out.push_str("-- kernels --\n");
+        for k in &kernels {
+            let _ = writeln!(
+                out,
+                "  {:<42} {:>7} {:>10}",
+                k.name,
+                format!("x{}", k.calls),
+                format_ns(k.total_ns)
+            );
+        }
+    }
+    let counters = counters_snapshot();
+    if !counters.is_empty() {
+        out.push_str("-- counters --\n");
+        for (name, v) in &counters {
+            let _ = writeln!(out, "  {name:<42} {v:>10}");
+        }
+    }
+    let hists = hist_snapshot();
+    if !hists.is_empty() {
+        out.push_str("-- histograms --\n");
+        for (name, h) in &hists {
+            let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {name:<42} n={} mean={mean:.1} min={} max={}",
+                h.count, h.min, h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter_add, hist_record, span};
+
+    fn header() -> RunHeader {
+        RunHeader {
+            tool: "test".into(),
+            git: "deadbeef".into(),
+            seed: 7,
+            scale: 0.5,
+            jobs: 2,
+        }
+    }
+
+    /// Replace timing values so two renders of the same run structure
+    /// compare equal byte-for-byte.
+    fn normalize(s: &str) -> String {
+        let mut out = String::new();
+        for line in s.lines() {
+            let line = match line.find("\"total_ns\": ") {
+                Some(i) => {
+                    let (head, tail) = line.split_at(i + "\"total_ns\": ".len());
+                    let rest: String =
+                        tail.chars().skip_while(|c| c.is_ascii_digit()).collect();
+                    format!("{head}0{rest}")
+                }
+                None => line.to_string(),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn manifest_schema_matches_golden() {
+        let _g = crate::test_guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _a = span("stage_a");
+            let _b = span("inner");
+        }
+        {
+            let _c = span("stage_b");
+        }
+        counter_add("cache.hit", 3);
+        counter_add("cache.miss", 1);
+        hist_record("latency_ms", 12);
+        hist_record("latency_ms", 4);
+
+        let mut artifacts = BTreeMap::new();
+        artifacts.insert("t1".to_string(), 9u64);
+        let rendered = normalize(&render_manifest(&header(), &artifacts));
+        let golden_path =
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_manifest.json");
+        if std::env::var_os("MHD_REGEN_GOLDEN").is_some() {
+            std::fs::write(golden_path, &rendered).expect("write golden");
+        }
+        let golden = std::fs::read_to_string(golden_path).expect("read golden");
+        assert_eq!(rendered, golden, "manifest schema drifted; bump SCHEMA and regenerate with MHD_REGEN_GOLDEN=1");
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn summary_mentions_all_sections() {
+        let _g = crate::test_guard();
+        crate::enable();
+        crate::reset();
+        {
+            let _a = span("stage_a");
+        }
+        counter_add("hits", 2);
+        hist_record("lat", 5);
+        let s = render_summary(&header());
+        for needle in ["trace summary", "stage_a", "-- counters --", "-- histograms --"] {
+            assert!(s.contains(needle), "missing {needle:?} in {s}");
+        }
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,320 @@
+//! Counters, gauges, histograms, and lock-free kernel stat cells.
+//!
+//! Two tiers by call frequency:
+//! - Named metrics ([`counter_add`] & friends) take a `Mutex<BTreeMap>`
+//!   per call — fine for cache hits, LLM requests, artifact rows.
+//! - [`StatCell`] is a `static` pair of atomics for sites that fire
+//!   thousands of times per second (GEMM kernels, per-epoch timers),
+//!   where a map lookup per call would distort what we are measuring.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::time::Stopwatch;
+
+// ---------------------------------------------------------------------------
+// Named counters / gauges / histograms
+// ---------------------------------------------------------------------------
+
+fn counters() -> &'static Mutex<BTreeMap<String, u64>> {
+    static M: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn gauges() -> &'static Mutex<BTreeMap<String, u64>> {
+    static M: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn hists() -> &'static Mutex<BTreeMap<String, Hist>> {
+    static M: OnceLock<Mutex<BTreeMap<String, Hist>>> = OnceLock::new();
+    M.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+#[derive(Debug, Clone, Default)]
+struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Add `n` to the named counter. No-op while the sink is disabled.
+pub fn counter_add(name: &str, n: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let mut m = counters().lock().unwrap_or_else(|e| e.into_inner());
+    *m.entry(name.to_string()).or_insert(0) += n;
+}
+
+/// Read one counter (0 when absent). Mostly for tests.
+pub fn counter_get(name: &str) -> u64 {
+    let m = counters().lock().unwrap_or_else(|e| e.into_inner());
+    m.get(name).copied().unwrap_or(0)
+}
+
+/// Set the named gauge to `v` (last write wins). No-op while disabled.
+pub fn gauge_set(name: &str, v: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let mut m = gauges().lock().unwrap_or_else(|e| e.into_inner());
+    m.insert(name.to_string(), v);
+}
+
+/// Record one observation into the named histogram. No-op while disabled.
+pub fn hist_record(name: &str, v: u64) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let mut m = hists().lock().unwrap_or_else(|e| e.into_inner());
+    let h = m.entry(name.to_string()).or_default();
+    if h.count == 0 {
+        h.min = v;
+        h.max = v;
+    } else {
+        h.min = h.min.min(v);
+        h.max = h.max.max(v);
+    }
+    h.count += 1;
+    h.sum += v;
+}
+
+/// All counters, sorted by name.
+pub fn counters_snapshot() -> BTreeMap<String, u64> {
+    counters().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// All gauges, sorted by name.
+pub fn gauges_snapshot() -> BTreeMap<String, u64> {
+    gauges().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Aggregate view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+/// All histograms, sorted by name.
+pub fn hist_snapshot() -> BTreeMap<String, HistSummary> {
+    let m = hists().lock().unwrap_or_else(|e| e.into_inner());
+    m.iter()
+        .map(|(k, h)| {
+            (
+                k.clone(),
+                HistSummary { count: h.count, sum: h.sum, min: h.min, max: h.max },
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// StatCell: static atomics for hot kernels
+// ---------------------------------------------------------------------------
+
+/// A statically-allocated stat slot for a hot code path: call count plus
+/// cumulative nanoseconds, updated with relaxed atomics (no lock, no map
+/// lookup). Declare one per kernel:
+///
+/// ```
+/// use mhd_obs::{StatCell, StatTimer};
+/// static GEMM_NT: StatCell = StatCell::new("nn.gemm_nt");
+/// fn kernel() {
+///     let _t = StatTimer::start(&GEMM_NT);
+///     // ... hot loop ...
+/// }
+/// ```
+///
+/// Cells register themselves into a global list on first use, so the
+/// manifest only reports kernels that actually ran.
+#[derive(Debug)]
+pub struct StatCell {
+    name: &'static str,
+    calls: AtomicU64,
+    ns: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl StatCell {
+    /// Create a cell; use in a `static`.
+    pub const fn new(name: &'static str) -> Self {
+        StatCell {
+            name,
+            calls: AtomicU64::new(0),
+            ns: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one call taking `ns` nanoseconds.
+    pub fn record(&'static self, ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+            reg.push(self);
+        }
+    }
+
+    /// Record an event with no duration (a pure counter cell). Unlike
+    /// [`StatCell::record`] — whose callers gate via [`StatTimer`] — this
+    /// checks the enabled flag itself, so call sites stay one-liners.
+    pub fn bump(&'static self) {
+        if !crate::is_enabled() {
+            return;
+        }
+        self.record(0);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<&'static StatCell>> {
+    static R: OnceLock<Mutex<Vec<&'static StatCell>>> = OnceLock::new();
+    R.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Times one call against a [`StatCell`]; records on Drop. When the sink
+/// is disabled, construction is one atomic load and Drop does nothing.
+#[derive(Debug)]
+#[must_use = "the timer records on Drop; binding to _ stops it immediately"]
+pub struct StatTimer {
+    live: Option<(&'static StatCell, Stopwatch)>,
+}
+
+impl StatTimer {
+    /// Start timing against `cell` (no-op when the sink is disabled).
+    #[inline]
+    pub fn start(cell: &'static StatCell) -> Self {
+        if !crate::is_enabled() {
+            return StatTimer { live: None };
+        }
+        StatTimer { live: Some((cell, Stopwatch::start())) }
+    }
+}
+
+impl Drop for StatTimer {
+    fn drop(&mut self) {
+        if let Some((cell, sw)) = self.live.take() {
+            cell.record(sw.elapsed_ns());
+        }
+    }
+}
+
+/// Aggregate view of one [`StatCell`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Cell name, e.g. `nn.gemm_nt`.
+    pub name: String,
+    /// Number of recorded calls.
+    pub calls: u64,
+    /// Cumulative nanoseconds across calls.
+    pub total_ns: u64,
+}
+
+/// All registered cells with at least one call, sorted by name.
+pub fn kernels_snapshot() -> Vec<KernelStat> {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<KernelStat> = reg
+        .iter()
+        .map(|c| KernelStat {
+            name: c.name.to_string(),
+            calls: c.calls.load(Ordering::Relaxed),
+            total_ns: c.ns.load(Ordering::Relaxed),
+        })
+        .filter(|k| k.calls > 0)
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Clear named metrics and zero every registered cell.
+pub(crate) fn reset() {
+    counters().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    gauges().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    hists().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for c in reg.iter() {
+        c.calls.store(0, Ordering::Relaxed);
+        c.ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_CELL: StatCell = StatCell::new("test.cell");
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let k = "test.threads.counter";
+        // Zero our key without clobbering other tests' state.
+        {
+            let mut m = counters().lock().unwrap_or_else(|e| e.into_inner());
+            m.remove(k);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        counter_add(k, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter_get(k), 800);
+    }
+
+    #[test]
+    fn histogram_tracks_min_max_sum() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let k = "test.hist";
+        {
+            let mut m = hists().lock().unwrap_or_else(|e| e.into_inner());
+            m.remove(k);
+        }
+        for v in [5u64, 1, 9, 3] {
+            hist_record(k, v);
+        }
+        let snap = hist_snapshot();
+        let h = snap.get(k).expect("histogram recorded");
+        assert_eq!((h.count, h.sum, h.min, h.max), (4, 18, 1, 9));
+    }
+
+    #[test]
+    fn stat_cell_times_and_registers() {
+        let _g = crate::test_guard();
+        crate::enable();
+        {
+            let _t = StatTimer::start(&TEST_CELL);
+        }
+        let snap = kernels_snapshot();
+        let cell = snap.iter().find(|k| k.name == "test.cell").expect("registered");
+        assert!(cell.calls >= 1);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let _g = crate::test_guard();
+        crate::disable();
+        counter_add("test.disabled", 7);
+        gauge_set("test.disabled.gauge", 7);
+        hist_record("test.disabled.hist", 7);
+        assert_eq!(counter_get("test.disabled"), 0);
+        assert!(!gauges_snapshot().contains_key("test.disabled.gauge"));
+        assert!(!hist_snapshot().contains_key("test.disabled.hist"));
+        crate::enable();
+    }
+}

@@ -1,0 +1,255 @@
+//! Parent/child span tree with per-thread span stacks.
+//!
+//! Span identity is `(parent, name)`: entering the same name under the
+//! same parent twice accumulates into one node (calls += 1, total_ns +=
+//! elapsed) rather than creating siblings, which keeps the manifest
+//! schema stable across `--jobs` counts and repeated stages.
+
+use std::cell::RefCell;
+use std::sync::{Mutex, OnceLock};
+
+use crate::time::Stopwatch;
+
+/// Index of a node in the global span tree. `SpanId(0)` is the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) usize);
+
+impl SpanId {
+    /// The implicit root every top-level span hangs off.
+    pub const ROOT: SpanId = SpanId(0);
+}
+
+struct Node {
+    name: String,
+    calls: u64,
+    total_ns: u64,
+    children: Vec<usize>,
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn new() -> Self {
+        Tree {
+            nodes: vec![Node {
+                name: "run".to_string(),
+                calls: 0,
+                total_ns: 0,
+                children: Vec::new(),
+            }],
+        }
+    }
+
+    /// Find or create the child of `parent` named `name`.
+    fn child(&mut self, parent: usize, name: &str) -> usize {
+        let hit = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        match hit {
+            Some(c) => c,
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node {
+                    name: name.to_string(),
+                    calls: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                });
+                self.nodes[parent].children.push(id);
+                id
+            }
+        }
+    }
+}
+
+fn tree() -> &'static Mutex<Tree> {
+    static TREE: OnceLock<Mutex<Tree>> = OnceLock::new();
+    TREE.get_or_init(|| Mutex::new(Tree::new()))
+}
+
+thread_local! {
+    /// Stack of open span ids on this thread; the top is the current span.
+    static STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Clear the tree (back to a lone root). Open guards on other threads
+/// will still record into fresh node ids, so only call between runs.
+pub(crate) fn reset() {
+    let mut t = tree().lock().unwrap_or_else(|e| e.into_inner());
+    *t = Tree::new();
+}
+
+/// The innermost open span on this thread, or [`SpanId::ROOT`].
+///
+/// Capture this *before* a rayon fan-out and hand it to [`span_under`]
+/// inside the parallel closure so worker-thread time is credited to the
+/// dispatching span instead of dangling off the root.
+pub fn current() -> SpanId {
+    SpanId(STACK.with(|s| s.borrow().last().copied().unwrap_or(0)))
+}
+
+/// Open a span as a child of this thread's current span.
+///
+/// Returns a guard that records elapsed wall-clock into the tree when
+/// dropped. When the sink is disabled this is a single atomic load.
+#[must_use = "the span records on Drop; binding to _ closes it immediately"]
+pub fn span(name: &str) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { live: None };
+    }
+    open(current(), name)
+}
+
+/// Open a span as a child of an explicit parent (rayon attribution).
+#[must_use = "the span records on Drop; binding to _ closes it immediately"]
+pub fn span_under(parent: SpanId, name: &str) -> SpanGuard {
+    if !crate::is_enabled() {
+        return SpanGuard { live: None };
+    }
+    open(parent, name)
+}
+
+fn open(parent: SpanId, name: &str) -> SpanGuard {
+    let id = {
+        let mut t = tree().lock().unwrap_or_else(|e| e.into_inner());
+        t.child(parent.0, name)
+    };
+    STACK.with(|s| s.borrow_mut().push(id));
+    SpanGuard { live: Some((id, Stopwatch::start())) }
+}
+
+/// Open span handle; commits `(calls += 1, total_ns += elapsed)` on Drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<(usize, Stopwatch)>,
+}
+
+impl SpanGuard {
+    /// The id of the span this guard holds open (root if inert).
+    pub fn id(&self) -> SpanId {
+        SpanId(self.live.as_ref().map_or(0, |(id, _)| *id))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((id, sw)) = self.live.take() {
+            let ns = sw.elapsed_ns();
+            STACK.with(|s| {
+                let mut st = s.borrow_mut();
+                if st.last() == Some(&id) {
+                    st.pop();
+                }
+            });
+            let mut t = tree().lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(node) = t.nodes.get_mut(id) {
+                node.calls += 1;
+                node.total_ns += ns;
+            }
+        }
+    }
+}
+
+/// Immutable copy of one span node for rendering; children sorted by name.
+#[derive(Debug, Clone)]
+pub struct SpanSnapshot {
+    /// Span name ("run" for the root).
+    pub name: String,
+    /// Completed enter/exit pairs.
+    pub calls: u64,
+    /// Cumulative wall-clock across calls, nanoseconds.
+    pub total_ns: u64,
+    /// Child spans, sorted by name for schema stability.
+    pub children: Vec<SpanSnapshot>,
+}
+
+/// Snapshot the whole tree rooted at "run".
+pub fn spans_snapshot() -> SpanSnapshot {
+    let t = tree().lock().unwrap_or_else(|e| e.into_inner());
+    fn copy(t: &Tree, id: usize) -> SpanSnapshot {
+        let n = &t.nodes[id];
+        let mut children: Vec<SpanSnapshot> =
+            n.children.iter().map(|&c| copy(t, c)).collect();
+        children.sort_by(|a, b| a.name.cmp(&b.name));
+        SpanSnapshot {
+            name: n.name.clone(),
+            calls: n.calls,
+            total_ns: n.total_ns,
+            children,
+        }
+    }
+    copy(&t, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The span tree is process-global, so every test here runs in one
+    // #[test] body to avoid cross-test interference under the parallel
+    // test harness.
+    #[test]
+    fn nesting_attribution_and_disabled_paths() {
+        let _g = crate::test_guard();
+        crate::enable();
+        crate::reset();
+
+        // Nested spans chain through the thread-local stack.
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                assert_eq!(current(), _inner.id());
+            }
+            let _inner2 = span("inner");
+        }
+        // Same (parent, name) accumulates instead of duplicating.
+        let snap = spans_snapshot();
+        assert_eq!(snap.name, "run");
+        assert_eq!(snap.children.len(), 1);
+        let outer = &snap.children[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].calls, 2);
+
+        // span_under credits worker threads to the dispatching span.
+        crate::reset();
+        let parent_id = {
+            let g = span("dispatch");
+            let pid = g.id();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(move || {
+                        let _w = span_under(pid, "work");
+                        let _n = span("nested");
+                    });
+                }
+            });
+            pid
+        };
+        assert_ne!(parent_id, SpanId::ROOT);
+        let snap = spans_snapshot();
+        let dispatch = &snap.children[0];
+        assert_eq!(dispatch.name, "dispatch");
+        assert_eq!(dispatch.children.len(), 1);
+        assert_eq!(dispatch.children[0].name, "work");
+        assert_eq!(dispatch.children[0].calls, 4);
+        assert_eq!(dispatch.children[0].children[0].calls, 4);
+
+        // Disabled: no recording, current() stays at root.
+        crate::disable();
+        crate::reset();
+        {
+            let g = span("ghost");
+            assert_eq!(g.id(), SpanId::ROOT);
+            assert_eq!(current(), SpanId::ROOT);
+        }
+        assert!(spans_snapshot().children.is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! The one sanctioned monotonic clock in the workspace.
+//!
+//! Everything else must time through [`Stopwatch`] (or the span/StatTimer
+//! layers built on it) so that mhd-lint rule R5 can statically guarantee
+//! wall-clock never leaks into deterministic outputs from anywhere else.
+
+use std::time::Instant;
+
+/// A started monotonic timer. `Stopwatch` always runs — gating on the
+/// global enabled flag is the caller's job (spans and [`crate::StatTimer`]
+/// do it for you).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        // u64 nanoseconds covers ~584 years; saturate rather than panic.
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e9
+    }
+}
+
+/// Format a nanosecond duration for human-readable summaries.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn format_ns_picks_unit() {
+        assert_eq!(format_ns(42), "42ns");
+        assert_eq!(format_ns(1_500), "1.5us");
+        assert_eq!(format_ns(2_500_000), "2.5ms");
+        assert_eq!(format_ns(3_210_000_000), "3.21s");
+    }
+}
