@@ -7,7 +7,7 @@ use mhd_core::experiments::{
 };
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234, ..Default::default() }
 }
 
 fn bench_f1(c: &mut Criterion) {

@@ -12,7 +12,7 @@ use mhd_corpus::DatasetId;
 use mhd_prompts::Strategy;
 
 fn cfg() -> ExperimentConfig {
-    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234, ..Default::default() }
 }
 
 fn bench_t1(c: &mut Criterion) {

@@ -6,19 +6,29 @@
 //! nn_bench --out path.json         # write elsewhere
 //! nn_bench --smoke                 # tiny sizes, 1 rep (CI liveness check)
 //! nn_bench --jobs 4                # cap the worker pool
+//! nn_bench --check-bench <path>    # validate a committed BENCH_nn.json
 //! ```
 //!
-//! Reports three things per the kernel layer's acceptance criteria:
-//! GEMM throughput in GFLOP/s for the hot shapes, one-epoch wall-clock
-//! for the batched vs per-example reference path of each model family,
-//! and the implied posts/sec + speedup — plus, from the always-on mhd-obs
-//! sink, cumulative per-kernel call counts and wall-clock. Timing never
-//! feeds tables: `BENCH_nn.json` is a side artifact, and all clock reads go
-//! through `mhd_obs::time::Stopwatch` (lint rule R5).
+//! Reports, per the kernel layer's acceptance criteria: GEMM throughput
+//! in GFLOP/s (giga-ops/s for the int8 kernel) for the hot shapes,
+//! one-epoch wall-clock for the batched vs per-example reference path of
+//! each model family, micro-batched serving throughput for f32 vs int8
+//! inference, and checkpoint save/load wall-clock against the retraining
+//! it replaces — plus, from the always-on mhd-obs sink, cumulative
+//! per-kernel call counts and wall-clock. Timing never feeds tables:
+//! `BENCH_nn.json` is a side artifact, and all clock reads go through
+//! `mhd_obs::time::Stopwatch` (lint rule R5).
+//!
+//! `--check-bench` is the CI freshness gate: it validates that the
+//! committed file carries the current schema version, was produced by a
+//! full (non-smoke) run, and contains every required section, so a schema
+//! bump cannot land without regenerating the committed numbers.
 
 use mhd_bench::resolve_jobs;
+use mhd_nn::checkpoint::{Checkpoint, Writer};
 use mhd_nn::encoder::{Encoder, EncoderConfig};
 use mhd_nn::gemm::{gemm_nt, gemm_tn};
+use mhd_nn::quant::{quantize_rows_i16, QuantizedLinear};
 use mhd_nn::{LoraAdapter, Mlp};
 use mhd_obs::time::Stopwatch;
 use rand::rngs::StdRng;
@@ -29,14 +39,23 @@ const BATCH: usize = 32;
 const EMBED: usize = 48;
 const HIDDEN: usize = 64;
 
+/// Schema tag written to (and required from) `BENCH_nn.json`.
+const SCHEMA: &str = "mhd-bench/nn/v3";
+
 struct Options {
     out: String,
     smoke: bool,
     jobs: Option<usize>,
+    check_bench: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options { out: "BENCH_nn.json".to_string(), smoke: false, jobs: None };
+    let mut opts = Options {
+        out: "BENCH_nn.json".to_string(),
+        smoke: false,
+        jobs: None,
+        check_bench: None,
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -48,10 +67,41 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--jobs needs a count")?;
                 opts.jobs = Some(v.parse().map_err(|_| format!("bad --jobs value: {v}"))?);
             }
+            "--check-bench" => {
+                opts.check_bench =
+                    Some(it.next().ok_or("--check-bench needs a path")?.clone());
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(opts)
+}
+
+/// Validate a committed `BENCH_nn.json`: current schema, produced by a
+/// full run, all sections present. Returns the list of problems (empty =
+/// pass). String checks suffice — the file is machine-written by this
+/// binary, so key formatting is stable.
+fn check_bench_file(contents: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    if !contents.contains(&format!("\"schema\": \"{SCHEMA}\"")) {
+        problems.push(format!(
+            "schema is not {SCHEMA}: regenerate with `cargo run --release -p mhd-bench --bin nn_bench`"
+        ));
+    }
+    if !contents.contains("\"smoke\": false") {
+        problems.push("committed bench must come from a full run, not --smoke".to_string());
+    }
+    for section in ["\"gemm\":", "\"kernels\":", "\"models\":", "\"quant\":", "\"checkpoint\":"] {
+        if !contents.contains(section) {
+            problems.push(format!("missing section {section}"));
+        }
+    }
+    for row in ["gemm_nt_i8", "mlp_infer", "encoder_infer", "load_speedup"] {
+        if !contents.contains(row) {
+            problems.push(format!("missing entry {row}"));
+        }
+    }
+    problems
 }
 
 fn randv(rng: &mut StdRng, len: usize) -> Vec<f32> {
@@ -124,7 +174,195 @@ fn bench_gemm(reps: usize, inner: usize) -> Vec<GemmRow> {
         shape: format!("{tokens}x{EMBED}x{EMBED}"),
         gflops: flops / secs / 1e9,
     });
+
+    // Int8 head forward, same shape as the f32 gemm_nt row. Weights are
+    // prepacked once (the quantize-at-fit cost), activations prequantized;
+    // the figure is giga integer multiply-adds per second. The i32
+    // accumulation is associative, so unlike the bit-exact f32 chains the
+    // compiler is free to vectorize the reduction.
+    let (m, k, n) = (BATCH, EMBED, HIDDEN);
+    let a = randv(&mut rng, m * k);
+    let w = randv(&mut rng, n * k);
+    let bias = randv(&mut rng, n);
+    let ql = QuantizedLinear::from_f32(&w, &bias, n, k);
+    let mut aq = Vec::new();
+    let mut a_scales = Vec::new();
+    quantize_rows_i16(&a, m, k, &mut aq, &mut a_scales);
+    let mut out = vec![0.0f32; m * n];
+    let secs = time_best(reps, || {
+        for _ in 0..inner {
+            ql.forward(&aq, &a_scales, m, true, &mut out);
+        }
+    });
+    let ops = (2 * m * k * n * inner) as f64;
+    rows.push(GemmRow {
+        kernel: "gemm_nt_i8",
+        shape: format!("{m}x{k}x{n}"),
+        gflops: ops / secs / 1e9,
+    });
     rows
+}
+
+struct QuantRow {
+    model: &'static str,
+    examples: usize,
+    batch: usize,
+    f32_secs: f64,
+    int8_secs: f64,
+}
+
+impl QuantRow {
+    fn speedup(&self) -> f64 {
+        self.f32_secs / self.int8_secs.max(1e-12)
+    }
+    fn f32_posts_per_sec(&self) -> f64 {
+        self.examples as f64 / self.f32_secs.max(1e-12)
+    }
+    fn int8_posts_per_sec(&self) -> f64 {
+        self.examples as f64 / self.int8_secs.max(1e-12)
+    }
+}
+
+/// Micro-batched serving throughput, f32 vs int8, on the shapes the
+/// detector layer actually serves: `predict_proba_batch` in `BATCH`-sized
+/// chunks (an evaluation sweep scores one split slice per call, so per-call
+/// overheads — notably the f32 path's per-call weight pack — are a real
+/// fraction of the work).
+fn bench_quant(reps: usize, examples: usize) -> Vec<QuantRow> {
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut rows = Vec::new();
+
+    // MLP over the T2 dense feature width, at the low-latency serving
+    // micro-batch (8) and the evaluation-sweep batch (BATCH). The f32
+    // path repacks and reallocates its weight panel on every call, so
+    // its throughput degrades as batches shrink; the quantized path's
+    // weights are packed once at build time and its per-call cost is
+    // the (vectorized) activation quantize, so the int8 advantage is
+    // largest exactly where serving latency matters most.
+    let xs: Vec<Vec<f32>> = (0..examples).map(|_| randv(&mut rng, 178)).collect();
+    let mlp = Mlp::new(178, HIDDEN, 9, 1e-3, 1);
+    let qmlp = mlp.quantize();
+    for batch in [8, BATCH] {
+        let f32_secs = time_best(reps, || {
+            for c in xs.chunks(batch) {
+                let _ = mlp.predict_proba_batch(c);
+            }
+        });
+        let int8_secs = time_best(reps, || {
+            for c in xs.chunks(batch) {
+                let _ = qmlp.predict_proba_batch(c);
+            }
+        });
+        rows.push(QuantRow { model: "mlp_infer", examples, batch, f32_secs, int8_secs });
+    }
+
+    // Encoder on synthetic docs near corpus post length.
+    let docs: Vec<Vec<u32>> = (0..examples)
+        .map(|_| {
+            let len = rng.gen_range(20..100);
+            (0..len).map(|_| rng.gen_range(0..8192u32)).collect()
+        })
+        .collect();
+    let cfg = EncoderConfig {
+        vocab_size: 8192,
+        embed_dim: EMBED,
+        hidden_dim: HIDDEN,
+        n_classes: 9,
+        max_len: 128,
+        lr: 1e-3,
+        seed: 4,
+    };
+    let enc = Encoder::new(cfg);
+    let qenc = enc.quantize();
+    let f32_secs = time_best(reps, || {
+        for c in docs.chunks(BATCH) {
+            let _ = enc.predict_proba_batch(c);
+        }
+    });
+    let int8_secs = time_best(reps, || {
+        for c in docs.chunks(BATCH) {
+            let _ = qenc.predict_proba_batch(c);
+        }
+    });
+    rows.push(QuantRow { model: "encoder_infer", examples, batch: BATCH, f32_secs, int8_secs });
+
+    rows
+}
+
+struct CheckpointStats {
+    save_secs: f64,
+    load_secs: f64,
+    retrain_secs: f64,
+    bytes: usize,
+}
+
+impl CheckpointStats {
+    fn load_speedup(&self) -> f64 {
+        self.retrain_secs / self.load_secs.max(1e-12)
+    }
+}
+
+/// Save/load wall-clock for a model zoo (encoder + mlp + lora + the
+/// quantized encoder) against the retraining a load replaces. The retrain
+/// figure is the actual wall-clock of producing the zoo's weights here
+/// (a few epochs per family) — deliberately conservative: real training
+/// runs many more epochs with early stopping.
+fn bench_checkpoint(reps: usize, examples: usize, epochs: usize) -> CheckpointStats {
+    let mut rng = StdRng::seed_from_u64(44);
+    let docs: Vec<Vec<u32>> = (0..examples)
+        .map(|_| {
+            let len = rng.gen_range(20..100);
+            (0..len).map(|_| rng.gen_range(0..8192u32)).collect()
+        })
+        .collect();
+    let ys: Vec<usize> = (0..examples).map(|i| i % 9).collect();
+    let xs: Vec<Vec<f32>> = (0..examples).map(|_| randv(&mut rng, 178)).collect();
+
+    let cfg = EncoderConfig {
+        vocab_size: 8192,
+        embed_dim: EMBED,
+        hidden_dim: HIDDEN,
+        n_classes: 9,
+        max_len: 128,
+        lr: 1e-3,
+        seed: 6,
+    };
+    let mut enc = Encoder::new(cfg);
+    let mut mlp = Mlp::new(178, HIDDEN, 9, 1e-3, 7);
+    let base = randv(&mut rng, 9 * 178);
+    let bias = randv(&mut rng, 9);
+    let mut lora = LoraAdapter::new(base, bias, 9, 178, 8, 1e-3, 8);
+    let t = Stopwatch::start();
+    for _ in 0..epochs.max(1) {
+        epoch(&docs, &ys, |cx, cy| enc.train_batch(cx, cy));
+        epoch(&xs, &ys, |cx, cy| mlp.train_batch(cx, cy));
+        epoch(&xs, &ys, |cx, cy| lora.train_batch(cx, cy));
+    }
+    let retrain_secs = t.elapsed_secs();
+
+    let write_zoo = || {
+        let mut w = Writer::new();
+        enc.write_checkpoint("enc", &mut w);
+        mlp.write_checkpoint("mlp", &mut w);
+        lora.write_checkpoint("lora", &mut w);
+        enc.quantize().write_checkpoint("qenc", &mut w);
+        w
+    };
+    let path = std::env::temp_dir().join("mhd_nn_bench_zoo.ckpt");
+    let save_secs = time_best(reps, || {
+        write_zoo().save(&path).expect("save bench zoo");
+    });
+    let bytes = std::fs::metadata(&path).map(|m| m.len() as usize).unwrap_or(0);
+    let load_secs = time_best(reps, || {
+        let ck = Checkpoint::load(&path).expect("load bench zoo");
+        let _enc = Encoder::from_checkpoint(&ck, "enc").expect("enc");
+        let _mlp = Mlp::from_checkpoint(&ck, "mlp").expect("mlp");
+        let _lora = LoraAdapter::from_checkpoint(&ck, "lora").expect("lora");
+        let _qenc =
+            mhd_nn::QuantizedEncoder::from_checkpoint(&ck, "qenc").expect("qenc");
+    });
+    let _ = std::fs::remove_file(&path);
+    CheckpointStats { save_secs, load_secs, retrain_secs, bytes }
 }
 
 /// One epoch = the example set in `BATCH`-sized minibatches, once.
@@ -182,9 +420,15 @@ fn bench_models(reps: usize, examples: usize) -> Vec<ModelRow> {
     rows
 }
 
-fn render_json(smoke: bool, gemm: &[GemmRow], models: &[ModelRow]) -> String {
+fn render_json(
+    smoke: bool,
+    gemm: &[GemmRow],
+    models: &[ModelRow],
+    quant: &[QuantRow],
+    ckpt: &CheckpointStats,
+) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"schema\": \"mhd-bench/nn/v2\",\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!("  \"worker_threads\": {},\n", rayon::current_num_threads()));
     s.push_str("  \"gemm\": [\n");
@@ -223,7 +467,35 @@ fn render_json(smoke: bool, gemm: &[GemmRow], models: &[ModelRow]) -> String {
             m.speedup()
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"quant\": [\n");
+    for (i, q) in quant.iter().enumerate() {
+        let comma = if i + 1 < quant.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"model\": \"{}\", \"examples\": {}, \"batch\": {}, \"f32_secs\": {:.6}, \
+             \"int8_secs\": {:.6}, \"f32_posts_per_sec\": {:.1}, \
+             \"int8_posts_per_sec\": {:.1}, \"speedup\": {:.2}}}{comma}\n",
+            q.model,
+            q.examples,
+            q.batch,
+            q.f32_secs,
+            q.int8_secs,
+            q.f32_posts_per_sec(),
+            q.int8_posts_per_sec(),
+            q.speedup()
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"checkpoint\": {{\"save_secs\": {:.6}, \"load_secs\": {:.6}, \
+         \"retrain_secs\": {:.6}, \"bytes\": {}, \"load_speedup\": {:.1}}}\n",
+        ckpt.save_secs,
+        ckpt.load_secs,
+        ckpt.retrain_secs,
+        ckpt.bytes,
+        ckpt.load_speedup()
+    ));
+    s.push_str("}\n");
     s
 }
 
@@ -233,10 +505,30 @@ fn main() {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: nn_bench [--smoke] [--out <path>] [--jobs <n>]");
+            eprintln!(
+                "usage: nn_bench [--smoke] [--out <path>] [--jobs <n>] [--check-bench <path>]"
+            );
             std::process::exit(2);
         }
     };
+    if let Some(path) = &opts.check_bench {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("check-bench: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let problems = check_bench_file(&contents);
+        if problems.is_empty() {
+            println!("check-bench: {path} ok ({SCHEMA}, full run, all sections present)");
+            return;
+        }
+        for p in &problems {
+            eprintln!("check-bench: {path}: {p}");
+        }
+        std::process::exit(1);
+    }
     if let Some(n) = resolve_jobs(opts.jobs) {
         if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
             eprintln!("error: cannot configure the worker pool for --jobs {n}: {e}");
@@ -270,7 +562,39 @@ fn main() {
             ),
         );
     }
-    let json = render_json(opts.smoke, &gemm, &models);
+    mhd_obs::progress(
+        "nn_bench",
+        &format!("micro-batched serving, f32 vs int8 ({examples} examples)…"),
+    );
+    let quant = bench_quant(reps, examples);
+    for q in &quant {
+        mhd_obs::progress(
+            "nn_bench",
+            &format!(
+                "  {} (batch {}): {:.0} f32 posts/s vs {:.0} int8 posts/s ({:.2}x)",
+                q.model,
+                q.batch,
+                q.f32_posts_per_sec(),
+                q.int8_posts_per_sec(),
+                q.speedup()
+            ),
+        );
+    }
+    mhd_obs::progress("nn_bench", "checkpoint zoo save/load vs retrain…");
+    let ckpt_epochs = if opts.smoke { 1 } else { 3 };
+    let ckpt = bench_checkpoint(reps, examples, ckpt_epochs);
+    mhd_obs::progress(
+        "nn_bench",
+        &format!(
+            "  save {:.4}s, load {:.4}s, retrain {:.2}s ({:.0}x faster than retraining, {} bytes)",
+            ckpt.save_secs,
+            ckpt.load_secs,
+            ckpt.retrain_secs,
+            ckpt.load_speedup(),
+            ckpt.bytes
+        ),
+    );
+    let json = render_json(opts.smoke, &gemm, &models, &quant, &ckpt);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("error: cannot write {}: {e}", opts.out);
         std::process::exit(1);

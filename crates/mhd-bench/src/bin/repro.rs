@@ -31,8 +31,9 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: repro (--table <t1..t6|a1..a9> | --figure <f1..f5> | --all)... \
-                 [--scale <f64>] [--seed <u64>] [--jobs <n>] [--csv] [--trace <path>] \
-                 [--trace-summary] [--quiet] [--check-report <path>]"
+                 [--scale <f64>] [--seed <u64>] [--jobs <n>] [--precision f32|int8] \
+                 [--csv] [--trace <path>] [--trace-summary] [--quiet] \
+                 [--check-report <path>]"
             );
             std::process::exit(2);
         }

@@ -51,8 +51,9 @@ pub fn resolve_jobs(cli_jobs: Option<usize>) -> Option<usize> {
 /// Parse repro CLI arguments (everything after the binary name).
 ///
 /// Grammar: `[--table <id>]* [--figure <id>]* [--all] [--scale <f>]
-/// [--seed <n>] [--jobs <n>] [--csv] [--trace <path>] [--trace-summary]
-/// [--quiet] [--check-report <path>]`. Unknown flags are an error.
+/// [--seed <n>] [--jobs <n>] [--precision f32|int8] [--csv]
+/// [--trace <path>] [--trace-summary] [--quiet] [--check-report <path>]`.
+/// Unknown flags are an error.
 pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
     let mut artifacts = Vec::new();
     let mut config = ExperimentConfig::default();
@@ -84,6 +85,12 @@ pub fn parse_args(args: &[String]) -> Result<ReproOptions, String> {
             "--seed" => {
                 let v = args.get(i + 1).ok_or("--seed needs a value")?;
                 config.seed = v.parse().map_err(|_| format!("bad seed: {v}"))?;
+                i += 2;
+            }
+            "--precision" => {
+                let v = args.get(i + 1).ok_or("--precision needs a value (f32|int8)")?;
+                config.precision = mhd_core::experiments::Precision::parse(v)
+                    .ok_or_else(|| format!("bad precision (want f32|int8): {v}"))?;
                 i += 2;
             }
             "--jobs" => {
@@ -217,6 +224,19 @@ mod tests {
         assert_eq!(o.jobs, None);
         assert!(parse_args(&sv(&["--table", "t2", "--jobs", "0"])).is_err());
         assert!(parse_args(&sv(&["--table", "t2", "--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn precision_flag() {
+        use mhd_core::experiments::Precision;
+        let o = parse_args(&sv(&["--table", "t2", "--precision", "int8"])).expect("ok");
+        assert_eq!(o.config.precision, Precision::Int8);
+        let o = parse_args(&sv(&["--table", "t2", "--precision", "f32"])).expect("ok");
+        assert_eq!(o.config.precision, Precision::F32);
+        let o = parse_args(&sv(&["--table", "t2"])).expect("ok");
+        assert_eq!(o.config.precision, Precision::F32, "default stays f32");
+        assert!(parse_args(&sv(&["--table", "t2", "--precision", "fp16"])).is_err());
+        assert!(parse_args(&sv(&["--table", "t2", "--precision"])).is_err());
     }
 
     #[test]

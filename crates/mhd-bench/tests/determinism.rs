@@ -13,7 +13,7 @@ fn set_jobs(n: usize) {
 
 #[test]
 fn tables_are_byte_identical_across_job_counts() {
-    let cfg = ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 };
+    let cfg = ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234, ..Default::default() };
 
     // T2 covers every method family (classical, prompted, fine-tuned) and
     // so also proves the fine-tune id counter is output-neutral; T5 covers

@@ -1,0 +1,76 @@
+//! Int8 inference contract tests, pinned at the experiment-engine level:
+//!
+//! 1. **Tolerance** — on a standard generated corpus, the quantized
+//!    `bert_mini` detector must track its own f32 weights: near-total
+//!    prediction agreement and a small accuracy delta. Quantization may
+//!    move a few borderline posts across the decision boundary; it must
+//!    not change what the model learned.
+//! 2. **Determinism** — the int8 path accumulates in i32 (exactly
+//!    associative), so its evaluation output must be *byte-identical*
+//!    across worker-thread counts, same as the f32 kernels. Flips the
+//!    vendored rayon shim's reconfigurable global pool between 1 and 8
+//!    workers inside one test so the configurations cannot race.
+
+use mhd_core::experiments::{ExperimentConfig, Precision};
+use mhd_core::methods::{make_detector_with, ClassicalKind, MethodSpec, SharedClient};
+use mhd_core::pipeline::{evaluate, EvalResult};
+use mhd_corpus::builders::DatasetId;
+use mhd_corpus::dataset::Split;
+
+fn set_jobs(n: usize) {
+    rayon::ThreadPoolBuilder::new().num_threads(n).build_global().expect("pool config");
+}
+
+fn eval_bert_mini(cfg: &ExperimentConfig) -> EvalResult {
+    let client = SharedClient::new(cfg.pretrain_seed);
+    let spec = MethodSpec::Classical(ClassicalKind::BertMini);
+    let mut det = make_detector_with(&spec, &client, cfg.precision);
+    let dataset = cfg.dataset(DatasetId::DreadditS);
+    evaluate(det.as_mut(), &dataset, Split::Test)
+}
+
+/// Confidence values with bit-exact comparability.
+fn confidence_bits(r: &EvalResult) -> Vec<u64> {
+    r.confidence.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn int8_tracks_f32_and_is_byte_identical_across_job_counts() {
+    let f32_cfg =
+        ExperimentConfig { seed: 42, scale: 0.1, pretrain_seed: 1234, ..Default::default() };
+    let i8_cfg = ExperimentConfig { precision: Precision::Int8, ..f32_cfg };
+
+    // --- tolerance: int8 vs f32 on the same corpus, same training run ---
+    set_jobs(1);
+    let rf = eval_bert_mini(&f32_cfg);
+    let ri_serial = eval_bert_mini(&i8_cfg);
+
+    assert_eq!(rf.pred.len(), ri_serial.pred.len());
+    let n = rf.pred.len();
+    let agree = rf.pred.iter().zip(&ri_serial.pred).filter(|(a, b)| a == b).count();
+    assert!(
+        agree * 100 >= n * 95,
+        "int8 prediction agreement with f32 too low: {agree}/{n}"
+    );
+    let acc_delta = (rf.metrics.accuracy - ri_serial.metrics.accuracy).abs();
+    assert!(
+        acc_delta <= 0.05,
+        "int8 accuracy drifted from f32 by {acc_delta} (f32 {}, int8 {})",
+        rf.metrics.accuracy,
+        ri_serial.metrics.accuracy
+    );
+    // The quantized model must still clearly beat chance on this binary
+    // task — quantization cannot have destroyed the decision function.
+    assert!(ri_serial.metrics.accuracy > 0.6, "int8 accuracy {}", ri_serial.metrics.accuracy);
+
+    // --- determinism: same int8 evaluation at 8 workers, byte for byte ---
+    set_jobs(8);
+    let ri_parallel = eval_bert_mini(&i8_cfg);
+    assert_eq!(ri_serial.pred, ri_parallel.pred, "int8 labels depend on worker count");
+    assert_eq!(
+        confidence_bits(&ri_serial),
+        confidence_bits(&ri_parallel),
+        "int8 confidences must be bit-identical at 1 vs 8 workers"
+    );
+    assert_eq!(ri_serial.metrics.accuracy.to_bits(), ri_parallel.metrics.accuracy.to_bits());
+}

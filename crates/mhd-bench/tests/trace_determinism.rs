@@ -33,7 +33,7 @@ fn render(artifact: Artifact, cfg: &ExperimentConfig) -> String {
 #[test]
 fn tracing_never_changes_artifact_bytes() {
     let _g = guard();
-    let cfg = ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 };
+    let cfg = ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234, ..Default::default() };
 
     mhd_obs::disable();
     set_jobs(1);
@@ -64,7 +64,7 @@ fn tracing_never_changes_artifact_bytes() {
 #[test]
 fn manifest_carries_run_evidence() {
     let _g = guard();
-    let cfg = ExperimentConfig { seed: 7, scale: 0.06, pretrain_seed: 1234 };
+    let cfg = ExperimentConfig { seed: 7, scale: 0.06, pretrain_seed: 1234, ..Default::default() };
 
     mhd_obs::reset();
     mhd_obs::enable();
@@ -104,7 +104,7 @@ proptest! {
     #[test]
     fn traced_t1_matches_untraced_for_any_seed(seed in 0u64..1000) {
         let _g = guard();
-        let cfg = ExperimentConfig { seed, scale: 0.05, pretrain_seed: 1234 };
+        let cfg = ExperimentConfig { seed, scale: 0.05, pretrain_seed: 1234, ..Default::default() };
         mhd_obs::disable();
         let plain = render(Artifact::T1, &cfg);
         mhd_obs::enable();

@@ -17,7 +17,10 @@
 //! counter is output-neutral.
 
 use crate::features::FeatureCache;
-use crate::methods::{make_detector, ClassicalKind, MethodSpec, SharedClient};
+use crate::methods::{make_detector_with, ClassicalKind, MethodSpec, SharedClient};
+// Re-exported so config consumers (the repro CLI) can parse a precision
+// without depending on mhd-models/mhd-nn directly.
+pub use mhd_models::Precision;
 use crate::pipeline::{evaluate, evaluate_prepared, EvalResult};
 use mhd_corpus::builders::{BuildConfig, DatasetId};
 use mhd_corpus::dataset::{Dataset, Split};
@@ -39,18 +42,22 @@ pub struct ExperimentConfig {
     pub scale: f64,
     /// LLM pretraining seed.
     pub pretrain_seed: u64,
+    /// Inference precision for the neural baseline (`bert_mini`). Training
+    /// always runs in f32; [`Precision::Int8`] switches batched inference
+    /// to the quantized kernels. Other methods ignore the switch.
+    pub precision: Precision,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { seed: 42, scale: 1.0, pretrain_seed: 1234 }
+        ExperimentConfig { seed: 42, scale: 1.0, pretrain_seed: 1234, precision: Precision::F32 }
     }
 }
 
 impl ExperimentConfig {
     /// A reduced-size configuration for quick runs and CI.
     pub fn fast() -> Self {
-        ExperimentConfig { seed: 42, scale: 0.15, pretrain_seed: 1234 }
+        ExperimentConfig { scale: 0.15, ..ExperimentConfig::default() }
     }
 
     fn build_config(&self) -> BuildConfig {
@@ -77,20 +84,29 @@ const FT_DATASETS: [DatasetId; 3] = [DatasetId::DreadditS, DatasetId::SdcnlS, Da
 const SCALE_LADDER: [&str; 5] =
     ["sim-llama-7b", "sim-llama-13b", "sim-llama-70b", "sim-gpt-3.5", "sim-gpt-4"];
 
-fn eval_method(spec: &MethodSpec, client: &SharedClient, dataset: &Dataset) -> EvalResult {
-    let mut det = make_detector(spec, client);
+fn eval_method(
+    spec: &MethodSpec,
+    client: &SharedClient,
+    dataset: &Dataset,
+    precision: Precision,
+) -> EvalResult {
+    let mut det = make_detector_with(spec, client, precision);
     evaluate(det.as_mut(), dataset, Split::Test)
 }
 
 /// Evaluate a list of `(dataset, method)` cells on the rayon pool,
 /// returning results in cell order (deterministic output).
-fn eval_cells(client: &SharedClient, cells: &[(Arc<Dataset>, MethodSpec)]) -> Vec<EvalResult> {
+fn eval_cells(
+    client: &SharedClient,
+    cells: &[(Arc<Dataset>, MethodSpec)],
+    precision: Precision,
+) -> Vec<EvalResult> {
     let parent = mhd_obs::current();
     cells
         .par_iter()
         .map(|(dataset, spec)| {
             let _s = mhd_obs::span_under(parent, &format!("eval:{}", spec.name()));
-            eval_method(spec, client, dataset)
+            eval_method(spec, client, dataset, precision)
         })
         .collect()
 }
@@ -166,7 +182,7 @@ pub fn t2_main_results(cfg: &ExperimentConfig) -> Table {
             cells.push((dataset.clone(), spec));
         }
     }
-    for r in eval_cells(&client, &cells) {
+    for r in eval_cells(&client, &cells, cfg.precision) {
         push_result(&mut t, &r);
     }
     t
@@ -188,7 +204,7 @@ pub fn t3_prompting(cfg: &ExperimentConfig) -> Table {
             }
         }
     }
-    for r in eval_cells(&client, &cells) {
+    for r in eval_cells(&client, &cells, cfg.precision) {
         push_result(&mut t, &r);
     }
     t
@@ -231,7 +247,7 @@ pub fn t4_finetune(cfg: &ExperimentConfig) -> Table {
         cells.push((dataset.clone(), MethodSpec::Classical(ClassicalKind::BertMini)));
         train_cols.push(train_len.to_string());
     }
-    for (r, train_col) in eval_cells(&client, &cells).iter().zip(train_cols) {
+    for (r, train_col) in eval_cells(&client, &cells, cfg.precision).iter().zip(train_cols) {
         t.push_row(vec![
             r.method.clone(),
             r.dataset.clone(),
@@ -273,7 +289,7 @@ pub fn t5_robustness(cfg: &ExperimentConfig) -> Table {
         .par_iter()
         .map(|spec| {
             let _s = mhd_obs::span_under(parent, &format!("eval:{}", spec.name()));
-            let mut det = make_detector(spec, &client);
+            let mut det = make_detector_with(spec, &client, cfg.precision);
             det.prepare(&dataset);
             let clean = evaluate_prepared(det.as_ref(), &dataset, Split::Test);
             let mut row = vec![clean.method.clone(), fmt3(clean.metrics.weighted_f1)];
@@ -324,7 +340,7 @@ pub fn t6_cost(cfg: &ExperimentConfig) -> Table {
             let _s = mhd_obs::span_under(parent, &format!("eval:{model}/zero_shot"));
             let client = SharedClient::new(cfg.pretrain_seed);
             let spec = MethodSpec::Llm { model: (*model).into(), strategy: Strategy::ZeroShot };
-            let r = eval_method(&spec, &client, &dataset);
+            let r = eval_method(&spec, &client, &dataset, cfg.precision);
             let n = r.pred.len().max(1) as f64;
             let totals = client.tracker().totals(model);
             vec![
@@ -365,7 +381,7 @@ pub fn f1_scale_curve(cfg: &ExperimentConfig) -> Table {
             models.push(model);
         }
     }
-    for (r, model) in eval_cells(&client, &cells).iter().zip(models) {
+    for (r, model) in eval_cells(&client, &cells, cfg.precision).iter().zip(models) {
         // mhd-lint: allow(R2) — SCALE_LADDER names come from the built-in zoo the client registers at construction
         let params = client.spec(model).expect("ladder model exists").params_b;
         t.push_row(vec![
@@ -400,7 +416,7 @@ pub fn f2_fewshot_sweep(cfg: &ExperimentConfig) -> Table {
             }
         }
     }
-    for (r, (model, k)) in eval_cells(&client, &cells).iter().zip(keys) {
+    for (r, (model, k)) in eval_cells(&client, &cells, cfg.precision).iter().zip(keys) {
         t.push_row(vec![
             model.to_string(),
             k.to_string(),
@@ -426,7 +442,7 @@ pub fn f3_calibration(cfg: &ExperimentConfig) -> Table {
         .map(|model| {
             let _s = mhd_obs::span_under(parent, &format!("eval:{model}/zero_shot"));
             let spec = MethodSpec::Llm { model: (*model).into(), strategy: Strategy::ZeroShot };
-            let r = eval_method(&spec, &client, &dataset);
+            let r = eval_method(&spec, &client, &dataset, cfg.precision);
             let correct = r.correct_flags();
             let cal = calibration(&r.confidence, &correct, 10);
             cal.bins
@@ -456,7 +472,7 @@ pub fn f4_confusion(cfg: &ExperimentConfig) -> Table {
     let client = SharedClient::new(cfg.pretrain_seed);
     let dataset = cfg.dataset(DatasetId::SwmhS);
     let spec = MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot };
-    let r = eval_method(&spec, &client, &dataset);
+    let r = eval_method(&spec, &client, &dataset, cfg.precision);
     let cm = ConfusionMatrix::from_pairs(&r.gold, &r.pred, dataset.task.n_classes());
     let norm = cm.normalized();
     let mut t = Table::new(
@@ -494,7 +510,7 @@ pub fn f5_finetune_curve(cfg: &ExperimentConfig) -> Table {
             train_cols.push(size.min(train_len).to_string());
         }
     }
-    for (r, train_col) in eval_cells(&client, &cells).iter().zip(train_cols) {
+    for (r, train_col) in eval_cells(&client, &cells, cfg.precision).iter().zip(train_cols) {
         t.push_row(vec![r.dataset.clone(), train_col, fmt3(r.metrics.weighted_f1)]);
     }
     t
@@ -505,7 +521,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+        ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234, precision: Precision::F32 }
     }
 
     #[test]

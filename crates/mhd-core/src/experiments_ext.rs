@@ -17,7 +17,8 @@
 use crate::detector::Detector;
 use crate::experiments::ExperimentConfig;
 use crate::methods::{
-    make_detector, ClassicalKind, ClassifierDetector, MethodSpec, PromptDetector, SharedClient,
+    make_detector_with, ClassicalKind, ClassifierDetector, MethodSpec, PromptDetector,
+    SharedClient,
 };
 use crate::pipeline::{evaluate, evaluate_prepared};
 use crate::user_level::{screen_cohort, Aggregation, UserScreener};
@@ -87,7 +88,7 @@ pub fn a2_significance(cfg: &ExperimentConfig) -> Table {
     let results: Vec<_> = specs
         .par_iter()
         .map(|s| {
-            let mut det = make_detector(s, &client);
+            let mut det = make_detector_with(s, &client, cfg.precision);
             evaluate(det.as_mut(), &dataset, Split::Test)
         })
         .collect();
@@ -133,7 +134,7 @@ pub fn a3_label_noise(cfg: &ExperimentConfig) -> Table {
                 MethodSpec::Classical(ClassicalKind::NaiveBayes),
                 MethodSpec::Llm { model: "sim-gpt-4".into(), strategy: Strategy::ZeroShot },
             ] {
-                let mut det = make_detector(&spec, &client);
+                let mut det = make_detector_with(&spec, &client, cfg.precision);
                 let r = evaluate(det.as_mut(), &dataset, Split::Test);
                 row.push(fmt3(r.metrics.weighted_f1));
             }
@@ -283,7 +284,7 @@ pub fn a6_scaling_sweep(cfg: &ExperimentConfig) -> Table {
             let mut row = vec![format!("{p}"), fmt3(capability)];
             for d in [&d1, &d2] {
                 let spec = MethodSpec::Llm { model: name.clone(), strategy: Strategy::ZeroShot };
-                let mut det = make_detector(&spec, &client);
+                let mut det = make_detector_with(&spec, &client, cfg.precision);
                 let r = evaluate(det.as_mut(), d, Split::Test);
                 row.push(fmt3(r.metrics.weighted_f1));
             }
@@ -322,7 +323,7 @@ pub fn a7_ordinal(cfg: &ExperimentConfig) -> Table {
     let rows: Vec<Vec<String>> = cells
         .par_iter()
         .map(|(dataset, spec)| {
-            let mut det = make_detector(spec, &client);
+            let mut det = make_detector_with(spec, &client, cfg.precision);
             let r = evaluate(det.as_mut(), dataset, Split::Test);
             vec![
                 r.method.clone(),
@@ -431,7 +432,7 @@ pub fn a9_seed_variance(cfg: &ExperimentConfig) -> Table {
                 DatasetId::DreadditS,
                 &BuildConfig { seed, scale: cfg.scale, label_noise: None },
             );
-            let mut det = make_detector(&specs[si], &client);
+            let mut det = make_detector_with(&specs[si], &client, cfg.precision);
             let r = evaluate(det.as_mut(), &dataset, Split::Test);
             r.metrics.weighted_f1
         })
@@ -474,7 +475,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { seed: 42, scale: 0.08, pretrain_seed: 1234 }
+        ExperimentConfig { seed: 42, scale: 0.08, pretrain_seed: 1234, ..Default::default() }
     }
 
     #[test]

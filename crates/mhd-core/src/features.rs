@@ -17,13 +17,26 @@
 //! `OnceLock::get_or_init` — concurrent requests for the *same* key block
 //! until the single build finishes, while different keys build in parallel.
 //! Hit/miss counters make the "vectorized at most once" guarantee testable.
+//!
+//! ## Byte budget
+//!
+//! By default the cache is unbounded (every table generator assumes shared
+//! corpora stay resident for the whole run). Setting the `MHD_CACHE_BYTES`
+//! environment variable — read once when the process-wide cache is first
+//! touched — caps the *approximate* resident bytes of completed builds.
+//! When an insert pushes the total over budget, the oldest completed
+//! entries are evicted (insertion order) until the cache fits; the entry
+//! just inserted is never evicted, so an oversized corpus stays resident
+//! instead of rebuilding on every request. Entries still shared via `Arc`
+//! stay alive until their last holder drops — eviction only stops the
+//! cache from handing them out again.
 
 use mhd_corpus::builders::{build_dataset, BuildConfig, DatasetId};
 use mhd_corpus::dataset::Dataset;
 use mhd_text::hashing::fnv1a;
 use mhd_text::sparse::CsrMatrix;
 use mhd_text::tfidf::{TfidfConfig, TfidfVectorizer};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -35,6 +48,14 @@ pub struct FittedTfidf {
     pub vectorizer: Arc<TfidfVectorizer>,
     /// The training split as a CSR matrix.
     pub train_matrix: CsrMatrix,
+}
+
+impl FittedTfidf {
+    /// Approximate resident size in bytes (vectorizer + CSR train matrix),
+    /// used by cache byte-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.vectorizer.approx_bytes() + self.train_matrix.approx_bytes()
+    }
 }
 
 /// Dataset-cache key: id, seed, scale bits, label-noise bits (or the
@@ -53,6 +74,26 @@ pub struct CacheStats {
     pub tfidf_hits: usize,
     /// TF-IDF requests that triggered a fit + transform.
     pub tfidf_misses: usize,
+    /// Entries evicted to stay inside the byte budget (plus `clear` calls).
+    pub evictions: usize,
+    /// Approximate bytes of completed builds currently resident (tracked
+    /// only when a byte budget is set; always 0 on unbounded caches).
+    pub used_bytes: usize,
+}
+
+/// Budget-ledger key: which map an entry lives in, and under which key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKey {
+    Dataset(DatasetKey),
+    Tfidf(u64),
+}
+
+/// Completed builds in insertion order (oldest first) with their
+/// approximate sizes, plus the running total.
+#[derive(Default)]
+struct Ledger {
+    entries: VecDeque<(EntryKey, usize)>,
+    used: usize,
 }
 
 /// The cache. Obtain the process-wide instance with
@@ -61,22 +102,36 @@ pub struct CacheStats {
 pub struct FeatureCache {
     datasets: Mutex<HashMap<DatasetKey, Arc<OnceLock<Arc<Dataset>>>>>,
     tfidf: Mutex<HashMap<u64, Arc<OnceLock<Arc<FittedTfidf>>>>>,
+    /// `None` = unbounded (the default).
+    budget_bytes: Option<usize>,
+    ledger: Mutex<Ledger>,
     dataset_hits: AtomicUsize,
     dataset_misses: AtomicUsize,
     tfidf_hits: AtomicUsize,
     tfidf_misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl FeatureCache {
-    /// A fresh, empty cache.
+    /// A fresh, empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The process-wide cache shared by all experiment cells.
+    /// A fresh cache with an approximate byte budget (`None` = unbounded).
+    pub fn with_budget(budget_bytes: Option<usize>) -> Self {
+        FeatureCache { budget_bytes, ..Self::default() }
+    }
+
+    /// The process-wide cache shared by all experiment cells. Its byte
+    /// budget comes from `MHD_CACHE_BYTES`, read exactly once here;
+    /// unset/unparsable means unbounded (historical behavior).
     pub fn global() -> &'static FeatureCache {
         static CACHE: OnceLock<FeatureCache> = OnceLock::new();
-        CACHE.get_or_init(FeatureCache::new)
+        CACHE.get_or_init(|| {
+            let budget = std::env::var("MHD_CACHE_BYTES").ok().and_then(|v| v.parse().ok());
+            FeatureCache::with_budget(budget)
+        })
     }
 
     /// Build-or-fetch a dataset. The build runs at most once per key.
@@ -100,6 +155,7 @@ impl FeatureCache {
         if built {
             self.dataset_misses.fetch_add(1, Ordering::Relaxed);
             mhd_obs::counter_add("feature_cache.dataset.miss", 1);
+            self.record(EntryKey::Dataset(key), dataset.approx_bytes());
         } else {
             self.dataset_hits.fetch_add(1, Ordering::Relaxed);
             mhd_obs::counter_add("feature_cache.dataset.hit", 1);
@@ -126,11 +182,50 @@ impl FeatureCache {
         if built {
             self.tfidf_misses.fetch_add(1, Ordering::Relaxed);
             mhd_obs::counter_add("feature_cache.tfidf.miss", 1);
+            self.record(EntryKey::Tfidf(key), fitted.approx_bytes());
         } else {
             self.tfidf_hits.fetch_add(1, Ordering::Relaxed);
             mhd_obs::counter_add("feature_cache.tfidf.hit", 1);
         }
         Arc::clone(fitted)
+    }
+
+    /// Account for a completed build and evict the oldest entries if the
+    /// byte budget is exceeded. No-op on unbounded caches. The entry just
+    /// recorded is never evicted: an over-budget singleton stays resident
+    /// rather than rebuilding on every request.
+    fn record(&self, key: EntryKey, bytes: usize) {
+        let Some(budget) = self.budget_bytes else { return };
+        let victims: Vec<EntryKey> = {
+            let mut ledger = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+            ledger.entries.push_back((key, bytes));
+            ledger.used = ledger.used.saturating_add(bytes);
+            let mut victims = Vec::new();
+            while ledger.used > budget && ledger.entries.len() > 1 {
+                if let Some((k, b)) = ledger.entries.pop_front() {
+                    ledger.used = ledger.used.saturating_sub(b);
+                    victims.push(k);
+                }
+            }
+            victims
+        };
+        if victims.is_empty() {
+            return;
+        }
+        for victim in &victims {
+            match victim {
+                EntryKey::Dataset(k) => {
+                    let mut map = self.datasets.lock().unwrap_or_else(|e| e.into_inner());
+                    map.remove(k);
+                }
+                EntryKey::Tfidf(k) => {
+                    let mut map = self.tfidf.lock().unwrap_or_else(|e| e.into_inner());
+                    map.remove(k);
+                }
+            }
+        }
+        self.evictions.fetch_add(victims.len(), Ordering::Relaxed);
+        mhd_obs::counter_add("feature_cache.evictions", victims.len() as u64);
     }
 
     /// Evict every cached dataset and TF-IDF fit, keeping the hit/miss
@@ -148,16 +243,28 @@ impl FeatureCache {
             tfidf.clear();
             n
         };
+        {
+            let mut ledger = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+            ledger.entries.clear();
+            ledger.used = 0;
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         mhd_obs::counter_add("feature_cache.evictions", evicted as u64);
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/eviction counters and resident-byte estimate.
     pub fn stats(&self) -> CacheStats {
+        let used_bytes = {
+            let ledger = self.ledger.lock().unwrap_or_else(|e| e.into_inner());
+            ledger.used
+        };
         CacheStats {
             dataset_hits: self.dataset_hits.load(Ordering::Relaxed),
             dataset_misses: self.dataset_misses.load(Ordering::Relaxed),
             tfidf_hits: self.tfidf_hits.load(Ordering::Relaxed),
             tfidf_misses: self.tfidf_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            used_bytes,
         }
     }
 }
@@ -256,6 +363,64 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.tfidf_misses, 2);
         assert_eq!(s.tfidf_hits, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_insertion_first() {
+        // Budget of 1 byte: any second insert pushes the total over budget
+        // and evicts everything except the entry just inserted.
+        let cache = FeatureCache::with_budget(Some(1));
+        let a1 = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        assert_eq!(cache.stats().evictions, 0, "a lone over-budget entry stays resident");
+        let a_again = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        assert!(Arc::ptr_eq(&a1, &a_again), "resident entry still served");
+        let b1 = cache.tfidf_for(&TEXTS[..3], &TfidfConfig::default());
+        assert_eq!(cache.stats().evictions, 1, "inserting B evicts the older A");
+        let b2 = cache.tfidf_for(&TEXTS[..3], &TfidfConfig::default());
+        assert!(Arc::ptr_eq(&b1, &b2), "newest entry survives the eviction");
+        let a2 = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        assert!(!Arc::ptr_eq(&a1, &a2), "evicted entry must be rebuilt");
+        let s = cache.stats();
+        assert_eq!(s.tfidf_misses, 3, "A, B, then A again");
+        assert_eq!(s.tfidf_hits, 2);
+        assert_eq!(s.evictions, 2, "re-inserting A evicts B");
+    }
+
+    #[test]
+    fn byte_budget_spans_datasets_and_tfidf() {
+        // One ledger covers both layers: a dataset build can evict an older
+        // TF-IDF fit.
+        let cache = FeatureCache::with_budget(Some(1));
+        let f1 = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        let cfg = BuildConfig { seed: 3, scale: 0.05, label_noise: None };
+        let d1 = cache.dataset(DatasetId::DreadditS, &cfg);
+        assert_eq!(cache.stats().evictions, 1, "dataset insert evicts the tfidf fit");
+        let d2 = cache.dataset(DatasetId::DreadditS, &cfg);
+        assert!(Arc::ptr_eq(&d1, &d2), "dataset (newest) stays resident");
+        let f2 = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        assert!(!Arc::ptr_eq(&f1, &f2), "tfidf fit was evicted and refits");
+    }
+
+    #[test]
+    fn generous_budget_keeps_everything() {
+        let cache = FeatureCache::with_budget(Some(usize::MAX));
+        let a = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        let b = cache.tfidf_for(&TEXTS[..3], &TfidfConfig::default());
+        assert!(Arc::ptr_eq(&a, &cache.tfidf_for(&TEXTS, &TfidfConfig::default())));
+        assert!(Arc::ptr_eq(&b, &cache.tfidf_for(&TEXTS[..3], &TfidfConfig::default())));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 0);
+        assert!(s.used_bytes > 0, "budgeted caches track resident bytes");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_or_tracks() {
+        let cache = FeatureCache::new();
+        let _ = cache.tfidf_for(&TEXTS, &TfidfConfig::default());
+        let _ = cache.tfidf_for(&TEXTS[..3], &TfidfConfig::default());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 0);
+        assert_eq!(s.used_bytes, 0, "no budget, no bookkeeping");
     }
 
     #[test]

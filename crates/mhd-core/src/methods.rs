@@ -7,8 +7,8 @@ use mhd_corpus::taxonomy::Task;
 use mhd_llm::client::{ChatRequest, LlmClient};
 use mhd_llm::finetune::FineTuneJob;
 use mhd_models::{
-    EncoderClassifier, LexiconRule, LinearSvm, LogisticRegression, Majority, NaiveBayes,
-    TextClassifier, UniformRandom,
+    EncoderClassifier, EncoderClfConfig, LexiconRule, LinearSvm, LogisticRegression, Majority,
+    NaiveBayes, Precision, TextClassifier, UniformRandom,
 };
 use mhd_prompts::select::{DemoSelector, SelectorKind};
 use mhd_prompts::template::{build_prompt, Strategy};
@@ -118,10 +118,23 @@ impl MethodSpec {
     }
 }
 
-/// Build a ready-to-prepare detector from a spec.
+/// Build a ready-to-prepare detector from a spec (f32 inference).
 pub fn make_detector(spec: &MethodSpec, client: &SharedClient) -> Box<dyn Detector> {
+    make_detector_with(spec, client, Precision::F32)
+}
+
+/// Build a detector with an explicit inference precision. Only the neural
+/// `bert_mini` baseline has an int8 path; every other method ignores the
+/// switch (they are already integer/sparse or served by the LLM client).
+pub fn make_detector_with(
+    spec: &MethodSpec,
+    client: &SharedClient,
+    precision: Precision,
+) -> Box<dyn Detector> {
     match spec {
-        MethodSpec::Classical(kind) => Box::new(ClassifierDetector::new(*kind)),
+        MethodSpec::Classical(kind) => {
+            Box::new(ClassifierDetector::with_precision(*kind, precision))
+        }
         MethodSpec::Llm { model, strategy } => Box::new(PromptDetector::new(
             client.clone(),
             model.clone(),
@@ -141,16 +154,22 @@ pub fn make_detector(spec: &MethodSpec, client: &SharedClient) -> Box<dyn Detect
 /// Wraps any [`TextClassifier`] as a [`Detector`].
 pub struct ClassifierDetector {
     kind: ClassicalKind,
+    precision: Precision,
     model: Option<Box<dyn TextClassifier + Send>>,
 }
 
 impl ClassifierDetector {
-    /// New, unprepared.
+    /// New, unprepared, f32 inference.
     pub fn new(kind: ClassicalKind) -> Self {
-        ClassifierDetector { kind, model: None }
+        Self::with_precision(kind, Precision::F32)
     }
 
-    fn build(kind: ClassicalKind) -> Box<dyn TextClassifier + Send> {
+    /// New with an explicit inference precision (only `BertMini` routes it).
+    pub fn with_precision(kind: ClassicalKind, precision: Precision) -> Self {
+        ClassifierDetector { kind, precision, model: None }
+    }
+
+    fn build(kind: ClassicalKind, precision: Precision) -> Box<dyn TextClassifier + Send> {
         match kind {
             ClassicalKind::Majority => Box::new(Majority::new()),
             ClassicalKind::Random => Box::new(UniformRandom::new(7)),
@@ -158,7 +177,9 @@ impl ClassifierDetector {
             ClassicalKind::NaiveBayes => Box::new(NaiveBayes::new()),
             ClassicalKind::LogReg => Box::new(LogisticRegression::new()),
             ClassicalKind::Svm => Box::new(LinearSvm::new()),
-            ClassicalKind::BertMini => Box::new(EncoderClassifier::new()),
+            ClassicalKind::BertMini => Box::new(EncoderClassifier::with_config(
+                EncoderClfConfig { precision, ..EncoderClfConfig::default() },
+            )),
         }
     }
 }
@@ -201,7 +222,7 @@ impl Detector for ClassifierDetector {
                 Box::new(m)
             }
             _ => {
-                let mut m = Self::build(self.kind);
+                let mut m = Self::build(self.kind, self.precision);
                 m.fit(&texts, &labels, n_classes);
                 m
             }

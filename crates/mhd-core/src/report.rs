@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn single_artifact_generates() {
-        let cfg = ExperimentConfig { seed: 1, scale: 0.06, pretrain_seed: 1234 };
+        let cfg = ExperimentConfig { seed: 1, scale: 0.06, pretrain_seed: 1234, ..Default::default() };
         let t = Artifact::T1.generate(&cfg);
         assert!(t.n_rows() > 0);
         assert!(t.to_markdown().contains("T1"));

@@ -57,6 +57,14 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// Approximate resident size in bytes (struct overhead plus text
+    /// payloads), used by cache byte-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let per_example = std::mem::size_of::<Example>();
+        std::mem::size_of::<Dataset>()
+            + self.examples.iter().map(|e| per_example + e.text.capacity()).sum::<usize>()
+    }
+
     /// Examples in a given split.
     pub fn split(&self, split: Split) -> Vec<&Example> {
         self.examples.iter().filter(|e| e.split == split).collect()

@@ -22,13 +22,18 @@ const REPORT_PATH_FILES: [&str; 4] = [
 /// The evaluation hot path: a panic in any of these kills a whole sweep.
 /// `gemm.rs` is the batched training kernel layer — every fine-tune and
 /// encoder step runs through it, so it gets the same guarantee.
-const R2_FILES: [&str; 6] = [
+/// `quant.rs` and `checkpoint.rs` are the int8 serving kernels and the
+/// model-zoo container: serving and zoo loads must degrade to errors,
+/// never aborts.
+const R2_FILES: [&str; 8] = [
     "crates/mhd-core/src/pipeline.rs",
     "crates/mhd-core/src/experiments.rs",
     "crates/mhd-core/src/experiments_ext.rs",
     "crates/mhd-llm/src/client.rs",
     "crates/mhd-text/src/sparse.rs",
     "crates/mhd-nn/src/gemm.rs",
+    "crates/mhd-nn/src/quant.rs",
+    "crates/mhd-nn/src/checkpoint.rs",
 ];
 
 /// Where the shared float-format helpers live (exempt from R4 by definition).

@@ -88,6 +88,19 @@ fn gemm_kernel_path_is_in_r2_scope() {
     assert!(cold.iter().all(|f| f.rule != RuleId::R2), "{cold:?}");
 }
 
+/// The int8 serving kernels and the checkpoint container joined the R2
+/// scope when they landed: a panic during serving or a zoo load is as
+/// fatal to a sweep as one inside the training gemm.
+#[test]
+fn quant_and_checkpoint_paths_are_in_r2_scope() {
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    for path in ["crates/mhd-nn/src/quant.rs", "crates/mhd-nn/src/checkpoint.rs"] {
+        let hot = lint_source(path, src, &LintConfig::default());
+        let pins: Vec<(RuleId, usize)> = hot.into_iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(pins, vec![(RuleId::R2, 2)], "{path}");
+    }
+}
+
 #[test]
 fn r3_violations_pinned() {
     assert_eq!(lint_fixture("r3_violating.rs"), vec![(RuleId::R3, 6)]);

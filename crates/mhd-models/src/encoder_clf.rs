@@ -8,6 +8,7 @@
 
 use crate::TextClassifier;
 use mhd_nn::encoder::{Encoder, EncoderConfig};
+use mhd_nn::quant::{Precision, QuantizedEncoder};
 use mhd_nn::train::{train, TrainOptions};
 use mhd_text::tokenize::words;
 use mhd_text::vocab::Vocabulary;
@@ -31,6 +32,10 @@ pub struct EncoderClfConfig {
     pub patience: usize,
     /// Seed for init/shuffling.
     pub seed: u64,
+    /// Inference precision. Training always runs in f32; with
+    /// [`Precision::Int8`] the trained encoder is quantized once after
+    /// `fit` and all predictions run through the int8 kernels.
+    pub precision: Precision,
 }
 
 impl Default for EncoderClfConfig {
@@ -44,6 +49,7 @@ impl Default for EncoderClfConfig {
             max_epochs: 25,
             patience: 4,
             seed: 29,
+            precision: Precision::F32,
         }
     }
 }
@@ -53,6 +59,7 @@ pub struct EncoderClassifier {
     config: EncoderClfConfig,
     vocab: Option<Vocabulary>,
     encoder: Option<Encoder>,
+    qencoder: Option<QuantizedEncoder>,
 }
 
 impl EncoderClassifier {
@@ -63,11 +70,16 @@ impl EncoderClassifier {
 
     /// New with explicit hyperparameters.
     pub fn with_config(config: EncoderClfConfig) -> Self {
-        EncoderClassifier { config, vocab: None, encoder: None }
+        EncoderClassifier { config, vocab: None, encoder: None, qencoder: None }
+    }
+
+    /// The inference precision this classifier was configured with.
+    pub fn precision(&self) -> Precision {
+        self.config.precision
     }
 
     fn encode(&self, text: &str) -> Vec<u32> {
-        let vocab = self.vocab.as_ref().expect("fit builds vocab");
+        let vocab = self.vocab.as_ref().expect("EncoderClassifier::fit not called");
         words(text).iter().filter_map(|w| vocab.id(w)).collect()
     }
 }
@@ -133,21 +145,38 @@ impl TextClassifier for EncoderClassifier {
             mhd_obs::counter_add("models.encoder.fits", 1);
             mhd_obs::counter_add("models.encoder.epochs", report.epochs as u64);
         }
+        if self.config.precision == Precision::Int8 {
+            let _s = mhd_obs::span("encoder.quantize");
+            self.qencoder = Some(encoder.quantize());
+            mhd_obs::counter_add("models.encoder.quantized", 1);
+        }
         self.vocab = Some(vocab);
         self.encoder = Some(encoder);
     }
 
     fn predict_proba(&self, text: &str) -> Vec<f64> {
-        let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
         let ids = self.encode(text);
-        encoder.predict_proba(&ids).into_iter().map(|p| p as f64).collect()
+        let probs = match self.qencoder.as_ref() {
+            Some(q) => q.predict_proba(&ids),
+            None => {
+                let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
+                encoder.predict_proba(&ids)
+            }
+        };
+        probs.into_iter().map(|p| p as f64).collect()
     }
 
     fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
-        let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
+        // `encode` asserts fit was called (it needs the vocabulary).
         let docs: Vec<Vec<u32>> = texts.iter().map(|t| self.encode(t)).collect();
-        encoder
-            .predict_proba_batch(&docs)
+        let probs = match self.qencoder.as_ref() {
+            Some(q) => q.predict_proba_batch(&docs),
+            None => {
+                let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
+                encoder.predict_proba_batch(&docs)
+            }
+        };
+        probs
             .into_iter()
             .map(|p| p.into_iter().map(|v| v as f64).collect())
             .collect()
@@ -196,6 +225,40 @@ mod tests {
     #[should_panic(expected = "fit not called")]
     fn requires_fit() {
         EncoderClassifier::new().predict("x");
+    }
+
+    /// Int8 inference must stay close to the f32 path on the same trained
+    /// weights: class probabilities within a small delta and near-total
+    /// argmax agreement.
+    #[test]
+    fn int8_precision_tracks_f32() {
+        let (texts, labels) = toy_corpus();
+        let mut f32_clf = EncoderClassifier::with_config(fast());
+        f32_clf.fit(&texts, &labels, 2);
+        let mut i8_clf = EncoderClassifier::with_config(EncoderClfConfig {
+            precision: Precision::Int8,
+            ..fast()
+        });
+        i8_clf.fit(&texts, &labels, 2);
+        assert_eq!(i8_clf.precision(), Precision::Int8);
+        let pf = f32_clf.predict_proba_batch(&texts);
+        let pq = i8_clf.predict_proba_batch(&texts);
+        let mut agree = 0usize;
+        let mut max_delta = 0.0f64;
+        for (rf, rq) in pf.iter().zip(&pq) {
+            assert!((rq.iter().sum::<f64>() - 1.0).abs() < 1e-5);
+            for (a, b) in rf.iter().zip(rq) {
+                max_delta = max_delta.max((a - b).abs());
+            }
+            let am = |r: &[f64]| {
+                r.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i)
+            };
+            if am(rf) == am(rq) {
+                agree += 1;
+            }
+        }
+        assert!(max_delta < 0.1, "int8 drifted from f32: max prob delta {max_delta}");
+        assert!(agree * 100 >= texts.len() * 95, "argmax agreement {agree}/{}", texts.len());
     }
 
     /// The batched override must agree with the per-text path bit for bit

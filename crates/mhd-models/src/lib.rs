@@ -22,12 +22,15 @@ pub mod naive_bayes;
 pub mod svm;
 pub mod trivial;
 
-pub use encoder_clf::EncoderClassifier;
+pub use encoder_clf::{EncoderClassifier, EncoderClfConfig};
 pub use lexicon_rule::LexiconRule;
 pub use logreg::LogisticRegression;
 pub use naive_bayes::NaiveBayes;
 pub use svm::LinearSvm;
 pub use trivial::{Majority, UniformRandom};
+// Inference precision switch, re-exported so downstream crates don't need a
+// direct mhd-nn dependency just to select int8 serving.
+pub use mhd_nn::quant::Precision;
 
 /// A trainable text classifier. `fit` must be called before prediction.
 pub trait TextClassifier {

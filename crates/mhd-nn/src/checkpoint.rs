@@ -1,0 +1,583 @@
+//! Binary, memory-mappable model checkpoints.
+//!
+//! A deterministic little-endian container for the model zoo: write the
+//! same tensors and you get the same bytes, byte for byte, on any
+//! platform. Layout (all integers little-endian):
+//!
+//! ```text
+//! offset 0   magic        8 B   "MHDCKPT\0"
+//!        8   version      u32   container schema (currently 1)
+//!       12   n_meta       u32
+//!       16   n_tensors    u32
+//!       20   meta entries, sorted by key:
+//!              klen u32 · key bytes · vlen u32 · value bytes
+//!        …   tensor directory, sorted by name:
+//!              nlen u32 · name bytes · dtype u8 (0 = f32, 1 = i8)
+//!              · rows u64 · cols u64 · offset u64 · byte_len u64
+//!        …   zero padding to the next 64-byte boundary
+//!        …   tensor payloads, each starting 64-byte aligned
+//!  len − 8   checksum     u64   FNV-1a-64 of every preceding byte
+//! ```
+//!
+//! Offsets in the directory are absolute file offsets, each a multiple
+//! of 64, so a reader may take **zero-copy aligned views** straight into
+//! the loaded buffer ([`Checkpoint::view`]) — no parse or copy cost
+//! beyond the single sequential file read. The typed accessors
+//! ([`Checkpoint::tensor_f32`] / [`Checkpoint::tensor_i8`]) decode a
+//! payload in one bulk pass when an owned vector is wanted.
+//!
+//! Every failure mode (bad magic, unknown version, truncation, checksum
+//! mismatch, missing/mistyped tensors) is a typed [`CheckpointError`] —
+//! this module never panics on untrusted bytes (lint rule R2; pinned by
+//! `tests/checkpoint_golden.rs`).
+
+use mhd_obs::{counter_add, span, StatCell, StatTimer};
+use std::fmt;
+use std::path::Path;
+
+static T_CKPT_LOAD: StatCell = StatCell::new("nn.checkpoint.load");
+static T_CKPT_SAVE: StatCell = StatCell::new("nn.checkpoint.save");
+
+/// File magic, first 8 bytes of every checkpoint.
+pub const MAGIC: [u8; 8] = *b"MHDCKPT\0";
+/// Container schema version written by [`Writer`].
+pub const VERSION: u32 = 1;
+/// Payload alignment: every tensor starts on a 64-byte boundary.
+pub const ALIGN: usize = 64;
+
+/// Element type of a stored tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DType {
+    /// Little-endian IEEE-754 f32.
+    F32,
+    /// Signed 8-bit integer (quantized weights).
+    I8,
+}
+
+impl DType {
+    fn code(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::I8 => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<DType> {
+        match c {
+            0 => Some(DType::F32),
+            1 => Some(DType::I8),
+            _ => None,
+        }
+    }
+
+    /// Bytes per element.
+    pub fn size(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I8 => 1,
+        }
+    }
+}
+
+/// Typed error for every way a checkpoint can fail to round-trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic,
+    /// Container version newer than this reader understands.
+    UnsupportedVersion(u32),
+    /// The buffer ends before a structure it promises.
+    Truncated,
+    /// Stored FNV-1a-64 does not match the bytes.
+    ChecksumMismatch,
+    /// A requested tensor name is absent.
+    MissingTensor(String),
+    /// A requested tensor exists with a different dtype.
+    WrongDtype(String),
+    /// A requested metadata key is absent or unparsable.
+    BadMeta(String),
+    /// Structurally invalid contents (misaligned payload, bad shape, …).
+    Malformed(String),
+    /// Underlying filesystem error.
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint checksum mismatch"),
+            CheckpointError::MissingTensor(n) => write!(f, "missing tensor `{n}`"),
+            CheckpointError::WrongDtype(n) => write!(f, "tensor `{n}` has the wrong dtype"),
+            CheckpointError::BadMeta(k) => write!(f, "missing or invalid metadata `{k}`"),
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint: {m}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a 64-bit over a byte slice — small, dependency-free, and stable
+/// across platforms; collision resistance is irrelevant here (the
+/// checksum guards against corruption, not adversaries).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Render an f32 for metadata: hex of the IEEE bits, so the round trip
+/// is exact (decimal would drift).
+pub fn f32_meta(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+/// Render a usize for metadata.
+pub fn usize_meta(v: usize) -> String {
+    format!("{v}")
+}
+
+/// Render a u64 for metadata.
+pub fn u64_meta(v: u64) -> String {
+    format!("{v}")
+}
+
+/// Accumulates metadata and tensors, then serialises the container.
+/// Entry order does not matter: keys and names are sorted at
+/// [`Writer::to_bytes`] time, which is what makes output deterministic.
+#[derive(Debug, Default)]
+pub struct Writer {
+    meta: Vec<(String, String)>,
+    tensors: Vec<(String, DType, usize, usize, Vec<u8>)>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Add a metadata key/value pair.
+    pub fn meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.to_string(), value.to_string()));
+    }
+
+    /// Add an f32 tensor (row-major `rows × cols`).
+    pub fn tensor_f32(&mut self, name: &str, rows: usize, cols: usize, data: &[f32]) {
+        debug_assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for v in data {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.tensors.push((name.to_string(), DType::F32, rows, cols, bytes));
+    }
+
+    /// Add an i8 tensor (row-major `rows × cols`).
+    pub fn tensor_i8(&mut self, name: &str, rows: usize, cols: usize, data: &[i8]) {
+        debug_assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
+        let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
+        self.tensors.push((name.to_string(), DType::I8, rows, cols, bytes));
+    }
+
+    /// Serialise the container. Deterministic: same entries → same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = self.meta.clone();
+        meta.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut order: Vec<usize> = (0..self.tensors.len()).collect();
+        order.sort_by(|&a, &b| self.tensors[a].0.cmp(&self.tensors[b].0));
+
+        // Pass 1: size of everything before the payloads.
+        let mut head_len = MAGIC.len() + 4 + 4 + 4;
+        for (k, v) in &meta {
+            head_len += 4 + k.len() + 4 + v.len();
+        }
+        for &i in &order {
+            let (name, ..) = &self.tensors[i];
+            head_len += 4 + name.len() + 1 + 8 + 8 + 8 + 8;
+        }
+        // Pass 2: assign aligned payload offsets.
+        let mut offsets = vec![0u64; self.tensors.len()];
+        let mut cursor = head_len.next_multiple_of(ALIGN);
+        for &i in &order {
+            offsets[i] = cursor as u64;
+            cursor += self.tensors[i].4.len().next_multiple_of(ALIGN);
+        }
+
+        let mut out = Vec::with_capacity(cursor + 8);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
+        for (k, v) in &meta {
+            out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+            out.extend_from_slice(k.as_bytes());
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+        for &i in &order {
+            let (name, dtype, rows, cols, bytes) = &self.tensors[i];
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.push(dtype.code());
+            out.extend_from_slice(&(*rows as u64).to_le_bytes());
+            out.extend_from_slice(&(*cols as u64).to_le_bytes());
+            out.extend_from_slice(&offsets[i].to_le_bytes());
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        }
+        out.resize(head_len.next_multiple_of(ALIGN), 0);
+        for &i in &order {
+            debug_assert_eq!(out.len() as u64, offsets[i]);
+            let bytes = &self.tensors[i].4;
+            out.extend_from_slice(bytes);
+            out.resize(out.len().next_multiple_of(ALIGN), 0);
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Serialise and write to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let _t = StatTimer::start(&T_CKPT_SAVE);
+        let _s = span("checkpoint.save");
+        let bytes = self.to_bytes();
+        counter_add("checkpoint.bytes_written", bytes.len() as u64);
+        std::fs::write(path, &bytes).map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+}
+
+/// One entry of the tensor directory.
+#[derive(Debug, Clone)]
+struct DirEntry {
+    name: String,
+    dtype: DType,
+    rows: usize,
+    cols: usize,
+    offset: usize,
+    byte_len: usize,
+}
+
+/// A zero-copy view of one tensor's payload inside a loaded checkpoint.
+/// `bytes` points into the checkpoint's buffer at a 64-byte-aligned
+/// offset; no per-element work has been done.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorView<'a> {
+    /// Element type.
+    pub dtype: DType,
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Raw little-endian payload, `rows·cols·dtype.size()` bytes.
+    pub bytes: &'a [u8],
+}
+
+/// A loaded, validated checkpoint: the raw buffer plus its parsed
+/// metadata and tensor directory (both name-sorted).
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    buf: Vec<u8>,
+    meta: Vec<(String, String)>,
+    dir: Vec<DirEntry>,
+}
+
+fn take<'a>(buf: &'a [u8], off: &mut usize, len: usize) -> Result<&'a [u8], CheckpointError> {
+    let end = off.checked_add(len).ok_or(CheckpointError::Truncated)?;
+    let s = buf.get(*off..end).ok_or(CheckpointError::Truncated)?;
+    *off = end;
+    Ok(s)
+}
+
+fn read_u32(buf: &[u8], off: &mut usize) -> Result<u32, CheckpointError> {
+    let s = take(buf, off, 4)?;
+    let arr: [u8; 4] = s.try_into().map_err(|_| CheckpointError::Truncated)?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+fn read_u64(buf: &[u8], off: &mut usize) -> Result<u64, CheckpointError> {
+    let s = take(buf, off, 8)?;
+    let arr: [u8; 8] = s.try_into().map_err(|_| CheckpointError::Truncated)?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+fn read_str(buf: &[u8], off: &mut usize) -> Result<String, CheckpointError> {
+    let len = read_u32(buf, off)? as usize;
+    let s = take(buf, off, len)?;
+    String::from_utf8(s.to_vec())
+        .map_err(|_| CheckpointError::Malformed("non-utf8 name".to_string()))
+}
+
+impl Checkpoint {
+    /// Parse and validate a checkpoint from an owned buffer: magic,
+    /// version, checksum, directory bounds, and payload alignment are
+    /// all checked before any accessor can run.
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self, CheckpointError> {
+        if buf.len() < MAGIC.len() + 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        if buf.get(..MAGIC.len()) != Some(&MAGIC[..]) {
+            return Err(CheckpointError::BadMagic);
+        }
+        let body_len = buf.len() - 8;
+        let stored = {
+            let mut off = body_len;
+            read_u64(&buf, &mut off)?
+        };
+        if fnv1a64(buf.get(..body_len).unwrap_or_default()) != stored {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+        let body = buf.get(..body_len).unwrap_or_default();
+        let mut off = MAGIC.len();
+        let version = read_u32(body, &mut off)?;
+        if version > VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let n_meta = read_u32(body, &mut off)? as usize;
+        let n_tensors = read_u32(body, &mut off)? as usize;
+        let mut meta = Vec::with_capacity(n_meta);
+        for _ in 0..n_meta {
+            let k = read_str(body, &mut off)?;
+            let v = read_str(body, &mut off)?;
+            meta.push((k, v));
+        }
+        let mut dir = Vec::with_capacity(n_tensors);
+        for _ in 0..n_tensors {
+            let name = read_str(body, &mut off)?;
+            let code = *take(body, &mut off, 1)?.first().ok_or(CheckpointError::Truncated)?;
+            let dtype = DType::from_code(code)
+                .ok_or_else(|| CheckpointError::Malformed(format!("unknown dtype {code}")))?;
+            let rows = read_u64(body, &mut off)? as usize;
+            let cols = read_u64(body, &mut off)? as usize;
+            let offset = read_u64(body, &mut off)? as usize;
+            let byte_len = read_u64(body, &mut off)? as usize;
+            if !offset.is_multiple_of(ALIGN) {
+                return Err(CheckpointError::Malformed(format!("tensor `{name}` misaligned")));
+            }
+            if byte_len != rows.saturating_mul(cols).saturating_mul(dtype.size()) {
+                return Err(CheckpointError::Malformed(format!("tensor `{name}` shape/length")));
+            }
+            if offset.checked_add(byte_len).map(|end| end > body_len).unwrap_or(true) {
+                return Err(CheckpointError::Truncated);
+            }
+            dir.push(DirEntry { name, dtype, rows, cols, offset, byte_len });
+        }
+        Ok(Checkpoint { buf, meta, dir })
+    }
+
+    /// Read and validate a checkpoint file in one sequential pass.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let _t = StatTimer::start(&T_CKPT_LOAD);
+        let _s = span("checkpoint.load");
+        let buf = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        counter_add("checkpoint.bytes_read", buf.len() as u64);
+        Self::from_bytes(buf)
+    }
+
+    /// Metadata value for `key`, if present.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// All metadata pairs, key-sorted.
+    pub fn meta_entries(&self) -> &[(String, String)] {
+        &self.meta
+    }
+
+    /// Parse a usize metadata value.
+    pub fn meta_usize(&self, key: &str) -> Result<usize, CheckpointError> {
+        self.meta(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::BadMeta(key.to_string()))
+    }
+
+    /// Parse a u64 metadata value.
+    pub fn meta_u64(&self, key: &str) -> Result<u64, CheckpointError> {
+        self.meta(key)
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::BadMeta(key.to_string()))
+    }
+
+    /// Parse an f32 metadata value written by [`f32_meta`].
+    pub fn meta_f32(&self, key: &str) -> Result<f32, CheckpointError> {
+        self.meta(key)
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .map(f32::from_bits)
+            .ok_or_else(|| CheckpointError::BadMeta(key.to_string()))
+    }
+
+    /// Names of every stored tensor, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.dir.iter().map(|e| e.name.as_str())
+    }
+
+    /// Number of stored tensors.
+    pub fn n_tensors(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// Total container size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn entry(&self, name: &str) -> Result<&DirEntry, CheckpointError> {
+        self.dir
+            .iter()
+            .find(|e| e.name == name)
+            .ok_or_else(|| CheckpointError::MissingTensor(name.to_string()))
+    }
+
+    /// Zero-copy aligned view of a tensor's payload bytes.
+    pub fn view(&self, name: &str) -> Result<TensorView<'_>, CheckpointError> {
+        let e = self.entry(name)?;
+        let bytes =
+            self.buf.get(e.offset..e.offset + e.byte_len).ok_or(CheckpointError::Truncated)?;
+        Ok(TensorView { dtype: e.dtype, rows: e.rows, cols: e.cols, bytes })
+    }
+
+    /// Decode an f32 tensor into `(rows, cols, data)` in one bulk pass.
+    pub fn tensor_f32(&self, name: &str) -> Result<(usize, usize, Vec<f32>), CheckpointError> {
+        let v = self.view(name)?;
+        if v.dtype != DType::F32 {
+            return Err(CheckpointError::WrongDtype(name.to_string()));
+        }
+        let mut data = Vec::with_capacity(v.rows * v.cols);
+        for c in v.bytes.chunks_exact(4) {
+            let arr: [u8; 4] = c.try_into().map_err(|_| CheckpointError::Truncated)?;
+            data.push(f32::from_le_bytes(arr));
+        }
+        Ok((v.rows, v.cols, data))
+    }
+
+    /// Decode an i8 tensor into `(rows, cols, data)`.
+    pub fn tensor_i8(&self, name: &str) -> Result<(usize, usize, Vec<i8>), CheckpointError> {
+        let v = self.view(name)?;
+        if v.dtype != DType::I8 {
+            return Err(CheckpointError::WrongDtype(name.to_string()));
+        }
+        Ok((v.rows, v.cols, v.bytes.iter().map(|&b| b as i8).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Writer {
+        let mut w = Writer::new();
+        w.meta("zoo", "test");
+        w.meta("alpha", "first");
+        w.tensor_f32("m/w", 2, 3, &[1.0, -2.0, 3.5, 0.0, 4.25, -0.125]);
+        w.tensor_i8("m/q", 1, 4, &[-128, -1, 0, 127]);
+        w
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let bytes = sample().to_bytes();
+        let ck = Checkpoint::from_bytes(bytes).expect("parse");
+        assert_eq!(ck.meta("zoo"), Some("test"));
+        assert_eq!(ck.meta("alpha"), Some("first"));
+        assert_eq!(ck.meta("missing"), None);
+        let names: Vec<&str> = ck.names().collect();
+        assert_eq!(names, vec!["m/q", "m/w"], "directory is name-sorted");
+        let (r, c, data) = ck.tensor_f32("m/w").expect("f32 tensor");
+        assert_eq!((r, c), (2, 3));
+        assert_eq!(data, vec![1.0, -2.0, 3.5, 0.0, 4.25, -0.125]);
+        let (_, _, q) = ck.tensor_i8("m/q").expect("i8 tensor");
+        assert_eq!(q, vec![-128, -1, 0, 127]);
+    }
+
+    #[test]
+    fn deterministic_regardless_of_insertion_order() {
+        let mut w2 = Writer::new();
+        w2.tensor_i8("m/q", 1, 4, &[-128, -1, 0, 127]);
+        w2.meta("alpha", "first");
+        w2.tensor_f32("m/w", 2, 3, &[1.0, -2.0, 3.5, 0.0, 4.25, -0.125]);
+        w2.meta("zoo", "test");
+        assert_eq!(sample().to_bytes(), w2.to_bytes());
+    }
+
+    #[test]
+    fn payloads_are_aligned() {
+        let bytes = sample().to_bytes();
+        let ck = Checkpoint::from_bytes(bytes).expect("parse");
+        for name in ["m/w", "m/q"] {
+            let v = ck.view(name).expect("view");
+            // The view's pointer offset into the buffer is a multiple of
+            // ALIGN by the directory invariant checked at parse time.
+            assert_eq!(v.bytes.as_ptr() as usize % 4, 0, "f32-viewable");
+            assert!(!v.bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn meta_typed_helpers() {
+        let mut w = Writer::new();
+        w.meta("n", &usize_meta(42));
+        w.meta("s", &u64_meta(u64::MAX));
+        w.meta("f", &f32_meta(-0.1));
+        let ck = Checkpoint::from_bytes(w.to_bytes()).expect("parse");
+        assert_eq!(ck.meta_usize("n").expect("n"), 42);
+        assert_eq!(ck.meta_u64("s").expect("s"), u64::MAX);
+        assert_eq!(ck.meta_f32("f").expect("f"), -0.1);
+        assert!(matches!(ck.meta_usize("absent"), Err(CheckpointError::BadMeta(_))));
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let good = sample().to_bytes();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(Checkpoint::from_bytes(bad).unwrap_err(), CheckpointError::BadMagic);
+        // Truncation at every prefix length must error, never panic.
+        for cut in [0, 7, 12, 19, good.len() / 2, good.len() - 1] {
+            let res = Checkpoint::from_bytes(good[..cut].to_vec());
+            assert!(res.is_err(), "cut at {cut} accepted");
+        }
+        // Flip a payload byte: checksum must catch it.
+        let mut flipped = good.clone();
+        let mid = good.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert_eq!(
+            Checkpoint::from_bytes(flipped).unwrap_err(),
+            CheckpointError::ChecksumMismatch
+        );
+        // Future version is rejected after checksum repair.
+        let mut vbump = good.clone();
+        vbump[8] = 99;
+        let body = vbump.len() - 8;
+        let sum = fnv1a64(&vbump[..body]);
+        vbump.truncate(body);
+        vbump.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Checkpoint::from_bytes(vbump).unwrap_err(),
+            CheckpointError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn missing_and_mistyped_tensors_error() {
+        let ck = Checkpoint::from_bytes(sample().to_bytes()).expect("parse");
+        assert!(matches!(ck.tensor_f32("nope"), Err(CheckpointError::MissingTensor(_))));
+        assert!(matches!(ck.tensor_f32("m/q"), Err(CheckpointError::WrongDtype(_))));
+        assert!(matches!(ck.tensor_i8("m/w"), Err(CheckpointError::WrongDtype(_))));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -22,6 +22,7 @@
 //! to the per-example reference ([`Encoder::train_batch_reference`]) at
 //! any thread count.
 
+use crate::checkpoint;
 use crate::gemm::{self, Workspace};
 use crate::linalg::{
     affine, affine_backward_input, affine_backward_params, dot, relu_backward, relu_inplace,
@@ -474,6 +475,88 @@ impl Encoder {
     pub fn attention(&self, tokens: &[u32]) -> Vec<f32> {
         self.forward(tokens).1.alpha
     }
+
+    /// Quantize the trained weights into an int8 inference model: the
+    /// three heavy GEMMs run int8, embeddings/tanh/softmax stay f32
+    /// (see [`crate::quant::QuantizedEncoder`]).
+    pub fn quantize(&self) -> crate::quant::QuantizedEncoder {
+        crate::quant::QuantizedEncoder::from_parts(
+            self.cfg,
+            &self.emb.data,
+            &self.att_w.data,
+            &self.att_v.data,
+            &self.w1.data,
+            &self.b1.data,
+            &self.w2.data,
+            &self.b2.data,
+        )
+    }
+
+    /// Serialize the f32 parameters under `prefix` into a checkpoint
+    /// writer (optimizer state is not persisted).
+    pub fn write_checkpoint(&self, prefix: &str, w: &mut checkpoint::Writer) {
+        w.meta(&format!("{prefix}.kind"), "encoder");
+        w.meta(&format!("{prefix}.vocab_size"), &checkpoint::usize_meta(self.cfg.vocab_size));
+        w.meta(&format!("{prefix}.embed_dim"), &checkpoint::usize_meta(self.cfg.embed_dim));
+        w.meta(&format!("{prefix}.hidden_dim"), &checkpoint::usize_meta(self.cfg.hidden_dim));
+        w.meta(&format!("{prefix}.n_classes"), &checkpoint::usize_meta(self.cfg.n_classes));
+        w.meta(&format!("{prefix}.max_len"), &checkpoint::usize_meta(self.cfg.max_len));
+        w.meta(&format!("{prefix}.lr"), &checkpoint::f32_meta(self.cfg.lr));
+        w.meta(&format!("{prefix}.seed"), &checkpoint::u64_meta(self.cfg.seed));
+        for (name, t) in [
+            ("emb", &self.emb),
+            ("att_w", &self.att_w),
+            ("att_v", &self.att_v),
+            ("w1", &self.w1),
+            ("b1", &self.b1),
+            ("w2", &self.w2),
+            ("b2", &self.b2),
+        ] {
+            w.tensor_f32(&format!("{prefix}/{name}"), t.rows, t.cols, &t.data);
+        }
+    }
+
+    /// Deserialize a model written by [`Encoder::write_checkpoint`].
+    pub fn from_checkpoint(
+        ck: &checkpoint::Checkpoint,
+        prefix: &str,
+    ) -> Result<Encoder, checkpoint::CheckpointError> {
+        let cfg = EncoderConfig {
+            vocab_size: ck.meta_usize(&format!("{prefix}.vocab_size"))?,
+            embed_dim: ck.meta_usize(&format!("{prefix}.embed_dim"))?,
+            hidden_dim: ck.meta_usize(&format!("{prefix}.hidden_dim"))?,
+            n_classes: ck.meta_usize(&format!("{prefix}.n_classes"))?,
+            max_len: ck.meta_usize(&format!("{prefix}.max_len"))?,
+            lr: ck.meta_f32(&format!("{prefix}.lr"))?,
+            seed: ck.meta_u64(&format!("{prefix}.seed"))?,
+        };
+        let tensor = |name: &str| -> Result<Tensor, checkpoint::CheckpointError> {
+            let (rows, cols, data) = ck.tensor_f32(&format!("{prefix}/{name}"))?;
+            Ok(Tensor { rows, cols, grad: vec![0.0; data.len()], data })
+        };
+        let emb = tensor("emb")?;
+        let att_w = tensor("att_w")?;
+        let att_v = tensor("att_v")?;
+        let w1 = tensor("w1")?;
+        let b1 = tensor("b1")?;
+        let w2 = tensor("w2")?;
+        let b2 = tensor("b2")?;
+        let d = cfg.embed_dim;
+        if emb.len() != cfg.vocab_size * d
+            || att_w.len() != d * d
+            || att_v.len() != d
+            || w1.len() != cfg.hidden_dim * d
+            || w2.len() != cfg.n_classes * cfg.hidden_dim
+        {
+            return Err(checkpoint::CheckpointError::Malformed(
+                "encoder tensor shape mismatch".to_string(),
+            ));
+        }
+        let sizes =
+            [emb.len(), att_w.len(), att_v.len(), w1.len(), b1.len(), w2.len(), b2.len()];
+        let opt = Adam::new(cfg.lr, &sizes);
+        Ok(Encoder { cfg, emb, att_w, att_v, w1, b1, w2, b2, opt, ws: Workspace::new() })
+    }
 }
 
 #[cfg(test)]
@@ -684,6 +767,56 @@ mod tests {
             let rb: Vec<u32> = r.data.iter().map(|v| v.to_bits()).collect();
             assert_eq!(tb, rb, "{name} diverged");
         }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        let (docs, ys) = toy_data();
+        let mut enc = Encoder::new(cfg(2));
+        for _ in 0..10 {
+            enc.train_batch(&docs, &ys);
+        }
+        let mut w = checkpoint::Writer::new();
+        enc.write_checkpoint("enc", &mut w);
+        let ck = checkpoint::Checkpoint::from_bytes(w.to_bytes()).expect("parse");
+        let loaded = Encoder::from_checkpoint(&ck, "enc").expect("load");
+        for doc in &docs {
+            let (a, b) = (enc.predict_proba(doc), loaded.predict_proba(doc));
+            let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+        assert_eq!(loaded.config().max_len, enc.config().max_len);
+    }
+
+    /// Quantized inference tracks f32 on a trained encoder: small
+    /// probability deltas, near-total argmax agreement.
+    #[test]
+    fn quantized_encoder_tracks_f32() {
+        let (docs, ys) = toy_data();
+        let mut enc = Encoder::new(cfg(2));
+        for _ in 0..60 {
+            enc.train_batch(&docs, &ys);
+        }
+        let q = enc.quantize();
+        let pf = enc.predict_proba_batch(&docs);
+        let pq = q.predict_proba_batch(&docs);
+        let mut max_delta = 0.0f32;
+        let mut agree = 0usize;
+        for (f, qq) in pf.iter().zip(&pq) {
+            for (&a, &b) in f.iter().zip(qq) {
+                max_delta = max_delta.max((a - b).abs());
+            }
+            if crate::mlp::argmax(f) == crate::mlp::argmax(qq) {
+                agree += 1;
+            }
+        }
+        assert!(max_delta < 0.08, "max per-class probability delta {max_delta}");
+        assert!(agree * 100 >= docs.len() * 95, "argmax agreement {agree}/{}", docs.len());
+        // Empty and OOV docs stay safe through the quantized path too.
+        let p = q.predict_proba(&[]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
     }
 
     #[test]

@@ -18,26 +18,37 @@
 //! - [`encoder`] — attention-pooled text encoder classifier
 //! - [`lora`] — low-rank adapters over a frozen linear map
 //! - [`train`] — mini-batch training loop with early stopping
+//! - [`quant`] — int8 inference path (per-row symmetric scales, i32
+//!   accumulation, [`QuantizedMlp`] / [`QuantizedEncoder`] wrappers)
+//! - [`checkpoint`] — deterministic binary container for saving and
+//!   loading the model zoo with zero-copy tensor views
 //!
 //! Training and batched inference run on the [`gemm`] kernels; the
 //! [`linalg`] scalar kernels remain the semantic reference, and the
 //! batched paths are tested to reproduce them byte-for-byte at any
-//! thread count (see `tests/gemm_props.rs`).
+//! thread count (see `tests/gemm_props.rs`). Int8 inference trades a
+//! bounded quantization error (see `tests/quant_props.rs`) for speed;
+//! its integer accumulation is exact, so it is deterministic at any
+//! thread count by construction.
 
 #![allow(clippy::needless_range_loop)] // index loops are the clearest idiom for the dense kernels
 
+pub mod checkpoint;
 pub mod encoder;
 pub mod gemm;
 pub mod linalg;
 pub mod lora;
 pub mod mlp;
 pub mod optim;
+pub mod quant;
 pub mod tensor;
 pub mod train;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use encoder::Encoder;
 pub use gemm::Workspace;
 pub use lora::LoraAdapter;
 pub use mlp::Mlp;
 pub use optim::Adam;
+pub use quant::{Precision, QuantizedEncoder, QuantizedMlp};
 pub use tensor::Tensor;

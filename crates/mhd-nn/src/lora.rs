@@ -5,6 +5,7 @@
 //! receive gradients — exactly the mechanism used to instruction-fine-tune
 //! the simulated LLM backbone in `mhd-llm`.
 
+use crate::checkpoint;
 use crate::gemm::{self, pack_rows, Workspace};
 use crate::linalg::{softmax_xent, softmax_xent_rows};
 use crate::optim::Adam;
@@ -220,6 +221,64 @@ impl LoraAdapter {
         opt.step(&mut [a, b], Some(5.0));
     }
 
+    /// Serialize the adapter (frozen base included, so a checkpoint is
+    /// self-contained) under `prefix` into a checkpoint writer.
+    pub fn write_checkpoint(&self, prefix: &str, w: &mut checkpoint::Writer) {
+        w.meta(&format!("{prefix}.kind"), "lora");
+        w.meta(&format!("{prefix}.m"), &checkpoint::usize_meta(self.m));
+        w.meta(&format!("{prefix}.n"), &checkpoint::usize_meta(self.n));
+        w.meta(&format!("{prefix}.rank"), &checkpoint::usize_meta(self.rank));
+        w.meta(&format!("{prefix}.scaling"), &checkpoint::f32_meta(self.scaling));
+        w.meta(&format!("{prefix}.lr"), &checkpoint::f32_meta(self.opt.lr));
+        w.tensor_f32(&format!("{prefix}/base"), self.m, self.n, &self.base);
+        w.tensor_f32(&format!("{prefix}/base_bias"), 1, self.m, &self.base_bias);
+        w.tensor_f32(&format!("{prefix}/a"), self.a.rows, self.a.cols, &self.a.data);
+        w.tensor_f32(&format!("{prefix}/b"), self.b.rows, self.b.cols, &self.b.data);
+    }
+
+    /// Deserialize an adapter written by [`LoraAdapter::write_checkpoint`].
+    pub fn from_checkpoint(
+        ck: &checkpoint::Checkpoint,
+        prefix: &str,
+    ) -> Result<LoraAdapter, checkpoint::CheckpointError> {
+        let m = ck.meta_usize(&format!("{prefix}.m"))?;
+        let n = ck.meta_usize(&format!("{prefix}.n"))?;
+        let rank = ck.meta_usize(&format!("{prefix}.rank"))?;
+        let scaling = ck.meta_f32(&format!("{prefix}.scaling"))?;
+        let lr = ck.meta_f32(&format!("{prefix}.lr"))?;
+        let (_, _, base) = ck.tensor_f32(&format!("{prefix}/base"))?;
+        let (_, _, base_bias) = ck.tensor_f32(&format!("{prefix}/base_bias"))?;
+        let tensor = |name: &str| -> Result<Tensor, checkpoint::CheckpointError> {
+            let (rows, cols, data) = ck.tensor_f32(&format!("{prefix}/{name}"))?;
+            Ok(Tensor { rows, cols, grad: vec![0.0; data.len()], data })
+        };
+        let a = tensor("a")?;
+        let b = tensor("b")?;
+        if base.len() != m * n
+            || base_bias.len() != m
+            || a.len() != n * rank
+            || b.len() != m * rank
+            || rank == 0
+        {
+            return Err(checkpoint::CheckpointError::Malformed(
+                "lora tensor shape mismatch".to_string(),
+            ));
+        }
+        let sizes = [a.len(), b.len()];
+        Ok(LoraAdapter {
+            m,
+            n,
+            rank,
+            base,
+            base_bias,
+            a,
+            b,
+            scaling,
+            opt: Adam::new(lr, &sizes),
+            ws: Workspace::new(),
+        })
+    }
+
     /// Number of *trainable* parameters (the adapter only).
     pub fn trainable_params(&self) -> usize {
         self.a.len() + self.b.len()
@@ -309,6 +368,29 @@ mod tests {
     #[should_panic(expected = "rank")]
     fn zero_rank_rejected() {
         LoraAdapter::new(vec![0.0; 4], vec![0.0; 2], 2, 2, 0, 0.1, 1);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_forward() {
+        let base = vec![0.3, -0.2, 0.1, 0.5, 0.4, -0.6];
+        let mut adapter = LoraAdapter::new(base, vec![0.1, -0.1], 2, 3, 2, 0.05, 7);
+        let xs = vec![vec![1.0, -0.5, 0.25], vec![0.0, 2.0, -1.0]];
+        let ys = vec![0, 1];
+        for _ in 0..10 {
+            adapter.train_batch(&xs, &ys);
+        }
+        let mut w = checkpoint::Writer::new();
+        adapter.write_checkpoint("lora", &mut w);
+        let ck = checkpoint::Checkpoint::from_bytes(w.to_bytes()).expect("parse");
+        let loaded = LoraAdapter::from_checkpoint(&ck, "lora").expect("load");
+        for x in &xs {
+            let (a, b) = (adapter.forward(x), loaded.forward(x));
+            let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, bb);
+        }
+        assert_eq!(loaded.trainable_params(), adapter.trainable_params());
+        assert_eq!(loaded.frozen_params(), adapter.frozen_params());
     }
 
     /// The tentpole contract for LoRA: batched training is byte-identical

@@ -6,6 +6,7 @@
 //! byte-identical to the per-example reference path
 //! ([`Mlp::train_batch_reference`]) at any thread count.
 
+use crate::checkpoint;
 use crate::gemm::{self, pack_rows, Workspace};
 use crate::linalg::{
     affine, affine_backward_input, affine_backward_params, relu_backward, relu_inplace, softmax,
@@ -241,6 +242,72 @@ impl Mlp {
     pub fn input_dim(&self) -> usize {
         self.input_dim
     }
+
+    /// Quantize the trained weights into an int8 inference model
+    /// (per-row symmetric scales, prepacked weights; see [`crate::quant`]).
+    pub fn quantize(&self) -> crate::quant::QuantizedMlp {
+        crate::quant::QuantizedMlp::from_parts(
+            self.input_dim,
+            self.hidden_dim,
+            self.n_classes,
+            &self.w1.data,
+            &self.b1.data,
+            &self.w2.data,
+            &self.b2.data,
+        )
+    }
+
+    /// Serialize the f32 parameters under `prefix` into a checkpoint
+    /// writer (optimizer state is not persisted; a loaded model resumes
+    /// with fresh Adam moments).
+    pub fn write_checkpoint(&self, prefix: &str, w: &mut checkpoint::Writer) {
+        w.meta(&format!("{prefix}.kind"), "mlp");
+        w.meta(&format!("{prefix}.input_dim"), &checkpoint::usize_meta(self.input_dim));
+        w.meta(&format!("{prefix}.hidden_dim"), &checkpoint::usize_meta(self.hidden_dim));
+        w.meta(&format!("{prefix}.n_classes"), &checkpoint::usize_meta(self.n_classes));
+        w.meta(&format!("{prefix}.lr"), &checkpoint::f32_meta(self.opt.lr));
+        for (name, t) in
+            [("w1", &self.w1), ("b1", &self.b1), ("w2", &self.w2), ("b2", &self.b2)]
+        {
+            w.tensor_f32(&format!("{prefix}/{name}"), t.rows, t.cols, &t.data);
+        }
+    }
+
+    /// Deserialize a model written by [`Mlp::write_checkpoint`].
+    pub fn from_checkpoint(
+        ck: &checkpoint::Checkpoint,
+        prefix: &str,
+    ) -> Result<Mlp, checkpoint::CheckpointError> {
+        let input_dim = ck.meta_usize(&format!("{prefix}.input_dim"))?;
+        let hidden_dim = ck.meta_usize(&format!("{prefix}.hidden_dim"))?;
+        let n_classes = ck.meta_usize(&format!("{prefix}.n_classes"))?;
+        let lr = ck.meta_f32(&format!("{prefix}.lr"))?;
+        let tensor = |name: &str| -> Result<Tensor, checkpoint::CheckpointError> {
+            let (rows, cols, data) = ck.tensor_f32(&format!("{prefix}/{name}"))?;
+            Ok(Tensor { rows, cols, grad: vec![0.0; data.len()], data })
+        };
+        let (w1, b1, w2, b2) = (tensor("w1")?, tensor("b1")?, tensor("w2")?, tensor("b2")?);
+        let expected_l2_in = if hidden_dim > 0 { hidden_dim } else { input_dim };
+        if w2.len() != n_classes * expected_l2_in
+            || (hidden_dim > 0 && w1.len() != hidden_dim * input_dim)
+        {
+            return Err(checkpoint::CheckpointError::Malformed(
+                "mlp tensor shape mismatch".to_string(),
+            ));
+        }
+        let sizes = [w1.len(), b1.len(), w2.len(), b2.len()];
+        Ok(Mlp {
+            input_dim,
+            hidden_dim,
+            n_classes,
+            w1,
+            b1,
+            w2,
+            b2,
+            opt: Adam::new(lr, &sizes),
+            ws: Workspace::new(),
+        })
+    }
 }
 
 /// Cached hidden activations and ReLU mask from a forward pass.
@@ -376,6 +443,60 @@ mod tests {
                 assert_eq!(tb, rb, "weights diverged (hidden={hidden})");
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_predictions() {
+        for hidden in [0usize, 6] {
+            let (xs, ys) = blobs(40, 8);
+            let mut m = Mlp::new(2, hidden, 2, 0.05, 12);
+            for _ in 0..10 {
+                m.train_batch(&xs, &ys);
+            }
+            let mut w = checkpoint::Writer::new();
+            m.write_checkpoint("mlp", &mut w);
+            let ck = checkpoint::Checkpoint::from_bytes(w.to_bytes()).expect("parse");
+            let loaded = Mlp::from_checkpoint(&ck, "mlp").expect("load");
+            for x in &xs {
+                let (a, b) = (m.predict_proba(x), loaded.predict_proba(x));
+                let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ab, bb, "hidden={hidden}");
+            }
+        }
+    }
+
+    /// Quantized inference must track the f32 model closely on data the
+    /// model separates confidently, and agree on nearly every argmax.
+    #[test]
+    fn quantized_mlp_tracks_f32() {
+        let (xs, ys) = blobs(120, 13);
+        let mut m = Mlp::new(2, 8, 2, 0.05, 14);
+        for _ in 0..40 {
+            m.train_batch(&xs, &ys);
+        }
+        let q = m.quantize();
+        let pf = m.predict_proba_batch(&xs);
+        let pq = q.predict_proba_batch(&xs);
+        let mut max_delta = 0.0f32;
+        let mut agree = 0usize;
+        for (f, qq) in pf.iter().zip(&pq) {
+            for (&a, &b) in f.iter().zip(qq) {
+                max_delta = max_delta.max((a - b).abs());
+            }
+            if argmax(f) == argmax(qq) {
+                agree += 1;
+            }
+        }
+        assert!(max_delta < 0.05, "max per-class probability delta {max_delta}");
+        assert!(agree * 100 >= xs.len() * 98, "argmax agreement {agree}/{}", xs.len());
+        // Training accuracy must be preserved through quantization.
+        let acc_f = xs.iter().zip(&ys).filter(|(x, &y)| m.predict(x) == y).count();
+        let acc_q = xs.iter().zip(&ys).filter(|(x, &y)| q.predict(x) == y).count();
+        assert!(
+            (acc_f as i64 - acc_q as i64).abs() <= 2,
+            "accuracy moved: f32 {acc_f} vs int8 {acc_q}"
+        );
     }
 
     #[test]

@@ -1,0 +1,820 @@
+//! Int8 quantized inference path.
+//!
+//! Inference-only quantization of the trained f32 models: per-row
+//! (per-output-channel) symmetric scales, quantize-once weight packing,
+//! and widened-accumulation kernels ([`gemm_nt_i8`]) with fused
+//! dequant + bias + ReLU epilogues mirroring [`crate::gemm`]. Training
+//! stays f32; the [`Precision`] switch selects the predict path in
+//! `mhd-models` / `mhd-core`.
+//!
+//! # Scale scheme
+//!
+//! Each weight row (one output channel) gets an independent symmetric
+//! scale `s = max|w| / 127`; values quantize as
+//! `q = clamp(round(w / s), -127, 127)`. Activations are quantized the
+//! same way per *batch* row at call time (dynamic quantization) — an
+//! m×k pass, negligible next to the m×k×n multiply. All-zero rows get
+//! `s = 1.0` so scales are always strictly positive. The round-trip
+//! error per element is bounded by `s / 2` (pinned by
+//! `tests/quant_props.rs`); the dequantized product
+//! `acc · s_a · s_w` therefore carries a relative error of roughly
+//! `1/254` per factor.
+//!
+//! # Determinism
+//!
+//! Accumulation is `i32` over i8×i8 products (each at most 127² =
+//! 16 129), so any `k ≤ 2^17` sums exactly without overflow — integer
+//! addition is associative, making results byte-identical at any thread
+//! count *by construction*, a stronger guarantee than the f32 kernels'
+//! ordered-sum contract.
+//!
+//! # Why it is faster
+//!
+//! Two compounding effects. First, the f32 [`crate::gemm::gemm_nt`]
+//! allocates and packs the weight matrix k-major on **every call**; at
+//! serving micro-batch sizes that pack is a large fraction of the work.
+//! The quantized path quantizes weights once, so a predict call pays
+//! only the integer multiply plus the cheap dynamic activation
+//! quantization, on a 4× smaller weight footprint. Second, the f32
+//! kernels' bit-identity contract forbids reassociating each output's
+//! k-sum, which blocks SIMD reduction — but the i32 accumulation here
+//! is *exact*, so [`gemm_nt_i8`] runs in dot-product form and lets the
+//! compiler vectorize the reduction. Products are formed in i16
+//! (`|q| ≤ 127` ⇒ `|q·q| ≤ 16 129`, never overflowing i16) and widened
+//! to i32 — the multiply-widen-add shape that lowers to packed 16-bit
+//! multiply-accumulate even on baseline x86-64.
+
+use crate::checkpoint::{self, Checkpoint, CheckpointError, Writer};
+use crate::encoder::EncoderConfig;
+use crate::linalg::{dot, softmax};
+use mhd_obs::{StatCell, StatTimer};
+use rayon::prelude::*;
+
+static T_GEMM_NT_I8: StatCell = StatCell::new("nn.gemm_nt_i8");
+static T_QUANTIZE_ROWS: StatCell = StatCell::new("nn.quantize_rows");
+
+/// Numeric precision of a model's predict path. Training is always f32;
+/// `Int8` routes inference through the quantized wrappers in this module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision inference on the [`crate::gemm`] kernels.
+    #[default]
+    F32,
+    /// Int8 inference: per-row symmetric quantization, i32 accumulation.
+    Int8,
+}
+
+impl Precision {
+    /// Parse a CLI-facing name (`"f32"` / `"int8"`).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f32" => Some(Precision::F32),
+            "int8" | "i8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+
+    /// CLI-facing name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+/// Symmetric per-row scale: `max|x| / 127`, or `1.0` for an all-zero
+/// (or all-non-finite) row so scales are always strictly positive.
+pub fn row_scale(row: &[f32]) -> f32 {
+    // |x| is non-negative, and IEEE-754 ordering on non-negative floats
+    // matches the integer ordering of their bit patterns — so the
+    // max|x| reduction can run over `bits & !sign` as a u32 max, which
+    // (unlike a float max with NaN semantics) the compiler vectorizes.
+    let max_bits = row.iter().fold(0u32, |m, &v| m.max(v.to_bits() & 0x7fff_ffff));
+    let max = f32::from_bits(max_bits);
+    if max.is_finite() {
+        if max > 0.0 {
+            max / 127.0
+        } else {
+            1.0
+        }
+    } else {
+        // A NaN or ±∞ won the integer fold. Re-run the reference float
+        // fold, whose `>` comparison ignores NaNs (rare path; keeps the
+        // documented semantics: NaNs never set the scale, any ∞ trips
+        // the 1.0 fallback).
+        let max = row.iter().fold(0.0f32, |m, &v| if v.abs() > m { v.abs() } else { m });
+        if max > 0.0 && max.is_finite() {
+            max / 127.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Quantize one value under `scale`: `clamp(round(v / scale), -127, 127)`.
+/// Saturates at ±127 (the symmetric range; −128 is never produced) and
+/// maps non-finite inputs to 0 via Rust's saturating float→int cast.
+#[inline]
+pub fn quantize_value(v: f32, scale: f32) -> i8 {
+    quantize_value_wide(v, scale) as i8
+}
+
+/// [`quantize_value`] carried in an i16 lane — same int8-range value,
+/// but in the width the serving kernels consume (see [`gemm_nt_i8`]).
+#[inline]
+fn quantize_value_wide(v: f32, scale: f32) -> i16 {
+    let t = v / scale;
+    // Round half away from zero by shifting ±0.5 (copysign, pure bit
+    // ops) and truncating via the `as` cast — same result as
+    // `f32::round`, but it stays inline (baseline x86-64 lowers
+    // `round()` to a libm call, which dominated the whole quantize
+    // pass). Saturation happens in the float domain (`clamp` is two
+    // packed min/max ops and propagates NaN), so the final cast's
+    // defined semantics only ever handle NaN → 0.
+    let shifted = t + 0.5f32.copysign(t);
+    shifted.clamp(-127.0, 127.0) as i16
+}
+
+/// [`quantize_value_wide`] restructured for the vectorized row path:
+///
+/// * the division is strength-reduced to a multiply by the row's
+///   precomputed reciprocal scale (`divps` is the one unpipelined
+///   instruction in the pass), costing ≤ 1 ulp on the pre-rounding
+///   quotient — within the documented `s/2` round-trip bound, with the
+///   ±127 saturation points absorbed by `clamp`;
+/// * the float→int conversion runs by exponent alignment instead of an
+///   `as` cast: adding `1.5·2²³` forces the clamped value into the
+///   `[2²³, 2²⁴)` binade, so the rounded integer lands in the low
+///   mantissa bits and a bit-pattern subtract recovers it. Rust's
+///   saturating float→i16 cast must handle NaN and out-of-range lanes,
+///   which keeps the loop scalar (`cvttss2si` per element); the
+///   alignment form is plain `addps` + integer ops and vectorizes,
+///   cutting the quantize pass ~2.5×.
+///
+/// Ties round to nearest-even (the FPU default) rather than
+/// [`quantize_value`]'s half-away-from-zero — both are nearest
+/// roundings, so every property of the scheme (error ≤ `s/2`, ±127
+/// saturation, NaN → 0) is preserved; only exact `.5` quotients map one
+/// step differently.
+#[inline]
+fn quantize_value_recip(v: f32, inv_scale: f32) -> i16 {
+    let c = (v * inv_scale).clamp(-127.0, 127.0);
+    // clamp propagates NaN; squash it to 0 before the bit trick (the
+    // compare + select vectorizes, unlike the cast's NaN handling).
+    let c = if c.is_nan() { 0.0 } else { c };
+    let aligned = c + 12_582_912.0f32; // 1.5·2²³
+    (aligned.to_bits() as i32).wrapping_sub(0x4B40_0000) as i16
+}
+
+/// Quantize one row under `s` into pre-sized `qrow`. Uses the
+/// reciprocal fast path when `1/s` is finite (always, for scales
+/// produced by [`row_scale`] on normal inputs) and falls back to true
+/// division when `s` is subnormal, where the reciprocal overflows.
+#[inline]
+fn quantize_row_wide(row: &[f32], s: f32, qrow: &mut [i16]) {
+    let inv = 1.0 / s;
+    if inv.is_finite() {
+        for (qv, &v) in qrow.iter_mut().zip(row) {
+            *qv = quantize_value_recip(v, inv);
+        }
+    } else {
+        for (qv, &v) in qrow.iter_mut().zip(row) {
+            *qv = quantize_value_wide(v, s);
+        }
+    }
+}
+
+/// Quantize `rows` rows of `cols` f32s into i8 with per-row scales.
+/// Output buffers are cleared and refilled (capacity reused).
+pub fn quantize_rows(src: &[f32], rows: usize, cols: usize, q: &mut Vec<i8>, scales: &mut Vec<f32>) {
+    let _t = StatTimer::start(&T_QUANTIZE_ROWS);
+    debug_assert!(src.len() >= rows * cols, "src too short for rows×cols");
+    q.clear();
+    q.resize(rows * cols, 0);
+    scales.clear();
+    scales.reserve(rows);
+    for (row, qrow) in src.chunks_exact(cols).zip(q.chunks_exact_mut(cols)).take(rows) {
+        let s = row_scale(row);
+        scales.push(s);
+        let inv = 1.0 / s;
+        if inv.is_finite() {
+            for (qv, &v) in qrow.iter_mut().zip(row) {
+                *qv = quantize_value_recip(v, inv) as i8;
+            }
+        } else {
+            for (qv, &v) in qrow.iter_mut().zip(row) {
+                *qv = quantize_value(v, s);
+            }
+        }
+    }
+}
+
+/// [`quantize_rows`] with the output carried in i16 lanes — the layout
+/// the serving kernels consume. Values are identical to the i8 variant
+/// (still int8-range); the wider lanes let [`gemm_nt_i8`]'s inner loop
+/// lower to packed 16-bit multiply-accumulate without per-element
+/// i8→i16 sign extension.
+pub fn quantize_rows_i16(
+    src: &[f32],
+    rows: usize,
+    cols: usize,
+    q: &mut Vec<i16>,
+    scales: &mut Vec<f32>,
+) {
+    let _t = StatTimer::start(&T_QUANTIZE_ROWS);
+    debug_assert!(src.len() >= rows * cols, "src too short for rows×cols");
+    q.clear();
+    q.resize(rows * cols, 0);
+    scales.clear();
+    scales.reserve(rows);
+    for (row, qrow) in src.chunks_exact(cols).zip(q.chunks_exact_mut(cols)).take(rows) {
+        let s = row_scale(row);
+        scales.push(s);
+        quantize_row_wide(row, s, qrow);
+    }
+}
+
+/// [`quantize_rows_i16`] straight from a slice of example vectors,
+/// skipping the intermediate f32 pack the float path performs.
+fn quantize_example_rows(xs: &[Vec<f32>], cols: usize, q: &mut Vec<i16>, scales: &mut Vec<f32>) {
+    let _t = StatTimer::start(&T_QUANTIZE_ROWS);
+    q.clear();
+    q.resize(xs.len() * cols, 0);
+    scales.clear();
+    scales.reserve(xs.len());
+    for (row, qrow) in xs.iter().zip(q.chunks_exact_mut(cols)) {
+        debug_assert_eq!(row.len(), cols, "input dim mismatch");
+        let s = row_scale(row);
+        scales.push(s);
+        quantize_row_wide(row, s, qrow);
+    }
+}
+
+/// Int8 NT kernel with fused dequant + bias + optional ReLU epilogue:
+///
+/// `out[i·n+j] = epi(bias[j] + (Σ_p aq[i·k+p] · wq[j·k+p]) · a_scales[i] · w_scales[j])`
+///
+/// `aq` is the m×k row-major quantized activation matrix with one scale
+/// per row; `wq` is the n×k row-major quantized weight matrix (the
+/// [`crate::tensor::Tensor`] layout, one scale per output channel — see
+/// [`QuantizedLinear`]). Both operands hold **int8-range values in i16
+/// lanes**: the products then fit i16 exactly (`|q·q| ≤ 127² = 16 129`)
+/// and the multiply-widen-add reduction lowers to packed 16-bit
+/// multiply-accumulate (`pmaddwd`-class) even on baseline x86-64, with
+/// no per-element sign-extension unpacking. The accumulation is pure
+/// i32 — exact, hence order-independent — and the epilogue performs the
+/// only float math, mirroring the bias-first + ReLU conventions of
+/// [`crate::gemm::gemm_nt_relu`].
+///
+/// Each output channel is one dot product over the contiguous weight
+/// row; the dot keeps eight vertical i32 accumulator lanes (see
+/// [`dot_i16`]) so the reduction stays in full-width vector registers.
+#[allow(clippy::too_many_arguments)] // kernel signature mirrors gemm.rs
+pub fn gemm_nt_i8(
+    aq: &[i16],
+    a_scales: &[f32],
+    wq: &[i16],
+    w_scales: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    relu: bool,
+    out: &mut [f32],
+) {
+    let _t = StatTimer::start(&T_GEMM_NT_I8);
+    debug_assert!(aq.len() >= m * k, "aq too short for m×k");
+    debug_assert!(wq.len() >= n * k, "wq too short for n×k");
+    debug_assert_eq!(a_scales.len(), m, "one activation scale per row");
+    debug_assert_eq!(w_scales.len(), n, "one weight scale per channel");
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    for ((arow, orow), &sa) in
+        aq.chunks_exact(k).zip(out.chunks_exact_mut(n)).zip(a_scales).take(m)
+    {
+        match bias {
+            Some(b) => {
+                for (((o, wrow), &sw), &bj) in
+                    orow.iter_mut().zip(wq.chunks_exact(k)).zip(w_scales).zip(b)
+                {
+                    let v = bj + (dot_i16(arow, wrow) as f32) * sa * sw;
+                    *o = if relu && v <= 0.0 { 0.0 } else { v };
+                }
+            }
+            None => {
+                for ((o, wrow), &sw) in orow.iter_mut().zip(wq.chunks_exact(k)).zip(w_scales) {
+                    let v = (dot_i16(arow, wrow) as f32) * sa * sw;
+                    *o = if relu && v <= 0.0 { 0.0 } else { v };
+                }
+            }
+        }
+    }
+}
+
+/// Exact i32 dot product of two int8-range i16 slices.
+///
+/// Eight vertical i32 accumulator lanes over `[i16; 8]` blocks: the
+/// fixed-width inner loop gives the compiler full 128-bit loads and a
+/// packed multiply-widen-add body, where a flat `iter().zip()` fold over
+/// a runtime-length slice only reaches half-width loads. Lane order of
+/// the final horizontal sum is fixed by the code, so results stay
+/// bit-identical across platforms (i32 addition is associative anyway).
+#[inline]
+fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+    let (a8, a_tail) = a.as_chunks::<8>();
+    let (b8, b_tail) = b.as_chunks::<8>();
+    let mut lanes = [0i32; 8];
+    for (pa, pb) in a8.iter().zip(b8) {
+        for ((s, &x), &y) in lanes.iter_mut().zip(pa.iter()).zip(pb.iter()) {
+            *s += i32::from(x) * i32::from(y);
+        }
+    }
+    let mut acc: i32 = lanes.iter().sum();
+    for (&x, &y) in a_tail.iter().zip(b_tail) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// One quantized linear layer: weights quantized per output channel
+/// **once at build time**, so forward calls never pack or allocate
+/// weight scratch (the f32 path's per-call cost). Weights stay in the
+/// row-major [`crate::tensor::Tensor`] layout — [`gemm_nt_i8`] runs in
+/// dot-product form, where each channel's row is already the contiguous
+/// operand it needs. In memory the int8-range values sit in i16 lanes
+/// (the kernel's operand width — still half the f32 footprint); on disk
+/// checkpoints narrow them back to i8 losslessly.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    in_dim: usize,
+    out_dim: usize,
+    /// Quantized weights, row-major (`out_dim × in_dim`): `wq[j·in+p]`
+    /// is channel `j`'s weight for input `p`. Int8-range, i16 lanes.
+    wq: Vec<i16>,
+    /// Per-output-channel scales, length `out_dim`.
+    w_scales: Vec<f32>,
+    /// f32 bias, length `out_dim` (zeros for bias-free layers).
+    bias: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Quantize an `out_dim × in_dim` row-major f32 weight matrix (the
+    /// [`crate::tensor::Tensor`] layout) plus bias.
+    pub fn from_f32(w: &[f32], bias: &[f32], out_dim: usize, in_dim: usize) -> Self {
+        debug_assert_eq!(w.len(), out_dim * in_dim, "weight shape mismatch");
+        debug_assert_eq!(bias.len(), out_dim, "bias shape mismatch");
+        let mut wq = Vec::with_capacity(out_dim * in_dim);
+        let mut w_scales = Vec::with_capacity(out_dim);
+        for row in w.chunks_exact(in_dim).take(out_dim) {
+            let s = row_scale(row);
+            w_scales.push(s);
+            for &v in row {
+                wq.push(quantize_value_wide(v, s));
+            }
+        }
+        QuantizedLinear { in_dim, out_dim, wq, w_scales, bias: bias.to_vec() }
+    }
+
+    /// Rebuild from already-quantized parts (checkpoint load path).
+    /// `wq` must be row-major `out_dim × in_dim`; the i8 values are
+    /// widened into the kernel's i16 operand lanes.
+    pub fn from_quantized_parts(
+        wq: Vec<i8>,
+        w_scales: Vec<f32>,
+        bias: Vec<f32>,
+        out_dim: usize,
+        in_dim: usize,
+    ) -> Result<Self, CheckpointError> {
+        if wq.len() != in_dim * out_dim || w_scales.len() != out_dim || bias.len() != out_dim {
+            return Err(CheckpointError::Malformed("quantized linear shape mismatch".to_string()));
+        }
+        let wq = wq.into_iter().map(i16::from).collect();
+        Ok(QuantizedLinear { in_dim, out_dim, wq, w_scales, bias })
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward `m` quantized rows (int8-range values in i16 lanes, as
+    /// produced by [`quantize_rows_i16`]) through the layer, with the
+    /// fused bias + ReLU epilogue when `relu`. `out` must be
+    /// `m × out_dim`.
+    pub fn forward(&self, aq: &[i16], a_scales: &[f32], m: usize, relu: bool, out: &mut [f32]) {
+        gemm_nt_i8(
+            aq,
+            a_scales,
+            &self.wq,
+            &self.w_scales,
+            Some(&self.bias),
+            m,
+            self.in_dim,
+            self.out_dim,
+            relu,
+            out,
+        );
+    }
+
+    /// Dequantized copy of the weights in the original `out_dim × in_dim`
+    /// row-major layout — error-analysis/test hook, not a serving path.
+    pub fn dequantized_weights(&self) -> Vec<f32> {
+        let mut w = Vec::with_capacity(self.out_dim * self.in_dim);
+        for (wrow, &s) in self.wq.chunks_exact(self.in_dim).zip(&self.w_scales) {
+            for &qv in wrow {
+                w.push(f32::from(qv) * s);
+            }
+        }
+        w
+    }
+
+    /// Serialize under `prefix` into a checkpoint writer. The i16 lanes
+    /// narrow back to i8 losslessly (values never leave [-127, 127]).
+    pub fn write_checkpoint(&self, prefix: &str, w: &mut Writer) {
+        let narrow: Vec<i8> = self.wq.iter().map(|&v| v as i8).collect();
+        w.tensor_i8(&format!("{prefix}/wq"), self.out_dim, self.in_dim, &narrow);
+        w.tensor_f32(&format!("{prefix}/w_scales"), 1, self.out_dim, &self.w_scales);
+        w.tensor_f32(&format!("{prefix}/bias"), 1, self.out_dim, &self.bias);
+    }
+
+    /// Deserialize a layer written by [`QuantizedLinear::write_checkpoint`].
+    pub fn from_checkpoint(ck: &Checkpoint, prefix: &str) -> Result<Self, CheckpointError> {
+        let (out_dim, in_dim, wq) = ck.tensor_i8(&format!("{prefix}/wq"))?;
+        let (_, _, w_scales) = ck.tensor_f32(&format!("{prefix}/w_scales"))?;
+        let (_, _, bias) = ck.tensor_f32(&format!("{prefix}/bias"))?;
+        QuantizedLinear::from_quantized_parts(wq, w_scales, bias, out_dim, in_dim)
+    }
+}
+
+/// Int8 inference wrapper over a trained [`crate::mlp::Mlp`]. Build via
+/// [`crate::mlp::Mlp::quantize`]; prediction APIs mirror the f32 model.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    input_dim: usize,
+    hidden_dim: usize,
+    n_classes: usize,
+    l1: Option<QuantizedLinear>,
+    l2: QuantizedLinear,
+}
+
+impl QuantizedMlp {
+    /// Quantize the raw f32 parameters of an MLP (`hidden_dim = 0` means
+    /// the linear model: `w1`/`b1` are ignored).
+    pub fn from_parts(
+        input_dim: usize,
+        hidden_dim: usize,
+        n_classes: usize,
+        w1: &[f32],
+        b1: &[f32],
+        w2: &[f32],
+        b2: &[f32],
+    ) -> Self {
+        let l1 = if hidden_dim > 0 {
+            Some(QuantizedLinear::from_f32(w1, b1, hidden_dim, input_dim))
+        } else {
+            None
+        };
+        let l2_in = if hidden_dim > 0 { hidden_dim } else { input_dim };
+        let l2 = QuantizedLinear::from_f32(w2, b2, n_classes, l2_in);
+        QuantizedMlp { input_dim, hidden_dim, n_classes, l1, l2 }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Packed `bsz × n_classes` logits for a batch.
+    fn logits_packed(&self, xs: &[Vec<f32>]) -> Vec<f32> {
+        let bsz = xs.len();
+        let mut q = Vec::new();
+        let mut s = Vec::new();
+        quantize_example_rows(xs, self.input_dim, &mut q, &mut s);
+        let mut logits = vec![0.0f32; bsz * self.n_classes];
+        match &self.l1 {
+            Some(l1) => {
+                let mut h = vec![0.0f32; bsz * self.hidden_dim];
+                l1.forward(&q, &s, bsz, true, &mut h);
+                let mut hq = Vec::new();
+                let mut hs = Vec::new();
+                quantize_rows_i16(&h, bsz, self.hidden_dim, &mut hq, &mut hs);
+                self.l2.forward(&hq, &hs, bsz, false, &mut logits);
+            }
+            None => self.l2.forward(&q, &s, bsz, false, &mut logits),
+        }
+        logits
+    }
+
+    /// Batched logits, one row per input.
+    pub fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let logits = self.logits_packed(xs);
+        logits.chunks_exact(self.n_classes).map(|r| r.to_vec()).collect()
+    }
+
+    /// Batched class probabilities (softmax over [`QuantizedMlp::forward_batch`]).
+    pub fn predict_proba_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let logits = self.logits_packed(xs);
+        logits.chunks_exact(self.n_classes).map(softmax).collect()
+    }
+
+    /// Single-example class probabilities.
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f32> {
+        self.predict_proba_batch(std::slice::from_ref(&x.to_vec())).pop().unwrap_or_default()
+    }
+
+    /// Most probable class for one example.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        crate::mlp::argmax(&self.predict_proba(x))
+    }
+
+    /// Serialize under `prefix` into a checkpoint writer.
+    pub fn write_checkpoint(&self, prefix: &str, w: &mut Writer) {
+        w.meta(&format!("{prefix}.kind"), "qmlp");
+        w.meta(&format!("{prefix}.input_dim"), &checkpoint::usize_meta(self.input_dim));
+        w.meta(&format!("{prefix}.hidden_dim"), &checkpoint::usize_meta(self.hidden_dim));
+        w.meta(&format!("{prefix}.n_classes"), &checkpoint::usize_meta(self.n_classes));
+        if let Some(l1) = &self.l1 {
+            l1.write_checkpoint(&format!("{prefix}/l1"), w);
+        }
+        self.l2.write_checkpoint(&format!("{prefix}/l2"), w);
+    }
+
+    /// Deserialize a model written by [`QuantizedMlp::write_checkpoint`].
+    pub fn from_checkpoint(ck: &Checkpoint, prefix: &str) -> Result<Self, CheckpointError> {
+        let input_dim = ck.meta_usize(&format!("{prefix}.input_dim"))?;
+        let hidden_dim = ck.meta_usize(&format!("{prefix}.hidden_dim"))?;
+        let n_classes = ck.meta_usize(&format!("{prefix}.n_classes"))?;
+        let l1 = if hidden_dim > 0 {
+            Some(QuantizedLinear::from_checkpoint(ck, &format!("{prefix}/l1"))?)
+        } else {
+            None
+        };
+        let l2 = QuantizedLinear::from_checkpoint(ck, &format!("{prefix}/l2"))?;
+        Ok(QuantizedMlp { input_dim, hidden_dim, n_classes, l1, l2 })
+    }
+}
+
+/// Int8 inference wrapper over a trained [`crate::encoder::Encoder`].
+/// Build via [`crate::encoder::Encoder::quantize`].
+///
+/// The three heavy GEMMs (attention projection `W e_t`, head `w1`, head
+/// `w2`) run on [`gemm_nt_i8`]; the embedding gather, tanh, attention
+/// softmax, and pooling stay f32 — they are O(tokens·d) next to the
+/// O(tokens·d²) projection, and keeping them exact preserves the
+/// attention distribution's shape.
+#[derive(Debug, Clone)]
+pub struct QuantizedEncoder {
+    cfg: EncoderConfig,
+    /// f32 embedding table, `vocab_size × embed_dim`.
+    emb: Vec<f32>,
+    /// Attention projection `W` (d→d, bias-free).
+    att_w: QuantizedLinear,
+    /// Attention query vector `v`, length d.
+    att_v: Vec<f32>,
+    /// Head hidden layer (d→h, fused ReLU).
+    l1: QuantizedLinear,
+    /// Head output layer (h→k).
+    l2: QuantizedLinear,
+}
+
+impl QuantizedEncoder {
+    /// Quantize the raw f32 parameters of an encoder.
+    #[allow(clippy::too_many_arguments)] // flat parameter pass-through from Encoder::quantize
+    pub fn from_parts(
+        cfg: EncoderConfig,
+        emb: &[f32],
+        att_w: &[f32],
+        att_v: &[f32],
+        w1: &[f32],
+        b1: &[f32],
+        w2: &[f32],
+        b2: &[f32],
+    ) -> Self {
+        let d = cfg.embed_dim;
+        let zero_bias = vec![0.0f32; d];
+        QuantizedEncoder {
+            cfg,
+            emb: emb.to_vec(),
+            att_w: QuantizedLinear::from_f32(att_w, &zero_bias, d, d),
+            att_v: att_v.to_vec(),
+            l1: QuantizedLinear::from_f32(w1, b1, cfg.hidden_dim, d),
+            l2: QuantizedLinear::from_f32(w2, b2, cfg.n_classes, cfg.hidden_dim),
+        }
+    }
+
+    /// Configuration of the source encoder.
+    pub fn config(&self) -> &EncoderConfig {
+        &self.cfg
+    }
+
+    /// Attention-pooled representation of one document (pure per
+    /// example, so batches fan out across the rayon pool with
+    /// deterministic ordered collection).
+    fn attention_pooled(&self, tokens: &[u32]) -> Vec<f32> {
+        let d = self.cfg.embed_dim;
+        let toks: Vec<u32> = tokens
+            .iter()
+            .copied()
+            .filter(|&t| (t as usize) < self.cfg.vocab_size)
+            .take(self.cfg.max_len)
+            .collect();
+        let n = toks.len();
+        if n == 0 {
+            return vec![0.0; d];
+        }
+        let mut e_flat = vec![0.0f32; n * d];
+        for (t, &tok) in toks.iter().enumerate() {
+            let row = tok as usize * d;
+            e_flat[t * d..(t + 1) * d].copy_from_slice(&self.emb[row..row + d]);
+        }
+        let mut q = Vec::new();
+        let mut s = Vec::new();
+        quantize_rows_i16(&e_flat, n, d, &mut q, &mut s);
+        let mut u_flat = vec![0.0f32; n * d];
+        self.att_w.forward(&q, &s, n, false, &mut u_flat);
+        for v in &mut u_flat {
+            *v = v.tanh();
+        }
+        let scores: Vec<f32> = u_flat.chunks_exact(d).map(|r| dot(&self.att_v, r)).collect();
+        let alpha = softmax(&scores);
+        let mut pooled = vec![0.0f32; d];
+        for (a, e) in alpha.iter().zip(e_flat.chunks_exact(d)) {
+            for (p, &ej) in pooled.iter_mut().zip(e) {
+                *p += a * ej;
+            }
+        }
+        pooled
+    }
+
+    /// Packed `bsz × n_classes` logits for a batch of documents.
+    fn logits_packed(&self, docs: &[Vec<u32>]) -> Vec<f32> {
+        let bsz = docs.len();
+        let (d, hdim, k) = (self.cfg.embed_dim, self.cfg.hidden_dim, self.cfg.n_classes);
+        let pooled: Vec<Vec<f32>> = docs.par_iter().map(|doc| self.attention_pooled(doc)).collect();
+        let mut q = Vec::new();
+        let mut s = Vec::new();
+        quantize_example_rows(&pooled, d, &mut q, &mut s);
+        let mut h = vec![0.0f32; bsz * hdim];
+        self.l1.forward(&q, &s, bsz, true, &mut h);
+        let mut hq = Vec::new();
+        let mut hs = Vec::new();
+        quantize_rows_i16(&h, bsz, hdim, &mut hq, &mut hs);
+        let mut logits = vec![0.0f32; bsz * k];
+        self.l2.forward(&hq, &hs, bsz, false, &mut logits);
+        logits
+    }
+
+    /// Batched logits, one row per document.
+    pub fn forward_batch(&self, docs: &[Vec<u32>]) -> Vec<Vec<f32>> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let logits = self.logits_packed(docs);
+        logits.chunks_exact(self.cfg.n_classes).map(|r| r.to_vec()).collect()
+    }
+
+    /// Batched class probabilities.
+    pub fn predict_proba_batch(&self, docs: &[Vec<u32>]) -> Vec<Vec<f32>> {
+        if docs.is_empty() {
+            return Vec::new();
+        }
+        let logits = self.logits_packed(docs);
+        logits.chunks_exact(self.cfg.n_classes).map(softmax).collect()
+    }
+
+    /// Single-document class probabilities.
+    pub fn predict_proba(&self, tokens: &[u32]) -> Vec<f32> {
+        self.predict_proba_batch(std::slice::from_ref(&tokens.to_vec())).pop().unwrap_or_default()
+    }
+
+    /// Most probable class for one document.
+    pub fn predict(&self, tokens: &[u32]) -> usize {
+        crate::mlp::argmax(&self.predict_proba(tokens))
+    }
+
+    /// Serialize under `prefix` into a checkpoint writer.
+    pub fn write_checkpoint(&self, prefix: &str, w: &mut Writer) {
+        w.meta(&format!("{prefix}.kind"), "qencoder");
+        w.meta(&format!("{prefix}.vocab_size"), &checkpoint::usize_meta(self.cfg.vocab_size));
+        w.meta(&format!("{prefix}.embed_dim"), &checkpoint::usize_meta(self.cfg.embed_dim));
+        w.meta(&format!("{prefix}.hidden_dim"), &checkpoint::usize_meta(self.cfg.hidden_dim));
+        w.meta(&format!("{prefix}.n_classes"), &checkpoint::usize_meta(self.cfg.n_classes));
+        w.meta(&format!("{prefix}.max_len"), &checkpoint::usize_meta(self.cfg.max_len));
+        w.meta(&format!("{prefix}.lr"), &checkpoint::f32_meta(self.cfg.lr));
+        w.meta(&format!("{prefix}.seed"), &checkpoint::u64_meta(self.cfg.seed));
+        w.tensor_f32(&format!("{prefix}/emb"), self.cfg.vocab_size, self.cfg.embed_dim, &self.emb);
+        w.tensor_f32(&format!("{prefix}/att_v"), 1, self.cfg.embed_dim, &self.att_v);
+        self.att_w.write_checkpoint(&format!("{prefix}/att_w"), w);
+        self.l1.write_checkpoint(&format!("{prefix}/l1"), w);
+        self.l2.write_checkpoint(&format!("{prefix}/l2"), w);
+    }
+
+    /// Deserialize a model written by [`QuantizedEncoder::write_checkpoint`].
+    pub fn from_checkpoint(ck: &Checkpoint, prefix: &str) -> Result<Self, CheckpointError> {
+        let cfg = EncoderConfig {
+            vocab_size: ck.meta_usize(&format!("{prefix}.vocab_size"))?,
+            embed_dim: ck.meta_usize(&format!("{prefix}.embed_dim"))?,
+            hidden_dim: ck.meta_usize(&format!("{prefix}.hidden_dim"))?,
+            n_classes: ck.meta_usize(&format!("{prefix}.n_classes"))?,
+            max_len: ck.meta_usize(&format!("{prefix}.max_len"))?,
+            lr: ck.meta_f32(&format!("{prefix}.lr"))?,
+            seed: ck.meta_u64(&format!("{prefix}.seed"))?,
+        };
+        let (_, _, emb) = ck.tensor_f32(&format!("{prefix}/emb"))?;
+        let (_, _, att_v) = ck.tensor_f32(&format!("{prefix}/att_v"))?;
+        if emb.len() != cfg.vocab_size * cfg.embed_dim || att_v.len() != cfg.embed_dim {
+            return Err(CheckpointError::Malformed("encoder tensor shape mismatch".to_string()));
+        }
+        Ok(QuantizedEncoder {
+            cfg,
+            emb,
+            att_v,
+            att_w: QuantizedLinear::from_checkpoint(ck, &format!("{prefix}/att_w"))?,
+            l1: QuantizedLinear::from_checkpoint(ck, &format!("{prefix}/l1"))?,
+            l2: QuantizedLinear::from_checkpoint(ck, &format!("{prefix}/l2"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_parses() {
+        assert_eq!(Precision::parse("f32"), Some(Precision::F32));
+        assert_eq!(Precision::parse("int8"), Some(Precision::Int8));
+        assert_eq!(Precision::parse("i8"), Some(Precision::Int8));
+        assert_eq!(Precision::parse("fp16"), None);
+        assert_eq!(Precision::default().as_str(), "f32");
+        assert_eq!(Precision::Int8.as_str(), "int8");
+    }
+
+    #[test]
+    fn row_scale_positive_and_zero_safe() {
+        assert_eq!(row_scale(&[0.0, 0.0]), 1.0);
+        assert_eq!(row_scale(&[]), 1.0);
+        let s = row_scale(&[-2.54, 1.0]);
+        assert!((s - 0.02).abs() < 1e-6, "{s}");
+    }
+
+    #[test]
+    fn quantize_saturates_and_rounds() {
+        assert_eq!(quantize_value(1e9, 1.0), 127);
+        assert_eq!(quantize_value(-1e9, 1.0), -127);
+        assert_eq!(quantize_value(0.49, 1.0), 0);
+        assert_eq!(quantize_value(0.51, 1.0), 1);
+        assert_eq!(quantize_value(f32::NAN, 1.0), 0);
+    }
+
+    #[test]
+    fn gemm_nt_i8_matches_integer_reference() {
+        // 2×3 activations, 3→2 weights; hand-computed integer reference.
+        let aq: Vec<i16> = vec![1, -2, 3, 0, 4, -5];
+        let a_scales = vec![0.5f32, 0.25];
+        // Row-major 2×3 weights quantized with unit scales.
+        let wq: Vec<i16> = vec![1, 0, -1, 2, 2, 2];
+        let w_scales = vec![1.0f32, 2.0];
+        let bias = vec![10.0f32, -100.0];
+        let mut out = vec![0.0f32; 4];
+        gemm_nt_i8(&aq, &a_scales, &wq, &w_scales, Some(&bias), 2, 3, 2, false, &mut out);
+        // Row 0: acc = [1·1 + (−2)·0 + 3·(−1), 1·2 + (−2)·2 + 3·2] = [−2, 4]
+        //   out = [10 + (−2)·0.5·1, −100 + 4·0.5·2] = [9, −96]
+        // Row 1: acc = [0·1 + 4·0 + (−5)(−1), 0·2 + 4·2 + (−5)·2] = [5, −2]
+        //   out = [10 + 5·0.25·1, −100 + (−2)·0.25·2] = [11.25, −101]
+        assert_eq!(out, vec![9.0, -96.0, 11.25, -101.0]);
+        // ReLU epilogue clamps the negatives.
+        gemm_nt_i8(&aq, &a_scales, &wq, &w_scales, Some(&bias), 2, 3, 2, true, &mut out);
+        assert_eq!(out, vec![9.0, 0.0, 11.25, 0.0]);
+    }
+
+    #[test]
+    fn quantized_linear_roundtrips_weights_within_half_scale() {
+        let w: Vec<f32> = (0..12).map(|i| ((i as f32) * 0.37 - 2.0).sin()).collect();
+        let b = vec![0.1f32, -0.2, 0.3];
+        let lin = QuantizedLinear::from_f32(&w, &b, 3, 4);
+        let back = lin.dequantized_weights();
+        for (row, back_row) in w.chunks_exact(4).zip(back.chunks_exact(4)) {
+            let s = row_scale(row);
+            for (&orig, &deq) in row.iter().zip(back_row) {
+                assert!((orig - deq).abs() <= s * 0.5 + 1e-6, "{orig} vs {deq} (scale {s})");
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Golden-file test for the checkpoint container format.
+//!
+//! The committed `tests/golden/tiny.ckpt` pins the on-disk layout: magic,
+//! version, meta block, name-sorted tensor directory, 64-byte aligned
+//! payloads, trailing FNV-1a checksum. Re-serializing the same logical
+//! content must reproduce it byte for byte — any format change shows up
+//! here as a diff, forcing a deliberate schema-version bump.
+//!
+//! To regenerate after an intentional format change:
+//! `cargo test -p mhd-nn --test checkpoint_golden -- --ignored regen`
+//! (then review the diff and bump `checkpoint::VERSION`).
+
+use mhd_nn::checkpoint::{Checkpoint, CheckpointError, Writer};
+
+const GOLDEN_PATH: &str = "tests/golden/tiny.ckpt";
+
+/// The fixed logical content of the golden checkpoint. Tensors are added
+/// in non-sorted order on purpose: serialization must sort them.
+fn golden_writer() -> Writer {
+    let mut w = Writer::new();
+    w.meta("zoo.kind", "golden");
+    w.meta("zoo.note", "pinned by checkpoint_golden.rs");
+    w.tensor_f32("m/w", 2, 3, &[0.5, -1.25, 2.0, 0.0, 3.5, -0.125]);
+    w.tensor_i8("m/q", 1, 5, &[-127, -1, 0, 1, 127]);
+    w.tensor_f32("a/bias", 1, 2, &[1.0, -1.0]);
+    w
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH)
+}
+
+#[test]
+fn serialization_is_byte_stable_against_golden_file() {
+    let committed = std::fs::read(golden_path()).expect("golden file committed");
+    let fresh = golden_writer().to_bytes();
+    assert_eq!(
+        fresh, committed,
+        "checkpoint serialization drifted from the committed golden file; \
+         if the format change is intentional, bump checkpoint::VERSION and \
+         regenerate with `cargo test -p mhd-nn --test checkpoint_golden -- --ignored regen`"
+    );
+    // And again: repeated serialization of one Writer is stable too.
+    assert_eq!(golden_writer().to_bytes(), fresh);
+}
+
+#[test]
+fn golden_file_loads_and_roundtrips() {
+    let bytes = std::fs::read(golden_path()).expect("golden file committed");
+    let ck = Checkpoint::from_bytes(bytes).expect("golden checkpoint parses");
+    assert_eq!(ck.meta("zoo.kind"), Some("golden"));
+    assert_eq!(ck.n_tensors(), 3);
+    // Directory is name-sorted regardless of insertion order.
+    assert_eq!(ck.names().collect::<Vec<_>>(), vec!["a/bias", "m/q", "m/w"]);
+    let (rows, cols, w) = ck.tensor_f32("m/w").expect("m/w present");
+    assert_eq!((rows, cols), (2, 3));
+    assert_eq!(w, vec![0.5, -1.25, 2.0, 0.0, 3.5, -0.125]);
+    let (rows, cols, q) = ck.tensor_i8("m/q").expect("m/q present");
+    assert_eq!((rows, cols), (1, 5));
+    assert_eq!(q, vec![-127, -1, 0, 1, 127]);
+}
+
+#[test]
+fn corrupted_golden_bytes_error_instead_of_panicking() {
+    let bytes = std::fs::read(golden_path()).expect("golden file committed");
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xff;
+    assert_eq!(Checkpoint::from_bytes(bad).unwrap_err(), CheckpointError::BadMagic);
+
+    // Truncation at every interesting boundary. Cuts shorter than
+    // magic+checksum report Truncated/BadMagic; longer cuts surface as a
+    // checksum mismatch (the checksum is validated before the directory).
+    for cut in [0, 4, 7, 8, 12, bytes.len() / 2, bytes.len() - 1] {
+        let err = Checkpoint::from_bytes(bytes[..cut].to_vec()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated
+                    | CheckpointError::BadMagic
+                    | CheckpointError::ChecksumMismatch
+            ),
+            "cut at {cut}: {err:?}"
+        );
+    }
+
+    // Any payload bit flip breaks the trailing checksum.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    assert_eq!(
+        Checkpoint::from_bytes(flipped).unwrap_err(),
+        CheckpointError::ChecksumMismatch
+    );
+}
+
+/// Regenerates the golden file. Ignored in normal runs; only for
+/// intentional format changes.
+#[test]
+#[ignore = "writes the golden file; run explicitly after a format change"]
+fn regen() {
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+    std::fs::write(&path, golden_writer().to_bytes()).expect("write golden");
+}

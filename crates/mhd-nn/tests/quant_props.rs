@@ -1,0 +1,122 @@
+//! Property tests for the int8 quantization layer.
+//!
+//! Three contracts from the quantization scheme's design (per-row symmetric
+//! scales, `q = clamp(round(v / s), -127, 127)`):
+//!
+//! 1. every row scale is strictly positive and finite, whatever the input
+//!    (all-zero and non-finite rows fall back to scale 1.0);
+//! 2. the round-trip error is bounded: `|dequant(quant(x)) - x| <= s / 2`
+//!    per element for inputs inside the representable range;
+//! 3. values at or beyond the row maximum saturate to ±127 — the i8 code
+//!    point −128 is never produced, keeping negation safe.
+
+use mhd_nn::quant::{quantize_rows, quantize_value, row_scale};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn filled(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-8.0..8.0f32)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scales are strictly positive and finite for arbitrary rows.
+    #[test]
+    fn scales_are_positive(seed in 0u64..10_000, cols in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row = filled(&mut rng, cols);
+        let s = row_scale(&row);
+        prop_assert!(s > 0.0 && s.is_finite(), "scale {s} for row of {cols}");
+    }
+
+    /// All-zero rows get the 1.0 fallback scale instead of 0 (which would
+    /// make dequantization divide by zero).
+    #[test]
+    fn zero_rows_fall_back_to_unit_scale(cols in 1usize..80) {
+        let row = vec![0.0f32; cols];
+        prop_assert_eq!(row_scale(&row), 1.0);
+    }
+
+    /// Per-element round-trip error is bounded by half the row scale.
+    #[test]
+    fn roundtrip_error_within_half_scale(
+        seed in 0u64..10_000,
+        rows in 1usize..6,
+        cols in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = filled(&mut rng, rows * cols);
+        let mut q = Vec::new();
+        let mut scales = Vec::new();
+        quantize_rows(&src, rows, cols, &mut q, &mut scales);
+        prop_assert_eq!(q.len(), rows * cols);
+        prop_assert_eq!(scales.len(), rows);
+        for r in 0..rows {
+            let s = scales[r];
+            prop_assert!(s > 0.0 && s.is_finite());
+            for c in 0..cols {
+                let v = src[r * cols + c];
+                let back = f32::from(q[r * cols + c]) * s;
+                let err = (back - v).abs();
+                // round() introduces at most half a step of error, and the
+                // row maximum maps exactly onto ±127 so nothing clips.
+                prop_assert!(
+                    err <= s * 0.5 + 1e-6,
+                    "row {r} col {c}: v={v} back={back} err={err} scale={s}"
+                );
+            }
+        }
+    }
+
+    /// Values beyond the scale's representable range saturate at ±127;
+    /// −128 never appears.
+    #[test]
+    fn saturation_clamps_to_plus_minus_127(
+        v in -1.0e30f32..1.0e30,
+        scale_exp in -20i32..20,
+    ) {
+        let scale = 2.0f32.powi(scale_exp);
+        let q = quantize_value(v, scale);
+        prop_assert!((-127..=127).contains(&i32::from(q)), "q={q}");
+        if v / scale >= 127.5 {
+            prop_assert_eq!(q, 127);
+        }
+        if v / scale <= -127.5 {
+            prop_assert_eq!(q, -127);
+        }
+    }
+
+    /// Quantizing a row never emits −128 even at the negative extreme
+    /// (the symmetric scheme reserves it so `-q` cannot overflow).
+    #[test]
+    fn negative_extreme_maps_to_minus_127(
+        seed in 0u64..10_000,
+        cols in 1usize..60,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut row = filled(&mut rng, cols);
+        // Force the row maximum to be a negative value.
+        let idx = rng.gen_range(0..cols);
+        row[idx] = -1.0e4;
+        let s = row_scale(&row);
+        for &v in &row {
+            let q = quantize_value(v, s);
+            prop_assert!(q >= -127, "q={q} for v={v} s={s}");
+        }
+        prop_assert_eq!(quantize_value(row[idx], s), -127);
+    }
+}
+
+/// Non-finite inputs quantize to something defined (NaN → 0 via the
+/// saturating cast; infinities clamp) rather than poisoning the row.
+#[test]
+fn non_finite_values_are_contained() {
+    assert_eq!(row_scale(&[f32::NAN, 1.0]), 1.0 / 127.0);
+    assert_eq!(row_scale(&[f32::NAN]), 1.0, "all-non-finite row falls back");
+    let s = 0.5f32;
+    assert_eq!(quantize_value(f32::NAN, s), 0);
+    assert_eq!(quantize_value(f32::INFINITY, s), 127);
+    assert_eq!(quantize_value(f32::NEG_INFINITY, s), -127);
+}

@@ -240,6 +240,15 @@ impl CsrMatrix {
         self.indices.len()
     }
 
+    /// Approximate resident size in bytes (backing buffers only), used by
+    /// cache byte-budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.indptr.capacity() * std::mem::size_of::<usize>()
+            + self.indices.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+            + self.row_norms.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// The `(indices, values)` slices of row `i`.
     pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
         let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);

@@ -93,6 +93,15 @@ impl TfidfVectorizer {
         ngrams_up_to(&toks, config.ngram_max.max(1))
     }
 
+    /// Approximate resident size in bytes (vocabulary strings plus the IDF
+    /// table), used by cache byte-budget accounting. Summation over the
+    /// vocabulary map is order-independent, so the result is deterministic.
+    pub fn approx_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<String>() + std::mem::size_of::<u32>();
+        self.term_to_id.keys().map(|k| per_entry + k.capacity()).sum::<usize>()
+            + self.idf.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Transform one document into an L2-normalized TF-IDF vector.
     pub fn transform(&self, doc: &str) -> SparseVec {
         let terms = Self::terms_for(doc, &self.config);

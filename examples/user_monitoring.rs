@@ -15,7 +15,7 @@ use mhd::corpus::taxonomy::Task;
 
 fn main() {
     // The standard A5 table first.
-    let cfg = ExperimentConfig { seed: 42, scale: 0.4, pretrain_seed: 1234 };
+    let cfg = ExperimentConfig { seed: 42, scale: 0.4, pretrain_seed: 1234, ..Default::default() };
     print!("{}", a5_user_level(&cfg).to_markdown());
 
     // Then a narrated single-user trace: watch the screener's evidence

@@ -6,7 +6,7 @@ use mhd::core::report::{full_report, Artifact};
 use mhd::eval::table::Table;
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig { seed: 42, scale: 0.06, pretrain_seed: 1234 }
+    ExperimentConfig { seed: 42, scale: 0.06, ..ExperimentConfig::default() }
 }
 
 fn generate(a: Artifact) -> Table {
@@ -40,7 +40,7 @@ fn artifacts_are_deterministic() {
 #[test]
 fn different_seed_changes_results_not_structure() {
     let a = Artifact::T3.generate(&tiny());
-    let b = Artifact::T3.generate(&ExperimentConfig { seed: 7, scale: 0.06, pretrain_seed: 1234 });
+    let b = Artifact::T3.generate(&ExperimentConfig { seed: 7, scale: 0.06, ..tiny() });
     assert_eq!(a.n_rows(), b.n_rows());
     assert_eq!(a.headers, b.headers);
     assert_ne!(a.to_csv(), b.to_csv(), "different seeds must change numbers");
