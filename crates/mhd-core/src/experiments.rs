@@ -382,7 +382,7 @@ pub fn f1_scale_curve(cfg: &ExperimentConfig) -> Table {
         }
     }
     for (r, model) in eval_cells(&client, &cells, cfg.precision).iter().zip(models) {
-        // mhd-lint: allow(R2) — SCALE_LADDER names come from the built-in zoo the client registers at construction
+        // mhd-lint: allow(R2, R6) — SCALE_LADDER names come from the built-in zoo the client registers at construction
         let params = client.spec(model).expect("ladder model exists").params_b;
         t.push_row(vec![
             model.to_string(),

@@ -129,6 +129,7 @@ impl FeatureCache {
     pub fn global() -> &'static FeatureCache {
         static CACHE: OnceLock<FeatureCache> = OnceLock::new();
         CACHE.get_or_init(|| {
+            // mhd-lint: allow(R7) — budget only bounds cache residency; hits and recomputes yield identical vectors
             let budget = std::env::var("MHD_CACHE_BYTES").ok().and_then(|v| v.parse().ok());
             FeatureCache::with_budget(budget)
         })

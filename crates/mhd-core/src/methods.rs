@@ -231,6 +231,7 @@ impl Detector for ClassifierDetector {
     }
 
     fn detect(&self, _task: &Task, texts: &[&str], _ids: &[u64]) -> Vec<Prediction> {
+        // mhd-lint: allow(R6) — Detector contract: prepare() runs before detect(); the pipeline enforces the order
         let model = self.model.as_ref().expect("prepare before detect");
         // Batched scoring: one whole-split vectorization + parallel kernel
         // for the TF-IDF models, with output identical to per-text calls.
@@ -412,11 +413,13 @@ impl Detector for FineTunedDetector {
         let ft_id = self
             .client
             .fine_tune(&job)
+            // mhd-lint: allow(R6) — jobs built by build_job from a non-empty split are well-formed by construction
             .expect("fine-tune jobs built from a dataset are well-formed");
         self.ft_model = Some(ft_id);
     }
 
     fn detect(&self, task: &Task, texts: &[&str], ids: &[u64]) -> Vec<Prediction> {
+        // mhd-lint: allow(R6) — Detector contract: prepare() runs before detect(); the pipeline enforces the order
         let model = self.ft_model.clone().expect("prepare before detect");
         let client = self.client.client();
         texts

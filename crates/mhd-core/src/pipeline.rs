@@ -72,7 +72,7 @@ impl std::error::Error for PipelineError {}
 /// Panics if the detector mislabels the split; use [`try_evaluate`] to
 /// handle that as an error instead.
 pub fn evaluate(detector: &mut dyn Detector, dataset: &Dataset, split: Split) -> EvalResult {
-    // mhd-lint: allow(R2) — documented panicking wrapper; the fallible form is try_evaluate
+    // mhd-lint: allow(R2, R6) — documented panicking wrapper; the fallible form is try_evaluate
     try_evaluate(detector, dataset, split).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -95,7 +95,7 @@ pub fn try_evaluate(
 /// Panics if the detector mislabels the split; use
 /// [`try_evaluate_prepared`] to handle that as an error instead.
 pub fn evaluate_prepared(detector: &dyn Detector, dataset: &Dataset, split: Split) -> EvalResult {
-    // mhd-lint: allow(R2) — documented panicking wrapper; the fallible form is try_evaluate_prepared
+    // mhd-lint: allow(R2, R6) — documented panicking wrapper; the fallible form is try_evaluate_prepared
     try_evaluate_prepared(detector, dataset, split).unwrap_or_else(|e| panic!("{e}"))
 }
 

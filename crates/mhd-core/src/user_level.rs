@@ -179,6 +179,7 @@ pub fn screen_cohort(screener: &UserScreener<'_>, cohort: &[UserTimeline]) -> Sc
         match (user.is_positive(), decision.positive) {
             (true, true) => {
                 tp += 1;
+                // mhd-lint: allow(R6) — corpus invariant: is_positive() implies onset_day is Some (generator sets both)
                 let onset = user.onset_day.expect("positive user has onset");
                 if let Some(day) = decision.decision_day {
                     if day >= onset {

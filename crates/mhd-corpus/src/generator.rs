@@ -293,16 +293,15 @@ impl Generator {
         for _ in 0..n_sentences {
             let is_signal = rng.gen_bool(p_signal);
             let sentence = if is_signal {
-                let use_secondary = secondary.is_some()
-                    && rng.gen_bool(0.3)
-                    && primary.disorder != Disorder::Control;
-                let prof = if use_secondary {
-                    secondary.expect("checked is_some")
-                } else {
-                    primary
+                // Guard order mirrors the old `is_some() && gen_bool(..) && ..`
+                // chain so the RNG stream (and thus every corpus) is unchanged.
+                let prof = match secondary {
+                    Some(sec) if rng.gen_bool(0.3) && primary.disorder != Disorder::Control => sec,
+                    _ => primary,
                 };
                 self.signal_sentence(prof, severity, rng)
             } else {
+                // mhd-lint: allow(R6) — FILLER is a non-empty const array
                 FILLER.choose(rng).expect("filler non-empty").to_string()
             };
             sentences.push(sentence);
@@ -313,6 +312,7 @@ impl Generator {
         }
         let mut text = join_sentences(&sentences, rng);
         if style == Style::Tweet && rng.gen_bool(0.5) {
+            // mhd-lint: allow(R6) — hashtags() returns a non-empty const slice for every disorder
             let tag = hashtags(primary.disorder).choose(rng).expect("tags non-empty");
             text.push(' ');
             text.push_str(tag);
@@ -324,14 +324,17 @@ impl Generator {
     fn signal_sentence(&self, prof: &SignalProfile, severity: Severity, rng: &mut StdRng) -> String {
         let cat = sample_category(prof, rng);
         let pool = templates(cat);
+        // mhd-lint: allow(R6) — templates() returns a non-empty const slice for every category
         let template = pool.choose(rng).expect("template pool non-empty");
         let mut sentence = String::with_capacity(template.len() + 16);
         let mut rest = *template;
         while let Some(pos) = rest.find('{') {
             sentence.push_str(&rest[..pos]);
+            // mhd-lint: allow(R6) — template tables are const and brace-balanced; pinned by the template tests
             let close = rest[pos..].find('}').expect("balanced template braces") + pos;
             match &rest[pos + 1..close] {
                 "w" => {
+                    // mhd-lint: allow(R6) — category_words() returns a non-empty const slice for every category
                     let word = category_words(cat).choose(rng).expect("category words non-empty");
                     sentence.push_str(word);
                 }
@@ -339,6 +342,7 @@ impl Generator {
                     let n: u32 = rng.gen_range(2..=9);
                     sentence.push_str(&n.to_string());
                 }
+                // mhd-lint: allow(R6) — const template tables only use {w}/{n}; a new slot must fail loudly in tests
                 other => panic!("unknown template slot {{{other}}}"),
             }
             rest = &rest[close + 1..];
@@ -346,6 +350,7 @@ impl Generator {
         sentence.push_str(rest);
         // Severe posts pick up intensifiers ("i feel so utterly empty").
         if severity == Severity::Severe && rng.gen_bool(0.45) {
+            // mhd-lint: allow(R6) — INTENSIFIERS is a non-empty const array
             let intensifier = INTENSIFIERS.choose(rng).expect("non-empty");
             if let Some(pos) = sentence.find(" feel ") {
                 sentence.insert_str(pos + 6, &format!("{intensifier} "));
@@ -366,6 +371,7 @@ fn sample_category(prof: &SignalProfile, rng: &mut StdRng) -> C {
         }
         draw -= w;
     }
+    // mhd-lint: allow(R6) — every built-in SignalProfile carries at least one category weight
     prof.category_weights.last().expect("non-empty").0
 }
 

@@ -134,6 +134,7 @@ fn inject_emoticons(text: &str, rate: f64, rng: &mut StdRng) -> String {
     for (i, part) in text.split_inclusive(['.', '!', '?']).enumerate() {
         if i > 0 && rng.gen_bool(rate) {
             out.push(' ');
+            // mhd-lint: allow(R6) — INJECT_EMOTICONS is a non-empty const array
             out.push_str(INJECT_EMOTICONS.choose(rng).expect("non-empty"));
         }
         out.push_str(part);

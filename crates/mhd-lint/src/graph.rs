@@ -1,0 +1,496 @@
+//! Cross-crate call graph over the per-file symbol tables, plus the R6
+//! transitive panic-reachability analysis and the `--graph dot` dump.
+//!
+//! Call resolution is name-based and deliberately over-approximate (sound
+//! for a reachability lint, at the cost of some spurious edges):
+//!
+//! - `self.m(…)` resolves to `m` on the enclosing impl type first, falling
+//!   back to every impl defining `m`;
+//! - `recv.m(…)` resolves to **every** impl/trait fn named `m` — the
+//!   class-hierarchy-analysis treatment of dynamic and generic dispatch;
+//! - `Type::f(…)` resolves by the type's base name, after expanding the
+//!   leading path segment through the file's `use` bindings;
+//! - `module::f(…)` resolves to free fns whose module path ends with the
+//!   (expanded) qualifier;
+//! - bare `f(…)` tries the caller's module, then `use` bindings, then glob
+//!   imports, then any free fn of the same crate.
+//!
+//! Calls into `vendor/` shims and `std` stay unresolved (those trees are not
+//! walked), and non-test callers never grow edges into test-only fns.
+
+use crate::parse::{AtomKind, CallKind, FileModel, FnDef};
+use crate::{Finding, RuleId};
+use std::collections::{HashMap, VecDeque};
+
+/// R6 entry points: `(fn name, required impl owner, required module)`.
+/// `None` matches anything. These are the repo's serving and repro surfaces;
+/// everything transitively callable from them must be panic-free.
+pub const R6_ENTRY_POINTS: &[(&str, Option<&str>, Option<&str>)] = &[
+    ("main", None, Some("mhd_bench::bin::repro")),
+    ("full_report", None, None),
+    ("generate", Some("Artifact"), None),
+    ("predict_proba_batch", None, None),
+    ("forward_batch", None, None),
+    ("load", Some("Checkpoint"), None),
+];
+
+/// A node in the call graph: index into [`CallGraph`]'s flattened fn list.
+pub type NodeId = usize;
+
+/// Workspace call graph. Nodes are `fn` definitions in walk order; edges are
+/// resolved call sites annotated with the call's source line.
+pub struct CallGraph<'a> {
+    pub models: &'a [FileModel],
+    nodes: Vec<(usize, usize)>,
+    /// Adjacency: `edges[caller] = sorted (callee, call line)`.
+    edges: Vec<Vec<(NodeId, usize)>>,
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph and resolve every call site.
+    pub fn build(models: &'a [FileModel]) -> CallGraph<'a> {
+        let mut nodes = Vec::new();
+        for (mi, m) in models.iter().enumerate() {
+            for fi in 0..m.fns.len() {
+                nodes.push((mi, fi));
+            }
+        }
+        let mut by_name: HashMap<&str, Vec<NodeId>> = HashMap::new();
+        for (n, &(mi, fi)) in nodes.iter().enumerate() {
+            by_name.entry(models[mi].fns[fi].name.as_str()).or_default().push(n);
+        }
+        let mut g = CallGraph { models, nodes, edges: Vec::new() };
+        let mut edges = vec![Vec::new(); g.nodes.len()];
+        for (caller, out) in edges.iter_mut().enumerate() {
+            let (mi, fi) = g.nodes[caller];
+            let model = &models[mi];
+            let f = &model.fns[fi];
+            for call in &f.calls {
+                for callee in g.resolve(call, f, model, &by_name) {
+                    // Live code never dispatches into cfg(test) items.
+                    if !f.is_test && g.fn_of(callee).is_test {
+                        continue;
+                    }
+                    out.push((callee, call.line));
+                }
+            }
+            out.sort_unstable();
+            out.dedup_by_key(|e| e.0);
+        }
+        g.edges = edges;
+        g
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn fn_of(&self, n: NodeId) -> &FnDef {
+        let (mi, fi) = self.nodes[n];
+        &self.models[mi].fns[fi]
+    }
+
+    pub fn path_of(&self, n: NodeId) -> &str {
+        &self.models[self.nodes[n].0].path
+    }
+
+    pub fn callees(&self, n: NodeId) -> &[(NodeId, usize)] {
+        &self.edges[n]
+    }
+
+    /// Resolve one call site to candidate callee nodes.
+    fn resolve(
+        &self,
+        call: &crate::parse::Call,
+        caller: &FnDef,
+        model: &FileModel,
+        by_name: &HashMap<&str, Vec<NodeId>>,
+    ) -> Vec<NodeId> {
+        let same_name: &[NodeId] =
+            by_name.get(call.name.as_str()).map(Vec::as_slice).unwrap_or(&[]);
+        if same_name.is_empty() {
+            return Vec::new();
+        }
+        match call.kind {
+            CallKind::SelfMethod => {
+                if let Some(owner) = &caller.owner {
+                    let own: Vec<NodeId> = same_name
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.fn_of(n).owner.as_deref() == Some(owner.as_str()))
+                        .collect();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+                // Trait-provided method or blanket impl: fall back to CHA.
+                same_name.iter().copied().filter(|&n| self.fn_of(n).owner.is_some()).collect()
+            }
+            CallKind::Method => {
+                same_name.iter().copied().filter(|&n| self.fn_of(n).owner.is_some()).collect()
+            }
+            CallKind::Qualified => {
+                let segs = self.expand_qualifier(call.qualifier.as_deref().unwrap_or(""), model);
+                let Some(last) = segs.last() else { return Vec::new() };
+                if last.chars().next().is_some_and(|c| c.is_uppercase()) {
+                    // `Type::assoc(…)` — match by impl owner base name.
+                    same_name
+                        .iter()
+                        .copied()
+                        .filter(|&n| self.fn_of(n).owner.as_deref() == Some(last.as_str()))
+                        .collect()
+                } else {
+                    // `module::f(…)` — free fns whose module ends with the path.
+                    same_name
+                        .iter()
+                        .copied()
+                        .filter(|&n| {
+                            let f = self.fn_of(n);
+                            f.owner.is_none() && module_suffix_matches(&f.module, &segs)
+                        })
+                        .collect()
+                }
+            }
+            CallKind::Free => {
+                // 1. Same module.
+                let local: Vec<NodeId> = same_name
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        let f = self.fn_of(n);
+                        f.owner.is_none() && f.module == caller.module
+                    })
+                    .collect();
+                if !local.is_empty() {
+                    return local;
+                }
+                // 2. Explicit `use path::f;`.
+                for u in &model.uses {
+                    if u.name == call.name {
+                        let segs: Vec<String> = u.path.split("::").map(str::to_string).collect();
+                        let module_segs = &segs[..segs.len().saturating_sub(1)];
+                        let hits: Vec<NodeId> = same_name
+                            .iter()
+                            .copied()
+                            .filter(|&n| {
+                                let f = self.fn_of(n);
+                                f.owner.is_none() && module_suffix_matches(&f.module, module_segs)
+                            })
+                            .collect();
+                        if !hits.is_empty() {
+                            return hits;
+                        }
+                    }
+                }
+                // 3. Glob imports.
+                let mut globbed = Vec::new();
+                for u in model.uses.iter().filter(|u| u.name == "*") {
+                    let segs: Vec<String> = u.path.split("::").map(str::to_string).collect();
+                    globbed.extend(same_name.iter().copied().filter(|&n| {
+                        let f = self.fn_of(n);
+                        f.owner.is_none() && module_suffix_matches(&f.module, &segs)
+                    }));
+                }
+                if !globbed.is_empty() {
+                    return globbed;
+                }
+                // 4. Any free fn of the same crate (re-exports, preludes).
+                same_name
+                    .iter()
+                    .copied()
+                    .filter(|&n| {
+                        let (mi, _) = self.nodes[n];
+                        let f = self.fn_of(n);
+                        f.owner.is_none() && self.models[mi].crate_name == model.crate_name
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Expand a call qualifier's leading segment through `crate`/`self`/
+    /// `super` and the file's `use` bindings.
+    fn expand_qualifier(&self, qual: &str, model: &FileModel) -> Vec<String> {
+        let mut segs: Vec<String> =
+            qual.split("::").map(str::to_string).filter(|s| !s.is_empty()).collect();
+        match segs.first().map(String::as_str) {
+            Some("crate") => {
+                segs[0] = model.crate_name.clone();
+            }
+            Some("self") => {
+                segs.remove(0);
+                let mut m: Vec<String> = model.module.split("::").map(str::to_string).collect();
+                m.extend(segs);
+                segs = m;
+            }
+            Some("super") => {
+                segs.remove(0);
+                let mut m: Vec<String> = model.module.split("::").map(str::to_string).collect();
+                m.pop();
+                m.extend(segs);
+                segs = m;
+            }
+            Some(first) => {
+                if let Some(u) = model.uses.iter().find(|u| u.name == first) {
+                    let mut m: Vec<String> = u.path.split("::").map(str::to_string).collect();
+                    m.extend(segs.into_iter().skip(1));
+                    segs = m;
+                }
+            }
+            None => {}
+        }
+        segs
+    }
+
+    /// Fully-qualified display name of a node.
+    pub fn qname(&self, n: NodeId) -> String {
+        self.fn_of(n).qname()
+    }
+
+    /// Nodes matching the R6 entry-point declarations (non-test only).
+    pub fn entries(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for n in 0..self.nodes.len() {
+            let f = self.fn_of(n);
+            if f.is_test {
+                continue;
+            }
+            let hit = R6_ENTRY_POINTS.iter().any(|(name, owner, module)| {
+                f.name == *name
+                    && owner.is_none_or(|o| f.owner.as_deref() == Some(o))
+                    && module.is_none_or(|m| f.module == m)
+            });
+            if hit {
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// Multi-source BFS. Returns `(visited, parent)` where `parent[n]` is the
+    /// predecessor on a shortest chain from some start (starts have `None`).
+    pub fn reach(&self, starts: &[NodeId]) -> (Vec<bool>, Vec<Option<NodeId>>) {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut parent = vec![None; self.nodes.len()];
+        let mut q = VecDeque::new();
+        let mut starts = starts.to_vec();
+        starts.sort_unstable();
+        for &s in &starts {
+            if !visited[s] {
+                visited[s] = true;
+                q.push_back(s);
+            }
+        }
+        while let Some(n) = q.pop_front() {
+            for &(c, _) in &self.edges[n] {
+                if !visited[c] {
+                    visited[c] = true;
+                    parent[c] = Some(n);
+                    q.push_back(c);
+                }
+            }
+        }
+        (visited, parent)
+    }
+
+    /// Reconstruct the start→node chain of qualified names from BFS parents.
+    pub fn chain(&self, parent: &[Option<NodeId>], mut n: NodeId) -> Vec<String> {
+        let mut out = vec![self.qname(n)];
+        while let Some(p) = parent[n] {
+            out.push(self.qname(p));
+            n = p;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Graphviz dump of the non-test portion of the graph. Entry points are
+    /// boxes, fns holding panic atoms are red, report/table sinks are blue.
+    pub fn to_dot(&self) -> String {
+        let entries = self.entries();
+        let mut out =
+            String::from("digraph mhd_calls {\n    rankdir=LR;\n    node [fontsize=10];\n");
+        for n in 0..self.nodes.len() {
+            let f = self.fn_of(n);
+            if f.is_test {
+                continue;
+            }
+            let mut attrs = vec![format!("label=\"{}\"", self.qname(n))];
+            if entries.contains(&n) {
+                attrs.push("shape=box".to_string());
+                attrs.push("penwidth=2".to_string());
+            }
+            if f.atoms.iter().any(|a| a.kind == AtomKind::Panic) {
+                attrs.push("color=red".to_string());
+            } else if crate::taint::is_sink_module(&f.module) {
+                attrs.push("color=blue".to_string());
+            }
+            out.push_str(&format!("    n{} [{}];\n", n, attrs.join(", ")));
+        }
+        for n in 0..self.nodes.len() {
+            if self.fn_of(n).is_test {
+                continue;
+            }
+            for &(c, _) in &self.edges[n] {
+                out.push_str(&format!("    n{n} -> n{c};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Does `module` (a `::`-joined path) end with the `segs` sequence?
+fn module_suffix_matches(module: &str, segs: &[String]) -> bool {
+    if segs.is_empty() {
+        return false;
+    }
+    let m: Vec<&str> = module.split("::").collect();
+    if segs.len() > m.len() {
+        return false;
+    }
+    m[m.len() - segs.len()..].iter().zip(segs).all(|(a, b)| *a == b)
+}
+
+/// R6: no panic atom may be transitively reachable from a declared entry
+/// point. Findings anchor at the atom and carry the full call chain.
+pub fn check_r6(g: &CallGraph) -> Vec<Finding> {
+    let entries = g.entries();
+    if entries.is_empty() {
+        return Vec::new();
+    }
+    let (visited, parent) = g.reach(&entries);
+    let mut out = Vec::new();
+    for (n, &seen) in visited.iter().enumerate() {
+        if !seen || g.fn_of(n).is_test {
+            continue;
+        }
+        let chain = g.chain(&parent, n);
+        for atom in &g.fn_of(n).atoms {
+            if atom.kind != AtomKind::Panic {
+                continue;
+            }
+            out.push(Finding {
+                rule: RuleId::R6,
+                path: g.path_of(n).to_string(),
+                line: atom.line,
+                message: format!(
+                    "`{}` in `{}` is reachable from entry point `{}`: {}",
+                    atom.what,
+                    g.qname(n),
+                    chain[0],
+                    chain.join(" → "),
+                ),
+                hint: "make this path infallible (return Result / handle the None case) or annotate: // mhd-lint: allow(R6) — reason".to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::FileModel;
+    use crate::source::SourceFile;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files.iter().map(|(p, s)| FileModel::build(&SourceFile::parse(p, s))).collect()
+    }
+
+    #[test]
+    fn direct_edge_resolved() {
+        let ms = models(&[(
+            "crates/mhd-x/src/a.rs",
+            "pub fn caller() { callee(); }\npub fn callee() {}\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        assert_eq!(g.callees(0), &[(1, 1)]);
+    }
+
+    #[test]
+    fn cross_crate_qualified_edge() {
+        let ms = models(&[
+            ("crates/mhd-a/src/lib.rs", "use mhd_b::util::helper;\npub fn go() { helper(); }\n"),
+            ("crates/mhd-b/src/util.rs", "pub fn helper() {}\n"),
+        ]);
+        let g = CallGraph::build(&ms);
+        assert_eq!(g.callees(0).len(), 1);
+        assert_eq!(g.qname(g.callees(0)[0].0), "mhd_b::util::helper");
+    }
+
+    #[test]
+    fn type_qualified_and_self_method_edges() {
+        let ms = models(&[(
+            "crates/mhd-a/src/m.rs",
+            "pub struct T;\nimpl T {\n    pub fn load() -> T { T::validate(); T }\n    fn validate() {}\n    pub fn run(&self) { self.step(); }\n    fn step(&self) {}\n}\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        let load = 0;
+        let run = 2;
+        assert_eq!(g.qname(g.callees(load)[0].0), "mhd_a::m::T::validate");
+        assert_eq!(g.qname(g.callees(run)[0].0), "mhd_a::m::T::step");
+    }
+
+    #[test]
+    fn method_call_is_cha_over_all_impls() {
+        let ms = models(&[
+            ("crates/mhd-a/src/one.rs", "pub struct A;\nimpl A { pub fn score(&self) {} }\n"),
+            ("crates/mhd-b/src/two.rs", "pub struct B;\nimpl B { pub fn score(&self) {} }\n"),
+            ("crates/mhd-c/src/go.rs", "pub fn go(x: &dyn Scorer) { x.score(); }\n"),
+        ]);
+        let g = CallGraph::build(&ms);
+        let go = 2;
+        assert_eq!(g.callees(go).len(), 2);
+    }
+
+    #[test]
+    fn non_test_callers_do_not_reach_test_fns() {
+        let ms = models(&[(
+            "crates/mhd-a/src/x.rs",
+            "pub fn live() { helper(); }\n#[cfg(test)]\nmod tests {\n    pub fn helper() {}\n}\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        assert!(g.callees(0).is_empty());
+    }
+
+    #[test]
+    fn r6_flags_two_hop_chain_and_reports_it() {
+        let ms = models(&[(
+            "crates/mhd-x/src/serve.rs",
+            "pub struct M;\nimpl M {\n    pub fn predict_proba_batch(&self) { self.mid(); }\n    fn mid(&self) { deep(); }\n}\nfn deep() { let x: Option<u8> = None; x.unwrap(); }\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        let f = check_r6(&g);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::R6);
+        assert_eq!(f[0].line, 6);
+        assert!(f[0].message.contains("predict_proba_batch"), "{}", f[0].message);
+        assert!(f[0].message.contains("mid"), "{}", f[0].message);
+        assert!(f[0].message.contains("deep"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn r6_ignores_unreachable_panics() {
+        let ms = models(&[(
+            "crates/mhd-x/src/serve.rs",
+            "pub fn predict_proba_batch() {}\npub fn orphan() { panic!(\"never reached\"); }\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        assert!(check_r6(&g).is_empty());
+    }
+
+    #[test]
+    fn dot_dump_has_nodes_and_edges() {
+        let ms = models(&[(
+            "crates/mhd-x/src/a.rs",
+            "pub fn predict_proba_batch() { helper(); }\nfn helper() { panic!(\"x\"); }\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shape=box"), "{dot}");
+        assert!(dot.contains("color=red"), "{dot}");
+        assert!(dot.contains("n0 -> n1"), "{dot}");
+    }
+}

@@ -52,8 +52,11 @@
 //! test code (`#[cfg(test)]` modules, `#[test]` functions, files under
 //! `tests/` or `benches/`) is exempt from every rule.
 
+pub mod graph;
+pub mod parse;
 pub mod rules;
 pub mod source;
+pub mod taint;
 pub mod walk;
 
 use std::path::Path;
@@ -73,11 +76,26 @@ pub enum RuleId {
     R4,
     /// Clock-type containment: `std::time` types only inside mhd-obs.
     R5,
+    /// Transitive panic-reachability from declared entry points.
+    R6,
+    /// Determinism taint: nondeterministic sources feeding report sinks.
+    R7,
+    /// Suppression audit: `allow(...)` annotations that mask nothing.
+    R8,
 }
 
 impl RuleId {
     /// All enforceable rule families (excludes the meta rule R0).
-    pub const ALL: [RuleId; 5] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
+    pub const ALL: [RuleId; 8] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+        RuleId::R7,
+        RuleId::R8,
+    ];
 
     /// Canonical rule id string.
     pub fn as_str(self) -> &'static str {
@@ -88,6 +106,9 @@ impl RuleId {
             RuleId::R3 => "R3",
             RuleId::R4 => "R4",
             RuleId::R5 => "R5",
+            RuleId::R6 => "R6",
+            RuleId::R7 => "R7",
+            RuleId::R8 => "R8",
         }
     }
 
@@ -100,7 +121,73 @@ impl RuleId {
             "R3" => Some(RuleId::R3),
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
             _ => None,
+        }
+    }
+
+    /// One-line rule summary (SARIF rule metadata, `--explain` header).
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::R0 => "malformed mhd-lint allow annotation",
+            RuleId::R1 => "determinism: no wall-clock, ambient RNG, or unordered map iteration in scoped code",
+            RuleId::R2 => "panic-freedom on the evaluation hot path (lexical fast path)",
+            RuleId::R3 => "lock discipline: no lock guard live across a parallel fan-out",
+            RuleId::R4 => "float-format hygiene: report floats go through mhd_eval::table helpers",
+            RuleId::R5 => "clock-type containment: std::time types only inside mhd-obs",
+            RuleId::R6 => "transitive panic-reachability from serving/repro entry points",
+            RuleId::R7 => "determinism taint: nondeterministic sources must not feed report sinks",
+            RuleId::R8 => "suppression audit: every allow(...) must mask a live finding",
+        }
+    }
+
+    /// Multi-paragraph explanation for `mhd-lint explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::R6 => {
+                "R6 — transitive panic-reachability\n\n\
+                 mhd-lint parses every workspace file into a symbol table (fns, impls,\n\
+                 use imports, call expressions), assembles a cross-crate call graph, and\n\
+                 walks it from the declared entry points: the repro binary's main,\n\
+                 full_report / Artifact::generate, every predict_proba_batch and\n\
+                 forward_batch impl, and Checkpoint::load. Any `.unwrap()`, `.expect(…)`,\n\
+                 `panic!`, `unreachable!`, `todo!`, or `unimplemented!` reachable from\n\
+                 one of them is a finding, reported with the full call chain.\n\n\
+                 Unlike the lexical R2 (which stays as a fast path over a fixed file\n\
+                 list), R6 scales by reachability: a new module wired into the serving\n\
+                 path is covered the moment an edge reaches it — no list to maintain.\n\
+                 Dispatch is resolved by method name across all impls (CHA), so the\n\
+                 rule over-approximates; suppress a vetted site with\n\
+                 `// mhd-lint: allow(R6) — reason` (R8 audits that the reason stays live)."
+            }
+            RuleId::R7 => {
+                "R7 — determinism taint\n\n\
+                 The benchmark's headline guarantee is byte-identical tables across\n\
+                 runs and --jobs counts. R7 protects it structurally: nondeterministic\n\
+                 sources — wall-clock reads, thread_rng/from_entropy, std::env reads,\n\
+                 iteration over HashMap/HashSet — must not be transitively executed by\n\
+                 a report sink (any fn in mhd_eval::table or mhd_core::report). Findings\n\
+                 anchor at the source atom and carry the sink→source call chain.\n\n\
+                 mhd-obs is exempt as the sanctioned timing facade, and mhd-bench clock\n\
+                 reads are exempt (measuring time is its job). Value flows that bypass\n\
+                 the sink's call tree (computing a timestamp and passing it in as data)\n\
+                 are beyond the call-graph abstraction — see DESIGN.md §11.\n\
+                 Suppress a vetted site with `// mhd-lint: allow(R7) — reason`."
+            }
+            RuleId::R8 => {
+                "R8 — suppression audit\n\n\
+                 Every `// mhd-lint: allow(<rules>) — reason` annotation must still mask\n\
+                 at least one live finding: the linter re-runs all rules WITHOUT\n\
+                 suppressions and checks that the annotated line raises one of the\n\
+                 listed rules. An annotation that masks nothing is itself a finding —\n\
+                 suppressions cannot rot after a refactor silently removes the code\n\
+                 they excused. Fix by deleting the stale annotation (or narrowing its\n\
+                 rule list). Annotations listing R8 itself are exempt from the audit\n\
+                 (escape hatch for intentionally-kept tombstones)."
+            }
+            _ => self.summary(),
         }
     }
 }
@@ -134,18 +221,104 @@ pub struct LintConfig {
     pub all_files: bool,
 }
 
-/// Lint one file's source text. `path` should be workspace-relative with
-/// forward slashes; it drives the per-rule scoping.
+/// Lint one file's source text with the lexical rules only (R0–R5). `path`
+/// should be workspace-relative with forward slashes; it drives the per-rule
+/// scoping. The graph rules (R6–R8) need the whole workspace — use
+/// [`lint_workspace`].
 pub fn lint_source(path: &str, src: &str, cfg: &LintConfig) -> Vec<Finding> {
     let sf = source::SourceFile::parse(path, src);
-    rules::lint_file(&sf, cfg)
+    let raw = rules::lint_file(&sf, cfg);
+    raw.into_iter().filter(|f| !sf.is_allowed(f.rule, f.line)).collect()
 }
 
-/// Walk the workspace rooted at `root` and lint every in-scope `.rs` file.
-/// Findings are sorted by `(path, line, rule)`.
+/// Lint a whole workspace given as `(path, source)` pairs: the lexical rules
+/// per file, then the call-graph rules — R6 panic-reachability, R7
+/// determinism taint — and finally the R8 suppression audit against the raw
+/// (pre-suppression) findings. Findings are sorted by `(path, line, rule)`.
+pub fn lint_workspace(inputs: &[(String, String)], cfg: &LintConfig) -> Vec<Finding> {
+    let sources: Vec<source::SourceFile> =
+        inputs.iter().map(|(p, s)| source::SourceFile::parse(p, s)).collect();
+    let models: Vec<parse::FileModel> = sources.iter().map(parse::FileModel::build).collect();
+
+    // Raw findings: every rule, suppressions NOT applied (R8 needs these).
+    let mut raw: Vec<Finding> = Vec::new();
+    for sf in &sources {
+        raw.extend(rules::lint_file(sf, cfg));
+    }
+    let g = graph::CallGraph::build(&models);
+    raw.extend(graph::check_r6(&g));
+    raw.extend(taint::check_r7(&g));
+
+    // Apply suppressions, then audit them.
+    let by_path: std::collections::HashMap<&str, &source::SourceFile> =
+        sources.iter().map(|sf| (sf.path.as_str(), sf)).collect();
+    let mut findings: Vec<Finding> = raw
+        .iter()
+        .filter(|f| !by_path.get(f.path.as_str()).is_some_and(|sf| sf.is_allowed(f.rule, f.line)))
+        .cloned()
+        .collect();
+    findings.extend(audit_suppressions(&sources, &raw));
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
+    });
+    findings
+}
+
+/// R8: every well-formed allow annotation must mask at least one raw finding
+/// of a rule it lists on its target line. Annotations listing R8 itself are
+/// exempt (the escape hatch, and it keeps the audit from recursing on its
+/// own output).
+fn audit_suppressions(sources: &[source::SourceFile], raw: &[Finding]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for sf in sources {
+        for ann in &sf.annotations {
+            if ann.rules.contains(&RuleId::R8) {
+                continue;
+            }
+            let live = ann.rules.iter().any(|r| {
+                raw.iter().any(|f| f.rule == *r && f.path == sf.path && f.line == ann.target)
+            });
+            if !live {
+                let listed: Vec<&str> = ann.rules.iter().map(|r| r.as_str()).collect();
+                out.push(Finding {
+                    rule: RuleId::R8,
+                    path: sf.path.clone(),
+                    line: ann.line,
+                    message: format!(
+                        "stale suppression: allow({}) masks no live finding on line {}",
+                        listed.join(", "),
+                        ann.target,
+                    ),
+                    hint: "delete the annotation (the code it excused is gone) or narrow its rule list".to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Walk the workspace rooted at `root` and lint every in-scope `.rs` file
+/// with all rule families. Findings are sorted by `(path, line, rule)`.
 pub fn run_check(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> {
+    Ok(lint_workspace(&read_workspace(root)?, cfg))
+}
+
+/// Render the workspace call graph rooted at `root` as Graphviz dot
+/// (`mhd-lint check --graph dot`). Entry points are boxes, panic-holding
+/// fns red, R7 sinks blue; test fns are omitted.
+pub fn render_dot(root: &Path) -> Result<String, String> {
+    let sources: Vec<source::SourceFile> = read_workspace(root)?
+        .iter()
+        .map(|(p, s)| source::SourceFile::parse(p, s))
+        .collect();
+    let models: Vec<parse::FileModel> = sources.iter().map(parse::FileModel::build).collect();
+    Ok(graph::CallGraph::build(&models).to_dot())
+}
+
+/// Read every in-scope `.rs` file under `root` as `(relative path, source)`.
+pub fn read_workspace(root: &Path) -> Result<Vec<(String, String)>, String> {
     let files = walk::collect_rs_files(root)?;
-    let mut findings = Vec::new();
+    let mut out = Vec::with_capacity(files.len());
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -154,12 +327,9 @@ pub fn run_check(root: &Path, cfg: &LintConfig) -> Result<Vec<Finding>, String> 
             .replace('\\', "/");
         let src = std::fs::read_to_string(&file)
             .map_err(|e| format!("reading {}: {e}", file.display()))?;
-        findings.extend(lint_source(&rel, &src, cfg));
+        out.push((rel, src));
     }
-    findings.sort_by(|a, b| {
-        (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule))
-    });
-    Ok(findings)
+    Ok(out)
 }
 
 /// Render findings as human-readable text (one block per finding).
@@ -192,6 +362,41 @@ pub fn render_json(findings: &[Finding]) -> String {
         ));
     }
     out.push_str(&format!("],\"total\":{}}}", findings.len()));
+    out
+}
+
+/// Render findings as SARIF 2.1.0 (one run, one result per finding) for CI
+/// code-scanning upload.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"mhd-lint\",\"rules\":[",
+    );
+    let mut rules: Vec<RuleId> = vec![RuleId::R0];
+    rules.extend(RuleId::ALL);
+    for (i, r) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            r,
+            json_escape(r.summary()),
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            f.rule,
+            json_escape(&format!("{} (fix: {})", f.message, f.hint)),
+            json_escape(&f.path),
+            f.line,
+        ));
+    }
+    out.push_str("]}]}");
     out
 }
 

@@ -2,21 +2,26 @@
 //! `mhd-lint` CLI — see the library docs for the rule set.
 //!
 //! ```text
-//! cargo run -p mhd-lint -- check [--root <dir>] [--format text|json]
+//! cargo run -p mhd-lint -- check [--root <dir>] [--format text|json|sarif]
+//! cargo run -p mhd-lint -- check [--root <dir>] --graph dot
+//! cargo run -p mhd-lint -- explain <RULE>
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings reported, 2 usage/IO error.
+//! `--graph dot` dumps the resolved call graph instead of linting and
+//! always exits 0 on success (CI uses it as a parser smoke test).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use mhd_lint::{render_json, render_text, run_check, LintConfig};
+use mhd_lint::{render_dot, render_json, render_sarif, render_text, run_check, LintConfig, RuleId};
 
-const USAGE: &str = "usage: mhd-lint check [--root <dir>] [--format text|json]";
+const USAGE: &str = "usage: mhd-lint check [--root <dir>] [--format text|json|sarif] [--graph dot]\n       mhd-lint explain <RULE>";
 
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -35,11 +40,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
         Some("check") => {}
+        Some("explain") => {
+            let id = it.next().ok_or("explain requires a rule id (R0..R8)")?;
+            let rule = RuleId::parse(id).ok_or_else(|| format!("unknown rule `{id}`"))?;
+            if it.next().is_some() {
+                return Err("explain takes exactly one rule id".to_string());
+            }
+            println!("{} — {}\n\n{}", rule.as_str(), rule.summary(), rule.explain());
+            return Ok(ExitCode::SUCCESS);
+        }
         Some(other) => return Err(format!("unknown command `{other}`")),
         None => return Err("missing command".to_string()),
     }
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut graph = false;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => {
@@ -49,8 +64,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--format" => match it.next().map(String::as_str) {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 Some(other) => return Err(format!("unknown format `{other}`")),
-                None => return Err("--format requires `text` or `json`".to_string()),
+                None => return Err("--format requires `text`, `json`, or `sarif`".to_string()),
+            },
+            "--graph" => match it.next().map(String::as_str) {
+                Some("dot") => graph = true,
+                Some(other) => return Err(format!("unknown graph format `{other}`")),
+                None => return Err("--graph requires `dot`".to_string()),
             },
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -60,10 +81,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if !root.is_dir() {
         return Err(format!("root `{}` is not a directory", root.display()));
     }
+    if graph {
+        print!("{}", render_dot(&root)?);
+        return Ok(ExitCode::SUCCESS);
+    }
     let findings = run_check(&root, &LintConfig::default())?;
     match format {
         Format::Text => print!("{}", render_text(&findings)),
         Format::Json => println!("{}", render_json(&findings)),
+        Format::Sarif => println!("{}", render_sarif(&findings)),
     }
     Ok(if findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }

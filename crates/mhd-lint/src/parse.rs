@@ -1,0 +1,898 @@
+//! A lightweight Rust-subset parser over the masked source view.
+//!
+//! [`FileModel::build`] extracts, per file, the symbol table the graph rules
+//! (R6–R8) consume: `fn` definitions with their module path and impl owner,
+//! `use` imports, call expressions, and the "atoms" the repo's invariants
+//! care about (panic sites, clock reads, ambient RNG, environment reads,
+//! unordered-container iteration).
+//!
+//! This is deliberately *not* a full Rust parser. It runs on the lexer's
+//! masked lines (comments and literal contents blanked), tracks brace scopes
+//! for `mod` / `impl` / `trait` / `fn`, and recognizes calls by the
+//! `ident(`, `.ident(` and `path::ident(` shapes. Known limits — documented
+//! in DESIGN.md §11 and accepted for a linter that over-approximates:
+//! closures attribute their calls to the enclosing `fn`; trait-object and
+//! generic dispatch resolve by method *name* across every impl (a
+//! class-hierarchy-style over-approximation); turbofish call sites
+//! (`f::<T>()`) and macro-generated code are not seen.
+
+use crate::source::SourceFile;
+
+/// One token of masked source: an identifier/number word or one punct char.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Identifier, keyword, or numeric literal, with its 1-based line.
+    Word(String, usize),
+    /// Single punctuation character, with its 1-based line.
+    P(char, usize),
+}
+
+/// Atom families the graph rules track inside function bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AtomKind {
+    /// `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`,
+    /// `unimplemented!` — aborts the process on the serving path.
+    Panic,
+    /// `Instant::now` / `SystemTime::now` — wall-clock read.
+    Clock,
+    /// `thread_rng` / `from_entropy` — OS-entropy RNG.
+    Rng,
+    /// `std::env::var` and friends — ambient process environment.
+    Env,
+    /// Iteration over a `HashMap`/`HashSet` binding — unspecified order.
+    UnorderedIter,
+}
+
+/// One atom occurrence inside a function body.
+#[derive(Debug, Clone)]
+pub struct Atom {
+    pub kind: AtomKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// The surface syntax that fired, e.g. `.unwrap()` or `thread_rng`.
+    pub what: String,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// Bare `f(…)`.
+    Free,
+    /// `recv.f(…)` where `recv` is not literally `self`.
+    Method,
+    /// `self.f(…)`.
+    SelfMethod,
+    /// `path::f(…)` — the path is kept in [`Call::qualifier`].
+    Qualified,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Final path segment (the function or method name).
+    pub name: String,
+    /// `::`-joined path before the name for [`CallKind::Qualified`].
+    pub qualifier: Option<String>,
+    pub kind: CallKind,
+    pub line: usize,
+}
+
+/// One `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    /// Impl/trait type the fn is defined on, if any.
+    pub owner: Option<String>,
+    /// Module path of the surrounding scope, e.g. `mhd_core::pipeline`.
+    pub module: String,
+    pub start_line: usize,
+    pub end_line: usize,
+    /// True when the fn lives in test code (cfg(test) / #[test] / tests dir).
+    pub is_test: bool,
+    pub calls: Vec<Call>,
+    pub atoms: Vec<Atom>,
+}
+
+impl FnDef {
+    /// Fully-qualified display name, e.g. `mhd_nn::checkpoint::Checkpoint::load`.
+    pub fn qname(&self) -> String {
+        match &self.owner {
+            Some(t) => format!("{}::{}::{}", self.module, t, self.name),
+            None => format!("{}::{}", self.module, self.name),
+        }
+    }
+}
+
+/// One `use` binding: local `name` refers to full `path`.
+#[derive(Debug, Clone)]
+pub struct UseBinding {
+    pub name: String,
+    pub path: String,
+}
+
+/// The per-file symbol table.
+#[derive(Debug)]
+pub struct FileModel {
+    pub path: String,
+    /// Crate the file belongs to (`mhd_core`, `mhd` for the root package).
+    pub crate_name: String,
+    /// Module path of the file itself.
+    pub module: String,
+    pub uses: Vec<UseBinding>,
+    pub fns: Vec<FnDef>,
+}
+
+/// Derive `(crate_name, module_path)` from a workspace-relative file path.
+fn module_of(path: &str) -> (String, String) {
+    let p = path.trim_start_matches("./");
+    let (krate, rest) = if let Some(r) = p.strip_prefix("crates/") {
+        match r.split_once('/') {
+            Some((c, tail)) => (c.replace('-', "_"), tail),
+            None => (r.replace('-', "_"), ""),
+        }
+    } else if p.starts_with("src/") || p.starts_with("tests/") || p.starts_with("examples/") {
+        ("mhd".to_string(), p)
+    } else {
+        ("".to_string(), p)
+    };
+    let rest = rest.strip_prefix("src/").unwrap_or(rest);
+    let mut parts: Vec<String> = vec![krate.clone()];
+    for seg in rest.split('/') {
+        let seg = seg.strip_suffix(".rs").unwrap_or(seg);
+        if seg.is_empty() || seg == "lib" || seg == "main" || seg == "mod" {
+            continue;
+        }
+        parts.push(seg.replace('-', "_"));
+    }
+    (krate, parts.join("::"))
+}
+
+fn tokenize(lines: &[String]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let ch: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < ch.len() {
+            let c = ch[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < ch.len() && (ch[i].is_alphanumeric() || ch[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Word(ch[start..i].iter().collect(), lineno));
+            } else {
+                out.push(Tok::P(c, lineno));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Words that look like calls (`kw(` …) but are control flow or types.
+fn is_call_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "if" | "while" | "for" | "match" | "return" | "let" | "loop" | "move" | "in" | "as"
+            | "ref" | "mut" | "else" | "break" | "continue" | "where" | "pub" | "use" | "mod"
+            | "impl" | "trait" | "struct" | "enum" | "type" | "const" | "static" | "dyn" | "fn"
+            | "crate" | "super" | "self" | "Self" | "unsafe" | "extern" | "async" | "await"
+    )
+}
+
+const ITER_METHODS: [&str; 9] = [
+    "iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "retain", "par_iter",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// What a pending `{` will open.
+#[derive(Debug, Clone)]
+enum Pend {
+    Mod(String),
+    Impl(String),
+    Trait(String),
+    Fn { name: String, line: usize },
+}
+
+#[derive(Debug)]
+enum Scope {
+    Mod(String),
+    Impl(String),
+    Trait(String),
+    Fn { fn_idx: usize },
+    Block,
+}
+
+impl FileModel {
+    /// Build the symbol table for one parsed file.
+    pub fn build(sf: &SourceFile) -> FileModel {
+        let (crate_name, module) = module_of(&sf.path);
+        let toks = tokenize(&sf.lines);
+        let unordered = unordered_bindings(&toks);
+        let mut model = FileModel {
+            path: sf.path.clone(),
+            crate_name: crate_name.clone(),
+            module: module.clone(),
+            uses: Vec::new(),
+            fns: Vec::new(),
+        };
+        let mut scopes: Vec<Scope> = Vec::new();
+        let mut pend: Option<Pend> = None;
+        let mut i = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                Tok::P('{', _) => {
+                    let scope = match pend.take() {
+                        Some(Pend::Mod(n)) => Scope::Mod(n),
+                        Some(Pend::Impl(t)) => Scope::Impl(t),
+                        Some(Pend::Trait(t)) => Scope::Trait(t),
+                        Some(Pend::Fn { name, line }) => {
+                            let owner = scopes.iter().rev().find_map(|s| match s {
+                                Scope::Impl(t) | Scope::Trait(t) => Some(t.clone()),
+                                _ => None,
+                            });
+                            let module = current_module(&module, &scopes);
+                            model.fns.push(FnDef {
+                                name,
+                                owner,
+                                module,
+                                start_line: line,
+                                end_line: line,
+                                is_test: sf.is_test(line),
+                                calls: Vec::new(),
+                                atoms: Vec::new(),
+                            });
+                            Scope::Fn { fn_idx: model.fns.len() - 1 }
+                        }
+                        None => Scope::Block,
+                    };
+                    scopes.push(scope);
+                    i += 1;
+                }
+                Tok::P('}', l) => {
+                    if let Some(Scope::Fn { fn_idx }) = scopes.pop() {
+                        model.fns[fn_idx].end_line = *l;
+                    }
+                    i += 1;
+                }
+                Tok::P(';', _) => {
+                    // `fn decl(…);` in traits, `mod name;`, `use …;` ends.
+                    pend = None;
+                    i += 1;
+                }
+                Tok::Word(w, line) => {
+                    let in_signature = matches!(pend, Some(Pend::Fn { .. }));
+                    match w.as_str() {
+                        "mod" if !in_signature => {
+                            if let Some(Tok::Word(n, _)) = toks.get(i + 1) {
+                                pend = Some(Pend::Mod(n.clone()));
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        "impl" if !in_signature && pend.is_none() => {
+                            let (ty, next) = parse_impl_header(&toks, i + 1);
+                            pend = Some(Pend::Impl(ty));
+                            i = next;
+                        }
+                        "trait" if !in_signature && pend.is_none() => {
+                            if let Some(Tok::Word(n, _)) = toks.get(i + 1) {
+                                pend = Some(Pend::Trait(n.clone()));
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        "fn" if !in_signature => {
+                            if let Some(Tok::Word(n, _)) = toks.get(i + 1) {
+                                pend = Some(Pend::Fn { name: n.clone(), line: *line });
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        "use" if pend.is_none() => {
+                            i = parse_use(&toks, i + 1, &crate_name, &module, &mut model.uses);
+                        }
+                        "for" => {
+                            // `for pat in <unordered> {` — unordered iteration.
+                            if let Some(fn_idx) = current_fn(&scopes) {
+                                if let Some((name, l)) = for_loop_over(&toks, i, &unordered) {
+                                    model.fns[fn_idx].atoms.push(Atom {
+                                        kind: AtomKind::UnorderedIter,
+                                        line: l,
+                                        what: format!("for … in {name}"),
+                                    });
+                                }
+                            }
+                            i += 1;
+                        }
+                        _ => {
+                            if let Some(fn_idx) = current_fn(&scopes) {
+                                scan_call_site(&toks, i, &mut model.fns[fn_idx], &unordered);
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+        model
+    }
+}
+
+/// Innermost enclosing fn scope, if any.
+fn current_fn(scopes: &[Scope]) -> Option<usize> {
+    scopes.iter().rev().find_map(|s| match s {
+        Scope::Fn { fn_idx } => Some(*fn_idx),
+        _ => None,
+    })
+}
+
+/// File module plus any inline `mod` scopes currently open.
+fn current_module(file_module: &str, scopes: &[Scope]) -> String {
+    let mut m = file_module.to_string();
+    for s in scopes {
+        if let Scope::Mod(n) = s {
+            m.push_str("::");
+            m.push_str(n);
+        }
+    }
+    m
+}
+
+/// Parse an `impl` header starting after the `impl` keyword. Returns the
+/// implemented type's base name and the index of the body `{` (or the token
+/// to resume at).
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> (String, usize) {
+    // Skip the generic parameter list directly after `impl`.
+    if let Some(Tok::P('<', _)) = toks.get(i) {
+        let mut depth = 0i64;
+        while i < toks.len() {
+            match toks[i] {
+                Tok::P('<', _) => depth += 1,
+                Tok::P('>', _) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    let mut first: Vec<String> = Vec::new();
+    let mut second: Vec<String> = Vec::new();
+    let mut after_for = false;
+    let mut angle = 0i64;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::P('{', _) | Tok::P(';', _) => break,
+            Tok::P('<', _) => angle += 1,
+            Tok::P('>', _) => angle -= 1,
+            Tok::Word(w, _) if angle == 0 => match w.as_str() {
+                "for" => after_for = true,
+                "where" => break,
+                "mut" | "dyn" | "const" => {}
+                seg => {
+                    if after_for {
+                        second.push(seg.to_string());
+                    } else {
+                        first.push(seg.to_string());
+                    }
+                }
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    // Resume at the `{` / `;` / `where` so header tokens are not re-scanned.
+    let path = if after_for { &second } else { &first };
+    let ty = path.last().cloned().unwrap_or_default();
+    (ty, i)
+}
+
+/// Parse a `use` item starting after the `use` keyword; extends `out` with
+/// `name → full path` bindings and returns the index after the closing `;`.
+fn parse_use(toks: &[Tok], mut i: usize, crate_name: &str, module: &str, out: &mut Vec<UseBinding>) -> usize {
+    // `pub use` arrives here with i at `use`+1 already; a leading `pub` was a
+    // separate Word token consumed by the main loop's default arm.
+    fn tree(
+        toks: &[Tok],
+        mut i: usize,
+        prefix: &mut Vec<String>,
+        crate_name: &str,
+        module: &str,
+        out: &mut Vec<UseBinding>,
+    ) -> usize {
+        let depth_at_entry = prefix.len();
+        loop {
+            match toks.get(i) {
+                Some(Tok::Word(w, _)) if w == "as" => {
+                    // alias: `path as name`
+                    if let Some(Tok::Word(alias, _)) = toks.get(i + 1) {
+                        emit(prefix, Some(alias.clone()), crate_name, module, out);
+                        prefix.truncate(depth_at_entry.saturating_sub(0));
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Some(Tok::Word(w, _)) => {
+                    prefix.push(w.clone());
+                    i += 1;
+                }
+                Some(Tok::P(':', _)) => i += 1,
+                Some(Tok::P('*', _)) => {
+                    // glob: record the module itself under a `*` marker.
+                    emit_glob(prefix, crate_name, module, out);
+                    i += 1;
+                }
+                Some(Tok::P('{', _)) => {
+                    i += 1;
+                    loop {
+                        let before = prefix.len();
+                        i = tree(toks, i, prefix, crate_name, module, out);
+                        prefix.truncate(before);
+                        match toks.get(i) {
+                            Some(Tok::P(',', _)) => i += 1,
+                            Some(Tok::P('}', _)) => {
+                                i += 1;
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    return i;
+                }
+                Some(Tok::P(',', _)) | Some(Tok::P('}', _)) => {
+                    if prefix.len() > depth_at_entry {
+                        emit(prefix, None, crate_name, module, out);
+                    }
+                    return i;
+                }
+                Some(Tok::P(';', _)) | None => {
+                    if prefix.len() > depth_at_entry {
+                        emit(prefix, None, crate_name, module, out);
+                    }
+                    return i;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn resolve_prefix(segs: &[String], crate_name: &str, module: &str) -> Vec<String> {
+        let mut segs = segs.to_vec();
+        match segs.first().map(String::as_str) {
+            Some("crate") => segs[0] = crate_name.to_string(),
+            Some("self") => {
+                segs.remove(0);
+                let mut m: Vec<String> = module.split("::").map(str::to_string).collect();
+                m.extend(segs);
+                segs = m;
+            }
+            Some("super") => {
+                segs.remove(0);
+                let mut m: Vec<String> = module.split("::").map(str::to_string).collect();
+                m.pop();
+                m.extend(segs);
+                segs = m;
+            }
+            _ => {}
+        }
+        segs
+    }
+
+    fn emit(prefix: &[String], alias: Option<String>, crate_name: &str, module: &str, out: &mut Vec<UseBinding>) {
+        let segs = resolve_prefix(prefix, crate_name, module);
+        if let Some(last) = segs.last() {
+            out.push(UseBinding {
+                name: alias.unwrap_or_else(|| last.clone()),
+                path: segs.join("::"),
+            });
+        }
+    }
+
+    fn emit_glob(prefix: &[String], crate_name: &str, module: &str, out: &mut Vec<UseBinding>) {
+        let segs = resolve_prefix(prefix, crate_name, module);
+        out.push(UseBinding { name: "*".to_string(), path: segs.join("::") });
+    }
+
+    let mut prefix = Vec::new();
+    i = tree(toks, i, &mut prefix, crate_name, module, out);
+    // Skip to just past the terminating `;`.
+    while let Some(t) = toks.get(i) {
+        i += 1;
+        if matches!(t, Tok::P(';', _)) {
+            break;
+        }
+    }
+    i
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file (let bindings, struct
+/// fields, fn params) — coarse, file-wide, for the UnorderedIter atom.
+fn unordered_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut names = Vec::new();
+    // Walk once, remembering the most recent `ident :` and `let [mut] ident`.
+    let mut last_colon_ident: Option<String> = None;
+    let mut last_let_ident: Option<String> = None;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i] {
+            Tok::Word(w, _) if w == "let" => {
+                let mut j = i + 1;
+                if let Some(Tok::Word(m, _)) = toks.get(j) {
+                    if m == "mut" {
+                        j += 1;
+                    }
+                }
+                if let Some(Tok::Word(n, _)) = toks.get(j) {
+                    last_let_ident = Some(n.clone());
+                }
+            }
+            Tok::Word(w, _) if w == "HashMap" || w == "HashSet" => {
+                if let Some(n) = last_colon_ident.take() {
+                    names.push(n);
+                }
+                if let Some(n) = last_let_ident.take() {
+                    names.push(n);
+                }
+            }
+            Tok::Word(w, _) => {
+                if let (Some(Tok::P(':', _)), false) = (toks.get(i + 1), is_call_keyword(w)) {
+                    last_colon_ident = Some(w.clone());
+                }
+            }
+            Tok::P(';', _) | Tok::P('{', _) | Tok::P('}', _) => {
+                last_colon_ident = None;
+                last_let_ident = None;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// Smart-pointer/guard adapters that a receiver chain may pass through
+/// without changing which binding is being iterated.
+const GUARD_ADAPTERS: [&str; 8] =
+    ["unwrap", "expect", "lock", "read", "write", "borrow", "borrow_mut", "as_ref"];
+
+/// Base identifier of the receiver of the method call whose name token is at
+/// `i` (so `toks[i-1]` is the `.`). Walks left through field accesses and
+/// guard-adapter calls: `self.cache.keys()` → `cache`,
+/// `map.lock().unwrap().iter()` → `map`. Returns `None` when the receiver is
+/// an arbitrary expression (e.g. `builtin_models().into_iter()`).
+fn receiver_ident(toks: &[Tok], i: usize) -> Option<String> {
+    let mut p = i.checked_sub(2)?;
+    loop {
+        match &toks[p] {
+            Tok::Word(w, _) => return Some(w.clone()),
+            Tok::P(')', _) => {
+                // Skip the balanced argument list, then require a
+                // guard-adapter call name followed by another `.` link.
+                let mut depth = 0i64;
+                loop {
+                    match &toks[p] {
+                        Tok::P(')', _) => depth += 1,
+                        Tok::P('(', _) => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    p = p.checked_sub(1)?;
+                }
+                p = p.checked_sub(1)?;
+                let Tok::Word(call, _) = &toks[p] else { return None };
+                if !GUARD_ADAPTERS.contains(&call.as_str()) {
+                    return None;
+                }
+                p = p.checked_sub(1)?;
+                if !matches!(toks[p], Tok::P('.', _)) {
+                    return None;
+                }
+                p = p.checked_sub(1)?;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Detect `for pat in [&[mut]] <unordered-ident> {` starting at the `for`.
+fn for_loop_over(toks: &[Tok], i: usize, unordered: &[String]) -> Option<(String, usize)> {
+    // Find the `in` keyword within a short window (patterns are small).
+    let mut j = i + 1;
+    let mut steps = 0;
+    while j < toks.len() && steps < 24 {
+        if let Tok::Word(w, _) = &toks[j] {
+            if w == "in" {
+                let mut k = j + 1;
+                while let Some(Tok::P(c, _)) = toks.get(k) {
+                    if *c == '&' {
+                        k += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(Tok::Word(m, _)) = toks.get(k) {
+                    if m == "mut" {
+                        k += 1;
+                    }
+                }
+                if let (Some(Tok::Word(n, l)), Some(Tok::P('{', _))) = (toks.get(k), toks.get(k + 1)) {
+                    if unordered.iter().any(|u| u == n) {
+                        return Some((n.clone(), *l));
+                    }
+                }
+                return None;
+            }
+        }
+        j += 1;
+        steps += 1;
+    }
+    None
+}
+
+/// Examine the word at `i` for call-expression and atom shapes, recording
+/// into `fnd`.
+fn scan_call_site(toks: &[Tok], i: usize, fnd: &mut FnDef, unordered: &[String]) {
+    let Tok::Word(name, line) = &toks[i] else { return };
+    let line = *line;
+
+    // Macro atoms: `panic!(…)` etc.
+    if let Some(Tok::P('!', _)) = toks.get(i + 1) {
+        if PANIC_MACROS.contains(&name.as_str()) {
+            fnd.atoms.push(Atom { kind: AtomKind::Panic, line, what: format!("{name}!") });
+        }
+        return;
+    }
+
+    // Everything below requires a call shape `name(`.
+    if !matches!(toks.get(i + 1), Some(Tok::P('(', _))) {
+        return;
+    }
+    if is_call_keyword(name) || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return;
+    }
+
+    // Classify by what precedes the name.
+    let prev = i.checked_sub(1).map(|p| &toks[p]);
+    let prev2 = i.checked_sub(2).map(|p| &toks[p]);
+    let (kind, qualifier) = match (prev2, prev) {
+        (_, Some(Tok::P('.', _))) => {
+            let is_self = matches!(
+                (i.checked_sub(2).map(|p| &toks[p]), i.checked_sub(3).map(|p| &toks[p])),
+                (Some(Tok::Word(s, _)), not_field) if s == "self"
+                    && !matches!(not_field, Some(Tok::P('.', _)))
+            );
+            (if is_self { CallKind::SelfMethod } else { CallKind::Method }, None)
+        }
+        (Some(Tok::P(':', _)), Some(Tok::P(':', _))) => {
+            let mut segs: Vec<String> = Vec::new();
+            let mut p = i;
+            // Walk back over `seg::seg::` pairs.
+            while p >= 3
+                && matches!(toks.get(p - 1), Some(Tok::P(':', _)))
+                && matches!(toks.get(p - 2), Some(Tok::P(':', _)))
+            {
+                if let Some(Tok::Word(s, _)) = toks.get(p - 3) {
+                    segs.push(s.clone());
+                    p -= 3;
+                } else {
+                    break;
+                }
+            }
+            segs.reverse();
+            if segs.is_empty() {
+                (CallKind::Free, None)
+            } else {
+                (CallKind::Qualified, Some(segs.join("::")))
+            }
+        }
+        _ => (CallKind::Free, None),
+    };
+
+    // Atoms derived from the call shape.
+    match (kind, name.as_str()) {
+        (CallKind::Method | CallKind::SelfMethod, "unwrap" | "expect") => {
+            fnd.atoms.push(Atom { kind: AtomKind::Panic, line, what: format!(".{name}()") });
+        }
+        (CallKind::Qualified, "now") => {
+            let q = qualifier.as_deref().unwrap_or("");
+            if q.ends_with("Instant") || q.ends_with("SystemTime") {
+                fnd.atoms.push(Atom { kind: AtomKind::Clock, line, what: format!("{q}::now") });
+            }
+        }
+        (_, "thread_rng" | "from_entropy") => {
+            fnd.atoms.push(Atom { kind: AtomKind::Rng, line, what: name.clone() });
+        }
+        (CallKind::Qualified, "var" | "var_os" | "vars" | "args" | "args_os" | "temp_dir") => {
+            let q = qualifier.as_deref().unwrap_or("");
+            if q == "env" || q.ends_with("::env") {
+                fnd.atoms.push(Atom { kind: AtomKind::Env, line, what: format!("{q}::{name}") });
+            }
+        }
+        (CallKind::Method | CallKind::SelfMethod, m) if ITER_METHODS.contains(&m) => {
+            // Unordered iteration when the receiver resolves to a known
+            // HashMap/HashSet binding (covers `x.iter()`, `self.x.iter()`,
+            // and guard chains like `x.lock().unwrap().iter()`).
+            if let Some(recv) = receiver_ident(toks, i) {
+                if unordered.iter().any(|u| u == &recv) {
+                    fnd.atoms.push(Atom {
+                        kind: AtomKind::UnorderedIter,
+                        line,
+                        what: format!("{recv}.{m}()"),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+
+    fnd.calls.push(Call { name: name.clone(), qualifier, kind, line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(path: &str, src: &str) -> FileModel {
+        FileModel::build(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn module_paths_derived_from_file_paths() {
+        assert_eq!(module_of("crates/mhd-core/src/pipeline.rs"), ("mhd_core".into(), "mhd_core::pipeline".into()));
+        assert_eq!(module_of("crates/mhd-nn/src/lib.rs"), ("mhd_nn".into(), "mhd_nn".into()));
+        assert_eq!(
+            module_of("crates/mhd-bench/src/bin/repro.rs"),
+            ("mhd_bench".into(), "mhd_bench::bin::repro".into())
+        );
+        assert_eq!(module_of("src/lib.rs"), ("mhd".into(), "mhd".into()));
+        assert_eq!(module_of("examples/quickstart.rs"), ("mhd".into(), "mhd::examples::quickstart".into()));
+    }
+
+    #[test]
+    fn fns_with_owners_and_modules() {
+        let src = "pub struct T;\nimpl T {\n    pub fn m(&self) {}\n}\npub fn free() {}\nmod inner {\n    pub fn nested() {}\n}\n";
+        let m = model("crates/mhd-core/src/x.rs", src);
+        let names: Vec<(String, Option<String>, String)> =
+            m.fns.iter().map(|f| (f.name.clone(), f.owner.clone(), f.module.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("m".into(), Some("T".into()), "mhd_core::x".into()),
+                ("free".into(), None, "mhd_core::x".into()),
+                ("nested".into(), None, "mhd_core::x::inner".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_owner() {
+        let src = "impl<T: Clone> Detector for Engine<T> {\n    fn detect(&self) { self.helper() }\n}\n";
+        let m = model("crates/mhd-core/src/y.rs", src);
+        assert_eq!(m.fns[0].owner.as_deref(), Some("Engine"));
+        assert_eq!(m.fns[0].calls.len(), 1);
+        assert_eq!(m.fns[0].calls[0].kind, CallKind::SelfMethod);
+    }
+
+    #[test]
+    fn impl_trait_in_return_type_does_not_confuse() {
+        let src = "pub fn mk() -> impl Iterator<Item = u32> {\n    helper()\n}\n";
+        let m = model("crates/mhd-core/src/z.rs", src);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].name, "mk");
+        assert!(m.fns[0].calls.iter().any(|c| c.name == "helper"));
+    }
+
+    #[test]
+    fn call_kinds_classified() {
+        let src = "fn f() {\n    free();\n    obj.method();\n    self.own();\n    a::b::qual();\n    Type::assoc();\n}\n";
+        let m = model("crates/mhd-core/src/c.rs", src);
+        let calls = &m.fns[0].calls;
+        let get = |n: &str| calls.iter().find(|c| c.name == n).unwrap();
+        assert_eq!(get("free").kind, CallKind::Free);
+        assert_eq!(get("method").kind, CallKind::Method);
+        assert_eq!(get("own").kind, CallKind::SelfMethod);
+        assert_eq!(get("qual").kind, CallKind::Qualified);
+        assert_eq!(get("qual").qualifier.as_deref(), Some("a::b"));
+        assert_eq!(get("assoc").qualifier.as_deref(), Some("Type"));
+    }
+
+    #[test]
+    fn atoms_detected() {
+        let src = "fn f(x: Option<u8>) {\n    x.unwrap();\n    y.expect(\"m\");\n    panic!(\"boom\");\n    let t = std::time::Instant::now();\n    let r = thread_rng();\n    let v = std::env::var(\"K\");\n}\n";
+        let m = model("crates/mhd-core/src/a.rs", src);
+        let kinds: Vec<AtomKind> = m.fns[0].atoms.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![AtomKind::Panic, AtomKind::Panic, AtomKind::Panic, AtomKind::Clock, AtomKind::Rng, AtomKind::Env]
+        );
+        assert_eq!(m.fns[0].atoms[0].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_panic_atom() {
+        let src = "fn f() {\n    let g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    let v = o.unwrap_or_default();\n    let w = o.unwrap_or(3);\n}\n";
+        let m = model("crates/mhd-core/src/b.rs", src);
+        assert!(m.fns[0].atoms.is_empty(), "{:?}", m.fns[0].atoms);
+    }
+
+    #[test]
+    fn unordered_iteration_detected() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let mut counts: HashMap<u32, u32> = HashMap::new();\n    for (k, v) in &counts {\n        let _ = (k, v);\n    }\n    let mut items: Vec<_> = counts.iter().collect();\n    items.sort();\n}\nstruct S { cache: HashMap<u32, u32> }\nimpl S {\n    fn g(&self) {\n        for k in self.cache.keys() {\n            let _ = k;\n        }\n    }\n}\n";
+        let m = model("crates/mhd-core/src/u.rs", src);
+        let f = &m.fns[0];
+        let iters: Vec<&Atom> = f.atoms.iter().filter(|a| a.kind == AtomKind::UnorderedIter).collect();
+        assert_eq!(iters.len(), 2, "{:?}", f.atoms);
+        let g = &m.fns[1];
+        assert!(
+            g.atoms.iter().any(|a| a.kind == AtomKind::UnorderedIter),
+            "field iteration: {:?}",
+            g.atoms
+        );
+    }
+
+    #[test]
+    fn vec_iteration_is_ordered() {
+        let src = "fn f(v: Vec<u32>) {\n    for x in &v {\n        let _ = x;\n    }\n    let s: u32 = v.iter().sum();\n}\n";
+        let m = model("crates/mhd-core/src/v.rs", src);
+        assert!(m.fns[0].atoms.is_empty(), "{:?}", m.fns[0].atoms);
+    }
+
+    #[test]
+    fn receiver_chain_resolution() {
+        // Guard chains keep the base binding; call-expression receivers and
+        // ordered bindings on the same line do not fire.
+        let src = "use std::collections::{HashMap, HashSet};\nstruct S { map: HashMap<u32, u32> }\nimpl S {\n    fn g(&self) {\n        for k in self.map.lock().unwrap().keys() { let _ = k; }\n        let unique: HashSet<u32> = terms.iter().collect();\n        let models = builtin_models().into_iter().count();\n        let _ = (unique, models);\n    }\n}\n";
+        let m = model("crates/mhd-core/src/rc.rs", src);
+        let iters: Vec<&Atom> =
+            m.fns[0].atoms.iter().filter(|a| a.kind == AtomKind::UnorderedIter).collect();
+        assert_eq!(iters.len(), 1, "{:?}", m.fns[0].atoms);
+        assert_eq!(iters[0].what, "map.keys()");
+    }
+
+    #[test]
+    fn use_bindings_parsed() {
+        let src = "use mhd_nn::checkpoint::Checkpoint;\nuse mhd_models::{TextClassifier, logreg::LogisticRegression as LogReg};\nuse crate::features::FeatureCache;\nuse mhd_eval::table;\n";
+        let m = model("crates/mhd-core/src/w.rs", src);
+        let find = |n: &str| m.uses.iter().find(|u| u.name == n).map(|u| u.path.clone());
+        assert_eq!(find("Checkpoint").as_deref(), Some("mhd_nn::checkpoint::Checkpoint"));
+        assert_eq!(find("TextClassifier").as_deref(), Some("mhd_models::TextClassifier"));
+        assert_eq!(find("LogReg").as_deref(), Some("mhd_models::logreg::LogisticRegression"));
+        assert_eq!(find("FeatureCache").as_deref(), Some("mhd_core::features::FeatureCache"));
+        assert_eq!(find("table").as_deref(), Some("mhd_eval::table"));
+    }
+
+    #[test]
+    fn test_code_flagged() {
+        let src = "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let m = model("crates/mhd-core/src/t.rs", src);
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+    }
+
+    #[test]
+    fn closure_calls_attributed_to_enclosing_fn() {
+        let src = "fn f(v: Vec<u32>) {\n    let out: Vec<u32> = v.iter().map(|x| helper(*x)).collect();\n    let _ = out;\n}\n";
+        let m = model("crates/mhd-core/src/cl.rs", src);
+        assert!(m.fns[0].calls.iter().any(|c| c.name == "helper"));
+    }
+}

@@ -17,6 +17,17 @@ pub struct StrLit {
     pub content: String,
 }
 
+/// One well-formed `mhd-lint: allow(...)` annotation, for the R8 audit.
+#[derive(Debug, Clone)]
+pub struct Annotation {
+    /// 1-based line the comment lives on.
+    pub line: usize,
+    /// 1-based line the suppression applies to.
+    pub target: usize,
+    /// Rules the annotation suppresses.
+    pub rules: Vec<RuleId>,
+}
+
 /// A parsed source file ready for rule scanning.
 #[derive(Debug)]
 pub struct SourceFile {
@@ -28,6 +39,8 @@ pub struct SourceFile {
     pub strings: Vec<StrLit>,
     test_lines: Vec<bool>,
     allows: Vec<Vec<RuleId>>,
+    /// Well-formed allow annotations, in file order (audited by R8).
+    pub annotations: Vec<Annotation>,
     /// Malformed allow annotations: `(line, problem)`.
     pub bad_annotations: Vec<(usize, String)>,
 }
@@ -41,6 +54,7 @@ impl SourceFile {
         let whole_file_test = is_test_path(path);
         let test_lines = compute_test_lines(&lexed.masked, whole_file_test, n);
         let mut allows = vec![Vec::new(); n + 1];
+        let mut annotations = Vec::new();
         let mut bad_annotations = Vec::new();
         for (line, text) in &lexed.comments {
             match parse_allow(text) {
@@ -49,12 +63,21 @@ impl SourceFile {
                 Some(Ok(rules)) => {
                     let target = annotation_target(&lines, *line);
                     if target <= n {
-                        allows[target].extend(rules);
+                        allows[target].extend(rules.iter().copied());
                     }
+                    annotations.push(Annotation { line: *line, target, rules });
                 }
             }
         }
-        SourceFile { path: path.to_string(), lines, strings: lexed.strings, test_lines, allows, bad_annotations }
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            strings: lexed.strings,
+            test_lines,
+            allows,
+            annotations,
+            bad_annotations,
+        }
     }
 
     /// Is `line` (1-based) inside test code?
@@ -134,11 +157,14 @@ fn lex(src: &str) -> Lexed {
             comments.push((start_line, text));
             continue;
         }
-        // Raw (and raw byte) strings: r"..", r#".."#, br#".."#.
-        if (c == 'r' || (c == 'b' && b.get(i + 1) == Some(&'r')))
+        // Raw strings with any prefix from the b/c family: r"..", r#".."#,
+        // br#".."#, cr#".."# (raw C strings, whose `c` prefix would otherwise
+        // defeat raw detection and let hashed content leak into the masked
+        // view as code).
+        if (c == 'r' || ((c == 'b' || c == 'c') && b.get(i + 1) == Some(&'r')))
             && !(i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_'))
         {
-            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut j = i + if c == 'r' { 1 } else { 2 };
             let mut hashes = 0usize;
             while b.get(j) == Some(&'#') {
                 hashes += 1;
@@ -179,10 +205,14 @@ fn lex(src: &str) -> Lexed {
             }
             // Not a raw string ("r" as identifier start): fall through.
         }
-        // Plain (and byte) strings.
-        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
-            if c == 'b' {
-                out.push('b');
+        // Plain strings, with optional b/c prefix (byte and C strings).
+        if c == '"'
+            || ((c == 'b' || c == 'c')
+                && b.get(i + 1) == Some(&'"')
+                && !(i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')))
+        {
+            if c != '"' {
+                out.push(c);
                 i += 1;
             }
             out.push('"');
@@ -487,7 +517,7 @@ mod tests {
 
     #[test]
     fn allow_unknown_rule_is_malformed() {
-        let src = "// mhd-lint: allow(R7) — nope\nx();\n";
+        let src = "// mhd-lint: allow(R9) — nope\nx();\n";
         let sf = SourceFile::parse("a.rs", src);
         assert_eq!(sf.bad_annotations.len(), 1);
     }

@@ -1,0 +1,181 @@
+//! R7 determinism taint: nondeterministic sources must not feed the
+//! report/table sinks through any call path.
+//!
+//! The call-graph approximation of "flows into": a source atom (clock read,
+//! ambient RNG, environment read, unordered-container iteration) is a
+//! finding when the fn holding it is **transitively called by a sink fn** —
+//! i.e. some report or table function's output can depend on the
+//! nondeterministic value. Value flows that pass *around* the sink (caller
+//! reads a clock, then passes the value into a sink as data) are below this
+//! abstraction; DESIGN.md §11 records the limit.
+//!
+//! Sanctioned exemptions, mirroring the lexical R1/R5 scoping:
+//! - `mhd_obs` is the timing/observability facade — nothing inside it is a
+//!   source (its whole point is to confine wall-clock reads);
+//! - `mhd_bench` clock reads are not sources (benchmarks measure time; the
+//!   measurement itself is the payload, not an invariant violation).
+
+use crate::graph::CallGraph;
+use crate::parse::AtomKind;
+use crate::{Finding, RuleId};
+
+/// Modules whose fns are R7 sinks: the shared table formatters and the
+/// report writers that emit the byte-deterministic artifact.
+pub const R7_SINK_MODULES: &[&str] = &["mhd_eval::table", "mhd_core::report"];
+
+/// Is `module` inside a sink module (the module itself or a child)?
+pub fn is_sink_module(module: &str) -> bool {
+    R7_SINK_MODULES
+        .iter()
+        .any(|s| module == *s || module.starts_with(&format!("{s}::")))
+}
+
+/// Human name for a source atom family, used in finding messages.
+fn kind_name(kind: AtomKind) -> &'static str {
+    match kind {
+        AtomKind::Clock => "wall-clock read",
+        AtomKind::Rng => "ambient RNG",
+        AtomKind::Env => "environment read",
+        AtomKind::UnorderedIter => "unordered iteration",
+        AtomKind::Panic => "panic",
+    }
+}
+
+/// Is this atom exempt from being an R7 source in `crate_name`?
+fn source_exempt(crate_name: &str, kind: AtomKind) -> bool {
+    match crate_name {
+        "mhd_obs" => true,
+        "mhd_bench" => kind == AtomKind::Clock,
+        _ => false,
+    }
+}
+
+/// R7: no nondeterministic source atom may be transitively executed by a
+/// report/table sink fn. Findings anchor at the atom and carry the chain
+/// from the sink.
+pub fn check_r7(g: &CallGraph) -> Vec<Finding> {
+    let sinks: Vec<usize> = (0..g.node_count())
+        .filter(|&n| !g.fn_of(n).is_test && is_sink_module(&g.fn_of(n).module))
+        .collect();
+    if sinks.is_empty() {
+        return Vec::new();
+    }
+    let (visited, parent) = g.reach(&sinks);
+    let mut out = Vec::new();
+    for (n, &seen) in visited.iter().enumerate() {
+        if !seen || g.fn_of(n).is_test {
+            continue;
+        }
+        let chain = g.chain(&parent, n);
+        let krate = g.fn_of(n).module.split("::").next().unwrap_or("").to_string();
+        for atom in &g.fn_of(n).atoms {
+            if atom.kind == AtomKind::Panic {
+                continue;
+            }
+            if source_exempt(&krate, atom.kind) {
+                continue;
+            }
+            out.push(Finding {
+                rule: RuleId::R7,
+                path: g.path_of(n).to_string(),
+                line: atom.line,
+                message: format!(
+                    "{} `{}` in `{}` feeds report sink `{}`: {}",
+                    kind_name(atom.kind),
+                    atom.what,
+                    g.qname(n),
+                    chain[0],
+                    chain.join(" → "),
+                ),
+                hint: "sort/order the data before it reaches the report path (BTreeMap, explicit sort), hoist the nondeterminism out of the sink's call tree, or annotate: // mhd-lint: allow(R7) — reason".to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::FileModel;
+    use crate::source::SourceFile;
+
+    fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+        files.iter().map(|(p, s)| FileModel::build(&SourceFile::parse(p, s))).collect()
+    }
+
+    #[test]
+    fn sink_module_matching() {
+        assert!(is_sink_module("mhd_eval::table"));
+        assert!(is_sink_module("mhd_core::report"));
+        assert!(is_sink_module("mhd_eval::table::inner"));
+        assert!(!is_sink_module("mhd_eval::tables"));
+        assert!(!is_sink_module("mhd_core::pipeline"));
+    }
+
+    #[test]
+    fn r7_flags_source_executed_by_sink() {
+        let ms = models(&[
+            (
+                "crates/mhd-eval/src/table.rs",
+                "use mhd_text::vocab::order;\npub fn render() { order(); }\n",
+            ),
+            (
+                "crates/mhd-text/src/vocab.rs",
+                "use std::collections::HashMap;\npub fn order() {\n    let m: HashMap<u32, u32> = HashMap::new();\n    for k in m.keys() { let _ = k; }\n}\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ms);
+        let f = check_r7(&g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R7);
+        assert_eq!(f[0].path, "crates/mhd-text/src/vocab.rs");
+        assert!(f[0].message.contains("unordered iteration"), "{}", f[0].message);
+        assert!(f[0].message.contains("mhd_eval::table::render"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn r7_ignores_sources_outside_sink_call_tree() {
+        let ms = models(&[
+            ("crates/mhd-eval/src/table.rs", "pub fn render() {}\n"),
+            (
+                "crates/mhd-llm/src/sampler.rs",
+                "pub fn sample() { let r = thread_rng(); let _ = r; }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ms);
+        assert!(check_r7(&g).is_empty());
+    }
+
+    #[test]
+    fn r7_exempts_obs_and_bench_clocks() {
+        let ms = models(&[
+            (
+                "crates/mhd-core/src/report.rs",
+                "use mhd_obs::time::stamp;\nuse mhd_bench::lap;\npub fn write_report() { stamp(); lap(); }\n",
+            ),
+            (
+                "crates/mhd-obs/src/time.rs",
+                "pub fn stamp() { let t = std::time::SystemTime::now(); let _ = t; }\n",
+            ),
+            (
+                "crates/mhd-bench/src/lib.rs",
+                "pub fn lap() { let t = std::time::Instant::now(); let _ = t; }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&ms);
+        assert!(check_r7(&g).is_empty(), "{:?}", check_r7(&g));
+    }
+
+    #[test]
+    fn r7_env_read_in_sink_tree_is_flagged() {
+        let ms = models(&[(
+            "crates/mhd-core/src/report.rs",
+            "pub fn write_report() { cfg(); }\nfn cfg() { let v = std::env::var(\"X\"); let _ = v; }\n",
+        )]);
+        let g = CallGraph::build(&ms);
+        let f = check_r7(&g);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("environment read"), "{}", f[0].message);
+    }
+}

@@ -1,0 +1,4 @@
+//! Fixture: environment read outside the sink module but inside its call tree.
+pub fn budget() -> usize {
+    std::env::var("MHD_FIXTURE_BUDGET").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}

@@ -1,0 +1,6 @@
+//! Fixture: report sink whose call tree reads the environment.
+use crate::cfg::budget;
+
+pub fn write_summary() -> usize {
+    budget()
+}

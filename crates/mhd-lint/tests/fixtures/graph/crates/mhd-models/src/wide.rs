@@ -1,0 +1,19 @@
+//! Fixture: serving-surface entry points in a file outside every lexical scope list.
+use mhd_text::scale::normalize;
+
+pub struct Wide {
+    dim: usize,
+}
+
+impl Wide {
+    pub fn predict_proba_batch(&self, xs: &[f64]) -> Vec<f64> {
+        normalize(xs)
+    }
+
+    pub fn forward_batch(&self, xs: &[f64]) -> Vec<f64> {
+        if xs.len() % self.dim != 0 {
+            panic!("ragged batch");
+        }
+        xs.to_vec()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: two-hop cross-crate panic chain, plus a live (non-stale) allow.
+pub fn normalize(xs: &[f64]) -> Vec<f64> {
+    let m = peak(xs);
+    xs.iter().map(|x| clamp01(x / m)).collect()
+}
+
+fn peak(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn clamp01(x: f64) -> f64 {
+    // mhd-lint: allow(R6) — fixture: documented panicking helper with a pinned contract
+    if !(0.0..=1.0).contains(&x) { panic!("clamp01 out of range") } else { x }
+}

@@ -1,0 +1,136 @@
+//! Call-graph rule fixtures: a miniature multi-crate workspace under
+//! `tests/fixtures/graph/` exercising R6 (direct, two-hop, and cross-crate
+//! panic chains), R7 (an environment read feeding a report sink), and R8
+//! (a stale allow is flagged; a live allow is not).
+//!
+//! The fixture paths deliberately mirror real workspace layout
+//! (`crates/<crate>/src/<mod>.rs`) so module-path derivation, `use`
+//! resolution, and the lexical scope lists all behave exactly as they do on
+//! the real tree.
+
+use mhd_lint::{lint_source, lint_workspace, Finding, LintConfig, RuleId};
+use std::path::Path;
+
+/// Load every fixture file as a `(workspace-relative path, source)` pair.
+fn fixture_workspace() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph");
+    let mut out = Vec::new();
+    collect(&root, &root, &mut out);
+    out.sort();
+    assert_eq!(out.len(), 5, "fixture tree changed shape");
+    out
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) {
+    for entry in std::fs::read_dir(dir).expect("fixture dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            collect(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel =
+                path.strip_prefix(root).expect("under root").to_string_lossy().replace('\\', "/");
+            out.push((rel, std::fs::read_to_string(&path).expect("fixture readable")));
+        }
+    }
+}
+
+fn findings() -> Vec<Finding> {
+    lint_workspace(&fixture_workspace(), &LintConfig::default())
+}
+
+fn pins(fs: &[Finding]) -> Vec<(RuleId, String, usize)> {
+    fs.iter().map(|f| (f.rule, f.path.clone(), f.line)).collect()
+}
+
+/// The whole fixture set produces exactly these findings — nothing more
+/// (the live allow in scale.rs suppresses its panic and survives R8).
+#[test]
+fn graph_fixture_findings_pinned() {
+    assert_eq!(
+        pins(&findings()),
+        vec![
+            (RuleId::R7, "crates/mhd-core/src/cfg.rs".to_string(), 3),
+            (RuleId::R8, "crates/mhd-core/src/stale.rs".to_string(), 1),
+            (RuleId::R6, "crates/mhd-models/src/wide.rs".to_string(), 15),
+            (RuleId::R6, "crates/mhd-text/src/scale.rs".to_string(), 8),
+        ]
+    );
+}
+
+/// A panic directly inside an entry-point fn is a one-hop chain.
+#[test]
+fn r6_direct_chain() {
+    let fs = findings();
+    let f = fs
+        .iter()
+        .find(|f| f.rule == RuleId::R6 && f.path.ends_with("wide.rs"))
+        .expect("direct R6 finding");
+    assert_eq!(f.line, 15);
+    assert!(f.message.contains("forward_batch"), "{}", f.message);
+}
+
+/// The acceptance-criterion fixture: a panic two hops away, in another
+/// crate, reachable from `predict_proba_batch` — in a file that is in no
+/// lexical scope list, so only the call graph can see it.
+#[test]
+fn r6_flags_cross_crate_panic_reachable_from_predict_proba_batch() {
+    // First establish the file really is outside every lexical scope list:
+    // the same source linted standalone raises no R2 at all.
+    let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+    let lexical = lint_source("crates/mhd-text/src/scale.rs", src, &LintConfig::default());
+    assert!(lexical.iter().all(|f| f.rule != RuleId::R2), "{lexical:?}");
+
+    // ...and yet the workspace-level R6 walks the chain
+    // predict_proba_batch → normalize → peak and flags the unwrap.
+    let fs = findings();
+    let f = fs
+        .iter()
+        .find(|f| f.rule == RuleId::R6 && f.path.ends_with("scale.rs"))
+        .expect("cross-crate R6 finding");
+    assert_eq!(f.line, 8);
+    assert!(f.message.contains("predict_proba_batch"), "{}", f.message);
+    assert!(f.message.contains("normalize"), "{}", f.message);
+    assert!(f.message.contains("peak"), "{}", f.message);
+}
+
+/// An environment read in a helper fn is flagged because a report sink
+/// (`mhd_core::report::write_summary`) transitively calls it.
+#[test]
+fn r7_env_read_feeding_report_sink() {
+    let fs = findings();
+    let f = fs.iter().find(|f| f.rule == RuleId::R7).expect("R7 finding");
+    assert_eq!((f.path.as_str(), f.line), ("crates/mhd-core/src/cfg.rs", 3));
+    assert!(f.message.contains("environment read"), "{}", f.message);
+    assert!(f.message.contains("write_summary"), "{}", f.message);
+}
+
+/// A stale allow (nothing to suppress on its target line) is itself a
+/// finding; the live allow in scale.rs is not.
+#[test]
+fn r8_stale_allow_flagged_live_allow_not() {
+    let fs = findings();
+    let stale: Vec<&Finding> = fs.iter().filter(|f| f.rule == RuleId::R8).collect();
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert_eq!(stale[0].path, "crates/mhd-core/src/stale.rs");
+    assert!(stale[0].message.contains("allow(R1)"), "{}", stale[0].message);
+    assert!(!fs.iter().any(|f| f.rule == RuleId::R8 && f.path.ends_with("scale.rs")));
+}
+
+/// The suppressed panic in clamp01 does not appear as an R6 finding (the
+/// allow works at the workspace level too, not just per-file).
+#[test]
+fn r6_respects_allow_annotations() {
+    let fs = findings();
+    assert!(!fs.iter().any(|f| f.rule == RuleId::R6 && f.line == 13), "{fs:?}");
+}
+
+/// SARIF output for the fixture set round-trips rule ids and locations.
+#[test]
+fn sarif_output_contains_graph_rules() {
+    let sarif = mhd_lint::render_sarif(&findings());
+    assert!(sarif.contains("\"id\":\"R6\""));
+    assert!(sarif.contains("\"ruleId\":\"R7\""));
+    assert!(sarif.contains("\"ruleId\":\"R8\""));
+    assert!(sarif.contains("crates/mhd-text/src/scale.rs"));
+    assert!(sarif.contains("\"startLine\":8"));
+}

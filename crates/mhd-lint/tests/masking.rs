@@ -1,0 +1,138 @@
+//! Regression fixtures for the lexer's masking of hashed raw strings and
+//! nested block comments, plus the alignment invariants every rule scanner
+//! depends on (line numbers in findings are only trustworthy if masking
+//! never drifts the text against the original).
+//!
+//! The `cr#"…"#` cases pin the fix for the raw-C-string gap: the `c` prefix
+//! used to defeat raw-string detection, so the plain-string handler closed
+//! the literal at the first interior `"` and hashed content leaked into the
+//! masked view as code (and real code after it could get swallowed).
+
+use mhd_lint::source::SourceFile;
+
+fn masked(src: &str) -> Vec<String> {
+    SourceFile::parse("a.rs", src).lines
+}
+
+#[test]
+fn hashed_raw_strings_mask_content_and_keep_code() {
+    // Embedded "# with fewer hashes than the fence stays inside the literal.
+    let m = masked("let a = r##\"text \"# panic!() more\"##; thread_rng();\n");
+    assert!(!m[0].contains("panic"), "{:?}", m[0]);
+    assert!(m[0].contains("thread_rng"), "{:?}", m[0]);
+
+    // Multi-line hashed raw string: content masked, line structure kept.
+    let m = masked("let s = r##\"l1\n\"# l2 unwrap()\n\"##;\nthread_rng();\n");
+    assert!(!m[1].contains("unwrap"), "{m:?}");
+    assert!(m[3].contains("thread_rng"), "{m:?}");
+
+    // A candidate closing with more hashes than the fence does not close early.
+    let m = masked("let s = r###\"x\"## y\"###; thread_rng();\n");
+    assert!(m[0].contains("thread_rng"), "{m:?}");
+    assert!(!m[0].contains(" y\""), "{m:?}");
+
+    // Raw byte strings take the same path.
+    let m = masked("let s = br##\"panic!()\"##; thread_rng();\n");
+    assert!(!m[0].contains("panic"), "{m:?}");
+    assert!(m[0].contains("thread_rng"), "{m:?}");
+}
+
+#[test]
+fn raw_c_strings_are_masked() {
+    // The regression: an interior `"` inside cr#"…"# used to terminate the
+    // literal early, exposing `panic!()` as code and masking the real
+    // `thread_rng()` call that follows the literal.
+    let m = masked("let s = cr#\"has \" quote panic!()\"#; thread_rng();\n");
+    assert!(!m[0].contains("panic"), "{:?}", m[0]);
+    assert!(m[0].contains("thread_rng"), "{:?}", m[0]);
+
+    // Unhashed raw C string: no escape processing, closes at the first `"`.
+    let m = masked("let s = cr\"a\\\"; unwrap();\n");
+    assert!(m[0].contains("unwrap"), "{:?}", m[0]);
+
+    // Plain C string.
+    let m = masked("let s = c\"panic!()\"; thread_rng();\n");
+    assert!(!m[0].contains("panic"), "{:?}", m[0]);
+    assert!(m[0].contains("thread_rng"), "{:?}", m[0]);
+
+    // An identifier ending in `c`/`r` followed by a literal is not a prefix.
+    let m = masked("let cr = 1; vec![cr];\n");
+    assert!(m[0].contains("vec![cr]"), "{:?}", m[0]);
+    let sf = SourceFile::parse("a.rs", "let s = cr#\"x\"#;\n");
+    assert_eq!(sf.strings.len(), 1);
+    assert_eq!(sf.strings[0].content, "x");
+}
+
+#[test]
+fn nested_block_comments_mask_to_the_matching_close() {
+    // Single-line nesting: the first `*/` closes only the inner comment.
+    let m = masked("/* outer /* inner unwrap() */ still panic!() */ thread_rng();\n");
+    assert!(!m[0].contains("unwrap"), "{:?}", m[0]);
+    assert!(!m[0].contains("panic"), "{:?}", m[0]);
+    assert!(m[0].contains("thread_rng"), "{:?}", m[0]);
+
+    // Nesting across lines, with code resuming mid-line after the close.
+    let m = masked("/* a\n/* b unwrap() */\nc panic!() */ thread_rng();\nInstant::now();\n");
+    assert!(!m[1].contains("unwrap"), "{m:?}");
+    assert!(!m[2].contains("panic"), "{m:?}");
+    assert!(m[2].contains("thread_rng"), "{m:?}");
+    assert!(m[3].contains("Instant"), "{m:?}");
+
+    // Immediately-adjacent delimiters.
+    let m = masked("/*/* unwrap() */*/ thread_rng();\n");
+    assert!(!m[0].contains("unwrap"), "{:?}", m[0]);
+    assert!(m[0].contains("thread_rng"), "{:?}", m[0]);
+
+    // Star-heavy content around an inner comment.
+    let m = masked("/** doc /* inner */ tail **/ thread_rng();\n");
+    assert!(m[0].contains("thread_rng"), "{:?}", m[0]);
+}
+
+/// Masking must never change the text length or move a newline: every rule
+/// anchors findings by (line, content) of the masked view.
+#[test]
+fn masking_preserves_length_and_newlines() {
+    let cases = [
+        "let a = r##\"x \"# y\"##; f();\n",
+        "let a = r###\"x\"## y\"###;\n",
+        "let a = cr#\"x \" y\"#; f();\n",
+        "let a = c\"x\"; f();\n",
+        "/* a /* b */ c */ d();\n",
+        "/*/* x */*/ y();\n",
+        "let s = r#\"multi\nline \"# mid\nend\"#; g();\n",
+        "let c = '\\u{1f600}'; let d = '\\'';\n",
+        "\"abc\\\ndef\" code();\n",
+        "let r#type = r#\"v\"#;\n",
+        "/** doc /* i */ t **/ h();\n",
+        "r\"#\" r#\"\"# r##\"\"\"## b\"x\" br#\"y\"# cr#\"z\"#\n",
+    ];
+    for src in cases {
+        let sf = SourceFile::parse("a.rs", src);
+        let m: String = sf.lines.join("\n");
+        assert_eq!(m.chars().count(), src.chars().count(), "length drift for {src:?}\nmasked: {m:?}");
+        let nl = |s: &str| -> Vec<usize> {
+            s.chars().enumerate().filter(|(_, c)| *c == '\n').map(|(i, _)| i).collect()
+        };
+        assert_eq!(nl(&m), nl(src), "newline drift for {src:?}\nmasked: {m:?}");
+    }
+}
+
+/// The same invariant over every real workspace file: masking the entire
+/// repo must be length- and newline-stable.
+#[test]
+fn workspace_masking_is_alignment_stable() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = mhd_lint::walk::collect_rs_files(&root).expect("walk");
+    assert!(!files.is_empty());
+    for f in files {
+        let src = std::fs::read_to_string(&f).expect("readable");
+        let sf = SourceFile::parse(&f.to_string_lossy(), &src);
+        let m: String = sf.lines.join("\n");
+        assert_eq!(
+            m.chars().count(),
+            src.chars().count(),
+            "mask length drift in {}",
+            f.display()
+        );
+    }
+}

@@ -213,7 +213,7 @@ impl Backbone {
     fn evidence_for(&self, query: &str, prototype: &[f64]) -> Vec<String> {
         // Top-3 prototype categories.
         let mut idx: Vec<usize> = (0..prototype.len()).collect();
-        idx.sort_by(|&a, &b| prototype[b].partial_cmp(&prototype[a]).expect("finite"));
+        idx.sort_by(|&a, &b| prototype[b].total_cmp(&prototype[a]));
         let top: Vec<C> = idx.iter().take(3).map(|&i| C::ALL[i]).collect();
         let mut evidence = Vec::new();
         for tok in words(query) {

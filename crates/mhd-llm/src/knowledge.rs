@@ -127,6 +127,7 @@ impl Knowledge {
     /// Prototype vector for a concept (panics for unknown concepts — all
     /// enum values are populated by `build`).
     pub fn prototype(&self, concept: Concept) -> &[f64] {
+        // mhd-lint: allow(R6) — build() inserts every Concept variant; documented panicking accessor
         self.prototypes.get(&concept).map(Vec::as_slice).expect("concept populated at build")
     }
 

@@ -59,6 +59,7 @@ pub fn render_completion(
             "The post shows some concerning signals but I cannot be certain either way.",
             "This could go either way depending on the poster's wider history.",
         ];
+        // mhd-lint: allow(R6) — hedges is a non-empty local const table
         out.push_str(hedges.choose(&mut rng).expect("non-empty"));
     } else {
         let wrappers = [
@@ -67,6 +68,7 @@ pub fn render_completion(
             format!("Based on the text, the answer is: {answer_text}"),
             answer_text.clone(),
         ];
+        // mhd-lint: allow(R6) — wrappers is a non-empty local table
         out.push_str(wrappers.choose(&mut rng).expect("non-empty"));
     }
     out
@@ -95,6 +97,7 @@ fn render_reasoning(decision: &Decision, fidelity: f64, rng: &mut StdRng) -> Str
         // phenomenon the interpretability literature measures.
         let mut cited = decision.evidence.clone();
         if rng.gen_bool(((1.0 - fidelity) * 0.8).clamp(0.0, 1.0)) {
+            // mhd-lint: allow(R6) — HALLUCINATED_EVIDENCE is a non-empty const array
             let fake = HALLUCINATED_EVIDENCE.choose(rng).expect("non-empty");
             let slot = rng.gen_range(0..cited.len());
             cited[slot] = fake.to_string();
@@ -114,6 +117,7 @@ fn render_reasoning(decision: &Decision, fidelity: f64, rng: &mut StdRng) -> Str
         ", a pattern consistent with the label.",
         "; weighing the overall tone supports the judgement.",
     ];
+    // mhd-lint: allow(R6) — connective is a non-empty local const table
     s.push_str(connective.choose(rng).expect("non-empty"));
     s
 }

@@ -79,6 +79,7 @@ impl EncoderClassifier {
     }
 
     fn encode(&self, text: &str) -> Vec<u32> {
+        // mhd-lint: allow(R6) — Detector contract: fit() precedes encode/predict; documented panicking accessor
         let vocab = self.vocab.as_ref().expect("EncoderClassifier::fit not called");
         words(text).iter().filter_map(|w| vocab.id(w)).collect()
     }
@@ -159,6 +160,7 @@ impl TextClassifier for EncoderClassifier {
         let probs = match self.qencoder.as_ref() {
             Some(q) => q.predict_proba(&ids),
             None => {
+                // mhd-lint: allow(R6) — Detector contract: fit() precedes encode/predict; documented panicking accessor
                 let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
                 encoder.predict_proba(&ids)
             }
@@ -172,6 +174,7 @@ impl TextClassifier for EncoderClassifier {
         let probs = match self.qencoder.as_ref() {
             Some(q) => q.predict_proba_batch(&docs),
             None => {
+                // mhd-lint: allow(R6) — Detector contract: fit() precedes encode/predict; documented panicking accessor
                 let encoder = self.encoder.as_ref().expect("EncoderClassifier::fit not called");
                 encoder.predict_proba_batch(&docs)
             }

@@ -150,11 +150,13 @@ impl TextClassifier for LogisticRegression {
     }
 
     fn predict_proba(&self, text: &str) -> Vec<f64> {
+        // mhd-lint: allow(R6) — Detector contract: fit() precedes predict; documented panicking accessor
         let v = self.vectorizer.as_ref().expect("LogisticRegression::fit not called");
         softmax(&self.scores(&v.transform(text)))
     }
 
     fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        // mhd-lint: allow(R6) — Detector contract: fit() precedes predict; documented panicking accessor
         let v = self.vectorizer.as_ref().expect("LogisticRegression::fit not called");
         let xs = v.transform_csr(texts);
         xs.par_linear_scores(&self.weights, &self.bias)

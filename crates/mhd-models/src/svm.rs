@@ -118,11 +118,13 @@ impl TextClassifier for LinearSvm {
     }
 
     fn predict_proba(&self, text: &str) -> Vec<f64> {
+        // mhd-lint: allow(R6) — Detector contract: fit() precedes predict; documented panicking accessor
         let v = self.vectorizer.as_ref().expect("LinearSvm::fit not called");
         softmax_margins(&self.margins(&v.transform(text)))
     }
 
     fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        // mhd-lint: allow(R6) — Detector contract: fit() precedes predict; documented panicking accessor
         let v = self.vectorizer.as_ref().expect("LinearSvm::fit not called");
         let xs = v.transform_csr(texts);
         xs.par_linear_scores(&self.weights, &self.bias)

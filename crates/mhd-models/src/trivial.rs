@@ -67,7 +67,11 @@ impl TextClassifier for UniformRandom {
     fn predict_proba(&self, _text: &str) -> Vec<f64> {
         assert!(self.n_classes > 0, "UniformRandom::fit not called");
         // A peaked-at-random-class distribution so `predict` is random.
-        let winner = self.rng.lock().expect("rng lock").gen_range(0..self.n_classes);
+        let winner = self
+            .rng
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .gen_range(0..self.n_classes);
         let mut p = vec![0.5 / self.n_classes as f64; self.n_classes];
         p[winner] += 0.5;
         p

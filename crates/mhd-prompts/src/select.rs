@@ -115,7 +115,7 @@ impl DemoSelector {
                         (i, cosine(&f, &qf))
                     })
                     .collect();
-                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1));
                 scored.into_iter().take(k).map(|(i, _)| i).collect()
             }
         };

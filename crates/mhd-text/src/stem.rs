@@ -29,7 +29,9 @@ pub fn stem(word: &str) -> String {
     step3(&mut w);
     step4(&mut w);
     step5(&mut w);
-    String::from_utf8(w).expect("stemmer operates on ASCII")
+    // Lossy is a no-op for the ASCII bytes the steps produce, and keeps the
+    // tokenizer→stemmer path panic-free even on adversarial input.
+    String::from_utf8_lossy(&w).into_owned()
 }
 
 fn is_consonant(w: &[u8], i: usize) -> bool {

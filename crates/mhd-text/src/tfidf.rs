@@ -60,11 +60,13 @@ impl TfidfVectorizer {
         for doc in docs {
             let terms = Self::terms_for(doc.as_ref(), &config);
             let unique: HashSet<&String> = terms.iter().collect();
+            // mhd-lint: allow(R7) — visit order only permutes commutative += into df
             for t in unique {
                 *df.entry(t.clone()).or_insert(0) += 1;
             }
         }
         let mut items: Vec<(String, u32)> =
+            // mhd-lint: allow(R7) — collected in arbitrary order, then fully sorted below before truncation
             df.into_iter().filter(|&(_, d)| d >= config.min_df).collect();
         // Highest-df first for deterministic truncation; ties lexicographic.
         items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -98,6 +100,7 @@ impl TfidfVectorizer {
     /// vocabulary map is order-independent, so the result is deterministic.
     pub fn approx_bytes(&self) -> usize {
         let per_entry = std::mem::size_of::<String>() + std::mem::size_of::<u32>();
+        // mhd-lint: allow(R7) — order-independent sum over all keys
         self.term_to_id.keys().map(|k| per_entry + k.capacity()).sum::<usize>()
             + self.idf.capacity() * std::mem::size_of::<f64>()
     }
@@ -112,6 +115,7 @@ impl TfidfVectorizer {
             }
         }
         let mut pairs: Vec<(u32, f64)> = counts
+            // mhd-lint: allow(R7) — pairs are sorted by term id below before the sparse vector is built
             .into_iter()
             .map(|(id, tf)| {
                 let tf_w = if self.config.sublinear_tf { 1.0 + tf.ln() } else { tf };

@@ -30,6 +30,7 @@ impl Vocabulary {
             }
         }
         let mut items: Vec<(String, u64)> =
+            // mhd-lint: allow(R7) — collected in arbitrary order, then fully sorted below before truncation
             freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
         // Descending count, then lexicographic for determinism.
         items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
