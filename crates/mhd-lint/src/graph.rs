@@ -32,6 +32,10 @@ pub const R6_ENTRY_POINTS: &[(&str, Option<&str>, Option<&str>)] = &[
     ("predict_proba_batch", None, None),
     ("forward_batch", None, None),
     ("load", Some("Checkpoint"), None),
+    ("map", Some("Checkpoint"), None),
+    ("submit", Some("Service"), None),
+    ("shard_loop", None, Some("mhd_serve::service")),
+    ("load", Some("ModelZoo"), None),
 ];
 
 /// A node in the call graph: index into [`CallGraph`]'s flattened fn list.

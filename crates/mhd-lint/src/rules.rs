@@ -26,8 +26,10 @@ const REPORT_PATH_FILES: [&str; 4] = [
 /// encoder step runs through it, so it gets the same guarantee.
 /// `quant.rs` and `checkpoint.rs` are the int8 serving kernels and the
 /// model-zoo container: serving and zoo loads must degrade to errors,
-/// never aborts.
-const R2_FILES: [&str; 10] = [
+/// never aborts. `mhd-serve`'s `service.rs`/`zoo.rs` are the online
+/// request loop and shared zoo — a panic there takes down a long-running
+/// service, so admission failures must surface as typed rejections.
+const R2_FILES: [&str; 12] = [
     "crates/mhd-core/src/pipeline.rs",
     "crates/mhd-core/src/experiments.rs",
     "crates/mhd-core/src/experiments_ext.rs",
@@ -38,6 +40,8 @@ const R2_FILES: [&str; 10] = [
     "crates/mhd-nn/src/checkpoint.rs",
     "crates/mhd-nn/src/mlp.rs",
     "crates/mhd-nn/src/encoder.rs",
+    "crates/mhd-serve/src/service.rs",
+    "crates/mhd-serve/src/zoo.rs",
 ];
 
 /// Where the shared float-format helpers live (exempt from R4 by definition).

@@ -1,0 +1,5 @@
+//! Fixture: shard-pool helper outside every lexical scope list. The
+//! `unwrap` here is reachable from the `shard_loop` R6 root in service.rs.
+pub fn drain_one(batch: &[f64]) -> f64 {
+    *batch.first().unwrap()
+}

@@ -1,0 +1,22 @@
+//! Fixture: online-serving entry points (`Service::submit`, `shard_loop`).
+//! This file IS in the R2 lexical scope list, so it must stay panic-free
+//! itself; the panic it can reach lives one hop away in `pool.rs`, which is
+//! in no lexical list — only the call graph can see the chain.
+use crate::pool::drain_one;
+
+pub struct Service {
+    cap: usize,
+}
+
+impl Service {
+    pub fn submit(&self, depth: usize) -> Result<(), usize> {
+        if depth >= self.cap {
+            return Err(self.cap);
+        }
+        Ok(())
+    }
+}
+
+pub fn shard_loop(batches: &[Vec<f64>]) -> Vec<f64> {
+    batches.iter().map(|b| drain_one(b)).collect()
+}

@@ -17,7 +17,7 @@ fn fixture_workspace() -> Vec<(String, String)> {
     let mut out = Vec::new();
     collect(&root, &root, &mut out);
     out.sort();
-    assert_eq!(out.len(), 5, "fixture tree changed shape");
+    assert_eq!(out.len(), 7, "fixture tree changed shape");
     out
 }
 
@@ -52,6 +52,7 @@ fn graph_fixture_findings_pinned() {
             (RuleId::R7, "crates/mhd-core/src/cfg.rs".to_string(), 3),
             (RuleId::R8, "crates/mhd-core/src/stale.rs".to_string(), 1),
             (RuleId::R6, "crates/mhd-models/src/wide.rs".to_string(), 15),
+            (RuleId::R6, "crates/mhd-serve/src/pool.rs".to_string(), 4),
             (RuleId::R6, "crates/mhd-text/src/scale.rs".to_string(), 8),
         ]
     );
@@ -122,6 +123,27 @@ fn r8_stale_allow_flagged_live_allow_not() {
 fn r6_respects_allow_annotations() {
     let fs = findings();
     assert!(!fs.iter().any(|f| f.rule == RuleId::R6 && f.line == 13), "{fs:?}");
+}
+
+/// The serving-path fixture: `shard_loop` (an R6 root by module match on
+/// `mhd_serve::service`) reaches an `unwrap` in the shard-pool helper.
+/// service.rs itself is in the R2 lexical list and stays clean — the chain
+/// is only visible to the call graph.
+#[test]
+fn r6_flags_panic_reachable_from_serve_shard_loop() {
+    // pool.rs standalone is outside every lexical scope list: no R2.
+    let src = "pub fn drain_one(batch: &[f64]) -> f64 {\n    *batch.first().unwrap()\n}\n";
+    let lexical = lint_source("crates/mhd-serve/src/pool.rs", src, &LintConfig::default());
+    assert!(lexical.iter().all(|f| f.rule != RuleId::R2), "{lexical:?}");
+
+    let fs = findings();
+    let f = fs
+        .iter()
+        .find(|f| f.rule == RuleId::R6 && f.path.ends_with("pool.rs"))
+        .expect("serve-path R6 finding");
+    assert_eq!(f.line, 4);
+    assert!(f.message.contains("shard_loop"), "{}", f.message);
+    assert!(f.message.contains("drain_one"), "{}", f.message);
 }
 
 /// SARIF output for the fixture set round-trips rule ids and locations.

@@ -7,6 +7,7 @@
 //! dense-representation model with full access to the training split.
 
 use crate::TextClassifier;
+use mhd_nn::checkpoint::Writer;
 use mhd_nn::encoder::{Encoder, EncoderConfig};
 use mhd_nn::quant::{Precision, QuantizedEncoder};
 use mhd_nn::train::{train, TrainOptions};
@@ -76,6 +77,33 @@ impl EncoderClassifier {
     /// The inference precision this classifier was configured with.
     pub fn precision(&self) -> Precision {
         self.config.precision
+    }
+
+    /// Export the trained model into a checkpoint `Writer` as a serving
+    /// zoo: the f32 encoder under `encoder/…`, its int8 quantization under
+    /// `qencoder/…` (quantized on the fly when the classifier was trained
+    /// in f32), and classifier metadata. `mhd-serve` maps the saved
+    /// container once (`Checkpoint::map`) and shares it read-only across
+    /// shards; posts must be encoded to token ids with the same fitted
+    /// vocabulary, which is recorded in `clf.vocab` meta one token per
+    /// line in id order.
+    ///
+    /// Returns `Err` if `fit` has not been called yet.
+    pub fn export_zoo(&self, w: &mut Writer) -> Result<(), &'static str> {
+        let (vocab, encoder) = match (self.vocab.as_ref(), self.encoder.as_ref()) {
+            (Some(v), Some(e)) => (v, e),
+            _ => return Err("EncoderClassifier::fit not called"),
+        };
+        w.meta("clf.kind", "bert_mini");
+        w.meta("clf.models", "encoder,qencoder");
+        let tokens: Vec<&str> = vocab.tokens().collect();
+        w.meta("clf.vocab", &tokens.join("\n"));
+        encoder.write_checkpoint("encoder", w);
+        match self.qencoder.as_ref() {
+            Some(q) => q.write_checkpoint("qencoder", w),
+            None => encoder.quantize().write_checkpoint("qencoder", w),
+        }
+        Ok(())
     }
 
     fn encode(&self, text: &str) -> Vec<u32> {
@@ -262,6 +290,58 @@ mod tests {
         }
         assert!(max_delta < 0.1, "int8 drifted from f32: max prob delta {max_delta}");
         assert!(agree * 100 >= texts.len() * 95, "argmax agreement {agree}/{}", texts.len());
+    }
+
+    /// A zoo exported with `export_zoo` must reload (through the mmap
+    /// loader) into models whose predictions are bit-identical to the live
+    /// classifier — both precisions — and must carry the fitted vocabulary.
+    #[test]
+    fn export_zoo_roundtrips_bit_identical() {
+        use mhd_nn::checkpoint::Checkpoint;
+        use mhd_nn::quant::QuantizedEncoder;
+
+        let (texts, labels) = toy_corpus();
+        let mut clf = EncoderClassifier::with_config(fast());
+        clf.fit(&texts, &labels, 2);
+
+        assert!(EncoderClassifier::new().export_zoo(&mut Writer::new()).is_err());
+
+        let dir = std::env::temp_dir().join("mhd_models_export_zoo_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("zoo.mhdckpt");
+        let mut w = Writer::new();
+        clf.export_zoo(&mut w).expect("fitted export");
+        w.save(&path).expect("save zoo");
+
+        let mapped = Checkpoint::map(&path).expect("map zoo");
+        assert_eq!(mapped.meta("clf.kind"), Some("bert_mini"));
+        let enc = Encoder::from_checkpoint(&mapped, "encoder").expect("f32 reload");
+        let qenc = QuantizedEncoder::from_checkpoint(&mapped, "qencoder").expect("int8 reload");
+
+        let vocab_meta = mapped.meta("clf.vocab").expect("vocab meta");
+        let docs: Vec<Vec<u32>> = texts.iter().map(|t| clf.encode(t)).collect();
+        let vocab = clf.vocab.as_ref().expect("fitted");
+        for (id, tok) in vocab_meta.lines().enumerate() {
+            assert_eq!(vocab.token(id as u32), Some(tok));
+        }
+
+        let live = clf.predict_proba_batch(&texts);
+        let reloaded = enc.predict_proba_batch(&docs);
+        for (lr, rr) in live.iter().zip(&reloaded) {
+            let lb: Vec<u64> = lr.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u64> = rr.iter().map(|&v| (v as f64).to_bits()).collect();
+            assert_eq!(lb, rb);
+        }
+
+        let qlive = enc.quantize().predict_proba_batch(&docs);
+        let qreloaded = qenc.predict_proba_batch(&docs);
+        for (lr, rr) in qlive.iter().zip(&qreloaded) {
+            let lb: Vec<u32> = lr.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = rr.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(lb, rb);
+        }
+
+        std::fs::remove_file(&path).ok();
     }
 
     /// The batched override must agree with the per-text path bit for bit

@@ -33,9 +33,12 @@
 
 use mhd_obs::{counter_add, span, StatCell, StatTimer};
 use std::fmt;
+use std::ops::Deref;
 use std::path::Path;
+use std::sync::Arc;
 
 static T_CKPT_LOAD: StatCell = StatCell::new("nn.checkpoint.load");
+static T_CKPT_MAP: StatCell = StatCell::new("nn.checkpoint.map");
 static T_CKPT_SAVE: StatCell = StatCell::new("nn.checkpoint.save");
 
 /// File magic, first 8 bytes of every checkpoint.
@@ -280,6 +283,34 @@ pub struct TensorView<'a> {
     pub bytes: &'a [u8],
 }
 
+impl<'a> TensorView<'a> {
+    /// Element count (`rows · cols`).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decode the payload as little-endian f32s, lazily — the borrowing
+    /// load path streams these straight into kernel-ready layouts (packed
+    /// weight panels, i16 quant lanes) without materialising an
+    /// intermediate `Vec`. Meaningful only when `dtype` is [`DType::F32`]
+    /// (the checked accessor is [`Checkpoint::view_f32`]).
+    pub fn f32_iter(&self) -> impl Iterator<Item = f32> + 'a {
+        let (chunks, _) = self.bytes.as_chunks::<4>();
+        chunks.iter().map(|c| f32::from_le_bytes(*c))
+    }
+
+    /// Decode the payload as i8s, lazily. Meaningful only when `dtype`
+    /// is [`DType::I8`] (the checked accessor is [`Checkpoint::view_i8`]).
+    pub fn i8_iter(&self) -> impl Iterator<Item = i8> + 'a {
+        self.bytes.iter().map(|&b| b as i8)
+    }
+}
+
 /// A loaded, validated checkpoint: the raw buffer plus its parsed
 /// metadata and tensor directory (both name-sorted).
 #[derive(Debug, Clone)]
@@ -287,6 +318,53 @@ pub struct Checkpoint {
     buf: Vec<u8>,
     meta: Vec<(String, String)>,
     dir: Vec<DirEntry>,
+}
+
+/// A checkpoint mapped into the serving process: **one** validated
+/// buffer, reference-counted and shared read-only by every holder.
+///
+/// This is the serving-side loader the container's 64-byte-aligned
+/// payloads were designed for. [`Checkpoint::map`] performs a single
+/// sequential read + validation; cloning a `MappedCheckpoint` is an
+/// `Arc` bump, so a shard pool shares the mapped bytes instead of each
+/// shard re-reading (or re-copying) the zoo. All tensor access goes
+/// through the zero-copy [`Checkpoint::view`] family borrowing directly
+/// from the shared buffer.
+///
+/// # Lifetime rules (mmap discipline, safe Rust)
+///
+/// The workspace forbids `unsafe`, so this is not an OS `mmap(2)` — a
+/// true page mapping needs `unsafe` to reinterpret mapped pages as
+/// typed slices. What it preserves is mmap's *borrowing discipline*:
+///
+/// * the buffer is immutable for its whole life — no accessor can
+///   mutate it, so concurrent shard reads need no synchronisation;
+/// * [`TensorView`]s borrow the buffer (`&'ck [u8]`), so the borrow
+///   checker proves no view outlives the mapping — the failure mode an
+///   OS mmap turns into a use-after-unmap fault;
+/// * models built from views decode payload bytes exactly once, in one
+///   pass, straight into kernel-ready state (packed f32 panels, i16
+///   quant lanes) with no intermediate tensor materialisation;
+/// * the mapping is released when the last clone drops, never while a
+///   shard still serves from it.
+#[derive(Debug, Clone)]
+pub struct MappedCheckpoint {
+    inner: Arc<Checkpoint>,
+}
+
+impl Deref for MappedCheckpoint {
+    type Target = Checkpoint;
+
+    fn deref(&self) -> &Checkpoint {
+        &self.inner
+    }
+}
+
+impl MappedCheckpoint {
+    /// Number of handles (shards + zoo) currently sharing the mapping.
+    pub fn handles(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
 }
 
 fn take<'a>(buf: &'a [u8], off: &mut usize, len: usize) -> Result<&'a [u8], CheckpointError> {
@@ -381,6 +459,19 @@ impl Checkpoint {
         Self::from_bytes(buf)
     }
 
+    /// Map a checkpoint file for serving: one sequential read + full
+    /// validation, then share the buffer read-only via cheap
+    /// [`MappedCheckpoint`] clones. See [`MappedCheckpoint`] for the
+    /// lifetime rules.
+    pub fn map(path: &Path) -> Result<MappedCheckpoint, CheckpointError> {
+        let _t = StatTimer::start(&T_CKPT_MAP);
+        let _s = span("checkpoint.map");
+        let buf = std::fs::read(path).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        counter_add("checkpoint.bytes_mapped", buf.len() as u64);
+        let ck = Self::from_bytes(buf)?;
+        Ok(MappedCheckpoint { inner: Arc::new(ck) })
+    }
+
     /// Metadata value for `key`, if present.
     pub fn meta(&self, key: &str) -> Option<&str> {
         self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
@@ -441,6 +532,24 @@ impl Checkpoint {
         let bytes =
             self.buf.get(e.offset..e.offset + e.byte_len).ok_or(CheckpointError::Truncated)?;
         Ok(TensorView { dtype: e.dtype, rows: e.rows, cols: e.cols, bytes })
+    }
+
+    /// Zero-copy view checked to hold f32 payload bytes.
+    pub fn view_f32(&self, name: &str) -> Result<TensorView<'_>, CheckpointError> {
+        let v = self.view(name)?;
+        if v.dtype != DType::F32 {
+            return Err(CheckpointError::WrongDtype(name.to_string()));
+        }
+        Ok(v)
+    }
+
+    /// Zero-copy view checked to hold i8 payload bytes.
+    pub fn view_i8(&self, name: &str) -> Result<TensorView<'_>, CheckpointError> {
+        let v = self.view(name)?;
+        if v.dtype != DType::I8 {
+            return Err(CheckpointError::WrongDtype(name.to_string()));
+        }
+        Ok(v)
     }
 
     /// Decode an f32 tensor into `(rows, cols, data)` in one bulk pass.
@@ -571,6 +680,52 @@ mod tests {
         assert!(matches!(ck.tensor_f32("nope"), Err(CheckpointError::MissingTensor(_))));
         assert!(matches!(ck.tensor_f32("m/q"), Err(CheckpointError::WrongDtype(_))));
         assert!(matches!(ck.tensor_i8("m/w"), Err(CheckpointError::WrongDtype(_))));
+    }
+
+    #[test]
+    fn view_iterators_match_bulk_decode() {
+        let ck = Checkpoint::from_bytes(sample().to_bytes()).expect("parse");
+        let (_, _, w) = ck.tensor_f32("m/w").expect("bulk f32");
+        let lazy: Vec<f32> = ck.view_f32("m/w").expect("view").f32_iter().collect();
+        assert_eq!(w, lazy);
+        let (_, _, q) = ck.tensor_i8("m/q").expect("bulk i8");
+        let lazy_q: Vec<i8> = ck.view_i8("m/q").expect("view").i8_iter().collect();
+        assert_eq!(q, lazy_q);
+        assert_eq!(ck.view_f32("m/w").expect("view").len(), 6);
+        assert!(matches!(ck.view_f32("m/q"), Err(CheckpointError::WrongDtype(_))));
+        assert!(matches!(ck.view_i8("m/w"), Err(CheckpointError::WrongDtype(_))));
+    }
+
+    #[test]
+    fn map_shares_one_validated_buffer() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mhd_nn_ckpt_map_test.ckpt");
+        sample().save(&path).expect("save");
+        let mapped = Checkpoint::map(&path).expect("map");
+        // Same parse result as the owning loader.
+        let loaded = Checkpoint::load(&path).expect("load");
+        assert_eq!(mapped.meta("zoo"), loaded.meta("zoo"));
+        assert_eq!(mapped.n_tensors(), loaded.n_tensors());
+        assert_eq!(
+            mapped.tensor_f32("m/w").expect("mapped"),
+            loaded.tensor_f32("m/w").expect("loaded")
+        );
+        // Clones are handle bumps on the same buffer, not re-reads.
+        assert_eq!(mapped.handles(), 1);
+        let shard_a = mapped.clone();
+        let shard_b = mapped.clone();
+        assert_eq!(mapped.handles(), 3);
+        assert!(std::ptr::eq(
+            shard_a.view("m/w").expect("a").bytes.as_ptr(),
+            shard_b.view("m/w").expect("b").bytes.as_ptr()
+        ));
+        drop(shard_a);
+        drop(shard_b);
+        assert_eq!(mapped.handles(), 1);
+        // Shards may move across worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MappedCheckpoint>();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

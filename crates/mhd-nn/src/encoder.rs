@@ -33,6 +33,7 @@ use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
 /// Configuration for [`Encoder`].
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +81,19 @@ pub struct Encoder {
     b2: Tensor,    // 1×k
     opt: Adam,
     ws: Workspace,
+    /// Serving-state cache: k-major packs of `att_w` / `w1` / `w2` for
+    /// the batched forward paths (see [`gemm::pack_b_nt`]). Built lazily,
+    /// taken by every optimizer step. Without it [`Encoder::attention_forward`]
+    /// repacks the d×d attention matrix once **per document**.
+    packed: OnceLock<PackedEncWeights>,
+}
+
+/// Packed forward-path weights for [`Encoder`].
+#[derive(Debug, Clone, Default)]
+struct PackedEncWeights {
+    att_wt: Vec<f32>,
+    w1t: Vec<f32>,
+    w2t: Vec<f32>,
 }
 
 struct Cache {
@@ -125,12 +139,42 @@ impl Encoder {
         let sizes =
             [emb.len(), att_w.len(), att_v.len(), w1.len(), b1.len(), w2.len(), b2.len()];
         let opt = Adam::new(cfg.lr, &sizes);
-        Encoder { cfg, emb, att_w, att_v, w1, b1, w2, b2, opt, ws: Workspace::new() }
+        Encoder {
+            cfg,
+            emb,
+            att_w,
+            att_v,
+            w1,
+            b1,
+            w2,
+            b2,
+            opt,
+            ws: Workspace::new(),
+            packed: OnceLock::new(),
+        }
     }
 
     /// Configuration used at construction.
     pub fn config(&self) -> &EncoderConfig {
         &self.cfg
+    }
+
+    /// Packed forward-path weights, built on first use.
+    fn packed(&self) -> &PackedEncWeights {
+        self.packed.get_or_init(|| {
+            let d = self.cfg.embed_dim;
+            PackedEncWeights {
+                att_wt: gemm::pack_b_nt(&self.att_w.data, d, d),
+                w1t: gemm::pack_b_nt(&self.w1.data, d, self.cfg.hidden_dim),
+                w2t: gemm::pack_b_nt(&self.w2.data, self.cfg.hidden_dim, self.cfg.n_classes),
+            }
+        })
+    }
+
+    /// Force the packed serving state to exist now (zoo startup calls
+    /// this so the first request does not pay the pack).
+    pub fn prepack(&self) {
+        let _ = self.packed();
     }
 
     fn forward(&self, tokens: &[u32]) -> (Vec<f32>, Cache) {
@@ -207,9 +251,10 @@ impl Encoder {
             e_flat[t * d..(t + 1) * d].copy_from_slice(self.emb.row(tok as usize));
         }
         // u = tanh(E_rows · Wᵀ): gemm_nt against the d×d row-major W is
-        // exactly `affine(W, 0, e_t)` per row.
+        // exactly `affine(W, 0, e_t)` per row. The pack of W is cached
+        // across documents (bit-identical to the per-call pack).
         let mut u_flat = vec![0.0; n * d];
-        gemm::gemm_nt(&e_flat, &self.att_w.data, None, n, d, d, &mut u_flat);
+        gemm::gemm_nt_packed(&e_flat, &self.packed().att_wt, None, n, d, d, &mut u_flat);
         for v in &mut u_flat {
             *v = v.tanh();
         }
@@ -281,6 +326,7 @@ impl Encoder {
         }
         let bsz = docs.len();
         let (d, hdim, k) = (self.cfg.embed_dim, self.cfg.hidden_dim, self.cfg.n_classes);
+        let packed = self.packed(); // built once, before the parallel fan-out
         let caches: Vec<AttnCache> = docs.par_iter().map(|doc| self.attention_forward(doc)).collect();
         let mut ws = Workspace::new();
         let mut p = ws.zeros(bsz * d);
@@ -289,9 +335,9 @@ impl Encoder {
         }
         let mut h = ws.zeros(bsz * hdim);
         let mut mask = ws.mask(bsz * hdim);
-        gemm::gemm_nt_relu(&p, &self.w1.data, &self.b1.data, bsz, d, hdim, &mut h, &mut mask);
+        gemm::gemm_nt_relu_packed(&p, &packed.w1t, &self.b1.data, bsz, d, hdim, &mut h, &mut mask);
         let mut logits = ws.zeros(bsz * k);
-        gemm::gemm_nt(&h, &self.w2.data, Some(&self.b2.data), bsz, hdim, k, &mut logits);
+        gemm::gemm_nt_packed(&h, &packed.w2t, Some(&self.b2.data), bsz, hdim, k, &mut logits);
         (0..bsz).map(|e| softmax(&logits[e * k..(e + 1) * k])).collect()
     }
 
@@ -460,6 +506,8 @@ impl Encoder {
 
     /// Mean-scale accumulated gradients and take one Adam step.
     fn apply_grads(&mut self, bsz: usize) {
+        // Weights are about to change: drop the packed serving cache.
+        let _ = self.packed.take();
         let scale = 1.0 / bsz as f32;
         let Encoder { emb, att_w, att_v, w1, b1, w2, b2, opt, .. } = self;
         for t in [&mut *emb, &mut *att_w, &mut *att_v, &mut *w1, &mut *b1, &mut *w2, &mut *b2] {
@@ -555,7 +603,19 @@ impl Encoder {
         let sizes =
             [emb.len(), att_w.len(), att_v.len(), w1.len(), b1.len(), w2.len(), b2.len()];
         let opt = Adam::new(cfg.lr, &sizes);
-        Ok(Encoder { cfg, emb, att_w, att_v, w1, b1, w2, b2, opt, ws: Workspace::new() })
+        Ok(Encoder {
+            cfg,
+            emb,
+            att_w,
+            att_v,
+            w1,
+            b1,
+            w2,
+            b2,
+            opt,
+            ws: Workspace::new(),
+            packed: OnceLock::new(),
+        })
     }
 }
 

@@ -58,12 +58,26 @@ const PAR_MIN_MACS: usize = 1 << 21;
 /// at `init(j)` and accumulates its products in ascending p order — the
 /// packing reorders *memory*, never any element's additions — so results
 /// stay bit-identical to the scalar dot-form reference.
-fn gemm_nt_with<I, E>(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, init: I, mut emit: E)
+fn gemm_nt_with<I, E>(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, init: I, emit: E)
 where
     I: Fn(usize) -> f32,
     E: FnMut(usize, usize, f32),
 {
-    debug_assert!(a.len() >= m * k, "a too short for m×k");
+    debug_assert!(b.len() >= n * k, "b too short for n×k");
+    let bt = pack_b_nt(b, k, n);
+    gemm_nt_packed_with(a, &bt, m, k, n, init, emit);
+}
+
+/// Pack an n×k row-major weight matrix (the [`crate::tensor::Tensor`]
+/// layout the NT kernels take as B) into the k-major scratch layout the
+/// packed kernels consume: `bt[p·n + j] = b[j·k + p]`.
+///
+/// [`gemm_nt`] performs this pack internally on **every call** (~45 KB
+/// for the survey's 178×64 MLP layer); serving paths that reuse the same
+/// weights pack once with this function and call the `*_packed` kernel
+/// variants instead, which is bit-identical by construction — the packed
+/// core is the same code the per-call path runs after its own pack.
+pub fn pack_b_nt(b: &[f32], k: usize, n: usize) -> Vec<f32> {
     debug_assert!(b.len() >= n * k, "b too short for n×k");
     let mut bt = vec![0.0f32; k * n];
     for (j, brow) in b.chunks_exact(k).take(n).enumerate() {
@@ -71,6 +85,26 @@ where
             bt[p * n + j] = bv;
         }
     }
+    bt
+}
+
+/// Packed-B core of [`gemm_nt_with`]: identical loop structure and
+/// accumulation order, with the k-major pack (`bt`, from [`pack_b_nt`])
+/// supplied by the caller instead of rebuilt per call.
+fn gemm_nt_packed_with<I, E>(
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    init: I,
+    mut emit: E,
+) where
+    I: Fn(usize) -> f32,
+    E: FnMut(usize, usize, f32),
+{
+    debug_assert!(a.len() >= m * k, "a too short for m×k");
+    debug_assert!(bt.len() >= k * n, "bt too short for k×n");
     let mut acc = vec![0.0f32; n];
     for i in 0..m {
         for (j, aj) in acc.iter_mut().enumerate() {
@@ -123,6 +157,52 @@ pub fn gemm_nt_relu(
     debug_assert_eq!(mask.len(), m * n, "mask must be m×n");
     debug_assert_eq!(bias.len(), n, "bias must have n entries");
     gemm_nt_with(a, b, m, k, n, |j| bias[j], |idx, _, acc| {
+        let active = acc > 0.0;
+        mask[idx] = active;
+        out[idx] = if active { acc } else { 0.0 };
+    });
+}
+
+/// [`gemm_nt`] over a weight matrix already packed with [`pack_b_nt`]:
+/// skips the per-call pack + scratch allocation, bit-identical output.
+pub fn gemm_nt_packed(
+    a: &[f32],
+    bt: &[f32],
+    bias: Option<&[f32]>,
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let _t = StatTimer::start(&T_GEMM_NT);
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    match bias {
+        Some(bias) => {
+            debug_assert_eq!(bias.len(), n, "bias must have n entries");
+            gemm_nt_packed_with(a, bt, m, k, n, |j| bias[j], |idx, _, acc| out[idx] = acc);
+        }
+        None => gemm_nt_packed_with(a, bt, m, k, n, |_| 0.0, |idx, _, acc| out[idx] = acc),
+    }
+}
+
+/// [`gemm_nt_relu`] over a weight matrix already packed with
+/// [`pack_b_nt`]: skips the per-call pack, bit-identical output.
+#[allow(clippy::too_many_arguments)] // kernel signature mirrors gemm_nt_relu
+pub fn gemm_nt_relu_packed(
+    a: &[f32],
+    bt: &[f32],
+    bias: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    mask: &mut [bool],
+) {
+    let _t = StatTimer::start(&T_GEMM_NT_RELU);
+    debug_assert_eq!(out.len(), m * n, "out must be m×n");
+    debug_assert_eq!(mask.len(), m * n, "mask must be m×n");
+    debug_assert_eq!(bias.len(), n, "bias must have n entries");
+    gemm_nt_packed_with(a, bt, m, k, n, |j| bias[j], |idx, _, acc| {
         let active = acc > 0.0;
         mask[idx] = active;
         out[idx] = if active { acc } else { 0.0 };
@@ -438,6 +518,28 @@ mod tests {
         let mut par = vec![0.0f32; m * n];
         gemm_tn(&a, &b, rows, m, n, &mut par, false);
         assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn packed_kernels_bit_identical_to_per_call_pack() {
+        let (m, k, n) = (5, 7, 9);
+        let a = seq(m * k, 1.3);
+        let w = seq(n * k, 0.9);
+        let bias = seq(n, 0.2);
+        let bt = pack_b_nt(&w, k, n);
+        let mut plain = vec![0.0f32; m * n];
+        gemm_nt(&a, &w, Some(&bias), m, k, n, &mut plain);
+        let mut packed = vec![0.0f32; m * n];
+        gemm_nt_packed(&a, &bt, Some(&bias), m, k, n, &mut packed);
+        assert_eq!(plain, packed, "gemm_nt_packed must match gemm_nt bit-for-bit");
+        let mut plain_r = vec![0.0f32; m * n];
+        let mut mask_r = vec![false; m * n];
+        gemm_nt_relu(&a, &w, &bias, m, k, n, &mut plain_r, &mut mask_r);
+        let mut packed_r = vec![0.0f32; m * n];
+        let mut mask_p = vec![false; m * n];
+        gemm_nt_relu_packed(&a, &bt, &bias, m, k, n, &mut packed_r, &mut mask_p);
+        assert_eq!(plain_r, packed_r);
+        assert_eq!(mask_r, mask_p);
     }
 
     #[test]

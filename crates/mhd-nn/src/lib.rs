@@ -44,7 +44,7 @@ pub mod quant;
 pub mod tensor;
 pub mod train;
 
-pub use checkpoint::{Checkpoint, CheckpointError};
+pub use checkpoint::{Checkpoint, CheckpointError, MappedCheckpoint};
 pub use encoder::Encoder;
 pub use gemm::Workspace;
 pub use lora::LoraAdapter;

@@ -7,7 +7,7 @@
 //! ([`Mlp::train_batch_reference`]) at any thread count.
 
 use crate::checkpoint;
-use crate::gemm::{self, pack_rows, Workspace};
+use crate::gemm::{self, pack_b_nt, pack_rows, Workspace};
 use crate::linalg::{
     affine, affine_backward_input, affine_backward_params, relu_backward, relu_inplace, softmax,
     softmax_xent, softmax_xent_rows,
@@ -16,6 +16,19 @@ use crate::optim::Adam;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// K-major packs of the weight matrices (see [`pack_b_nt`]), built
+/// lazily on the first batched predict and reused until the next
+/// optimizer step. This removes the f32 serving path's dominant
+/// small-batch cost: repacking ~45 KB of weights on every call.
+#[derive(Debug, Clone, Default)]
+struct PackedWeights {
+    /// `w1` packed `input_dim`-major (empty for linear models).
+    w1t: Vec<f32>,
+    /// `w2` packed over its input width (hidden, or input for linear).
+    w2t: Vec<f32>,
+}
 
 /// A dense classifier: `input → [hidden ReLU] → logits → softmax`.
 /// `hidden = 0` degenerates to multinomial logistic regression.
@@ -30,6 +43,9 @@ pub struct Mlp {
     b2: Tensor,
     opt: Adam,
     ws: Workspace,
+    /// Serving-state cache: packed weights for the batched predict path.
+    /// Invalidated (taken) by every optimizer step.
+    packed: OnceLock<PackedWeights>,
 }
 
 impl Mlp {
@@ -63,7 +79,29 @@ impl Mlp {
             b2,
             opt: Adam::new(lr, &sizes),
             ws: Workspace::new(),
+            packed: OnceLock::new(),
         }
+    }
+
+    /// Packed weights for the serving path, built on first use.
+    fn packed(&self) -> &PackedWeights {
+        self.packed.get_or_init(|| {
+            let l2_in = if self.hidden_dim > 0 { self.hidden_dim } else { self.input_dim };
+            PackedWeights {
+                w1t: if self.hidden_dim > 0 {
+                    pack_b_nt(&self.w1.data, self.input_dim, self.hidden_dim)
+                } else {
+                    Vec::new()
+                },
+                w2t: pack_b_nt(&self.w2.data, l2_in, self.n_classes),
+            }
+        })
+    }
+
+    /// Force the packed serving state to exist now (zoo startup calls
+    /// this so the first request does not pay the pack).
+    pub fn prepack(&self) {
+        let _ = self.packed();
     }
 
     /// Class-probability forward pass.
@@ -83,6 +121,7 @@ impl Mlp {
         for x in xs {
             assert_eq!(x.len(), n_in, "input dim mismatch");
         }
+        let packed = self.packed();
         let mut ws = Workspace::new();
         let mut x = ws.zeros(bsz * n_in);
         pack_rows(xs, n_in, &mut x);
@@ -90,10 +129,19 @@ impl Mlp {
         if h_dim > 0 {
             let mut h = ws.zeros(bsz * h_dim);
             let mut mask = ws.mask(bsz * h_dim);
-            gemm::gemm_nt_relu(&x, &self.w1.data, &self.b1.data, bsz, n_in, h_dim, &mut h, &mut mask);
-            gemm::gemm_nt(&h, &self.w2.data, Some(&self.b2.data), bsz, h_dim, k, &mut logits);
+            gemm::gemm_nt_relu_packed(
+                &x,
+                &packed.w1t,
+                &self.b1.data,
+                bsz,
+                n_in,
+                h_dim,
+                &mut h,
+                &mut mask,
+            );
+            gemm::gemm_nt_packed(&h, &packed.w2t, Some(&self.b2.data), bsz, h_dim, k, &mut logits);
         } else {
-            gemm::gemm_nt(&x, &self.w2.data, Some(&self.b2.data), bsz, n_in, k, &mut logits);
+            gemm::gemm_nt_packed(&x, &packed.w2t, Some(&self.b2.data), bsz, n_in, k, &mut logits);
         }
         (0..bsz).map(|e| softmax(&logits[e * k..(e + 1) * k])).collect()
     }
@@ -223,6 +271,8 @@ impl Mlp {
 
     /// Mean-scale accumulated gradients and take one Adam step.
     fn apply_grads(&mut self, bsz: usize) {
+        // Weights are about to change: drop the packed serving cache.
+        let _ = self.packed.take();
         let scale = 1.0 / bsz as f32;
         for t in [&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2] {
             for g in &mut t.grad {
@@ -306,6 +356,7 @@ impl Mlp {
             b2,
             opt: Adam::new(lr, &sizes),
             ws: Workspace::new(),
+            packed: OnceLock::new(),
         })
     }
 }
@@ -497,6 +548,26 @@ mod tests {
             (acc_f as i64 - acc_q as i64).abs() <= 2,
             "accuracy moved: f32 {acc_f} vs int8 {acc_q}"
         );
+    }
+
+    /// The packed-weight serving cache must never serve stale weights:
+    /// predict (cache builds) → train (cache invalidates) → predict must
+    /// equal a never-cached clone's output bit-for-bit.
+    #[test]
+    fn packed_cache_invalidated_by_training() {
+        let (xs, ys) = blobs(48, 17);
+        let mut m = Mlp::new(2, 6, 2, 0.05, 18);
+        let _warm = m.predict_proba_batch(&xs); // builds the pack
+        for _ in 0..5 {
+            m.train_batch(&xs, &ys);
+        }
+        let cached = m.predict_proba_batch(&xs);
+        for (x, row) in xs.iter().zip(&cached) {
+            let single = m.predict_proba(x); // scalar path, no cache
+            let sb: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(sb, rb, "stale packed weights served after training");
+        }
     }
 
     #[test]

@@ -443,11 +443,20 @@ impl QuantizedLinear {
     }
 
     /// Deserialize a layer written by [`QuantizedLinear::write_checkpoint`].
+    /// Decodes straight from the checkpoint's zero-copy views: the i8
+    /// payload widens into the kernel's i16 operand lanes in one pass,
+    /// with no intermediate `Vec<i8>` — the borrowing load path that
+    /// [`Checkpoint::map`] serves shard pools from.
     pub fn from_checkpoint(ck: &Checkpoint, prefix: &str) -> Result<Self, CheckpointError> {
-        let (out_dim, in_dim, wq) = ck.tensor_i8(&format!("{prefix}/wq"))?;
-        let (_, _, w_scales) = ck.tensor_f32(&format!("{prefix}/w_scales"))?;
-        let (_, _, bias) = ck.tensor_f32(&format!("{prefix}/bias"))?;
-        QuantizedLinear::from_quantized_parts(wq, w_scales, bias, out_dim, in_dim)
+        let wv = ck.view_i8(&format!("{prefix}/wq"))?;
+        let (out_dim, in_dim) = (wv.rows, wv.cols);
+        let wq: Vec<i16> = wv.i8_iter().map(i16::from).collect();
+        let w_scales: Vec<f32> = ck.view_f32(&format!("{prefix}/w_scales"))?.f32_iter().collect();
+        let bias: Vec<f32> = ck.view_f32(&format!("{prefix}/bias"))?.f32_iter().collect();
+        if w_scales.len() != out_dim || bias.len() != out_dim {
+            return Err(CheckpointError::Malformed("quantized linear shape mismatch".to_string()));
+        }
+        Ok(QuantizedLinear { in_dim, out_dim, wq, w_scales, bias })
     }
 }
 

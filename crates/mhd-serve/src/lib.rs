@@ -1,0 +1,32 @@
+//! `mhd-serve` — micro-batched online inference for the detection
+//! models, turning the repo's batch kernels into a long-running
+//! service.
+//!
+//! The paper's detection task is a monitoring workload over a
+//! continuous post stream, not a one-shot batch job. This crate
+//! provides the serving layer:
+//!
+//! * [`Service`] — a bounded request queue coalescing posts into
+//!   micro-batches (size- and deadline-triggered) served by a shard
+//!   pool over any [`BatchModel`]; admission control rejects with
+//!   typed [`ServeError`]s, never panics.
+//! * [`ModelZoo`] — f32 + int8 model variants decoded from **one**
+//!   [`mhd_nn::MappedCheckpoint`] buffer shared read-only across
+//!   shards.
+//! * [`traffic`] — seeded arrival processes (steady, bursty, diurnal)
+//!   and synthetic post streams for the load harness in `mhd-bench`.
+//!
+//! Everything observable goes through `mhd-obs`: per-batch spans,
+//! `serve.queue_depth` gauges, `serve.batch_size` / `serve.latency_us`
+//! histograms, and admission counters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod traffic;
+pub mod zoo;
+
+pub use mhd_nn::quant::Precision;
+pub use service::{BatchModel, ServeConfig, ServeError, Service, Ticket};
+pub use zoo::{MlpVariant, ModelZoo};

@@ -1,0 +1,525 @@
+//! Micro-batched request service: a bounded queue coalesces incoming
+//! posts into size- or deadline-triggered batches served by a shard
+//! pool of worker threads.
+//!
+//! Every model behind the service predicts each row independently
+//! (no cross-row state in `predict_proba_batch` / `forward_batch`), so
+//! coalescing is invisible to callers: a request's prediction is
+//! byte-identical whatever batch it lands in — the property pinned by
+//! the serve-vs-offline determinism test.
+//!
+//! Admission control is explicit: a full queue returns
+//! [`ServeError::QueueFull`], a stopping service returns
+//! [`ServeError::ShuttingDown`]. Nothing on the request path panics.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mhd_obs::time::Stopwatch;
+use mhd_obs::{counter_add, gauge_set, hist_record, span, StatCell};
+
+/// Admission counters live in atomic stat cells, not the mutex-backed
+/// counter map: they are bumped once per request on the submit hot path,
+/// where a global map lookup would be a measurable tax at saturation.
+static C_ACCEPTED: StatCell = StatCell::new("serve.accepted");
+static C_REJECTED: StatCell = StatCell::new("serve.rejected");
+
+/// Record every `LATENCY_SAMPLE`-th per-request latency into the
+/// histogram. The summary (count·sum·min·max) converges at a fraction of
+/// the per-reply cost; exact client-side latency belongs to callers.
+const LATENCY_SAMPLE: u64 = 8;
+
+/// A model the service can batch requests into. Implementations must
+/// predict each input row independently of its batchmates; the service
+/// relies on this for serve-vs-offline determinism.
+pub trait BatchModel: Send + Sync + 'static {
+    /// One request's payload (e.g. a feature vector or token ids).
+    type Input: Send + 'static;
+
+    /// Stable label used in spans and metric names.
+    fn label(&self) -> &'static str;
+
+    /// Batched probability forward over `inputs`, one row per input.
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>>;
+}
+
+impl BatchModel for mhd_nn::Mlp {
+    type Input = Vec<f32>;
+
+    fn label(&self) -> &'static str {
+        "mlp_f32"
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        self.predict_proba_batch(inputs)
+    }
+}
+
+impl BatchModel for mhd_nn::QuantizedMlp {
+    type Input = Vec<f32>;
+
+    fn label(&self) -> &'static str {
+        "mlp_int8"
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        self.predict_proba_batch(inputs)
+    }
+}
+
+impl BatchModel for mhd_nn::Encoder {
+    type Input = Vec<u32>;
+
+    fn label(&self) -> &'static str {
+        "encoder_f32"
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        self.predict_proba_batch(inputs)
+    }
+}
+
+impl BatchModel for mhd_nn::QuantizedEncoder {
+    type Input = Vec<u32>;
+
+    fn label(&self) -> &'static str {
+        "encoder_int8"
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        self.predict_proba_batch(inputs)
+    }
+}
+
+/// Queue and batching knobs for a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Flush a batch as soon as this many requests are queued.
+    /// `1` disables coalescing (batch-size-1 serving).
+    pub max_batch: usize,
+    /// Deadline trigger, in microseconds: the hard bound on how long a
+    /// partial batch may coalesce. A partial batch also flushes early
+    /// once it stops growing (stall probe), so the service stays
+    /// work-conserving when every client is blocked on a reply.
+    pub max_wait_us: u64,
+    /// Admission-control bound: submissions beyond this depth are
+    /// rejected with [`ServeError::QueueFull`].
+    pub queue_cap: usize,
+    /// Worker threads draining the queue.
+    pub shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 32, max_wait_us: 500, queue_cap: 1024, shards: 2 }
+    }
+}
+
+impl ServeConfig {
+    fn normalized(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_cap = self.queue_cap.max(1);
+        self.shards = self.shards.max(1);
+        self
+    }
+}
+
+/// Typed rejection/failure surface of the service. Admission control
+/// and shutdown are expressed here, never as panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is at capacity; the caller should back off.
+    QueueFull {
+        /// The configured admission bound that was hit.
+        cap: usize,
+    },
+    /// The service is stopping and no longer admits requests.
+    ShuttingDown,
+    /// The worker dropped the reply channel without answering.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { cap } => {
+                write!(f, "request queue full (cap {cap}); backpressure applied")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Disconnected => write!(f, "worker dropped the reply channel"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot reply slot between a shard and one waiting client. A
+/// purpose-built slot instead of an `mpsc` pair because it sits on the
+/// per-request hot path: one `Arc` allocation per request (an `mpsc`
+/// channel costs several), no allocation on send, and an uncontended
+/// fast path when the reply landed before the client started waiting.
+#[derive(Debug)]
+struct ReplySlot {
+    state: Mutex<ReplyState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum ReplyState {
+    Waiting,
+    Ready(Vec<f32>),
+    /// The sender dropped without answering (only possible if a shard
+    /// died mid-batch; normal shutdown drains every accepted request).
+    Abandoned,
+}
+
+/// Sending half of a [`ReplySlot`]; dropping it unanswered marks the
+/// slot abandoned so the waiting client gets [`ServeError::Disconnected`]
+/// instead of blocking forever.
+#[derive(Debug)]
+struct ReplySender {
+    slot: Arc<ReplySlot>,
+    sent: bool,
+}
+
+impl ReplySender {
+    fn new() -> (ReplySender, Ticket) {
+        let slot =
+            Arc::new(ReplySlot { state: Mutex::new(ReplyState::Waiting), cv: Condvar::new() });
+        (ReplySender { slot: Arc::clone(&slot), sent: false }, Ticket { slot })
+    }
+
+    fn send(mut self, row: Vec<f32>) {
+        {
+            let mut st = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            *st = ReplyState::Ready(row);
+        }
+        self.sent = true;
+        // No-op unless the client is already parked in `wait`.
+        self.slot.cv.notify_one();
+    }
+}
+
+impl Drop for ReplySender {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        {
+            let mut st = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            if matches!(*st, ReplyState::Waiting) {
+                *st = ReplyState::Abandoned;
+            }
+        }
+        self.slot.cv.notify_one();
+    }
+}
+
+/// One queued request: payload, reply slot, and its enqueue clock
+/// (drives both the deadline trigger and the latency histogram).
+struct Pending<I> {
+    input: I,
+    reply: ReplySender,
+    enqueued: Stopwatch,
+}
+
+struct QueueState<I> {
+    items: VecDeque<Pending<I>>,
+    open: bool,
+}
+
+struct Shared<I> {
+    state: Mutex<QueueState<I>>,
+    cv: Condvar,
+}
+
+fn locked<I>(shared: &Shared<I>) -> MutexGuard<'_, QueueState<I>> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Handle for one submitted request; [`Ticket::wait`] blocks until the
+/// micro-batch containing the request has been served.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ReplySlot>,
+}
+
+impl Ticket {
+    /// Block until the prediction arrives.
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        let mut st = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while matches!(*st, ReplyState::Waiting) {
+            st = self.slot.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        match std::mem::replace(&mut *st, ReplyState::Abandoned) {
+            ReplyState::Ready(row) => Ok(row),
+            _ => Err(ServeError::Disconnected),
+        }
+    }
+}
+
+/// A long-running in-process detection service over one [`BatchModel`].
+///
+/// Dropping the service closes admission, drains every already-accepted
+/// request, and joins the shard pool.
+pub struct Service<M: BatchModel> {
+    shared: Arc<Shared<M::Input>>,
+    cfg: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+    label: &'static str,
+}
+
+impl<M: BatchModel> fmt::Debug for Service<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("model", &self.label)
+            .field("cfg", &self.cfg)
+            .field("shards", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<M: BatchModel> Service<M> {
+    /// Start the shard pool over a shared read-only model.
+    pub fn start(model: Arc<M>, cfg: ServeConfig) -> Self {
+        let cfg = cfg.normalized();
+        let label = model.label();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState { items: VecDeque::new(), open: true }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..cfg.shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let model = Arc::clone(&model);
+                std::thread::spawn(move || shard_loop(&shared, model.as_ref(), cfg, shard))
+            })
+            .collect();
+        Service { shared, cfg, workers, label }
+    }
+
+    /// The normalized configuration the service is running with.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Enqueue one request. Returns a [`Ticket`] to wait on, or a typed
+    /// rejection when the queue is full or the service is stopping.
+    pub fn submit(&self, input: M::Input) -> Result<Ticket, ServeError> {
+        let (reply, ticket) = ReplySender::new();
+        {
+            let mut st = locked(&self.shared);
+            if !st.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if st.items.len() >= self.cfg.queue_cap {
+                C_REJECTED.bump();
+                return Err(ServeError::QueueFull { cap: self.cfg.queue_cap });
+            }
+            st.items.push_back(Pending { input, reply, enqueued: Stopwatch::start() });
+            C_ACCEPTED.bump();
+            // The queue-depth gauge is refreshed per batch in
+            // `next_batch`, not per submission — one gauge write per
+            // flush is plenty for observability and keeps the submit
+            // path free of the metric-map mutex.
+        }
+        self.shared.cv.notify_one();
+        Ok(ticket)
+    }
+
+    /// Submit and block for the prediction (closed-loop client call).
+    pub fn predict(&self, input: M::Input) -> Result<Vec<f32>, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Close admission and wake every shard so the queue drains.
+    fn close(&self) {
+        {
+            let mut st = locked(&self.shared);
+            st.open = false;
+        }
+        self.shared.cv.notify_all();
+    }
+}
+
+impl<M: BatchModel> Drop for Service<M> {
+    fn drop(&mut self) {
+        self.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Collect the next micro-batch, blocking on the condvar until a
+/// trigger fires: size (`max_batch` queued), deadline (oldest request
+/// waited `max_wait_us`), stall (a partial batch stopped growing — in a
+/// closed loop every client may already be blocked on a reply, so
+/// waiting out the deadline would be pure idle loss), or shutdown
+/// (drain the remainder). Returns `None` when the queue is closed and
+/// empty.
+fn next_batch<I>(shared: &Shared<I>, cfg: ServeConfig) -> Option<Vec<Pending<I>>> {
+    // Stall probe: how long a partial batch may go without growth
+    // before it is flushed anyway. Kept well under the deadline so the
+    // service stays work-conserving.
+    let probe_us = (cfg.max_wait_us / 8).clamp(1, cfg.max_wait_us.max(1));
+    let mut st = locked(shared);
+    loop {
+        if !st.open && st.items.is_empty() {
+            return None;
+        }
+        if !st.open || st.items.len() >= cfg.max_batch {
+            break;
+        }
+        match st.items.front() {
+            Some(front) => {
+                let waited_us = front.enqueued.elapsed_ns() / 1_000;
+                if waited_us >= cfg.max_wait_us {
+                    break;
+                }
+                let remain_us = (cfg.max_wait_us - waited_us).min(probe_us);
+                let before = st.items.len();
+                st = match shared.cv.wait_timeout(st, Duration::from_micros(remain_us)) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+                if st.items.len() == before {
+                    // No growth within the probe window: flush what we
+                    // have rather than idling toward the deadline.
+                    break;
+                }
+            }
+            None => {
+                st = match shared.cv.wait(st) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+            }
+        }
+    }
+    let n = st.items.len().min(cfg.max_batch);
+    let batch: Vec<Pending<I>> = st.items.drain(..n).collect();
+    gauge_set("serve.queue_depth", st.items.len() as u64);
+    let more = !st.items.is_empty();
+    drop(st);
+    if more {
+        // Leftover work: hand it to another shard without waiting for
+        // the next submit-side notify.
+        shared.cv.notify_one();
+    }
+    Some(batch)
+}
+
+/// One shard's serve loop: gather a micro-batch, run the model once,
+/// fan the per-row predictions back out to their reply channels.
+fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeConfig, shard: usize) {
+    let _ = shard;
+    let mut served = 0u64;
+    while let Some(batch) = next_batch(shared, cfg) {
+        let _s = span("serve.batch");
+        let sw = Stopwatch::start();
+        // predict_batch wants a contiguous slice of inputs; move the
+        // payloads out of the batch while keeping reply order.
+        let mut replies = Vec::with_capacity(batch.len());
+        let mut rows = Vec::with_capacity(batch.len());
+        for p in batch {
+            rows.push(p.input);
+            replies.push((p.reply, p.enqueued));
+        }
+        let probs = model.predict_batch(&rows);
+        hist_record("serve.batch_size", rows.len() as u64);
+        hist_record("serve.batch_ns", sw.elapsed_ns());
+        counter_add("serve.completed", rows.len() as u64);
+        for (row, (reply, enqueued)) in probs.into_iter().zip(replies) {
+            if served.is_multiple_of(LATENCY_SAMPLE) {
+                hist_record("serve.latency_us", enqueued.elapsed_ns() / 1_000);
+            }
+            served = served.wrapping_add(1);
+            // A dropped Ticket just means the client stopped waiting.
+            reply.send(row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_nn::Mlp;
+
+    fn tiny_mlp() -> Arc<Mlp> {
+        Arc::new(Mlp::new(6, 8, 3, 0.05, 11))
+    }
+
+    fn posts(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| (0..6).map(|j| ((i * 7 + j) % 13) as f32 / 13.0 - 0.5).collect()).collect()
+    }
+
+    #[test]
+    fn coalesced_predictions_match_offline_batch() {
+        let model = tiny_mlp();
+        let xs = posts(97);
+        let offline = model.predict_proba_batch(&xs);
+        let svc = Service::start(
+            Arc::clone(&model),
+            ServeConfig { max_batch: 8, max_wait_us: 200, queue_cap: 256, shards: 3 },
+        );
+        let tickets: Vec<Ticket> =
+            xs.iter().map(|x| svc.submit(x.clone()).expect("admitted")).collect();
+        for (t, want) in tickets.into_iter().zip(&offline) {
+            let got = t.wait().expect("served");
+            assert_eq!(got, *want, "micro-batched row must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn queue_full_is_typed_rejection_and_drains_on_drop() {
+        let model = tiny_mlp();
+        // One shard that will wait ~forever for a size trigger it can
+        // never see, so the queue fills deterministically.
+        let cfg = ServeConfig { max_batch: 64, max_wait_us: 60_000_000, queue_cap: 4, shards: 1 };
+        let svc = Service::start(model, cfg);
+        let xs = posts(5);
+        let mut tickets = Vec::new();
+        for x in xs.iter().take(4) {
+            tickets.push(svc.submit(x.clone()).expect("under cap"));
+        }
+        let last = xs.last().expect("five posts").clone();
+        match svc.submit(last) {
+            Err(ServeError::QueueFull { cap }) => assert_eq!(cap, 4),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Dropping the service closes admission and drains the backlog.
+        drop(svc);
+        for t in tickets {
+            let row = t.wait().expect("drained on shutdown");
+            assert_eq!(row.len(), 3);
+        }
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let model = tiny_mlp();
+        let svc = Service::start(model, ServeConfig::default());
+        svc.close();
+        let post = posts(1).first().expect("one post").clone();
+        assert_eq!(svc.submit(post).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn config_is_normalized() {
+        let cfg =
+            ServeConfig { max_batch: 0, max_wait_us: 10, queue_cap: 0, shards: 0 }.normalized();
+        assert_eq!((cfg.max_batch, cfg.queue_cap, cfg.shards), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_render_and_compare() {
+        let e = ServeError::QueueFull { cap: 9 };
+        assert!(e.to_string().contains("cap 9"));
+        assert_ne!(e, ServeError::ShuttingDown);
+        assert!(ServeError::Disconnected.to_string().contains("reply"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic synthetic traffic: seeded arrival processes and post
+//! feature streams for the load harness. Everything here is a pure
+//! function of its spec + seed — two runs with the same spec produce
+//! byte-identical schedules, which is what makes `BENCH_serve.json`
+//! comparable across machines and commits.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the arrival process over the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// Poisson arrivals at a constant rate.
+    Steady,
+    /// On/off Markov phases: bursts at 4× the base rate separated by
+    /// lulls at 1/4 of it (mean rate stays near the base rate).
+    Bursty,
+    /// Sinusoidal rate swing (±80% around the base) over one "day"
+    /// compressed into the run — the social-media diurnal cycle.
+    Diurnal,
+}
+
+impl ArrivalPattern {
+    /// Stable name used in bench output rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalPattern::Steady => "steady",
+            ArrivalPattern::Bursty => "bursty",
+            ArrivalPattern::Diurnal => "diurnal",
+        }
+    }
+}
+
+/// A deterministic traffic schedule spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// Arrival process shape.
+    pub pattern: ArrivalPattern,
+    /// Base arrival rate in posts per second.
+    pub rate_per_sec: f64,
+    /// Number of posts in the stream.
+    pub n: usize,
+    /// RNG seed; same seed, same schedule.
+    pub seed: u64,
+}
+
+/// Cumulative arrival offsets in nanoseconds from stream start, one per
+/// post, non-decreasing. An open-loop driver sleeps to each offset
+/// before submitting; a closed-loop driver ignores the schedule.
+pub fn arrival_offsets_ns(spec: &TrafficSpec) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5eed_74af_f1c0_0de5);
+    let base = spec.rate_per_sec.max(1e-3);
+    // One simulated "day" spans the whole stream for the diurnal swing.
+    let day_secs = (spec.n as f64 / base).max(1e-6);
+    let mut t_ns: u64 = 0;
+    let mut out = Vec::with_capacity(spec.n);
+    // Bursty phase state: (in_burst, arrivals left in this phase).
+    let mut in_burst = true;
+    let mut phase_left = 0usize;
+    for _ in 0..spec.n {
+        let rate = match spec.pattern {
+            ArrivalPattern::Steady => base,
+            ArrivalPattern::Bursty => {
+                if phase_left == 0 {
+                    in_burst = !in_burst;
+                    phase_left = rng.gen_range(8..=32);
+                }
+                phase_left -= 1;
+                if in_burst {
+                    base * 4.0
+                } else {
+                    base * 0.25
+                }
+            }
+            ArrivalPattern::Diurnal => {
+                let t_secs = t_ns as f64 / 1e9;
+                let phase = 2.0 * std::f64::consts::PI * (t_secs / day_secs);
+                base * (1.0 + 0.8 * phase.sin()).max(0.05)
+            }
+        };
+        // Exponential inter-arrival via inverse CDF; clamp u away from 0
+        // so ln stays finite.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let gap_secs = -u.ln() / rate;
+        t_ns = t_ns.saturating_add((gap_secs * 1e9) as u64);
+        out.push(t_ns);
+    }
+    out
+}
+
+/// A deterministic stream of post feature vectors in `[-1, 1)`,
+/// `n × dim`, seeded independently of the arrival schedule.
+pub fn synthetic_posts(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(-1.0_f32..1.0)).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_monotone() {
+        for pattern in [ArrivalPattern::Steady, ArrivalPattern::Bursty, ArrivalPattern::Diurnal] {
+            let spec = TrafficSpec { pattern, rate_per_sec: 5000.0, n: 500, seed: 42 };
+            let a = arrival_offsets_ns(&spec);
+            let b = arrival_offsets_ns(&spec);
+            assert_eq!(a, b, "{} schedule must be reproducible", pattern.name());
+            assert_eq!(a.len(), 500);
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets non-decreasing");
+        }
+    }
+
+    #[test]
+    fn patterns_differ_and_rates_are_plausible() {
+        let mk = |pattern| TrafficSpec { pattern, rate_per_sec: 1000.0, n: 2000, seed: 7 };
+        let steady = arrival_offsets_ns(&mk(ArrivalPattern::Steady));
+        let bursty = arrival_offsets_ns(&mk(ArrivalPattern::Bursty));
+        assert_ne!(steady, bursty);
+        // Mean rate of the steady stream should be near the base rate.
+        let total_secs = *steady.last().expect("nonempty") as f64 / 1e9;
+        let rate = 2000.0 / total_secs;
+        assert!((500.0..2000.0).contains(&rate), "steady rate ~1000/s, got {rate}");
+    }
+
+    #[test]
+    fn posts_are_seeded_and_bounded() {
+        let a = synthetic_posts(20, 16, 3);
+        let b = synthetic_posts(20, 16, 3);
+        let c = synthetic_posts(20, 16, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().flatten().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

@@ -1,0 +1,147 @@
+//! Model zoo for the serving process: every precision variant decoded
+//! from **one** [`MappedCheckpoint`] buffer shared read-only across
+//! shards, loaded once at startup.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use mhd_nn::checkpoint::Writer;
+use mhd_nn::quant::Precision;
+use mhd_nn::{Checkpoint, CheckpointError, MappedCheckpoint, Mlp, QuantizedMlp};
+use mhd_obs::time::Stopwatch;
+use mhd_obs::{counter_add, hist_record, span};
+
+use crate::service::BatchModel;
+
+/// Either precision of the served MLP head, both built from the same
+/// mapped zoo. Lets callers pick f32 vs int8 at runtime while the
+/// service stays monomorphic over one [`BatchModel`].
+#[derive(Debug, Clone)]
+pub enum MlpVariant {
+    /// Full-precision model (packed-weight serving cache pre-warmed).
+    F32(Arc<Mlp>),
+    /// Int8 model (weights packed into i16 lanes at decode time).
+    Int8(Arc<QuantizedMlp>),
+}
+
+impl BatchModel for MlpVariant {
+    type Input = Vec<f32>;
+
+    fn label(&self) -> &'static str {
+        match self {
+            MlpVariant::F32(_) => "mlp_f32",
+            MlpVariant::Int8(_) => "mlp_int8",
+        }
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        match self {
+            MlpVariant::F32(m) => m.predict_proba_batch(inputs),
+            MlpVariant::Int8(m) => m.predict_proba_batch(inputs),
+        }
+    }
+}
+
+/// The serving zoo: f32 and int8 MLP heads decoded from one mapped
+/// checkpoint buffer. Keeps its [`MappedCheckpoint`] handle alive for
+/// the zoo's lifetime (the mmap-discipline rule: the mapping outlives
+/// every model built from it).
+#[derive(Debug, Clone)]
+pub struct ModelZoo {
+    mapped: MappedCheckpoint,
+    mlp: Arc<Mlp>,
+    qmlp: Arc<QuantizedMlp>,
+    load_ns: u64,
+}
+
+impl ModelZoo {
+    /// Write a serving zoo (f32 weights + their int8 quantization) for
+    /// `mlp` to `path` in the MHDCKPT container format.
+    pub fn write(mlp: &Mlp, path: &Path) -> Result<(), CheckpointError> {
+        let mut w = Writer::new();
+        w.meta("zoo.kind", "serve");
+        w.meta("zoo.models", "mlp,qmlp");
+        mlp.write_checkpoint("mlp", &mut w);
+        mlp.quantize().write_checkpoint("qmlp", &mut w);
+        w.save(path)
+    }
+
+    /// Load the zoo once via the mapping loader: a single sequential
+    /// read + validation, then zero-copy decodes into kernel-ready
+    /// state. The f32 packed-weight serving cache is pre-warmed so the
+    /// first request pays no pack cost.
+    pub fn load(path: &Path) -> Result<ModelZoo, CheckpointError> {
+        let _s = span("serve.zoo_load");
+        let sw = Stopwatch::start();
+        let mapped = Checkpoint::map(path)?;
+        let mlp = Mlp::from_checkpoint(&mapped, "mlp")?;
+        mlp.prepack();
+        let qmlp = QuantizedMlp::from_checkpoint(&mapped, "qmlp")?;
+        let load_ns = sw.elapsed_ns();
+        hist_record("serve.zoo_load_ns", load_ns);
+        counter_add("serve.zoo_loads", 1);
+        Ok(ModelZoo { mapped, mlp: Arc::new(mlp), qmlp: Arc::new(qmlp), load_ns })
+    }
+
+    /// The served variant for `precision`, sharing the zoo's models.
+    pub fn variant(&self, precision: Precision) -> MlpVariant {
+        match precision {
+            Precision::F32 => MlpVariant::F32(Arc::clone(&self.mlp)),
+            Precision::Int8 => MlpVariant::Int8(Arc::clone(&self.qmlp)),
+        }
+    }
+
+    /// The full-precision model.
+    pub fn mlp(&self) -> Arc<Mlp> {
+        Arc::clone(&self.mlp)
+    }
+
+    /// The int8 model.
+    pub fn qmlp(&self) -> Arc<QuantizedMlp> {
+        Arc::clone(&self.qmlp)
+    }
+
+    /// The shared mapping the zoo decodes from.
+    pub fn checkpoint(&self) -> &MappedCheckpoint {
+        &self.mapped
+    }
+
+    /// Container size of the mapped zoo in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.mapped.size_bytes()
+    }
+
+    /// Wall time of the one-shot zoo load, in nanoseconds.
+    pub fn load_ns(&self) -> u64 {
+        self.load_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_roundtrip_serves_both_precisions() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mhd_serve_zoo_test.ckpt");
+        let mlp = Mlp::new(10, 12, 4, 0.05, 7);
+        ModelZoo::write(&mlp, &path).expect("write zoo");
+        let zoo = ModelZoo::load(&path).expect("load zoo");
+        assert!(zoo.size_bytes() > 0);
+        assert!(zoo.load_ns() > 0);
+        let xs: Vec<Vec<f32>> =
+            (0..9).map(|i| (0..10).map(|j| ((i + j * 3) % 7) as f32 / 7.0).collect()).collect();
+        // f32 variant is byte-identical to the in-memory model.
+        assert_eq!(zoo.variant(Precision::F32).predict_batch(&xs), mlp.predict_proba_batch(&xs));
+        // int8 variant matches an in-memory quantization of the same weights.
+        assert_eq!(
+            zoo.variant(Precision::Int8).predict_batch(&xs),
+            mlp.quantize().predict_proba_batch(&xs)
+        );
+        // Zoo clones share the one mapped buffer.
+        let clone = zoo.clone();
+        assert!(clone.checkpoint().handles() >= 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,93 @@
+//! Serve-vs-offline determinism: the same seeded post stream pushed
+//! through the micro-batching service — any shard count, any batch
+//! coalescing — must produce byte-identical predictions to a single
+//! offline `predict_proba_batch` call.
+
+use std::sync::Arc;
+
+use mhd_nn::quant::Precision;
+use mhd_serve::traffic::synthetic_posts;
+use mhd_serve::{BatchModel, ModelZoo, ServeConfig, Service, Ticket};
+
+const DIM: usize = 24;
+const CLASSES: usize = 5;
+const POSTS: usize = 211;
+
+fn zoo_at(path: &std::path::Path) -> ModelZoo {
+    let mlp = mhd_nn::Mlp::new(DIM, 32, CLASSES, 0.05, 1234);
+    ModelZoo::write(&mlp, path).expect("write zoo");
+    ModelZoo::load(path).expect("load zoo")
+}
+
+fn bits(rows: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    rows.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+#[test]
+fn serve_matches_offline_for_all_configs_and_precisions() {
+    let path = std::env::temp_dir().join("mhd_serve_determinism_zoo.ckpt");
+    let zoo = zoo_at(&path);
+    let posts = synthetic_posts(POSTS, DIM, 99);
+
+    for precision in [Precision::F32, Precision::Int8] {
+        let model = zoo.variant(precision);
+        let offline = model.predict_batch(&posts);
+
+        let configs = [
+            // Aggressive coalescing across a wide shard pool.
+            ServeConfig { max_batch: 16, max_wait_us: 400, queue_cap: 512, shards: 4 },
+            // Deadline-dominated tiny batches.
+            ServeConfig { max_batch: 3, max_wait_us: 50, queue_cap: 512, shards: 2 },
+            // Batch-size-1 serving: no coalescing at all.
+            ServeConfig { max_batch: 1, max_wait_us: 1000, queue_cap: 512, shards: 3 },
+        ];
+        for cfg in configs {
+            let svc = Service::start(Arc::new(model.clone()), cfg);
+            let tickets: Vec<Ticket> =
+                posts.iter().map(|p| svc.submit(p.clone()).expect("admitted")).collect();
+            let served: Vec<Vec<f32>> =
+                tickets.into_iter().map(|t| t.wait().expect("served")).collect();
+            assert_eq!(
+                bits(&served),
+                bits(&offline),
+                "serve != offline for {:?} shards={} max_batch={}",
+                precision,
+                cfg.shards,
+                cfg.max_batch
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn closed_loop_predict_matches_offline() {
+    let path = std::env::temp_dir().join("mhd_serve_determinism_zoo_cl.ckpt");
+    let zoo = zoo_at(&path);
+    let posts = synthetic_posts(40, DIM, 7);
+    let model = zoo.variant(Precision::Int8);
+    let offline = model.predict_batch(&posts);
+    let svc = Service::start(
+        Arc::new(model),
+        ServeConfig { max_batch: 8, max_wait_us: 100, queue_cap: 64, shards: 2 },
+    );
+    // Closed-loop clients: several threads each own a slice of the
+    // stream and block on every request.
+    std::thread::scope(|s| {
+        for (chunk_idx, chunk) in posts.chunks(10).enumerate() {
+            let svc = &svc;
+            let offline = &offline;
+            s.spawn(move || {
+                for (i, post) in chunk.iter().enumerate() {
+                    let got = svc.predict(post.clone()).expect("served");
+                    let want = &offline[chunk_idx * 10 + i];
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+            });
+        }
+    });
+    let _ = std::fs::remove_file(&path);
+}
