@@ -9,7 +9,20 @@
 //! serve_bench --out path.json        # write elsewhere
 //! serve_bench --trace manifest.json  # also emit a RUN_MANIFEST trace
 //! serve_bench --check-bench <path>   # validate a committed BENCH_serve.json
+//! serve_bench --chaos <scenario>     # seeded fault storm, writes a digest CSV
+//! serve_bench --chaos-seed <n>       # storm seed (default: the bench seed)
+//! serve_bench --chaos-out <path>     # digest path (default CHAOS_digest.csv)
+//! serve_bench --digest <path>        # plain (unwrapped) serve digest, same format
 //! ```
+//!
+//! Chaos mode (`--chaos`) replays a seeded fault schedule from
+//! `mhd-fault` through the serving stack: the zoo loads through the
+//! checkpoint fault seam with retry, a supervised phase drives the
+//! int8 service through injected panics/stalls, and a degraded phase
+//! routes the same stream through the f32 fallback. Every request's
+//! outcome lands in a digest CSV (`phase,idx,status,row-bits`); with
+//! the `zero_fault` scenario the digest is byte-identical to the plain
+//! `--digest` run at any `--jobs`/shard count.
 //!
 //! Three drivers over seeded synthetic post streams:
 //!
@@ -37,11 +50,15 @@ use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use mhd_bench::resolve_jobs;
+use mhd_fault::{FaultInjector, FaultPlan, RetryPolicy, Scenario};
 use mhd_nn::quant::Precision;
 use mhd_nn::Mlp;
 use mhd_obs::time::Stopwatch;
 use mhd_serve::traffic::{arrival_offsets_ns, synthetic_posts, ArrivalPattern, TrafficSpec};
-use mhd_serve::{BatchModel, MlpVariant, ModelZoo, ServeConfig, Service, Ticket};
+use mhd_serve::{
+    BatchModel, FallbackModel, FaultyModel, MlpVariant, ModelZoo, ServeConfig, ServeError,
+    Service, Ticket,
+};
 
 /// Schema tag written to (and required from) `BENCH_serve.json`.
 const SCHEMA: &str = "mhd-bench/serve/v1";
@@ -59,6 +76,10 @@ struct Options {
     jobs: Option<usize>,
     check_bench: Option<String>,
     trace: Option<String>,
+    chaos: Option<Scenario>,
+    chaos_seed: u64,
+    chaos_out: String,
+    digest: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -68,6 +89,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
         jobs: None,
         check_bench: None,
         trace: None,
+        chaos: None,
+        chaos_seed: SEED,
+        chaos_out: "CHAOS_digest.csv".to_string(),
+        digest: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -86,8 +111,26 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--trace" => {
                 opts.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
+            "--chaos" => {
+                let v = it.next().ok_or("--chaos needs a scenario")?;
+                opts.chaos = Some(v.parse::<Scenario>()?);
+            }
+            "--chaos-seed" => {
+                let v = it.next().ok_or("--chaos-seed needs a number")?;
+                opts.chaos_seed =
+                    v.parse().map_err(|_| format!("bad --chaos-seed value: {v}"))?;
+            }
+            "--chaos-out" => {
+                opts.chaos_out = it.next().ok_or("--chaos-out needs a path")?.clone();
+            }
+            "--digest" => {
+                opts.digest = Some(it.next().ok_or("--digest needs a path")?.clone());
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
+    }
+    if opts.chaos.is_some() && opts.digest.is_some() {
+        return Err("--chaos and --digest are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -371,6 +414,192 @@ fn open_loop(
     }
 }
 
+/// Hex render of a probability row's IEEE bits: exact, diffable, and
+/// platform-stable — the digest currency of the chaos byte-identity
+/// checks.
+fn row_bits(row: &[f32]) -> String {
+    let mut s = String::with_capacity(row.len() * 8);
+    for v in row {
+        s.push_str(&format!("{:08x}", v.to_bits()));
+    }
+    s
+}
+
+/// Stable status tag for one request outcome.
+fn status_tag(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::QueueFull { .. } => "queue_full",
+        ServeError::ShuttingDown => "shutting_down",
+        ServeError::Disconnected => "disconnected",
+        ServeError::ShardFailed { .. } => "shard_failed",
+        ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+    }
+}
+
+/// Drive one chaos phase: serialized submit→wait over the stream (so
+/// request `k` is operation `k` and digests are reproducible), every
+/// outcome appended to the digest as `phase,idx,status,row-bits`.
+fn chaos_phase<M: BatchModel<Input = Vec<f32>>>(
+    model: Arc<M>,
+    cfg: ServeConfig,
+    posts: &[Vec<f32>],
+    phase: &str,
+    digest: &mut String,
+) -> (usize, usize) {
+    let svc = Service::start(model, cfg);
+    let (mut ok, mut failed) = (0usize, 0usize);
+    for (i, post) in posts.iter().enumerate() {
+        match svc.predict(post.clone()) {
+            Ok(row) => {
+                ok += 1;
+                digest.push_str(&format!("{phase},{i},ok,{}\n", row_bits(&row)));
+            }
+            Err(e) => {
+                failed += 1;
+                digest.push_str(&format!("{phase},{i},{},\n", status_tag(&e)));
+            }
+        }
+    }
+    drop(svc); // clean drain is part of the contract under every scenario
+    (ok, failed)
+}
+
+/// Chaos / plain-digest mode. `scenario: Some(_)` wraps the serving
+/// stack in the seeded fault plane; `None` (the `--digest` form) runs
+/// the exact same drivers unwrapped, so a `zero_fault` chaos digest
+/// can be byte-diffed against it to prove the injection seams are true
+/// pass-throughs.
+fn run_chaos(opts: &Options, shards: usize) {
+    let scenario = opts.chaos;
+    let seed = opts.chaos_seed;
+    // Injected panics are the chaos plane's crash model and always
+    // caught by supervision; silence their backtraces so the output
+    // stays readable while genuine panics still print.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(|s| s.contains("injected model panic"))
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let n = if opts.smoke { 192 } else { 384 };
+    let injector = Arc::new(FaultInjector::new(match scenario {
+        Some(sc) => FaultPlan::new(sc, seed),
+        None => FaultPlan::zero(),
+    }));
+    let tag = scenario.map(|s| s.name()).unwrap_or("plain");
+
+    let mlp = Mlp::new(DIM, 64, CLASSES, 1e-3, SEED);
+    let zoo_path = std::env::temp_dir()
+        .join(format!("mhd_serve_chaos_zoo_{}_{tag}.ckpt", std::process::id()));
+    ModelZoo::write(&mlp, &zoo_path).expect("write serving zoo");
+    // The zoo load itself goes through the checkpoint fault seam with
+    // seeded retry — transient injected read faults are ridden out.
+    let policy = RetryPolicy { max_attempts: 64, base_us: 50, max_us: 5_000, seed };
+    let zoo = match ModelZoo::load_resilient(&zoo_path, &injector, &policy) {
+        Ok(z) => z,
+        Err(e) => {
+            let _ = std::fs::remove_file(&zoo_path);
+            eprintln!("chaos: zoo load failed after retries: {e}");
+            std::process::exit(1);
+        }
+    };
+    let posts = synthetic_posts(n, DIM, SEED ^ 1);
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_wait_us: MAX_WAIT_US,
+        queue_cap: QUEUE_CAP,
+        shards,
+        deadline_us: 2_000_000,
+        max_restarts: 64,
+    };
+
+    let mut digest = String::new();
+    let (ok1, failed1, ok2, failed2) = if scenario.is_some() {
+        // Phase 1 — supervised: injected panics are caught by the shard
+        // supervisor; victims get typed ShardFailed, the shard restarts.
+        let supervised =
+            FaultyModel::new(Arc::new(zoo.variant(Precision::Int8)), Arc::clone(&injector));
+        let (ok1, failed1) =
+            chaos_phase(Arc::new(supervised), cfg, &posts, "supervised", &mut digest);
+        // Phase 2 — degraded: the same faulty primary behind the f32
+        // fallback; panics downgrade to full-precision answers instead
+        // of burning restart budget.
+        let degraded = FallbackModel::new(
+            FaultyModel::new(Arc::new(zoo.variant(Precision::Int8)), Arc::clone(&injector)),
+            zoo.variant(Precision::F32),
+        );
+        let (ok2, failed2) = chaos_phase(Arc::new(degraded), cfg, &posts, "degraded", &mut digest);
+        (ok1, failed1, ok2, failed2)
+    } else {
+        // `--digest` control: the exact same two-phase drive with the
+        // fault plane entirely absent. A zero-fault `--chaos` digest
+        // must byte-equal this, proving the seams are pass-throughs.
+        let (ok1, failed1) = chaos_phase(
+            Arc::new(zoo.variant(Precision::Int8)),
+            cfg,
+            &posts,
+            "supervised",
+            &mut digest,
+        );
+        let (ok2, failed2) = chaos_phase(
+            Arc::new(zoo.variant(Precision::Int8)),
+            cfg,
+            &posts,
+            "degraded",
+            &mut digest,
+        );
+        (ok1, failed1, ok2, failed2)
+    };
+    let _ = std::fs::remove_file(&zoo_path);
+
+    mhd_obs::progress(
+        "serve_bench",
+        &format!(
+            "chaos {tag} seed {seed} shards {shards}: supervised {ok1} ok / {failed1} failed, \
+             degraded {ok2} ok / {failed2} failed"
+        ),
+    );
+    // Invariant: every request resolved one way or the other.
+    assert_eq!(ok1 + failed1 + ok2 + failed2, 2 * n, "requests lost without a typed outcome");
+
+    let out = if scenario.is_some() {
+        opts.chaos_out.clone()
+    } else {
+        opts.digest.clone().unwrap_or_else(|| "SERVE_digest.csv".to_string())
+    };
+    if let Err(e) = std::fs::write(&out, &digest) {
+        eprintln!("error: cannot write digest {out}: {e}");
+        std::process::exit(1);
+    }
+    mhd_obs::progress("serve_bench", &format!("wrote digest {out} ({} requests)", 2 * n));
+
+    if let Some(path) = &opts.trace {
+        let header = mhd_obs::RunHeader {
+            tool: "serve_bench".to_string(),
+            git: mhd_obs::manifest::git_describe(),
+            seed,
+            scale: 1.0,
+            jobs: rayon::current_num_threads(),
+        };
+        let mut artifacts: BTreeMap<String, u64> = BTreeMap::new();
+        artifacts.insert("chaos/supervised_ok".to_string(), ok1 as u64);
+        artifacts.insert("chaos/supervised_failed".to_string(), failed1 as u64);
+        artifacts.insert("chaos/degraded_ok".to_string(), ok2 as u64);
+        artifacts.insert("chaos/degraded_failed".to_string(), failed2 as u64);
+        let manifest = mhd_obs::render_manifest(&header, &artifacts);
+        if let Err(e) = std::fs::write(path, &manifest) {
+            eprintln!("error: cannot write trace manifest {path}: {e}");
+            std::process::exit(1);
+        }
+        mhd_obs::progress("serve_bench", &format!("wrote trace manifest {path}"));
+    }
+}
+
 fn render_json(
     smoke: bool,
     zoo: &ModelZoo,
@@ -461,7 +690,8 @@ fn main() {
             eprintln!("error: {msg}");
             eprintln!(
                 "usage: serve_bench [--smoke] [--out <path>] [--jobs <n>] \
-                 [--trace <path>] [--check-bench <path>]"
+                 [--trace <path>] [--check-bench <path>] [--chaos <scenario>] \
+                 [--chaos-seed <n>] [--chaos-out <path>] [--digest <path>]"
             );
             std::process::exit(2);
         }
@@ -495,6 +725,10 @@ fn main() {
     let shards = jobs
         .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
         .clamp(1, 8);
+    if opts.chaos.is_some() || opts.digest.is_some() {
+        run_chaos(&opts, shards);
+        return;
+    }
     let (clients, per_client, burst_n, open_n, open_rate) =
         if opts.smoke { (4, 40, 2_000, 400, 20_000.0) } else { (32, 1_000, 24_000, 40_000, 150_000.0) };
 
@@ -534,6 +768,7 @@ fn main() {
                 max_wait_us: MAX_WAIT_US,
                 queue_cap: QUEUE_CAP,
                 shards,
+                ..ServeConfig::default()
             };
             let variant = zoo.variant(*precision);
             let row = burst(&variant, cfg, burst_n, &posts);
@@ -581,8 +816,13 @@ fn main() {
     let mut closed = Vec::new();
     for precision in [Precision::F32, Precision::Int8] {
         for max_batch in [1usize, 32] {
-            let cfg =
-                ServeConfig { max_batch, max_wait_us: MAX_WAIT_US, queue_cap: QUEUE_CAP, shards };
+            let cfg = ServeConfig {
+                max_batch,
+                max_wait_us: MAX_WAIT_US,
+                queue_cap: QUEUE_CAP,
+                shards,
+                ..ServeConfig::default()
+            };
             let variant = zoo.variant(precision);
             let row = closed_loop(&variant, cfg, clients, per_client, &posts);
             mhd_obs::progress(
@@ -604,8 +844,13 @@ fn main() {
     let mut open = Vec::new();
     for pattern in [ArrivalPattern::Steady, ArrivalPattern::Bursty, ArrivalPattern::Diurnal] {
         let spec = TrafficSpec { pattern, rate_per_sec: open_rate, n: open_n, seed: SEED ^ 2 };
-        let cfg =
-            ServeConfig { max_batch: 32, max_wait_us: MAX_WAIT_US, queue_cap: QUEUE_CAP, shards };
+        let cfg = ServeConfig {
+            max_batch: 32,
+            max_wait_us: MAX_WAIT_US,
+            queue_cap: QUEUE_CAP,
+            shards,
+            ..ServeConfig::default()
+        };
         let variant = zoo.variant(Precision::Int8);
         let row = open_loop(&variant, cfg, &spec, &posts);
         mhd_obs::progress(

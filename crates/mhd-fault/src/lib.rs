@@ -1,0 +1,35 @@
+//! `mhd-fault` — a deterministic, seeded fault-injection plane for the
+//! serving stack.
+//!
+//! Real LLM deployments in the mental-health detection space are
+//! dominated by partial failures: API rate limits and timeouts, stalled
+//! batches, torn checkpoint writes, crashing workers. This crate gives
+//! the repo a *reproducible* model of those failures so chaos runs are
+//! regression tests, not flakes:
+//!
+//! * [`FaultPlan`] — a pure function of `(scenario, seed, site, op)`
+//!   deciding which operations fault. Two runs with the same seed make
+//!   identical decisions for identical operation indices, regardless of
+//!   thread interleaving; the zero-fault plan never fires.
+//! * [`FaultInjector`] — a shared handle carrying a plan plus per-site
+//!   atomic operation counters. Injection seams in `mhd-serve`
+//!   (the [`BatchModel`] wrapper), `mhd-nn` (the checkpoint readers) and
+//!   `mhd-llm` (the chat client) consult it on every operation.
+//! * [`retry`] — seeded exponential-backoff-with-jitter retry for
+//!   transient faults. Jitter is a hash of `(seed, salt, attempt)` —
+//!   no ambient RNG, so lint rule R1 stays clean.
+//!
+//! Nothing in this crate reads a clock, draws OS entropy, or panics on
+//! the decision path (rules R1/R2/R5); the *injected* faults are the
+//! only panics, and they live behind the seams that supervise them.
+//!
+//! [`BatchModel`]: ../mhd_serve/service/trait.BatchModel.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod retry;
+
+pub use plan::{Fault, FaultInjector, FaultPlan, Scenario, Site};
+pub use retry::{backoff_us, retry_transient, RetryPolicy};

@@ -1,0 +1,399 @@
+//! The fault plan: a seeded, scenario-shaped schedule of faults.
+//!
+//! A plan never holds mutable state — [`FaultPlan::decide`] is a pure
+//! function of `(scenario, seed, site, op)`, so the schedule is fully
+//! determined the moment the plan is built. The [`FaultInjector`] layers
+//! per-site atomic operation counters on top so concurrent call sites
+//! can draw operation indices without coordination; which *index*
+//! faults is identical across runs even when which *thread* draws it
+//! is not.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where a fault can be injected. Each site is one seam in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// A `BatchModel::predict_batch` call in the serving shard pool.
+    ModelForward,
+    /// A checkpoint file read (`Checkpoint::load` / `Checkpoint::map`).
+    CheckpointRead,
+    /// An `LlmClient::complete` request.
+    LlmRequest,
+}
+
+impl Site {
+    /// All sites, in stable order.
+    pub const ALL: [Site; 3] = [Site::ModelForward, Site::CheckpointRead, Site::LlmRequest];
+
+    fn index(self) -> usize {
+        match self {
+            Site::ModelForward => 0,
+            Site::CheckpointRead => 1,
+            Site::LlmRequest => 2,
+        }
+    }
+
+    /// Stable name used in metrics (`fault.injected.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::ModelForward => "model_forward",
+            Site::CheckpointRead => "checkpoint_read",
+            Site::LlmRequest => "llm_request",
+        }
+    }
+}
+
+/// One injected fault. What a site does with it is the site's contract:
+/// the model wrapper panics or stalls, the checkpoint reader corrupts or
+/// errors, the LLM client returns a transient typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The operation panics (a crashing model shard).
+    Panic,
+    /// The operation completes, but only after stalling this long.
+    Stall {
+        /// Injected delay in microseconds.
+        micros: u64,
+    },
+    /// A transient I/O error: the next attempt may succeed.
+    TransientIo,
+    /// One byte of the read buffer is flipped (a torn/corrupted file).
+    CorruptByte {
+        /// Seed for the corrupted position; readers reduce it modulo
+        /// the buffer length.
+        offset: u64,
+    },
+    /// The simulated LLM API rejected the request with a rate limit.
+    RateLimited {
+        /// Modelled `Retry-After` hint in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The simulated LLM API timed out.
+    TimedOut {
+        /// Modelled elapsed time before the timeout, in milliseconds.
+        after_ms: u64,
+    },
+}
+
+/// Named fault storms. Each scenario shapes which sites fault and how
+/// often; the seed picks the concrete schedule within that shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// No faults, ever. The service must be byte-identical to a build
+    /// without the fault plane.
+    ZeroFault,
+    /// A few percent of model forwards panic (crashing shards).
+    ShardPanic,
+    /// Every model forward panics — drives the restart-storm cap.
+    PanicStorm,
+    /// Model forwards stall long enough to blow request deadlines.
+    StalledBatch,
+    /// Checkpoint reads fail transiently or return corrupted bytes.
+    CorruptCheckpoint,
+    /// The LLM API rate-limits in bursts with occasional timeouts.
+    RateLimitBurst,
+    /// A little of everything, at lower per-site rates.
+    Mixed,
+}
+
+impl Scenario {
+    /// Every scenario, in stable order (CLI help, test sweeps).
+    pub const ALL: [Scenario; 7] = [
+        Scenario::ZeroFault,
+        Scenario::ShardPanic,
+        Scenario::PanicStorm,
+        Scenario::StalledBatch,
+        Scenario::CorruptCheckpoint,
+        Scenario::RateLimitBurst,
+        Scenario::Mixed,
+    ];
+
+    /// Stable name (CLI argument and metric label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::ZeroFault => "zero_fault",
+            Scenario::ShardPanic => "shard_panic",
+            Scenario::PanicStorm => "panic_storm",
+            Scenario::StalledBatch => "stalled_batch",
+            Scenario::CorruptCheckpoint => "corrupt_checkpoint",
+            Scenario::RateLimitBurst => "rate_limit_burst",
+            Scenario::Mixed => "mixed",
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Scenario, String> {
+        Scenario::ALL
+            .into_iter()
+            .find(|sc| sc.name() == s)
+            .ok_or_else(|| format!("unknown chaos scenario `{s}` (one of: {})", scenario_names()))
+    }
+}
+
+/// Comma-joined list of every scenario name, for CLI help text.
+pub fn scenario_names() -> String {
+    Scenario::ALL.map(Scenario::name).join(", ")
+}
+
+/// splitmix64 finaliser — a strong, dependency-free bit mixer. The plan
+/// only needs decisions to be *deterministic and well-spread*, not
+/// cryptographic.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic fault schedule: seed + scenario → for every
+/// `(site, op)` pair, the same decision, forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    scenario: Scenario,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// Build the plan for a scenario and seed.
+    pub fn new(scenario: Scenario, seed: u64) -> FaultPlan {
+        FaultPlan { scenario, seed }
+    }
+
+    /// The plan that never faults.
+    pub fn zero() -> FaultPlan {
+        FaultPlan { scenario: Scenario::ZeroFault, seed: 0 }
+    }
+
+    /// The scenario this plan runs.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The seed this plan runs with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Hash stream `k` for `(site, op)` — independent well-mixed words
+    /// derived from the plan identity.
+    fn word(&self, site: Site, op: u64, k: u64) -> u64 {
+        mix64(
+            self.seed
+                ^ (site.index() as u64).rotate_left(48)
+                ^ op.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ k.rotate_left(24),
+        )
+    }
+
+    /// Decide whether operation `op` at `site` faults, and how. Pure:
+    /// the same arguments always return the same decision.
+    pub fn decide(&self, site: Site, op: u64) -> Option<Fault> {
+        // Per-mille roll in [0, 10000): one ten-thousandth resolution.
+        let roll = self.word(site, op, 0) % 10_000;
+        let aux = self.word(site, op, 1);
+        match (self.scenario, site) {
+            (Scenario::ZeroFault, _) => None,
+            (Scenario::ShardPanic, Site::ModelForward) if roll < 700 => Some(Fault::Panic),
+            (Scenario::PanicStorm, Site::ModelForward) => Some(Fault::Panic),
+            (Scenario::StalledBatch, Site::ModelForward) if roll < 1_500 => {
+                Some(Fault::Stall { micros: 1_500 + aux % 2_500 })
+            }
+            (Scenario::CorruptCheckpoint, Site::CheckpointRead) if roll < 6_000 => {
+                Some(if aux & 1 == 0 {
+                    Fault::TransientIo
+                } else {
+                    Fault::CorruptByte { offset: aux >> 1 }
+                })
+            }
+            (Scenario::RateLimitBurst, Site::LlmRequest) => {
+                // Burst windows: 12-op bursts every 48 ops, phase-shifted
+                // by the seed so different seeds storm different spans.
+                let phase = mix64(self.seed ^ 0x5bd1_e995) % 48;
+                let in_burst = (op + phase) % 48 < 12;
+                if in_burst && roll < 8_000 {
+                    Some(Fault::RateLimited { retry_after_ms: 1 + aux % 50 })
+                } else if roll < 300 {
+                    Some(Fault::TimedOut { after_ms: 100 + aux % 900 })
+                } else {
+                    None
+                }
+            }
+            (Scenario::Mixed, Site::ModelForward) if roll < 300 => Some(Fault::Panic),
+            (Scenario::Mixed, Site::ModelForward) if roll < 800 => {
+                Some(Fault::Stall { micros: 500 + aux % 1_500 })
+            }
+            (Scenario::Mixed, Site::CheckpointRead) if roll < 2_000 => Some(if aux & 1 == 0 {
+                Fault::TransientIo
+            } else {
+                Fault::CorruptByte { offset: aux >> 1 }
+            }),
+            (Scenario::Mixed, Site::LlmRequest) if roll < 1_000 => {
+                Some(Fault::RateLimited { retry_after_ms: 1 + aux % 50 })
+            }
+            (Scenario::Mixed, Site::LlmRequest) if roll < 1_300 => {
+                Some(Fault::TimedOut { after_ms: 100 + aux % 900 })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The shared injection handle: one [`FaultPlan`] plus per-site atomic
+/// operation counters. Cloning shares the counters (`Arc` inside), so a
+/// shard pool, a zoo loader, and an LLM client can all draw from one
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    ops: Arc<[AtomicU64; 3]>,
+}
+
+impl FaultInjector {
+    /// A shared injector over `plan`, counters at zero.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan, ops: Arc::new([AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)]) }
+    }
+
+    /// An injector that never faults (the zero plan).
+    pub fn disabled() -> FaultInjector {
+        FaultInjector::new(FaultPlan::zero())
+    }
+
+    /// The plan driving this injector.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Draw the next operation index for `site` and return its fault
+    /// decision, counting injections in the obs sink.
+    pub fn next(&self, site: Site) -> Option<Fault> {
+        let op = self.ops[site.index()].fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.decide(site, op);
+        if fault.is_some() && mhd_obs::is_enabled() {
+            mhd_obs::counter_add(injected_counter(site), 1);
+        }
+        fault
+    }
+
+    /// How many operations `site` has drawn so far.
+    pub fn ops(&self, site: Site) -> u64 {
+        self.ops[site.index()].load(Ordering::Relaxed)
+    }
+}
+
+/// Static metric name for injections at `site` (static so the counter
+/// map never allocates per call).
+fn injected_counter(site: Site) -> &'static str {
+    match site {
+        Site::ModelForward => "fault.injected.model_forward",
+        Site::CheckpointRead => "fault.injected.checkpoint_read",
+        Site::LlmRequest => "fault.injected.llm_request",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for scenario in Scenario::ALL {
+            let a = FaultPlan::new(scenario, 42);
+            let b = FaultPlan::new(scenario, 42);
+            for site in Site::ALL {
+                for op in 0..2_000 {
+                    assert_eq!(a.decide(site, op), b.decide(site, op), "{scenario} {site:?} {op}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(Scenario::ShardPanic, 1);
+        let b = FaultPlan::new(Scenario::ShardPanic, 2);
+        let decisions = |p: &FaultPlan| -> Vec<Option<Fault>> {
+            (0..2_000).map(|op| p.decide(Site::ModelForward, op)).collect()
+        };
+        assert_ne!(decisions(&a), decisions(&b));
+    }
+
+    #[test]
+    fn zero_fault_never_fires() {
+        let p = FaultPlan::zero();
+        for site in Site::ALL {
+            for op in 0..5_000 {
+                assert_eq!(p.decide(site, op), None);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_rates_are_plausible() {
+        let count = |scenario, site| -> usize {
+            let p = FaultPlan::new(scenario, 7);
+            (0..10_000u64).filter(|&op| p.decide(site, op).is_some()).count()
+        };
+        let panics = count(Scenario::ShardPanic, Site::ModelForward);
+        assert!((300..1_500).contains(&panics), "shard_panic rate ~7%, got {panics}/10000");
+        assert_eq!(count(Scenario::PanicStorm, Site::ModelForward), 10_000);
+        assert_eq!(count(Scenario::ShardPanic, Site::LlmRequest), 0, "off-site stays clean");
+        let stalls = count(Scenario::StalledBatch, Site::ModelForward);
+        assert!((800..2_500).contains(&stalls), "stall rate ~15%, got {stalls}/10000");
+        let rl = count(Scenario::RateLimitBurst, Site::LlmRequest);
+        assert!((1_000..4_000).contains(&rl), "burst rate ~20%, got {rl}/10000");
+    }
+
+    #[test]
+    fn rate_limit_bursts_cluster() {
+        let p = FaultPlan::new(Scenario::RateLimitBurst, 11);
+        // Rate limits only occur inside 12-op windows: the gap between
+        // the first and last rate-limit in any 48-op period is < 12.
+        for period in 0..40u64 {
+            let hits: Vec<u64> = (period * 48..(period + 1) * 48)
+                .filter(|&op| {
+                    matches!(p.decide(Site::LlmRequest, op), Some(Fault::RateLimited { .. }))
+                })
+                .collect();
+            if let (Some(first), Some(last)) = (hits.first(), hits.last()) {
+                assert!(last - first < 12, "rate limits span {first}..{last} in one period");
+            }
+        }
+    }
+
+    #[test]
+    fn injector_counts_ops_and_shares_counters() {
+        let inj = FaultInjector::new(FaultPlan::new(Scenario::ShardPanic, 3));
+        let clone = inj.clone();
+        for _ in 0..10 {
+            let _ = inj.next(Site::ModelForward);
+        }
+        for _ in 0..5 {
+            let _ = clone.next(Site::ModelForward);
+        }
+        assert_eq!(inj.ops(Site::ModelForward), 15, "clones share one op stream");
+        assert_eq!(inj.ops(Site::LlmRequest), 0);
+        assert!(FaultInjector::disabled().next(Site::ModelForward).is_none());
+    }
+
+    #[test]
+    fn scenario_parse_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(s.name().parse::<Scenario>(), Ok(s));
+        }
+        assert!("nope".parse::<Scenario>().unwrap_err().contains("zero_fault"));
+        assert_eq!(Scenario::Mixed.to_string(), "mixed");
+    }
+}

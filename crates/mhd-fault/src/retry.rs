@@ -1,0 +1,149 @@
+//! Seeded exponential-backoff-with-jitter retry for transient faults.
+//!
+//! The delay schedule is a pure function of `(policy seed, salt,
+//! attempt)`: exponential growth capped at `max_us`, with half-interval
+//! jitter drawn from a hash — no ambient RNG (rule R1), no clock types
+//! (rule R5; sleeping goes through `std::thread::sleep` on a
+//! `Duration`). Every retry is recorded in the obs sink: the
+//! `serve.retries` counter and the `serve.backoff_us` delay histogram.
+
+use std::time::Duration;
+
+/// Retry shape for one call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Normalised to at least 1.
+    pub max_attempts: u32,
+    /// Base delay before the first retry, microseconds.
+    pub base_us: u64,
+    /// Upper bound on any single delay, microseconds.
+    pub max_us: u64,
+    /// Jitter seed; the same seed reproduces the same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_us: 200, max_us: 20_000, seed: 0 }
+    }
+}
+
+/// splitmix64 finaliser (same mixer as the fault plan).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The backoff delay before retry number `attempt` (0-based: the delay
+/// after the first failure has `attempt == 0`). Deterministic:
+/// exponential envelope `base · 2^attempt` capped at `max_us`, then
+/// half-interval jitter — the delay lands in `[envelope/2, envelope]`.
+pub fn backoff_us(policy: &RetryPolicy, salt: u64, attempt: u32) -> u64 {
+    let envelope = policy
+        .base_us
+        .saturating_mul(1u64 << attempt.min(20))
+        .clamp(1, policy.max_us.max(1));
+    let jitter = mix64(policy.seed ^ salt.rotate_left(16) ^ attempt as u64) % (envelope / 2 + 1);
+    envelope - jitter
+}
+
+/// Run `op` until it succeeds, retrying transient errors with seeded
+/// backoff. `op` receives the 0-based attempt number; `is_transient`
+/// classifies errors (a non-transient error returns immediately). The
+/// final attempt's error is returned when the budget is exhausted.
+pub fn retry_transient<T, E>(
+    policy: &RetryPolicy,
+    salt: u64,
+    mut is_transient: impl FnMut(&E) -> bool,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt + 1 >= attempts || !is_transient(&e) {
+                    return Err(e);
+                }
+                let delay = backoff_us(policy, salt, attempt);
+                if mhd_obs::is_enabled() {
+                    mhd_obs::counter_add("serve.retries", 1);
+                    mhd_obs::hist_record("serve.backoff_us", delay);
+                }
+                std::thread::sleep(Duration::from_micros(delay));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy { max_attempts: 6, base_us: 100, max_us: 5_000, seed: 9 };
+        for attempt in 0..8 {
+            let a = backoff_us(&p, 77, attempt);
+            let b = backoff_us(&p, 77, attempt);
+            assert_eq!(a, b, "same inputs, same delay");
+            let envelope = (100u64 << attempt.min(20)).clamp(1, 5_000);
+            assert!(a >= envelope / 2 && a <= envelope, "attempt {attempt}: {a} vs {envelope}");
+        }
+        // Different salts jitter differently somewhere in the schedule.
+        let a: Vec<u64> = (0..8).map(|k| backoff_us(&p, 1, k)).collect();
+        let b: Vec<u64> = (0..8).map(|k| backoff_us(&p, 2, k)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let p = RetryPolicy { max_attempts: 5, base_us: 1, max_us: 10, seed: 0 };
+        let mut calls = 0u32;
+        let out: Result<u32, &str> = retry_transient(&p, 0, |_| true, |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err("transient")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out, Ok(2));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_gives_up_after_budget() {
+        let p = RetryPolicy { max_attempts: 3, base_us: 1, max_us: 5, seed: 0 };
+        let mut calls = 0u32;
+        let out: Result<(), &str> = retry_transient(&p, 0, |_| true, |_| {
+            calls += 1;
+            Err("still down")
+        });
+        assert_eq!(out, Err("still down"));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_transient_errors_fail_fast() {
+        let p = RetryPolicy::default();
+        let mut calls = 0u32;
+        let out: Result<(), &str> = retry_transient(&p, 0, |e| *e != "fatal", |_| {
+            calls += 1;
+            Err("fatal")
+        });
+        assert_eq!(out, Err("fatal"));
+        assert_eq!(calls, 1, "fatal errors must not retry");
+    }
+
+    #[test]
+    fn zero_attempt_policy_still_runs_once() {
+        let p = RetryPolicy { max_attempts: 0, base_us: 1, max_us: 1, seed: 0 };
+        let out: Result<u32, &str> = retry_transient(&p, 0, |_| true, |_| Ok(7));
+        assert_eq!(out, Ok(7));
+    }
+}

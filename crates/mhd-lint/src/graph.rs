@@ -36,6 +36,14 @@ pub const R6_ENTRY_POINTS: &[(&str, Option<&str>, Option<&str>)] = &[
     ("submit", Some("Service"), None),
     ("shard_loop", None, Some("mhd_serve::service")),
     ("load", Some("ModelZoo"), None),
+    // Self-healing surfaces: the retry wrapper, the resilient zoo
+    // reload used by the shard restart path, the LLM retry loop, and
+    // the degraded-mode fallback route. A panic anywhere under these
+    // defeats the recovery they implement.
+    ("retry_transient", None, None),
+    ("load_resilient", Some("ModelZoo"), None),
+    ("complete_with_retry", Some("LlmClient"), None),
+    ("predict_batch", Some("FallbackModel"), None),
 ];
 
 /// A node in the call graph: index into [`CallGraph`]'s flattened fn list.

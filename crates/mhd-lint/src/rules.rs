@@ -29,7 +29,12 @@ const REPORT_PATH_FILES: [&str; 4] = [
 /// never aborts. `mhd-serve`'s `service.rs`/`zoo.rs` are the online
 /// request loop and shared zoo — a panic there takes down a long-running
 /// service, so admission failures must surface as typed rejections.
-const R2_FILES: [&str; 12] = [
+/// `mhd-fault` is the chaos plane itself — fault *decisions* and the
+/// retry loop must never panic (an aborting injector would be
+/// indistinguishable from the faults it models), and `resilience.rs`
+/// is the recovery layer those faults exercise; its one deliberate
+/// `panic!` (the injected crash model) carries an explicit allow.
+const R2_FILES: [&str; 16] = [
     "crates/mhd-core/src/pipeline.rs",
     "crates/mhd-core/src/experiments.rs",
     "crates/mhd-core/src/experiments_ext.rs",
@@ -42,6 +47,10 @@ const R2_FILES: [&str; 12] = [
     "crates/mhd-nn/src/encoder.rs",
     "crates/mhd-serve/src/service.rs",
     "crates/mhd-serve/src/zoo.rs",
+    "crates/mhd-serve/src/resilience.rs",
+    "crates/mhd-fault/src/plan.rs",
+    "crates/mhd-fault/src/retry.rs",
+    "crates/mhd-fault/src/lib.rs",
 ];
 
 /// Where the shared float-format helpers live (exempt from R4 by definition).

@@ -1,0 +1,28 @@
+//! Fixture: the shard restart path. `ModelZoo::load_resilient` is an R6
+//! root — the self-healing reload a supervised shard runs after a panic —
+//! and the panic it can reach lives in the remap helper below, in a file
+//! that is in no lexical scope list. No pre-restart root calls the helper,
+//! so only the restart-path entry point makes the chain visible.
+
+pub struct ModelZoo {
+    bytes: Vec<u8>,
+}
+
+impl ModelZoo {
+    pub fn load_resilient(path: &str, attempts: u32) -> ModelZoo {
+        let mut last = Vec::new();
+        for _ in 0..attempts {
+            last = remap_shard(path);
+        }
+        ModelZoo { bytes: last }
+    }
+
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+fn remap_shard(path: &str) -> Vec<u8> {
+    let header = path.as_bytes().first().unwrap();
+    vec![*header]
+}

@@ -17,7 +17,7 @@ fn fixture_workspace() -> Vec<(String, String)> {
     let mut out = Vec::new();
     collect(&root, &root, &mut out);
     out.sort();
-    assert_eq!(out.len(), 7, "fixture tree changed shape");
+    assert_eq!(out.len(), 8, "fixture tree changed shape");
     out
 }
 
@@ -53,9 +53,32 @@ fn graph_fixture_findings_pinned() {
             (RuleId::R8, "crates/mhd-core/src/stale.rs".to_string(), 1),
             (RuleId::R6, "crates/mhd-models/src/wide.rs".to_string(), 15),
             (RuleId::R6, "crates/mhd-serve/src/pool.rs".to_string(), 4),
+            (RuleId::R6, "crates/mhd-serve/src/restart.rs".to_string(), 26),
             (RuleId::R6, "crates/mhd-text/src/scale.rs".to_string(), 8),
         ]
     );
+}
+
+/// The self-healing fixture: `ModelZoo::load_resilient` (the restart-path
+/// R6 root added with the fault plane) reaches an `unwrap` in the remap
+/// helper. No pre-restart root calls the helper — drop `load_resilient`
+/// from the root list and the finding disappears — so this pins that the
+/// recovery surfaces themselves are inside the panic-freedom contract.
+#[test]
+fn r6_flags_panic_on_restart_path_only() {
+    // restart.rs standalone is outside every lexical scope list: no R2.
+    let src = "fn remap_shard(path: &str) -> Vec<u8> {\n    vec![*path.as_bytes().first().unwrap()]\n}\n";
+    let lexical = lint_source("crates/mhd-serve/src/restart.rs", src, &LintConfig::default());
+    assert!(lexical.iter().all(|f| f.rule != RuleId::R2), "{lexical:?}");
+
+    let fs = findings();
+    let f = fs
+        .iter()
+        .find(|f| f.rule == RuleId::R6 && f.path.ends_with("restart.rs"))
+        .expect("restart-path R6 finding");
+    assert_eq!(f.line, 26);
+    assert!(f.message.contains("load_resilient"), "{}", f.message);
+    assert!(f.message.contains("remap_shard"), "{}", f.message);
 }
 
 /// A panic directly inside an entry-point fn is a one-hop chain.

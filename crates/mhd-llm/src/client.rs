@@ -6,6 +6,7 @@ use crate::finetune::{train_finetune, FineTuneJob, FineTuned};
 use crate::parse::parse_prompt;
 use crate::render::{render_completion, render_refusal};
 use crate::zoo::{builtin_models, ModelFamily, ModelSpec};
+use mhd_fault::{retry_transient, Fault, FaultInjector, RetryPolicy, Site};
 use mhd_text::bpe::estimate_tokens;
 use mhd_text::hashing::fnv1a;
 use mhd_text::lexicon::LexiconCategory;
@@ -78,6 +79,24 @@ pub enum LlmError {
     BadFineTune(String),
     /// A model with this name is already registered.
     ModelExists(String),
+    /// Transient: the provider shed load; retry after the given delay.
+    RateLimited {
+        /// Provider-suggested retry delay, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Transient: the request exceeded its deadline at the provider.
+    TimedOut {
+        /// How long the request ran before timing out, milliseconds.
+        after_ms: u64,
+    },
+}
+
+impl LlmError {
+    /// True for errors worth retrying with backoff (rate limits and
+    /// timeouts); permanent errors (unknown model, overflow, …) are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, LlmError::RateLimited { .. } | LlmError::TimedOut { .. })
+    }
 }
 
 impl std::fmt::Display for LlmError {
@@ -89,6 +108,12 @@ impl std::fmt::Display for LlmError {
             }
             LlmError::BadFineTune(msg) => write!(f, "fine-tune rejected: {msg}"),
             LlmError::ModelExists(m) => write!(f, "model already registered: {m}"),
+            LlmError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms} ms")
+            }
+            LlmError::TimedOut { after_ms } => {
+                write!(f, "request timed out after {after_ms} ms")
+            }
         }
     }
 }
@@ -110,6 +135,7 @@ pub struct LlmClient {
     cache: Mutex<HashMap<u64, ChatResponse>>,
     tracker: Mutex<CostTracker>,
     next_ft_id: AtomicU64,
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl LlmClient {
@@ -124,7 +150,17 @@ impl LlmClient {
             cache: Mutex::new(HashMap::new()),
             tracker: Mutex::new(CostTracker::new()),
             next_ft_id: AtomicU64::new(0),
+            faults: RwLock::new(None),
         }
+    }
+
+    /// Install (or clear) a fault injector. While installed, every
+    /// [`LlmClient::complete`] call consults the injector's
+    /// `llm_request` site and may surface a transient
+    /// [`LlmError::RateLimited`] or [`LlmError::TimedOut`] before any
+    /// work is done — the simulated analogue of provider-side shedding.
+    pub fn set_fault_injector(&self, injector: Option<Arc<FaultInjector>>) {
+        *self.faults.write().unwrap_or_else(PoisonError::into_inner) = injector;
     }
 
     /// Names of all available models (zoo + fine-tunes), sorted.
@@ -149,6 +185,22 @@ impl LlmClient {
 
     /// Issue a completion request.
     pub fn complete(&self, req: &ChatRequest) -> Result<ChatResponse, LlmError> {
+        // Fault seam: the provider may shed this request before any work
+        // happens. The injector decides purely from (scenario, seed,
+        // op index), so the same storm replays identically.
+        if let Some(inj) = self.faults.read().unwrap_or_else(PoisonError::into_inner).as_ref() {
+            match inj.next(Site::LlmRequest) {
+                Some(Fault::RateLimited { retry_after_ms }) => {
+                    mhd_obs::counter_add("llm.rate_limited", 1);
+                    return Err(LlmError::RateLimited { retry_after_ms });
+                }
+                Some(Fault::TimedOut { after_ms }) => {
+                    mhd_obs::counter_add("llm.timed_out", 1);
+                    return Err(LlmError::TimedOut { after_ms });
+                }
+                _ => {}
+            }
+        }
         let (spec, ft) = self.resolve(&req.model)?;
         let prompt_tokens = estimate_tokens(&req.prompt);
         if prompt_tokens > spec.context_window {
@@ -237,6 +289,19 @@ impl LlmClient {
         // wins is harmless.
         self.cache.lock().unwrap_or_else(PoisonError::into_inner).insert(key, response.clone());
         Ok(response)
+    }
+
+    /// [`LlmClient::complete`] with seeded exponential-backoff retry on
+    /// transient errors (rate limits, timeouts). Permanent errors return
+    /// immediately; the jitter salt is derived from the request, so the
+    /// delay schedule is reproducible per request under a fixed policy.
+    pub fn complete_with_retry(
+        &self,
+        req: &ChatRequest,
+        policy: &RetryPolicy,
+    ) -> Result<ChatResponse, LlmError> {
+        let salt = fnv1a(format!("{}|{}|{}", req.model, req.prompt, req.seed).as_bytes());
+        retry_transient(policy, salt, LlmError::is_transient, |_| self.complete(req))
     }
 
     fn resolve(&self, model: &str) -> Result<(ModelSpec, Option<Arc<FineTuned>>), LlmError> {
@@ -454,6 +519,77 @@ mod tests {
         let c = client();
         let err = c.fine_tune(&FineTuneJob::new("nope", vec![])).unwrap_err();
         assert!(matches!(err, LlmError::UnknownModel(_)));
+    }
+
+    #[test]
+    fn injected_rate_limit_bursts_are_transient_and_reproducible() {
+        use mhd_fault::{FaultInjector, FaultPlan, Scenario};
+        let run = |seed: u64| -> Vec<bool> {
+            let c = client();
+            c.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultPlan::new(
+                Scenario::RateLimitBurst,
+                seed,
+            )))));
+            (0..128)
+                .map(|i| {
+                    let req = ChatRequest::new("sim-gpt-4", prompt(&format!("post {i}")));
+                    match c.complete(&req) {
+                        Ok(_) => true,
+                        Err(e) => {
+                            assert!(e.is_transient(), "burst produced permanent error {e}");
+                            false
+                        }
+                    }
+                })
+                .collect()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a, b, "same seed must shed the same requests");
+        assert!(a.iter().any(|&ok| ok), "some requests get through");
+        assert!(a.iter().any(|&ok| !ok), "some requests are shed");
+        let c = run(6);
+        assert_ne!(a, c, "different seeds shed differently");
+    }
+
+    #[test]
+    fn retry_rides_out_a_rate_limit_burst() {
+        use mhd_fault::{FaultInjector, FaultPlan, RetryPolicy, Scenario};
+        let c = client();
+        c.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultPlan::new(
+            Scenario::RateLimitBurst,
+            3,
+        )))));
+        // Generous budget: a burst is 12 ops wide, so 16 attempts always
+        // escape it even if every attempt lands inside.
+        let policy = RetryPolicy { max_attempts: 16, base_us: 1, max_us: 50, seed: 3 };
+        for i in 0..40 {
+            let req = ChatRequest::new("sim-gpt-4", prompt(&format!("retry post {i}")));
+            let r = c.complete_with_retry(&req, &policy);
+            assert!(r.is_ok(), "request {i} failed through retries: {:?}", r.err());
+        }
+        // Permanent errors must not burn retry attempts.
+        c.set_fault_injector(None);
+        let err = c
+            .complete_with_retry(&ChatRequest::new("gpt-99", "hi"), &policy)
+            .unwrap_err();
+        assert_eq!(err, LlmError::UnknownModel("gpt-99".into()));
+    }
+
+    #[test]
+    fn clearing_the_injector_restores_clean_service() {
+        use mhd_fault::{FaultInjector, FaultPlan, Scenario};
+        let c = client();
+        let req = ChatRequest::new("sim-gpt-4", prompt("steady state"));
+        let clean = c.complete(&req).expect("clean");
+        c.set_fault_injector(Some(Arc::new(FaultInjector::new(FaultPlan::new(
+            Scenario::RateLimitBurst,
+            1,
+        )))));
+        let _ = c.complete(&req); // may or may not fault
+        c.set_fault_injector(None);
+        let after = c.complete(&req).expect("clean again");
+        assert_eq!(clean.text, after.text, "fault plane must not leak into results");
     }
 
     #[test]

@@ -287,6 +287,15 @@ mod tests {
         counter_add("cache.miss", 1);
         hist_record("latency_ms", 12);
         hist_record("latency_ms", 4);
+        // The self-healing serving counters are part of the pinned
+        // schema: the chaos-smoke CI job greps the trace manifest for
+        // them, so a rename here must show up as golden drift.
+        counter_add("serve.retries", 2);
+        counter_add("serve.deadline_exceeded", 1);
+        counter_add("serve.shard_restarts", 1);
+        counter_add("serve.degraded", 1);
+        hist_record("serve.backoff_us", 150);
+        hist_record("serve.backoff_us", 400);
 
         let mut artifacts = BTreeMap::new();
         artifacts.insert("t1".to_string(), 9u64);

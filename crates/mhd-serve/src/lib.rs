@@ -15,6 +15,11 @@
 //!   shards.
 //! * [`traffic`] — seeded arrival processes (steady, bursty, diurnal)
 //!   and synthetic post streams for the load harness in `mhd-bench`.
+//! * [`resilience`] — the self-healing layer: shard supervision
+//!   (`catch_unwind` around the model forward, typed
+//!   [`ServeError::ShardFailed`], restart-storm cap), per-request
+//!   deadlines, and [`FallbackModel`] degraded-mode serving, driven in
+//!   chaos tests by the seeded `mhd-fault` injection plane.
 //!
 //! Everything observable goes through `mhd-obs`: per-batch spans,
 //! `serve.queue_depth` gauges, `serve.batch_size` / `serve.latency_us`
@@ -23,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod resilience;
 pub mod service;
 pub mod traffic;
 pub mod zoo;
 
 pub use mhd_nn::quant::Precision;
+pub use resilience::{FallbackModel, FaultyModel};
 pub use service::{BatchModel, ServeConfig, ServeError, Service, Ticket};
 pub use zoo::{MlpVariant, ModelZoo};

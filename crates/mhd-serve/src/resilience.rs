@@ -1,0 +1,177 @@
+//! Fault seams and degraded-mode fallback for the serving layer.
+//!
+//! Two [`BatchModel`] combinators:
+//!
+//! * [`FaultyModel`] — wraps any model with a [`FaultInjector`] seam at
+//!   the `model_forward` site. Injected panics exercise the shard
+//!   supervision in [`crate::Service`]; injected stalls exercise the
+//!   deadline path. With the zero-fault plan the wrapper is a
+//!   pass-through, so serve output stays byte-identical.
+//! * [`FallbackModel`] — degraded-mode serving: run the primary
+//!   (typically int8) under `catch_unwind`; if it panics, count
+//!   `serve.degraded` and answer from the fallback (the f32 variant
+//!   decoded from the same mapped zoo). The shard never sees the panic,
+//!   so the service keeps answering instead of burning restart budget.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mhd_fault::{Fault, FaultInjector, Site};
+use mhd_obs::counter_add;
+
+use crate::service::BatchModel;
+
+/// A [`BatchModel`] wrapper that consults a fault plan before every
+/// forward. See the module docs for the semantics per fault kind.
+#[derive(Debug, Clone)]
+pub struct FaultyModel<M> {
+    inner: Arc<M>,
+    injector: Arc<FaultInjector>,
+}
+
+impl<M: BatchModel> FaultyModel<M> {
+    /// Wrap `inner` with the injection seam.
+    pub fn new(inner: Arc<M>, injector: Arc<FaultInjector>) -> Self {
+        FaultyModel { inner, injector }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &Arc<M> {
+        &self.inner
+    }
+}
+
+impl<M: BatchModel> BatchModel for FaultyModel<M> {
+    type Input = M::Input;
+
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        match self.injector.next(Site::ModelForward) {
+            // The one deliberate panic in the serving stack: it models a
+            // crashing model kernel and exists to be caught by the shard
+            // supervisor / fallback route directly above it.
+            Some(Fault::Panic) => {
+                // mhd-lint: allow(R2, R6) — injected fault: this panic is the chaos plane's crash model, always caught by shard supervision or FallbackModel
+                panic!("injected model panic (scenario {})", self.injector.plan().scenario())
+            }
+            Some(Fault::Stall { micros }) => {
+                std::thread::sleep(Duration::from_micros(micros));
+            }
+            _ => {}
+        }
+        self.inner.predict_batch(inputs)
+    }
+}
+
+/// Primary-with-fallback serving: answer from `primary` unless its
+/// forward panics, in which case the same batch is answered by
+/// `fallback` and the `serve.degraded` counter records the downgrade.
+///
+/// Both models must share an input type; in the intended deployment
+/// they are the int8 and f32 variants decoded from one mapped zoo, so
+/// degraded answers stay correct — just unquantized.
+#[derive(Debug, Clone)]
+pub struct FallbackModel<P, F> {
+    primary: P,
+    fallback: F,
+}
+
+impl<P, F> FallbackModel<P, F>
+where
+    P: BatchModel,
+    F: BatchModel<Input = P::Input>,
+{
+    /// Pair a primary with its degraded-mode stand-in.
+    pub fn new(primary: P, fallback: F) -> Self {
+        FallbackModel { primary, fallback }
+    }
+}
+
+impl<P, F> BatchModel for FallbackModel<P, F>
+where
+    P: BatchModel,
+    F: BatchModel<Input = P::Input>,
+{
+    type Input = P::Input;
+
+    fn label(&self) -> &'static str {
+        self.primary.label()
+    }
+
+    fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+        // Model forwards are pure `&self`; no state survives the unwind.
+        match catch_unwind(AssertUnwindSafe(|| self.primary.predict_batch(inputs))) {
+            Ok(rows) => rows,
+            Err(_) => {
+                counter_add("serve.degraded", 1);
+                self.fallback.predict_batch(inputs)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mhd_fault::{FaultPlan, Scenario};
+    use mhd_nn::Mlp;
+
+    fn mlp() -> Arc<Mlp> {
+        Arc::new(Mlp::new(5, 6, 3, 0.05, 21))
+    }
+
+    fn xs(n: usize) -> Vec<Vec<f32>> {
+        (0..n).map(|i| (0..5).map(|j| ((i * 3 + j) % 11) as f32 / 11.0).collect()).collect()
+    }
+
+    #[test]
+    fn zero_fault_wrapper_is_byte_identical_passthrough() {
+        let m = mlp();
+        let wrapped = FaultyModel::new(Arc::clone(&m), Arc::new(FaultInjector::disabled()));
+        let inputs = xs(13);
+        assert_eq!(wrapped.predict_batch(&inputs), m.predict_proba_batch(&inputs));
+        assert_eq!(wrapped.label(), "mlp_f32");
+    }
+
+    #[test]
+    fn panic_storm_panics_every_forward() {
+        let m = mlp();
+        let wrapped =
+            FaultyModel::new(m, Arc::new(FaultInjector::new(FaultPlan::new(Scenario::PanicStorm, 1))));
+        let inputs = xs(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| wrapped.predict_batch(&inputs)));
+        assert!(caught.is_err(), "panic storm must panic the forward");
+    }
+
+    #[test]
+    fn fallback_serves_degraded_rows_when_primary_panics() {
+        let m = mlp();
+        // Primary panics on every forward; fallback is the clean model.
+        let primary = FaultyModel::new(
+            Arc::clone(&m),
+            Arc::new(FaultInjector::new(FaultPlan::new(Scenario::PanicStorm, 7))),
+        );
+        let route = FallbackModel::new(primary, MlpRef(Arc::clone(&m)));
+        let inputs = xs(9);
+        assert_eq!(route.predict_batch(&inputs), m.predict_proba_batch(&inputs));
+    }
+
+    /// Arc<Mlp> adapter so the fallback shares the zoo model.
+    struct MlpRef(Arc<Mlp>);
+
+    impl BatchModel for MlpRef {
+        type Input = Vec<f32>;
+
+        fn label(&self) -> &'static str {
+            "mlp_f32"
+        }
+
+        fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+            self.0.predict_proba_batch(inputs)
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -110,11 +111,28 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Worker threads draining the queue.
     pub shards: usize,
+    /// Per-request deadline, microseconds. A request still queued this
+    /// long after submission is failed with
+    /// [`ServeError::DeadlineExceeded`] instead of being served stale.
+    /// `0` disables deadlines (the pre-hardening behaviour).
+    pub deadline_us: u64,
+    /// Restart-storm cap: how many panics one shard survives before it
+    /// stays down. When the *last* live shard exhausts its cap the
+    /// service closes admission and fails the backlog with
+    /// [`ServeError::ShardFailed`] — nothing is ever silently dropped.
+    pub max_restarts: u32,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 32, max_wait_us: 500, queue_cap: 1024, shards: 2 }
+        ServeConfig {
+            max_batch: 32,
+            max_wait_us: 500,
+            queue_cap: 1024,
+            shards: 2,
+            deadline_us: 0,
+            max_restarts: 8,
+        }
     }
 }
 
@@ -140,6 +158,20 @@ pub enum ServeError {
     ShuttingDown,
     /// The worker dropped the reply channel without answering.
     Disconnected,
+    /// The shard serving this request's batch panicked. The shard
+    /// restarts from the shared mapped zoo (up to the restart-storm
+    /// cap); the in-flight batch is failed here rather than re-run,
+    /// since the panic may be input-dependent.
+    ShardFailed {
+        /// Index of the shard that panicked.
+        shard: usize,
+    },
+    /// The request sat queued past the configured per-request deadline
+    /// and was failed instead of served stale.
+    DeadlineExceeded {
+        /// The configured deadline that was exceeded, microseconds.
+        deadline_us: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -150,6 +182,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Disconnected => write!(f, "worker dropped the reply channel"),
+            ServeError::ShardFailed { shard } => {
+                write!(f, "shard {shard} panicked while serving the batch")
+            }
+            ServeError::DeadlineExceeded { deadline_us } => {
+                write!(f, "request exceeded its {deadline_us} us deadline in queue")
+            }
         }
     }
 }
@@ -171,6 +209,9 @@ struct ReplySlot {
 enum ReplyState {
     Waiting,
     Ready(Vec<f32>),
+    /// The request failed with a typed error (shard panic, deadline);
+    /// the waiting client receives it from [`Ticket::wait`].
+    Failed(ServeError),
     /// The sender dropped without answering (only possible if a shard
     /// died mid-batch; normal shutdown drains every accepted request).
     Abandoned,
@@ -201,6 +242,17 @@ impl ReplySender {
         // No-op unless the client is already parked in `wait`.
         self.slot.cv.notify_one();
     }
+
+    /// Resolve the request with a typed error instead of a prediction;
+    /// the waiting client gets `Err(err)` from [`Ticket::wait`].
+    fn fail(mut self, err: ServeError) {
+        {
+            let mut st = self.slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            *st = ReplyState::Failed(err);
+        }
+        self.sent = true;
+        self.slot.cv.notify_one();
+    }
 }
 
 impl Drop for ReplySender {
@@ -229,6 +281,10 @@ struct Pending<I> {
 struct QueueState<I> {
     items: VecDeque<Pending<I>>,
     open: bool,
+    /// Shards still serving. When the last one exits with panics left
+    /// on its restart budget sheet, admission closes and the backlog is
+    /// failed typed — the queue can never strand a request.
+    live: usize,
 }
 
 struct Shared<I> {
@@ -256,6 +312,7 @@ impl Ticket {
         }
         match std::mem::replace(&mut *st, ReplyState::Abandoned) {
             ReplyState::Ready(row) => Ok(row),
+            ReplyState::Failed(err) => Err(err),
             _ => Err(ServeError::Disconnected),
         }
     }
@@ -288,7 +345,7 @@ impl<M: BatchModel> Service<M> {
         let cfg = cfg.normalized();
         let label = model.label();
         let shared = Arc::new(Shared {
-            state: Mutex::new(QueueState { items: VecDeque::new(), open: true }),
+            state: Mutex::new(QueueState { items: VecDeque::new(), open: true, live: cfg.shards }),
             cv: Condvar::new(),
         });
         let workers = (0..cfg.shards)
@@ -413,11 +470,22 @@ fn next_batch<I>(shared: &Shared<I>, cfg: ServeConfig) -> Option<Vec<Pending<I>>
     Some(batch)
 }
 
-/// One shard's serve loop: gather a micro-batch, run the model once,
-/// fan the per-row predictions back out to their reply channels.
+/// One shard's serve loop: gather a micro-batch, run the model once
+/// under panic supervision, fan the per-row predictions back out to
+/// their reply channels.
+///
+/// Supervision semantics: `catch_unwind` wraps only the model forward.
+/// A panic fails the in-flight batch with [`ServeError::ShardFailed`]
+/// (the panic may be input-dependent, so re-running it could loop
+/// forever) and the shard "restarts" — the model is `Arc`-shared from
+/// the mapped zoo, so restart is simply re-entering the loop; there is
+/// no per-shard state to rebuild. A restart-storm cap
+/// ([`ServeConfig::max_restarts`]) bounds how many panics one shard
+/// absorbs; the last live shard to exhaust its cap closes admission and
+/// fails the backlog typed so no request is ever stranded.
 fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeConfig, shard: usize) {
-    let _ = shard;
     let mut served = 0u64;
+    let mut restarts = 0u32;
     while let Some(batch) = next_batch(shared, cfg) {
         let _s = span("serve.batch");
         let sw = Stopwatch::start();
@@ -426,10 +494,39 @@ fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeCon
         let mut replies = Vec::with_capacity(batch.len());
         let mut rows = Vec::with_capacity(batch.len());
         for p in batch {
+            // Deadline check happens at dequeue: a request that sat
+            // queued past its budget is failed, not served stale.
+            if cfg.deadline_us > 0 && p.enqueued.elapsed_ns() / 1_000 > cfg.deadline_us {
+                counter_add("serve.deadline_exceeded", 1);
+                p.reply.fail(ServeError::DeadlineExceeded { deadline_us: cfg.deadline_us });
+                continue;
+            }
             rows.push(p.input);
             replies.push((p.reply, p.enqueued));
         }
-        let probs = model.predict_batch(&rows);
+        if rows.is_empty() {
+            continue;
+        }
+        // The models are pure `&self` forwards (no interior mutability
+        // on the predict path), so observing state across the unwind
+        // boundary is sound.
+        let caught = catch_unwind(AssertUnwindSafe(|| model.predict_batch(&rows)));
+        let probs = match caught {
+            Ok(p) => p,
+            Err(_) => {
+                counter_add("serve.shard_panics", 1);
+                for (reply, _) in replies {
+                    reply.fail(ServeError::ShardFailed { shard });
+                }
+                restarts += 1;
+                if restarts > cfg.max_restarts {
+                    // Storm cap exhausted: this shard stays down.
+                    break;
+                }
+                counter_add("serve.shard_restarts", 1);
+                continue;
+            }
+        };
         hist_record("serve.batch_size", rows.len() as u64);
         hist_record("serve.batch_ns", sw.elapsed_ns());
         counter_add("serve.completed", rows.len() as u64);
@@ -441,6 +538,20 @@ fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeCon
             // A dropped Ticket just means the client stopped waiting.
             reply.send(row);
         }
+    }
+    // Shard exit — normal shutdown or storm cap. If this was the last
+    // live shard, nothing will drain the queue anymore: close admission
+    // and fail the backlog typed rather than stranding the waiters.
+    let mut st = locked(shared);
+    st.live = st.live.saturating_sub(1);
+    if st.live == 0 {
+        st.open = false;
+        let stranded: Vec<Pending<M::Input>> = st.items.drain(..).collect();
+        drop(st);
+        for p in stranded {
+            p.reply.fail(ServeError::ShardFailed { shard });
+        }
+        shared.cv.notify_all();
     }
 }
 
@@ -464,7 +575,7 @@ mod tests {
         let offline = model.predict_proba_batch(&xs);
         let svc = Service::start(
             Arc::clone(&model),
-            ServeConfig { max_batch: 8, max_wait_us: 200, queue_cap: 256, shards: 3 },
+            ServeConfig { max_batch: 8, max_wait_us: 200, queue_cap: 256, shards: 3, ..ServeConfig::default() },
         );
         let tickets: Vec<Ticket> =
             xs.iter().map(|x| svc.submit(x.clone()).expect("admitted")).collect();
@@ -479,7 +590,13 @@ mod tests {
         let model = tiny_mlp();
         // One shard that will wait ~forever for a size trigger it can
         // never see, so the queue fills deterministically.
-        let cfg = ServeConfig { max_batch: 64, max_wait_us: 60_000_000, queue_cap: 4, shards: 1 };
+        let cfg = ServeConfig {
+            max_batch: 64,
+            max_wait_us: 60_000_000,
+            queue_cap: 4,
+            shards: 1,
+            ..ServeConfig::default()
+        };
         let svc = Service::start(model, cfg);
         let xs = posts(5);
         let mut tickets = Vec::new();
@@ -510,8 +627,14 @@ mod tests {
 
     #[test]
     fn config_is_normalized() {
-        let cfg =
-            ServeConfig { max_batch: 0, max_wait_us: 10, queue_cap: 0, shards: 0 }.normalized();
+        let cfg = ServeConfig {
+            max_batch: 0,
+            max_wait_us: 10,
+            queue_cap: 0,
+            shards: 0,
+            ..ServeConfig::default()
+        }
+        .normalized();
         assert_eq!((cfg.max_batch, cfg.queue_cap, cfg.shards), (1, 1, 1));
     }
 
@@ -521,5 +644,100 @@ mod tests {
         assert!(e.to_string().contains("cap 9"));
         assert_ne!(e, ServeError::ShuttingDown);
         assert!(ServeError::Disconnected.to_string().contains("reply"));
+        assert!(ServeError::ShardFailed { shard: 2 }.to_string().contains("shard 2"));
+        let d = ServeError::DeadlineExceeded { deadline_us: 500 };
+        assert!(d.to_string().contains("500 us"));
+    }
+
+    /// A model whose forward panics whenever the first feature of the
+    /// first row is negative — input-dependent, like real panics.
+    struct TrapModel;
+
+    impl BatchModel for TrapModel {
+        type Input = Vec<f32>;
+
+        fn label(&self) -> &'static str {
+            "trap"
+        }
+
+        fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
+            for x in inputs {
+                assert!(x.first().copied().unwrap_or(0.0) >= 0.0, "trap sprung");
+            }
+            inputs.iter().map(|x| vec![x.iter().sum::<f32>()]).collect()
+        }
+    }
+
+    #[test]
+    fn shard_panic_fails_batch_typed_and_service_recovers() {
+        let svc = Service::start(
+            Arc::new(TrapModel),
+            ServeConfig { max_batch: 1, max_wait_us: 50, shards: 1, ..ServeConfig::default() },
+        );
+        // Trip the trap: the victim gets a typed error, not a hang.
+        let bad = svc.submit(vec![-1.0, 0.5]).expect("admitted");
+        assert_eq!(bad.wait().unwrap_err(), ServeError::ShardFailed { shard: 0 });
+        // The shard restarted: clean requests keep being served.
+        let good = svc.predict(vec![1.0, 2.0]).expect("served after restart");
+        assert_eq!(good, vec![3.0]);
+    }
+
+    #[test]
+    fn restart_storm_cap_drains_backlog_with_typed_errors() {
+        let cfg = ServeConfig {
+            max_batch: 1,
+            max_wait_us: 50,
+            queue_cap: 64,
+            shards: 1,
+            max_restarts: 2,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(Arc::new(TrapModel), cfg);
+        // Feed panics past the cap plus trailing requests that may end
+        // up stranded behind the death of the only shard. Late submits
+        // may race the shard's death and be rejected at admission; both
+        // outcomes are typed, nothing hangs.
+        let mut tickets = Vec::new();
+        let mut rejected = 0;
+        for _ in 0..16 {
+            match svc.submit(vec![-1.0]) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::ShuttingDown) => rejected += 1,
+                Err(e) => panic!("unexpected admission error {e:?}"),
+            }
+        }
+        let mut failed = 0;
+        for t in tickets {
+            match t.wait() {
+                Err(ServeError::ShardFailed { .. }) => failed += 1,
+                other => panic!("expected ShardFailed, got {other:?}"),
+            }
+        }
+        assert_eq!(failed + rejected, 16, "every request resolved, typed");
+        assert!(failed >= 3, "at least cap+1 batches were admitted, got {failed}");
+        // Admission is closed once the pool is gone.
+        assert_eq!(svc.submit(vec![1.0]).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn expired_requests_get_deadline_errors_fresh_ones_are_served() {
+        let model = tiny_mlp();
+        // Single shard blocked on a size trigger it can never reach, so
+        // submissions age in queue past the 1ms deadline.
+        let cfg = ServeConfig {
+            max_batch: 64,
+            max_wait_us: 60_000_000,
+            queue_cap: 8,
+            shards: 1,
+            deadline_us: 1_000,
+            ..ServeConfig::default()
+        };
+        let svc = Service::start(model, cfg);
+        let t = svc.submit(posts(1).remove(0)).expect("admitted");
+        std::thread::sleep(Duration::from_millis(20));
+        // Shutdown flushes the queue; the aged request must come back
+        // as DeadlineExceeded, not as a stale prediction.
+        drop(svc);
+        assert_eq!(t.wait().unwrap_err(), ServeError::DeadlineExceeded { deadline_us: 1_000 });
     }
 }

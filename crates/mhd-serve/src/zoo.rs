@@ -5,6 +5,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
+use mhd_fault::{retry_transient, FaultInjector, RetryPolicy};
 use mhd_nn::checkpoint::Writer;
 use mhd_nn::quant::Precision;
 use mhd_nn::{Checkpoint, CheckpointError, MappedCheckpoint, Mlp, QuantizedMlp};
@@ -71,9 +72,20 @@ impl ModelZoo {
     /// state. The f32 packed-weight serving cache is pre-warmed so the
     /// first request pays no pack cost.
     pub fn load(path: &Path) -> Result<ModelZoo, CheckpointError> {
+        Self::load_with_faults(path, &FaultInjector::disabled())
+    }
+
+    /// [`ModelZoo::load`] through the checkpoint fault seam: an injected
+    /// transient I/O error or byte flip surfaces as the typed
+    /// [`CheckpointError`] the mapping loader would report for the real
+    /// thing.
+    pub fn load_with_faults(
+        path: &Path,
+        faults: &FaultInjector,
+    ) -> Result<ModelZoo, CheckpointError> {
         let _s = span("serve.zoo_load");
         let sw = Stopwatch::start();
-        let mapped = Checkpoint::map(path)?;
+        let mapped = Checkpoint::map_with_faults(path, faults)?;
         let mlp = Mlp::from_checkpoint(&mapped, "mlp")?;
         mlp.prepack();
         let qmlp = QuantizedMlp::from_checkpoint(&mapped, "qmlp")?;
@@ -81,6 +93,31 @@ impl ModelZoo {
         hist_record("serve.zoo_load_ns", load_ns);
         counter_add("serve.zoo_loads", 1);
         Ok(ModelZoo { mapped, mlp: Arc::new(mlp), qmlp: Arc::new(qmlp), load_ns })
+    }
+
+    /// Load the zoo, riding out transient read faults (injected I/O
+    /// errors, corrupted reads caught by the checksum) with seeded
+    /// backoff. Structural errors — bad version, missing tensors —
+    /// fail immediately: retrying cannot fix a wrong file.
+    pub fn load_resilient(
+        path: &Path,
+        faults: &FaultInjector,
+        policy: &RetryPolicy,
+    ) -> Result<ModelZoo, CheckpointError> {
+        let salt = mhd_nn::checkpoint::fnv1a64(path.to_string_lossy().as_bytes());
+        retry_transient(
+            policy,
+            salt,
+            |e: &CheckpointError| {
+                matches!(
+                    e,
+                    CheckpointError::Io(_)
+                        | CheckpointError::ChecksumMismatch
+                        | CheckpointError::BadMagic
+                )
+            },
+            |_| Self::load_with_faults(path, faults),
+        )
     }
 
     /// The served variant for `precision`, sharing the zoo's models.
@@ -142,6 +179,26 @@ mod tests {
         // Zoo clones share the one mapped buffer.
         let clone = zoo.clone();
         assert!(clone.checkpoint().handles() >= 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resilient_load_rides_out_injected_read_faults() {
+        use mhd_fault::{FaultPlan, Scenario};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mhd_serve_zoo_resilient_{}.ckpt", std::process::id()));
+        let mlp = Mlp::new(8, 10, 3, 0.05, 13);
+        ModelZoo::write(&mlp, &path).expect("write zoo");
+        // 60% of reads fault under this scenario; a handful of retries
+        // always finds a clean one. Seeded, so the run is reproducible.
+        let inj = FaultInjector::new(FaultPlan::new(Scenario::CorruptCheckpoint, 42));
+        let policy = RetryPolicy { max_attempts: 32, base_us: 1, max_us: 20, seed: 42 };
+        let zoo = ModelZoo::load_resilient(&path, &inj, &policy).expect("resilient load");
+        let xs: Vec<Vec<f32>> =
+            (0..5).map(|i| (0..8).map(|j| ((i + j) % 5) as f32 / 5.0).collect()).collect();
+        // Whatever faults were ridden out, the decoded model is clean.
+        assert_eq!(zoo.variant(Precision::F32).predict_batch(&xs), mlp.predict_proba_batch(&xs));
+        assert!(inj.ops(mhd_fault::Site::CheckpointRead) >= 1, "seam was exercised");
         let _ = std::fs::remove_file(&path);
     }
 }

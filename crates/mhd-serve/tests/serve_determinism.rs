@@ -35,11 +35,11 @@ fn serve_matches_offline_for_all_configs_and_precisions() {
 
         let configs = [
             // Aggressive coalescing across a wide shard pool.
-            ServeConfig { max_batch: 16, max_wait_us: 400, queue_cap: 512, shards: 4 },
+            ServeConfig { max_batch: 16, max_wait_us: 400, queue_cap: 512, shards: 4, ..ServeConfig::default() },
             // Deadline-dominated tiny batches.
-            ServeConfig { max_batch: 3, max_wait_us: 50, queue_cap: 512, shards: 2 },
+            ServeConfig { max_batch: 3, max_wait_us: 50, queue_cap: 512, shards: 2, ..ServeConfig::default() },
             // Batch-size-1 serving: no coalescing at all.
-            ServeConfig { max_batch: 1, max_wait_us: 1000, queue_cap: 512, shards: 3 },
+            ServeConfig { max_batch: 1, max_wait_us: 1000, queue_cap: 512, shards: 3, ..ServeConfig::default() },
         ];
         for cfg in configs {
             let svc = Service::start(Arc::new(model.clone()), cfg);
@@ -69,7 +69,7 @@ fn closed_loop_predict_matches_offline() {
     let offline = model.predict_batch(&posts);
     let svc = Service::start(
         Arc::new(model),
-        ServeConfig { max_batch: 8, max_wait_us: 100, queue_cap: 64, shards: 2 },
+        ServeConfig { max_batch: 8, max_wait_us: 100, queue_cap: 64, shards: 2, ..ServeConfig::default() },
     );
     // Closed-loop clients: several threads each own a slice of the
     // stream and block on every request.
