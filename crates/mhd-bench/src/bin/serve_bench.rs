@@ -13,6 +13,8 @@
 //! serve_bench --chaos-seed <n>       # storm seed (default: the bench seed)
 //! serve_bench --chaos-out <path>     # digest path (default CHAOS_digest.csv)
 //! serve_bench --digest <path>        # plain (unwrapped) serve digest, same format
+//! serve_bench --telemetry <prefix>   # live exporter: <prefix>.series.jsonl,
+//!                                    #   <prefix>.prom, <prefix>.journal.jsonl
 //! ```
 //!
 //! Chaos mode (`--chaos`) replays a seeded fault schedule from
@@ -61,7 +63,8 @@ use mhd_serve::{
 };
 
 /// Schema tag written to (and required from) `BENCH_serve.json`.
-const SCHEMA: &str = "mhd-bench/serve/v1";
+/// v2: added the `telemetry_overhead` section.
+const SCHEMA: &str = "mhd-bench/serve/v2";
 /// Dense feature width served by the detector MLP (T2's input width).
 const DIM: usize = 178;
 const CLASSES: usize = 9;
@@ -80,6 +83,7 @@ struct Options {
     chaos_seed: u64,
     chaos_out: String,
     digest: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -93,6 +97,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         chaos_seed: SEED,
         chaos_out: "CHAOS_digest.csv".to_string(),
         digest: None,
+        telemetry: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -126,6 +131,10 @@ fn parse(args: &[String]) -> Result<Options, String> {
             "--digest" => {
                 opts.digest = Some(it.next().ok_or("--digest needs a path")?.clone());
             }
+            "--telemetry" => {
+                opts.telemetry =
+                    Some(it.next().ok_or("--telemetry needs a path prefix")?.clone());
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
@@ -148,9 +157,14 @@ fn check_bench_file(contents: &str) -> Vec<String> {
     if !contents.contains("\"smoke\": false") {
         problems.push("committed bench must come from a full run, not --smoke".to_string());
     }
-    for section in
-        ["\"zoo\":", "\"capacity\":", "\"closed_loop\":", "\"open_loop\":", "\"microbatch_speedup\":"]
-    {
+    for section in [
+        "\"zoo\":",
+        "\"capacity\":",
+        "\"closed_loop\":",
+        "\"open_loop\":",
+        "\"microbatch_speedup\":",
+        "\"telemetry_overhead\":",
+    ] {
         if !contents.contains(section) {
             problems.push(format!("missing section {section}"));
         }
@@ -160,7 +174,24 @@ fn check_bench_file(contents: &str) -> Vec<String> {
             problems.push(format!("missing entry {row}"));
         }
     }
+    // The telemetry tax is a gated claim, not just a reported number:
+    // full recording must keep >= 95% of telemetry-off capacity.
+    match overhead_ratio(contents) {
+        Some(r) if r >= 0.95 => {}
+        Some(r) => problems.push(format!(
+            "telemetry_overhead ratio {r:.3} is below the 0.95 floor: full telemetry costs too much; regenerate or investigate"
+        )),
+        None => problems.push("telemetry_overhead section has no parsable \"ratio\"".to_string()),
+    }
     problems
+}
+
+/// Pull `"ratio": <f64>` out of the `telemetry_overhead` section.
+fn overhead_ratio(contents: &str) -> Option<f64> {
+    let section = contents.split("\"telemetry_overhead\":").nth(1)?;
+    let rest = section.split("\"ratio\":").nth(1)?;
+    let end = rest.find([',', '}'])?;
+    rest.get(..end)?.trim().parse().ok()
 }
 
 /// `p`-th percentile (nearest-rank on an already sorted slice), in the
@@ -171,6 +202,32 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
     sorted.get(rank.min(sorted.len() - 1)).copied().unwrap_or(0)
+}
+
+/// Window width for the live exporter when `--telemetry` is on: short
+/// enough that a smoke run closes several windows, long enough that
+/// polling stays invisible next to the serving work.
+const TELEMETRY_WINDOW_US: u64 = 50_000;
+
+/// Start the live exporter at `prefix` and spawn its polling thread.
+fn start_telemetry(prefix: &str) -> mhd_obs::Poller {
+    let cfg = mhd_obs::TelemetryConfig::at_prefix(prefix, TELEMETRY_WINDOW_US);
+    let exporter = match mhd_obs::Exporter::create(cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot start telemetry exporter at {prefix}: {e}");
+            std::process::exit(1);
+        }
+    };
+    mhd_obs::Poller::spawn(exporter, TELEMETRY_WINDOW_US)
+}
+
+/// Stop the polling thread and close the final window.
+fn finish_telemetry(poller: mhd_obs::Poller) {
+    if let Err(e) = poller.finish() {
+        eprintln!("error: telemetry exporter failed: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Mean micro-batch size the service actually ran, from the obs sink.
@@ -414,6 +471,58 @@ fn open_loop(
     }
 }
 
+struct OverheadRow {
+    on_posts_per_sec: f64,
+    off_posts_per_sec: f64,
+    trials: usize,
+}
+
+impl OverheadRow {
+    fn ratio(&self) -> f64 {
+        self.on_posts_per_sec / self.off_posts_per_sec.max(1e-12)
+    }
+}
+
+/// The telemetry tax: int8 micro-batched capacity with the sink fully
+/// on (every-request latency recording plus the live exporter polling)
+/// vs the sink disabled. On/off trials interleave round by round so
+/// frequency and scheduler drift hit both sides alike; each side
+/// reports its best round (the same min-time estimator as `capacity`).
+fn telemetry_overhead(
+    zoo: &ModelZoo,
+    shards: usize,
+    n: usize,
+    posts: &[Vec<f32>],
+    trials: usize,
+) -> OverheadRow {
+    let cfg = ServeConfig {
+        max_batch: 32,
+        max_wait_us: MAX_WAIT_US,
+        queue_cap: QUEUE_CAP,
+        shards,
+        ..ServeConfig::default()
+    };
+    let prefix = std::env::temp_dir()
+        .join(format!("mhd_serve_overhead_{}", std::process::id()))
+        .display()
+        .to_string();
+    let variant = zoo.variant(Precision::Int8);
+    let (mut best_on, mut best_off) = (0.0f64, 0.0f64);
+    for _ in 0..trials {
+        mhd_obs::disable();
+        best_off = best_off.max(burst(&variant, cfg, n, posts).posts_per_sec());
+        mhd_obs::enable();
+        let poller = start_telemetry(&prefix);
+        best_on = best_on.max(burst(&variant, cfg, n, posts).posts_per_sec());
+        finish_telemetry(poller);
+    }
+    mhd_obs::enable();
+    for suffix in [".series.jsonl", ".prom", ".journal.jsonl"] {
+        let _ = std::fs::remove_file(format!("{prefix}{suffix}"));
+    }
+    OverheadRow { on_posts_per_sec: best_on, off_posts_per_sec: best_off, trials }
+}
+
 /// Hex render of a probability row's IEEE bits: exact, diffable, and
 /// platform-stable — the digest currency of the chaos byte-identity
 /// checks.
@@ -516,7 +625,18 @@ fn run_chaos(opts: &Options, shards: usize) {
         shards,
         deadline_us: 2_000_000,
         max_restarts: 64,
+        ..ServeConfig::default()
     };
+
+    // The exporter is pure side channel: digests stay byte-identical
+    // with it on or off (CI pins this).
+    let poller = opts.telemetry.as_deref().map(|prefix| {
+        mhd_obs::progress(
+            "serve_bench",
+            &format!("telemetry exporter on: {prefix}.series.jsonl, .prom, .journal.jsonl"),
+        );
+        start_telemetry(prefix)
+    });
 
     let mut digest = String::new();
     let (ok1, failed1, ok2, failed2) = if scenario.is_some() {
@@ -556,6 +676,9 @@ fn run_chaos(opts: &Options, shards: usize) {
         (ok1, failed1, ok2, failed2)
     };
     let _ = std::fs::remove_file(&zoo_path);
+    if let Some(p) = poller {
+        finish_telemetry(p);
+    }
 
     mhd_obs::progress(
         "serve_bench",
@@ -607,6 +730,7 @@ fn render_json(
     closed: &[ClosedRow],
     open: &[OpenRow],
     speedup: f64,
+    overhead: &OverheadRow,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
@@ -658,6 +782,15 @@ fn render_json(
     s.push_str(&format!(
         "  \"microbatch_speedup\": {{\"int8_micro_vs_f32_single\": {speedup:.2}}},\n"
     ));
+    s.push_str(&format!(
+        "  \"telemetry_overhead\": {{\"model\": \"mlp_int8\", \"max_batch\": 32, \
+         \"on_posts_per_sec\": {:.1}, \"off_posts_per_sec\": {:.1}, \"ratio\": {:.3}, \
+         \"trials\": {}}},\n",
+        overhead.on_posts_per_sec,
+        overhead.off_posts_per_sec,
+        overhead.ratio(),
+        overhead.trials,
+    ));
     s.push_str("  \"open_loop\": [\n");
     for (i, r) in open.iter().enumerate() {
         let comma = if i + 1 < open.len() { "," } else { "" };
@@ -691,7 +824,8 @@ fn main() {
             eprintln!(
                 "usage: serve_bench [--smoke] [--out <path>] [--jobs <n>] \
                  [--trace <path>] [--check-bench <path>] [--chaos <scenario>] \
-                 [--chaos-seed <n>] [--chaos-out <path>] [--digest <path>]"
+                 [--chaos-seed <n>] [--chaos-out <path>] [--digest <path>] \
+                 [--telemetry <prefix>]"
             );
             std::process::exit(2);
         }
@@ -729,6 +863,13 @@ fn main() {
         run_chaos(&opts, shards);
         return;
     }
+    let poller = opts.telemetry.as_deref().map(|prefix| {
+        mhd_obs::progress(
+            "serve_bench",
+            &format!("telemetry exporter on: {prefix}.series.jsonl, .prom, .journal.jsonl"),
+        );
+        start_telemetry(prefix)
+    });
     let (clients, per_client, burst_n, open_n, open_rate) =
         if opts.smoke { (4, 40, 2_000, 400, 20_000.0) } else { (32, 1_000, 24_000, 40_000, 150_000.0) };
 
@@ -866,9 +1007,23 @@ fn main() {
         );
         open.push(row);
     }
-    let _ = std::fs::remove_file(&zoo_path);
 
-    let json = render_json(opts.smoke, &zoo, &capacity, &closed, &open, speedup);
+    let overhead = telemetry_overhead(&zoo, shards, burst_n, &posts, trials);
+    mhd_obs::progress(
+        "serve_bench",
+        &format!(
+            "  telemetry tax: {:.0} posts/s on vs {:.0} posts/s off (ratio {:.3}, best of {trials})",
+            overhead.on_posts_per_sec,
+            overhead.off_posts_per_sec,
+            overhead.ratio()
+        ),
+    );
+    let _ = std::fs::remove_file(&zoo_path);
+    if let Some(p) = poller {
+        finish_telemetry(p);
+    }
+
+    let json = render_json(opts.smoke, &zoo, &capacity, &closed, &open, speedup, &overhead);
     if let Err(e) = std::fs::write(&opts.out, &json) {
         eprintln!("error: cannot write {}: {e}", opts.out);
         std::process::exit(1);

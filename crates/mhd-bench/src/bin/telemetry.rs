@@ -1,0 +1,124 @@
+#![forbid(unsafe_code)]
+//! Offline renderer for the live-telemetry artifacts `serve_bench
+//! --telemetry <prefix>` writes.
+//!
+//! ```text
+//! telemetry report <prefix>            # incident timeline + series digest
+//! telemetry report --journal <path>    # timeline from one journal file
+//! telemetry report --series <path>     # digest of one JSONL time series
+//! ```
+//!
+//! `report` turns the event journal back into the human-readable
+//! incident timeline (the same renderer the tests pin) and summarises
+//! the windowed time series: windows closed, events seen, and the SLO
+//! burn of the worst window. Everything here is read-only over files
+//! already on disk; nothing touches the live sink.
+
+use mhd_obs::{parse_journal_line, render_timeline, Event};
+
+struct Options {
+    journal: Option<String>,
+    series: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("report") => {}
+        Some(other) => return Err(format!("unknown command: {other}")),
+        None => return Err("missing command (expected `report`)".to_string()),
+    }
+    let mut opts = Options { journal: None, series: None };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--journal" => {
+                opts.journal = Some(it.next().ok_or("--journal needs a path")?.clone());
+            }
+            "--series" => {
+                opts.series = Some(it.next().ok_or("--series needs a path")?.clone());
+            }
+            prefix if !prefix.starts_with('-') => {
+                opts.journal = Some(format!("{prefix}.journal.jsonl"));
+                opts.series = Some(format!("{prefix}.series.jsonl"));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.journal.is_none() && opts.series.is_none() {
+        return Err("report needs a <prefix>, --journal, or --series".to_string());
+    }
+    Ok(opts)
+}
+
+/// Pull a numeric `"key":123` / `"key":1.25` field out of a JSONL row.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let rest = line.get(line.find(&tag)? + tag.len()..)?;
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest.get(..end)?.trim().parse().ok()
+}
+
+fn report_series(path: &str, contents: &str) {
+    let rows: Vec<&str> = contents.lines().filter(|l| !l.trim().is_empty()).collect();
+    println!("== telemetry series: {path} ({} windows) ==", rows.len());
+    let mut events = 0.0;
+    let mut worst: Option<(u64, f64)> = None;
+    for row in &rows {
+        events += num_field(row, "events").unwrap_or(0.0);
+        let burn = num_field(row, "latency_burn")
+            .unwrap_or(0.0)
+            .max(num_field(row, "availability_burn").unwrap_or(0.0));
+        let window = num_field(row, "window").unwrap_or(0.0) as u64;
+        if worst.is_none_or(|(_, b)| burn > b) {
+            worst = Some((window, burn));
+        }
+    }
+    println!("  journal events streamed      {events:>10}");
+    if let Some((window, burn)) = worst {
+        println!("  worst window SLO burn        {burn:>10.3}  (window {window})");
+        if burn > 1.0 {
+            println!("  !! error budget burning faster than the objective allows");
+        }
+    }
+    if let Some(last) = rows.last() {
+        let t_s = num_field(last, "t_us").unwrap_or(0.0) / 1e6;
+        println!("  last window closed at        {t_s:>10.3}s");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: telemetry report <prefix> | --journal <path> | --series <path>");
+            std::process::exit(2);
+        }
+    };
+    if let Some(path) = &opts.series {
+        match std::fs::read_to_string(path) {
+            Ok(contents) => report_series(path, &contents),
+            Err(e) => {
+                // A prefix without a series file is fine when --journal
+                // was derived from the same prefix; only an explicit
+                // --series that cannot be read is fatal.
+                if opts.journal.is_none() {
+                    eprintln!("error: cannot read series {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if let Some(path) = &opts.journal {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot read journal {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let events: Vec<Event> = contents.lines().filter_map(parse_journal_line).collect();
+        print!("{}", render_timeline(&events));
+    }
+}

@@ -82,7 +82,7 @@ fn manifest_carries_run_evidence() {
     };
     let manifest = mhd_obs::render_manifest(&header, &rows);
 
-    assert!(manifest.contains("\"schema\": \"mhd-obs/manifest/v1\""));
+    assert!(manifest.contains("\"schema\": \"mhd-obs/manifest/v2\""));
     assert!(manifest.contains("\"seed\": 7"));
     assert!(manifest.contains(&format!("\"t2\": {}", table.n_rows())));
     // The feature cache was exercised (hit or miss, depending on what the

@@ -277,12 +277,16 @@ impl FaultInjector {
     }
 
     /// Draw the next operation index for `site` and return its fault
-    /// decision, counting injections in the obs sink.
+    /// decision, counting injections in the obs sink and appending a
+    /// `fault_injected` entry to the event journal.
     pub fn next(&self, site: Site) -> Option<Fault> {
         let op = self.ops[site.index()].fetch_add(1, Ordering::Relaxed);
         let fault = self.plan.decide(site, op);
         if fault.is_some() && mhd_obs::is_enabled() {
             mhd_obs::counter_add(injected_counter(site), 1);
+            mhd_obs::journal_record(mhd_obs::EventKind::FaultInjected {
+                site: site.name().to_string(),
+            });
         }
         fault
     }

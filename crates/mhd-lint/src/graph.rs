@@ -44,6 +44,13 @@ pub const R6_ENTRY_POINTS: &[(&str, Option<&str>, Option<&str>)] = &[
     ("load_resilient", Some("ModelZoo"), None),
     ("complete_with_retry", Some("LlmClient"), None),
     ("predict_batch", Some("FallbackModel"), None),
+    // Live-telemetry surfaces: the exporter's window close (runs on the
+    // background poller thread, where a panic would silently kill the
+    // time series) and the journal append (called from panic-recovery
+    // paths themselves, so it must never add a second panic).
+    ("poll", Some("Exporter"), None),
+    ("finish", Some("Exporter"), None),
+    ("journal_record", None, None),
 ];
 
 /// A node in the call graph: index into [`CallGraph`]'s flattened fn list.

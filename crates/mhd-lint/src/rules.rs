@@ -34,7 +34,7 @@ const REPORT_PATH_FILES: [&str; 4] = [
 /// indistinguishable from the faults it models), and `resilience.rs`
 /// is the recovery layer those faults exercise; its one deliberate
 /// `panic!` (the injected crash model) carries an explicit allow.
-const R2_FILES: [&str; 16] = [
+const R2_FILES: [&str; 19] = [
     "crates/mhd-core/src/pipeline.rs",
     "crates/mhd-core/src/experiments.rs",
     "crates/mhd-core/src/experiments_ext.rs",
@@ -51,6 +51,9 @@ const R2_FILES: [&str; 16] = [
     "crates/mhd-fault/src/plan.rs",
     "crates/mhd-fault/src/retry.rs",
     "crates/mhd-fault/src/lib.rs",
+    "crates/mhd-obs/src/bucket.rs",
+    "crates/mhd-obs/src/telemetry.rs",
+    "crates/mhd-obs/src/journal.rs",
 ];
 
 /// Where the shared float-format helpers live (exempt from R4 by definition).

@@ -1,0 +1,18 @@
+//! Fixture: a telemetry exporter whose window close reaches an `unwrap`
+//! in a row-encoding helper. `Exporter::poll` is an R6 root (it runs on
+//! the background poller thread, where a panic silently kills the time
+//! series); export.rs is in no lexical scope list, so only the call
+//! graph can see the chain.
+pub struct Exporter {
+    rows: Vec<u64>,
+}
+
+impl Exporter {
+    pub fn poll(&mut self) -> String {
+        encode_row(&self.rows)
+    }
+}
+
+fn encode_row(rows: &[u64]) -> String {
+    format!("{}", rows.first().unwrap())
+}

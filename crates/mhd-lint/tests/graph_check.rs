@@ -17,7 +17,7 @@ fn fixture_workspace() -> Vec<(String, String)> {
     let mut out = Vec::new();
     collect(&root, &root, &mut out);
     out.sort();
-    assert_eq!(out.len(), 8, "fixture tree changed shape");
+    assert_eq!(out.len(), 9, "fixture tree changed shape");
     out
 }
 
@@ -52,6 +52,7 @@ fn graph_fixture_findings_pinned() {
             (RuleId::R7, "crates/mhd-core/src/cfg.rs".to_string(), 3),
             (RuleId::R8, "crates/mhd-core/src/stale.rs".to_string(), 1),
             (RuleId::R6, "crates/mhd-models/src/wide.rs".to_string(), 15),
+            (RuleId::R6, "crates/mhd-obs/src/export.rs".to_string(), 17),
             (RuleId::R6, "crates/mhd-serve/src/pool.rs".to_string(), 4),
             (RuleId::R6, "crates/mhd-serve/src/restart.rs".to_string(), 26),
             (RuleId::R6, "crates/mhd-text/src/scale.rs".to_string(), 8),
@@ -167,6 +168,28 @@ fn r6_flags_panic_reachable_from_serve_shard_loop() {
     assert_eq!(f.line, 4);
     assert!(f.message.contains("shard_loop"), "{}", f.message);
     assert!(f.message.contains("drain_one"), "{}", f.message);
+}
+
+/// The telemetry fixture: `Exporter::poll` (an R6 root added with the
+/// live-telemetry layer) reaches an `unwrap` in a row-encoding helper.
+/// export.rs is in no lexical scope list, so the chain is only visible
+/// to the call graph — a panic here would kill the background poller
+/// thread and silently end the time series.
+#[test]
+fn r6_flags_panic_reachable_from_exporter_poll() {
+    // export.rs standalone is outside every lexical scope list: no R2.
+    let src = "fn encode_row(rows: &[u64]) -> String {\n    format!(\"{}\", rows.first().unwrap())\n}\n";
+    let lexical = lint_source("crates/mhd-obs/src/export.rs", src, &LintConfig::default());
+    assert!(lexical.iter().all(|f| f.rule != RuleId::R2), "{lexical:?}");
+
+    let fs = findings();
+    let f = fs
+        .iter()
+        .find(|f| f.rule == RuleId::R6 && f.path.ends_with("export.rs"))
+        .expect("telemetry-path R6 finding");
+    assert_eq!(f.line, 17);
+    assert!(f.message.contains("poll"), "{}", f.message);
+    assert!(f.message.contains("encode_row"), "{}", f.message);
 }
 
 /// SARIF output for the fixture set round-trips rule ids and locations.

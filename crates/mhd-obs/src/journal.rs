@@ -1,0 +1,257 @@
+//! Structured event journal: the incident record of a serving run.
+//!
+//! Counters say *how many* shard panics a run absorbed; the journal says
+//! *when*, in *what order*, and interleaved with what else — the record
+//! an operator actually reads after a fault storm. Every event carries a
+//! process-monotonic sequence id (total order even when the logical
+//! clock is coarse) and a logical timestamp from the telemetry tick
+//! source ([`crate::telemetry::tick_now_us`]).
+//!
+//! The journal is bounded ([`CAPACITY`] events): once full, new events
+//! are counted in the `journal.dropped` counter instead of growing
+//! without bound — a service riding out a week-long fault storm must not
+//! turn its observability layer into a memory leak.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum retained events; later events are dropped (and counted).
+pub const CAPACITY: usize = 65_536;
+
+/// What happened. The set mirrors the self-healing seams in `mhd-serve`
+/// and the injection plane in `mhd-fault`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A serving shard's model forward panicked (caught by supervision).
+    ShardPanic {
+        /// Index of the shard that panicked.
+        shard: u64,
+    },
+    /// A panicked shard re-entered its serve loop.
+    ShardRestart {
+        /// Index of the shard that restarted.
+        shard: u64,
+    },
+    /// The fallback route took over from the primary model.
+    DegradedEnter,
+    /// The primary model recovered; serving left degraded mode.
+    DegradedExit,
+    /// A submission was rejected because the bounded queue was full.
+    QueueFull,
+    /// The fault plane injected a fault at a seam.
+    FaultInjected {
+        /// Stable site name, e.g. `model_forward`.
+        site: String,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case event name (journal schema + timeline label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ShardPanic { .. } => "shard_panic",
+            EventKind::ShardRestart { .. } => "shard_restart",
+            EventKind::DegradedEnter => "degraded_enter",
+            EventKind::DegradedExit => "degraded_exit",
+            EventKind::QueueFull => "queue_full",
+            EventKind::FaultInjected { .. } => "fault_injected",
+        }
+    }
+
+    /// The event's one optional attribute as `(key, value)`.
+    pub fn attr(&self) -> Option<(&'static str, String)> {
+        match self {
+            EventKind::ShardPanic { shard } | EventKind::ShardRestart { shard } => {
+                Some(("shard", shard.to_string()))
+            }
+            EventKind::FaultInjected { site } => Some(("site", site.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Process-monotonic sequence id (0-based, gap-free while under
+    /// [`CAPACITY`]).
+    pub seq: u64,
+    /// Logical timestamp from the telemetry tick source, microseconds.
+    pub tick_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+fn journal() -> &'static Mutex<Vec<Event>> {
+    static J: OnceLock<Mutex<Vec<Event>>> = OnceLock::new();
+    J.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Append one event. No-op while the sink is disabled; beyond
+/// [`CAPACITY`] the event is dropped and `journal.dropped` counts it.
+pub fn journal_record(kind: EventKind) {
+    if !crate::is_enabled() {
+        return;
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tick_us = crate::telemetry::tick_now_us();
+    let mut j = journal().lock().unwrap_or_else(|e| e.into_inner());
+    if j.len() >= CAPACITY {
+        drop(j);
+        crate::counter_add("journal.dropped", 1);
+        return;
+    }
+    j.push(Event { seq, tick_us, kind });
+}
+
+/// All retained events, in emission order.
+pub fn journal_snapshot() -> Vec<Event> {
+    journal().lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Number of retained events.
+pub fn journal_len() -> usize {
+    journal().lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// Clear the journal and restart sequence ids from 0.
+pub(crate) fn reset() {
+    journal().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    SEQ.store(0, Ordering::Relaxed);
+}
+
+/// Render events as append-only JSONL, one event per line:
+/// `{"seq":0,"tick_us":120,"event":"shard_panic","shard":"2"}`.
+pub fn render_journal_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(out, "{{\"seq\":{},\"tick_us\":{},\"event\":\"{}\"", e.seq, e.tick_us, e.kind.name());
+        if let Some((k, v)) = e.kind.attr() {
+            let _ = write!(out, ",\"{k}\":\"{}\"", crate::manifest::json_escape(&v));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Pull a `"key":"value"` or `"key":123` field out of one JSONL line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line.get(start..)?;
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        stripped.get(..end)
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest.get(..end)
+    }
+}
+
+/// Parse one journal JSONL line back into an [`Event`] (`None` for
+/// blank/foreign lines — the parser is for this module's own renderer).
+pub fn parse_journal_line(line: &str) -> Option<Event> {
+    let seq: u64 = field(line, "seq")?.trim().parse().ok()?;
+    let tick_us: u64 = field(line, "tick_us")?.trim().parse().ok()?;
+    let kind = match field(line, "event")? {
+        "shard_panic" => EventKind::ShardPanic { shard: field(line, "shard")?.trim().parse().ok()? },
+        "shard_restart" => {
+            EventKind::ShardRestart { shard: field(line, "shard")?.trim().parse().ok()? }
+        }
+        "degraded_enter" => EventKind::DegradedEnter,
+        "degraded_exit" => EventKind::DegradedExit,
+        "queue_full" => EventKind::QueueFull,
+        "fault_injected" => EventKind::FaultInjected { site: field(line, "site")?.to_string() },
+        _ => return None,
+    };
+    Some(Event { seq, tick_us, kind })
+}
+
+/// Render the human-readable incident timeline: one line per event plus
+/// a per-kind tally. `t+` offsets are the logical tick timestamps.
+pub fn render_timeline(events: &[Event]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== incident timeline: {} events ==", events.len());
+    for e in events {
+        let attr = match e.kind.attr() {
+            Some((k, v)) => format!("  {k}={v}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "  t+{:>10.6}s  #{:<6} {:<15}{attr}",
+            e.tick_us as f64 / 1e6,
+            e.seq,
+            e.kind.name()
+        );
+    }
+    out.push_str("-- event counts --\n");
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for e in events {
+        *counts.entry(e.kind.name()).or_insert(0) += 1;
+    }
+    for (name, n) in &counts {
+        let _ = writeln!(out, "  {name:<15} {n:>8}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_records_in_order_with_monotonic_seq() {
+        let _g = crate::test_guard();
+        crate::enable();
+        crate::reset();
+        journal_record(EventKind::ShardPanic { shard: 2 });
+        journal_record(EventKind::ShardRestart { shard: 2 });
+        journal_record(EventKind::FaultInjected { site: "model_forward".into() });
+        let evs = journal_snapshot();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(evs.first().map(|e| e.kind.name()), Some("shard_panic"));
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_sink_journals_nothing() {
+        let _g = crate::test_guard();
+        crate::disable();
+        crate::reset();
+        journal_record(EventKind::QueueFull);
+        assert_eq!(journal_len(), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrips() {
+        let events = vec![
+            Event { seq: 0, tick_us: 17, kind: EventKind::ShardPanic { shard: 1 } },
+            Event { seq: 1, tick_us: 42, kind: EventKind::DegradedEnter },
+            Event { seq: 2, tick_us: 99, kind: EventKind::FaultInjected { site: "llm_request".into() } },
+            Event { seq: 3, tick_us: 120, kind: EventKind::QueueFull },
+        ];
+        let jsonl = render_journal_jsonl(&events);
+        let parsed: Vec<Event> = jsonl.lines().filter_map(parse_journal_line).collect();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn timeline_lists_events_and_counts() {
+        let events = vec![
+            Event { seq: 0, tick_us: 1_000, kind: EventKind::ShardPanic { shard: 0 } },
+            Event { seq: 1, tick_us: 2_000, kind: EventKind::ShardRestart { shard: 0 } },
+            Event { seq: 2, tick_us: 2_500, kind: EventKind::ShardPanic { shard: 0 } },
+        ];
+        let tl = render_timeline(&events);
+        assert!(tl.contains("3 events"), "{tl}");
+        assert!(tl.contains("shard_panic"), "{tl}");
+        assert!(tl.contains("shard=0"), "{tl}");
+        assert!(tl.contains("-- event counts --"), "{tl}");
+    }
+}

@@ -26,19 +26,32 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod bucket;
 mod console;
+pub mod journal;
 pub mod manifest;
 mod metrics;
 mod span;
+pub mod telemetry;
 pub mod time;
 
+pub use bucket::{BucketHist, REL_ERROR};
 pub use console::{is_quiet, progress, set_quiet};
+pub use journal::{
+    journal_len, journal_record, journal_snapshot, parse_journal_line, render_journal_jsonl,
+    render_timeline, Event, EventKind,
+};
 pub use manifest::{render_manifest, render_summary, RunHeader};
 pub use metrics::{
-    counter_add, counter_get, counters_snapshot, gauge_set, gauges_snapshot, hist_record,
-    hist_snapshot, kernels_snapshot, HistSummary, KernelStat, StatCell, StatTimer,
+    counter_add, counter_get, counters_snapshot, gauge_set, gauges_snapshot,
+    gauges_window_take, hist_buckets_snapshot, hist_record, hist_record_many, hist_snapshot,
+    kernels_snapshot, GaugeWindow, HistSummary, KernelStat, StatCell, StatTimer,
 };
 pub use span::{current, span, span_under, spans_snapshot, SpanGuard, SpanId, SpanSnapshot};
+pub use telemetry::{
+    install_manual_ticks, install_wall_ticks, tick_now_us, Exporter, Poller, SloConfig,
+    SloSummary, TelemetryConfig, TickSource, TELEMETRY_SCHEMA,
+};
 
 /// Process-global on/off switch. Off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -59,12 +72,14 @@ pub fn is_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Clear all recorded spans, counters, gauges, histograms, and kernel
-/// stats. The enabled flag is left as-is. Intended for tests and for
-/// tools that emit several independent manifests in one process.
+/// Clear all recorded spans, counters, gauges, histograms, kernel
+/// stats, and journal events. The enabled flag is left as-is. Intended
+/// for tests and for tools that emit several independent manifests in
+/// one process.
 pub fn reset() {
     span::reset();
     metrics::reset();
+    journal::reset();
 }
 
 /// Tests across this crate toggle the process-global enabled flag, so

@@ -14,7 +14,8 @@ use crate::span::{spans_snapshot, SpanSnapshot};
 use crate::time::format_ns;
 
 /// Manifest schema identifier; bump on any structural change.
-pub const SCHEMA: &str = "mhd-obs/manifest/v1";
+/// v2: histogram entries gained p50/p95/p99/p999 quantile estimates.
+pub const SCHEMA: &str = "mhd-obs/manifest/v2";
 
 /// Run identity recorded at the top of the manifest.
 #[derive(Debug, Clone)]
@@ -44,7 +45,7 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -140,12 +141,16 @@ pub fn render_manifest(header: &RunHeader, artifacts: &BTreeMap<String, u64>) ->
             first = false;
             let _ = write!(
                 out,
-                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"p999\": {}}}",
                 json_escape(name),
                 h.count,
                 h.sum,
                 h.min,
-                h.max
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.p999
             );
         }
         out.push_str("\n  }");
@@ -228,8 +233,8 @@ pub fn render_summary(header: &RunHeader) -> String {
             let mean = if h.count > 0 { h.sum as f64 / h.count as f64 } else { 0.0 };
             let _ = writeln!(
                 out,
-                "  {name:<42} n={} mean={mean:.1} min={} max={}",
-                h.count, h.min, h.max
+                "  {name:<42} n={} mean={mean:.1} min={} max={} p50={} p95={} p99={}",
+                h.count, h.min, h.max, h.p50, h.p95, h.p99
             );
         }
     }

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use crate::bucket::BucketHist;
 use crate::time::Stopwatch;
 
 // ---------------------------------------------------------------------------
@@ -22,22 +23,57 @@ fn counters() -> &'static Mutex<BTreeMap<String, u64>> {
     M.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-fn gauges() -> &'static Mutex<BTreeMap<String, u64>> {
-    static M: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+fn gauges() -> &'static Mutex<BTreeMap<String, Gauge>> {
+    static M: OnceLock<Mutex<BTreeMap<String, Gauge>>> = OnceLock::new();
     M.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-fn hists() -> &'static Mutex<BTreeMap<String, Hist>> {
-    static M: OnceLock<Mutex<BTreeMap<String, Hist>>> = OnceLock::new();
+fn hists() -> &'static Mutex<BTreeMap<String, BucketHist>> {
+    static M: OnceLock<Mutex<BTreeMap<String, BucketHist>>> = OnceLock::new();
     M.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
+/// A gauge keeps the last written value for the manifest plus windowed
+/// min/sum/count/max so the telemetry exporter can report what happened
+/// *between* snapshots (a last-write-wins value hides saturation spikes).
 #[derive(Debug, Clone, Default)]
-struct Hist {
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
+struct Gauge {
+    last: u64,
+    win_min: u64,
+    win_max: u64,
+    win_sum: u64,
+    win_count: u64,
+}
+
+impl Gauge {
+    fn write(&mut self, v: u64) {
+        if self.win_count == 0 {
+            self.win_min = v;
+            self.win_max = v;
+        } else {
+            self.win_min = self.win_min.min(v);
+            self.win_max = self.win_max.max(v);
+        }
+        self.win_sum = self.win_sum.saturating_add(v);
+        self.win_count += 1;
+        self.last = v;
+    }
+}
+
+/// Per-window view of one gauge: the writes observed since the window
+/// opened, plus the current (last-written) value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeWindow {
+    /// Last value written (also what the manifest reports).
+    pub last: u64,
+    /// Smallest value written during the window.
+    pub min: u64,
+    /// Largest value written during the window.
+    pub max: u64,
+    /// Mean of the values written during the window.
+    pub mean: f64,
+    /// Number of writes during the window.
+    pub writes: u64,
 }
 
 /// Add `n` to the named counter. No-op while the sink is disabled.
@@ -46,7 +82,13 @@ pub fn counter_add(name: &str, n: u64) {
         return;
     }
     let mut m = counters().lock().unwrap_or_else(|e| e.into_inner());
-    *m.entry(name.to_string()).or_insert(0) += n;
+    // get_mut-first so the steady state (key exists) never allocates.
+    match m.get_mut(name) {
+        Some(v) => *v += n,
+        None => {
+            m.insert(name.to_string(), n);
+        }
+    }
 }
 
 /// Read one counter (0 when absent). Mostly for tests.
@@ -55,13 +97,17 @@ pub fn counter_get(name: &str) -> u64 {
     m.get(name).copied().unwrap_or(0)
 }
 
-/// Set the named gauge to `v` (last write wins). No-op while disabled.
+/// Set the named gauge to `v` (last write wins for the manifest; the
+/// windowed min/mean/max also see it). No-op while disabled.
 pub fn gauge_set(name: &str, v: u64) {
     if !crate::is_enabled() {
         return;
     }
     let mut m = gauges().lock().unwrap_or_else(|e| e.into_inner());
-    m.insert(name.to_string(), v);
+    match m.get_mut(name) {
+        Some(g) => g.write(v),
+        None => m.entry(name.to_string()).or_default().write(v),
+    }
 }
 
 /// Record one observation into the named histogram. No-op while disabled.
@@ -70,16 +116,27 @@ pub fn hist_record(name: &str, v: u64) {
         return;
     }
     let mut m = hists().lock().unwrap_or_else(|e| e.into_inner());
-    let h = m.entry(name.to_string()).or_default();
-    if h.count == 0 {
-        h.min = v;
-        h.max = v;
-    } else {
-        h.min = h.min.min(v);
-        h.max = h.max.max(v);
+    match m.get_mut(name) {
+        Some(h) => h.record(v),
+        None => m.entry(name.to_string()).or_default().record(v),
     }
-    h.count += 1;
-    h.sum += v;
+}
+
+/// Record a batch of observations under one map lock — the serving
+/// shard records a whole micro-batch of latencies in one call instead
+/// of paying a lock round-trip per request. No-op while disabled.
+pub fn hist_record_many(name: &str, values: &[u64]) {
+    if values.is_empty() || !crate::is_enabled() {
+        return;
+    }
+    let mut m = hists().lock().unwrap_or_else(|e| e.into_inner());
+    let h = match m.get_mut(name) {
+        Some(h) => h,
+        None => m.entry(name.to_string()).or_default(),
+    };
+    for &v in values {
+        h.record(v);
+    }
 }
 
 /// All counters, sorted by name.
@@ -87,12 +144,42 @@ pub fn counters_snapshot() -> BTreeMap<String, u64> {
     counters().lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
-/// All gauges, sorted by name.
+/// All gauges (their last-written values), sorted by name.
 pub fn gauges_snapshot() -> BTreeMap<String, u64> {
-    gauges().lock().unwrap_or_else(|e| e.into_inner()).clone()
+    let m = gauges().lock().unwrap_or_else(|e| e.into_inner());
+    m.iter().map(|(k, g)| (k.clone(), g.last)).collect()
 }
 
-/// Aggregate view of one histogram.
+/// Windowed view of every gauge written since the last call, and reset
+/// the window accumulators (the last value survives). The telemetry
+/// exporter calls this once per window close.
+pub fn gauges_window_take() -> BTreeMap<String, GaugeWindow> {
+    let mut m = gauges().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = BTreeMap::new();
+    for (k, g) in m.iter_mut() {
+        if g.win_count == 0 {
+            continue;
+        }
+        out.insert(
+            k.clone(),
+            GaugeWindow {
+                last: g.last,
+                min: g.win_min,
+                max: g.win_max,
+                mean: g.win_sum as f64 / g.win_count as f64,
+                writes: g.win_count,
+            },
+        );
+        g.win_min = 0;
+        g.win_max = 0;
+        g.win_sum = 0;
+        g.win_count = 0;
+    }
+    out
+}
+
+/// Aggregate view of one histogram, including bounded-relative-error
+/// quantile estimates from the log-linear buckets (see [`crate::bucket`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSummary {
     /// Number of observations.
@@ -103,19 +190,42 @@ pub struct HistSummary {
     pub min: u64,
     /// Largest observed value.
     pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Estimated 99.9th percentile.
+    pub p999: u64,
 }
 
-/// All histograms, sorted by name.
+impl HistSummary {
+    /// Summarise one bucketed histogram.
+    pub fn of(h: &BucketHist) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+        }
+    }
+}
+
+/// All histograms (summaries), sorted by name.
 pub fn hist_snapshot() -> BTreeMap<String, HistSummary> {
     let m = hists().lock().unwrap_or_else(|e| e.into_inner());
-    m.iter()
-        .map(|(k, h)| {
-            (
-                k.clone(),
-                HistSummary { count: h.count, sum: h.sum, min: h.min, max: h.max },
-            )
-        })
-        .collect()
+    m.iter().map(|(k, h)| (k.clone(), HistSummary::of(h))).collect()
+}
+
+/// Full bucketed snapshot of every histogram, for window-delta math in
+/// the telemetry exporter.
+pub fn hist_buckets_snapshot() -> BTreeMap<String, BucketHist> {
+    hists().lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +401,50 @@ mod tests {
         let snap = hist_snapshot();
         let h = snap.get(k).expect("histogram recorded");
         assert_eq!((h.count, h.sum, h.min, h.max), (4, 18, 1, 9));
+        // Small values are bucketed exactly, so quantiles are exact too.
+        assert_eq!((h.p50, h.p95, h.p99, h.p999), (3, 9, 9, 9));
+    }
+
+    #[test]
+    fn hist_record_many_matches_singles() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let (a, b) = ("test.hist.many", "test.hist.single");
+        {
+            let mut m = hists().lock().unwrap_or_else(|e| e.into_inner());
+            m.remove(a);
+            m.remove(b);
+        }
+        let vals = [40u64, 7, 1999, 40];
+        hist_record_many(a, &vals);
+        for v in vals {
+            hist_record(b, v);
+        }
+        let snap = hist_snapshot();
+        assert_eq!(snap.get(a), snap.get(b));
+    }
+
+    #[test]
+    fn gauge_window_tracks_min_mean_max() {
+        let _g = crate::test_guard();
+        crate::enable();
+        let k = "test.gauge.window";
+        {
+            let mut m = gauges().lock().unwrap_or_else(|e| e.into_inner());
+            m.remove(k);
+        }
+        let _ = gauges_window_take();
+        for v in [4u64, 18, 2, 8] {
+            gauge_set(k, v);
+        }
+        let win = gauges_window_take();
+        let g = win.get(k).expect("gauge windowed");
+        assert_eq!((g.min, g.max, g.last, g.writes), (2, 18, 8, 4));
+        assert!((g.mean - 8.0).abs() < 1e-9);
+        // The window reset: no writes since, so the gauge drops out of
+        // the next window while its last value survives in the snapshot.
+        assert!(!gauges_window_take().contains_key(k));
+        assert_eq!(gauges_snapshot().get(k), Some(&8));
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Property tests for the bucketed quantile estimator: on arbitrary
+//! seeded samples, every estimate must sit within the documented
+//! relative-error bound of the exact nearest-rank quantile. This is the
+//! contract DESIGN.md §14 states and the telemetry exporter relies on.
+
+use mhd_obs::{BucketHist, REL_ERROR};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile on a sorted slice.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted.get(rank - 1).copied().unwrap_or(0)
+}
+
+fn assert_within_bound(samples: &[u64], q: f64) {
+    let mut h = BucketHist::new();
+    for &v in samples {
+        h.record(v);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let exact = exact_quantile(&sorted, q);
+    let est = h.quantile(q);
+    // The documented contract: within REL_ERROR of the exact value,
+    // plus one for integer-midpoint rounding.
+    let bound = (exact as f64 * REL_ERROR) as u64 + 1;
+    assert!(
+        est.abs_diff(exact) <= bound,
+        "q={q}: estimate {est} vs exact {exact} (bound {bound}, n={})",
+        samples.len()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantiles_within_relative_error_uniform(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..400),
+        q in 0.0f64..=1.0,
+    ) {
+        assert_within_bound(&samples, q);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error_heavy_tail(
+        // Latency-shaped data: many small values, a few enormous ones.
+        small in proptest::collection::vec(1u64..2_000, 1..200),
+        tail in proptest::collection::vec(1u64 << 20..1u64 << 40, 0..20),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut samples = small;
+        samples.extend(tail);
+        assert_within_bound(&samples, q);
+    }
+
+    #[test]
+    fn count_sum_min_max_stay_exact(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..300),
+    ) {
+        let mut h = BucketHist::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), samples.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(h.max(), samples.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn delta_since_equals_histogram_of_the_tail(
+        head in proptest::collection::vec(0u64..100_000, 0..150),
+        tail in proptest::collection::vec(0u64..100_000, 0..150),
+    ) {
+        let mut h = BucketHist::new();
+        for &v in &head {
+            h.record(v);
+        }
+        let snap = h.clone();
+        for &v in &tail {
+            h.record(v);
+        }
+        let win = h.delta_since(&snap);
+        prop_assert_eq!(win.count(), tail.len() as u64);
+        prop_assert_eq!(win.sum(), tail.iter().sum::<u64>());
+        // Window quantiles obey the same bound against the tail alone.
+        if !tail.is_empty() {
+            let mut sorted = tail.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.95, 0.99] {
+                let exact = exact_quantile(&sorted, q);
+                let est = win.quantile(q);
+                // Window extremes are bucket edges, so allow one bucket
+                // width of slack on top of the midpoint bound.
+                let bound = (exact as f64 * 2.0 * REL_ERROR) as u64 + 1;
+                prop_assert!(
+                    est.abs_diff(exact) <= bound,
+                    "window q={q}: {est} vs {exact} (bound {bound})"
+                );
+            }
+        }
+    }
+}

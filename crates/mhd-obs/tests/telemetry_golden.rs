@@ -1,0 +1,83 @@
+//! Golden-file schema test for the telemetry exporter's two output
+//! formats: the JSONL time series and the Prometheus-style exposition.
+//!
+//! The run is fully deterministic — logical time comes from a manual
+//! tick source and every recorded value is fixed — so the outputs are
+//! compared byte-for-byte. Schema drift (field renames, ordering
+//! changes, format tweaks) fails here first; regenerate deliberately
+//! with `MHD_REGEN_GOLDEN=1 cargo test -p mhd-obs --test
+//! telemetry_golden` after bumping `TELEMETRY_SCHEMA`.
+
+use std::sync::atomic::Ordering;
+
+use mhd_obs::{
+    counter_add, gauge_set, hist_record, install_manual_ticks, install_wall_ticks,
+    journal_record, EventKind, Exporter, TelemetryConfig,
+};
+
+fn check_golden(name: &str, actual: &str) {
+    let path = format!("{}/tests/{name}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("MHD_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(&path).expect("read golden");
+    assert_eq!(
+        actual, golden,
+        "{name} drifted; bump TELEMETRY_SCHEMA and regenerate with MHD_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn exporter_outputs_match_golden_files() {
+    mhd_obs::enable();
+    mhd_obs::reset();
+    let ticks = install_manual_ticks();
+    let dir = std::env::temp_dir().join(format!("mhd_obs_golden_{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let prefix = dir.join("run").to_string_lossy().into_owned();
+    let cfg = TelemetryConfig::at_prefix(&prefix, 10_000);
+    let mut exporter = Exporter::create(cfg.clone()).expect("create exporter");
+
+    // Window 0: a healthy burst.
+    counter_add("serve.completed", 64);
+    counter_add("serve.submitted", 64);
+    gauge_set("serve.queue_depth", 2);
+    gauge_set("serve.queue_depth", 9);
+    gauge_set("serve.queue_depth", 4);
+    for v in [120u64, 180, 240, 310, 420, 650, 900, 1_400, 2_100, 4_800] {
+        hist_record("serve.latency_us", v);
+    }
+    ticks.store(10_000, Ordering::Relaxed);
+    exporter.poll().expect("poll window 0");
+
+    // Window 1: a fault storm — failures, events, an SLO-busting tail.
+    counter_add("serve.completed", 30);
+    counter_add("serve.submitted", 32);
+    counter_add("serve.failed", 2);
+    gauge_set("serve.queue_depth", 31);
+    journal_record(EventKind::FaultInjected { site: "model_forward".to_string() });
+    ticks.store(13_500, Ordering::Relaxed);
+    journal_record(EventKind::ShardPanic { shard: 1 });
+    journal_record(EventKind::ShardRestart { shard: 1 });
+    journal_record(EventKind::DegradedEnter);
+    journal_record(EventKind::QueueFull);
+    for v in [200u64, 350, 7_000, 12_000, 40_000] {
+        hist_record("serve.latency_us", v);
+    }
+    ticks.store(20_000, Ordering::Relaxed);
+    journal_record(EventKind::DegradedExit);
+    exporter.finish().expect("finish");
+
+    let series = std::fs::read_to_string(&cfg.series_path).expect("read series");
+    let expo = std::fs::read_to_string(&cfg.exposition_path).expect("read exposition");
+    let journal = std::fs::read_to_string(&cfg.journal_path).expect("read journal");
+
+    install_wall_ticks();
+    mhd_obs::disable();
+    mhd_obs::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    check_golden("golden_series.jsonl", &series);
+    check_golden("golden_exposition.prom", &expo);
+    check_golden("golden_journal.jsonl", &journal);
+}

@@ -14,11 +14,12 @@
 //!   so the service keeps answering instead of burning restart budget.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use mhd_fault::{Fault, FaultInjector, Site};
-use mhd_obs::counter_add;
+use mhd_obs::{counter_add, journal_record, EventKind};
 
 use crate::service::BatchModel;
 
@@ -78,6 +79,10 @@ impl<M: BatchModel> BatchModel for FaultyModel<M> {
 pub struct FallbackModel<P, F> {
     primary: P,
     fallback: F,
+    /// Shared across clones (every shard serves the same route), so the
+    /// journal sees one `degraded_enter`/`degraded_exit` edge per
+    /// mode change rather than one per shard.
+    degraded: Arc<AtomicBool>,
 }
 
 impl<P, F> FallbackModel<P, F>
@@ -87,7 +92,12 @@ where
 {
     /// Pair a primary with its degraded-mode stand-in.
     pub fn new(primary: P, fallback: F) -> Self {
-        FallbackModel { primary, fallback }
+        FallbackModel { primary, fallback, degraded: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// Whether the route is currently answering from the fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 }
 
@@ -105,9 +115,19 @@ where
     fn predict_batch(&self, inputs: &[Self::Input]) -> Vec<Vec<f32>> {
         // Model forwards are pure `&self`; no state survives the unwind.
         match catch_unwind(AssertUnwindSafe(|| self.primary.predict_batch(inputs))) {
-            Ok(rows) => rows,
+            Ok(rows) => {
+                // `swap` so only the shard that flips the mode journals
+                // the edge, however many shards race through here.
+                if self.degraded.swap(false, Ordering::Relaxed) {
+                    journal_record(EventKind::DegradedExit);
+                }
+                rows
+            }
             Err(_) => {
                 counter_add("serve.degraded", 1);
+                if !self.degraded.swap(true, Ordering::Relaxed) {
+                    journal_record(EventKind::DegradedEnter);
+                }
                 self.fallback.predict_batch(inputs)
             }
         }

@@ -20,18 +20,16 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use mhd_obs::time::Stopwatch;
-use mhd_obs::{counter_add, gauge_set, hist_record, span, StatCell};
+use mhd_obs::{
+    counter_add, gauge_set, hist_record, hist_record_many, journal_record, span, EventKind,
+    StatCell,
+};
 
 /// Admission counters live in atomic stat cells, not the mutex-backed
 /// counter map: they are bumped once per request on the submit hot path,
 /// where a global map lookup would be a measurable tax at saturation.
 static C_ACCEPTED: StatCell = StatCell::new("serve.accepted");
 static C_REJECTED: StatCell = StatCell::new("serve.rejected");
-
-/// Record every `LATENCY_SAMPLE`-th per-request latency into the
-/// histogram. The summary (count·sum·min·max) converges at a fraction of
-/// the per-reply cost; exact client-side latency belongs to callers.
-const LATENCY_SAMPLE: u64 = 8;
 
 /// A model the service can batch requests into. Implementations must
 /// predict each input row independently of its batchmates; the service
@@ -121,6 +119,12 @@ pub struct ServeConfig {
     /// service closes admission and fails the backlog with
     /// [`ServeError::ShardFailed`] — nothing is ever silently dropped.
     pub max_restarts: u32,
+    /// Record every `latency_sample`-th per-request latency into the
+    /// `serve.latency_us` histogram. Defaults to `1` (record every
+    /// request): the log-linear bucketed histogram makes a full record
+    /// two array increments, so sampling is a tuning escape hatch, not
+    /// the default. Overridable at startup via `MHD_LATENCY_SAMPLE`.
+    pub latency_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +136,7 @@ impl Default for ServeConfig {
             shards: 2,
             deadline_us: 0,
             max_restarts: 8,
+            latency_sample: 1,
         }
     }
 }
@@ -141,6 +146,19 @@ impl ServeConfig {
         self.max_batch = self.max_batch.max(1);
         self.queue_cap = self.queue_cap.max(1);
         self.shards = self.shards.max(1);
+        self.latency_sample = self.latency_sample.max(1);
+        self
+    }
+
+    /// Apply startup environment overrides (`MHD_LATENCY_SAMPLE`).
+    /// Unparsable values are ignored in favour of the configured one.
+    fn with_env_overrides(mut self) -> Self {
+        if let Some(v) = std::env::var("MHD_LATENCY_SAMPLE")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            self.latency_sample = v.max(1);
+        }
         self
     }
 }
@@ -342,7 +360,7 @@ impl<M: BatchModel> fmt::Debug for Service<M> {
 impl<M: BatchModel> Service<M> {
     /// Start the shard pool over a shared read-only model.
     pub fn start(model: Arc<M>, cfg: ServeConfig) -> Self {
-        let cfg = cfg.normalized();
+        let cfg = cfg.normalized().with_env_overrides();
         let label = model.label();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState { items: VecDeque::new(), open: true, live: cfg.shards }),
@@ -374,6 +392,7 @@ impl<M: BatchModel> Service<M> {
             }
             if st.items.len() >= self.cfg.queue_cap {
                 C_REJECTED.bump();
+                journal_record(EventKind::QueueFull);
                 return Err(ServeError::QueueFull { cap: self.cfg.queue_cap });
             }
             st.items.push_back(Pending { input, reply, enqueued: Stopwatch::start() });
@@ -498,6 +517,7 @@ fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeCon
             // queued past its budget is failed, not served stale.
             if cfg.deadline_us > 0 && p.enqueued.elapsed_ns() / 1_000 > cfg.deadline_us {
                 counter_add("serve.deadline_exceeded", 1);
+                counter_add("serve.failed", 1);
                 p.reply.fail(ServeError::DeadlineExceeded { deadline_us: cfg.deadline_us });
                 continue;
             }
@@ -515,6 +535,8 @@ fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeCon
             Ok(p) => p,
             Err(_) => {
                 counter_add("serve.shard_panics", 1);
+                counter_add("serve.failed", replies.len() as u64);
+                journal_record(EventKind::ShardPanic { shard: shard as u64 });
                 for (reply, _) in replies {
                     reply.fail(ServeError::ShardFailed { shard });
                 }
@@ -524,20 +546,26 @@ fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeCon
                     break;
                 }
                 counter_add("serve.shard_restarts", 1);
+                journal_record(EventKind::ShardRestart { shard: shard as u64 });
                 continue;
             }
         };
         hist_record("serve.batch_size", rows.len() as u64);
         hist_record("serve.batch_ns", sw.elapsed_ns());
         counter_add("serve.completed", rows.len() as u64);
+        // One histogram-map lock per batch, not per reply: sampled
+        // latencies are staged locally and recorded in a single call.
+        let record = mhd_obs::is_enabled();
+        let mut lats: Vec<u64> = Vec::new();
         for (row, (reply, enqueued)) in probs.into_iter().zip(replies) {
-            if served.is_multiple_of(LATENCY_SAMPLE) {
-                hist_record("serve.latency_us", enqueued.elapsed_ns() / 1_000);
+            if record && served.is_multiple_of(cfg.latency_sample) {
+                lats.push(enqueued.elapsed_ns() / 1_000);
             }
             served = served.wrapping_add(1);
             // A dropped Ticket just means the client stopped waiting.
             reply.send(row);
         }
+        hist_record_many("serve.latency_us", &lats);
     }
     // Shard exit — normal shutdown or storm cap. If this was the last
     // live shard, nothing will drain the queue anymore: close admission
@@ -548,6 +576,9 @@ fn shard_loop<M: BatchModel>(shared: &Shared<M::Input>, model: &M, cfg: ServeCon
         st.open = false;
         let stranded: Vec<Pending<M::Input>> = st.items.drain(..).collect();
         drop(st);
+        if !stranded.is_empty() {
+            counter_add("serve.failed", stranded.len() as u64);
+        }
         for p in stranded {
             p.reply.fail(ServeError::ShardFailed { shard });
         }

@@ -1,0 +1,97 @@
+//! The journal and the counters tell the same story: after seeded fault
+//! storms, every `serve.shard_panics` / `serve.shard_restarts` /
+//! fault-injection increment has a matching journal event, degraded-mode
+//! edges balance, and the rendered incident timeline lists all of it.
+//!
+//! One test function on purpose: the observability sink and journal are
+//! process global, so concurrent storms would cross-contaminate counts.
+
+use std::sync::Arc;
+
+use mhd_fault::{FaultInjector, FaultPlan, Scenario};
+use mhd_serve::traffic::synthetic_posts;
+use mhd_serve::{BatchModel, FallbackModel, FaultyModel, ModelZoo, Precision, ServeConfig, Service};
+
+const DIM: usize = 24;
+const N: usize = 200;
+
+fn count_events(name: &str) -> u64 {
+    mhd_obs::journal_snapshot().iter().filter(|e| e.kind.name() == name).count() as u64
+}
+
+fn run_storm<M>(model: M, posts: &[Vec<f32>], max_batch: usize)
+where
+    M: BatchModel<Input = Vec<f32>> + 'static,
+{
+    let cfg = ServeConfig {
+        max_batch,
+        max_wait_us: 200,
+        shards: 4,
+        deadline_us: 500_000,
+        ..ServeConfig::default()
+    };
+    let svc = Service::start(Arc::new(model), cfg);
+    let tickets: Vec<_> = posts.iter().filter_map(|p| svc.submit(p.clone()).ok()).collect();
+    for t in tickets {
+        let _ = t.wait();
+    }
+}
+
+#[test]
+fn journal_matches_counters_after_fault_storms() {
+    mhd_obs::enable();
+    mhd_obs::reset();
+
+    let path =
+        std::env::temp_dir().join(format!("mhd_tel_chaos_{}.ckpt", std::process::id()));
+    let mlp = mhd_nn::Mlp::new(DIM, 16, 5, 0.05, 33);
+    ModelZoo::write(&mlp, &path).expect("write zoo");
+    let zoo = ModelZoo::load(&path).expect("load zoo");
+    let posts = synthetic_posts(N, DIM, 20260807);
+
+    // Storm A: bare faulty model with batch-size-1 serving — injected
+    // panics (7% of forwards under ShardPanic) reach the shard
+    // supervisor, so shard_panic/shard_restart events accumulate.
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(Scenario::ShardPanic, 5)));
+    run_storm(FaultyModel::new(Arc::new(zoo.variant(Precision::Int8)), injector), &posts, 1);
+    assert!(mhd_obs::counter_get("serve.shard_panics") > 0, "storm A injected no panics");
+
+    // Storm B: a panic storm behind the fallback route — every panic is
+    // absorbed there, journaled as degraded-mode edges instead.
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(Scenario::Mixed, 9)));
+    let primary = FaultyModel::new(Arc::new(zoo.variant(Precision::Int8)), injector);
+    run_storm(FallbackModel::new(primary, zoo.variant(Precision::F32)), &posts, 1);
+
+    // Every counter increment journaled an event, and vice versa.
+    let panics = mhd_obs::counter_get("serve.shard_panics");
+    let restarts = mhd_obs::counter_get("serve.shard_restarts");
+    assert_eq!(count_events("shard_panic"), panics, "panic journal != counter");
+    assert_eq!(count_events("shard_restart"), restarts, "restart journal != counter");
+    assert_eq!(
+        count_events("fault_injected"),
+        mhd_obs::counter_get("fault.injected.model_forward"),
+        "fault journal != injected counter"
+    );
+    // Degraded mode journals edges (enter/exit pairs), not per-batch
+    // counts; the edges alternate, so they differ by at most one.
+    let enters = count_events("degraded_enter");
+    let exits = count_events("degraded_exit");
+    assert!(
+        enters >= exits && enters <= exits + 1,
+        "degraded edges unbalanced: {enters} enters, {exits} exits"
+    );
+    assert!(enters > 0, "storm B never entered degraded mode");
+
+    // The rendered timeline carries every event plus its tally block.
+    let timeline = mhd_obs::render_timeline(&mhd_obs::journal_snapshot());
+    assert!(
+        timeline.contains(&format!("== incident timeline: {} events ==", mhd_obs::journal_len())),
+        "{timeline}"
+    );
+    assert!(timeline.contains("fault_injected"), "{timeline}");
+    assert!(timeline.contains("-- event counts --"), "{timeline}");
+
+    mhd_obs::disable();
+    mhd_obs::reset();
+    let _ = std::fs::remove_file(&path);
+}

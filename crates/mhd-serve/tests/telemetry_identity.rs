@@ -1,0 +1,62 @@
+//! Telemetry is output-neutral: running the service with the sink
+//! enabled and a live exporter polling in the background must produce
+//! byte-identical predictions to the same run with observability fully
+//! disabled, at shard counts 1 and 4.
+//!
+//! One test function on purpose: the observability sink is process
+//! global, so the on/off halves must not interleave with each other.
+
+use std::sync::Arc;
+
+use mhd_serve::traffic::synthetic_posts;
+use mhd_serve::{ModelZoo, Precision, ServeConfig, Service, Ticket};
+
+const DIM: usize = 24;
+const POSTS: usize = 180;
+
+fn run_once(zoo: &ModelZoo, shards: usize, posts: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    let cfg = ServeConfig { max_batch: 8, max_wait_us: 200, shards, ..ServeConfig::default() };
+    let svc = Service::start(Arc::new(zoo.variant(Precision::Int8)), cfg);
+    let tickets: Vec<Ticket> =
+        posts.iter().map(|p| svc.submit(p.clone()).expect("admitted")).collect();
+    tickets
+        .into_iter()
+        .map(|t| t.wait().expect("served").iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn exporter_on_and_off_serve_identical_bytes() {
+    let path = std::env::temp_dir()
+        .join(format!("mhd_tel_identity_{}.ckpt", std::process::id()));
+    let mlp = mhd_nn::Mlp::new(DIM, 16, 5, 0.05, 33);
+    ModelZoo::write(&mlp, &path).expect("write zoo");
+    let zoo = ModelZoo::load(&path).expect("load zoo");
+    let posts = synthetic_posts(POSTS, DIM, 424242);
+
+    for shards in [1usize, 4] {
+        mhd_obs::disable();
+        mhd_obs::reset();
+        let off = run_once(&zoo, shards, &posts);
+
+        mhd_obs::enable();
+        mhd_obs::reset();
+        let prefix = std::env::temp_dir()
+            .join(format!("mhd_tel_identity_{}_{shards}", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let cfg = mhd_obs::TelemetryConfig::at_prefix(&prefix, 2_000);
+        let exporter = mhd_obs::Exporter::create(cfg).expect("create exporter");
+        let poller = mhd_obs::Poller::spawn(exporter, 2_000);
+        let on = run_once(&zoo, shards, &posts);
+        poller.finish().expect("finish poller");
+        mhd_obs::disable();
+        mhd_obs::reset();
+
+        assert_eq!(on, off, "telemetry changed served bytes at {shards} shards");
+        for suffix in [".series.jsonl", ".prom", ".journal.jsonl"] {
+            let _ = std::fs::remove_file(format!("{prefix}{suffix}"));
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
